@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Regenerates paper Fig. 10: pipeline execution-time breakdown of
+ * the butterfly NTT vs the GEMM-form NTT of TensorFHE-CO, on the
+ * same simulated SM. The paper reports RAW stalls down 18.1pp, long
+ * latency down 10.8pp, computation up 1.2%, overall NTT 32.3% faster.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "gpu/pipeline.hh"
+#include "perf/paper_data.hh"
+
+using namespace tensorfhe;
+using namespace tensorfhe::gpu;
+
+int
+main()
+{
+    bench::banner("Fig. 10 - butterfly NTT vs GEMM NTT (TensorFHE-CO) "
+                  "stall breakdown");
+
+    auto butterfly = simulateSm(butterflyNttTrace(1 << 12, 128), 8);
+    auto gemm = simulateSm(gemmNttTrace(1 << 12, 128), 8);
+
+    auto print = [](const char *name, const StallBreakdown &bd) {
+        std::printf("%-14s total cycles %9llu  computation %5.1f%%",
+                    name,
+                    static_cast<unsigned long long>(bd.totalCycles),
+                    100.0 * double(bd.issuedCycles)
+                        / double(bd.totalCycles));
+        for (int s = 0; s < int(Stall::NumKinds); ++s)
+            std::printf("  %s %.1f%%", stallName(Stall(s)),
+                        100.0 * bd.stallFraction(Stall(s)));
+        std::printf("\n");
+    };
+    print("butterfly NTT", butterfly);
+    print("GEMM NTT (CO)", gemm);
+
+    double raw_delta = butterfly.stallFraction(Stall::Raw)
+        - gemm.stallFraction(Stall::Raw);
+    double ll_delta = butterfly.stallFraction(Stall::LongLatency)
+        - gemm.stallFraction(Stall::LongLatency);
+    double overall = 1.0
+        - double(gemm.totalCycles) / double(butterfly.totalCycles);
+    std::printf("\nmeasured: RAW -%.1fpp, long-latency %+.1fpp, "
+                "overall NTT cycles %+.1f%%\n",
+                100.0 * raw_delta, -100.0 * ll_delta,
+                -100.0 * overall);
+    std::printf("paper:    RAW -%.1fpp, long-latency -%.1fpp, overall "
+                "-%.1f%% (computation +1.2%%)\n",
+                100.0 * perf::paper::kFig10RawReduction,
+                100.0 * perf::paper::kFig10LongLatencyReduction,
+                100.0 * perf::paper::kFig10OverallNttGain);
+    return 0;
+}

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Regenerates paper Fig. 13: operation-level execution-time breakdown
+ * of the four full workloads.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "perf/device_time.hh"
+#include "workloads/models.hh"
+
+using namespace tensorfhe;
+using namespace tensorfhe::workloads;
+
+int
+main()
+{
+    bench::banner("Fig. 13 - operation-level breakdown per workload");
+
+    perf::DeviceTimeModel a100(gpu::DeviceModel::a100());
+    std::printf("%-22s %8s %9s %9s %7s %7s\n", "workload", "HMULT",
+                "HROTATE", "RESCALE", "HADD", "CMULT");
+    for (const auto &w : {resnet20Model(), logisticRegressionModel(),
+                          lstmModel(), packedBootstrappingModel()}) {
+        auto s = workloadOpShares(w, a100);
+        std::printf("%-22s %7.1f%% %8.1f%% %8.1f%% %6.1f%% %6.1f%%\n",
+                    w.name.c_str(), 100 * s.hmult, 100 * s.hrotate,
+                    100 * s.rescale, 100 * s.hadd, 100 * s.cmult);
+    }
+    std::printf("\npaper: HROTATE is the most time-consuming "
+                "operation (frequent, NTT-heavy).\n");
+    return 0;
+}

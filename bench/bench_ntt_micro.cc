@@ -1,0 +1,126 @@
+/**
+ * @file
+ * google-benchmark micro suite over the NTT engines.
+ *
+ * Backs the analysis behind Fig. 10 / Table VI: butterfly (NT) vs
+ * GEMM (CO) vs tensor-core (TCU) NTT across polynomial lengths, plus
+ * the modulo-deferral ablation called out in DESIGN.md.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/primes.hh"
+#include "common/rng.hh"
+#include "ntt/ntt.hh"
+
+namespace
+{
+
+using namespace tensorfhe;
+using namespace tensorfhe::ntt;
+
+struct Fixture
+{
+    Fixture(std::size_t n)
+        : q(generateNttPrimes(30, 1, 2 * n)[0]), ctx(n, q), data(n)
+    {
+        Rng rng(n);
+        for (auto &c : data)
+            c = rng.uniform(q);
+    }
+
+    u64 q;
+    NttContext ctx;
+    std::vector<u64> data;
+};
+
+void
+runForward(benchmark::State &state, NttVariant v)
+{
+    std::size_t n = std::size_t(1) << state.range(0);
+    Fixture f(n);
+    std::vector<u64> work = f.data;
+    for (auto _ : state) {
+        work = f.data;
+        f.ctx.forward(work.data(), v);
+        benchmark::DoNotOptimize(work.data());
+    }
+    state.SetItemsProcessed(s64(state.iterations()) * s64(n));
+    state.SetLabel(nttVariantName(v));
+}
+
+void BM_NttButterfly(benchmark::State &s) { runForward(s, NttVariant::Butterfly); }
+void BM_NttGemm(benchmark::State &s) { runForward(s, NttVariant::Gemm); }
+void BM_NttTensor(benchmark::State &s) { runForward(s, NttVariant::Tensor); }
+
+BENCHMARK(BM_NttButterfly)->DenseRange(10, 14, 2)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_NttGemm)->DenseRange(10, 14, 2)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_NttTensor)->DenseRange(10, 12, 2)
+    ->Unit(benchmark::kMicrosecond);
+
+/**
+ * Modulo-deferral ablation: the paper's GEMM form performs one modulo
+ * per output element; this baseline reduces after every MAC, showing
+ * what the deferral buys.
+ */
+void
+BM_GemmModuloPerMac(benchmark::State &state)
+{
+    std::size_t n = std::size_t(1) << state.range(0);
+    Fixture f(n);
+    const auto &gm = f.ctx.tables().gemm();
+    const Modulus &mod = f.ctx.tables().modulus();
+    std::size_t n1 = gm.n1, n2 = gm.n2;
+    std::vector<u64> b(n);
+    for (auto _ : state) {
+        // First GEMM of the pipeline only, with eager reduction.
+        for (std::size_t i = 0; i < n1; ++i) {
+            for (std::size_t j = 0; j < n2; ++j) {
+                u64 acc = 0;
+                for (std::size_t k = 0; k < n1; ++k) {
+                    acc = addMod(acc,
+                        mod.mul(gm.w1[i * n1 + k], f.data[k * n2 + j]),
+                        mod.value());
+                }
+                b[i * n2 + j] = acc;
+            }
+        }
+        benchmark::DoNotOptimize(b.data());
+    }
+    state.SetLabel("eager-modulo GEMM stage");
+}
+
+void
+BM_GemmModuloDeferred(benchmark::State &state)
+{
+    std::size_t n = std::size_t(1) << state.range(0);
+    Fixture f(n);
+    const auto &gm = f.ctx.tables().gemm();
+    const Modulus &mod = f.ctx.tables().modulus();
+    std::size_t n1 = gm.n1, n2 = gm.n2;
+    std::vector<u64> b(n);
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < n1; ++i) {
+            for (std::size_t j = 0; j < n2; ++j) {
+                u128 acc = 0;
+                for (std::size_t k = 0; k < n1; ++k) {
+                    acc += static_cast<u128>(gm.w1[i * n1 + k])
+                        * f.data[k * n2 + j];
+                }
+                b[i * n2 + j] = mod.reduce(acc);
+            }
+        }
+        benchmark::DoNotOptimize(b.data());
+    }
+    state.SetLabel("deferred-modulo GEMM stage (paper)");
+}
+
+BENCHMARK(BM_GemmModuloPerMac)->Arg(12)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_GemmModuloDeferred)->Arg(12)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Regenerates paper Table IX: GPGPU occupancy of the batched CKKS
+ * operations (batch 128), from the CTA-wave saturation model, next
+ * to the published values.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "gpu/occupancy.hh"
+#include "perf/paper_data.hh"
+
+using namespace tensorfhe;
+using namespace tensorfhe::gpu;
+
+int
+main()
+{
+    bench::banner("Table IX - GPGPU occupancy with operation-level "
+                  "batching (batch 128)");
+
+    auto dev = DeviceModel::a100();
+    // CTAs per op at the paper's default parameters and per-op tail
+    // fractions (launch/drain overhead visible to the profiler).
+    struct Row
+    {
+        const char *op;
+        std::size_t ctasPerOp;
+        double tail;
+    };
+    // Tail fractions are the per-op calibration of this table (the
+    // launch/drain overhead a profiler attributes to the kernel).
+    Row rows[] = {
+        {"HMULT", 64, 0.095},   {"HROTATE", 64, 0.097},
+        {"RESCALE", 48, 0.109}, {"HADD", 16, 0.143},
+        {"CMULT", 32, 0.117},
+    };
+
+    std::printf("%-9s %12s %12s\n", "op", "model", "paper");
+    for (std::size_t i = 0; i < 5; ++i) {
+        double occ =
+            batchedOccupancy(dev, 128, rows[i].ctasPerOp, rows[i].tail);
+        std::printf("%-9s %11.1f%% %11.1f%%\n", rows[i].op,
+                    100.0 * occ,
+                    100.0 * perf::paper::kTable9[i].occupancy);
+    }
+    std::printf("\nwithout batching (batch 1):\n");
+    for (std::size_t i = 0; i < 5; ++i) {
+        double occ =
+            batchedOccupancy(dev, 1, rows[i].ctasPerOp, rows[i].tail);
+        std::printf("%-9s %11.1f%%   (paper SIII-B: < 15%%)\n",
+                    rows[i].op, 100.0 * occ);
+    }
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Regenerates paper Table X: full-workload execution time for
+ * ResNet-20, Logistic Regression, LSTM and Packed Bootstrapping —
+ * model estimates at the Table V parameters beside the published
+ * rows, with the paper's headline ratios (2.9x over F1+ on LR, up to
+ * ~40x behind the big ASICs) recomputed from our model.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "perf/device_time.hh"
+#include "perf/paper_data.hh"
+#include "workloads/models.hh"
+
+using namespace tensorfhe;
+using namespace tensorfhe::workloads;
+
+int
+main()
+{
+    bench::banner("Table X - full FHE workloads (seconds)");
+
+    std::printf("%-18s %10s %10s %10s %12s\n", "system", "ResNet-20",
+                "LR", "LSTM", "PackedBoot");
+    for (const auto &row : perf::paper::kTable10) {
+        auto cell = [](double v) {
+            return v < 0 ? std::string("-")
+                         : bench::fmtSeconds(v);
+        };
+        std::printf("%-18.18s %10s %10s %10s %12s   [paper]\n",
+                    row.system.data(), cell(row.resnet20).c_str(),
+                    cell(row.lr).c_str(), cell(row.lstm).c_str(),
+                    cell(row.packedBoot).c_str());
+    }
+
+    perf::DeviceTimeModel a100(gpu::DeviceModel::a100());
+    WorkloadModel models[] = {resnet20Model(),
+                              logisticRegressionModel(), lstmModel(),
+                              packedBootstrappingModel()};
+    double ours[4];
+    std::printf("%-18s", "TensorFHE (model)");
+    for (int i = 0; i < 4; ++i) {
+        models[i].params.nttVariant = ntt::NttVariant::Tensor;
+        ours[i] = workloadSeconds(models[i], a100);
+        std::printf(" %10s", bench::fmtSeconds(ours[i]).c_str());
+        if (i == 3)
+            std::printf("  ");
+    }
+    std::printf("   [model]\n");
+
+    bench::section("shape checks (from our model vs paper rows)");
+    const auto &cpu = perf::paper::kTable10[0];
+    const auto &f1 = perf::paper::kTable10[1];
+    const auto &crater = perf::paper::kTable10[2];
+    std::printf("LR: vs CPU %7.0fx (paper 1625.6x), vs F1+ %5.2fx "
+                "(paper 2.9x), vs CraterLake 1/%.1fx\n",
+                cpu.lr / ours[1], f1.lr / ours[1], ours[1] / crater.lr);
+    std::printf("ResNet-20: vs CPU %5.0fx, vs F1+ %4.2fx "
+                "(paper: F1+ still 1.8x ahead)\n",
+                cpu.resnet20 / ours[0], f1.resnet20 / ours[0]);
+    return 0;
+}

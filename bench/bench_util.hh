@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared helpers for the paper-table bench binaries: wall-clock
+ * timing and aligned table printing. Every bench prints three kinds
+ * of rows, always labeled: paper-published values, model estimates
+ * (A100 device model at paper parameters), and measurements (this
+ * machine, scaled parameters).
+ */
+
+#ifndef TENSORFHE_BENCH_BENCH_UTIL_HH
+#define TENSORFHE_BENCH_BENCH_UTIL_HH
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+namespace tensorfhe::bench
+{
+
+/** Seconds of wall clock consumed by fn(). */
+inline double
+timeSeconds(const std::function<void()> &fn)
+{
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(stop - start).count();
+}
+
+/** Run fn `iters` times, return mean seconds per run. */
+inline double
+timeMean(int iters, const std::function<void()> &fn)
+{
+    double total = timeSeconds([&] {
+        for (int i = 0; i < iters; ++i)
+            fn();
+    });
+    return total / iters;
+}
+
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n================================================"
+                "====================\n%s\n"
+                "================================================"
+                "====================\n",
+                title.c_str());
+}
+
+inline void
+section(const std::string &name)
+{
+    std::printf("\n--- %s ---\n", name.c_str());
+}
+
+/** "1.23 ms" style human formatting. */
+inline std::string
+fmtSeconds(double s)
+{
+    char buf[64];
+    if (s < 0)
+        std::snprintf(buf, sizeof buf, "-");
+    else if (s < 1e-6)
+        std::snprintf(buf, sizeof buf, "%.1f ns", s * 1e9);
+    else if (s < 1e-3)
+        std::snprintf(buf, sizeof buf, "%.2f us", s * 1e6);
+    else if (s < 1.0)
+        std::snprintf(buf, sizeof buf, "%.2f ms", s * 1e3);
+    else
+        std::snprintf(buf, sizeof buf, "%.2f s", s);
+    return buf;
+}
+
+} // namespace tensorfhe::bench
+
+#endif // TENSORFHE_BENCH_BENCH_UTIL_HH

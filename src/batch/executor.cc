@@ -1,0 +1,92 @@
+#include "batch/executor.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+
+namespace tensorfhe::batch
+{
+
+template <typename Fn>
+BatchedEvaluator::Cts
+BatchedEvaluator::mapBatch(std::size_t size, Fn &&fn) const
+{
+    Cts out(size);
+    ThreadPool::global().parallelFor(0, size, [&](std::size_t i) {
+        out[i] = fn(i);
+    });
+    return out;
+}
+
+BatchedEvaluator::Cts
+BatchedEvaluator::add(const Cts &a, const Cts &b) const
+{
+    requireArg(a.size() == b.size(), "batch size mismatch");
+    return mapBatch(a.size(),
+                    [&](std::size_t i) { return eval_.add(a[i], b[i]); });
+}
+
+BatchedEvaluator::Cts
+BatchedEvaluator::multiply(const Cts &a, const Cts &b) const
+{
+    requireArg(a.size() == b.size(), "batch size mismatch");
+    return mapBatch(a.size(), [&](std::size_t i) {
+        return eval_.multiply(a[i], b[i]);
+    });
+}
+
+BatchedEvaluator::Cts
+BatchedEvaluator::multiplyPlain(const Cts &a,
+                                const ckks::Plaintext &p) const
+{
+    return mapBatch(a.size(), [&](std::size_t i) {
+        return eval_.multiplyPlain(a[i], p);
+    });
+}
+
+BatchedEvaluator::Cts
+BatchedEvaluator::rescale(const Cts &a) const
+{
+    return mapBatch(a.size(),
+                    [&](std::size_t i) { return eval_.rescale(a[i]); });
+}
+
+BatchedEvaluator::Cts
+BatchedEvaluator::rotate(const Cts &a, s64 step) const
+{
+    return mapBatch(a.size(), [&](std::size_t i) {
+        return eval_.rotate(a[i], step);
+    });
+}
+
+double
+workingSetBytesPerOp(const ckks::CkksParams &params)
+{
+    double n = static_cast<double>(params.n);
+    double lc = static_cast<double>(params.levels) + 1;
+    double k = static_cast<double>(params.special);
+    double residue = 4.0; // 32-bit device residues
+    // Two input ciphertexts (2 polys each), the three HMULT products,
+    // and the key-switching scratch over the union basis (digits
+    // stream through reused buffers: ModUp staging plus the two
+    // inner-product accumulators and one spare).
+    double cts = (4 + 3) * lc * n * residue;
+    double ks = 4.0 * (lc + k) * n * residue;
+    return cts + ks;
+}
+
+std::size_t
+bestBatchSize(const ckks::CkksParams &params, const gpu::DeviceModel &dev,
+              std::size_t requested)
+{
+    requireArg(requested >= 1, "requested batch must be positive");
+    double usable = dev.vramBytes * 0.8; // leave headroom for keys
+    auto cap = static_cast<std::size_t>(
+        usable / workingSetBytesPerOp(params));
+    if (cap == 0)
+        cap = 1;
+    return std::min(requested, cap);
+}
+
+} // namespace tensorfhe::batch

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Operation-level batching (paper SIV-D/E): the API layer receives
+ * batches of identical FHE operation requests sharing the same level
+ * L (so all reuse one twiddle table), picks a batch size from the
+ * device VRAM budget, and dispatches the batched kernels across the
+ * worker pool — the CPU stand-in for filling the GPGPU with CTAs.
+ */
+
+#ifndef TENSORFHE_BATCH_EXECUTOR_HH
+#define TENSORFHE_BATCH_EXECUTOR_HH
+
+#include <vector>
+
+#include "ckks/evaluator.hh"
+#include "gpu/device.hh"
+
+namespace tensorfhe::batch
+{
+
+/** Batched counterpart of the Evaluator. */
+class BatchedEvaluator
+{
+  public:
+    BatchedEvaluator(const ckks::CkksContext &ctx,
+                     const ckks::KeyBundle &keys)
+        : ctx_(ctx), eval_(ctx, keys)
+    {}
+
+    using Cts = std::vector<ckks::Ciphertext>;
+
+    Cts add(const Cts &a, const Cts &b) const;
+    Cts multiply(const Cts &a, const Cts &b) const;
+    Cts multiplyPlain(const Cts &a, const ckks::Plaintext &p) const;
+    Cts rescale(const Cts &a) const;
+    Cts rotate(const Cts &a, s64 step) const;
+
+    const ckks::Evaluator &scalar() const { return eval_; }
+
+  private:
+    template <typename Fn>
+    Cts mapBatch(std::size_t size, Fn &&fn) const;
+
+    const ckks::CkksContext &ctx_;
+    ckks::Evaluator eval_;
+};
+
+/**
+ * The API layer's batch-size policy: the largest batch whose working
+ * set fits the usable VRAM fraction (paper SVI-E: "the batch size of
+ * TensorFHE is mainly determined by the VRAM capacity").
+ */
+std::size_t bestBatchSize(const ckks::CkksParams &params,
+                          const gpu::DeviceModel &dev,
+                          std::size_t requested);
+
+/** Bytes of device memory one in-flight batched HMULT consumes. */
+double workingSetBytesPerOp(const ckks::CkksParams &params);
+
+} // namespace tensorfhe::batch
+
+#endif // TENSORFHE_BATCH_EXECUTOR_HH

@@ -1,0 +1,93 @@
+#include "batch/layout.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tensorfhe::batch
+{
+
+const char *
+layoutName(Layout l)
+{
+    return l == Layout::BLN ? "(B,L,N)" : "(L,B,N)";
+}
+
+BatchStore::BatchStore(std::size_t batch, std::size_t limbs,
+                       std::size_t n, Layout layout)
+    : b_(batch), l_(limbs), n_(n), layout_(layout),
+      data_(batch * limbs * n, 0)
+{
+    TFHE_ASSERT(batch >= 1 && limbs >= 1 && n >= 1);
+}
+
+std::size_t
+BatchStore::offset(std::size_t b, std::size_t l) const
+{
+    TFHE_ASSERT(b < b_ && l < l_);
+    return layout_ == Layout::BLN ? (b * l_ + l) * n_
+                                  : (l * b_ + b) * n_;
+}
+
+u64 *
+BatchStore::entry(std::size_t b, std::size_t l)
+{
+    return data_.data() + offset(b, l);
+}
+
+const u64 *
+BatchStore::entry(std::size_t b, std::size_t l) const
+{
+    return data_.data() + offset(b, l);
+}
+
+std::size_t
+BatchStore::gatherLevel(std::size_t l, u64 *out) const
+{
+    if (layout_ == Layout::LBN) {
+        // One contiguous block of B*N elements.
+        const u64 *src = data_.data() + l * b_ * n_;
+        std::copy(src, src + b_ * n_, out);
+        return 1;
+    }
+    for (std::size_t b = 0; b < b_; ++b) {
+        const u64 *src = entry(b, l);
+        std::copy(src, src + n_, out + b * n_);
+    }
+    return b_; // one discontiguous run per batch entry
+}
+
+std::size_t
+BatchStore::scatterLevel(std::size_t l, const u64 *in)
+{
+    if (layout_ == Layout::LBN) {
+        u64 *dst = data_.data() + l * b_ * n_;
+        std::copy(in, in + b_ * n_, dst);
+        return 1;
+    }
+    for (std::size_t b = 0; b < b_; ++b)
+        std::copy(in + b * n_, in + (b + 1) * n_, entry(b, l));
+    return b_;
+}
+
+std::size_t
+BatchStore::repack(Layout target)
+{
+    if (target == layout_)
+        return 0;
+    std::vector<u64> next(data_.size());
+    for (std::size_t b = 0; b < b_; ++b) {
+        for (std::size_t l = 0; l < l_; ++l) {
+            std::size_t src = offset(b, l);
+            std::size_t dst = target == Layout::BLN ? (b * l_ + l) * n_
+                                                    : (l * b_ + b) * n_;
+            std::copy(data_.begin() + src, data_.begin() + src + n_,
+                      next.begin() + dst);
+        }
+    }
+    data_ = std::move(next);
+    layout_ = target;
+    return data_.size();
+}
+
+} // namespace tensorfhe::batch

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Data-layout optimization for operation-level batching (paper SIV-D,
+ * Fig. 9): batched operands stored (B, L, N) — one group per
+ * operation — force a strided gather when kernels pack all entries of
+ * one level; the (L, B, N) layout makes that slab contiguous.
+ *
+ * BatchStore holds B polynomials' limbs in either layout and exposes
+ * the level-slab access pattern; a traffic meter counts the memory
+ * transactions the gather costs, and repack() converts layouts (the
+ * measured ablation behind bench_ablation_layout).
+ */
+
+#ifndef TENSORFHE_BATCH_LAYOUT_HH
+#define TENSORFHE_BATCH_LAYOUT_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace tensorfhe::batch
+{
+
+enum class Layout
+{
+    BLN, ///< batch-major: entry (b, l) at offset (b*L + l) * N
+    LBN  ///< level-major: entry (b, l) at offset (l*B + b) * N
+};
+
+const char *layoutName(Layout l);
+
+class BatchStore
+{
+  public:
+    BatchStore(std::size_t batch, std::size_t limbs, std::size_t n,
+               Layout layout);
+
+    std::size_t batch() const { return b_; }
+    std::size_t limbs() const { return l_; }
+    std::size_t n() const { return n_; }
+    Layout layout() const { return layout_; }
+
+    u64 *entry(std::size_t b, std::size_t l);
+    const u64 *entry(std::size_t b, std::size_t l) const;
+
+    /**
+     * Assemble the level-l slab (all batch entries) into `out`
+     * (size B*N). Contiguous copy under LBN; strided gather under
+     * BLN. Returns the number of distinct contiguous runs touched
+     * (the unit the GPU pays coalescing/row-activation cost per).
+     */
+    std::size_t gatherLevel(std::size_t l, u64 *out) const;
+
+    /** Scatter a level slab back (inverse of gatherLevel). */
+    std::size_t scatterLevel(std::size_t l, const u64 *in);
+
+    /** Convert to the other layout; returns elements moved. */
+    std::size_t repack(Layout target);
+
+    u64 *raw() { return data_.data(); }
+    const u64 *raw() const { return data_.data(); }
+
+  private:
+    std::size_t offset(std::size_t b, std::size_t l) const;
+
+    std::size_t b_, l_, n_;
+    Layout layout_;
+    std::vector<u64> data_;
+};
+
+} // namespace tensorfhe::batch
+
+#endif // TENSORFHE_BATCH_LAYOUT_HH

@@ -1,0 +1,137 @@
+#include "boot/bootstrap.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tensorfhe::boot
+{
+
+Bootstrapper::Bootstrapper(const ckks::CkksContext &ctx,
+                           const ckks::KeyBundle &keys, SineConfig sine)
+    : ctx_(ctx), keys_(keys), eval_(ctx, keys), sine_(sine),
+      u_(specialFftMatrix(ctx.encoder())),
+      uInv_(specialFftInverseMatrix(ctx.encoder()))
+{
+    requireArg(ctx.tower().numQ() > postRaiseLevelCost() + 1,
+               "parameter chain too short for bootstrapping: need > ",
+               postRaiseLevelCost() + 1, " levels");
+}
+
+std::vector<s64>
+Bootstrapper::requiredRotations(std::size_t slots)
+{
+    std::vector<s64> steps;
+    for (std::size_t d = 1; d < slots; ++d)
+        steps.push_back(static_cast<s64>(d));
+    return steps;
+}
+
+std::size_t
+Bootstrapper::postRaiseLevelCost() const
+{
+    // CoeffToSlot (1) + split constant (1) + sine + recombine (1).
+    return sineLevelCost(sine_) + 3;
+}
+
+ckks::Ciphertext
+Bootstrapper::slotToCoeff(const ckks::Ciphertext &ct) const
+{
+    return applyLinear(ctx_, eval_, u_, ct);
+}
+
+ckks::Ciphertext
+Bootstrapper::coeffToSlot(const ckks::Ciphertext &ct) const
+{
+    return applyLinear(ctx_, eval_, uInv_, ct);
+}
+
+ckks::Ciphertext
+Bootstrapper::modRaise(const ckks::Ciphertext &ct) const
+{
+    const auto &tower = ctx_.tower();
+    std::size_t n = ctx_.n();
+    std::size_t full = tower.numQ();
+    u64 q0 = tower.prime(0);
+    auto v = ctx_.nttVariant();
+
+    auto lift = [&](const rns::RnsPolynomial &poly) {
+        rns::RnsPolynomial coeff = poly;
+        coeff.truncateLimbs(1);
+        coeff.toCoeff(v);
+        std::vector<s64> centered(n);
+        for (std::size_t c = 0; c < n; ++c) {
+            u64 r = coeff.limb(0)[c];
+            centered[c] = r <= q0 / 2
+                ? static_cast<s64>(r)
+                : -static_cast<s64>(q0 - r);
+        }
+        auto out = rns::liftSigned(tower, ctx_.qLimbs(full), centered);
+        out.toEval(v);
+        return out;
+    };
+
+    ckks::Ciphertext out;
+    out.c0 = lift(ct.c0);
+    out.c1 = lift(ct.c1);
+    out.scale = ct.scale;
+    return out;
+}
+
+ckks::Ciphertext
+Bootstrapper::bootstrap(const ckks::Ciphertext &ct) const
+{
+    requireArg(ct.levelCount() >= 2,
+               "slotToCoeff needs at least one spare level");
+    u64 q0 = ctx_.tower().prime(0);
+    double two_pow_r = std::exp2(sine_.doublings);
+
+    // Stage 1: SlotToCoeff — coefficients now hold Re/Im of slots.
+    auto packed = slotToCoeff(ct);
+
+    // Stage 2: ModRaising from q0 to the full chain. The hidden
+    // coefficients become m + q0*I for small integers I.
+    auto raised = modRaise(eval_.dropToLevelCount(packed, 1));
+
+    // Stage 3: CoeffToSlot — slot j now holds
+    // (c_j + i*c_{j+N/2}) / scale with c = m + q0*I.
+    auto w = coeffToSlot(raised);
+
+    // Split real and imaginary coefficient streams with a conjugate,
+    // folding the sine pre-scale kappa = pi*scale/(q0*2^r) into the
+    // split constants. Slot values of w are c / raised.scale (the
+    // C2S transform is value-preserving), so the hidden-coefficient
+    // scale is the pre-C2S one.
+    double hidden_scale = raised.scale;
+    double kappa = M_PI * hidden_scale / (q0 * two_pow_r);
+    auto wc = eval_.conjugate(w);
+    auto sum = eval_.add(w, wc);  // 2*Re
+    auto diff = eval_.sub(w, wc); // 2i*Im
+    auto t_u = eval_.rescale(eval_.multiplyPlain(
+        sum, ctx_.encoder().encodeConstant(Complex(kappa, 0),
+                                           ctx_.params().scale(),
+                                           sum.levelCount())));
+    auto t_v = eval_.rescale(eval_.multiplyPlain(
+        diff, ctx_.encoder().encodeConstant(Complex(0, -kappa),
+                                            ctx_.params().scale(),
+                                            diff.levelCount())));
+
+    // Stage 4: Sine Evaluation on both streams.
+    auto sin_u = evalScaledSine(ctx_, eval_, t_u, sine_);
+    auto sin_v = evalScaledSine(ctx_, eval_, t_v, sine_);
+
+    // Recombine: out = (q0 / (2 pi scale)) * (sin_u + i*sin_v); slot
+    // values return to z_j = Re z_j + i Im z_j.
+    double back = q0 / (2.0 * M_PI * hidden_scale);
+    auto out_u = eval_.multiplyPlain(
+        sin_u, ctx_.encoder().encodeConstant(Complex(back, 0),
+                                             ctx_.params().scale(),
+                                             sin_u.levelCount()));
+    auto out_v = eval_.multiplyPlain(
+        sin_v, ctx_.encoder().encodeConstant(Complex(0, back),
+                                             ctx_.params().scale(),
+                                             sin_v.levelCount()));
+    return eval_.rescale(eval_.add(out_u, out_v));
+}
+
+} // namespace tensorfhe::boot

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Slim CKKS bootstrapping (paper Fig. 6):
+ *   SlotToCoeff -> ModRaising -> CoeffToSlot -> Sine Evaluation,
+ * restoring the multiplicative level budget of an exhausted
+ * ciphertext. The DFT stages use the homomorphic linear transforms
+ * of boot/linear.hh; the modular-reduction stage uses the Taylor +
+ * double-angle sine of boot/sine.hh.
+ */
+
+#ifndef TENSORFHE_BOOT_BOOTSTRAP_HH
+#define TENSORFHE_BOOT_BOOTSTRAP_HH
+
+#include <memory>
+
+#include "boot/linear.hh"
+#include "boot/sine.hh"
+
+namespace tensorfhe::boot
+{
+
+class Bootstrapper
+{
+  public:
+    /**
+     * @param keys must contain rotation keys for every step in
+     *             requiredRotations(ctx.slots()) plus the
+     *             conjugation key.
+     */
+    Bootstrapper(const ckks::CkksContext &ctx,
+                 const ckks::KeyBundle &keys, SineConfig sine = {});
+
+    /** Rotation steps bootstrap needs keys for. */
+    static std::vector<s64> requiredRotations(std::size_t slots);
+
+    /**
+     * Refresh `ct` (any level >= 2, slots holding values with
+     * |z| <~ 1) to a fresh ciphertext at the highest level the sine
+     * budget allows, approximately preserving the slot values.
+     */
+    ckks::Ciphertext bootstrap(const ckks::Ciphertext &ct) const;
+
+    /** Stage 1: move slot values into polynomial coefficients. */
+    ckks::Ciphertext slotToCoeff(const ckks::Ciphertext &ct) const;
+
+    /** Stage 2: re-lift a level-1 ciphertext to the full chain. */
+    ckks::Ciphertext modRaise(const ckks::Ciphertext &ct) const;
+
+    /** Stage 3: move (noisy multiples of q0 +) coeffs into slots. */
+    ckks::Ciphertext coeffToSlot(const ckks::Ciphertext &ct) const;
+
+    /** Levels consumed below the top by C2S + sine. */
+    std::size_t postRaiseLevelCost() const;
+
+  private:
+    const ckks::CkksContext &ctx_;
+    const ckks::KeyBundle &keys_;
+    ckks::Evaluator eval_;
+    SineConfig sine_;
+    SlotMatrix u_;    ///< special FFT (slot -> coeff)
+    SlotMatrix uInv_; ///< inverse
+};
+
+} // namespace tensorfhe::boot
+
+#endif // TENSORFHE_BOOT_BOOTSTRAP_HH

@@ -1,0 +1,89 @@
+#include "boot/linear.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tensorfhe::boot
+{
+
+SlotMatrix
+specialFftMatrix(const ckks::CkksEncoder &encoder)
+{
+    std::size_t slots = encoder.slots();
+    SlotMatrix m(slots, std::vector<Complex>(slots));
+    // Column k = fftSpecial(e_k): the map is C-linear.
+    for (std::size_t k = 0; k < slots; ++k) {
+        std::vector<Complex> e(slots, Complex(0, 0));
+        e[k] = Complex(1, 0);
+        encoder.fftSpecial(e);
+        for (std::size_t j = 0; j < slots; ++j)
+            m[j][k] = e[j];
+    }
+    return m;
+}
+
+SlotMatrix
+specialFftInverseMatrix(const ckks::CkksEncoder &encoder)
+{
+    std::size_t slots = encoder.slots();
+    SlotMatrix m(slots, std::vector<Complex>(slots));
+    for (std::size_t k = 0; k < slots; ++k) {
+        std::vector<Complex> e(slots, Complex(0, 0));
+        e[k] = Complex(1, 0);
+        encoder.fftSpecialInv(e);
+        for (std::size_t j = 0; j < slots; ++j)
+            m[j][k] = e[j];
+    }
+    return m;
+}
+
+std::vector<Complex>
+applyPlain(const SlotMatrix &m, const std::vector<Complex> &z)
+{
+    std::size_t slots = m.size();
+    std::vector<Complex> y(slots, Complex(0, 0));
+    for (std::size_t j = 0; j < slots; ++j)
+        for (std::size_t k = 0; k < slots; ++k)
+            y[j] += m[j][k] * z[k];
+    return y;
+}
+
+ckks::Ciphertext
+applyLinear(const ckks::CkksContext &ctx, const ckks::Evaluator &eval,
+            const SlotMatrix &m, const ckks::Ciphertext &ct)
+{
+    std::size_t slots = ctx.slots();
+    TFHE_ASSERT(m.size() == slots);
+    double scale = ctx.params().scale();
+
+    ckks::Ciphertext acc;
+    bool first = true;
+    for (std::size_t d = 0; d < slots; ++d) {
+        // diag_d[j] = M[j][(j + d) mod slots].
+        std::vector<Complex> diag(slots);
+        double mag = 0;
+        for (std::size_t j = 0; j < slots; ++j) {
+            diag[j] = m[j][(j + d) % slots];
+            mag = std::max(mag,
+                           std::abs(diag[j]));
+        }
+        if (mag < 1e-12)
+            continue; // skip empty diagonals
+        auto rotated =
+            d == 0 ? ct : eval.rotate(ct, static_cast<s64>(d));
+        auto pt = ctx.encoder().encode(diag, scale,
+                                       rotated.levelCount());
+        auto term = eval.multiplyPlain(rotated, pt);
+        if (first) {
+            acc = std::move(term);
+            first = false;
+        } else {
+            acc = eval.add(acc, term);
+        }
+    }
+    TFHE_ASSERT(!first, "matrix was entirely zero");
+    return eval.rescale(acc);
+}
+
+} // namespace tensorfhe::boot

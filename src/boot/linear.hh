@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Homomorphic linear transforms over slot vectors — the machinery of
+ * SlotToCoeff and CoeffToSlot (paper Fig. 6).
+ *
+ * Key observation used here: with this library's packing (coeff j =
+ * Re slot_j, coeff j+N/2 = Im slot_j, connected by the special FFT),
+ * the slot-to-coeff map *in slot space* is exactly the special FFT
+ * matrix, and coeff-to-slot its inverse — both C-linear, applied by
+ * the classic diagonal method with HROTATE + CMULT.
+ */
+
+#ifndef TENSORFHE_BOOT_LINEAR_HH
+#define TENSORFHE_BOOT_LINEAR_HH
+
+#include <vector>
+
+#include "ckks/crypto.hh"
+#include "ckks/evaluator.hh"
+
+namespace tensorfhe::boot
+{
+
+using ckks::Complex;
+
+/** Dense slots x slots complex matrix. */
+using SlotMatrix = std::vector<std::vector<Complex>>;
+
+/** The special-FFT matrix U (slot -> coeff packing map). */
+SlotMatrix specialFftMatrix(const ckks::CkksEncoder &encoder);
+
+/** Its inverse (coeff -> slot). */
+SlotMatrix specialFftInverseMatrix(const ckks::CkksEncoder &encoder);
+
+/** Plain reference: y = M z. */
+std::vector<Complex> applyPlain(const SlotMatrix &m,
+                                const std::vector<Complex> &z);
+
+/**
+ * Homomorphic y = M z by the diagonal method:
+ * y = sum_d diag_d(M) (had) rot(z, d). Consumes one level.
+ * Requires rotation keys for every step with a nonzero diagonal.
+ */
+ckks::Ciphertext applyLinear(const ckks::CkksContext &ctx,
+                             const ckks::Evaluator &eval,
+                             const SlotMatrix &m,
+                             const ckks::Ciphertext &ct);
+
+} // namespace tensorfhe::boot
+
+#endif // TENSORFHE_BOOT_LINEAR_HH

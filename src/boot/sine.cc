@@ -1,0 +1,114 @@
+#include "boot/sine.hh"
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace tensorfhe::boot
+{
+
+namespace
+{
+
+using ckks::Ciphertext;
+using ckks::Evaluator;
+
+/** Drop b to a's level (levels only; scales are handled by callers). */
+Ciphertext
+drop(const Evaluator &eval, const Ciphertext &b, const Ciphertext &a)
+{
+    return eval.dropToLevelCount(b, a.levelCount());
+}
+
+double
+factorial(int n)
+{
+    double f = 1;
+    for (int i = 2; i <= n; ++i)
+        f *= i;
+    return f;
+}
+
+} // namespace
+
+std::size_t
+sineLevelCost(const SineConfig &cfg)
+{
+    // Power ladder (~4) + coefficient layer (1) + odd product (1) +
+    // doublings + final halving (1) + slack (1).
+    return 8 + static_cast<std::size_t>(cfg.doublings);
+}
+
+ckks::Ciphertext
+evalScaledSine(const ckks::CkksContext &ctx, const Evaluator &eval,
+               const Ciphertext &ct_t, const SineConfig &cfg)
+{
+    requireArg(cfg.taylorTerms >= 3 && cfg.taylorTerms <= 6,
+               "taylorTerms must be in [3, 6]");
+    requireArg(ct_t.levelCount() > sineLevelCost(cfg),
+               "not enough levels for sine evaluation: need > ",
+               sineLevelCost(cfg), ", have ", ct_t.levelCount());
+    double target = ctx.params().scale();
+    int terms = cfg.taylorTerms;
+
+    // Power ladder pw[k] = t^(2k), k in [1, terms).
+    std::vector<Ciphertext> pw(static_cast<std::size_t>(terms));
+    pw[1] = eval.multiplyRescale(ct_t, ct_t);
+    for (int k = 2; k < terms; ++k) {
+        int a = k / 2;
+        int b = k - a;
+        const auto &deeper =
+            pw[a].levelCount() < pw[b].levelCount() ? pw[a] : pw[b];
+        pw[k] = eval.multiplyRescale(drop(eval, pw[a], deeper),
+                                     drop(eval, pw[b], deeper));
+    }
+    const auto &deepest = pw[static_cast<std::size_t>(terms - 1)];
+
+    // Work with S = 2 sin, C = 2 cos so the double-angle recurrence
+    // S(2x) = S*C, C(2x) = 2 - S*S is constant-free.
+    // S = t * (2 + sum_k (-1)^k * 2 t^(2k) / (2k+1)!),
+    // C = 2 + sum_k (-1)^k * 2 t^(2k) / (2k)!.
+    // multiplyConstToScale steers every term to one exact scale so
+    // the sums are well-defined despite unequal prime chains.
+    Ciphertext s_inner, c_poly;
+    for (int k = 1; k < terms; ++k) {
+        double sign = k % 2 == 0 ? 1.0 : -1.0;
+        double s_coeff = sign * 2.0 / factorial(2 * k + 1);
+        double c_coeff = sign * 2.0 / factorial(2 * k);
+        auto at_depth = drop(eval, pw[static_cast<std::size_t>(k)],
+                             deepest);
+        auto s_term = eval.multiplyConstToScale(at_depth, s_coeff,
+                                                target);
+        auto c_term = eval.multiplyConstToScale(at_depth, c_coeff,
+                                                target);
+        if (k == 1) {
+            s_inner = std::move(s_term);
+            c_poly = std::move(c_term);
+        } else {
+            s_inner = eval.add(s_inner, s_term);
+            c_poly = eval.add(c_poly, c_term);
+        }
+    }
+    s_inner = eval.addConst(s_inner, 2.0);
+    c_poly = eval.addConst(c_poly, 2.0);
+
+    auto s = eval.multiplyRescale(drop(eval, ct_t, s_inner), s_inner);
+    auto c = drop(eval, c_poly, s);
+
+    for (int r = 0; r < cfg.doublings; ++r) {
+        bool last = r == cfg.doublings - 1;
+        auto s_next = eval.multiplyRescale(s, c);
+        if (!last) {
+            auto ss = eval.multiplyRescale(s, s);
+            auto c_next = eval.negate(ss);
+            c_next = eval.addConst(c_next, 2.0);
+            c = drop(eval, c_next, s_next);
+        }
+        s = s_next;
+    }
+    // sin = S / 2.
+    return eval.multiplyConstToScale(s, 0.5, target);
+}
+
+} // namespace tensorfhe::boot

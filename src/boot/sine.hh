@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Homomorphic sine evaluation (the Sine Evaluation stage of paper
+ * Fig. 6): Taylor polynomials for sin and cos on a range-reduced
+ * argument, then double-angle reconstruction, following the paper's
+ * Taylor-approximation approach [8] with the standard double-angle
+ * range reduction.
+ */
+
+#ifndef TENSORFHE_BOOT_SINE_HH
+#define TENSORFHE_BOOT_SINE_HH
+
+#include "ckks/crypto.hh"
+#include "ckks/evaluator.hh"
+
+namespace tensorfhe::boot
+{
+
+struct SineConfig
+{
+    /**
+     * Taylor terms beyond the constant (6 = degree-11 sin, degree-10
+     * cos, accurate to ~5e-6 on |arg| <= 2.2).
+     */
+    int taylorTerms = 6;
+    /**
+     * Double-angle steps. Each step multiplies accumulated noise by
+     * ~4, so fewer doublings + a higher-degree Taylor is the better
+     * precision trade (see tests/boot).
+     */
+    int doublings = 4;
+};
+
+/** Levels a sine evaluation consumes (for budget planning). */
+std::size_t sineLevelCost(const SineConfig &cfg);
+
+/**
+ * Given ct whose slots hold real t (|t| <= ~1 after the caller's
+ * pre-scaling by 1/2^doublings), return ct' with slots
+ * sin(t * 2^doublings).
+ */
+ckks::Ciphertext evalScaledSine(const ckks::CkksContext &ctx,
+                                const ckks::Evaluator &eval,
+                                const ckks::Ciphertext &ct_t,
+                                const SineConfig &cfg);
+
+} // namespace tensorfhe::boot
+
+#endif // TENSORFHE_BOOT_SINE_HH

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * CKKS ciphertext: a pair (c0, c1) over the active q-chain prefix,
+ * Eval domain, decrypting as c0 + c1 * s (paper Eq. 6 up to sign
+ * convention).
+ */
+
+#ifndef TENSORFHE_CKKS_CIPHERTEXT_HH
+#define TENSORFHE_CKKS_CIPHERTEXT_HH
+
+#include "rns/rns_poly.hh"
+
+namespace tensorfhe::ckks
+{
+
+struct Ciphertext
+{
+    rns::RnsPolynomial c0;
+    rns::RnsPolynomial c1;
+    double scale = 0.0;
+
+    /** Active limbs = level + 1. */
+    std::size_t levelCount() const { return c0.numLimbs(); }
+    /** Remaining multiplicative level. */
+    std::size_t level() const { return c0.numLimbs() - 1; }
+};
+
+} // namespace tensorfhe::ckks
+
+#endif // TENSORFHE_CKKS_CIPHERTEXT_HH

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * CkksContext: owns the RNS tower, encoder and parameter set; issues
+ * keys. Corresponds to the paper's per-instance initialization that
+ * precomputes and reuses twiddle matrices (SIV-B).
+ */
+
+#ifndef TENSORFHE_CKKS_CONTEXT_HH
+#define TENSORFHE_CKKS_CONTEXT_HH
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "ckks/encoder.hh"
+#include "ckks/params.hh"
+#include "common/rng.hh"
+#include "rns/conv.hh"
+
+namespace tensorfhe::ckks
+{
+
+/** Ternary secret key, kept in Eval domain over the full tower. */
+struct SecretKey
+{
+    rns::RnsPolynomial eval;     ///< over all q + p limbs, Eval domain
+    std::vector<s64> coeffs;     ///< signed ternary coefficients
+};
+
+/** Encryption key (b, a) with b = -a*s + e over the full q-chain. */
+struct PublicKey
+{
+    rns::RnsPolynomial b;
+    rns::RnsPolynomial a;
+};
+
+/**
+ * Generalized key-switching key (paper SII-B): one (b_j, a_j) pair
+ * per decomposition digit, over the full q + p basis, Eval domain.
+ * Digit j's pair encrypts P * Qhat_j * target under s.
+ */
+struct SwitchKey
+{
+    std::vector<rns::RnsPolynomial> b;
+    std::vector<rns::RnsPolynomial> a;
+
+    std::size_t digits() const { return b.size(); }
+};
+
+/** Everything the evaluator needs. */
+struct KeyBundle
+{
+    PublicKey pk;
+    SwitchKey relin;                 ///< target s^2
+    std::map<s64, SwitchKey> rot;    ///< per rotation step
+    SwitchKey conj;                  ///< target s(X^-1)
+};
+
+class CkksContext
+{
+  public:
+    explicit CkksContext(const CkksParams &params);
+
+    const CkksParams &params() const { return params_; }
+    const rns::RnsTower &tower() const { return *tower_; }
+    const CkksEncoder &encoder() const { return *encoder_; }
+    std::size_t n() const { return params_.n; }
+    std::size_t slots() const { return params_.slots(); }
+    ntt::NttVariant nttVariant() const { return params_.nttVariant; }
+
+    /** Galois element for rotation by r slots: 5^r mod 2N. */
+    u64 galoisForRotation(s64 r) const;
+    /** Galois element of complex conjugation: 2N - 1. */
+    u64 galoisForConjugation() const { return 2 * params_.n - 1; }
+
+    /** Limb indices {0..count-1} of the q-chain. */
+    std::vector<std::size_t> qLimbs(std::size_t count) const;
+    /** Limb indices {0..count-1} + all special limbs. */
+    std::vector<std::size_t> unionLimbs(std::size_t count) const;
+
+    /** Digit ranges [first, last) over the full q-chain. */
+    struct DigitRange
+    {
+        std::size_t first;
+        std::size_t last;
+    };
+    const std::vector<DigitRange> &digitRanges() const { return digits_; }
+
+    /**
+     * Dcomp scalar for digit j at q-limb i (i inside digit j):
+     * (Q_L / Q_j)^-1 mod q_i.
+     */
+    u64 dcompScalar(std::size_t j, std::size_t i) const;
+
+    /**
+     * Key factor for digit j at flattened limb t:
+     * (P * Q_L / Q_j) mod m_t.
+     */
+    u64 keyFactor(std::size_t j, std::size_t t) const;
+
+    SecretKey generateSecretKey(Rng &rng) const;
+    PublicKey generatePublicKey(const SecretKey &sk, Rng &rng) const;
+    /** Key switching s' -> s for an arbitrary target polynomial. */
+    SwitchKey generateSwitchKey(const rns::RnsPolynomial &target_eval,
+                                const SecretKey &sk, Rng &rng) const;
+    SwitchKey generateRelinKey(const SecretKey &sk, Rng &rng) const;
+    SwitchKey generateRotationKey(const SecretKey &sk, s64 step,
+                                  Rng &rng) const;
+    SwitchKey generateConjugationKey(const SecretKey &sk, Rng &rng) const;
+
+    /** pk + relin + rotation keys for the given steps + conjugation. */
+    KeyBundle generateKeys(const SecretKey &sk, Rng &rng,
+                           const std::vector<s64> &rotations = {}) const;
+
+  private:
+    CkksParams params_;
+    std::unique_ptr<rns::RnsTower> tower_;
+    std::unique_ptr<CkksEncoder> encoder_;
+    std::vector<DigitRange> digits_;
+    // dcomp_[j][i - digits_[j].first] and keyFactor_[j][t].
+    std::vector<std::vector<u64>> dcomp_;
+    std::vector<std::vector<u64>> keyFactor_;
+};
+
+} // namespace tensorfhe::ckks
+
+#endif // TENSORFHE_CKKS_CONTEXT_HH

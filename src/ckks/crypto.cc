@@ -1,0 +1,88 @@
+#include "ckks/crypto.hh"
+
+#include "common/logging.hh"
+
+namespace tensorfhe::ckks
+{
+
+namespace
+{
+
+rns::RnsPolynomial
+restrictLimbs(const rns::RnsPolynomial &full,
+              const std::vector<std::size_t> &limbs)
+{
+    rns::RnsPolynomial out(full.tower(), limbs, full.domain());
+    for (std::size_t i = 0; i < limbs.size(); ++i) {
+        TFHE_ASSERT(full.limbIndex(limbs[i]) == limbs[i]);
+        std::copy(full.limb(limbs[i]), full.limb(limbs[i]) + full.n(),
+                  out.limb(i));
+    }
+    return out;
+}
+
+rns::RnsPolynomial
+smallPoly(const rns::RnsTower &tower,
+          const std::vector<std::size_t> &limbs,
+          const std::vector<s64> &coeffs, ntt::NttVariant v)
+{
+    auto poly = rns::liftSigned(tower, limbs, coeffs);
+    poly.toEval(v);
+    return poly;
+}
+
+} // namespace
+
+Ciphertext
+Encryptor::encrypt(const Plaintext &pt, Rng &rng) const
+{
+    const auto &tower = ctx_.tower();
+    std::size_t level_count = pt.levelCount();
+    auto limbs = ctx_.qLimbs(level_count);
+    auto v = ctx_.nttVariant();
+
+    // Ephemeral ternary u and errors e0, e1.
+    std::vector<s64> u_coeffs(ctx_.n());
+    for (auto &c : u_coeffs)
+        c = rng.sampleTernary();
+    auto u = smallPoly(tower, limbs, u_coeffs, v);
+
+    std::vector<s64> e_coeffs(ctx_.n());
+    auto gauss = [&] {
+        for (auto &c : e_coeffs)
+            c = rng.sampleGaussianInt(ctx_.params().sigma);
+        return smallPoly(tower, limbs, e_coeffs, v);
+    };
+
+    Ciphertext ct;
+    ct.c0 = restrictLimbs(pk_.b, limbs);
+    rns::hadaMultInPlace(ct.c0, u);
+    rns::eleAddInPlace(ct.c0, gauss());
+    rns::eleAddInPlace(ct.c0, pt.poly);
+
+    ct.c1 = restrictLimbs(pk_.a, limbs);
+    rns::hadaMultInPlace(ct.c1, u);
+    rns::eleAddInPlace(ct.c1, gauss());
+
+    ct.scale = pt.scale;
+    return ct;
+}
+
+Plaintext
+Decryptor::decrypt(const Ciphertext &ct) const
+{
+    auto limbs = ctx_.qLimbs(ct.levelCount());
+    auto s = restrictLimbs(sk_.eval, limbs);
+    auto m = ct.c1;
+    rns::hadaMultInPlace(m, s);
+    rns::eleAddInPlace(m, ct.c0);
+    return Plaintext{std::move(m), ct.scale};
+}
+
+std::vector<Complex>
+Decryptor::decryptAndDecode(const Ciphertext &ct) const
+{
+    return ctx_.encoder().decode(decrypt(ct));
+}
+
+} // namespace tensorfhe::ckks

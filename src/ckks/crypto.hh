@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Encryption and decryption.
+ */
+
+#ifndef TENSORFHE_CKKS_CRYPTO_HH
+#define TENSORFHE_CKKS_CRYPTO_HH
+
+#include "ckks/ciphertext.hh"
+#include "ckks/context.hh"
+
+namespace tensorfhe::ckks
+{
+
+class Encryptor
+{
+  public:
+    Encryptor(const CkksContext &ctx, const PublicKey &pk)
+        : ctx_(ctx), pk_(pk)
+    {}
+
+    /** Public-key encryption of an encoded plaintext. */
+    Ciphertext encrypt(const Plaintext &pt, Rng &rng) const;
+
+  private:
+    const CkksContext &ctx_;
+    const PublicKey &pk_;
+};
+
+class Decryptor
+{
+  public:
+    Decryptor(const CkksContext &ctx, const SecretKey &sk)
+        : ctx_(ctx), sk_(sk)
+    {}
+
+    /** Decrypt to an encoded plaintext (scale preserved). */
+    Plaintext decrypt(const Ciphertext &ct) const;
+
+    /** Decrypt and decode in one step. */
+    std::vector<Complex> decryptAndDecode(const Ciphertext &ct) const;
+
+  private:
+    const CkksContext &ctx_;
+    const SecretKey &sk_;
+};
+
+} // namespace tensorfhe::ckks
+
+#endif // TENSORFHE_CKKS_CRYPTO_HH

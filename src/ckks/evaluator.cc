@@ -1,0 +1,277 @@
+#include "ckks/evaluator.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tensorfhe::ckks
+{
+
+namespace
+{
+
+rns::RnsPolynomial
+restrictLimbs(const rns::RnsPolynomial &full,
+              const std::vector<std::size_t> &limbs)
+{
+    rns::RnsPolynomial out(full.tower(), limbs, full.domain());
+    for (std::size_t i = 0; i < limbs.size(); ++i) {
+        TFHE_ASSERT(full.limbIndex(limbs[i]) == limbs[i]);
+        std::copy(full.limb(limbs[i]), full.limb(limbs[i]) + full.n(),
+                  out.limb(i));
+    }
+    return out;
+}
+
+} // namespace
+
+void
+Evaluator::requireCompatible(const Ciphertext &a,
+                             const Ciphertext &b) const
+{
+    requireArg(a.levelCount() == b.levelCount(),
+               "ciphertext levels differ: ", a.levelCount(), " vs ",
+               b.levelCount());
+    requireArg(std::abs(a.scale - b.scale)
+                   <= 1e-6 * std::max(a.scale, b.scale),
+               "ciphertext scales differ: ", a.scale, " vs ", b.scale);
+}
+
+Ciphertext
+Evaluator::add(const Ciphertext &a, const Ciphertext &b) const
+{
+    requireCompatible(a, b);
+    Ciphertext out = a;
+    rns::eleAddInPlace(out.c0, b.c0);
+    rns::eleAddInPlace(out.c1, b.c1);
+    return out;
+}
+
+Ciphertext
+Evaluator::sub(const Ciphertext &a, const Ciphertext &b) const
+{
+    requireCompatible(a, b);
+    Ciphertext out = a;
+    rns::eleSubInPlace(out.c0, b.c0);
+    rns::eleSubInPlace(out.c1, b.c1);
+    return out;
+}
+
+Ciphertext
+Evaluator::addPlain(const Ciphertext &a, const Plaintext &p) const
+{
+    requireArg(a.levelCount() == p.levelCount()
+                   && std::abs(a.scale - p.scale) <= 1e-6 * a.scale,
+               "plaintext incompatible with ciphertext");
+    Ciphertext out = a;
+    rns::eleAddInPlace(out.c0, p.poly);
+    return out;
+}
+
+Ciphertext
+Evaluator::subPlain(const Ciphertext &a, const Plaintext &p) const
+{
+    requireArg(a.levelCount() == p.levelCount()
+                   && std::abs(a.scale - p.scale) <= 1e-6 * a.scale,
+               "plaintext incompatible with ciphertext");
+    Ciphertext out = a;
+    rns::eleSubInPlace(out.c0, p.poly);
+    return out;
+}
+
+Ciphertext
+Evaluator::multiplyPlain(const Ciphertext &a, const Plaintext &p) const
+{
+    requireArg(a.levelCount() == p.levelCount(),
+               "plaintext level mismatch");
+    Ciphertext out = a;
+    rns::hadaMultInPlace(out.c0, p.poly);
+    rns::hadaMultInPlace(out.c1, p.poly);
+    out.scale = a.scale * p.scale;
+    return out;
+}
+
+std::pair<rns::RnsPolynomial, rns::RnsPolynomial>
+Evaluator::keySwitch(const rns::RnsPolynomial &d,
+                     const SwitchKey &key) const
+{
+    const auto &tower = ctx_.tower();
+    auto v = ctx_.nttVariant();
+    std::size_t level_count = d.numLimbs();
+    auto union_limbs = ctx_.unionLimbs(level_count);
+
+    // Dcomp: coefficient-domain digits, scaled by (Q/Q_j)^-1 per limb.
+    rns::RnsPolynomial d_coeff = d;
+    d_coeff.toCoeff(v);
+    auto digits = rns::decomposeDigits(d_coeff, ctx_.params().alpha());
+
+    rns::RnsPolynomial acc0(tower, union_limbs, rns::Domain::Eval);
+    rns::RnsPolynomial acc1(tower, union_limbs, rns::Domain::Eval);
+    for (std::size_t j = 0; j < digits.size(); ++j) {
+        auto &digit = digits[j];
+        std::vector<u64> scalars(digit.numLimbs());
+        for (std::size_t i = 0; i < digit.numLimbs(); ++i)
+            scalars[i] = ctx_.dcompScalar(j, digit.limbIndex(i));
+        rns::mulScalarInPlace(digit, scalars);
+
+        // ModUp to the union basis, then into Eval domain.
+        auto up = rns::modUp(digit, level_count);
+        up.toEval(v);
+
+        // Inner product with the key digit (restricted to the basis).
+        rns::mulAccumulate(acc0, up, restrictLimbs(key.b[j], union_limbs));
+        rns::mulAccumulate(acc1, up, restrictLimbs(key.a[j], union_limbs));
+    }
+
+    // ModDown by P, back to Eval domain.
+    acc0.toCoeff(v);
+    acc1.toCoeff(v);
+    auto ks0 = rns::modDown(acc0);
+    auto ks1 = rns::modDown(acc1);
+    ks0.toEval(v);
+    ks1.toEval(v);
+    return {std::move(ks0), std::move(ks1)};
+}
+
+Ciphertext
+Evaluator::multiply(const Ciphertext &a, const Ciphertext &b) const
+{
+    requireArg(a.levelCount() == b.levelCount(), "level mismatch");
+    requireArg(a.levelCount() >= 2,
+               "no level budget left for multiplication");
+
+    // d0 = a0*b0, d1 = a0*b1 + a1*b0, d2 = a1*b1 (paper Alg. 2).
+    auto d0 = a.c0;
+    rns::hadaMultInPlace(d0, b.c0);
+    auto d1 = a.c0;
+    rns::hadaMultInPlace(d1, b.c1);
+    rns::mulAccumulate(d1, a.c1, b.c0);
+    auto d2 = a.c1;
+    rns::hadaMultInPlace(d2, b.c1);
+
+    auto [ks0, ks1] = keySwitch(d2, keys_.relin);
+    Ciphertext out;
+    rns::eleAddInPlace(d0, ks0);
+    rns::eleAddInPlace(d1, ks1);
+    out.c0 = std::move(d0);
+    out.c1 = std::move(d1);
+    out.scale = a.scale * b.scale;
+    return out;
+}
+
+Ciphertext
+Evaluator::multiplyRescale(const Ciphertext &a, const Ciphertext &b) const
+{
+    return rescale(multiply(a, b));
+}
+
+Ciphertext
+Evaluator::rescale(const Ciphertext &a) const
+{
+    requireArg(a.levelCount() >= 2, "cannot rescale at level 0");
+    u64 q_last = ctx_.tower().prime(a.levelCount() - 1);
+    auto v = ctx_.nttVariant();
+    Ciphertext out = a;
+    out.c0.toCoeff(v);
+    out.c1.toCoeff(v);
+    out.c0 = rns::rescaleByLastLimb(out.c0);
+    out.c1 = rns::rescaleByLastLimb(out.c1);
+    out.c0.toEval(v);
+    out.c1.toEval(v);
+    out.scale = a.scale / static_cast<double>(q_last);
+    return out;
+}
+
+Ciphertext
+Evaluator::dropToLevelCount(const Ciphertext &a,
+                            std::size_t level_count) const
+{
+    requireArg(level_count >= 1 && level_count <= a.levelCount(),
+               "bad target level");
+    Ciphertext out = a;
+    out.c0.truncateLimbs(level_count);
+    out.c1.truncateLimbs(level_count);
+    return out;
+}
+
+Ciphertext
+Evaluator::rotate(const Ciphertext &a, s64 step) const
+{
+    std::size_t slots = ctx_.slots();
+    s64 norm = ((step % s64(slots)) + s64(slots)) % s64(slots);
+    if (norm == 0)
+        return a;
+    auto it = keys_.rot.find(norm);
+    requireArg(it != keys_.rot.end(), "no rotation key for step ", norm);
+
+    u64 galois = ctx_.galoisForRotation(norm);
+    // ForbeniusMap on both components, then keyswitch c1' to s.
+    auto c0r = rns::applyAutomorphism(a.c0, galois);
+    auto c1r = rns::applyAutomorphism(a.c1, galois);
+    auto [ks0, ks1] = keySwitch(c1r, it->second);
+    rns::eleAddInPlace(ks0, c0r);
+    Ciphertext out;
+    out.c0 = std::move(ks0);
+    out.c1 = std::move(ks1);
+    out.scale = a.scale;
+    return out;
+}
+
+Ciphertext
+Evaluator::conjugate(const Ciphertext &a) const
+{
+    u64 galois = ctx_.galoisForConjugation();
+    auto c0r = rns::applyAutomorphism(a.c0, galois);
+    auto c1r = rns::applyAutomorphism(a.c1, galois);
+    auto [ks0, ks1] = keySwitch(c1r, keys_.conj);
+    rns::eleAddInPlace(ks0, c0r);
+    Ciphertext out;
+    out.c0 = std::move(ks0);
+    out.c1 = std::move(ks1);
+    out.scale = a.scale;
+    return out;
+}
+
+Ciphertext
+Evaluator::negate(const Ciphertext &a) const
+{
+    Ciphertext out = a;
+    rns::negateInPlace(out.c0);
+    rns::negateInPlace(out.c1);
+    return out;
+}
+
+Ciphertext
+Evaluator::multiplyConst(const Ciphertext &a, double c) const
+{
+    auto pt = ctx_.encoder().encodeConstant(Complex(c, 0),
+                                            ctx_.params().scale(),
+                                            a.levelCount());
+    return multiplyPlain(a, pt);
+}
+
+Ciphertext
+Evaluator::multiplyConstToScale(const Ciphertext &a, double c,
+                                double target_scale) const
+{
+    requireArg(a.levelCount() >= 2, "no level left for the rescale");
+    u64 q_last = ctx_.tower().prime(a.levelCount() - 1);
+    double pt_scale =
+        target_scale * static_cast<double>(q_last) / a.scale;
+    requireArg(pt_scale >= 2.0, "target scale too small for level");
+    auto pt = ctx_.encoder().encodeConstant(Complex(c, 0), pt_scale,
+                                            a.levelCount());
+    auto out = rescale(multiplyPlain(a, pt));
+    out.scale = target_scale; // exact by construction
+    return out;
+}
+
+Ciphertext
+Evaluator::addConst(const Ciphertext &a, double c) const
+{
+    auto pt = ctx_.encoder().encodeConstant(Complex(c, 0), a.scale,
+                                            a.levelCount());
+    return addPlain(a, pt);
+}
+
+} // namespace tensorfhe::ckks

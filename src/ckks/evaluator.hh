@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The CKKS evaluator: every operation of the paper's hierarchical
+ * reconstruction (Table II, Algs. 1-6) — HADD, HSUB, CMULT, HMULT,
+ * RESCALE, HROTATE, Conjugate — composed from the reusable kernels
+ * (NTT, Hada-Mult, Ele-Add, Ele-Sub, ForbeniusMap, Conv).
+ */
+
+#ifndef TENSORFHE_CKKS_EVALUATOR_HH
+#define TENSORFHE_CKKS_EVALUATOR_HH
+
+#include <map>
+
+#include "ckks/ciphertext.hh"
+#include "ckks/context.hh"
+
+namespace tensorfhe::ckks
+{
+
+class Evaluator
+{
+  public:
+    /**
+     * @param keys must outlive the evaluator; rotation keys are
+     *             looked up per step on demand.
+     */
+    Evaluator(const CkksContext &ctx, const KeyBundle &keys)
+        : ctx_(ctx), keys_(keys)
+    {}
+
+    /** HADD (paper Alg. 5). */
+    Ciphertext add(const Ciphertext &a, const Ciphertext &b) const;
+    /** Element-wise subtraction. */
+    Ciphertext sub(const Ciphertext &a, const Ciphertext &b) const;
+    /** Ciphertext-plaintext addition (scales must match). */
+    Ciphertext addPlain(const Ciphertext &a, const Plaintext &p) const;
+    Ciphertext subPlain(const Ciphertext &a, const Plaintext &p) const;
+
+    /** CMULT (paper Alg. 3): ciphertext x plaintext. */
+    Ciphertext multiplyPlain(const Ciphertext &a,
+                             const Plaintext &p) const;
+
+    /** HMULT (paper Alg. 2): ciphertext x ciphertext + relin. */
+    Ciphertext multiply(const Ciphertext &a, const Ciphertext &b) const;
+
+    /** HMULT followed by RESCALE. */
+    Ciphertext multiplyRescale(const Ciphertext &a,
+                               const Ciphertext &b) const;
+
+    /** RESCALE (paper Alg. 6): drop the last limb, divide the scale. */
+    Ciphertext rescale(const Ciphertext &a) const;
+
+    /** Drop limbs without scaling (level alignment). */
+    Ciphertext dropToLevelCount(const Ciphertext &a,
+                                std::size_t level_count) const;
+
+    /** HROTATE (paper Alg. 4): rotate slots left by `step`. */
+    Ciphertext rotate(const Ciphertext &a, s64 step) const;
+
+    /** Complex conjugation of every slot. */
+    Ciphertext conjugate(const Ciphertext &a) const;
+
+    /** Negate all slots. */
+    Ciphertext negate(const Ciphertext &a) const;
+
+    /** Multiply by a real constant (scales by the context scale). */
+    Ciphertext multiplyConst(const Ciphertext &a, double c) const;
+
+    /**
+     * Multiply by a real constant and rescale so the result lands at
+     * exactly `target_scale` (the plaintext scale is chosen as
+     * target * q_last / a.scale). The standard way to keep parallel
+     * branches addable despite unequal prime chains.
+     */
+    Ciphertext multiplyConstToScale(const Ciphertext &a, double c,
+                                    double target_scale) const;
+
+    /** Add a real constant to every slot. */
+    Ciphertext addConst(const Ciphertext &a, double c) const;
+
+    /**
+     * KeySwitch (paper Alg. 1): Dcomp -> ModUp -> Inner-product ->
+     * ModDown. Returns (ks0, ks1) with ks0 + ks1*s ~ d * target.
+     * Exposed publicly because HMULT, HROTATE and Bootstrap all
+     * reuse it, as in the paper's kernel reconstruction.
+     */
+    std::pair<rns::RnsPolynomial, rns::RnsPolynomial>
+    keySwitch(const rns::RnsPolynomial &d, const SwitchKey &key) const;
+
+  private:
+    void requireCompatible(const Ciphertext &a,
+                           const Ciphertext &b) const;
+
+    const CkksContext &ctx_;
+    const KeyBundle &keys_;
+};
+
+} // namespace tensorfhe::ckks
+
+#endif // TENSORFHE_CKKS_EVALUATOR_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Error-reporting helpers, following the gem5 panic/fatal split:
+ * panic-class failures (TFHE_ASSERT) are internal bugs and abort;
+ * user-fault failures throw standard exceptions.
+ */
+
+#ifndef TENSORFHE_COMMON_LOGGING_HH
+#define TENSORFHE_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tensorfhe
+{
+
+/** Build a std::string from stream-insertable pieces. */
+template <typename... Args>
+std::string
+strCat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+/**
+ * Throw std::invalid_argument when a user-supplied condition fails.
+ * Use for bad parameters, mismatched levels, etc. (user's fault).
+ */
+template <typename... Args>
+void
+requireArg(bool cond, Args &&...args)
+{
+    if (!cond)
+        throw std::invalid_argument(strCat(std::forward<Args>(args)...));
+}
+
+/**
+ * Throw std::runtime_error when a runtime condition fails that is not
+ * an internal invariant (e.g. exhausted prime pool).
+ */
+template <typename... Args>
+void
+requireState(bool cond, Args &&...args)
+{
+    if (!cond)
+        throw std::runtime_error(strCat(std::forward<Args>(args)...));
+}
+
+[[noreturn]] inline void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s:%d: %s\n", file, line, msg.c_str());
+    std::abort();
+}
+
+} // namespace tensorfhe
+
+/** Internal invariant check: should never fire regardless of user input. */
+#define TFHE_ASSERT(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::tensorfhe::panicImpl(__FILE__, __LINE__,                      \
+                ::tensorfhe::strCat("assertion (" #cond ") failed. ",       \
+                    ##__VA_ARGS__));                                        \
+        }                                                                   \
+    } while (0)
+
+#endif // TENSORFHE_COMMON_LOGGING_HH

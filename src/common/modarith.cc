@@ -1,0 +1,41 @@
+#include "common/modarith.hh"
+
+namespace tensorfhe
+{
+
+u64
+powMod(u64 a, u64 e, u64 q)
+{
+    TFHE_ASSERT(q > 1);
+    u64 base = a % q;
+    u64 acc = 1;
+    while (e != 0) {
+        if (e & 1)
+            acc = mulMod(acc, base, q);
+        base = mulMod(base, base, q);
+        e >>= 1;
+    }
+    return acc;
+}
+
+u64
+invMod(u64 a, u64 q)
+{
+    TFHE_ASSERT(a % q != 0, "inverse of zero mod ", q);
+    // q is prime throughout the library: Fermat's little theorem.
+    u64 r = powMod(a, q - 2, q);
+    TFHE_ASSERT(mulMod(r, a, q) == 1, "modulus ", q, " not prime?");
+    return r;
+}
+
+Modulus::Modulus(u64 q) : q_(q)
+{
+    requireArg(q > 2 && q < (u64(1) << 62), "modulus out of range");
+    // floor((2^128 - 1) / q) == floor(2^128 / q) for q not a power of 2.
+    u128 ratio = ~static_cast<u128>(0) / q;
+    r0_ = static_cast<u64>(ratio);
+    r1_ = static_cast<u64>(ratio >> 64);
+    bits_ = log2Floor(q) + 1;
+}
+
+} // namespace tensorfhe

@@ -1,0 +1,133 @@
+#include "common/primes.hh"
+
+#include <array>
+
+#include "common/logging.hh"
+#include "common/modarith.hh"
+
+namespace tensorfhe
+{
+
+namespace
+{
+
+/** Witness loop of Miller-Rabin. */
+bool
+millerRabinWitness(u64 n, u64 d, int r, u64 a)
+{
+    u64 x = powMod(a % n, d, n);
+    if (x == 1 || x == n - 1 || x == 0)
+        return true;
+    for (int i = 1; i < r; ++i) {
+        x = mulMod(x, x, n);
+        if (x == n - 1)
+            return true;
+    }
+    return false;
+}
+
+/** Trial-divide m by primes up to 2^21, appending distinct factors. */
+void
+distinctFactors(u64 m, std::vector<u64> &factors)
+{
+    for (u64 p = 2; p * p <= m && p < (u64(1) << 21); p += (p == 2 ? 1 : 2)) {
+        if (m % p == 0) {
+            factors.push_back(p);
+            while (m % p == 0)
+                m /= p;
+        }
+    }
+    if (m > 1)
+        factors.push_back(m);
+}
+
+} // namespace
+
+bool
+isPrime(u64 n)
+{
+    if (n < 2)
+        return false;
+    for (u64 p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                  23ull, 29ull, 31ull, 37ull}) {
+        if (n == p)
+            return true;
+        if (n % p == 0)
+            return false;
+    }
+    u64 d = n - 1;
+    int r = 0;
+    while ((d & 1) == 0) {
+        d >>= 1;
+        ++r;
+    }
+    // This base set is deterministic for all n < 3.3 * 10^24.
+    for (u64 a : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                  23ull, 29ull, 31ull, 37ull}) {
+        if (!millerRabinWitness(n, d, r, a))
+            return false;
+    }
+    return true;
+}
+
+std::vector<u64>
+generateNttPrimes(int bits, std::size_t count, u64 congruence)
+{
+    requireArg(bits >= 4 && bits <= 61, "prime size out of range");
+    requireArg(congruence > 0 && isPowerOfTwo(congruence),
+               "congruence must be a power of two");
+    std::vector<u64> primes;
+    u64 hi = u64(1) << bits;
+    u64 lo = u64(1) << (bits - 1);
+    // Largest candidate = 1 (mod congruence) strictly below 2^bits.
+    u64 cand = ((hi - 2) / congruence) * congruence + 1;
+    for (; cand > lo && primes.size() < count; cand -= congruence) {
+        if (isPrime(cand))
+            primes.push_back(cand);
+    }
+    requireState(primes.size() == count, "prime pool exhausted: wanted ",
+                 count, " ", bits, "-bit primes = 1 mod ", congruence);
+    return primes;
+}
+
+u64
+findPrimitiveRoot(u64 q)
+{
+    TFHE_ASSERT(isPrime(q));
+    std::vector<u64> factors;
+    distinctFactors(q - 1, factors);
+    // If q-1 has a factor we could not extract, the loop below would
+    // accept non-generators; guard against it.
+    u64 check = q - 1;
+    for (u64 f : factors)
+        while (check % f == 0)
+            check /= f;
+    TFHE_ASSERT(check == 1, "q - 1 has factors above trial bound");
+    for (u64 g = 2; g < q; ++g) {
+        bool ok = true;
+        for (u64 f : factors) {
+            if (powMod(g, (q - 1) / f, q) == 1) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok)
+            return g;
+    }
+    TFHE_ASSERT(false, "no primitive root found for ", q);
+    return 0;
+}
+
+u64
+rootOfUnity(u64 q, u64 m)
+{
+    requireArg((q - 1) % m == 0, "m does not divide q-1");
+    u64 g = findPrimitiveRoot(q);
+    u64 w = powMod(g, (q - 1) / m, q);
+    TFHE_ASSERT(powMod(w, m, q) == 1);
+    if (m % 2 == 0)
+        TFHE_ASSERT(powMod(w, m / 2, q) == q - 1, "root not primitive");
+    return w;
+}
+
+} // namespace tensorfhe

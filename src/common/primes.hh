@@ -1,0 +1,43 @@
+/**
+ * @file
+ * NTT-friendly prime generation and roots of unity.
+ *
+ * CKKS over RNS needs a chain of primes q with q = 1 (mod 2N) so that
+ * Z_q contains a primitive 2N-th root of unity psi (the negacyclic
+ * twiddle base of paper Eq. 4).
+ */
+
+#ifndef TENSORFHE_COMMON_PRIMES_HH
+#define TENSORFHE_COMMON_PRIMES_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace tensorfhe
+{
+
+/** Deterministic Miller-Rabin for any u64. */
+bool isPrime(u64 n);
+
+/**
+ * Generate `count` distinct primes of exactly `bits` bits with
+ * p = 1 (mod `congruence`), scanning downward from 2^bits.
+ *
+ * @throws std::runtime_error if the pool is exhausted.
+ */
+std::vector<u64> generateNttPrimes(int bits, std::size_t count,
+                                   u64 congruence);
+
+/** Smallest primitive root g of prime q (q - 1 must factor below 2^21). */
+u64 findPrimitiveRoot(u64 q);
+
+/**
+ * A primitive m-th root of unity mod prime q. Requires m | q - 1.
+ * Returned w satisfies w^m = 1 and w^(m/2) = -1 (m even).
+ */
+u64 rootOfUnity(u64 q, u64 m);
+
+} // namespace tensorfhe
+
+#endif // TENSORFHE_COMMON_PRIMES_HH

@@ -1,0 +1,132 @@
+#include "common/rng.hh"
+
+#include "common/logging.hh"
+
+namespace tensorfhe
+{
+
+namespace
+{
+
+u64
+splitmix64(u64 &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    u64 z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+u64
+rotl(u64 x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(u64 seed)
+{
+    u64 sm = seed;
+    for (auto &s : s_)
+        s = splitmix64(sm);
+}
+
+u64
+Rng::next()
+{
+    u64 result = rotl(s_[1] * 5, 7) * 9;
+    u64 t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+u64
+Rng::uniform(u64 bound)
+{
+    TFHE_ASSERT(bound > 0);
+    u64 threshold = -bound % bound; // 2^64 mod bound
+    for (;;) {
+        u64 r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+double
+Rng::uniformReal()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::gaussian()
+{
+    if (haveSpare_) {
+        haveSpare_ = false;
+        return spare_;
+    }
+    double u1, u2;
+    do {
+        u1 = uniformReal();
+    } while (u1 <= 1e-300);
+    u2 = uniformReal();
+    double mag = std::sqrt(-2.0 * std::log(u1));
+    spare_ = mag * std::sin(2.0 * M_PI * u2);
+    haveSpare_ = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+}
+
+s64
+Rng::sampleGaussianInt(double sigma)
+{
+    return static_cast<s64>(std::llround(gaussian() * sigma));
+}
+
+s64
+Rng::sampleTernary()
+{
+    return static_cast<s64>(uniform(3)) - 1;
+}
+
+std::vector<u64>
+sampleUniformPoly(Rng &rng, std::size_t n, u64 q)
+{
+    std::vector<u64> out(n);
+    for (auto &c : out)
+        c = rng.uniform(q);
+    return out;
+}
+
+std::vector<u64>
+sampleTernaryPoly(Rng &rng, std::size_t n, u64 q)
+{
+    std::vector<u64> out(n);
+    for (auto &c : out) {
+        s64 t = rng.sampleTernary();
+        c = t >= 0 ? static_cast<u64>(t) : q - 1;
+    }
+    return out;
+}
+
+std::vector<u64>
+sampleGaussianPoly(Rng &rng, std::size_t n, u64 q, double sigma)
+{
+    std::vector<u64> out(n);
+    for (auto &c : out) {
+        s64 e = rng.sampleGaussianInt(sigma);
+        c = e >= 0 ? static_cast<u64>(e) % q
+                   : q - (static_cast<u64>(-e) % q);
+        if (c == q)
+            c = 0;
+    }
+    return out;
+}
+
+} // namespace tensorfhe

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Deterministic PRNG and the samplers CKKS key generation needs:
+ * uniform residues, ternary secrets, and rounded Gaussians.
+ *
+ * xoshiro256** seeded by splitmix64; not cryptographic, which is fine
+ * for a reproduction whose goal is functional and performance
+ * fidelity (a production deployment would swap in a CSPRNG here).
+ */
+
+#ifndef TENSORFHE_COMMON_RNG_HH
+#define TENSORFHE_COMMON_RNG_HH
+
+#include <cmath>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace tensorfhe
+{
+
+/** xoshiro256** generator. */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x5eedfacecafef00dull);
+
+    /** Next raw 64-bit output. */
+    u64 next();
+
+    /** Uniform in [0, bound) with rejection to kill modulo bias. */
+    u64 uniform(u64 bound);
+
+    /** Uniform double in [0, 1). */
+    double uniformReal();
+
+    /** Standard normal via Box-Muller. */
+    double gaussian();
+
+    /**
+     * Centered rounded Gaussian with stddev sigma, returned as a
+     * signed integer (the LWE error distribution).
+     */
+    s64 sampleGaussianInt(double sigma);
+
+    /** Uniform element of {-1, 0, 1} (CKKS ternary secret). */
+    s64 sampleTernary();
+
+  private:
+    u64 s_[4];
+    bool haveSpare_ = false;
+    double spare_ = 0.0;
+};
+
+/** Fill `n` coefficients uniform mod q. */
+std::vector<u64> sampleUniformPoly(Rng &rng, std::size_t n, u64 q);
+
+/** n ternary coefficients reduced into [0, q). */
+std::vector<u64> sampleTernaryPoly(Rng &rng, std::size_t n, u64 q);
+
+/** n rounded-Gaussian coefficients (sigma) reduced into [0, q). */
+std::vector<u64> sampleGaussianPoly(Rng &rng, std::size_t n, u64 q,
+                                    double sigma);
+
+} // namespace tensorfhe
+
+#endif // TENSORFHE_COMMON_RNG_HH

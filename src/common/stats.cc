@@ -1,0 +1,53 @@
+#include "common/stats.hh"
+
+#include "common/logging.hh"
+
+namespace tensorfhe
+{
+
+const char *
+kernelKindName(KernelKind k)
+{
+    switch (k) {
+      case KernelKind::Ntt: return "NTT";
+      case KernelKind::Intt: return "INTT";
+      case KernelKind::HadaMult: return "Hada-Mult";
+      case KernelKind::EleAdd: return "Ele-Add";
+      case KernelKind::EleSub: return "Ele-Sub";
+      case KernelKind::FrobeniusMap: return "ForbeniusMap";
+      case KernelKind::Conjugate: return "Conjugate";
+      case KernelKind::Conv: return "Conv";
+      case KernelKind::Segment: return "Segment";
+      case KernelKind::Fusion: return "Fusion";
+      case KernelKind::TcuGemm: return "TCU-GEMM";
+      default: TFHE_ASSERT(false); return "?";
+    }
+}
+
+KernelStats &
+KernelStats::instance()
+{
+    static KernelStats stats;
+    return stats;
+}
+
+void
+KernelStats::reset()
+{
+    for (auto &c : counters_) {
+        c.invocations.store(0, std::memory_order_relaxed);
+        c.nanos.store(0, std::memory_order_relaxed);
+        c.elements.store(0, std::memory_order_relaxed);
+    }
+}
+
+u64
+KernelStats::totalNanos() const
+{
+    u64 total = 0;
+    for (const auto &c : counters_)
+        total += c.nanos.load(std::memory_order_relaxed);
+    return total;
+}
+
+} // namespace tensorfhe

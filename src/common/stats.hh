@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Process-wide instrumentation for the seven reusable kernels of the
+ * paper's hierarchical CKKS reconstruction (Table II). Every kernel
+ * entry point records wall time and invocation counts here; the
+ * breakdown benches (Figs. 11-13) read them back.
+ */
+
+#ifndef TENSORFHE_COMMON_STATS_HH
+#define TENSORFHE_COMMON_STATS_HH
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <string>
+
+#include "common/types.hh"
+
+namespace tensorfhe
+{
+
+/** The reusable arithmetic kernels of Table II. */
+enum class KernelKind : int
+{
+    Ntt = 0,
+    Intt,
+    HadaMult,
+    EleAdd,
+    EleSub,
+    FrobeniusMap,
+    Conjugate,
+    Conv,
+    Segment,   ///< TCU path: u32 -> 4 x u8 (paper Fig. 7)
+    Fusion,    ///< TCU path: Booth-style partial-product fusion
+    TcuGemm,   ///< TCU path: INT8 GEMM
+    NumKinds
+};
+
+constexpr std::size_t kNumKernelKinds =
+    static_cast<std::size_t>(KernelKind::NumKinds);
+
+/** Human-readable kernel name (matches the paper's figure legends). */
+const char *kernelKindName(KernelKind k);
+
+/** Accumulated counters for one kernel kind. */
+struct KernelCounter
+{
+    std::atomic<u64> invocations{0};
+    std::atomic<u64> nanos{0};
+    std::atomic<u64> elements{0}; ///< coefficients processed
+};
+
+/** Global registry of kernel counters. */
+class KernelStats
+{
+  public:
+    static KernelStats &instance();
+
+    void
+    record(KernelKind k, u64 nanos, u64 elements)
+    {
+        auto &c = counters_[static_cast<std::size_t>(k)];
+        c.invocations.fetch_add(1, std::memory_order_relaxed);
+        c.nanos.fetch_add(nanos, std::memory_order_relaxed);
+        c.elements.fetch_add(elements, std::memory_order_relaxed);
+    }
+
+    const KernelCounter &
+    counter(KernelKind k) const
+    {
+        return counters_[static_cast<std::size_t>(k)];
+    }
+
+    /** Zero every counter (benches call this between sections). */
+    void reset();
+
+    /** Total recorded nanoseconds across all kernels. */
+    u64 totalNanos() const;
+
+  private:
+    KernelStats() = default;
+    std::array<KernelCounter, kNumKernelKinds> counters_;
+};
+
+/** RAII timer recording into KernelStats on destruction. */
+class ScopedKernelTimer
+{
+  public:
+    ScopedKernelTimer(KernelKind kind, u64 elements)
+        : kind_(kind), elements_(elements),
+          start_(std::chrono::steady_clock::now())
+    {}
+
+    ~ScopedKernelTimer()
+    {
+        auto stop = std::chrono::steady_clock::now();
+        u64 ns = static_cast<u64>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                stop - start_).count());
+        KernelStats::instance().record(kind_, ns, elements_);
+    }
+
+    ScopedKernelTimer(const ScopedKernelTimer &) = delete;
+    ScopedKernelTimer &operator=(const ScopedKernelTimer &) = delete;
+
+  private:
+    KernelKind kind_;
+    u64 elements_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace tensorfhe
+
+#endif // TENSORFHE_COMMON_STATS_HH

@@ -1,0 +1,116 @@
+#include "common/thread_pool.hh"
+
+#include "common/logging.hh"
+
+namespace tensorfhe
+{
+
+ThreadPool::ThreadPool(std::size_t workers)
+{
+    if (workers == 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        workers = hw > 1 ? hw - 1 : 0;
+    }
+    jobs_.resize(workers);
+    workers_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mtx_);
+        stop_ = true;
+    }
+    cvStart_.notify_all();
+    for (auto &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::parallelFor(std::size_t begin, std::size_t end,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (begin >= end)
+        return;
+    std::size_t n = end - begin;
+    std::size_t nlanes = lanes();
+    bool nested;
+    {
+        std::lock_guard<std::mutex> lk(mtx_);
+        nested = inParallel_;
+    }
+    if (nested || nlanes == 1 || n == 1) {
+        for (std::size_t i = begin; i < end; ++i)
+            fn(i);
+        return;
+    }
+
+    std::size_t chunk = (n + nlanes - 1) / nlanes;
+    std::size_t my_begin, my_end;
+    {
+        std::lock_guard<std::mutex> lk(mtx_);
+        inParallel_ = true;
+        ++generation_;
+        pending_ = 0;
+        std::size_t cursor = begin;
+        for (std::size_t w = 0; w < workers_.size(); ++w) {
+            std::size_t b = cursor;
+            std::size_t e = b + chunk < end ? b + chunk : end;
+            cursor = e;
+            jobs_[w] = {b, e, b < e ? &fn : nullptr};
+            if (b < e)
+                ++pending_;
+        }
+        my_begin = cursor;
+        my_end = end;
+    }
+    cvStart_.notify_all();
+
+    for (std::size_t i = my_begin; i < my_end; ++i)
+        fn(i);
+
+    std::unique_lock<std::mutex> lk(mtx_);
+    cvDone_.wait(lk, [this] { return pending_ == 0; });
+    inParallel_ = false;
+}
+
+void
+ThreadPool::workerLoop(std::size_t lane)
+{
+    std::size_t seen_generation = 0;
+    for (;;) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lk(mtx_);
+            cvStart_.wait(lk, [&] {
+                return stop_
+                    || (generation_ != seen_generation
+                        && jobs_[lane].fn != nullptr);
+            });
+            if (stop_)
+                return;
+            seen_generation = generation_;
+            job = jobs_[lane];
+            jobs_[lane].fn = nullptr;
+        }
+        for (std::size_t i = job.begin; i < job.end; ++i)
+            (*job.fn)(i);
+        {
+            std::lock_guard<std::mutex> lk(mtx_);
+            TFHE_ASSERT(pending_ > 0);
+            --pending_;
+        }
+        cvDone_.notify_one();
+    }
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+} // namespace tensorfhe

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * A small persistent thread pool exposing parallelFor.
+ *
+ * This is the CUDA-core substitute of the reproduction: batched FHE
+ * kernels shard their (limb x batch) iteration space across the pool
+ * exactly where the paper shards CTAs across SMs.
+ */
+
+#ifndef TENSORFHE_COMMON_THREAD_POOL_HH
+#define TENSORFHE_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tensorfhe
+{
+
+class ThreadPool
+{
+  public:
+    /** @param workers number of worker threads; 0 = hardware_concurrency. */
+    explicit ThreadPool(std::size_t workers = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total lanes = workers + the calling thread. */
+    std::size_t lanes() const { return workers_.size() + 1; }
+
+    /**
+     * Run fn(i) for i in [begin, end), statically partitioned across
+     * all lanes. Blocks until every index is done. Reentrant calls
+     * from inside fn run sequentially (no nested parallelism).
+     */
+    void parallelFor(std::size_t begin, std::size_t end,
+                     const std::function<void(std::size_t)> &fn);
+
+    /** Process-wide pool (lazily constructed). */
+    static ThreadPool &global();
+
+  private:
+    struct Job
+    {
+        std::size_t begin = 0;
+        std::size_t end = 0;
+        const std::function<void(std::size_t)> *fn = nullptr;
+    };
+
+    void workerLoop(std::size_t lane);
+
+    std::vector<std::thread> workers_;
+    std::mutex mtx_;
+    std::condition_variable cvStart_;
+    std::condition_variable cvDone_;
+    std::vector<Job> jobs_;      // one slot per worker
+    std::size_t generation_ = 0; // bumped per parallelFor
+    std::size_t pending_ = 0;
+    bool stop_ = false;
+    bool inParallel_ = false;
+};
+
+} // namespace tensorfhe
+
+#endif // TENSORFHE_COMMON_THREAD_POOL_HH

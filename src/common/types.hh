@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Fixed-width integer aliases used throughout TensorFHE.
+ */
+
+#ifndef TENSORFHE_COMMON_TYPES_HH
+#define TENSORFHE_COMMON_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tensorfhe
+{
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+using s8 = std::int8_t;
+using s16 = std::int16_t;
+using s32 = std::int32_t;
+using s64 = std::int64_t;
+using s128 = __int128;
+
+} // namespace tensorfhe
+
+#endif // TENSORFHE_COMMON_TYPES_HH

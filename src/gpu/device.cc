@@ -1,0 +1,66 @@
+#include "gpu/device.hh"
+
+namespace tensorfhe::gpu
+{
+
+DeviceModel
+DeviceModel::a100()
+{
+    DeviceModel d;
+    d.name = "NVIDIA A100-SXM-40GB";
+    d.numSms = 108;
+    d.clockGhz = 1.41;
+    d.memBwGBs = 1555.0;
+    d.cudaCoresPerSm = 64;
+    d.tcusPerSm = 4;
+    d.tcuInt8Tops = 624.0;
+    d.maxThreadsPerSm = 2048;
+    d.maxWarpsPerSm = 64;
+    d.regsPerSm = 65536;
+    d.smemBytesPerSm = 164 * 1024;
+    d.boardWatts = 264.0; // measured by the paper via nvidia-smi
+    d.vramBytes = 40.0 * (1ull << 30);
+    return d;
+}
+
+DeviceModel
+DeviceModel::v100()
+{
+    DeviceModel d;
+    d.name = "NVIDIA Tesla V100-16GB";
+    d.numSms = 80;
+    d.clockGhz = 1.53;
+    d.memBwGBs = 900.0;
+    d.cudaCoresPerSm = 64;
+    d.tcusPerSm = 8;
+    d.tcuInt8Tops = 250.0; // FP16 TCs repurposed; effective INT8 rate
+    d.maxThreadsPerSm = 2048;
+    d.maxWarpsPerSm = 64;
+    d.regsPerSm = 65536;
+    d.smemBytesPerSm = 96 * 1024;
+    d.boardWatts = 300.0;
+    d.vramBytes = 16.0 * (1ull << 30);
+    return d;
+}
+
+DeviceModel
+DeviceModel::gtx1080ti()
+{
+    DeviceModel d;
+    d.name = "NVIDIA GTX 1080 Ti";
+    d.numSms = 28;
+    d.clockGhz = 1.58;
+    d.memBwGBs = 484.0;
+    d.cudaCoresPerSm = 128;
+    d.tcusPerSm = 0;
+    d.tcuInt8Tops = 0.0;
+    d.maxThreadsPerSm = 2048;
+    d.maxWarpsPerSm = 64;
+    d.regsPerSm = 65536;
+    d.smemBytesPerSm = 96 * 1024;
+    d.boardWatts = 250.0;
+    d.vramBytes = 11.0 * (1ull << 30);
+    return d;
+}
+
+} // namespace tensorfhe::gpu

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * GPGPU device models. Public specifications of the three devices the
+ * paper touches: the A100 TensorFHE runs on (Table III), the V100 of
+ * the 100x comparison, and the GTX 1080 Ti simulated for the
+ * motivation study (SIII-A).
+ */
+
+#ifndef TENSORFHE_GPU_DEVICE_HH
+#define TENSORFHE_GPU_DEVICE_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace tensorfhe::gpu
+{
+
+struct DeviceModel
+{
+    std::string name;
+    int numSms = 0;
+    double clockGhz = 0.0;
+    double memBwGBs = 0.0;       ///< peak DRAM bandwidth
+    int cudaCoresPerSm = 0;      ///< INT32 ALU lanes per SM
+    int tcusPerSm = 0;
+    double tcuInt8Tops = 0.0;    ///< whole-chip INT8 tensor TOPS
+    int maxThreadsPerSm = 0;
+    int maxWarpsPerSm = 0;
+    int maxThreadsPerBlock = 1024;
+    int regsPerSm = 0;
+    int smemBytesPerSm = 0;
+    int warpSize = 32;
+    double boardWatts = 0.0;
+    double vramBytes = 0.0;
+
+    /** NVIDIA A100-SXM-40GB (paper Table III). */
+    static DeviceModel a100();
+    /** NVIDIA Tesla V100 16GB (PrivFT / 100x platform). */
+    static DeviceModel v100();
+    /** NVIDIA GTX 1080 Ti (GPGPUSim motivation platform). */
+    static DeviceModel gtx1080ti();
+};
+
+} // namespace tensorfhe::gpu
+
+#endif // TENSORFHE_GPU_DEVICE_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Board-power energy model (paper SVI-D): the paper observes a stable
+ * 264 W on the A100 under TensorFHE's high utilization and reports
+ * OPs/W and J/iteration; energy here is power x time by the same
+ * methodology.
+ */
+
+#ifndef TENSORFHE_GPU_ENERGY_HH
+#define TENSORFHE_GPU_ENERGY_HH
+
+#include "gpu/device.hh"
+
+namespace tensorfhe::gpu
+{
+
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const DeviceModel &dev) : watts_(dev.boardWatts)
+    {}
+    explicit EnergyModel(double watts) : watts_(watts) {}
+
+    double watts() const { return watts_; }
+    double joules(double seconds) const { return watts_ * seconds; }
+
+    /** Operations per watt for a given throughput (ops/second). */
+    double
+    opsPerWatt(double ops_per_second) const
+    {
+        return ops_per_second / watts_;
+    }
+
+    /** Energy per workload iteration that takes `seconds`. */
+    double
+    joulesPerIteration(double seconds) const
+    {
+        return joules(seconds);
+    }
+
+  private:
+    double watts_;
+};
+
+} // namespace tensorfhe::gpu
+
+#endif // TENSORFHE_GPU_ENERGY_HH

@@ -1,0 +1,101 @@
+#include "gpu/occupancy.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tensorfhe::gpu
+{
+
+OccupancyResult
+staticOccupancy(const DeviceModel &dev, int threads_per_block,
+                int regs_per_thread, int smem_per_block)
+{
+    requireArg(threads_per_block >= 1
+                   && threads_per_block <= dev.maxThreadsPerBlock,
+               "bad block size");
+    requireArg(regs_per_thread >= 1, "bad register count");
+
+    int warps_per_block =
+        (threads_per_block + dev.warpSize - 1) / dev.warpSize;
+    int by_threads = dev.maxThreadsPerSm / threads_per_block;
+    int by_warps = dev.maxWarpsPerSm / warps_per_block;
+    int by_regs = dev.regsPerSm / (regs_per_thread * threads_per_block);
+    int by_smem = smem_per_block > 0
+        ? dev.smemBytesPerSm / smem_per_block
+        : by_threads;
+
+    OccupancyResult r;
+    r.blocksPerSm = std::min({by_threads, by_warps, by_regs, by_smem});
+    if (r.blocksPerSm == by_regs && by_regs <= by_threads
+        && by_regs <= by_smem) {
+        r.limiter = "registers";
+    } else if (r.blocksPerSm == by_smem && by_smem <= by_threads) {
+        r.limiter = "shared memory";
+    } else {
+        r.limiter = "threads";
+    }
+    r.activeWarpsPerSm = r.blocksPerSm * warps_per_block;
+    r.occupancy = static_cast<double>(r.activeWarpsPerSm)
+        / static_cast<double>(dev.maxWarpsPerSm);
+    return r;
+}
+
+ThreadingPoint
+threadingModel(const DeviceModel &dev, std::size_t total_threads,
+               std::size_t elements, double bytes_per_element,
+               double ops_per_element, int regs_per_thread)
+{
+    TFHE_ASSERT(total_threads > 0 && elements > 0);
+
+    // Register pressure caps resident threads per SM.
+    std::size_t cap_per_sm = static_cast<std::size_t>(
+        dev.regsPerSm / regs_per_thread);
+    cap_per_sm = std::min<std::size_t>(
+        cap_per_sm, static_cast<std::size_t>(dev.maxThreadsPerSm));
+    std::size_t resident = std::min(
+        total_threads,
+        cap_per_sm * static_cast<std::size_t>(dev.numSms));
+
+    double occupancy = static_cast<double>(resident)
+        / (static_cast<double>(dev.numSms) * dev.maxThreadsPerSm);
+
+    // Compute time: ops spread over resident lanes, with latency
+    // hiding improving as warps per SM grow (saturating).
+    double total_ops = static_cast<double>(elements) * ops_per_element;
+    double lanes = static_cast<double>(dev.numSms) * dev.cudaCoresPerSm;
+    double warps_per_sm = static_cast<double>(resident)
+        / (dev.numSms * dev.warpSize);
+    double hide = 1.0 - std::exp(-warps_per_sm / 8.0);
+    double compute_s = total_ops
+        / (lanes * dev.clockGhz * 1e9 * std::max(hide, 0.05));
+
+    // Memory time: payload plus per-thread fixed overhead (twiddle
+    // and index refetches shrink effective bandwidth as the same data
+    // is sliced across more threads).
+    double payload = static_cast<double>(elements) * bytes_per_element;
+    double overhead = static_cast<double>(total_threads) * 2048.0;
+    double memory_s = (payload + overhead) / (dev.memBwGBs * 1e9);
+
+    ThreadingPoint p;
+    p.totalThreads = total_threads;
+    p.occupancy = occupancy;
+    p.normalizedTime = std::max(compute_s, memory_s);
+    return p;
+}
+
+double
+batchedOccupancy(const DeviceModel &dev, std::size_t batch,
+                 std::size_t ctas_per_op, double tail_fraction)
+{
+    TFHE_ASSERT(tail_fraction >= 0.0 && tail_fraction < 1.0);
+    // Independent batched operations multiply available CTAs; the
+    // chip saturates once CTAs cover every SM several times over.
+    double ctas = static_cast<double>(batch * ctas_per_op);
+    double waves = ctas / static_cast<double>(dev.numSms);
+    double saturation = 1.0 - std::exp(-waves / 4.0);
+    return saturation * (1.0 - tail_fraction);
+}
+
+} // namespace tensorfhe::gpu

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * GPGPU occupancy calculator plus the threading/throughput model
+ * behind the paper's Fig. 5 motivation study (occupancy and execution
+ * time versus total thread count) and Table IX (occupancy under
+ * operation-level batching).
+ */
+
+#ifndef TENSORFHE_GPU_OCCUPANCY_HH
+#define TENSORFHE_GPU_OCCUPANCY_HH
+
+#include <string>
+
+#include "gpu/device.hh"
+
+namespace tensorfhe::gpu
+{
+
+struct OccupancyResult
+{
+    int blocksPerSm = 0;
+    int activeWarpsPerSm = 0;
+    double occupancy = 0.0; ///< active warps / max warps
+    std::string limiter;    ///< which resource bounds occupancy
+};
+
+/**
+ * Classic static occupancy: how many blocks fit an SM given thread,
+ * register and shared-memory budgets.
+ */
+OccupancyResult staticOccupancy(const DeviceModel &dev,
+                                int threads_per_block,
+                                int regs_per_thread,
+                                int smem_per_block);
+
+/**
+ * Dynamic utilization model for a memory-intensive FHE kernel run
+ * with `total_threads` across the chip (paper Fig. 5).
+ *
+ * Each thread handles `elements / total_threads` coefficients; below
+ * saturation more threads hide more latency, past it each extra
+ * thread adds fixed-overhead traffic (index/tables re-fetch) that
+ * erodes effective bandwidth. Returns achieved occupancy [0,1] and
+ * relative execution time (1.0 = best configuration).
+ */
+struct ThreadingPoint
+{
+    std::size_t totalThreads;
+    double occupancy;
+    double normalizedTime;
+};
+
+ThreadingPoint threadingModel(const DeviceModel &dev,
+                              std::size_t total_threads,
+                              std::size_t elements,
+                              double bytes_per_element,
+                              double ops_per_element,
+                              int regs_per_thread = 64);
+
+/**
+ * Occupancy under operation-level batching (Table IX): batching
+ * multiplies the number of independent CTAs; occupancy saturates at
+ * the static limit minus a per-kernel tail-effect term.
+ */
+double batchedOccupancy(const DeviceModel &dev, std::size_t batch,
+                        std::size_t ctas_per_op, double tail_fraction);
+
+} // namespace tensorfhe::gpu
+
+#endif // TENSORFHE_GPU_OCCUPANCY_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Scoreboarded SM pipeline simulator with stall attribution.
+ *
+ * Models one SM running W warps of a common trace under a
+ * greedy-then-oldest scheduler. Each cycle either issues one
+ * instruction or records a stall, classified into the six categories
+ * of the paper's Fig. 4:
+ *   RAW          operand pending from a short-latency ALU producer
+ *   LongLatency  operand pending from a global-memory load
+ *   L1I          instruction fetch miss (footprint model)
+ *   Control      post-branch fetch bubble
+ *   FuBusy       all ports of the needed function unit busy
+ *   Barrier      warp parked at a block barrier
+ *
+ * Following the paper ("we consider only the stall cycles that cannot
+ * be hidden"), a stall is charged only when *no* warp can issue, and
+ * it is attributed to the blocking reason of the oldest warp.
+ */
+
+#ifndef TENSORFHE_GPU_PIPELINE_HH
+#define TENSORFHE_GPU_PIPELINE_HH
+
+#include <array>
+#include <string>
+
+#include "gpu/device.hh"
+#include "gpu/trace.hh"
+
+namespace tensorfhe::gpu
+{
+
+/** Stall categories (paper Fig. 4 legend). */
+enum class Stall : int
+{
+    Raw = 0,
+    LongLatency,
+    L1I,
+    Control,
+    FuBusy,
+    Barrier,
+    NumKinds
+};
+
+const char *stallName(Stall s);
+
+struct StallBreakdown
+{
+    u64 totalCycles = 0;
+    u64 issuedCycles = 0;
+    std::array<u64, static_cast<std::size_t>(Stall::NumKinds)> stalls{};
+
+    u64
+    stallCycles() const
+    {
+        u64 sum = 0;
+        for (u64 s : stalls)
+            sum += s;
+        return sum;
+    }
+
+    double
+    stallFraction(Stall s) const
+    {
+        return totalCycles == 0
+            ? 0.0
+            : static_cast<double>(
+                  stalls[static_cast<std::size_t>(s)])
+                / static_cast<double>(totalCycles);
+    }
+
+    double
+    totalStallFraction() const
+    {
+        return totalCycles == 0
+            ? 0.0
+            : static_cast<double>(stallCycles())
+                / static_cast<double>(totalCycles);
+    }
+};
+
+/** Latency/port configuration; defaults approximate a Pascal SM. */
+struct PipelineConfig
+{
+    int aluLatency = 4;
+    int mulLatency = 6;
+    int madLatency = 6;
+    int modLatency = 36;     ///< division-based modulo sequence
+    int faddLatency = 4;
+    int fmulLatency = 4;
+    int ldgLatency = 400;    ///< global memory
+    int ldsLatency = 24;     ///< shared memory
+    int stLatency = 1;
+    int mmaLatency = 16;
+    int branchBubble = 2;
+    int aluPorts = 4;        ///< issue slots per cycle for ALU class
+    int memPorts = 1;
+    int mmaPorts = 1;
+    double l1iMissRate(std::size_t footprint) const
+    {
+        // Instruction cache pressure grows with static footprint;
+        // saturates at 4%.
+        double r = static_cast<double>(footprint) / 4096.0;
+        return r > 0.04 ? 0.04 : r;
+    }
+};
+
+/**
+ * Simulate `warps` copies of `trace` on one SM.
+ * Deterministic: no randomness; the L1I model charges a miss every
+ * 1/missRate fetches.
+ */
+StallBreakdown simulateSm(const WarpTrace &trace, int warps,
+                          const PipelineConfig &cfg = {});
+
+} // namespace tensorfhe::gpu
+
+#endif // TENSORFHE_GPU_PIPELINE_HH

@@ -1,0 +1,228 @@
+#include "gpu/trace.hh"
+
+#include "common/logging.hh"
+#include "common/modarith.hh"
+
+namespace tensorfhe::gpu
+{
+
+namespace
+{
+
+/** Monotonic virtual register allocator. */
+struct RegAlloc
+{
+    int next = 0;
+    int fresh() { return next++; }
+};
+
+} // namespace
+
+WarpTrace
+butterflyNttTrace(std::size_t n, int block)
+{
+    // Each warp sweeps log2(N) stages; per stage each thread performs
+    // butterflies whose operands were produced by the *previous*
+    // stage (through shared memory, separated by a barrier). Within a
+    // butterfly the mul-mod chain u -> w*v -> mod -> add/sub is a
+    // tight dependent chain: the RAW structure the paper blames in
+    // SIII-A.
+    WarpTrace t;
+    t.name = "butterfly-ntt";
+    RegAlloc r;
+    int stages = log2Floor(n);
+    std::size_t butterflies_per_thread =
+        (n / 2) / static_cast<std::size_t>(block);
+    if (butterflies_per_thread == 0)
+        butterflies_per_thread = 1;
+
+    for (int s = 0; s < stages; ++s) {
+        for (std::size_t b = 0; b < butterflies_per_thread; ++b) {
+            int addr = r.fresh();
+            t.emit(Op::IAdd, addr);             // index arithmetic
+            int u = r.fresh();
+            int v = r.fresh();
+            // Stage 0 reads from global memory, later stages from
+            // shared memory (the classic staging pattern).
+            Op load = s == 0 ? Op::Ldg : Op::Lds;
+            t.emit(load, u, addr);
+            t.emit(load, v, addr);
+            int w = r.fresh();
+            t.emit(Op::Lds, w, addr);           // twiddle
+            int prod = r.fresh();
+            t.emit(Op::IMul, prod, v, w);       // v * w
+            int red = r.fresh();
+            t.emit(Op::Mod, red, prod);         // mod q (no HW support)
+            int hi = r.fresh();
+            int lo = r.fresh();
+            t.emit(Op::IAdd, hi, u, red);       // u + wv
+            t.emit(Op::IAdd, lo, u, red);       // u - wv
+            t.emit(Op::Mod, hi, hi);            // conditional correct
+            t.emit(Op::Mod, lo, lo);
+            Op store = s == stages - 1 ? Op::Stg : Op::Sts;
+            t.emit(store, -1, hi);
+            t.emit(store, -1, lo);
+        }
+        t.emit(Op::Bar);                        // stage dependency
+    }
+    t.footprintInstrs = 96; // tight loop body re-executed per stage
+    return t;
+}
+
+WarpTrace
+fftTrace(std::size_t n, int block)
+{
+    // Same butterfly dataflow, but float arithmetic: no Mod ops, and
+    // FMA latency is fully pipelined, so the dependent chains are
+    // shorter.
+    WarpTrace t;
+    t.name = "fft";
+    RegAlloc r;
+    int stages = log2Floor(n);
+    std::size_t per_thread = (n / 2) / static_cast<std::size_t>(block);
+    if (per_thread == 0)
+        per_thread = 1;
+    for (int s = 0; s < stages; ++s) {
+        for (std::size_t b = 0; b < per_thread; ++b) {
+            int addr = r.fresh();
+            t.emit(Op::IAdd, addr);
+            int u = r.fresh(), v = r.fresh(), w = r.fresh();
+            Op load = s == 0 ? Op::Ldg : Op::Lds;
+            t.emit(load, u, addr);
+            t.emit(load, v, addr);
+            t.emit(Op::Lds, w, addr);
+            // Complex butterfly: 4 mul + 6 add, mostly independent
+            // pairs.
+            int p0 = r.fresh(), p1 = r.fresh();
+            t.emit(Op::FMul, p0, v, w);
+            t.emit(Op::FMul, p1, v, w);
+            int hi = r.fresh(), lo = r.fresh();
+            t.emit(Op::FAdd, hi, u, p0);
+            t.emit(Op::FAdd, lo, u, p1);
+            Op store = s == stages - 1 ? Op::Stg : Op::Sts;
+            t.emit(store, -1, hi);
+            t.emit(store, -1, lo);
+        }
+        t.emit(Op::Bar);
+    }
+    t.footprintInstrs = 64;
+    return t;
+}
+
+WarpTrace
+dwtTrace(std::size_t n, int block)
+{
+    // Discrete wavelet transform: per level, each thread convolves a
+    // short filter over its strip — loads feed independent FMAs (deep
+    // ILP), few barriers (one per level, log4 levels).
+    WarpTrace t;
+    t.name = "dwt";
+    RegAlloc r;
+    int levels = log2Floor(n) / 2;
+    std::size_t per_thread = n / static_cast<std::size_t>(block);
+    if (per_thread < 4)
+        per_thread = 4;
+    for (int lvl = 0; lvl < levels; ++lvl) {
+        // Four outputs processed in an interleaved (software-
+        // pipelined) fashion: all taps are loaded up front, then the
+        // accumulations proceed on independent chains — the ILP that
+        // makes DWT stall less than NTT in the paper's Fig. 4.
+        for (std::size_t i = 0; i < per_thread; i += 4) {
+            int addr = r.fresh();
+            t.emit(Op::IAdd, addr);
+            int acc[4];
+            int taps[4][4];
+            for (int o = 0; o < 4; ++o)
+                for (int tap = 0; tap < 4; ++tap) {
+                    taps[o][tap] = r.fresh();
+                    t.emit(lvl == 0 ? Op::Ldg : Op::Lds, taps[o][tap],
+                           addr);
+                }
+            for (int o = 0; o < 4; ++o) {
+                acc[o] = r.fresh();
+                t.emit(Op::FMul, acc[o], taps[o][0]);
+            }
+            for (int tap = 1; tap < 4; ++tap)
+                for (int o = 0; o < 4; ++o)
+                    t.emit(Op::FAdd, acc[o], acc[o], taps[o][tap]);
+            for (int o = 0; o < 4; ++o)
+                t.emit(Op::Sts, -1, acc[o]);
+        }
+        t.emit(Op::Bar);
+    }
+    t.footprintInstrs = 48;
+    return t;
+}
+
+WarpTrace
+gemmNttTrace(std::size_t n, int block)
+{
+    // Three-GEMM NTT (paper Eq. 9): per output element a long run of
+    // *independent* IMADs into an accumulator pair (64-bit emulation),
+    // one Mod at the very end. No stage barriers except between the
+    // three GEMMs; loads stream with high locality.
+    WarpTrace t;
+    t.name = "gemm-ntt";
+    RegAlloc r;
+    std::size_t n1 = std::size_t(1) << ((log2Floor(n) + 1) / 2);
+    std::size_t n2 = n / n1;
+    // The GEMM form spreads the transform over ~4x more CTAs than
+    // the butterfly (one tile per block); per-SM trace work shrinks
+    // accordingly.
+    std::size_t outputs_per_thread =
+        n / static_cast<std::size_t>(block) / 4;
+    if (outputs_per_thread == 0)
+        outputs_per_thread = 1;
+
+    auto gemm_stage = [&](std::size_t k_len, bool last) {
+        for (std::size_t o = 0; o < outputs_per_thread; ++o) {
+            // Two independent accumulator chains: the ILP that kills
+            // the butterfly's RAW serialization.
+            int acc0 = r.fresh();
+            int acc1 = r.fresh();
+            t.emit(Op::IAdd, acc0);
+            t.emit(Op::IAdd, acc1);
+            for (std::size_t k = 0; k < k_len; k += 4) {
+                int a0 = r.fresh(), b0 = r.fresh();
+                t.emit(Op::Lds, a0);
+                t.emit(Op::Lds, b0);
+                t.emit(Op::IMad, acc0, a0, b0);
+                int a1 = r.fresh(), b1 = r.fresh();
+                t.emit(Op::Lds, a1);
+                t.emit(Op::Lds, b1);
+                t.emit(Op::IMad, acc1, a1, b1);
+            }
+            t.emit(Op::IAdd, acc0, acc0, acc1);
+            t.emit(Op::Mod, acc0, acc0); // one deferred modulo
+            t.emit(last ? Op::Stg : Op::Sts, -1, acc0);
+        }
+        t.emit(Op::Bar);
+    };
+
+    // Load input tile once from global memory.
+    for (std::size_t i = 0; i < outputs_per_thread; ++i) {
+        int x = r.fresh();
+        t.emit(Op::Ldg, x);
+        t.emit(Op::Sts, -1, x);
+    }
+    t.emit(Op::Bar);
+
+    gemm_stage(n1, false);
+    // Hadamard with W2: independent mul+mod per element.
+    for (std::size_t o = 0; o < outputs_per_thread; ++o) {
+        int x = r.fresh(), w = r.fresh();
+        t.emit(Op::Lds, x);
+        t.emit(Op::Lds, w);
+        int p = r.fresh();
+        t.emit(Op::IMul, p, x, w);
+        t.emit(Op::Mod, p, p);
+        t.emit(Op::Sts, -1, p);
+    }
+    t.emit(Op::Bar);
+    gemm_stage(n2, true);
+
+    t.footprintInstrs = 80;
+    return t;
+}
+
+} // namespace tensorfhe::gpu

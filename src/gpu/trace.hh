@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Micro-op ISA and kernel traces for the SM pipeline simulator.
+ *
+ * The motivation experiments of the paper (Figs. 4 and 10) come from
+ * GPGPUSim runs of butterfly-NTT, FFT and DWT kernels. We reproduce
+ * them with trace-driven simulation: a trace captures the per-warp
+ * instruction stream with its register dependences, which is exactly
+ * the information pipeline-stall attribution needs.
+ */
+
+#ifndef TENSORFHE_GPU_TRACE_HH
+#define TENSORFHE_GPU_TRACE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace tensorfhe::gpu
+{
+
+/** Micro-op classes with distinct latency / port behaviour. */
+enum class Op : int
+{
+    IAdd,  ///< integer add/sub/logic
+    IMul,  ///< integer multiply
+    IMad,  ///< multiply-add
+    Mod,   ///< modulo via division (no hardware support: long latency)
+    FAdd,  ///< float add
+    FMul,  ///< float multiply
+    Ldg,   ///< global memory load
+    Stg,   ///< global memory store
+    Lds,   ///< shared memory load
+    Sts,   ///< shared memory store
+    Bra,   ///< branch
+    Bar,   ///< block-wide barrier
+    Mma    ///< tensor-core matrix multiply-accumulate
+};
+
+/** One instruction: up to two register sources, one destination. */
+struct Instr
+{
+    Op op;
+    int dst = -1;   ///< destination register id, -1 = none
+    int src0 = -1;
+    int src1 = -1;
+};
+
+/** The instruction stream of one representative warp. */
+struct WarpTrace
+{
+    std::string name;
+    std::vector<Instr> instrs;
+    std::size_t footprintInstrs = 0; ///< static instr count for L1I model
+
+    void
+    emit(Op op, int dst = -1, int src0 = -1, int src1 = -1)
+    {
+        instrs.push_back({op, dst, src0, src1});
+    }
+};
+
+/**
+ * Trace builders.
+ *
+ * Register ids are virtual; the builders thread real dependences
+ * (butterfly chains, accumulators, address arithmetic) so RAW stall
+ * behaviour matches the algorithms' structure.
+ *
+ * @param n          transform length handled by the thread block
+ * @param block      threads per block (paper Fig. 4: NTT 128, FFT 192,
+ *                   DWT 256)
+ */
+WarpTrace butterflyNttTrace(std::size_t n, int block);
+WarpTrace fftTrace(std::size_t n, int block);
+WarpTrace dwtTrace(std::size_t n, int block);
+
+/** GEMM-form NTT (TensorFHE-CO): three tiled modular GEMM stages. */
+WarpTrace gemmNttTrace(std::size_t n, int block);
+
+} // namespace tensorfhe::gpu
+
+#endif // TENSORFHE_GPU_TRACE_HH

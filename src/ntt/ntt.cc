@@ -1,0 +1,81 @@
+#include "ntt/ntt.hh"
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace tensorfhe::ntt
+{
+
+const char *
+nttVariantName(NttVariant v)
+{
+    switch (v) {
+      case NttVariant::Reference: return "Reference";
+      case NttVariant::Butterfly: return "Butterfly(NT)";
+      case NttVariant::Gemm: return "GEMM(CO)";
+      case NttVariant::Tensor: return "Tensor(TCU)";
+      default: TFHE_ASSERT(false); return "?";
+    }
+}
+
+NttContext::NttContext(std::size_t n, u64 q) : table_(n, q) {}
+
+void
+NttContext::forward(u64 *a, NttVariant v) const
+{
+    ScopedKernelTimer timer(KernelKind::Ntt, table_.n());
+    switch (v) {
+      case NttVariant::Reference: detail::forwardReference(table_, a); break;
+      case NttVariant::Butterfly: detail::forwardButterfly(table_, a); break;
+      case NttVariant::Gemm: detail::forwardGemm(table_, a); break;
+      case NttVariant::Tensor: detail::forwardTensor(table_, a); break;
+    }
+}
+
+void
+NttContext::inverse(u64 *a, NttVariant v) const
+{
+    ScopedKernelTimer timer(KernelKind::Intt, table_.n());
+    switch (v) {
+      case NttVariant::Reference: detail::inverseReference(table_, a); break;
+      case NttVariant::Butterfly: detail::inverseButterfly(table_, a); break;
+      case NttVariant::Gemm: detail::inverseGemm(table_, a); break;
+      case NttVariant::Tensor: detail::inverseTensor(table_, a); break;
+    }
+}
+
+std::vector<u64>
+NttContext::negacyclicMultiply(const std::vector<u64> &a,
+                               const std::vector<u64> &b,
+                               NttVariant v) const
+{
+    std::size_t n = table_.n();
+    requireArg(a.size() == n && b.size() == n, "operand length != N");
+    std::vector<u64> fa = a;
+    std::vector<u64> fb = b;
+    forward(fa.data(), v);
+    forward(fb.data(), v);
+    const Modulus &mod = table_.modulus();
+    for (std::size_t i = 0; i < n; ++i)
+        fa[i] = mod.mul(fa[i], fb[i]);
+    inverse(fa.data(), v);
+    return fa;
+}
+
+namespace detail
+{
+
+void
+bitReversePermute(u64 *a, std::size_t n)
+{
+    int bits = log2Floor(n);
+    for (u32 i = 0; i < n; ++i) {
+        u32 j = bitReverse(i, bits);
+        if (i < j)
+            std::swap(a[i], a[j]);
+    }
+}
+
+} // namespace detail
+
+} // namespace tensorfhe::ntt

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Negacyclic NTT engines over Z_q[X]/(X^N + 1).
+ *
+ * Four interchangeable implementations of paper Eq. 4:
+ *  - Reference: direct O(N^2) summation (oracle for tests);
+ *  - Butterfly: iterative CT/GS with Shoup multiplication — the
+ *    kernel inside "TensorFHE-NT" and the CPU baseline;
+ *  - Gemm: the three-matrix Cooley-Tukey form of Eq. 9 with one
+ *    deferred modulo per output — "TensorFHE-CO";
+ *  - Tensor: the same three GEMMs executed on the simulated INT8
+ *    tensor core via segment-fusion — "TensorFHE".
+ *
+ * All variants use natural (standard) coefficient order at the API
+ * boundary and agree bit-for-bit; tests enforce this.
+ */
+
+#ifndef TENSORFHE_NTT_NTT_HH
+#define TENSORFHE_NTT_NTT_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ntt/twiddle.hh"
+
+namespace tensorfhe::ntt
+{
+
+/** Which engine executes the transform. */
+enum class NttVariant
+{
+    Reference,
+    Butterfly, ///< TensorFHE-NT
+    Gemm,      ///< TensorFHE-CO
+    Tensor     ///< TensorFHE (TCU path)
+};
+
+const char *nttVariantName(NttVariant v);
+
+/**
+ * All state needed to transform length-N polynomials mod one prime q.
+ * Owns the twiddle tables; thread-safe for concurrent transforms.
+ */
+class NttContext
+{
+  public:
+    NttContext(std::size_t n, u64 q);
+
+    std::size_t n() const { return table_.n(); }
+    u64 q() const { return table_.q(); }
+    const Modulus &modulus() const { return table_.modulus(); }
+    const TwiddleTable &tables() const { return table_; }
+
+    /** In-place forward NTT of a[0..N), natural order in and out. */
+    void forward(u64 *a, NttVariant v = NttVariant::Butterfly) const;
+
+    /** In-place inverse NTT, natural order in and out. */
+    void inverse(u64 *a, NttVariant v = NttVariant::Butterfly) const;
+
+    /**
+     * Negacyclic polynomial product c = a * b mod (X^N + 1, q),
+     * via forward/pointwise/inverse (test and encoder helper).
+     */
+    std::vector<u64> negacyclicMultiply(
+        const std::vector<u64> &a, const std::vector<u64> &b,
+        NttVariant v = NttVariant::Butterfly) const;
+
+  private:
+    TwiddleTable table_;
+};
+
+namespace detail
+{
+
+void forwardReference(const TwiddleTable &t, u64 *a);
+void inverseReference(const TwiddleTable &t, u64 *a);
+void forwardButterfly(const TwiddleTable &t, u64 *a);
+void inverseButterfly(const TwiddleTable &t, u64 *a);
+void forwardGemm(const TwiddleTable &t, u64 *a);
+void inverseGemm(const TwiddleTable &t, u64 *a);
+void forwardTensor(const TwiddleTable &t, u64 *a);
+void inverseTensor(const TwiddleTable &t, u64 *a);
+
+/** Natural <-> bit-reversed reordering (in place). */
+void bitReversePermute(u64 *a, std::size_t n);
+
+} // namespace detail
+
+} // namespace tensorfhe::ntt
+
+#endif // TENSORFHE_NTT_NTT_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Iterative negacyclic NTT with CT (forward) and GS (inverse)
+ * butterflies and Shoup constant multiplication, after Longa-Naehrig.
+ * This is the kernel inside the "TensorFHE-NT" configuration and the
+ * CPU baseline; its stage-to-stage RAW dependences are what Fig. 4
+ * blames for GPGPU pipeline stalls.
+ *
+ * The raw CT pass emits bit-reversed order and the GS pass consumes
+ * it; the public API is natural order, so each entry point adds one
+ * permutation pass.
+ */
+
+#include "common/stats.hh"
+#include "ntt/ntt.hh"
+
+namespace tensorfhe::ntt::detail
+{
+
+namespace
+{
+
+/** CT decimation-in-time: natural in, bit-reversed out. */
+void
+ctForward(const TwiddleTable &tbl, u64 *a)
+{
+    const auto &bf = tbl.butterfly();
+    std::size_t n = tbl.n();
+    u64 q = tbl.q();
+    std::size_t t = n;
+    for (std::size_t m = 1; m < n; m <<= 1) {
+        t >>= 1;
+        for (std::size_t i = 0; i < m; ++i) {
+            std::size_t j1 = 2 * i * t;
+            u64 s = bf.psiRev[m + i];
+            u64 s_shoup = bf.psiRevShoup[m + i];
+            for (std::size_t j = j1; j < j1 + t; ++j) {
+                u64 u = a[j];
+                u64 v = mulModShoup(a[j + t], s, s_shoup, q);
+                a[j] = addMod(u, v, q);
+                a[j + t] = subMod(u, v, q);
+            }
+        }
+    }
+}
+
+/** GS decimation-in-frequency: bit-reversed in, natural out. */
+void
+gsInverse(const TwiddleTable &tbl, u64 *a)
+{
+    const auto &bf = tbl.butterfly();
+    std::size_t n = tbl.n();
+    u64 q = tbl.q();
+    std::size_t t = 1;
+    for (std::size_t m = n; m > 1; m >>= 1) {
+        std::size_t j1 = 0;
+        std::size_t h = m >> 1;
+        for (std::size_t i = 0; i < h; ++i) {
+            u64 s = bf.psiInvRev[h + i];
+            u64 s_shoup = bf.psiInvRevShoup[h + i];
+            for (std::size_t j = j1; j < j1 + t; ++j) {
+                u64 u = a[j];
+                u64 v = a[j + t];
+                a[j] = addMod(u, v, q);
+                a[j + t] = mulModShoup(subMod(u, v, q), s, s_shoup, q);
+            }
+            j1 += 2 * t;
+        }
+        t <<= 1;
+    }
+    for (std::size_t j = 0; j < n; ++j)
+        a[j] = mulModShoup(a[j], bf.nInv, bf.nInvShoup, q);
+}
+
+} // namespace
+
+void
+forwardButterfly(const TwiddleTable &t, u64 *a)
+{
+    ctForward(t, a);
+    bitReversePermute(a, t.n());
+}
+
+void
+inverseButterfly(const TwiddleTable &t, u64 *a)
+{
+    bitReversePermute(a, t.n());
+    gsInverse(t, a);
+}
+
+} // namespace tensorfhe::ntt::detail

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Three-GEMM Cooley-Tukey NTT (paper Eq. 9) — "TensorFHE-CO".
+ *
+ * Forward derivation. With psi the 2N-th root, Eq. 4 is
+ *   A_k = sum_n a_n psi^(n(2k+1)).
+ * Split n = N2*n1 + n2 and k = k1 + N1*k2. Using psi^(N2) = psi_{2N1}
+ * and psi^(2N1) = omega_{N2}:
+ *   A_{k1+N1*k2} = sum_{n2} [ psi^(n2(2k1+1))
+ *                  * sum_{n1} a[n1][n2] psi_{2N1}^(n1(2k1+1)) ]
+ *                  * omega_{N2}^(k2*n2)
+ * which is exactly
+ *   B = W1 x a_mat          (W1[i][j] = psi_{2N1}^(2ij+j),  N1 x N1)
+ *   C = B  had  W2          (W2[i][j] = psi_{2N}^(2ij+j),   N1 x N2)
+ *   A_mat = C x W3          (W3[i][j] = psi_{2N2}^(2ij),    N2 x N2)
+ * with a_mat the natural array viewed row-major N1 x N2 and the
+ * output read column-major (k = k1 + N1*k2).
+ *
+ * Inverse: a_n = N^-1 psi^-n sum_k A_k omega_N^(-nk) factors the same
+ * way into D = A_mat x W3i, E = D had W2i, a_mat = W1i x E, followed
+ * by the elementwise psi^-n * N^-1 twist.
+ *
+ * Each output element accumulates in a 128-bit register and is
+ * reduced once — the paper's "Modulo Reduction" benefit (one modulo
+ * per A_k instead of one per butterfly).
+ */
+
+#include <vector>
+
+#include "ntt/ntt.hh"
+
+namespace tensorfhe::ntt::detail
+{
+
+namespace
+{
+
+/**
+ * out = lhs x rhs mod q; lhs is m x k, rhs is k x n, all row-major.
+ * One deferred modulo per output element.
+ */
+void
+gemmMod(const u64 *lhs, const u64 *rhs, u64 *out, std::size_t m,
+        std::size_t n, std::size_t k, const Modulus &mod)
+{
+    for (std::size_t i = 0; i < m; ++i) {
+        const u64 *lrow = lhs + i * k;
+        for (std::size_t j = 0; j < n; ++j) {
+            u128 acc = 0;
+            for (std::size_t kk = 0; kk < k; ++kk)
+                acc += static_cast<u128>(lrow[kk]) * rhs[kk * n + j];
+            out[i * n + j] = mod.reduce(acc);
+        }
+    }
+}
+
+} // namespace
+
+void
+forwardGemm(const TwiddleTable &t, u64 *a)
+{
+    const auto &gm = t.gemm();
+    const Modulus &mod = t.modulus();
+    std::size_t n1 = gm.n1;
+    std::size_t n2 = gm.n2;
+
+    // Stage A: B = W1 x a_mat (a viewed as N1 x N2 row-major).
+    std::vector<u64> b(n1 * n2);
+    gemmMod(gm.w1.data(), a, b.data(), n1, n2, n1, mod);
+
+    // Stage B: C = B had W2.
+    for (std::size_t e = 0; e < n1 * n2; ++e)
+        b[e] = mod.mul(b[e], gm.w2[e]);
+
+    // Stage C: A_mat = C x W3, written out column-major
+    // (A[k1 + N1*k2] = A_mat[k1][k2]).
+    for (std::size_t k1 = 0; k1 < n1; ++k1) {
+        const u64 *crow = b.data() + k1 * n2;
+        for (std::size_t k2 = 0; k2 < n2; ++k2) {
+            u128 acc = 0;
+            for (std::size_t j = 0; j < n2; ++j)
+                acc += static_cast<u128>(crow[j]) * gm.w3[j * n2 + k2];
+            a[k1 + n1 * k2] = mod.reduce(acc);
+        }
+    }
+}
+
+void
+inverseGemm(const TwiddleTable &t, u64 *a)
+{
+    const auto &gm = t.gemm();
+    const Modulus &mod = t.modulus();
+    std::size_t n1 = gm.n1;
+    std::size_t n2 = gm.n2;
+    std::size_t n = n1 * n2;
+
+    // Gather A_mat[k1][k2] = A[k1 + N1*k2] into row-major scratch.
+    std::vector<u64> amat(n);
+    for (std::size_t k1 = 0; k1 < n1; ++k1)
+        for (std::size_t k2 = 0; k2 < n2; ++k2)
+            amat[k1 * n2 + k2] = a[k1 + n1 * k2];
+
+    // D = A_mat x W3i.
+    std::vector<u64> d(n);
+    gemmMod(amat.data(), gm.w3i.data(), d.data(), n1, n2, n2, mod);
+
+    // E = D had W2i.
+    for (std::size_t e = 0; e < n; ++e)
+        d[e] = mod.mul(d[e], gm.w2i[e]);
+
+    // a_mat = W1i x E, then the psi^-n * N^-1 twist, written back in
+    // natural order (n = N2*n1 + n2).
+    for (std::size_t i1 = 0; i1 < n1; ++i1) {
+        const u64 *wrow = gm.w1i.data() + i1 * n1;
+        for (std::size_t i2 = 0; i2 < n2; ++i2) {
+            u128 acc = 0;
+            for (std::size_t kk = 0; kk < n1; ++kk)
+                acc += static_cast<u128>(wrow[kk]) * d[kk * n2 + i2];
+            std::size_t idx = n2 * i1 + i2;
+            a[idx] = mod.mul(mod.reduce(acc), gm.psiInvPow[idx]);
+        }
+    }
+}
+
+} // namespace tensorfhe::ntt::detail

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Direct O(N^2) evaluation of paper Eqs. 4 and 2 — the correctness
+ * oracle against which every optimized engine is tested.
+ */
+
+#include <vector>
+
+#include "ntt/ntt.hh"
+
+namespace tensorfhe::ntt::detail
+{
+
+void
+forwardReference(const TwiddleTable &t, u64 *a)
+{
+    std::size_t n = t.n();
+    const Modulus &mod = t.modulus();
+    std::vector<u64> out(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        u128 acc = 0;
+        // A_k = sum_n a_n * psi^(2nk + n), one modulo per partial
+        // product (the baseline the paper's modulo-reduction
+        // optimization is measured against).
+        for (std::size_t i = 0; i < n; ++i) {
+            u64 w = t.psiPow((2 * i * k + i) % (2 * n));
+            acc += static_cast<u128>(mod.mul(a[i], w));
+        }
+        out[k] = mod.reduce(acc);
+    }
+    std::copy(out.begin(), out.end(), a);
+}
+
+void
+inverseReference(const TwiddleTable &t, u64 *a)
+{
+    std::size_t n = t.n();
+    const Modulus &mod = t.modulus();
+    u64 n_inv = mod.inv(n % mod.value());
+    std::vector<u64> out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        u128 acc = 0;
+        // a_i = N^-1 * psi^-i * sum_k A_k * omega^-(ik)
+        for (std::size_t k = 0; k < n; ++k) {
+            u64 w = t.psiPow((2 * n - (2 * i * k) % (2 * n)) % (2 * n));
+            acc += static_cast<u128>(mod.mul(a[k], w));
+        }
+        u64 v = mod.reduce(acc);
+        u64 psi_inv_i = t.psiPow((2 * n - i) % (2 * n));
+        out[i] = mod.mul(mod.mul(v, psi_inv_i), n_inv);
+    }
+    std::copy(out.begin(), out.end(), a);
+}
+
+} // namespace tensorfhe::ntt::detail

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * TCU-backed NTT — the "TensorFHE" configuration (paper SIV-C,
+ * Fig. 8). Identical math to ntt_gemm.cc, but the two large GEMMs run
+ * on the simulated INT8 tensor core through the segment-fusion
+ * scheme:
+ *
+ *   Stage 1  segment the input into four u8 planes   (CUDA cores)
+ *   Stage 2  16 u8-GEMMs against cached W1 segments  (TCUs, streams)
+ *   Stage 3  fuse partials, Hadamard with W2         (CUDA cores)
+ *   Stage 4  16 u8-GEMMs against cached W3 segments  (TCUs, streams)
+ *   Stage 5  fuse partials, final modulo (+ psi^-n * N^-1 for INTT)
+ *
+ * Twiddle factors were segmented once at table build (Stage 0 in the
+ * paper's terms), so only the data matrix is segmented per call.
+ */
+
+#include <vector>
+
+#include "ntt/ntt.hh"
+#include "tcu/segment.hh"
+
+namespace tensorfhe::ntt::detail
+{
+
+void
+forwardTensor(const TwiddleTable &t, u64 *a)
+{
+    const auto &gm = t.gemm();
+    const Modulus &mod = t.modulus();
+    std::size_t n1 = gm.n1;
+    std::size_t n2 = gm.n2;
+
+    // Stages 1-2: B = W1 x a_mat on the TCU (W1 segments cached).
+    std::vector<u64> b(n1 * n2);
+    tcu::SegmentedMatrix a_seg = tcu::segmentU32(a, n1 * n2);
+    tcu::tensorGemmModSegSeg(gm.w1Seg, a_seg, b.data(), n1, n2, n1, mod);
+
+    // Stage 3: fuse (done inside the call) + Hadamard with W2.
+    for (std::size_t e = 0; e < n1 * n2; ++e)
+        b[e] = mod.mul(b[e], gm.w2[e]);
+
+    // Stage 4: A_mat = C x W3 on the TCU (W3 segments cached).
+    std::vector<u64> out(n1 * n2);
+    tcu::tensorGemmMod(b.data(), gm.w3Seg, out.data(), n1, n2, n2, mod);
+
+    // Stage 5: column-major readout (k = k1 + N1*k2).
+    for (std::size_t k1 = 0; k1 < n1; ++k1)
+        for (std::size_t k2 = 0; k2 < n2; ++k2)
+            a[k1 + n1 * k2] = out[k1 * n2 + k2];
+}
+
+void
+inverseTensor(const TwiddleTable &t, u64 *a)
+{
+    const auto &gm = t.gemm();
+    const Modulus &mod = t.modulus();
+    std::size_t n1 = gm.n1;
+    std::size_t n2 = gm.n2;
+    std::size_t n = n1 * n2;
+
+    std::vector<u64> amat(n);
+    for (std::size_t k1 = 0; k1 < n1; ++k1)
+        for (std::size_t k2 = 0; k2 < n2; ++k2)
+            amat[k1 * n2 + k2] = a[k1 + n1 * k2];
+
+    // D = A_mat x W3i on the TCU.
+    std::vector<u64> d(n);
+    tcu::tensorGemmMod(amat.data(), gm.w3iSeg, d.data(), n1, n2, n2, mod);
+
+    // E = D had W2i.
+    for (std::size_t e = 0; e < n; ++e)
+        d[e] = mod.mul(d[e], gm.w2i[e]);
+
+    // a_mat = W1i x E on the TCU, then the psi^-n * N^-1 twist.
+    std::vector<u64> out(n);
+    tcu::SegmentedMatrix d_seg = tcu::segmentU32(d.data(), n);
+    tcu::tensorGemmModSegSeg(gm.w1iSeg, d_seg, out.data(), n1, n2, n1, mod);
+    for (std::size_t i1 = 0; i1 < n1; ++i1) {
+        for (std::size_t i2 = 0; i2 < n2; ++i2) {
+            std::size_t idx = n2 * i1 + i2;
+            a[idx] = mod.mul(out[idx], gm.psiInvPow[idx]);
+        }
+    }
+}
+
+} // namespace tensorfhe::ntt::detail

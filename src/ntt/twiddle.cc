@@ -1,0 +1,112 @@
+#include "ntt/twiddle.hh"
+
+#include "common/logging.hh"
+#include "common/primes.hh"
+
+namespace tensorfhe::ntt
+{
+
+TwiddleTable::TwiddleTable(std::size_t n, u64 q) : n_(n), mod_(q)
+{
+    requireArg(isPowerOfTwo(n) && n >= 4, "N must be a power of two >= 4");
+    requireArg((q - 1) % (2 * n) == 0, "q must be 1 mod 2N");
+    logN_ = log2Floor(n);
+    psi_ = rootOfUnity(q, 2 * n);
+    psiInv_ = mod_.inv(psi_);
+
+    psiPow_.resize(2 * n);
+    psiPow_[0] = 1;
+    for (std::size_t e = 1; e < 2 * n; ++e)
+        psiPow_[e] = mod_.mul(psiPow_[e - 1], psi_);
+
+    buildButterfly();
+    buildGemm();
+}
+
+void
+TwiddleTable::buildButterfly()
+{
+    u64 q = mod_.value();
+    bf_.psiRev.resize(n_);
+    bf_.psiRevShoup.resize(n_);
+    bf_.psiInvRev.resize(n_);
+    bf_.psiInvRevShoup.resize(n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+        u64 fwd = psiPow_[bitReverse(static_cast<u32>(i), logN_)];
+        u64 inv = mod_.inv(fwd);
+        bf_.psiRev[i] = fwd;
+        bf_.psiRevShoup[i] = shoupPrecompute(fwd, q);
+        bf_.psiInvRev[i] = inv;
+        bf_.psiInvRevShoup[i] = shoupPrecompute(inv, q);
+    }
+    bf_.nInv = mod_.inv(n_ % q);
+    bf_.nInvShoup = shoupPrecompute(bf_.nInv, q);
+}
+
+void
+TwiddleTable::buildGemm()
+{
+    // N1 >= N2, both powers of two with N1 * N2 = N.
+    std::size_t n1 = std::size_t(1) << ((logN_ + 1) / 2);
+    std::size_t n2 = n_ / n1;
+    gm_.n1 = n1;
+    gm_.n2 = n2;
+
+    u64 psi_2n1 = mod_.pow(psi_, n2); // psi^(N2): a 2*N1-th root
+    u64 psi_2n2 = mod_.pow(psi_, n1); // psi^(N1): a 2*N2-th root
+    u64 omega_n1 = mod_.mul(psi_2n1, psi_2n1);
+    u64 omega_n2 = mod_.mul(psi_2n2, psi_2n2);
+    u64 omega_n = mod_.mul(psi_, psi_);
+    u64 omega_n1_inv = mod_.inv(omega_n1);
+    u64 omega_n2_inv = mod_.inv(omega_n2);
+    u64 omega_n_inv = mod_.inv(omega_n);
+
+    auto fill = [&](std::vector<u64> &w, std::size_t rows,
+                    std::size_t cols, auto &&elem) {
+        w.resize(rows * cols);
+        for (std::size_t i = 0; i < rows; ++i)
+            for (std::size_t j = 0; j < cols; ++j)
+                w[i * cols + j] = elem(i, j);
+    };
+
+    // Forward factors (paper Eq. 9 element forms).
+    fill(gm_.w1, n1, n1, [&](std::size_t i, std::size_t j) {
+        return mod_.pow(psi_2n1, (2 * i * j + j) % (2 * n1));
+    });
+    fill(gm_.w2, n1, n2, [&](std::size_t i, std::size_t j) {
+        return psiPow_[(2 * i * j + j) % (2 * n_)];
+    });
+    fill(gm_.w3, n2, n2, [&](std::size_t i, std::size_t j) {
+        return mod_.pow(omega_n2, (i * j) % n2);
+    });
+
+    // Inverse factors (derivation in ntt_gemm.cc):
+    //   D = A_mat x W3i,  E = D had W2i,  a_mat = W1i x E,
+    //   a[n] *= psi^-n * N^-1.
+    fill(gm_.w3i, n2, n2, [&](std::size_t i, std::size_t j) {
+        return mod_.pow(omega_n2_inv, (i * j) % n2);
+    });
+    fill(gm_.w2i, n1, n2, [&](std::size_t i, std::size_t j) {
+        return mod_.pow(omega_n_inv, (i * j) % n_);
+    });
+    fill(gm_.w1i, n1, n1, [&](std::size_t i, std::size_t j) {
+        return mod_.pow(omega_n1_inv, (i * j) % n1);
+    });
+
+    u64 n_inv = mod_.inv(n_ % mod_.value());
+    gm_.psiInvPow.resize(n_);
+    u64 acc = n_inv;
+    for (std::size_t n = 0; n < n_; ++n) {
+        gm_.psiInvPow[n] = acc;
+        acc = mod_.mul(acc, psiInv_);
+    }
+
+    // Pre-segment the reused factors for the TCU path (the paper
+    // performs twiddle segmentation once, as pre-processing).
+    gm_.w1Seg = tcu::segmentU32(gm_.w1.data(), gm_.w1.size());
+    gm_.w3Seg = tcu::segmentU32(gm_.w3.data(), gm_.w3.size());
+    gm_.w1iSeg = tcu::segmentU32(gm_.w1i.data(), gm_.w1i.size());
+    gm_.w3iSeg = tcu::segmentU32(gm_.w3i.data(), gm_.w3i.size());
+}
+
+} // namespace tensorfhe::ntt

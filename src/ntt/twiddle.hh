@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Twiddle-factor tables for one (N, q) pair, covering all four NTT
+ * engines. As the paper notes (SIV-B, "Data Reuse"), the tables are
+ * fixed by the CKKS instance and precomputed once at initialization,
+ * then shared by every NTT invocation (and, with operation-level
+ * batching, by every batched operation at the same level).
+ */
+
+#ifndef TENSORFHE_NTT_TWIDDLE_HH
+#define TENSORFHE_NTT_TWIDDLE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/modarith.hh"
+#include "common/types.hh"
+#include "tcu/segment.hh"
+
+namespace tensorfhe::ntt
+{
+
+/**
+ * Butterfly tables: powers of the 2N-th root psi in bit-reversed
+ * order (Longa-Naehrig layout) plus Shoup precomputations.
+ */
+struct ButterflyTables
+{
+    std::vector<u64> psiRev;       ///< psi^bitrev(i), i < N
+    std::vector<u64> psiRevShoup;
+    std::vector<u64> psiInvRev;    ///< psi^-bitrev(i)
+    std::vector<u64> psiInvRevShoup;
+    u64 nInv = 0;                  ///< N^-1 mod q
+    u64 nInvShoup = 0;
+};
+
+/**
+ * GEMM tables for the three-matrix form of Eq. 9:
+ *   A = ((W1 x a_mat) had W2) x W3 mod q,
+ * with a reshaped N1 x N2 (row-major, n = N2*n1 + n2) and output read
+ * column-major (k = k1 + N1*k2).
+ *
+ * W1[i][j] = psi_{2N1}^{2ij+j}    (N1 x N1)
+ * W2[i][j] = psi_{2N}^{2ij+j}     (N1 x N2)
+ * W3[i][j] = psi_{2N2}^{2ij}      (N2 x N2)
+ * where psi_{2N1} = psi^N2 and psi_{2N2} = psi^N1.
+ *
+ * Inverse tables mirror the derivation in ntt_gemm.cc.
+ */
+struct GemmTables
+{
+    std::size_t n1 = 0;
+    std::size_t n2 = 0;
+    std::vector<u64> w1, w2, w3;          ///< forward
+    std::vector<u64> w1i, w2i, w3i;       ///< inverse
+    std::vector<u64> psiInvPow;           ///< psi^-n * N^-1, n < N
+    tcu::SegmentedMatrix w1Seg, w3Seg;    ///< pre-segmented (Stage-0)
+    tcu::SegmentedMatrix w1iSeg, w3iSeg;
+};
+
+/** All tables plus the roots they derive from. */
+class TwiddleTable
+{
+  public:
+    /**
+     * @param n transform length, a power of two
+     * @param q prime with q = 1 (mod 2n)
+     */
+    TwiddleTable(std::size_t n, u64 q);
+
+    std::size_t n() const { return n_; }
+    const Modulus &modulus() const { return mod_; }
+    u64 q() const { return mod_.value(); }
+    u64 psi() const { return psi_; }
+    u64 psiInv() const { return psiInv_; }
+
+    const ButterflyTables &butterfly() const { return bf_; }
+    const GemmTables &gemm() const { return gm_; }
+
+    /** psi^e for 0 <= e < 2N (reference engine). */
+    u64 psiPow(std::size_t e) const { return psiPow_[e]; }
+
+  private:
+    void buildButterfly();
+    void buildGemm();
+
+    std::size_t n_;
+    int logN_;
+    Modulus mod_;
+    u64 psi_;
+    u64 psiInv_;
+    std::vector<u64> psiPow_; ///< psi^e, e < 2N
+    ButterflyTables bf_;
+    GemmTables gm_;
+};
+
+} // namespace tensorfhe::ntt
+
+#endif // TENSORFHE_NTT_TWIDDLE_HH

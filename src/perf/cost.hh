@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Roofline cost model for the reusable kernels and the CKKS
+ * operations composed from them (paper Table II and Algs. 1-6).
+ *
+ * Costs mirror this repository's actual algorithms: the operation
+ * compositions are the same code paths the evaluator executes, so a
+ * change to the implementation is a change to the model.
+ */
+
+#ifndef TENSORFHE_PERF_COST_HH
+#define TENSORFHE_PERF_COST_HH
+
+#include <cstddef>
+
+#include "ckks/params.hh"
+#include "common/types.hh"
+
+namespace tensorfhe::perf
+{
+
+/** Abstract work of one kernel invocation (batch = 1). */
+struct KernelCost
+{
+    double bytes = 0;    ///< DRAM traffic
+    double coreOps = 0;  ///< CUDA-core integer ops (modmul = 6 ops)
+    double tcuMacs = 0;  ///< INT8 tensor-core MACs
+    double launches = 0; ///< kernel launches (fixed overhead each)
+
+    KernelCost &
+    operator+=(const KernelCost &o)
+    {
+        bytes += o.bytes;
+        coreOps += o.coreOps;
+        tcuMacs += o.tcuMacs;
+        launches += o.launches;
+        return *this;
+    }
+
+    friend KernelCost
+    operator*(double k, const KernelCost &c)
+    {
+        return {k * c.bytes, k * c.coreOps, k * c.tcuMacs,
+                k * c.launches};
+    }
+
+    friend KernelCost
+    operator+(KernelCost a, const KernelCost &b)
+    {
+        a += b;
+        return a;
+    }
+};
+
+/** Integer-op weights of the primitive modular operations. */
+constexpr double kOpsPerModMul = 6.0; ///< Barrett/Shoup sequence
+constexpr double kOpsPerModAdd = 1.5;
+constexpr double kBytesPerResidue = 4.0; ///< 32-bit RNS residues
+
+/** NTT of `limbs` polynomials of length n, by engine variant. */
+KernelCost nttCost(std::size_t n, std::size_t limbs,
+                   ntt::NttVariant variant);
+
+KernelCost hadaMultCost(std::size_t n, std::size_t limbs);
+KernelCost eleAddCost(std::size_t n, std::size_t limbs);
+KernelCost frobeniusCost(std::size_t n, std::size_t limbs);
+
+/** Fast basis conversion src -> dst limbs. */
+KernelCost convCost(std::size_t n, std::size_t src_limbs,
+                    std::size_t dst_limbs);
+
+/** Generalized key switching at the given active level count. */
+KernelCost keySwitchCost(const ckks::CkksParams &p,
+                         std::size_t level_count);
+
+/** The five Table II operations (+ conjugate). */
+enum class OpKind
+{
+    HMult,
+    CMult,
+    HAdd,
+    HRotate,
+    Rescale,
+    Conjugate
+};
+
+const char *opKindName(OpKind k);
+
+KernelCost opCost(OpKind op, const ckks::CkksParams &p,
+                  std::size_t level_count);
+
+/** Share of an operation's core work spent inside NTT kernels. */
+double nttShare(OpKind op, const ckks::CkksParams &p,
+                std::size_t level_count);
+
+} // namespace tensorfhe::perf
+
+#endif // TENSORFHE_PERF_COST_HH

@@ -1,0 +1,42 @@
+#include "perf/device_time.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tensorfhe::perf
+{
+
+double
+DeviceTimeModel::seconds(const KernelCost &cost, std::size_t batch,
+                         double occupancy) const
+{
+    double b = static_cast<double>(batch);
+    if (occupancy < 0.0) {
+        // Paper Table IX: batching drives occupancy from ~10% toward
+        // 90%; model it with the CTA-wave saturation curve.
+        occupancy = std::max(
+            0.08, gpu::batchedOccupancy(dev_, batch, 64, 0.05));
+    }
+
+    double core_rate = static_cast<double>(dev_.numSms)
+        * dev_.cudaCoresPerSm * dev_.clockGhz * 1e9
+        * cal_.coreUtilization * occupancy;
+    double bw_rate = dev_.memBwGBs * 1e9 * cal_.bwUtilization;
+    double compute_s = cost.coreOps * b / core_rate;
+    double memory_s = cost.bytes * b / bw_rate;
+    double tcu_s = dev_.tcuInt8Tops > 0
+        ? cost.tcuMacs * b
+            / (dev_.tcuInt8Tops * 1e12 / 2.0 * cal_.tcuUtilization
+               * occupancy)
+        : 0.0;
+    if (dev_.tcuInt8Tops == 0 && cost.tcuMacs > 0) {
+        // No tensor cores: MACs fall back onto CUDA cores.
+        compute_s += cost.tcuMacs * b / core_rate;
+    }
+
+    // Batched operations share one launch per kernel in the workflow.
+    double launch_s = cost.launches * cal_.launchOverheadSec;
+    return launch_s + std::max({compute_s, memory_s, tcu_s});
+}
+
+} // namespace tensorfhe::perf

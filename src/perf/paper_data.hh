@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Published numbers from the paper's evaluation tables, quoted for
+ * side-by-side printing in the benches. The paper itself collects
+ * competitor numbers "directly from the literature" (SV); we do the
+ * same, clearly labeled as published values, never as measurements.
+ *
+ * Units follow the paper: Table VI in milliseconds per batch-128
+ * operation group; Table VII/X in seconds; Table VIII in ops/second;
+ * Table XI in OPs/W and J/iteration.
+ */
+
+#ifndef TENSORFHE_PERF_PAPER_DATA_HH
+#define TENSORFHE_PERF_PAPER_DATA_HH
+
+#include <array>
+#include <string_view>
+
+namespace tensorfhe::perf::paper
+{
+
+/** Table VI: operation delays (ms). -1 = not reported. */
+struct OpDelayRow
+{
+    std::string_view system;
+    double hmult, hrotate, rescale, hadd, cmult;
+};
+
+inline constexpr std::array<OpDelayRow, 7> kTable6 = {{
+    {"CPU [33]", 338000.0, 330000.0, 18611.0, 3609.0, 3356.0},
+    {"PrivFT [1]", 7153.0, -1.0, 208.0, 24.0, 21.0},
+    {"100x [33]", 2227.0, 2154.0, 81.0, 26.0, 22.0},
+    {"TensorFHE-NT", 2124.0, 2111.0, 35.0, 6.0, 7.7},
+    {"TensorFHE-CO", 1651.2, 1523.2, 9.2, 6.0, 7.7},
+    {"TensorFHE(V100)", 1296.6, 1254.4, 15.4, 10.2, 11.5},
+    {"TensorFHE(A100)", 851.0, 852.0, 7.7, 6.0, 7.7},
+}};
+
+/** Table VII: Bootstrap execution time (seconds), batch 128. */
+struct BootstrapRow
+{
+    std::string_view system;
+    double seconds;
+};
+
+inline constexpr std::array<BootstrapRow, 6> kTable7 = {{
+    {"CPU [33]", 10168.0},
+    {"GPGPU baseline [33]", 54904.0},
+    {"100x [33]", 42016.0},
+    {"TensorFHE-NT", 76731.0},
+    {"TensorFHE-CO", 70762.0},
+    {"TensorFHE", 32058.0},
+}};
+
+/** Table VIII: throughput (ops/s) vs HEAX, sets A/B/C. */
+struct HeaxRow
+{
+    std::string_view metric;
+    double cpu, heax, tensorfhe;
+};
+
+inline constexpr std::array<HeaxRow, 9> kTable8 = {{
+    {"NTT/s SetA", 7222, 195313, 910134},
+    {"NTT/s SetB", 3437, 90144, 449974},
+    {"NTT/s SetC", 1631, 41853, 209337},
+    {"INTT/s SetA", 7568, 195313, 913267},
+    {"INTT/s SetB", 3539, 90144, 449084},
+    {"INTT/s SetC", 1659, 41853, 209178},
+    {"HMULT/s SetA", 420, 97656, 88048},
+    {"HMULT/s SetB", 84, 22536, 27564},
+    {"HMULT/s SetC", 15, 2616, 3825},
+}};
+
+/** Table X: full workload execution time (seconds). -1 = n/a. */
+struct WorkloadRow
+{
+    std::string_view system;
+    double resnet20, lr, lstm, packedBoot;
+};
+
+inline constexpr std::array<WorkloadRow, 7> kTable10 = {{
+    {"CPU [58]", 88320.0, 22784.0, 27488.0, 550.4},
+    {"F1+ [57]", 172.3, 40.9, 82.3, 1.8},
+    {"CraterLake [58]", 15.9, 7.6, 4.4, 0.1},
+    {"BTS [38]", 122.2, 1.8, -1.0, -1.0},
+    {"ARK [35]", 18.8, 0.49, -1.0, -1.0},
+    {"100x* [33]", 602.9, 49.6, -1.0, 36.9},
+    {"TensorFHE", 316.1, 14.1, 123.1, 13.5},
+}};
+
+/** Table XI: energy efficiency. */
+struct EnergyOpsRow
+{
+    std::string_view op;
+    double opsPerWatt;
+};
+
+inline constexpr std::array<EnergyOpsRow, 5> kTable11Ops = {{
+    {"HMULT", 0.57},
+    {"HROTATE", 0.57},
+    {"RESCALE", 66.67},
+    {"HADD", 81.30},
+    {"CMULT", 66.67},
+}};
+
+struct EnergyWorkloadRow
+{
+    std::string_view system;
+    double resnet20, lr, lstm, packedBoot; ///< J/iteration, -1 = n/a
+};
+
+inline constexpr std::array<EnergyWorkloadRow, 3> kTable11Workloads = {{
+    {"ARK [35]", 32.5, 19.8, -1.0, -1.0},
+    {"CraterLake [58]", 79.7, 38.1, 44.2, 1.3},
+    {"TensorFHE", 1320.0, 58.27, 1015.3, 111.3},
+}};
+
+/** Fig. 4 (paper): NTT total stall ~43.2%, RAW ~20.9% of cycles. */
+inline constexpr double kFig4NttStallFraction = 0.432;
+inline constexpr double kFig4NttRawFraction = 0.209;
+
+/** Fig. 10: TensorFHE-CO reduces RAW by 18.1pp, long-latency by
+ *  10.8pp, +1.2% compute, 32.3% faster NTT overall. */
+inline constexpr double kFig10RawReduction = 0.181;
+inline constexpr double kFig10LongLatencyReduction = 0.108;
+inline constexpr double kFig10OverallNttGain = 0.323;
+
+/** Table IX: GPGPU occupancy with batching. */
+struct OccupancyRow
+{
+    std::string_view op;
+    double occupancy;
+};
+
+inline constexpr std::array<OccupancyRow, 5> kTable9 = {{
+    {"HMULT", 0.903},
+    {"HROTATE", 0.901},
+    {"RESCALE", 0.889},
+    {"HADD", 0.853},
+    {"CMULT", 0.881},
+}};
+
+} // namespace tensorfhe::perf::paper
+
+#endif // TENSORFHE_PERF_PAPER_DATA_HH

@@ -1,0 +1,216 @@
+#include "rns/conv.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/thread_pool.hh"
+
+namespace tensorfhe::rns
+{
+
+RnsPolynomial
+fastBaseConv(const RnsPolynomial &a,
+             const std::vector<std::size_t> &target_limbs)
+{
+    TFHE_ASSERT(a.domain() == Domain::Coeff,
+                "Conv operates in coefficient domain");
+    const RnsTower &tower = a.tower();
+    std::size_t n = a.n();
+    std::size_t s = a.numLimbs();
+    ScopedKernelTimer timer(KernelKind::Conv,
+                            (s + target_limbs.size()) * n);
+
+    // Per-source-limb CRT factors: hatInv_i = (S/s_i)^-1 mod s_i and
+    // hat_ij = (S/s_i) mod t_j. O(s^2 + s*t) scalar work.
+    std::vector<u64> hat_inv(s);
+    for (std::size_t i = 0; i < s; ++i) {
+        const Modulus &mi = a.limbModulus(i);
+        u64 prod = 1;
+        for (std::size_t i2 = 0; i2 < s; ++i2) {
+            if (i2 != i)
+                prod = mi.mul(prod, tower.prime(a.limbIndex(i2))
+                                        % mi.value());
+        }
+        hat_inv[i] = mi.inv(prod);
+    }
+
+    std::size_t t = target_limbs.size();
+    std::vector<u64> hat(s * t);
+    for (std::size_t j = 0; j < t; ++j) {
+        const Modulus &mj = tower.modulus(target_limbs[j]);
+        for (std::size_t i = 0; i < s; ++i) {
+            u64 prod = 1;
+            for (std::size_t i2 = 0; i2 < s; ++i2) {
+                if (i2 != i)
+                    prod = mj.mul(prod, tower.prime(a.limbIndex(i2))
+                                            % mj.value());
+            }
+            hat[i * t + j] = prod;
+        }
+    }
+
+    // y_i = a_i * hatInv_i mod s_i, then out_j = sum_i y_i * hat_ij.
+    std::vector<u64> y(s * n);
+    for (std::size_t i = 0; i < s; ++i) {
+        const Modulus &mi = a.limbModulus(i);
+        u64 hi = hat_inv[i];
+        u64 hi_shoup = shoupPrecompute(hi, mi.value());
+        const u64 *src = a.limb(i);
+        u64 *dst = y.data() + i * n;
+        for (std::size_t c = 0; c < n; ++c)
+            dst[c] = mulModShoup(src[c], hi, hi_shoup, mi.value());
+    }
+
+    RnsPolynomial out(tower, target_limbs, Domain::Coeff);
+    ThreadPool::global().parallelFor(0, t, [&](std::size_t j) {
+        const Modulus &mj = tower.modulus(target_limbs[j]);
+        u64 *dst = out.limb(j);
+        for (std::size_t c = 0; c < n; ++c) {
+            u128 acc = 0;
+            for (std::size_t i = 0; i < s; ++i)
+                acc += static_cast<u128>(y[i * n + c]) * hat[i * t + j];
+            dst[c] = mj.reduce(acc);
+        }
+    });
+    return out;
+}
+
+std::vector<RnsPolynomial>
+decomposeDigits(const RnsPolynomial &a, std::size_t alpha)
+{
+    TFHE_ASSERT(alpha >= 1);
+    std::size_t limbs = a.numLimbs();
+    std::vector<RnsPolynomial> digits;
+    for (std::size_t start = 0; start < limbs; start += alpha) {
+        std::size_t stop = std::min(start + alpha, limbs);
+        std::vector<std::size_t> idx(a.limbIndices().begin() + start,
+                                     a.limbIndices().begin() + stop);
+        RnsPolynomial d(a.tower(), idx, a.domain());
+        for (std::size_t i = start; i < stop; ++i) {
+            std::copy(a.limb(i), a.limb(i) + a.n(),
+                      d.limb(i - start));
+        }
+        digits.push_back(std::move(d));
+    }
+    return digits;
+}
+
+RnsPolynomial
+modUp(const RnsPolynomial &digit, std::size_t level_count)
+{
+    const RnsTower &tower = digit.tower();
+    TFHE_ASSERT(digit.domain() == Domain::Coeff);
+
+    // Union basis: active q-limbs then all special limbs.
+    std::vector<std::size_t> target;
+    for (std::size_t i = 0; i < level_count; ++i)
+        target.push_back(i);
+    for (std::size_t k = 0; k < tower.numP(); ++k)
+        target.push_back(tower.specialIndex(k));
+
+    // Limbs outside the digit get converted values.
+    std::vector<std::size_t> others;
+    for (std::size_t idx : target) {
+        if (std::find(digit.limbIndices().begin(),
+                      digit.limbIndices().end(), idx)
+                == digit.limbIndices().end()) {
+            others.push_back(idx);
+        }
+    }
+    RnsPolynomial converted = fastBaseConv(digit, others);
+
+    RnsPolynomial out(tower, target, Domain::Coeff);
+    std::size_t n = digit.n();
+    std::size_t oi = 0;
+    for (std::size_t j = 0; j < target.size(); ++j) {
+        auto it = std::find(digit.limbIndices().begin(),
+                            digit.limbIndices().end(), target[j]);
+        if (it != digit.limbIndices().end()) {
+            std::size_t src = static_cast<std::size_t>(
+                it - digit.limbIndices().begin());
+            std::copy(digit.limb(src), digit.limb(src) + n, out.limb(j));
+        } else {
+            std::copy(converted.limb(oi), converted.limb(oi) + n,
+                      out.limb(j));
+            ++oi;
+        }
+    }
+    return out;
+}
+
+RnsPolynomial
+modDown(const RnsPolynomial &a)
+{
+    const RnsTower &tower = a.tower();
+    TFHE_ASSERT(a.domain() == Domain::Coeff);
+    std::size_t k = tower.numP();
+    TFHE_ASSERT(a.numLimbs() > k, "nothing to drop");
+    std::size_t ql = a.numLimbs() - k; // q-limbs in the result
+
+    // The special-limb part of a.
+    std::vector<std::size_t> p_idx(a.limbIndices().end() - k,
+                                   a.limbIndices().end());
+    for (std::size_t j = 0; j < k; ++j)
+        TFHE_ASSERT(p_idx[j] >= tower.numQ(), "limb order violated");
+    RnsPolynomial a_p(tower, p_idx, Domain::Coeff);
+    std::size_t n = a.n();
+    for (std::size_t j = 0; j < k; ++j)
+        std::copy(a.limb(ql + j), a.limb(ql + j) + n, a_p.limb(j));
+
+    // Convert a mod P onto the q-limbs, subtract, multiply by P^-1.
+    std::vector<std::size_t> q_idx(a.limbIndices().begin(),
+                                   a.limbIndices().begin() + ql);
+    RnsPolynomial conv = fastBaseConv(a_p, q_idx);
+
+    RnsPolynomial out(tower, q_idx, Domain::Coeff);
+    ThreadPool::global().parallelFor(0, ql, [&](std::size_t j) {
+        const Modulus &mod = tower.modulus(q_idx[j]);
+        u64 pinv = tower.pInvModQ(q_idx[j]);
+        u64 pinv_shoup = shoupPrecompute(pinv, mod.value());
+        const u64 *pa = a.limb(j);
+        const u64 *pc = conv.limb(j);
+        u64 *po = out.limb(j);
+        for (std::size_t c = 0; c < n; ++c) {
+            po[c] = mulModShoup(mod.sub(pa[c], pc[c]), pinv, pinv_shoup,
+                                mod.value());
+        }
+    });
+    return out;
+}
+
+RnsPolynomial
+rescaleByLastLimb(const RnsPolynomial &a)
+{
+    TFHE_ASSERT(a.domain() == Domain::Coeff);
+    TFHE_ASSERT(a.numLimbs() >= 2, "cannot rescale a one-limb poly");
+    const RnsTower &tower = a.tower();
+    std::size_t last = a.numLimbs() - 1;
+    std::size_t n = a.n();
+    u64 q_last = tower.prime(a.limbIndex(last));
+    const u64 *pl = a.limb(last);
+
+    std::vector<std::size_t> q_idx(a.limbIndices().begin(),
+                                   a.limbIndices().begin() + last);
+    RnsPolynomial out(tower, q_idx, Domain::Coeff);
+    ThreadPool::global().parallelFor(0, last, [&](std::size_t j) {
+        const Modulus &mod = tower.modulus(q_idx[j]);
+        u64 q = mod.value();
+        u64 qlast_inv = mod.inv(q_last % q);
+        u64 qi_shoup = shoupPrecompute(qlast_inv, q);
+        const u64 *pa = a.limb(j);
+        u64 *po = out.limb(j);
+        for (std::size_t c = 0; c < n; ++c) {
+            // Centered lift of the last-limb residue into [0, q).
+            u64 v = pl[c];
+            u64 lifted = v <= q_last / 2
+                ? v % q
+                : mod.sub(0, (q_last - v) % q);
+            po[c] = mulModShoup(mod.sub(pa[c], lifted), qlast_inv,
+                                qi_shoup, q);
+        }
+    });
+    return out;
+}
+
+} // namespace tensorfhe::rns

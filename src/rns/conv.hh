@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fast basis conversion (the paper's Conv kernel) and the ModUp /
+ * ModDown / Dcomp procedures of generalized key-switching built on it
+ * (paper Alg. 1 and SIV-A).
+ *
+ * The conversion is the approximate RNS conversion of the full-RNS
+ * CKKS line (Cheon et al., paper ref [15]): residues are recombined
+ * through CRT factors without computing the exact overflow count, so
+ * the result may differ from the true value by a small multiple of
+ * the source modulus. CKKS absorbs this into ciphertext noise; the
+ * tests bound it.
+ */
+
+#ifndef TENSORFHE_RNS_CONV_HH
+#define TENSORFHE_RNS_CONV_HH
+
+#include <vector>
+
+#include "rns/rns_poly.hh"
+
+namespace tensorfhe::rns
+{
+
+/**
+ * Convert a Coeff-domain polynomial from its current basis to
+ * `target_limbs`: out_j = sum_i [a_i * (S/s_i)^-1 mod s_i]
+ * * (S/s_i mod t_j) (mod t_j). Source limbs must be distinct primes.
+ */
+RnsPolynomial fastBaseConv(const RnsPolynomial &a,
+                           const std::vector<std::size_t> &target_limbs);
+
+/**
+ * Digit decomposition (Dcomp): split the first `active` limbs of `a`
+ * into digits of at most `alpha` consecutive limbs.
+ * Returns one Coeff-domain polynomial per digit, each carrying only
+ * its digit's limbs.
+ */
+std::vector<RnsPolynomial> decomposeDigits(const RnsPolynomial &a,
+                                           std::size_t alpha);
+
+/**
+ * ModUp: extend one digit to the union basis
+ * {q_0..q_{level}} + {p_0..p_{K-1}}: digit limbs are copied, all
+ * other limbs come from fastBaseConv.
+ */
+RnsPolynomial modUp(const RnsPolynomial &digit, std::size_t level_count);
+
+/**
+ * ModDown: given `a` over {q_0..q_l} + {p_*} (Coeff domain), return
+ * round(a / P) over {q_0..q_l}:
+ *   b_j = P^-1 * (a_j - Conv_{p->q}(a mod P)_j) mod q_j.
+ */
+RnsPolynomial modDown(const RnsPolynomial &a);
+
+/**
+ * Exact divide-and-round by the last limb's prime (the core of
+ * RESCALE, paper Alg. 6): for j < last,
+ *   out_j = q_last^-1 * (a_j - [a_last]_{q_j}) mod q_j
+ * with a centered lift of the last limb. `a` must be Coeff domain.
+ */
+RnsPolynomial rescaleByLastLimb(const RnsPolynomial &a);
+
+} // namespace tensorfhe::rns
+
+#endif // TENSORFHE_RNS_CONV_HH

@@ -1,0 +1,72 @@
+#include "rns/tower.hh"
+
+#include <set>
+
+#include "common/logging.hh"
+#include "common/primes.hh"
+
+namespace tensorfhe::rns
+{
+
+RnsTower::RnsTower(const TowerConfig &cfg) : cfg_(cfg)
+{
+    requireArg(isPowerOfTwo(cfg.n) && cfg.n >= 8, "N must be 2^k >= 8");
+    requireArg(cfg.levels >= 0, "levels must be non-negative");
+    requireArg(cfg.special >= 1, "need at least one special prime");
+    requireArg(cfg.scaleBits >= 20 && cfg.scaleBits <= 31
+                   && cfg.firstBits >= cfg.scaleBits && cfg.firstBits <= 31
+                   && cfg.specialBits >= cfg.scaleBits
+                   && cfg.specialBits <= 31,
+               "prime sizes must fit the 32-bit residue design");
+
+    u64 m = 2 * static_cast<u64>(cfg.n);
+
+    // Draw primes per size class; classes may coincide, so pull from a
+    // shared pool per bit width and keep all values distinct.
+    std::set<u64> used;
+    auto draw = [&](int bits, std::size_t count) {
+        std::vector<u64> out;
+        // Over-request so collisions with other classes can be skipped.
+        auto pool = generateNttPrimes(bits, count + used.size(), m);
+        for (u64 q : pool) {
+            if (out.size() == count)
+                break;
+            if (used.insert(q).second)
+                out.push_back(q);
+        }
+        requireState(out.size() == count, "prime pool too small at ",
+                     bits, " bits");
+        return out;
+    };
+
+    auto q0 = draw(cfg.firstBits, 1);
+    auto qs = draw(cfg.scaleBits, static_cast<std::size_t>(cfg.levels));
+    auto ps = draw(cfg.specialBits, static_cast<std::size_t>(cfg.special));
+
+    primes_.push_back(q0[0]);
+    primes_.insert(primes_.end(), qs.begin(), qs.end());
+    primes_.insert(primes_.end(), ps.begin(), ps.end());
+
+    ntts_.reserve(primes_.size());
+    for (u64 q : primes_)
+        ntts_.push_back(std::make_unique<ntt::NttContext>(cfg.n, q));
+
+    pModQ_.resize(primes_.size());
+    pInvModQ_.resize(primes_.size());
+    for (std::size_t i = 0; i < primes_.size(); ++i) {
+        const Modulus &mod = ntts_[i]->modulus();
+        u64 p = 1;
+        for (std::size_t k = 0; k < numP(); ++k)
+            p = mod.mul(p, primes_[specialIndex(k)] % mod.value());
+        pModQ_[i] = p;
+        pInvModQ_[i] = i < numQ() ? mod.inv(p) : 0;
+    }
+}
+
+const Modulus &
+RnsTower::modulus(std::size_t idx) const
+{
+    return ntts_[idx]->modulus();
+}
+
+} // namespace tensorfhe::rns

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The RNS prime tower: the full chain of ciphertext primes
+ * q_0 .. q_L plus the K special primes p_0 .. p_{K-1} of generalized
+ * key-switching (paper SII-B), with one NTT context per prime.
+ *
+ * Flattened indexing convention used across the library:
+ *   index i in [0, L]           -> ciphertext prime q_i
+ *   index L+1+k, k in [0, K)    -> special prime p_k
+ */
+
+#ifndef TENSORFHE_RNS_TOWER_HH
+#define TENSORFHE_RNS_TOWER_HH
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "ntt/ntt.hh"
+
+namespace tensorfhe::rns
+{
+
+/** Sizing knobs for the prime chain. */
+struct TowerConfig
+{
+    std::size_t n = 0;      ///< polynomial degree N
+    int levels = 0;         ///< L: maximum multiplicative level
+    int special = 1;        ///< K: number of special primes
+    int scaleBits = 25;     ///< size of q_1 .. q_L (approx. the scale)
+    int firstBits = 30;     ///< size of q_0 (message headroom)
+    int specialBits = 30;   ///< size of p_k
+};
+
+class RnsTower
+{
+  public:
+    explicit RnsTower(const TowerConfig &cfg);
+
+    std::size_t n() const { return cfg_.n; }
+    const TowerConfig &config() const { return cfg_; }
+
+    /** Number of ciphertext primes (L + 1). */
+    std::size_t numQ() const { return static_cast<std::size_t>(cfg_.levels) + 1; }
+    /** Number of special primes (K). */
+    std::size_t numP() const { return static_cast<std::size_t>(cfg_.special); }
+    /** Total primes in the tower. */
+    std::size_t numTotal() const { return numQ() + numP(); }
+
+    /** Flattened index of special prime k. */
+    std::size_t specialIndex(std::size_t k) const { return numQ() + k; }
+
+    u64 prime(std::size_t idx) const { return primes_[idx]; }
+    const Modulus &modulus(std::size_t idx) const;
+    const ntt::NttContext &nttContext(std::size_t idx) const
+    {
+        return *ntts_[idx];
+    }
+
+    /** Product of all special primes mod prime `idx` (P mod q_idx). */
+    u64 pModQ(std::size_t idx) const { return pModQ_[idx]; }
+    /** P^-1 mod q_idx. */
+    u64 pInvModQ(std::size_t idx) const { return pInvModQ_[idx]; }
+
+  private:
+    TowerConfig cfg_;
+    std::vector<u64> primes_;
+    std::vector<std::unique_ptr<ntt::NttContext>> ntts_;
+    std::vector<u64> pModQ_;
+    std::vector<u64> pInvModQ_;
+};
+
+} // namespace tensorfhe::rns
+
+#endif // TENSORFHE_RNS_TOWER_HH

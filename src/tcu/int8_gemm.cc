@@ -1,0 +1,56 @@
+#include "tcu/int8_gemm.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace tensorfhe::tcu
+{
+
+TcuCounters &
+tcuCounters()
+{
+    static TcuCounters counters;
+    return counters;
+}
+
+void
+int8Gemm(const u8 *a, const u8 *b, s32 *c, std::size_t m, std::size_t n,
+         std::size_t k)
+{
+    TFHE_ASSERT(k <= 32768, "s32 accumulator would overflow");
+    std::memset(c, 0, m * n * sizeof(s32));
+
+    // Tiled loop nest: each (i0, j0, k0) iteration models one
+    // m16n16k16 mma.sync issue.
+    u64 tiles = 0;
+    for (std::size_t i0 = 0; i0 < m; i0 += kTileM) {
+        std::size_t i_end = i0 + kTileM < m ? i0 + kTileM : m;
+        for (std::size_t k0 = 0; k0 < k; k0 += kTileK) {
+            std::size_t k_end = k0 + kTileK < k ? k0 + kTileK : k;
+            for (std::size_t j0 = 0; j0 < n; j0 += kTileN) {
+                std::size_t j_end = j0 + kTileN < n ? j0 + kTileN : n;
+                ++tiles;
+                for (std::size_t i = i0; i < i_end; ++i) {
+                    for (std::size_t kk = k0; kk < k_end; ++kk) {
+                        s32 av = a[i * k + kk];
+                        if (av == 0)
+                            continue;
+                        const u8 *brow = b + kk * n;
+                        s32 *crow = c + i * n;
+                        for (std::size_t j = j0; j < j_end; ++j)
+                            crow[j] += av * static_cast<s32>(brow[j]);
+                    }
+                }
+            }
+        }
+    }
+
+    auto &counters = tcuCounters();
+    counters.macs.fetch_add(static_cast<u64>(m) * n * k,
+                            std::memory_order_relaxed);
+    counters.tiles.fetch_add(tiles, std::memory_order_relaxed);
+    counters.gemms.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace tensorfhe::tcu

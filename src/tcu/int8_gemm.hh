@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Software model of a Tensor Core Unit (TCU).
+ *
+ * The paper (SII-C) describes the TCU as a grid of four-by-four dot
+ * product units consuming u8 operands and accumulating into s32. We
+ * reproduce that contract exactly: gemm() computes C(s32) = A(u8) x
+ * B(u8) tile by tile in the mma.sync m16n16k16 shape, and accounts
+ * MACs and tiles so the analytical device model can convert work into
+ * A100 tensor-core cycles.
+ */
+
+#ifndef TENSORFHE_TCU_INT8_GEMM_HH
+#define TENSORFHE_TCU_INT8_GEMM_HH
+
+#include <atomic>
+#include <cstddef>
+
+#include "common/types.hh"
+
+namespace tensorfhe::tcu
+{
+
+/** Tile shape mirroring the INT8 mma.sync fragment. */
+constexpr std::size_t kTileM = 16;
+constexpr std::size_t kTileN = 16;
+constexpr std::size_t kTileK = 16;
+
+/** Work counters accumulated by every simulated TCU dispatch. */
+struct TcuCounters
+{
+    std::atomic<u64> macs{0};
+    std::atomic<u64> tiles{0};
+    std::atomic<u64> gemms{0};
+
+    void
+    reset()
+    {
+        macs = 0;
+        tiles = 0;
+        gemms = 0;
+    }
+};
+
+/** Global TCU work accounting (read by the perf model and benches). */
+TcuCounters &tcuCounters();
+
+/**
+ * C = A x B with u8 operands and s32 accumulation.
+ *
+ * @param a row-major M x K, entries are u8 stored one per byte
+ * @param b row-major K x N
+ * @param c row-major M x N output, overwritten
+ *
+ * K is limited so the s32 accumulator provably cannot overflow:
+ * K * 255 * 255 < 2^31 requires K <= 33025; we assert K <= 32768.
+ */
+void int8Gemm(const u8 *a, const u8 *b, s32 *c, std::size_t m,
+              std::size_t n, std::size_t k);
+
+} // namespace tensorfhe::tcu
+
+#endif // TENSORFHE_TCU_INT8_GEMM_HH

@@ -1,0 +1,86 @@
+#include "tcu/segment.hh"
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "tcu/int8_gemm.hh"
+#include "tcu/stream.hh"
+
+namespace tensorfhe::tcu
+{
+
+SegmentedMatrix
+segmentU32(const u64 *src, std::size_t n)
+{
+    ScopedKernelTimer timer(KernelKind::Segment, n);
+    SegmentedMatrix seg;
+    for (auto &plane : seg)
+        plane.resize(n);
+    for (std::size_t e = 0; e < n; ++e) {
+        u64 v = src[e];
+        TFHE_ASSERT(v < (u64(1) << 32), "residue exceeds 32 bits");
+        seg[0][e] = static_cast<u8>(v);
+        seg[1][e] = static_cast<u8>(v >> 8);
+        seg[2][e] = static_cast<u8>(v >> 16);
+        seg[3][e] = static_cast<u8>(v >> 24);
+    }
+    return seg;
+}
+
+void
+fuseMod(const std::array<std::array<std::vector<s32>, 4>, 4> &o,
+        std::size_t n, const Modulus &mod, u64 *out)
+{
+    ScopedKernelTimer timer(KernelKind::Fusion, n);
+    // Radix weights 2^(8(i+j)), i + j in [0, 6].
+    u64 w[7];
+    for (int s = 0; s <= 6; ++s)
+        w[s] = mod.reduce(u128(1) << (8 * s));
+    for (std::size_t e = 0; e < n; ++e) {
+        u128 acc = 0;
+        for (int i = 0; i < 4; ++i) {
+            for (int j = 0; j < 4; ++j) {
+                // s32 plane values are non-negative (u8 x u8 sums).
+                acc += static_cast<u128>(static_cast<u64>(o[i][j][e]))
+                    * w[i + j];
+            }
+        }
+        out[e] = mod.reduce(acc);
+    }
+}
+
+void
+tensorGemmModSegSeg(const SegmentedMatrix &a_seg,
+                    const SegmentedMatrix &b_seg, u64 *c, std::size_t m,
+                    std::size_t n, std::size_t k, const Modulus &mod)
+{
+    TFHE_ASSERT(a_seg[0].size() == m * k, "segmented LHS shape mismatch");
+    TFHE_ASSERT(b_seg[0].size() == k * n, "segmented RHS shape mismatch");
+
+    std::array<std::array<std::vector<s32>, 4>, 4> o;
+    {
+        ScopedKernelTimer timer(KernelKind::TcuGemm, 16 * m * n);
+        StreamModel streams(kDefaultStreams);
+        for (int i = 0; i < 4; ++i) {
+            for (int j = 0; j < 4; ++j) {
+                o[i][j].resize(m * n);
+                // Each of the 16 GEMMs goes to its own stream, as the
+                // paper assigns one GEMM per CUDA stream (SIV-C.2).
+                streams.dispatch(static_cast<double>(m) * n * k);
+                int8Gemm(a_seg[i].data(), b_seg[j].data(), o[i][j].data(),
+                         m, n, k);
+            }
+        }
+    }
+    fuseMod(o, m * n, mod, c);
+}
+
+void
+tensorGemmMod(const u64 *a, const SegmentedMatrix &b_seg, u64 *c,
+              std::size_t m, std::size_t n, std::size_t k,
+              const Modulus &mod)
+{
+    SegmentedMatrix a_seg = segmentU32(a, m * k);
+    tensorGemmModSegSeg(a_seg, b_seg, c, m, n, k, mod);
+}
+
+} // namespace tensorfhe::tcu

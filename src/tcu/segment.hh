@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Segment-fusion scheme of paper SIV-C (Figs. 7 and 8).
+ *
+ * A 32-bit residue is split into four u8 limbs; a u32 x u32 GEMM then
+ * becomes sixteen u8 x u8 GEMMs whose s32 outputs are fused back with
+ * radix-2^8 weights (the paper calls this Booth-style partial-product
+ * accumulation) before a single modulo. The scheme is bit-exact; the
+ * tests check it against native 128-bit arithmetic.
+ */
+
+#ifndef TENSORFHE_TCU_SEGMENT_HH
+#define TENSORFHE_TCU_SEGMENT_HH
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "common/modarith.hh"
+#include "common/types.hh"
+
+namespace tensorfhe::tcu
+{
+
+/** The four u8 planes of a u32 matrix (plane s holds bits 8s..8s+7). */
+using SegmentedMatrix = std::array<std::vector<u8>, 4>;
+
+/**
+ * Split n values (< 2^32, stored in u64) into four u8 planes.
+ * Paper Fig. 7 / Stage 1 of the TCU NTT workflow.
+ */
+SegmentedMatrix segmentU32(const u64 *src, std::size_t n);
+
+/**
+ * Fuse the sixteen s32 partial-product planes back into residues
+ * mod q: out[e] = sum_{i,j} o[i][j][e] * 2^(8(i+j)) (mod q).
+ * Paper Stages 3 and 5.
+ *
+ * @param o o[i][j] is the plane from (segment i of LHS) x (segment j
+ *          of RHS); each must hold n elements
+ */
+void fuseMod(const std::array<std::array<std::vector<s32>, 4>, 4> &o,
+             std::size_t n, const Modulus &mod, u64 *out);
+
+/**
+ * Full segment-fusion GEMM: C = A x B mod q, with A (m x k) and
+ * B (k x n) holding residues < 2^32, dispatching 16 INT8 GEMMs.
+ *
+ * @param b_seg pre-segmented RHS (twiddle matrices are segmented once
+ *              at init, as the paper does for reused factors)
+ */
+void tensorGemmMod(const u64 *a, const SegmentedMatrix &b_seg, u64 *c,
+                   std::size_t m, std::size_t n, std::size_t k,
+                   const Modulus &mod);
+
+/** As tensorGemmMod, with both operands already segmented. */
+void tensorGemmModSegSeg(const SegmentedMatrix &a_seg,
+                         const SegmentedMatrix &b_seg, u64 *c,
+                         std::size_t m, std::size_t n, std::size_t k,
+                         const Modulus &mod);
+
+} // namespace tensorfhe::tcu
+
+#endif // TENSORFHE_TCU_SEGMENT_HH

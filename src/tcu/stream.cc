@@ -1,0 +1,38 @@
+#include "tcu/stream.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tensorfhe::tcu
+{
+
+StreamModel::StreamModel(std::size_t num_streams) : load_(num_streams, 0.0)
+{
+    TFHE_ASSERT(num_streams > 0);
+}
+
+std::size_t
+StreamModel::dispatch(double cost)
+{
+    auto it = std::min_element(load_.begin(), load_.end());
+    *it += cost;
+    return static_cast<std::size_t>(it - load_.begin());
+}
+
+double
+StreamModel::makespan() const
+{
+    return *std::max_element(load_.begin(), load_.end());
+}
+
+double
+StreamModel::totalWork() const
+{
+    double sum = 0.0;
+    for (double l : load_)
+        sum += l;
+    return sum;
+}
+
+} // namespace tensorfhe::tcu

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * CUDA-stream concurrency model.
+ *
+ * The paper dispatches each of the 16 segment GEMMs to a separate
+ * stream so independent GEMMs overlap (SIV-C.2). Functionally this is
+ * a no-op on a CPU; for timing, the model tracks per-stream work and
+ * reports the makespan a list scheduler would achieve, which the perf
+ * model uses to credit stream-level overlap.
+ */
+
+#ifndef TENSORFHE_TCU_STREAM_HH
+#define TENSORFHE_TCU_STREAM_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace tensorfhe::tcu
+{
+
+/** Streams used for the 16 segment GEMMs (paper uses one each). */
+constexpr std::size_t kDefaultStreams = 16;
+
+class StreamModel
+{
+  public:
+    explicit StreamModel(std::size_t num_streams);
+
+    /**
+     * Assign a task of `cost` abstract work units to the least-loaded
+     * stream (greedy list scheduling).
+     * @return the chosen stream index
+     */
+    std::size_t dispatch(double cost);
+
+    /** Max over streams of accumulated work (parallel completion). */
+    double makespan() const;
+
+    /** Sum over streams of accumulated work (serial completion). */
+    double totalWork() const;
+
+    std::size_t numStreams() const { return load_.size(); }
+
+  private:
+    std::vector<double> load_;
+};
+
+} // namespace tensorfhe::tcu
+
+#endif // TENSORFHE_TCU_STREAM_HH

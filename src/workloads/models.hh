@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Operation-count models of the paper's four evaluation workloads
+ * (SV): ResNet-20 [42], HELR logistic regression [30], LSTM [54] and
+ * Packed Bootstrapping [46], at the Table V parameters.
+ *
+ * The counts are reconstructions from the cited papers' published
+ * structure (layer shapes, iteration counts, BSGS decompositions);
+ * EXPERIMENTS.md documents each derivation. They feed Table X and
+ * Figs. 12-13 through the device time model.
+ */
+
+#ifndef TENSORFHE_WORKLOADS_MODELS_HH
+#define TENSORFHE_WORKLOADS_MODELS_HH
+
+#include <string>
+
+#include "perf/cost.hh"
+#include "perf/device_time.hh"
+
+namespace tensorfhe::workloads
+{
+
+/** Homomorphic operation counts of a full workload run. */
+struct OpCounts
+{
+    double hmult = 0;
+    double cmult = 0;
+    double hadd = 0;
+    double hrotate = 0;
+    double rescale = 0;
+    double conjugate = 0;
+
+    OpCounts &
+    operator+=(const OpCounts &o)
+    {
+        hmult += o.hmult;
+        cmult += o.cmult;
+        hadd += o.hadd;
+        hrotate += o.hrotate;
+        rescale += o.rescale;
+        conjugate += o.conjugate;
+        return *this;
+    }
+
+    friend OpCounts
+    operator*(double k, const OpCounts &c)
+    {
+        return {k * c.hmult, k * c.cmult, k * c.hadd, k * c.hrotate,
+                k * c.rescale, k * c.conjugate};
+    }
+};
+
+/** One slim bootstrap (paper Fig. 6) at the given slot count. */
+OpCounts bootstrapOpCounts(std::size_t slots);
+
+struct WorkloadModel
+{
+    std::string name;
+    ckks::CkksParams params;
+    std::size_t batch = 1;  ///< packed inputs (paper SV)
+    OpCounts counts;        ///< total op counts for the full run
+    double bootstraps = 0;  ///< number of bootstrap invocations
+};
+
+WorkloadModel resnet20Model();
+WorkloadModel logisticRegressionModel();
+WorkloadModel lstmModel();
+WorkloadModel packedBootstrappingModel();
+
+/** Estimated wall seconds of the workload on a device model. */
+double workloadSeconds(const WorkloadModel &w,
+                       const perf::DeviceTimeModel &model);
+
+/**
+ * Kernel-level time breakdown of the workload (Fig. 12 rows):
+ * fraction of modeled time in each of NTT / Hada-Mult / Ele-Add /
+ * Ele-Sub / ForbeniusMap / Conv.
+ */
+struct KernelShares
+{
+    double ntt = 0, hadaMult = 0, eleAdd = 0, frobenius = 0, conv = 0;
+};
+KernelShares workloadKernelShares(const WorkloadModel &w);
+
+/** Operation-level breakdown (Fig. 13 rows). */
+struct OpShares
+{
+    double hmult = 0, hrotate = 0, rescale = 0, hadd = 0, cmult = 0;
+};
+OpShares workloadOpShares(const WorkloadModel &w,
+                          const perf::DeviceTimeModel &model);
+
+} // namespace tensorfhe::workloads
+
+#endif // TENSORFHE_WORKLOADS_MODELS_HH

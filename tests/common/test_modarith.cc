@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Unit and property tests for modular arithmetic primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/modarith.hh"
+#include "common/rng.hh"
+
+namespace tensorfhe
+{
+namespace
+{
+
+TEST(ModArith, AddSubNegSmall)
+{
+    u64 q = 17;
+    EXPECT_EQ(addMod(9, 9, q), 1u);
+    EXPECT_EQ(addMod(0, 0, q), 0u);
+    EXPECT_EQ(addMod(16, 16, q), 15u);
+    EXPECT_EQ(subMod(3, 9, q), 11u);
+    EXPECT_EQ(subMod(9, 3, q), 6u);
+    EXPECT_EQ(negMod(0, q), 0u);
+    EXPECT_EQ(negMod(5, q), 12u);
+}
+
+TEST(ModArith, MulModMatchesWide)
+{
+    Rng rng(1);
+    for (int i = 0; i < 2000; ++i) {
+        u64 q = rng.uniform((u64(1) << 61) - 3) + 3;
+        u64 a = rng.uniform(q);
+        u64 b = rng.uniform(q);
+        u64 expect = static_cast<u64>(static_cast<u128>(a) * b % q);
+        EXPECT_EQ(mulMod(a, b, q), expect);
+    }
+}
+
+TEST(ModArith, PowModBasics)
+{
+    EXPECT_EQ(powMod(2, 10, 1'000'003), 1024u);
+    EXPECT_EQ(powMod(5, 0, 97), 1u);
+    EXPECT_EQ(powMod(0, 5, 97), 0u);
+    // Fermat: a^(q-1) = 1 mod prime q.
+    EXPECT_EQ(powMod(123456, 1'000'003 - 1, 1'000'003), 1u);
+}
+
+TEST(ModArith, InvModRoundTrip)
+{
+    u64 q = 998244353; // common NTT prime
+    Rng rng(2);
+    for (int i = 0; i < 200; ++i) {
+        u64 a = rng.uniform(q - 1) + 1;
+        u64 inv = invMod(a, q);
+        EXPECT_EQ(mulMod(a, inv, q), 1u);
+    }
+}
+
+TEST(ModArith, BarrettReduceMatchesNativeModulo)
+{
+    Rng rng(3);
+    std::vector<u64> moduli = {3, 17, 65537, 998244353,
+                               (u64(1) << 31) - 1, 0x3fffffffff000001ull};
+    for (u64 q : moduli) {
+        if (q >= (u64(1) << 62))
+            continue;
+        Modulus mod(q);
+        for (int i = 0; i < 500; ++i) {
+            u64 a = rng.uniform(q);
+            u64 b = rng.uniform(q);
+            u128 x = static_cast<u128>(a) * b;
+            EXPECT_EQ(mod.reduce(x), static_cast<u64>(x % q))
+                << "q=" << q << " a=" << a << " b=" << b;
+        }
+        // Degenerate inputs.
+        EXPECT_EQ(mod.reduce(0), 0u);
+        EXPECT_EQ(mod.reduce(q), 0u);
+        EXPECT_EQ(mod.reduce(q - 1), q - 1);
+    }
+}
+
+TEST(ModArith, BarrettReduceFullRangeStress)
+{
+    // reduce() must be correct for any x < q * 2^64, in particular
+    // accumulated sums much larger than q^2.
+    Rng rng(4);
+    u64 q = (u64(1) << 31) - (u64(1) << 17) + 1; // not prime; reduce is mod-agnostic
+    Modulus mod(q | 1);
+    q = mod.value();
+    for (int i = 0; i < 2000; ++i) {
+        u128 x = (static_cast<u128>(rng.next() % q) << 64) | rng.next();
+        EXPECT_EQ(mod.reduce(x), static_cast<u64>(x % q));
+    }
+}
+
+TEST(ModArith, ShoupMulMatchesBarrett)
+{
+    Rng rng(5);
+    u64 q = 0x7fffffff380001ull; // 55-bit NTT-friendly style value
+    Modulus mod(q);
+    for (int i = 0; i < 2000; ++i) {
+        u64 a = rng.uniform(q);
+        u64 w = rng.uniform(q);
+        u64 ws = shoupPrecompute(w, q);
+        EXPECT_EQ(mulModShoup(a, w, ws, q), mod.mul(a, w));
+    }
+}
+
+TEST(ModArith, BitReverse)
+{
+    EXPECT_EQ(bitReverse(0b001, 3), 0b100u);
+    EXPECT_EQ(bitReverse(0b110, 3), 0b011u);
+    EXPECT_EQ(bitReverse(0, 8), 0u);
+    for (u32 i = 0; i < 64; ++i)
+        EXPECT_EQ(bitReverse(bitReverse(i, 6), 6), i);
+}
+
+TEST(ModArith, Log2AndPow2Helpers)
+{
+    EXPECT_EQ(log2Floor(1), 0);
+    EXPECT_EQ(log2Floor(2), 1);
+    EXPECT_EQ(log2Floor(3), 1);
+    EXPECT_EQ(log2Floor(u64(1) << 40), 40);
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(4096));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(12));
+}
+
+TEST(ModArith, ModulusRejectsBadArguments)
+{
+    EXPECT_THROW(Modulus(0), std::invalid_argument);
+    EXPECT_THROW(Modulus(2), std::invalid_argument);
+    EXPECT_THROW(Modulus(u64(1) << 62), std::invalid_argument);
+}
+
+} // namespace
+} // namespace tensorfhe

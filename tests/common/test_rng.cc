@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Statistical sanity tests for the PRNG and CKKS samplers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+
+namespace tensorfhe
+{
+namespace
+{
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42), c(43);
+    bool any_diff = false;
+    for (int i = 0; i < 100; ++i) {
+        u64 va = a.next();
+        EXPECT_EQ(va, b.next());
+        if (va != c.next())
+            any_diff = true;
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformBounds)
+{
+    Rng rng(7);
+    for (u64 bound : {u64(1), u64(2), u64(3), u64(1000),
+                      (u64(1) << 40) + 17}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.uniform(bound), bound);
+    }
+}
+
+TEST(Rng, UniformMeanNearCenter)
+{
+    Rng rng(8);
+    const u64 bound = 1000;
+    const int samples = 200000;
+    double sum = 0;
+    for (int i = 0; i < samples; ++i)
+        sum += static_cast<double>(rng.uniform(bound));
+    double mean = sum / samples;
+    EXPECT_NEAR(mean, 499.5, 5.0);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(9);
+    const int samples = 200000;
+    double sum = 0, sq = 0;
+    for (int i = 0; i < samples; ++i) {
+        double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / samples, 0.0, 0.02);
+    EXPECT_NEAR(sq / samples, 1.0, 0.03);
+}
+
+TEST(Rng, TernaryDistribution)
+{
+    Rng rng(10);
+    int counts[3] = {0, 0, 0};
+    const int samples = 90000;
+    for (int i = 0; i < samples; ++i) {
+        s64 t = rng.sampleTernary();
+        ASSERT_GE(t, -1);
+        ASSERT_LE(t, 1);
+        ++counts[t + 1];
+    }
+    for (int c : counts)
+        EXPECT_NEAR(c, samples / 3.0, samples * 0.02);
+}
+
+TEST(Rng, PolySamplersRangeAndShape)
+{
+    Rng rng(11);
+    u64 q = 998244353;
+    auto u = sampleUniformPoly(rng, 4096, q);
+    auto t = sampleTernaryPoly(rng, 4096, q);
+    auto g = sampleGaussianPoly(rng, 4096, q, 3.2);
+    ASSERT_EQ(u.size(), 4096u);
+    for (u64 c : u)
+        EXPECT_LT(c, q);
+    for (u64 c : t)
+        EXPECT_TRUE(c == 0 || c == 1 || c == q - 1);
+    // Gaussian coefficients are near 0 or near q (negative wraps).
+    for (u64 c : g)
+        EXPECT_TRUE(c < 64 || c > q - 64) << c;
+}
+
+} // namespace
+} // namespace tensorfhe

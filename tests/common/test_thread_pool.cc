@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests for the thread pool: coverage, reuse, nesting, exceptions are
+ * out of scope (kernels do not throw mid-flight).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/thread_pool.hh"
+
+namespace tensorfhe
+{
+namespace
+{
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(3);
+    std::vector<std::atomic<int>> hits(10000);
+    pool.parallelFor(0, hits.size(),
+                     [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyAndSingletonRanges)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.parallelFor(5, 5, [&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 0);
+    pool.parallelFor(7, 8, [&](std::size_t i) {
+        EXPECT_EQ(i, 7u);
+        count.fetch_add(1);
+    });
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossManyInvocations)
+{
+    ThreadPool pool(2);
+    std::atomic<long> total{0};
+    for (int round = 0; round < 200; ++round) {
+        pool.parallelFor(0, 64,
+                         [&](std::size_t i) { total.fetch_add(long(i)); });
+    }
+    EXPECT_EQ(total.load(), 200L * (63 * 64 / 2));
+}
+
+TEST(ThreadPool, NestedCallsFallBackToSequential)
+{
+    ThreadPool pool(2);
+    std::atomic<int> inner{0};
+    pool.parallelFor(0, 4, [&](std::size_t) {
+        pool.parallelFor(0, 8, [&](std::size_t) { inner.fetch_add(1); });
+    });
+    EXPECT_EQ(inner.load(), 32);
+}
+
+TEST(ThreadPool, ZeroWorkerPoolRunsInline)
+{
+    ThreadPool pool(1); // 1 worker + caller
+    std::vector<int> data(257, 0);
+    pool.parallelFor(0, data.size(), [&](std::size_t i) { data[i] = 1; });
+    EXPECT_EQ(std::accumulate(data.begin(), data.end(), 0), 257);
+}
+
+TEST(ThreadPool, GlobalPoolSingleton)
+{
+    auto &a = ThreadPool::global();
+    auto &b = ThreadPool::global();
+    EXPECT_EQ(&a, &b);
+    EXPECT_GE(a.lanes(), 1u);
+}
+
+} // namespace
+} // namespace tensorfhe

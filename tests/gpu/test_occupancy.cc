@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Occupancy calculator and threading-model tests (Fig. 5 / Table IX
+ * machinery).
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/energy.hh"
+#include "gpu/occupancy.hh"
+
+namespace tensorfhe::gpu
+{
+namespace
+{
+
+TEST(Occupancy, StaticFullOccupancy)
+{
+    auto dev = DeviceModel::a100();
+    // 1024-thread blocks, 32 regs/thread, no smem: 2 blocks fill the
+    // 2048-thread SM.
+    auto r = staticOccupancy(dev, 1024, 32, 0);
+    EXPECT_EQ(r.blocksPerSm, 2);
+    EXPECT_DOUBLE_EQ(r.occupancy, 1.0);
+}
+
+TEST(Occupancy, RegisterLimited)
+{
+    auto dev = DeviceModel::a100();
+    // 256 regs/thread: 65536/256 = 256 threads per SM -> occupancy
+    // 256/2048 = 12.5%.
+    auto r = staticOccupancy(dev, 256, 256, 0);
+    EXPECT_EQ(r.limiter, "registers");
+    EXPECT_NEAR(r.occupancy, 0.125, 1e-9);
+}
+
+TEST(Occupancy, SmemLimited)
+{
+    auto dev = DeviceModel::a100();
+    auto r = staticOccupancy(dev, 128, 32, 100 * 1024);
+    EXPECT_EQ(r.blocksPerSm, 1);
+    EXPECT_EQ(r.limiter, "shared memory");
+}
+
+TEST(Occupancy, RejectsBadBlock)
+{
+    auto dev = DeviceModel::a100();
+    EXPECT_THROW(staticOccupancy(dev, 4096, 32, 0),
+                 std::invalid_argument);
+}
+
+TEST(Occupancy, Fig5Shape_MidThreadCountIsBest)
+{
+    // Paper Fig. 5: 8K -> 16K threads improves both occupancy and
+    // time; 32K hurts time (memory overhead) even as residency grows.
+    auto dev = DeviceModel::a100();
+    std::size_t elements = std::size_t(1) << 22; // N * L elements
+    auto p8 = threadingModel(dev, 8192, elements, 8.0, 40.0);
+    auto p16 = threadingModel(dev, 16384, elements, 8.0, 40.0);
+    auto p32 = threadingModel(dev, 32768, elements, 8.0, 40.0);
+
+    EXPECT_GT(p16.occupancy, p8.occupancy);
+    EXPECT_LT(p16.normalizedTime, p8.normalizedTime);
+    EXPECT_GT(p32.normalizedTime, p16.normalizedTime);
+    // Without batching, occupancy stays under 15% (paper SIII-B).
+    EXPECT_LT(p16.occupancy, 0.15);
+}
+
+TEST(Occupancy, TableIXShape_BatchingSaturatesOccupancy)
+{
+    auto dev = DeviceModel::a100();
+    double unbatched = batchedOccupancy(dev, 1, 64, 0.05);
+    double batched = batchedOccupancy(dev, 128, 64, 0.05);
+    EXPECT_LT(unbatched, 0.20);
+    EXPECT_GT(batched, 0.85); // paper Table IX: > 85% for all ops
+    EXPECT_LT(batched, 1.0);
+    // Monotone in batch.
+    for (std::size_t b = 1; b < 128; b *= 2) {
+        EXPECT_LE(batchedOccupancy(dev, b, 64, 0.05),
+                  batchedOccupancy(dev, 2 * b, 64, 0.05));
+    }
+}
+
+TEST(Energy, PowerTimesTime)
+{
+    EnergyModel e(DeviceModel::a100());
+    EXPECT_DOUBLE_EQ(e.watts(), 264.0);
+    EXPECT_DOUBLE_EQ(e.joules(2.0), 528.0);
+    EXPECT_NEAR(e.opsPerWatt(150.0), 0.568, 0.01); // ~ paper HMULT
+}
+
+TEST(Devices, PaperPlatformSpecs)
+{
+    auto a100 = DeviceModel::a100();
+    EXPECT_EQ(a100.numSms, 108);
+    EXPECT_GT(a100.tcuInt8Tops, 600.0);
+    auto v100 = DeviceModel::v100();
+    EXPECT_LT(v100.memBwGBs, a100.memBwGBs);
+    auto pascal = DeviceModel::gtx1080ti();
+    EXPECT_EQ(pascal.tcusPerSm, 0);
+}
+
+} // namespace
+} // namespace tensorfhe::gpu

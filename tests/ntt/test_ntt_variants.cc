@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Cross-variant NTT equivalence and algebraic property tests.
+ *
+ * The paper validates its optimized NTT by checking NTT->INTT is the
+ * identity (SVI-A); we additionally pin every optimized engine to the
+ * O(N^2) reference and check the negacyclic convolution theorem.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "common/primes.hh"
+#include "common/rng.hh"
+#include "ntt/ntt.hh"
+
+namespace tensorfhe::ntt
+{
+namespace
+{
+
+std::vector<u64>
+randomPoly(Rng &rng, std::size_t n, u64 q)
+{
+    std::vector<u64> a(n);
+    for (auto &c : a)
+        c = rng.uniform(q);
+    return a;
+}
+
+/** Schoolbook negacyclic product mod (X^N + 1, q). */
+std::vector<u64>
+schoolbookNegacyclic(const std::vector<u64> &a, const std::vector<u64> &b,
+                     u64 q)
+{
+    std::size_t n = a.size();
+    std::vector<u64> c(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            u64 p = mulMod(a[i], b[j], q);
+            std::size_t k = i + j;
+            if (k < n)
+                c[k] = addMod(c[k], p, q);
+            else
+                c[k - n] = subMod(c[k - n], p, q);
+        }
+    }
+    return c;
+}
+
+using VariantParam = std::tuple<std::size_t, NttVariant>;
+
+std::string
+variantParamName(const ::testing::TestParamInfo<VariantParam> &info)
+{
+    std::string name = nttVariantName(std::get<1>(info.param));
+    for (auto &c : name)
+        if (!isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return name + "_N" + std::to_string(std::get<0>(info.param));
+}
+
+class NttVariants : public ::testing::TestWithParam<VariantParam>
+{};
+
+TEST_P(NttVariants, RoundTripIsIdentity)
+{
+    auto [n, variant] = GetParam();
+    u64 q = generateNttPrimes(30, 1, 2 * n)[0];
+    NttContext ctx(n, q);
+    Rng rng(n);
+    auto a = randomPoly(rng, n, q);
+    auto saved = a;
+    ctx.forward(a.data(), variant);
+    if (n <= 256 || variant != NttVariant::Reference)
+        ctx.inverse(a.data(), variant);
+    else
+        ctx.inverse(a.data(), NttVariant::Butterfly);
+    EXPECT_EQ(a, saved) << nttVariantName(variant) << " N=" << n;
+}
+
+TEST_P(NttVariants, MatchesReferenceForward)
+{
+    auto [n, variant] = GetParam();
+    if (n > 512)
+        GTEST_SKIP() << "reference is O(N^2)";
+    u64 q = generateNttPrimes(30, 1, 2 * n)[0];
+    NttContext ctx(n, q);
+    Rng rng(n + 1);
+    auto a = randomPoly(rng, n, q);
+    auto ref = a;
+    ctx.forward(ref.data(), NttVariant::Reference);
+    ctx.forward(a.data(), variant);
+    EXPECT_EQ(a, ref) << nttVariantName(variant) << " N=" << n;
+}
+
+TEST_P(NttVariants, ConvolutionTheorem)
+{
+    auto [n, variant] = GetParam();
+    if (n > 512)
+        GTEST_SKIP() << "schoolbook is O(N^2)";
+    u64 q = generateNttPrimes(30, 1, 2 * n)[0];
+    NttContext ctx(n, q);
+    Rng rng(n + 2);
+    auto a = randomPoly(rng, n, q);
+    auto b = randomPoly(rng, n, q);
+    EXPECT_EQ(ctx.negacyclicMultiply(a, b, variant),
+              schoolbookNegacyclic(a, b, q));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariantsAndSizes, NttVariants,
+    ::testing::Combine(
+        ::testing::Values(std::size_t(8), std::size_t(64),
+                          std::size_t(128), std::size_t(512),
+                          std::size_t(1) << 11, std::size_t(1) << 13),
+        ::testing::Values(NttVariant::Reference, NttVariant::Butterfly,
+                          NttVariant::Gemm, NttVariant::Tensor)),
+    variantParamName);
+
+TEST(NttAgreement, AllVariantsAgreeOnLargeSize)
+{
+    std::size_t n = 1 << 12;
+    u64 q = generateNttPrimes(30, 1, 2 * n)[0];
+    NttContext ctx(n, q);
+    Rng rng(99);
+    auto base = randomPoly(rng, n, q);
+    auto bf = base, gm = base, tc = base;
+    ctx.forward(bf.data(), NttVariant::Butterfly);
+    ctx.forward(gm.data(), NttVariant::Gemm);
+    ctx.forward(tc.data(), NttVariant::Tensor);
+    EXPECT_EQ(bf, gm);
+    EXPECT_EQ(gm, tc);
+}
+
+TEST(NttAgreement, LinearityProperty)
+{
+    std::size_t n = 1 << 10;
+    u64 q = generateNttPrimes(30, 1, 2 * n)[0];
+    NttContext ctx(n, q);
+    Rng rng(7);
+    auto a = randomPoly(rng, n, q);
+    auto b = randomPoly(rng, n, q);
+    u64 alpha = rng.uniform(q);
+    // NTT(alpha*a + b) == alpha*NTT(a) + NTT(b)
+    std::vector<u64> combo(n);
+    for (std::size_t i = 0; i < n; ++i)
+        combo[i] = addMod(mulMod(alpha, a[i], q), b[i], q);
+    ctx.forward(combo.data(), NttVariant::Butterfly);
+    ctx.forward(a.data(), NttVariant::Butterfly);
+    ctx.forward(b.data(), NttVariant::Butterfly);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(combo[i], addMod(mulMod(alpha, a[i], q), b[i], q));
+}
+
+TEST(NttAgreement, ConstantPolynomialTransformsToConstantVector)
+{
+    std::size_t n = 1 << 8;
+    u64 q = generateNttPrimes(30, 1, 2 * n)[0];
+    NttContext ctx(n, q);
+    // NTT of the constant 1 polynomial evaluates X^0 at every root:
+    // all outputs are 1.
+    std::vector<u64> one(n, 0);
+    one[0] = 1;
+    ctx.forward(one.data(), NttVariant::Gemm);
+    for (u64 v : one)
+        EXPECT_EQ(v, 1u);
+}
+
+TEST(NttAgreement, MonomialShiftProperty)
+{
+    // Multiplying by X rotates coefficients negacyclically: check via
+    // the convolution helper against a direct shift.
+    std::size_t n = 64;
+    u64 q = generateNttPrimes(30, 1, 2 * n)[0];
+    NttContext ctx(n, q);
+    Rng rng(8);
+    auto a = randomPoly(rng, n, q);
+    std::vector<u64> x(n, 0);
+    x[1] = 1;
+    auto prod = ctx.negacyclicMultiply(a, x, NttVariant::Tensor);
+    for (std::size_t i = 1; i < n; ++i)
+        EXPECT_EQ(prod[i], a[i - 1]);
+    EXPECT_EQ(prod[0], negMod(a[n - 1], q)); // wraps with sign flip
+}
+
+TEST(NttAgreement, DifferentPrimesIndependentTables)
+{
+    std::size_t n = 256;
+    auto primes = generateNttPrimes(30, 2, 2 * n);
+    NttContext c0(n, primes[0]), c1(n, primes[1]);
+    Rng rng(3);
+    auto a = randomPoly(rng, n, primes[0] < primes[1] ? primes[0]
+                                                      : primes[1]);
+    auto a0 = a, a1 = a;
+    c0.forward(a0.data(), NttVariant::Butterfly);
+    c1.forward(a1.data(), NttVariant::Butterfly);
+    EXPECT_NE(a0, a1); // different fields, different evaluations
+    c0.inverse(a0.data(), NttVariant::Butterfly);
+    c1.inverse(a1.data(), NttVariant::Butterfly);
+    EXPECT_EQ(a0, a);
+    EXPECT_EQ(a1, a);
+}
+
+} // namespace
+} // namespace tensorfhe::ntt

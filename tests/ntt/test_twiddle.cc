@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Structural tests on the twiddle tables backing all NTT engines.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/primes.hh"
+#include "ntt/twiddle.hh"
+
+namespace tensorfhe::ntt
+{
+namespace
+{
+
+TEST(Twiddle, RootProperties)
+{
+    std::size_t n = 1 << 8;
+    u64 q = generateNttPrimes(30, 1, 2 * n)[0];
+    TwiddleTable t(n, q);
+    const Modulus &mod = t.modulus();
+    EXPECT_EQ(mod.pow(t.psi(), 2 * n), 1u);
+    EXPECT_EQ(mod.pow(t.psi(), n), q - 1);
+    EXPECT_EQ(mod.mul(t.psi(), t.psiInv()), 1u);
+}
+
+TEST(Twiddle, PsiPowTableConsistent)
+{
+    std::size_t n = 1 << 6;
+    u64 q = generateNttPrimes(28, 1, 2 * n)[0];
+    TwiddleTable t(n, q);
+    for (std::size_t e = 0; e < 2 * n; ++e)
+        EXPECT_EQ(t.psiPow(e), t.modulus().pow(t.psi(), e));
+}
+
+TEST(Twiddle, GemmFactorShapesAndRoots)
+{
+    for (std::size_t n : {std::size_t(64), std::size_t(128),
+                          std::size_t(1) << 10}) {
+        u64 q = generateNttPrimes(30, 1, 2 * n)[0];
+        TwiddleTable t(n, q);
+        const auto &gm = t.gemm();
+        EXPECT_EQ(gm.n1 * gm.n2, n);
+        EXPECT_GE(gm.n1, gm.n2);
+        EXPECT_LE(gm.n1 / gm.n2, 2u);
+        EXPECT_EQ(gm.w1.size(), gm.n1 * gm.n1);
+        EXPECT_EQ(gm.w2.size(), n);
+        EXPECT_EQ(gm.w3.size(), gm.n2 * gm.n2);
+        // W1's generator is psi^(N2): check a couple of entries.
+        const Modulus &mod = t.modulus();
+        u64 psi_2n1 = mod.pow(t.psi(), gm.n2);
+        EXPECT_EQ(gm.w1[0], 1u);                    // i=0, j=0
+        EXPECT_EQ(gm.w1[1], psi_2n1);               // i=0, j=1 -> psi^1
+        EXPECT_EQ(gm.w3[0], 1u);
+        // Segmented twiddles reassemble.
+        for (std::size_t e = 0; e < gm.w1.size(); ++e) {
+            u64 re = u64(gm.w1Seg[0][e]) | (u64(gm.w1Seg[1][e]) << 8)
+                | (u64(gm.w1Seg[2][e]) << 16)
+                | (u64(gm.w1Seg[3][e]) << 24);
+            ASSERT_EQ(re, gm.w1[e]);
+        }
+    }
+}
+
+TEST(Twiddle, ButterflyTablesInverseOfEachOther)
+{
+    std::size_t n = 1 << 7;
+    u64 q = generateNttPrimes(30, 1, 2 * n)[0];
+    TwiddleTable t(n, q);
+    const auto &bf = t.butterfly();
+    const Modulus &mod = t.modulus();
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(mod.mul(bf.psiRev[i], bf.psiInvRev[i]), 1u);
+    EXPECT_EQ(mod.mul(bf.nInv, n % q), 1u);
+}
+
+TEST(Twiddle, RejectsBadParameters)
+{
+    EXPECT_THROW(TwiddleTable(100, 998244353), std::invalid_argument);
+    // 17 = 1 mod 16 fails for N = 16 (needs q = 1 mod 32).
+    EXPECT_THROW(TwiddleTable(16, 17), std::invalid_argument);
+}
+
+} // namespace
+} // namespace tensorfhe::ntt

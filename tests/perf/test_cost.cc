@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Perf-model tests: cost composition, roofline behaviour, and the
+ * ordering properties that reproduce the paper's headline shape
+ * (TensorFHE > TensorFHE-CO > TensorFHE-NT on the A100).
+ */
+
+#include <gtest/gtest.h>
+
+#include "perf/device_time.hh"
+#include "perf/paper_data.hh"
+
+namespace tensorfhe::perf
+{
+namespace
+{
+
+ckks::CkksParams
+paperParams(ntt::NttVariant v)
+{
+    auto p = ckks::Presets::paperDefault();
+    p.nttVariant = v;
+    return p;
+}
+
+TEST(Cost, NttCostMonotoneInSizeAndLimbs)
+{
+    for (auto v : {ntt::NttVariant::Butterfly, ntt::NttVariant::Gemm,
+                   ntt::NttVariant::Tensor}) {
+        auto small = nttCost(1 << 12, 4, v);
+        auto bigger_n = nttCost(1 << 14, 4, v);
+        auto more_limbs = nttCost(1 << 12, 8, v);
+        EXPECT_GT(bigger_n.coreOps + bigger_n.tcuMacs,
+                  small.coreOps + small.tcuMacs);
+        EXPECT_GT(more_limbs.coreOps + more_limbs.tcuMacs,
+                  small.coreOps + small.tcuMacs);
+    }
+}
+
+TEST(Cost, TensorVariantShiftsWorkToTcu)
+{
+    auto bf = nttCost(1 << 16, 45, ntt::NttVariant::Butterfly);
+    auto tc = nttCost(1 << 16, 45, ntt::NttVariant::Tensor);
+    EXPECT_EQ(bf.tcuMacs, 0.0);
+    EXPECT_GT(tc.tcuMacs, 0.0);
+    EXPECT_LT(tc.coreOps, bf.coreOps); // GEMM leaves cores the fixups
+}
+
+TEST(Cost, HMultDominatedByKeySwitchNtts)
+{
+    // Paper Fig. 11: NTT is 92.1% of HMULT time.
+    auto p = paperParams(ntt::NttVariant::Tensor);
+    double share = nttShare(OpKind::HMult, p, 45);
+    EXPECT_GT(share, 0.75);
+    EXPECT_LT(share, 1.0);
+}
+
+TEST(Cost, OpCostOrdering)
+{
+    auto p = paperParams(ntt::NttVariant::Tensor);
+    auto hmult = opCost(OpKind::HMult, p, 45);
+    auto hrot = opCost(OpKind::HRotate, p, 45);
+    auto rescale = opCost(OpKind::Rescale, p, 45);
+    auto hadd = opCost(OpKind::HAdd, p, 45);
+    auto work = [](const KernelCost &c) {
+        return c.coreOps + c.tcuMacs / 8.0 + c.bytes;
+    };
+    // HMULT ~ HROTATE >> RESCALE >> HADD (paper Table VI ordering).
+    EXPECT_GT(work(hmult), work(rescale));
+    EXPECT_GT(work(hrot), work(rescale));
+    EXPECT_GT(work(rescale), work(hadd));
+    EXPECT_NEAR(work(hmult) / work(hrot), 1.0, 0.3);
+}
+
+TEST(DeviceTime, BatchingImprovesThroughput)
+{
+    DeviceTimeModel model(gpu::DeviceModel::a100());
+    auto p = paperParams(ntt::NttVariant::Tensor);
+    auto cost = opCost(OpKind::HMult, p, 45);
+    double t1 = model.throughput(cost, 1);
+    double t128 = model.throughput(cost, 128);
+    EXPECT_GT(t128, t1);
+}
+
+TEST(DeviceTime, Table6Shape_VariantOrdering)
+{
+    // TensorFHE < TensorFHE-CO < TensorFHE-NT in HMULT time
+    // (paper Table VI), at batch 128 on the A100 model.
+    DeviceTimeModel model(gpu::DeviceModel::a100());
+    double t_nt = model.seconds(
+        opCost(OpKind::HMult, paperParams(ntt::NttVariant::Butterfly),
+               45),
+        128);
+    double t_co = model.seconds(
+        opCost(OpKind::HMult, paperParams(ntt::NttVariant::Gemm), 45),
+        128);
+    double t_tc = model.seconds(
+        opCost(OpKind::HMult, paperParams(ntt::NttVariant::Tensor), 45),
+        128);
+    EXPECT_LT(t_tc, t_co);
+    EXPECT_LT(t_tc, t_nt);
+}
+
+TEST(DeviceTime, Table6Shape_V100SlowerThanA100)
+{
+    DeviceTimeModel a100(gpu::DeviceModel::a100());
+    DeviceTimeModel v100(gpu::DeviceModel::v100());
+    auto cost = opCost(OpKind::HMult,
+                       paperParams(ntt::NttVariant::Tensor), 45);
+    EXPECT_GT(v100.seconds(cost, 128), a100.seconds(cost, 128));
+}
+
+TEST(DeviceTime, NoTensorCoreFallsBackToCudaCores)
+{
+    DeviceTimeModel pascal(gpu::DeviceModel::gtx1080ti());
+    auto tc_cost = nttCost(1 << 14, 8, ntt::NttVariant::Tensor);
+    auto bf_cost = nttCost(1 << 14, 8, ntt::NttVariant::Butterfly);
+    // Without TCUs the segmented GEMM work lands on CUDA cores and
+    // loses to the butterfly.
+    EXPECT_GT(pascal.seconds(tc_cost, 32),
+              pascal.seconds(bf_cost, 32));
+}
+
+TEST(PaperData, TablesAreInternallyConsistent)
+{
+    // Spot-check quoted speedups against the prose: HMULT CPU /
+    // TensorFHE(A100) ~ 397x.
+    const auto &cpu = paper::kTable6.front();
+    const auto &best = paper::kTable6.back();
+    EXPECT_NEAR(cpu.hmult / best.hmult, 397.1, 1.0);
+    // HROTATE published occupancy rows exist for all five ops.
+    EXPECT_EQ(paper::kTable9.size(), 5u);
+}
+
+} // namespace
+} // namespace tensorfhe::perf

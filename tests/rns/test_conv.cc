@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests for fast basis conversion, ModUp / ModDown, and the RESCALE
+ * divide-and-round core — the machinery behind the paper's Conv
+ * kernel and Alg. 1 / Alg. 6.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "rns/conv.hh"
+
+namespace tensorfhe::rns
+{
+namespace
+{
+
+RnsTower &
+tower()
+{
+    static RnsTower t([] {
+        TowerConfig cfg;
+        cfg.n = 1 << 6;
+        cfg.levels = 5;
+        cfg.special = 2;
+        return cfg;
+    }());
+    return t;
+}
+
+/** CRT-reconstruct coefficient c of `a` as a u128 (few small limbs). */
+u128
+crtReconstruct(const RnsPolynomial &a, std::size_t c)
+{
+    u128 modulus = 1;
+    for (std::size_t i = 0; i < a.numLimbs(); ++i)
+        modulus *= a.limbModulus(i).value();
+    u128 x = 0;
+    for (std::size_t i = 0; i < a.numLimbs(); ++i) {
+        u64 qi = a.limbModulus(i).value();
+        u128 hat = modulus / qi;
+        u64 hat_mod = static_cast<u64>(hat % qi);
+        u64 hat_inv = invMod(hat_mod, qi);
+        u128 term = hat * hat_inv % modulus;
+        x = (x + term * a.limb(i)[c]) % modulus;
+    }
+    return x;
+}
+
+TEST(Conv, SingleSourceLimbIsExact)
+{
+    Rng rng(1);
+    RnsPolynomial a = sampleUniform(tower(), {0}, Domain::Coeff, rng);
+    auto out = fastBaseConv(a, {1, 2, tower().specialIndex(0)});
+    for (std::size_t j = 0; j < out.numLimbs(); ++j) {
+        u64 t = out.limbModulus(j).value();
+        for (std::size_t c = 0; c < a.n(); ++c)
+            ASSERT_EQ(out.limb(j)[c], a.limb(0)[c] % t);
+    }
+}
+
+TEST(Conv, MultiLimbWithinApproximationBound)
+{
+    // Approximate conversion returns x + u*S with 0 <= u < s (number
+    // of source limbs). Verify per coefficient.
+    Rng rng(2);
+    RnsPolynomial a =
+        sampleUniform(tower(), {0, 1, 2}, Domain::Coeff, rng);
+    std::vector<std::size_t> target = {3, 4};
+    auto out = fastBaseConv(a, target);
+    u128 source_modulus = 1;
+    for (std::size_t i = 0; i < 3; ++i)
+        source_modulus *= a.limbModulus(i).value();
+    for (std::size_t c = 0; c < a.n(); ++c) {
+        u128 x = crtReconstruct(a, c);
+        for (std::size_t j = 0; j < target.size(); ++j) {
+            u64 t = out.limbModulus(j).value();
+            bool matched = false;
+            for (u64 u = 0; u < 3 && !matched; ++u)
+                matched = out.limb(j)[c]
+                    == static_cast<u64>((x + u * source_modulus) % t);
+            ASSERT_TRUE(matched) << "coeff " << c;
+        }
+    }
+}
+
+TEST(Conv, DecomposeDigitsShapes)
+{
+    Rng rng(3);
+    RnsPolynomial a =
+        sampleUniform(tower(), {0, 1, 2, 3, 4}, Domain::Coeff, rng);
+    auto digits = decomposeDigits(a, 2);
+    ASSERT_EQ(digits.size(), 3u);
+    EXPECT_EQ(digits[0].numLimbs(), 2u);
+    EXPECT_EQ(digits[1].numLimbs(), 2u);
+    EXPECT_EQ(digits[2].numLimbs(), 1u);
+    EXPECT_EQ(digits[1].limbIndex(0), 2u);
+    // Residues are copies of the source.
+    for (std::size_t c = 0; c < a.n(); ++c) {
+        ASSERT_EQ(digits[0].limb(0)[c], a.limb(0)[c]);
+        ASSERT_EQ(digits[2].limb(0)[c], a.limb(4)[c]);
+    }
+}
+
+TEST(Conv, ModUpKeepsDigitResiduesVerbatim)
+{
+    Rng rng(4);
+    RnsPolynomial a =
+        sampleUniform(tower(), {0, 1, 2, 3}, Domain::Coeff, rng);
+    auto digits = decomposeDigits(a, 2);
+    auto up = modUp(digits[1], 4); // digit limbs {2, 3}
+    ASSERT_EQ(up.numLimbs(), 4 + tower().numP());
+    for (std::size_t c = 0; c < a.n(); ++c) {
+        ASSERT_EQ(up.limb(2)[c], a.limb(2)[c]);
+        ASSERT_EQ(up.limb(3)[c], a.limb(3)[c]);
+    }
+}
+
+TEST(Conv, ModDownInvertsMultiplicationByP)
+{
+    // Construct a = P * x over the union basis; ModDown must return
+    // exactly x (the p-limbs of P*x are zero, so Conv contributes 0).
+    Rng rng(5);
+    std::size_t ql = 3;
+    std::vector<std::size_t> q_idx = {0, 1, 2};
+    RnsPolynomial x = sampleUniform(tower(), q_idx, Domain::Coeff, rng);
+
+    std::vector<std::size_t> union_idx = q_idx;
+    for (std::size_t k = 0; k < tower().numP(); ++k)
+        union_idx.push_back(tower().specialIndex(k));
+    RnsPolynomial a(tower(), union_idx, Domain::Coeff);
+    for (std::size_t i = 0; i < ql; ++i) {
+        const Modulus &mod = tower().modulus(q_idx[i]);
+        u64 p_mod = tower().pModQ(q_idx[i]);
+        for (std::size_t c = 0; c < x.n(); ++c)
+            a.limb(i)[c] = mod.mul(x.limb(i)[c], p_mod);
+    }
+    // p-limbs stay zero.
+    auto down = modDown(a);
+    ASSERT_EQ(down.numLimbs(), ql);
+    for (std::size_t i = 0; i < ql; ++i)
+        for (std::size_t c = 0; c < x.n(); ++c)
+            ASSERT_EQ(down.limb(i)[c], x.limb(i)[c]);
+}
+
+TEST(Conv, ModDownRoundsSmallNoise)
+{
+    // a = P*x + e with |e| << P: ModDown returns x with error at most
+    // a small constant from the approximate conversion.
+    Rng rng(6);
+    std::vector<std::size_t> q_idx = {0, 1};
+    RnsPolynomial x = sampleUniform(tower(), q_idx, Domain::Coeff, rng);
+
+    std::vector<std::size_t> union_idx = q_idx;
+    for (std::size_t k = 0; k < tower().numP(); ++k)
+        union_idx.push_back(tower().specialIndex(k));
+    std::vector<s64> noise(tower().n());
+    for (auto &e : noise)
+        e = rng.sampleGaussianInt(3.2);
+    RnsPolynomial a = liftSigned(tower(), union_idx, noise);
+    for (std::size_t i = 0; i < q_idx.size(); ++i) {
+        const Modulus &mod = tower().modulus(q_idx[i]);
+        u64 p_mod = tower().pModQ(q_idx[i]);
+        for (std::size_t c = 0; c < x.n(); ++c) {
+            a.limb(i)[c] = mod.add(a.limb(i)[c],
+                                   mod.mul(x.limb(i)[c], p_mod));
+        }
+    }
+    auto down = modDown(a);
+    // Error |down - x| <= numP + 1 per limb (approx conv + rounding).
+    for (std::size_t i = 0; i < q_idx.size(); ++i) {
+        u64 q = tower().prime(q_idx[i]);
+        for (std::size_t c = 0; c < x.n(); ++c) {
+            u64 d = subMod(down.limb(i)[c], x.limb(i)[c], q);
+            u64 err = std::min(d, q - d);
+            ASSERT_LE(err, tower().numP() + 1) << "coeff " << c;
+        }
+    }
+}
+
+TEST(Conv, RescaleDividesAndRounds)
+{
+    // Build a two-limb poly whose coefficients are known products
+    // v = k * q_last + r and check out = k (+/-1 for the rounding of
+    // centered r).
+    std::vector<std::size_t> idx = {0, 1};
+    u64 q_last = tower().prime(1);
+    RnsPolynomial a(tower(), idx, Domain::Coeff);
+    std::vector<u64> expect(tower().n());
+    Rng rng(7);
+    for (std::size_t c = 0; c < tower().n(); ++c) {
+        u64 k = rng.uniform(1 << 20);
+        u64 r = rng.uniform(q_last);
+        u128 v = static_cast<u128>(k) * q_last + r;
+        a.limb(0)[c] = static_cast<u64>(v % tower().prime(0));
+        a.limb(1)[c] = static_cast<u64>(v % q_last);
+        expect[c] = r <= q_last / 2 ? k : k + 1; // round to nearest
+    }
+    auto out = rescaleByLastLimb(a);
+    ASSERT_EQ(out.numLimbs(), 1u);
+    for (std::size_t c = 0; c < tower().n(); ++c)
+        ASSERT_EQ(out.limb(0)[c], expect[c] % tower().prime(0));
+}
+
+} // namespace
+} // namespace tensorfhe::rns

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for RnsPolynomial: domain moves, elementwise kernels, and the
+ * ForbeniusMap / automorphism kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "rns/rns_poly.hh"
+
+namespace tensorfhe::rns
+{
+namespace
+{
+
+RnsTower &
+tower()
+{
+    static RnsTower t([] {
+        TowerConfig cfg;
+        cfg.n = 1 << 7;
+        cfg.levels = 3;
+        cfg.special = 1;
+        return cfg;
+    }());
+    return t;
+}
+
+RnsPolynomial
+randomPoly(std::size_t limbs, Domain d, u64 seed)
+{
+    Rng rng(seed);
+    std::vector<std::size_t> idx(limbs);
+    for (std::size_t i = 0; i < limbs; ++i)
+        idx[i] = i;
+    return sampleUniform(tower(), idx, d, rng);
+}
+
+TEST(RnsPoly, DomainRoundTrip)
+{
+    for (auto v : {ntt::NttVariant::Butterfly, ntt::NttVariant::Gemm,
+                   ntt::NttVariant::Tensor}) {
+        auto a = randomPoly(3, Domain::Coeff, 1);
+        auto saved = a;
+        a.toEval(v);
+        EXPECT_EQ(a.domain(), Domain::Eval);
+        a.toCoeff(v);
+        for (std::size_t i = 0; i < a.numLimbs(); ++i) {
+            for (std::size_t j = 0; j < a.n(); ++j)
+                ASSERT_EQ(a.limb(i)[j], saved.limb(i)[j]);
+        }
+    }
+}
+
+TEST(RnsPoly, ToEvalIsIdempotent)
+{
+    auto a = randomPoly(2, Domain::Coeff, 2);
+    a.toEval();
+    auto snapshot = a;
+    a.toEval(); // no-op
+    for (std::size_t i = 0; i < a.numLimbs(); ++i)
+        for (std::size_t j = 0; j < a.n(); ++j)
+            ASSERT_EQ(a.limb(i)[j], snapshot.limb(i)[j]);
+}
+
+TEST(RnsPoly, ElementwiseKernelsMatchScalarMath)
+{
+    auto a = randomPoly(4, Domain::Eval, 3);
+    auto b = randomPoly(4, Domain::Eval, 4);
+    auto add = a, sub = a, mul = a;
+    eleAddInPlace(add, b);
+    eleSubInPlace(sub, b);
+    hadaMultInPlace(mul, b);
+    for (std::size_t i = 0; i < a.numLimbs(); ++i) {
+        u64 q = a.limbModulus(i).value();
+        for (std::size_t j = 0; j < a.n(); ++j) {
+            EXPECT_EQ(add.limb(i)[j], addMod(a.limb(i)[j], b.limb(i)[j], q));
+            EXPECT_EQ(sub.limb(i)[j], subMod(a.limb(i)[j], b.limb(i)[j], q));
+            EXPECT_EQ(mul.limb(i)[j], mulMod(a.limb(i)[j], b.limb(i)[j], q));
+        }
+    }
+}
+
+TEST(RnsPoly, MulAccumulateFusesMultiplyAdd)
+{
+    auto acc = randomPoly(2, Domain::Eval, 5);
+    auto b = randomPoly(2, Domain::Eval, 6);
+    auto c = randomPoly(2, Domain::Eval, 7);
+    auto expect = acc;
+    auto prod = b;
+    hadaMultInPlace(prod, c);
+    eleAddInPlace(expect, prod);
+    mulAccumulate(acc, b, c);
+    for (std::size_t i = 0; i < acc.numLimbs(); ++i)
+        for (std::size_t j = 0; j < acc.n(); ++j)
+            ASSERT_EQ(acc.limb(i)[j], expect.limb(i)[j]);
+}
+
+TEST(RnsPoly, NegateIsAdditiveInverse)
+{
+    auto a = randomPoly(3, Domain::Coeff, 8);
+    auto neg = a;
+    negateInPlace(neg);
+    eleAddInPlace(neg, a);
+    for (std::size_t i = 0; i < neg.numLimbs(); ++i)
+        for (std::size_t j = 0; j < neg.n(); ++j)
+            ASSERT_EQ(neg.limb(i)[j], 0u);
+}
+
+TEST(RnsPoly, LiftSignedCentersNegatives)
+{
+    std::vector<s64> coeffs(tower().n(), 0);
+    coeffs[0] = -1;
+    coeffs[1] = 1;
+    coeffs[2] = -12345;
+    auto a = liftSigned(tower(), {0, 1}, coeffs);
+    for (std::size_t i = 0; i < a.numLimbs(); ++i) {
+        u64 q = a.limbModulus(i).value();
+        EXPECT_EQ(a.limb(i)[0], q - 1);
+        EXPECT_EQ(a.limb(i)[1], 1u);
+        EXPECT_EQ(a.limb(i)[2], q - 12345);
+    }
+}
+
+TEST(RnsPoly, AutomorphismCoeffMatchesEvalFrobenius)
+{
+    // sigma_k in coefficient domain, conjugated through the NTT, must
+    // equal the ForbeniusMap permutation in Eval domain.
+    auto a = randomPoly(2, Domain::Coeff, 9);
+    u64 galois = 5; // generator step used by rotations
+    auto coeff_path = applyAutomorphism(a, galois);
+    coeff_path.toEval();
+    auto eval_path = a;
+    eval_path.toEval();
+    eval_path = applyAutomorphism(eval_path, galois);
+    for (std::size_t i = 0; i < a.numLimbs(); ++i)
+        for (std::size_t j = 0; j < a.n(); ++j)
+            ASSERT_EQ(coeff_path.limb(i)[j], eval_path.limb(i)[j]);
+}
+
+TEST(RnsPoly, AutomorphismComposition)
+{
+    auto a = randomPoly(2, Domain::Eval, 10);
+    u64 m = 2 * tower().n();
+    u64 g1 = 5, g2 = 25;
+    auto ab = applyAutomorphism(applyAutomorphism(a, g1), g2);
+    auto combined = applyAutomorphism(a, (g1 * g2) % m);
+    for (std::size_t i = 0; i < a.numLimbs(); ++i)
+        for (std::size_t j = 0; j < a.n(); ++j)
+            ASSERT_EQ(ab.limb(i)[j], combined.limb(i)[j]);
+}
+
+TEST(RnsPoly, AutomorphismIdentity)
+{
+    auto a = randomPoly(2, Domain::Eval, 11);
+    auto id = applyAutomorphism(a, 1);
+    for (std::size_t i = 0; i < a.numLimbs(); ++i)
+        for (std::size_t j = 0; j < a.n(); ++j)
+            ASSERT_EQ(id.limb(i)[j], a.limb(i)[j]);
+}
+
+TEST(RnsPoly, DropLimbs)
+{
+    auto a = randomPoly(4, Domain::Coeff, 12);
+    auto saved = a;
+    a.dropLastLimbs(2);
+    EXPECT_EQ(a.numLimbs(), 2u);
+    for (std::size_t i = 0; i < 2; ++i)
+        for (std::size_t j = 0; j < a.n(); ++j)
+            ASSERT_EQ(a.limb(i)[j], saved.limb(i)[j]);
+}
+
+} // namespace
+} // namespace tensorfhe::rns

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for the RNS prime tower.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/primes.hh"
+#include "rns/tower.hh"
+
+namespace tensorfhe::rns
+{
+namespace
+{
+
+TowerConfig
+smallConfig()
+{
+    TowerConfig cfg;
+    cfg.n = 1 << 8;
+    cfg.levels = 4;
+    cfg.special = 2;
+    cfg.scaleBits = 25;
+    cfg.firstBits = 30;
+    cfg.specialBits = 30;
+    return cfg;
+}
+
+TEST(RnsTower, PrimesDistinctAndNttFriendly)
+{
+    RnsTower tower(smallConfig());
+    EXPECT_EQ(tower.numQ(), 5u);
+    EXPECT_EQ(tower.numP(), 2u);
+    EXPECT_EQ(tower.numTotal(), 7u);
+    std::set<u64> seen;
+    for (std::size_t i = 0; i < tower.numTotal(); ++i) {
+        u64 q = tower.prime(i);
+        EXPECT_TRUE(isPrime(q));
+        EXPECT_EQ(q % (2 * tower.n()), 1u);
+        EXPECT_TRUE(seen.insert(q).second) << "duplicate prime";
+    }
+}
+
+TEST(RnsTower, SizeClassesRespected)
+{
+    RnsTower tower(smallConfig());
+    EXPECT_EQ(log2Floor(tower.prime(0)), 29);       // q0: 30 bits
+    for (std::size_t i = 1; i < tower.numQ(); ++i)
+        EXPECT_EQ(log2Floor(tower.prime(i)), 24);   // scale: 25 bits
+    for (std::size_t k = 0; k < tower.numP(); ++k)
+        EXPECT_EQ(log2Floor(tower.prime(tower.specialIndex(k))), 29);
+}
+
+TEST(RnsTower, SpecialProductPrecomputations)
+{
+    RnsTower tower(smallConfig());
+    for (std::size_t i = 0; i < tower.numQ(); ++i) {
+        const Modulus &mod = tower.modulus(i);
+        u64 p = 1;
+        for (std::size_t k = 0; k < tower.numP(); ++k)
+            p = mod.mul(p, tower.prime(tower.specialIndex(k)));
+        EXPECT_EQ(tower.pModQ(i), p);
+        EXPECT_EQ(mod.mul(tower.pModQ(i), tower.pInvModQ(i)), 1u);
+    }
+}
+
+TEST(RnsTower, NttContextsMatchPrimes)
+{
+    RnsTower tower(smallConfig());
+    for (std::size_t i = 0; i < tower.numTotal(); ++i) {
+        EXPECT_EQ(tower.nttContext(i).q(), tower.prime(i));
+        EXPECT_EQ(tower.nttContext(i).n(), tower.n());
+    }
+}
+
+TEST(RnsTower, RejectsBadConfigs)
+{
+    TowerConfig cfg = smallConfig();
+    cfg.n = 100;
+    EXPECT_THROW(RnsTower{cfg}, std::invalid_argument);
+    cfg = smallConfig();
+    cfg.special = 0;
+    EXPECT_THROW(RnsTower{cfg}, std::invalid_argument);
+    cfg = smallConfig();
+    cfg.scaleBits = 33;
+    EXPECT_THROW(RnsTower{cfg}, std::invalid_argument);
+    cfg = smallConfig();
+    cfg.firstBits = 20; // below scaleBits
+    EXPECT_THROW(RnsTower{cfg}, std::invalid_argument);
+}
+
+} // namespace
+} // namespace tensorfhe::rns

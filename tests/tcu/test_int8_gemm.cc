@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests the simulated INT8 tensor core against a naive reference.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "tcu/int8_gemm.hh"
+
+namespace tensorfhe::tcu
+{
+namespace
+{
+
+std::vector<s32>
+naiveGemm(const std::vector<u8> &a, const std::vector<u8> &b,
+          std::size_t m, std::size_t n, std::size_t k)
+{
+    std::vector<s32> c(m * n, 0);
+    for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t kk = 0; kk < k; ++kk)
+            for (std::size_t j = 0; j < n; ++j)
+                c[i * n + j] += s32(a[i * k + kk]) * s32(b[kk * n + j]);
+    return c;
+}
+
+struct Shape
+{
+    std::size_t m, n, k;
+};
+
+class Int8GemmShapes : public ::testing::TestWithParam<Shape>
+{};
+
+TEST_P(Int8GemmShapes, MatchesNaive)
+{
+    auto [m, n, k] = GetParam();
+    Rng rng(m * 1000 + n * 10 + k);
+    std::vector<u8> a(m * k), b(k * n);
+    for (auto &x : a)
+        x = static_cast<u8>(rng.uniform(256));
+    for (auto &x : b)
+        x = static_cast<u8>(rng.uniform(256));
+    std::vector<s32> c(m * n);
+    int8Gemm(a.data(), b.data(), c.data(), m, n, k);
+    EXPECT_EQ(c, naiveGemm(a, b, m, n, k));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, Int8GemmShapes,
+    ::testing::Values(
+        Shape{1, 1, 1}, Shape{16, 16, 16}, Shape{17, 5, 3},
+        Shape{8, 32, 64}, Shape{33, 17, 49}, Shape{64, 64, 64},
+        Shape{5, 128, 16}, Shape{128, 2, 255}));
+
+TEST(Int8Gemm, MaxMagnitudeNoOverflow)
+{
+    // All-255 operands at the largest supported K exercise the s32
+    // accumulator headroom claim (K * 255^2 < 2^31).
+    std::size_t m = 2, n = 2, k = 32768;
+    std::vector<u8> a(m * k, 255), b(k * n, 255);
+    std::vector<s32> c(m * n);
+    int8Gemm(a.data(), b.data(), c.data(), m, n, k);
+    s64 expect = s64(k) * 255 * 255;
+    ASSERT_LT(expect, s64(1) << 31);
+    for (s32 v : c)
+        EXPECT_EQ(v, expect);
+}
+
+TEST(Int8Gemm, CountersAccumulate)
+{
+    auto &counters = tcuCounters();
+    counters.reset();
+    std::vector<u8> a(4 * 8, 1), b(8 * 4, 1);
+    std::vector<s32> c(4 * 4);
+    int8Gemm(a.data(), b.data(), c.data(), 4, 4, 8);
+    EXPECT_EQ(counters.macs.load(), 4u * 4 * 8);
+    EXPECT_EQ(counters.gemms.load(), 1u);
+    EXPECT_EQ(counters.tiles.load(), 1u); // one 16x16x16 tile covers it
+    int8Gemm(a.data(), b.data(), c.data(), 4, 4, 8);
+    EXPECT_EQ(counters.gemms.load(), 2u);
+}
+
+} // namespace
+} // namespace tensorfhe::tcu

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Tests for the CUDA-stream list-scheduling model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tcu/stream.hh"
+
+namespace tensorfhe::tcu
+{
+namespace
+{
+
+TEST(StreamModel, BalancesEqualTasks)
+{
+    StreamModel s(4);
+    for (int i = 0; i < 16; ++i)
+        s.dispatch(1.0);
+    EXPECT_DOUBLE_EQ(s.makespan(), 4.0);
+    EXPECT_DOUBLE_EQ(s.totalWork(), 16.0);
+}
+
+TEST(StreamModel, SingleStreamSerializes)
+{
+    StreamModel s(1);
+    for (int i = 0; i < 5; ++i)
+        s.dispatch(2.0);
+    EXPECT_DOUBLE_EQ(s.makespan(), 10.0);
+    EXPECT_DOUBLE_EQ(s.makespan(), s.totalWork());
+}
+
+TEST(StreamModel, GreedyPlacesLargeTaskAlone)
+{
+    StreamModel s(2);
+    s.dispatch(10.0);
+    s.dispatch(1.0);
+    s.dispatch(1.0);
+    // 10 on stream A; the two 1s go to stream B.
+    EXPECT_DOUBLE_EQ(s.makespan(), 10.0);
+}
+
+TEST(StreamModel, MakespanBounds)
+{
+    // List scheduling is within 2x of the lower bound
+    // max(total/streams, max task).
+    StreamModel s(16);
+    double total = 0, biggest = 0;
+    for (int i = 1; i <= 16; ++i) {
+        double cost = i * 3.5;
+        s.dispatch(cost);
+        total += cost;
+        biggest = std::max(biggest, cost);
+    }
+    double lower = std::max(total / 16.0, biggest);
+    EXPECT_GE(s.makespan(), lower);
+    EXPECT_LE(s.makespan(), 2.0 * lower);
+}
+
+} // namespace
+} // namespace tensorfhe::tcu

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Workload-model tests (Table X / Figs. 12-13 machinery) and the
+ * functional encrypted logistic regression.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/lr.hh"
+#include "workloads/models.hh"
+
+namespace tensorfhe::workloads
+{
+namespace
+{
+
+TEST(Models, TableVParametersMatch)
+{
+    EXPECT_EQ(resnet20Model().params.levels, 29);
+    EXPECT_EQ(logisticRegressionModel().params.levels, 38);
+    EXPECT_EQ(lstmModel().params.n, std::size_t(1) << 15);
+    EXPECT_EQ(packedBootstrappingModel().params.levels, 57);
+    EXPECT_EQ(resnet20Model().batch, 64u);
+    EXPECT_EQ(lstmModel().batch, 32u);
+}
+
+TEST(Models, BootstrapCountsScaleWithSlots)
+{
+    auto small = bootstrapOpCounts(1 << 10);
+    auto big = bootstrapOpCounts(1 << 15);
+    EXPECT_GT(big.hrotate, small.hrotate);
+    EXPECT_GT(big.cmult, small.cmult);
+    EXPECT_GT(small.hmult, 0.0); // sine stage is slot-independent
+}
+
+TEST(Models, WorkloadTimesOrderLikeTableX)
+{
+    perf::DeviceTimeModel model(gpu::DeviceModel::a100());
+    double resnet = workloadSeconds(resnet20Model(), model);
+    double lr = workloadSeconds(logisticRegressionModel(), model);
+    double pboot = workloadSeconds(packedBootstrappingModel(), model);
+    // Paper Table X (TensorFHE row): ResNet-20 (316s) >> LR (14.1s)
+    // > PackedBoot (13.5s).
+    EXPECT_GT(resnet, lr);
+    EXPECT_GT(lr, pboot * 0.5);
+    EXPECT_GT(resnet / lr, 5.0);
+}
+
+TEST(Models, KernelSharesSumToOneAndNttDominates)
+{
+    for (const auto &w : {resnet20Model(), logisticRegressionModel(),
+                          lstmModel(), packedBootstrappingModel()}) {
+        auto s = workloadKernelShares(w);
+        double total =
+            s.ntt + s.hadaMult + s.eleAdd + s.frobenius + s.conv;
+        EXPECT_NEAR(total, 1.0, 1e-9) << w.name;
+        // Paper Fig. 12: NTT takes the largest share everywhere.
+        EXPECT_GT(s.ntt, 0.5) << w.name;
+    }
+}
+
+TEST(Models, OpSharesHRotateLeadsWorkloads)
+{
+    perf::DeviceTimeModel model(gpu::DeviceModel::a100());
+    // Paper Fig. 13 / SVI-C: HROTATE is the most time-consuming
+    // operation of the real workloads.
+    for (const auto &w : {resnet20Model(), lstmModel()}) {
+        auto s = workloadOpShares(w, model);
+        double total =
+            s.hmult + s.hrotate + s.rescale + s.hadd + s.cmult;
+        EXPECT_NEAR(total, 1.0, 1e-9);
+        EXPECT_GT(s.hrotate, s.hmult) << w.name;
+    }
+}
+
+TEST(EncryptedLr, RotationListCoversFoldsAndBroadcasts)
+{
+    LrConfig cfg;
+    cfg.features = 4;
+    cfg.samples = 8;
+    auto steps = lrRequiredRotations(cfg, 512);
+    // folds: 2,1; broadcasts: 510, 511; block folds: 4, 8, 16.
+    EXPECT_NE(std::find(steps.begin(), steps.end(), 2), steps.end());
+    EXPECT_NE(std::find(steps.begin(), steps.end(), 511), steps.end());
+    EXPECT_NE(std::find(steps.begin(), steps.end(), 16), steps.end());
+}
+
+TEST(EncryptedLr, TrainsOnEncryptedDataAndTracksPlaintext)
+{
+    ckks::CkksParams params = ckks::Presets::small(); // L = 6
+    params.levels = 8;
+    ckks::CkksContext ctx(params);
+    Rng rng(21);
+    auto sk = ctx.generateSecretKey(rng);
+
+    LrConfig cfg;
+    cfg.features = 4;
+    cfg.samples = 16;
+    cfg.iterations = 3;
+    cfg.learningRate = 2.0;
+    auto keys = ctx.generateKeys(
+        sk, rng, lrRequiredRotations(cfg, ctx.slots()));
+    EncryptedLrTrainer trainer(ctx, sk, keys, cfg);
+
+    // Linearly separable synthetic data: label = x0 + x1 > 0.
+    Rng data_rng(22);
+    std::vector<std::vector<double>> x(cfg.samples,
+                                       std::vector<double>(4));
+    std::vector<double> y(cfg.samples);
+    for (std::size_t s = 0; s < cfg.samples; ++s) {
+        for (auto &v : x[s])
+            v = 2 * data_rng.uniformReal() - 1;
+        x[s][3] = 1.0; // bias feature
+        y[s] = x[s][0] + x[s][1] > 0 ? 1.0 : 0.0;
+    }
+
+    auto res = trainer.train(x, y);
+    ASSERT_EQ(res.losses.size(), 3u);
+    // Loss decreases over training.
+    EXPECT_LT(res.losses.back(), res.losses.front());
+    // Encrypted-path model tracks the plaintext reference closely.
+    for (std::size_t j = 0; j < 4; ++j)
+        EXPECT_NEAR(res.weights[j], res.plainWeights[j], 0.05)
+            << "weight " << j;
+}
+
+} // namespace
+} // namespace tensorfhe::workloads
