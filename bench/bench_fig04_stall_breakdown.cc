@@ -38,9 +38,14 @@ main()
     for (int s = 0; s < int(Stall::NumKinds); ++s)
         std::printf(" %9.9s", stallName(Stall(s)));
     std::printf("\n");
-    for (auto &row : rows) {
-        auto bd = simulateSm(row.trace, 8);
-        std::printf("%-6s %9.1f%%", row.name,
+    // The three kernel simulations drain through the worker pool.
+    std::vector<SmJob> jobs;
+    for (auto &row : rows)
+        jobs.push_back({&row.trace, 8});
+    auto bds = simulateSmBatch(jobs);
+    for (std::size_t r = 0; r < jobs.size(); ++r) {
+        const auto &bd = bds[r];
+        std::printf("%-6s %9.1f%%", rows[r].name,
                     100.0 * bd.totalStallFraction());
         for (int s = 0; s < int(Stall::NumKinds); ++s)
             std::printf(" %8.1f%%", 100.0 * bd.stallFraction(Stall(s)));

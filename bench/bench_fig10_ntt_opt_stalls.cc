@@ -21,8 +21,12 @@ main()
     bench::banner("Fig. 10 - butterfly NTT vs GEMM NTT (TensorFHE-CO) "
                   "stall breakdown");
 
-    auto butterfly = simulateSm(butterflyNttTrace(1 << 12, 128), 8);
-    auto gemm = simulateSm(gemmNttTrace(1 << 12, 128), 8);
+    // Both kernel simulations run concurrently on the worker pool.
+    auto bt_trace = butterflyNttTrace(1 << 12, 128);
+    auto gm_trace = gemmNttTrace(1 << 12, 128);
+    auto bds = simulateSmBatch({{&bt_trace, 8}, {&gm_trace, 8}});
+    const auto &butterfly = bds[0];
+    const auto &gemm = bds[1];
 
     auto print = [](const char *name, const StallBreakdown &bd) {
         std::printf("%-14s total cycles %9llu  computation %5.1f%%",

@@ -2,22 +2,29 @@
  * @file
  * Regenerates paper Fig. 14: impact of the batch size on kernel
  * execution time — model at the paper's batch range {32..1024} plus
- * measured batched kernels on this machine at a scaled range.
+ * measured batched kernels on this machine at a scaled range, with a
+ * serial-vs-parallel comparison of the batched execution engine.
+ *
+ * Usage: bench_fig14_batch_size [threads]
+ *   threads  lanes of the engine's worker pool (default: all cores)
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <thread>
 #include <vector>
 
 #include "batch/executor.hh"
 #include "bench_util.hh"
 #include "ckks/crypto.hh"
+#include "common/thread_pool.hh"
 #include "perf/device_time.hh"
 
 using namespace tensorfhe;
 using namespace tensorfhe::perf;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("Fig. 14 - batch size sensitivity");
 
@@ -55,40 +62,75 @@ main()
         std::printf("\n");
     }
 
-    bench::section("measured: batched HADD / CMULT / HMULT per-op "
-                   "time vs batch (N=2^12, L=6)");
+    unsigned hw = std::thread::hardware_concurrency();
+    long threads = hw > 0 ? long(hw) : 1;
+    if (argc > 1)
+        threads = std::atol(argv[1]);
+    if (threads < 1)
+        threads = 1;
+    // lanes = workers + caller, so [threads] lanes = threads-1 workers
+    // (threads=1 gives a genuinely serial 1-lane pool).
+    ThreadPool engine_pool(static_cast<std::size_t>(threads) - 1);
+
+    bench::section("measured: serial (1-lane) vs parallel batched "
+                   "engine, per-op time vs batch (N=2^12, L=6)");
+    std::printf("engine pool: %zu lanes (pass [threads] to override); "
+                "serial columns run the same engine on a 1-lane pool\n",
+                engine_pool.lanes());
     ckks::CkksContext ctx(ckks::Presets::small());
     Rng rng(9);
     auto sk = ctx.generateSecretKey(rng);
     auto keys = ctx.generateKeys(sk, rng, {});
     ckks::Encryptor enc(ctx, keys.pk);
-    batch::BatchedEvaluator evalb(ctx, keys);
+    // The serial baseline is the identical code path pinned to one
+    // lane (the scalar Evaluator would not do: its kernels dispatch
+    // on the process-global pool, so it is not serial).
+    ThreadPool serial_pool(0);
+    batch::BatchedEvaluator evals(ctx, keys, &serial_pool);
+    batch::BatchedEvaluator evalb(ctx, keys, &engine_pool);
     std::size_t lc = ctx.tower().numQ();
     auto pt = ctx.encoder().encodeConstant(ckks::Complex(0.3, 0),
                                            ctx.params().scale(), lc);
     auto one = enc.encrypt(pt, rng);
 
-    std::printf("%-14s %8s %8s %8s\n", "batch", "HADD", "CMULT",
-                "HMULT");
-    for (std::size_t b : {1, 2, 4, 8}) {
+    std::printf("%-6s %9s %9s %9s %9s %9s %9s %8s\n", "batch",
+                "HADD-ser", "HADD-par", "CMULT-ser", "CMULT-par",
+                "HMULT-ser", "HMULT-par", "speedup");
+    for (std::size_t b : {1, 2, 4, 8, 12, 16}) {
         std::vector<ckks::Ciphertext> cts(b, one);
-        double t_add = bench::timeMean(3, [&] {
+        double s_add = bench::timeMean(3, [&] {
+            auto r = evals.add(cts, cts);
+        }) / double(b);
+        double s_cmult = bench::timeMean(3, [&] {
+            auto r = evals.multiplyPlain(cts, pt);
+        }) / double(b);
+        double s_hmult = bench::timeMean(1, [&] {
+            auto r = evals.multiply(cts, cts);
+        }) / double(b);
+        // Parallel batched engine: one (slot x tower) work-queue.
+        double p_add = bench::timeMean(3, [&] {
             auto r = evalb.add(cts, cts);
         }) / double(b);
-        double t_cmult = bench::timeMean(3, [&] {
+        double p_cmult = bench::timeMean(3, [&] {
             auto r = evalb.multiplyPlain(cts, pt);
         }) / double(b);
-        double t_hmult = bench::timeMean(1, [&] {
+        double p_hmult = bench::timeMean(1, [&] {
             auto r = evalb.multiply(cts, cts);
         }) / double(b);
-        std::printf("%-14zu %8s %8s %8s\n", b,
-                    bench::fmtSeconds(t_add).c_str(),
-                    bench::fmtSeconds(t_cmult).c_str(),
-                    bench::fmtSeconds(t_hmult).c_str());
+        std::printf("%-6zu %9s %9s %9s %9s %9s %9s %7.2fx\n", b,
+                    bench::fmtSeconds(s_add).c_str(),
+                    bench::fmtSeconds(p_add).c_str(),
+                    bench::fmtSeconds(s_cmult).c_str(),
+                    bench::fmtSeconds(p_cmult).c_str(),
+                    bench::fmtSeconds(s_hmult).c_str(),
+                    bench::fmtSeconds(p_hmult).c_str(),
+                    s_hmult / p_hmult);
     }
     std::printf("\npaper: larger batches amortize twiddle reuse and "
                 "launches until VRAM binds;\n"
                 "BS = 128 balances all kernels (ForbeniusMap gains "
-                "31.4%% at BS = 1024).\n");
+                "31.4%% at BS = 1024).\n"
+                "speedup column: serial HMULT / parallel batched HMULT "
+                "at the same batch.\n");
     return 0;
 }

@@ -13,6 +13,7 @@
 
 #include "common/primes.hh"
 #include "common/rng.hh"
+#include "common/thread_pool.hh"
 #include "ntt/ntt.hh"
 
 namespace
@@ -120,6 +121,73 @@ BM_GemmModuloDeferred(benchmark::State &state)
 
 BENCHMARK(BM_GemmModuloPerMac)->Arg(12)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_GemmModuloDeferred)->Arg(12)->Unit(benchmark::kMicrosecond);
+
+/**
+ * Batched-transform comparison: `batch` polynomials through serial
+ * forward() calls vs one forwardBatch() dispatch on the worker pool.
+ * Run both to read the serial-vs-parallel speedup of the batched
+ * execution engine at a given pool size.
+ */
+struct BatchFixture
+{
+    BatchFixture(std::size_t n, std::size_t batch) : base(n)
+    {
+        data.assign(batch * n, 0);
+        ptrs.resize(batch);
+        for (std::size_t b = 0; b < batch; ++b) {
+            ptrs[b] = data.data() + b * n;
+            std::copy(base.data.begin(), base.data.end(), ptrs[b]);
+        }
+    }
+
+    void
+    reset()
+    {
+        for (u64 *p : ptrs)
+            std::copy(base.data.begin(), base.data.end(), p);
+    }
+
+    Fixture base;
+    std::vector<u64> data;
+    std::vector<u64 *> ptrs;
+};
+
+void
+runBatch(benchmark::State &state, NttVariant v, bool parallel)
+{
+    std::size_t n = std::size_t(1) << state.range(0);
+    std::size_t batch = std::size_t(state.range(1));
+    BatchFixture f(n, batch);
+    for (auto _ : state) {
+        state.PauseTiming();
+        f.reset();
+        state.ResumeTiming();
+        if (parallel) {
+            f.base.ctx.forwardBatch(f.ptrs.data(), batch, v);
+        } else {
+            for (u64 *p : f.ptrs)
+                f.base.ctx.forward(p, v);
+        }
+        benchmark::DoNotOptimize(f.data.data());
+    }
+    state.SetItemsProcessed(s64(state.iterations()) * s64(n) * s64(batch));
+    state.SetLabel(std::string(nttVariantName(v))
+                   + (parallel ? " batched" : " serial loop"));
+}
+
+void BM_NttBatchSerial(benchmark::State &s) { runBatch(s, NttVariant::Butterfly, false); }
+void BM_NttBatchParallel(benchmark::State &s) { runBatch(s, NttVariant::Butterfly, true); }
+void BM_NttBatchTensorSerial(benchmark::State &s) { runBatch(s, NttVariant::Tensor, false); }
+void BM_NttBatchTensorFused(benchmark::State &s) { runBatch(s, NttVariant::Tensor, true); }
+
+BENCHMARK(BM_NttBatchSerial)->Args({12, 8})->Args({12, 16})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_NttBatchParallel)->Args({12, 8})->Args({12, 16})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_NttBatchTensorSerial)->Args({10, 8})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_NttBatchTensorFused)->Args({10, 8})
+    ->Unit(benchmark::kMicrosecond);
 
 } // namespace
 

@@ -1,63 +1,409 @@
 #include "batch/executor.hh"
 
 #include <algorithm>
+#include <cmath>
+#include <iterator>
 
 #include "common/logging.hh"
+#include "common/stats.hh"
 #include "common/thread_pool.hh"
 
 namespace tensorfhe::batch
 {
 
-template <typename Fn>
-BatchedEvaluator::Cts
-BatchedEvaluator::mapBatch(std::size_t size, Fn &&fn) const
+BatchedEvaluator::BatchedEvaluator(const ckks::CkksContext &ctx,
+                                   const ckks::KeyBundle &keys,
+                                   ThreadPool *pool)
+    : ctx_(ctx), keys_(keys), eval_(ctx, keys),
+      pool_(pool ? pool : &ThreadPool::global())
+{}
+
+namespace
 {
-    Cts out(size);
-    ThreadPool::global().parallelFor(0, size, [&](std::size_t i) {
-        out[i] = fn(i);
+
+/** Pointers to both components of every ciphertext in the batch. */
+std::vector<rns::RnsPolynomial *>
+componentPtrs(BatchedEvaluator::Cts &cts)
+{
+    std::vector<rns::RnsPolynomial *> ps;
+    ps.reserve(2 * cts.size());
+    for (auto &ct : cts) {
+        ps.push_back(&ct.c0);
+        ps.push_back(&ct.c1);
+    }
+    return ps;
+}
+
+/**
+ * Shared body of batched HADD/HSUB: validate, then apply op(mod, x, y)
+ * to both components across the flattened (slot x tower) space.
+ */
+template <typename OpFn>
+BatchedEvaluator::Cts
+elementwisePair(const BatchedEvaluator::Cts &a,
+                const BatchedEvaluator::Cts &b, KernelKind kind,
+                ThreadPool &pool, OpFn &&op)
+{
+    requireArg(a.size() == b.size(), "batch size mismatch");
+    if (a.empty())
+        return {};
+    BatchedEvaluator::Cts out = a;
+    std::size_t limbs = a[0].levelCount();
+    for (std::size_t s = 0; s < a.size(); ++s) {
+        requireArg(a[s].levelCount() == limbs
+                       && b[s].levelCount() == limbs,
+                   "batched ops require a uniform level");
+        requireArg(std::abs(a[s].scale - b[s].scale)
+                       <= 1e-6 * std::max(a[s].scale, b[s].scale),
+                   "ciphertext scales differ");
+    }
+    std::size_t n = a[0].c0.n();
+    ScopedKernelTimer timer(kind, 2 * a.size() * limbs * n);
+    pool.parallelFor2D(a.size(), limbs,
+                       [&](std::size_t s, std::size_t i) {
+        const Modulus &mod = out[s].c0.limbModulus(i);
+        u64 *p0 = out[s].c0.limb(i);
+        u64 *p1 = out[s].c1.limb(i);
+        const u64 *q0 = b[s].c0.limb(i);
+        const u64 *q1 = b[s].c1.limb(i);
+        for (std::size_t c = 0; c < n; ++c) {
+            p0[c] = op(mod, p0[c], q0[c]);
+            p1[c] = op(mod, p1[c], q1[c]);
+        }
     });
     return out;
 }
 
+} // namespace
+
 BatchedEvaluator::Cts
 BatchedEvaluator::add(const Cts &a, const Cts &b) const
 {
-    requireArg(a.size() == b.size(), "batch size mismatch");
-    return mapBatch(a.size(),
-                    [&](std::size_t i) { return eval_.add(a[i], b[i]); });
+    return elementwisePair(a, b, KernelKind::EleAdd, *pool_,
+                           [](const Modulus &m, u64 x, u64 y) {
+                               return m.add(x, y);
+                           });
 }
 
 BatchedEvaluator::Cts
-BatchedEvaluator::multiply(const Cts &a, const Cts &b) const
+BatchedEvaluator::sub(const Cts &a, const Cts &b) const
 {
-    requireArg(a.size() == b.size(), "batch size mismatch");
-    return mapBatch(a.size(), [&](std::size_t i) {
-        return eval_.multiply(a[i], b[i]);
-    });
+    return elementwisePair(a, b, KernelKind::EleSub, *pool_,
+                           [](const Modulus &m, u64 x, u64 y) {
+                               return m.sub(x, y);
+                           });
 }
 
 BatchedEvaluator::Cts
 BatchedEvaluator::multiplyPlain(const Cts &a,
                                 const ckks::Plaintext &p) const
 {
-    return mapBatch(a.size(), [&](std::size_t i) {
-        return eval_.multiplyPlain(a[i], p);
+    if (a.empty())
+        return {};
+    Cts out = a;
+    std::size_t limbs = a[0].levelCount();
+    for (const auto &ct : a)
+        requireArg(ct.levelCount() == p.levelCount()
+                       && ct.levelCount() == limbs,
+                   "plaintext level mismatch");
+    std::size_t n = ctx_.n();
+    ScopedKernelTimer timer(KernelKind::HadaMult,
+                            2 * a.size() * limbs * n);
+    pool_->parallelFor2D(a.size(), limbs,
+                         [&](std::size_t s, std::size_t i) {
+        const Modulus &mod = out[s].c0.limbModulus(i);
+        u64 *p0 = out[s].c0.limb(i);
+        u64 *p1 = out[s].c1.limb(i);
+        const u64 *pp = p.poly.limb(i);
+        for (std::size_t c = 0; c < n; ++c) {
+            p0[c] = mod.mul(p0[c], pp[c]);
+            p1[c] = mod.mul(p1[c], pp[c]);
+        }
     });
+    for (std::size_t s = 0; s < a.size(); ++s)
+        out[s].scale = a[s].scale * p.scale;
+    return out;
 }
 
 BatchedEvaluator::Cts
 BatchedEvaluator::rescale(const Cts &a) const
 {
-    return mapBatch(a.size(),
-                    [&](std::size_t i) { return eval_.rescale(a[i]); });
+    if (a.empty())
+        return {};
+    std::size_t limbs = a[0].levelCount();
+    for (const auto &ct : a)
+        requireArg(ct.levelCount() == limbs && limbs >= 2,
+                   "cannot rescale at level 0");
+    u64 q_last = ctx_.tower().prime(limbs - 1);
+    auto v = ctx_.nttVariant();
+
+    Cts out = a;
+    auto comps = componentPtrs(out);
+    rns::toCoeffBatch(comps, v, pool_);
+
+    std::vector<const rns::RnsPolynomial *> inputs(comps.size());
+    for (std::size_t i = 0; i < comps.size(); ++i)
+        inputs[i] = comps[i];
+    auto dropped = rns::rescaleByLastLimbBatch(inputs, pool_);
+    for (std::size_t s = 0; s < out.size(); ++s) {
+        out[s].c0 = std::move(dropped[2 * s]);
+        out[s].c1 = std::move(dropped[2 * s + 1]);
+    }
+    comps = componentPtrs(out);
+    rns::toEvalBatch(comps, v, pool_);
+    for (std::size_t s = 0; s < out.size(); ++s)
+        out[s].scale = a[s].scale / static_cast<double>(q_last);
+    return out;
+}
+
+std::pair<std::vector<rns::RnsPolynomial>,
+          std::vector<rns::RnsPolynomial>>
+BatchedEvaluator::keySwitchBatch(std::vector<rns::RnsPolynomial> ds,
+                                 const ckks::SwitchKey &key) const
+{
+    const auto &tower = ctx_.tower();
+    auto v = ctx_.nttVariant();
+    std::size_t batch = ds.size();
+    std::size_t n = ctx_.n();
+    std::size_t level_count = ds[0].numLimbs();
+    auto union_limbs = ctx_.unionLimbs(level_count);
+    std::size_t ul = union_limbs.size();
+
+    // Dcomp: all (slot x tower) INTTs of the batch in one dispatch.
+    std::vector<rns::RnsPolynomial *> d_ptrs(batch);
+    for (std::size_t s = 0; s < batch; ++s)
+        d_ptrs[s] = &ds[s];
+    rns::toCoeffBatch(d_ptrs, v, pool_);
+
+    std::vector<std::vector<rns::RnsPolynomial>> digits(batch);
+    pool_->parallelFor(0, batch, [&](std::size_t s) {
+        digits[s] = rns::decomposeDigits(ds[s], ctx_.params().alpha());
+    });
+    std::size_t num_digits = digits[0].size();
+
+    std::vector<rns::RnsPolynomial> acc0, acc1;
+    acc0.reserve(batch);
+    acc1.reserve(batch);
+    for (std::size_t s = 0; s < batch; ++s) {
+        acc0.emplace_back(tower, union_limbs, rns::Domain::Eval);
+        acc1.emplace_back(tower, union_limbs, rns::Domain::Eval);
+    }
+
+    for (std::size_t j = 0; j < num_digits; ++j) {
+        // Per-digit constants are slot-independent: Dcomp scalars
+        // (with their Shoup precomputations) and the key digit
+        // restricted to the union basis, computed once per batch.
+        std::size_t dl = digits[0][j].numLimbs();
+        std::vector<u64> scalars(dl), scalars_shoup(dl);
+        for (std::size_t i = 0; i < dl; ++i) {
+            std::size_t limb = digits[0][j].limbIndex(i);
+            scalars[i] = ctx_.dcompScalar(j, limb);
+            scalars_shoup[i] = shoupPrecompute(
+                scalars[i], tower.modulus(limb).value());
+        }
+        pool_->parallelFor2D(batch, dl,
+                             [&](std::size_t s, std::size_t i) {
+            const Modulus &mod = digits[s][j].limbModulus(i);
+            u64 *p = digits[s][j].limb(i);
+            for (std::size_t c = 0; c < n; ++c)
+                p[c] = mulModShoup(p[c], scalars[i], scalars_shoup[i],
+                                   mod.value());
+        });
+
+        // ModUp to the union basis (shared CRT factors), then one
+        // batched NTT dispatch over every (slot, tower).
+        std::vector<const rns::RnsPolynomial *> digit_ptrs(batch);
+        for (std::size_t s = 0; s < batch; ++s)
+            digit_ptrs[s] = &digits[s][j];
+        auto ups = rns::modUpBatch(digit_ptrs, level_count, pool_);
+        std::vector<rns::RnsPolynomial *> up_ptrs(batch);
+        for (std::size_t s = 0; s < batch; ++s)
+            up_ptrs[s] = &ups[s];
+        rns::toEvalBatch(up_ptrs, v, pool_);
+
+        auto keyb = rns::restrictToLimbs(key.b[j], union_limbs);
+        auto keya = rns::restrictToLimbs(key.a[j], union_limbs);
+
+        // Inner product accumulate, flattened (slot x union-tower).
+        ScopedKernelTimer timer(KernelKind::HadaMult,
+                                2 * batch * ul * n);
+        pool_->parallelFor2D(batch, ul,
+                             [&](std::size_t s, std::size_t i) {
+            const Modulus &mod = ups[s].limbModulus(i);
+            const u64 *pu = ups[s].limb(i);
+            const u64 *pb = keyb.limb(i);
+            const u64 *pa = keya.limb(i);
+            u64 *p0 = acc0[s].limb(i);
+            u64 *p1 = acc1[s].limb(i);
+            for (std::size_t c = 0; c < n; ++c) {
+                p0[c] = mod.add(p0[c], mod.mul(pu[c], pb[c]));
+                p1[c] = mod.add(p1[c], mod.mul(pu[c], pa[c]));
+            }
+        });
+    }
+
+    // ModDown by P: both accumulators of every slot share one batched
+    // dispatch (identical limb sets), then back to Eval domain.
+    std::vector<rns::RnsPolynomial *> acc_ptrs;
+    acc_ptrs.reserve(2 * batch);
+    for (auto &p : acc0)
+        acc_ptrs.push_back(&p);
+    for (auto &p : acc1)
+        acc_ptrs.push_back(&p);
+    rns::toCoeffBatch(acc_ptrs, v, pool_);
+
+    std::vector<const rns::RnsPolynomial *> acc_in(acc_ptrs.size());
+    for (std::size_t i = 0; i < acc_ptrs.size(); ++i)
+        acc_in[i] = acc_ptrs[i];
+    auto downs = rns::modDownBatch(acc_in, pool_);
+
+    std::vector<rns::RnsPolynomial> ks0(
+        std::make_move_iterator(downs.begin()),
+        std::make_move_iterator(downs.begin() + batch));
+    std::vector<rns::RnsPolynomial> ks1(
+        std::make_move_iterator(downs.begin() + batch),
+        std::make_move_iterator(downs.end()));
+    std::vector<rns::RnsPolynomial *> ks_ptrs;
+    ks_ptrs.reserve(2 * batch);
+    for (auto &p : ks0)
+        ks_ptrs.push_back(&p);
+    for (auto &p : ks1)
+        ks_ptrs.push_back(&p);
+    rns::toEvalBatch(ks_ptrs, v, pool_);
+    return {std::move(ks0), std::move(ks1)};
+}
+
+BatchedEvaluator::Cts
+BatchedEvaluator::multiply(const Cts &a, const Cts &b) const
+{
+    requireArg(a.size() == b.size(), "batch size mismatch");
+    if (a.empty())
+        return {};
+    std::size_t batch = a.size();
+    std::size_t limbs = a[0].levelCount();
+    for (std::size_t s = 0; s < batch; ++s) {
+        requireArg(a[s].levelCount() == limbs
+                       && b[s].levelCount() == limbs,
+                   "batched ops require a uniform level");
+        requireArg(limbs >= 2, "no level budget left for multiplication");
+    }
+    std::size_t n = ctx_.n();
+
+    // d0 = a0*b0, d1 = a0*b1 + a1*b0, d2 = a1*b1 (paper Alg. 2),
+    // flattened over (slot x tower). Fresh zero polynomials of the
+    // right shape — every coefficient is overwritten below, so
+    // copying the inputs would be wasted traffic.
+    const auto &limb_idx = a[0].c0.limbIndices();
+    std::vector<rns::RnsPolynomial> d0s, d1s, d2s;
+    d0s.reserve(batch);
+    d1s.reserve(batch);
+    d2s.reserve(batch);
+    for (std::size_t s = 0; s < batch; ++s) {
+        d0s.emplace_back(ctx_.tower(), limb_idx, rns::Domain::Eval);
+        d1s.emplace_back(ctx_.tower(), limb_idx, rns::Domain::Eval);
+        d2s.emplace_back(ctx_.tower(), limb_idx, rns::Domain::Eval);
+    }
+    {
+        ScopedKernelTimer timer(KernelKind::HadaMult,
+                                4 * batch * limbs * n);
+        pool_->parallelFor2D(batch, limbs,
+                             [&](std::size_t s, std::size_t i) {
+            const Modulus &mod = d0s[s].limbModulus(i);
+            u64 *p0 = d0s[s].limb(i);
+            u64 *p1 = d1s[s].limb(i);
+            u64 *p2 = d2s[s].limb(i);
+            const u64 *a0 = a[s].c0.limb(i);
+            const u64 *a1 = a[s].c1.limb(i);
+            const u64 *b0 = b[s].c0.limb(i);
+            const u64 *b1 = b[s].c1.limb(i);
+            for (std::size_t c = 0; c < n; ++c) {
+                p0[c] = mod.mul(a0[c], b0[c]);
+                p1[c] = mod.add(mod.mul(a0[c], b1[c]),
+                                mod.mul(a1[c], b0[c]));
+                p2[c] = mod.mul(a1[c], b1[c]);
+            }
+        });
+    }
+
+    auto [ks0, ks1] = keySwitchBatch(std::move(d2s), keys_.relin);
+
+    Cts out(batch);
+    {
+        ScopedKernelTimer timer(KernelKind::EleAdd,
+                                2 * batch * limbs * n);
+        pool_->parallelFor2D(batch, limbs,
+                             [&](std::size_t s, std::size_t i) {
+            const Modulus &mod = d0s[s].limbModulus(i);
+            u64 *p0 = d0s[s].limb(i);
+            u64 *p1 = d1s[s].limb(i);
+            const u64 *k0 = ks0[s].limb(i);
+            const u64 *k1 = ks1[s].limb(i);
+            for (std::size_t c = 0; c < n; ++c) {
+                p0[c] = mod.add(p0[c], k0[c]);
+                p1[c] = mod.add(p1[c], k1[c]);
+            }
+        });
+    }
+    for (std::size_t s = 0; s < batch; ++s) {
+        out[s].c0 = std::move(d0s[s]);
+        out[s].c1 = std::move(d1s[s]);
+        out[s].scale = a[s].scale * b[s].scale;
+    }
+    return out;
 }
 
 BatchedEvaluator::Cts
 BatchedEvaluator::rotate(const Cts &a, s64 step) const
 {
-    return mapBatch(a.size(), [&](std::size_t i) {
-        return eval_.rotate(a[i], step);
-    });
+    if (a.empty())
+        return {};
+    std::size_t slots = ctx_.slots();
+    s64 norm = ((step % s64(slots)) + s64(slots)) % s64(slots);
+    if (norm == 0)
+        return a;
+    auto it = keys_.rot.find(norm);
+    requireArg(it != keys_.rot.end(), "no rotation key for step ", norm);
+    std::size_t batch = a.size();
+    std::size_t limbs = a[0].levelCount();
+    for (const auto &ct : a)
+        requireArg(ct.levelCount() == limbs,
+                   "batched ops require a uniform level");
+
+    // ForbeniusMap on both components of the whole batch, with one
+    // shared slot permutation.
+    u64 galois = ctx_.galoisForRotation(norm);
+    std::vector<const rns::RnsPolynomial *> comp_ptrs;
+    comp_ptrs.reserve(2 * batch);
+    for (const auto &ct : a)
+        comp_ptrs.push_back(&ct.c0);
+    for (const auto &ct : a)
+        comp_ptrs.push_back(&ct.c1);
+    auto rotated = rns::applyAutomorphismBatch(comp_ptrs, galois, pool_);
+
+    std::vector<rns::RnsPolynomial> c1r(
+        std::make_move_iterator(rotated.begin() + batch),
+        std::make_move_iterator(rotated.end()));
+    auto [ks0, ks1] = keySwitchBatch(std::move(c1r), it->second);
+
+    std::size_t n = ctx_.n();
+    Cts out(batch);
+    {
+        ScopedKernelTimer timer(KernelKind::EleAdd, batch * limbs * n);
+        pool_->parallelFor2D(batch, limbs,
+                             [&](std::size_t s, std::size_t i) {
+            const Modulus &mod = ks0[s].limbModulus(i);
+            u64 *p0 = ks0[s].limb(i);
+            const u64 *c0 = rotated[s].limb(i);
+            for (std::size_t c = 0; c < n; ++c)
+                p0[c] = mod.add(p0[c], c0[c]);
+        });
+    }
+    for (std::size_t s = 0; s < batch; ++s) {
+        out[s].c0 = std::move(ks0[s]);
+        out[s].c1 = std::move(ks1[s]);
+        out[s].scale = a[s].scale;
+    }
+    return out;
 }
 
 double

@@ -5,6 +5,41 @@
  * L (so all reuse one twiddle table), picks a batch size from the
  * device VRAM budget, and dispatches the batched kernels across the
  * worker pool — the CPU stand-in for filling the GPGPU with CTAs.
+ *
+ * # Threading model
+ *
+ * The engine never parallelizes "one ciphertext at a time". Every
+ * batched operation flattens its full iteration space — batch slot b
+ * in [0, B) crossed with RNS tower (limb) i in [0, L') — into one
+ * work-queue and drains it through a ThreadPool in a single dispatch
+ * (ThreadPool::parallelFor2D). Lanes pull (slot, tower) index chunks
+ * from a shared atomic cursor, so an expensive tower on one slot
+ * cannot serialize the rest of the batch: this mirrors the paper's
+ * CTA-level scheduling, where batched NTT/IOp kernels fill all SMs
+ * regardless of which operation a CTA belongs to.
+ *
+ * Concretely, HMULT over a batch runs as:
+ *   1. (B x L') Hada-Mult tasks forming d0/d1/d2;
+ *   2. one batched INTT dispatch over every (slot, tower) of d2;
+ *   3. per key-switch digit: (B x digit-limbs) Dcomp-scale tasks, a
+ *      batched Conv whose CRT factors are computed once for the whole
+ *      batch, one batched NTT dispatch, and (B x union-limbs)
+ *      inner-product tasks;
+ *   4. a batched ModDown (shared P^-1 constants) and final (B x L)
+ *      Ele-Add tasks.
+ *
+ * Shared read-only state (twiddle tables, CRT factors, Galois
+ * permutations, key digits restricted to the union basis) is computed
+ * once per batch on the dispatching thread; tasks only write to the
+ * limb they own, so no locks are taken inside kernels. Results are
+ * bit-identical to running the scalar Evaluator per slot — the engine
+ * reorders work, never arithmetic. Nested dispatches (a kernel that
+ * itself calls parallelFor from inside a pool lane) degrade to serial
+ * execution, so composing batched and scalar code paths is safe.
+ *
+ * The pool is injectable (constructor argument) so callers can pin a
+ * thread budget — tests run the same engine on a 1-worker pool and on
+ * the process-global pool and compare bits.
  */
 
 #ifndef TENSORFHE_BATCH_EXECUTOR_HH
@@ -15,6 +50,11 @@
 #include "ckks/evaluator.hh"
 #include "gpu/device.hh"
 
+namespace tensorfhe
+{
+class ThreadPool;
+}
+
 namespace tensorfhe::batch
 {
 
@@ -22,27 +62,44 @@ namespace tensorfhe::batch
 class BatchedEvaluator
 {
   public:
+    /**
+     * @param pool worker pool the (slot x tower) work-queues drain
+     *             through; null = process-global pool.
+     */
     BatchedEvaluator(const ckks::CkksContext &ctx,
-                     const ckks::KeyBundle &keys)
-        : ctx_(ctx), eval_(ctx, keys)
-    {}
+                     const ckks::KeyBundle &keys,
+                     ThreadPool *pool = nullptr);
 
     using Cts = std::vector<ckks::Ciphertext>;
 
     Cts add(const Cts &a, const Cts &b) const;
+    Cts sub(const Cts &a, const Cts &b) const;
     Cts multiply(const Cts &a, const Cts &b) const;
     Cts multiplyPlain(const Cts &a, const ckks::Plaintext &p) const;
     Cts rescale(const Cts &a) const;
     Cts rotate(const Cts &a, s64 step) const;
 
+    /** The scalar (per-ciphertext, serial-over-slots) reference path. */
     const ckks::Evaluator &scalar() const { return eval_; }
 
+    ThreadPool &pool() const { return *pool_; }
+
   private:
-    template <typename Fn>
-    Cts mapBatch(std::size_t size, Fn &&fn) const;
+    /**
+     * Batched KeySwitch (paper Alg. 1) over one polynomial per slot
+     * (uniform shape): Dcomp -> ModUp -> inner product -> ModDown,
+     * with every stage flattened over (slot x tower) and all
+     * slot-independent precomputation shared across the batch.
+     */
+    std::pair<std::vector<rns::RnsPolynomial>,
+              std::vector<rns::RnsPolynomial>>
+    keySwitchBatch(std::vector<rns::RnsPolynomial> ds,
+                   const ckks::SwitchKey &key) const;
 
     const ckks::CkksContext &ctx_;
+    const ckks::KeyBundle &keys_;
     ckks::Evaluator eval_;
+    ThreadPool *pool_;
 };
 
 /**

@@ -7,24 +7,6 @@
 namespace tensorfhe::ckks
 {
 
-namespace
-{
-
-rns::RnsPolynomial
-restrictLimbs(const rns::RnsPolynomial &full,
-              const std::vector<std::size_t> &limbs)
-{
-    rns::RnsPolynomial out(full.tower(), limbs, full.domain());
-    for (std::size_t i = 0; i < limbs.size(); ++i) {
-        TFHE_ASSERT(full.limbIndex(limbs[i]) == limbs[i]);
-        std::copy(full.limb(limbs[i]), full.limb(limbs[i]) + full.n(),
-                  out.limb(i));
-    }
-    return out;
-}
-
-} // namespace
-
 void
 Evaluator::requireCompatible(const Ciphertext &a,
                              const Ciphertext &b) const
@@ -119,17 +101,19 @@ Evaluator::keySwitch(const rns::RnsPolynomial &d,
         up.toEval(v);
 
         // Inner product with the key digit (restricted to the basis).
-        rns::mulAccumulate(acc0, up, restrictLimbs(key.b[j], union_limbs));
-        rns::mulAccumulate(acc1, up, restrictLimbs(key.a[j], union_limbs));
+        rns::mulAccumulate(acc0, up,
+                           rns::restrictToLimbs(key.b[j], union_limbs));
+        rns::mulAccumulate(acc1, up,
+                           rns::restrictToLimbs(key.a[j], union_limbs));
     }
 
-    // ModDown by P, back to Eval domain.
-    acc0.toCoeff(v);
-    acc1.toCoeff(v);
+    // ModDown by P, back to Eval domain. Both accumulators move
+    // domains in one batched dispatch, so every (component x tower)
+    // NTT shares a single pool round-trip.
+    rns::toCoeffBatch({&acc0, &acc1}, v);
     auto ks0 = rns::modDown(acc0);
     auto ks1 = rns::modDown(acc1);
-    ks0.toEval(v);
-    ks1.toEval(v);
+    rns::toEvalBatch({&ks0, &ks1}, v);
     return {std::move(ks0), std::move(ks1)};
 }
 
@@ -172,12 +156,10 @@ Evaluator::rescale(const Ciphertext &a) const
     u64 q_last = ctx_.tower().prime(a.levelCount() - 1);
     auto v = ctx_.nttVariant();
     Ciphertext out = a;
-    out.c0.toCoeff(v);
-    out.c1.toCoeff(v);
+    rns::toCoeffBatch({&out.c0, &out.c1}, v);
     out.c0 = rns::rescaleByLastLimb(out.c0);
     out.c1 = rns::rescaleByLastLimb(out.c1);
-    out.c0.toEval(v);
-    out.c1.toEval(v);
+    rns::toEvalBatch({&out.c0, &out.c1}, v);
     out.scale = a.scale / static_cast<double>(q_last);
     return out;
 }

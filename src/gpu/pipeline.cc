@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 
 namespace tensorfhe::gpu
 {
@@ -236,6 +237,19 @@ simulateSm(const WarpTrace &trace, int warps, const PipelineConfig &cfg)
         ++cycle;
     }
     return bd;
+}
+
+std::vector<StallBreakdown>
+simulateSmBatch(const std::vector<SmJob> &jobs, const PipelineConfig &cfg,
+                ThreadPool *pool)
+{
+    std::vector<StallBreakdown> out(jobs.size());
+    if (!pool)
+        pool = &ThreadPool::global();
+    pool->parallelFor(0, jobs.size(), [&](std::size_t i) {
+        out[i] = simulateSm(*jobs[i].first, jobs[i].second, cfg);
+    });
+    return out;
 }
 
 } // namespace tensorfhe::gpu

@@ -23,9 +23,16 @@
 
 #include <array>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "gpu/device.hh"
 #include "gpu/trace.hh"
+
+namespace tensorfhe
+{
+class ThreadPool;
+}
 
 namespace tensorfhe::gpu
 {
@@ -112,6 +119,19 @@ struct PipelineConfig
  */
 StallBreakdown simulateSm(const WarpTrace &trace, int warps,
                           const PipelineConfig &cfg = {});
+
+/** One (trace, warp-count) simulation request. */
+using SmJob = std::pair<const WarpTrace *, int>;
+
+/**
+ * Simulate every job, dispatched across `pool` (null = process-global)
+ * — the benches' kernel x configuration sweeps are embarrassingly
+ * parallel, and each simulation is deterministic, so results are
+ * identical to serial simulateSm calls in job order.
+ */
+std::vector<StallBreakdown> simulateSmBatch(const std::vector<SmJob> &jobs,
+                                            const PipelineConfig &cfg = {},
+                                            ThreadPool *pool = nullptr);
 
 } // namespace tensorfhe::gpu
 

@@ -35,21 +35,49 @@ namespace tensorfhe::ntt::detail
 namespace
 {
 
+// Cache-blocking tile sizes. The u128 accumulator tile is
+// kTileI x kTileJ x 16 B = 16 KiB, which together with the kTileK x
+// kTileJ slab of rhs (the W1/W3 twiddle matrix) stays L1-resident;
+// successive k-tiles stream lhs rows while the accumulators stay hot.
+constexpr std::size_t kTileI = 32;
+constexpr std::size_t kTileJ = 32;
+constexpr std::size_t kTileK = 64;
+
 /**
  * out = lhs x rhs mod q; lhs is m x k, rhs is k x n, all row-major.
- * One deferred modulo per output element.
+ * One deferred modulo per output element, accumulated across k-tiles
+ * in 128 bits (exact, so the tiling is bit-identical to the naive
+ * triple loop for any summation order).
  */
 void
 gemmMod(const u64 *lhs, const u64 *rhs, u64 *out, std::size_t m,
         std::size_t n, std::size_t k, const Modulus &mod)
 {
-    for (std::size_t i = 0; i < m; ++i) {
-        const u64 *lrow = lhs + i * k;
-        for (std::size_t j = 0; j < n; ++j) {
-            u128 acc = 0;
-            for (std::size_t kk = 0; kk < k; ++kk)
-                acc += static_cast<u128>(lrow[kk]) * rhs[kk * n + j];
-            out[i * n + j] = mod.reduce(acc);
+    u128 acc[kTileI][kTileJ];
+    for (std::size_t i0 = 0; i0 < m; i0 += kTileI) {
+        std::size_t mi = i0 + kTileI < m ? kTileI : m - i0;
+        for (std::size_t j0 = 0; j0 < n; j0 += kTileJ) {
+            std::size_t nj = j0 + kTileJ < n ? kTileJ : n - j0;
+            for (std::size_t i = 0; i < mi; ++i)
+                for (std::size_t j = 0; j < nj; ++j)
+                    acc[i][j] = 0;
+            for (std::size_t k0 = 0; k0 < k; k0 += kTileK) {
+                std::size_t kk_end = k0 + kTileK < k ? k0 + kTileK : k;
+                for (std::size_t i = 0; i < mi; ++i) {
+                    const u64 *lrow = lhs + (i0 + i) * k;
+                    for (std::size_t kk = k0; kk < kk_end; ++kk) {
+                        u64 lv = lrow[kk];
+                        const u64 *rrow = rhs + kk * n + j0;
+                        for (std::size_t j = 0; j < nj; ++j)
+                            acc[i][j] += static_cast<u128>(lv) * rrow[j];
+                    }
+                }
+            }
+            for (std::size_t i = 0; i < mi; ++i) {
+                u64 *orow = out + (i0 + i) * n + j0;
+                for (std::size_t j = 0; j < nj; ++j)
+                    orow[j] = mod.reduce(acc[i][j]);
+            }
         }
     }
 }
@@ -74,15 +102,11 @@ forwardGemm(const TwiddleTable &t, u64 *a)
 
     // Stage C: A_mat = C x W3, written out column-major
     // (A[k1 + N1*k2] = A_mat[k1][k2]).
-    for (std::size_t k1 = 0; k1 < n1; ++k1) {
-        const u64 *crow = b.data() + k1 * n2;
-        for (std::size_t k2 = 0; k2 < n2; ++k2) {
-            u128 acc = 0;
-            for (std::size_t j = 0; j < n2; ++j)
-                acc += static_cast<u128>(crow[j]) * gm.w3[j * n2 + k2];
-            a[k1 + n1 * k2] = mod.reduce(acc);
-        }
-    }
+    std::vector<u64> amat(n1 * n2);
+    gemmMod(b.data(), gm.w3.data(), amat.data(), n1, n2, n2, mod);
+    for (std::size_t k1 = 0; k1 < n1; ++k1)
+        for (std::size_t k2 = 0; k2 < n2; ++k2)
+            a[k1 + n1 * k2] = amat[k1 * n2 + k2];
 }
 
 void
@@ -110,16 +134,9 @@ inverseGemm(const TwiddleTable &t, u64 *a)
 
     // a_mat = W1i x E, then the psi^-n * N^-1 twist, written back in
     // natural order (n = N2*n1 + n2).
-    for (std::size_t i1 = 0; i1 < n1; ++i1) {
-        const u64 *wrow = gm.w1i.data() + i1 * n1;
-        for (std::size_t i2 = 0; i2 < n2; ++i2) {
-            u128 acc = 0;
-            for (std::size_t kk = 0; kk < n1; ++kk)
-                acc += static_cast<u128>(wrow[kk]) * d[kk * n2 + i2];
-            std::size_t idx = n2 * i1 + i2;
-            a[idx] = mod.mul(mod.reduce(acc), gm.psiInvPow[idx]);
-        }
-    }
+    gemmMod(gm.w1i.data(), d.data(), amat.data(), n1, n2, n1, mod);
+    for (std::size_t idx = 0; idx < n; ++idx)
+        a[idx] = mod.mul(amat[idx], gm.psiInvPow[idx]);
 }
 
 } // namespace tensorfhe::ntt::detail

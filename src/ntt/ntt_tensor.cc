@@ -17,6 +17,7 @@
 
 #include <vector>
 
+#include "common/thread_pool.hh"
 #include "ntt/ntt.hh"
 #include "tcu/segment.hh"
 
@@ -82,6 +83,110 @@ inverseTensor(const TwiddleTable &t, u64 *a)
             a[idx] = mod.mul(out[idx], gm.psiInvPow[idx]);
         }
     }
+}
+
+namespace
+{
+
+/** Carve `count` n-element scratch blocks out of one allocation. */
+std::vector<u64 *>
+blockPtrs(std::vector<u64> &buf, std::size_t count, std::size_t n)
+{
+    std::vector<u64 *> ptrs(count);
+    for (std::size_t b = 0; b < count; ++b)
+        ptrs[b] = buf.data() + b * n;
+    return ptrs;
+}
+
+} // namespace
+
+void
+forwardTensorBatch(const TwiddleTable &t, u64 *const *polys,
+                   std::size_t count, ThreadPool *pool)
+{
+    const auto &gm = t.gemm();
+    const Modulus &mod = t.modulus();
+    std::size_t n1 = gm.n1;
+    std::size_t n2 = gm.n2;
+    std::size_t n = n1 * n2;
+    if (!pool)
+        pool = &ThreadPool::global();
+
+    // Stages 1-2, whole batch at once: B_b = W1 x a_mat_b through one
+    // segment-fusion GEMM with the batch packed column-wise.
+    std::vector<u64> bbuf(count * n);
+    auto bs = blockPtrs(bbuf, count, n);
+    tcu::tensorGemmModBatchRhs(gm.w1Seg, polys, bs.data(), count, n1, n2,
+                               n1, mod, pool);
+
+    // Stage 3: Hadamard with W2, sharded across the batch.
+    pool->parallelFor(0, count, [&](std::size_t b) {
+        u64 *pb = bs[b];
+        for (std::size_t e = 0; e < n; ++e)
+            pb[e] = mod.mul(pb[e], gm.w2[e]);
+    });
+
+    // Stages 4-5: A_mat_b = C_b x W3 with the batch stacked row-wise,
+    // then the column-major readout per slot.
+    std::vector<u64> obuf(count * n);
+    auto os = blockPtrs(obuf, count, n);
+    tcu::tensorGemmModBatchLhs(bs.data(), gm.w3Seg, os.data(), count, n1,
+                               n2, n2, mod, pool);
+    pool->parallelFor(0, count, [&](std::size_t b) {
+        const u64 *ob = os[b];
+        u64 *a = polys[b];
+        for (std::size_t k1 = 0; k1 < n1; ++k1)
+            for (std::size_t k2 = 0; k2 < n2; ++k2)
+                a[k1 + n1 * k2] = ob[k1 * n2 + k2];
+    });
+}
+
+void
+inverseTensorBatch(const TwiddleTable &t, u64 *const *polys,
+                   std::size_t count, ThreadPool *pool)
+{
+    const auto &gm = t.gemm();
+    const Modulus &mod = t.modulus();
+    std::size_t n1 = gm.n1;
+    std::size_t n2 = gm.n2;
+    std::size_t n = n1 * n2;
+    if (!pool)
+        pool = &ThreadPool::global();
+
+    std::vector<u64> amatbuf(count * n);
+    auto amats = blockPtrs(amatbuf, count, n);
+    pool->parallelFor(0, count, [&](std::size_t b) {
+        const u64 *a = polys[b];
+        u64 *am = amats[b];
+        for (std::size_t k1 = 0; k1 < n1; ++k1)
+            for (std::size_t k2 = 0; k2 < n2; ++k2)
+                am[k1 * n2 + k2] = a[k1 + n1 * k2];
+    });
+
+    // D_b = A_mat_b x W3i, batch stacked row-wise.
+    std::vector<u64> dbuf(count * n);
+    auto ds = blockPtrs(dbuf, count, n);
+    tcu::tensorGemmModBatchLhs(amats.data(), gm.w3iSeg, ds.data(), count,
+                               n1, n2, n2, mod, pool);
+
+    // E_b = D_b had W2i.
+    pool->parallelFor(0, count, [&](std::size_t b) {
+        u64 *pd = ds[b];
+        for (std::size_t e = 0; e < n; ++e)
+            pd[e] = mod.mul(pd[e], gm.w2i[e]);
+    });
+
+    // a_mat_b = W1i x E_b, batch packed column-wise, then the twist.
+    std::vector<u64> obuf(count * n);
+    auto os = blockPtrs(obuf, count, n);
+    tcu::tensorGemmModBatchRhs(gm.w1iSeg, ds.data(), os.data(), count,
+                               n1, n2, n1, mod, pool);
+    pool->parallelFor(0, count, [&](std::size_t b) {
+        const u64 *ob = os[b];
+        u64 *a = polys[b];
+        for (std::size_t idx = 0; idx < n; ++idx)
+            a[idx] = mod.mul(ob[idx], gm.psiInvPow[idx]);
+    });
 }
 
 } // namespace tensorfhe::ntt::detail

@@ -9,6 +9,93 @@
 namespace tensorfhe::rns
 {
 
+namespace
+{
+
+/**
+ * CRT factors of the approximate base conversion, fixed by the
+ * (source limbs, target limbs) pair: hatInv_i = (S/s_i)^-1 mod s_i
+ * and hat_ij = (S/s_i) mod t_j. O(s^2 + s*t) scalar work — computed
+ * once per batch and shared by every slot.
+ */
+struct ConvFactors
+{
+    std::vector<u64> hatInv;      ///< s entries
+    std::vector<u64> hatInvShoup; ///< s entries
+    std::vector<u64> hat;         ///< s x t, row i = source limb i
+};
+
+ConvFactors
+convFactors(const RnsTower &tower, const std::vector<std::size_t> &src,
+            const std::vector<std::size_t> &targets)
+{
+    std::size_t s = src.size();
+    std::size_t t = targets.size();
+    ConvFactors f;
+    f.hatInv.resize(s);
+    f.hatInvShoup.resize(s);
+    for (std::size_t i = 0; i < s; ++i) {
+        const Modulus &mi = tower.modulus(src[i]);
+        u64 prod = 1;
+        for (std::size_t i2 = 0; i2 < s; ++i2) {
+            if (i2 != i)
+                prod = mi.mul(prod, tower.prime(src[i2]) % mi.value());
+        }
+        f.hatInv[i] = mi.inv(prod);
+        f.hatInvShoup[i] = shoupPrecompute(f.hatInv[i], mi.value());
+    }
+    f.hat.resize(s * t);
+    for (std::size_t j = 0; j < t; ++j) {
+        const Modulus &mj = tower.modulus(targets[j]);
+        for (std::size_t i = 0; i < s; ++i) {
+            u64 prod = 1;
+            for (std::size_t i2 = 0; i2 < s; ++i2) {
+                if (i2 != i)
+                    prod = mj.mul(prod, tower.prime(src[i2]) % mj.value());
+            }
+            f.hat[i * t + j] = prod;
+        }
+    }
+    return f;
+}
+
+/** y_i = a_i * hatInv_i mod s_i for every source limb of one slot. */
+void
+convScale(const RnsPolynomial &a, const ConvFactors &f, u64 *y)
+{
+    std::size_t n = a.n();
+    for (std::size_t i = 0; i < a.numLimbs(); ++i) {
+        const Modulus &mi = a.limbModulus(i);
+        const u64 *src = a.limb(i);
+        u64 *dst = y + i * n;
+        for (std::size_t c = 0; c < n; ++c)
+            dst[c] = mulModShoup(src[c], f.hatInv[i], f.hatInvShoup[i],
+                                 mi.value());
+    }
+}
+
+/** out_j = sum_i y_i * hat_ij for one (slot, target-limb) task. */
+void
+convAccumulate(const u64 *y, const ConvFactors &f, std::size_t s,
+               std::size_t n, std::size_t t, std::size_t j,
+               const Modulus &mj, u64 *dst)
+{
+    for (std::size_t c = 0; c < n; ++c) {
+        u128 acc = 0;
+        for (std::size_t i = 0; i < s; ++i)
+            acc += static_cast<u128>(y[i * n + c]) * f.hat[i * t + j];
+        dst[c] = mj.reduce(acc);
+    }
+}
+
+ThreadPool &
+poolOrGlobal(ThreadPool *pool)
+{
+    return pool ? *pool : ThreadPool::global();
+}
+
+} // namespace
+
 RnsPolynomial
 fastBaseConv(const RnsPolynomial &a,
              const std::vector<std::size_t> &target_limbs)
@@ -18,60 +105,64 @@ fastBaseConv(const RnsPolynomial &a,
     const RnsTower &tower = a.tower();
     std::size_t n = a.n();
     std::size_t s = a.numLimbs();
-    ScopedKernelTimer timer(KernelKind::Conv,
-                            (s + target_limbs.size()) * n);
-
-    // Per-source-limb CRT factors: hatInv_i = (S/s_i)^-1 mod s_i and
-    // hat_ij = (S/s_i) mod t_j. O(s^2 + s*t) scalar work.
-    std::vector<u64> hat_inv(s);
-    for (std::size_t i = 0; i < s; ++i) {
-        const Modulus &mi = a.limbModulus(i);
-        u64 prod = 1;
-        for (std::size_t i2 = 0; i2 < s; ++i2) {
-            if (i2 != i)
-                prod = mi.mul(prod, tower.prime(a.limbIndex(i2))
-                                        % mi.value());
-        }
-        hat_inv[i] = mi.inv(prod);
-    }
-
     std::size_t t = target_limbs.size();
-    std::vector<u64> hat(s * t);
-    for (std::size_t j = 0; j < t; ++j) {
-        const Modulus &mj = tower.modulus(target_limbs[j]);
-        for (std::size_t i = 0; i < s; ++i) {
-            u64 prod = 1;
-            for (std::size_t i2 = 0; i2 < s; ++i2) {
-                if (i2 != i)
-                    prod = mj.mul(prod, tower.prime(a.limbIndex(i2))
-                                            % mj.value());
-            }
-            hat[i * t + j] = prod;
-        }
-    }
+    ScopedKernelTimer timer(KernelKind::Conv, (s + t) * n);
 
-    // y_i = a_i * hatInv_i mod s_i, then out_j = sum_i y_i * hat_ij.
+    ConvFactors f = convFactors(tower, a.limbIndices(), target_limbs);
     std::vector<u64> y(s * n);
-    for (std::size_t i = 0; i < s; ++i) {
-        const Modulus &mi = a.limbModulus(i);
-        u64 hi = hat_inv[i];
-        u64 hi_shoup = shoupPrecompute(hi, mi.value());
-        const u64 *src = a.limb(i);
-        u64 *dst = y.data() + i * n;
-        for (std::size_t c = 0; c < n; ++c)
-            dst[c] = mulModShoup(src[c], hi, hi_shoup, mi.value());
-    }
+    convScale(a, f, y.data());
 
     RnsPolynomial out(tower, target_limbs, Domain::Coeff);
     ThreadPool::global().parallelFor(0, t, [&](std::size_t j) {
-        const Modulus &mj = tower.modulus(target_limbs[j]);
-        u64 *dst = out.limb(j);
-        for (std::size_t c = 0; c < n; ++c) {
-            u128 acc = 0;
-            for (std::size_t i = 0; i < s; ++i)
-                acc += static_cast<u128>(y[i * n + c]) * hat[i * t + j];
-            dst[c] = mj.reduce(acc);
-        }
+        convAccumulate(y.data(), f, s, n, t, j,
+                       tower.modulus(target_limbs[j]), out.limb(j));
+    });
+    return out;
+}
+
+std::vector<RnsPolynomial>
+fastBaseConvBatch(const std::vector<const RnsPolynomial *> &as,
+                  const std::vector<std::size_t> &target_limbs,
+                  ThreadPool *pool)
+{
+    std::size_t batch = as.size();
+    if (batch == 0)
+        return {};
+    const RnsPolynomial &front = *as[0];
+    const RnsTower &tower = front.tower();
+    std::size_t n = front.n();
+    std::size_t s = front.numLimbs();
+    std::size_t t = target_limbs.size();
+    for (const RnsPolynomial *a : as) {
+        TFHE_ASSERT(a->domain() == Domain::Coeff,
+                    "Conv operates in coefficient domain");
+        TFHE_ASSERT(a->limbIndices() == front.limbIndices(),
+                    "batched Conv requires a uniform limb set");
+    }
+    ScopedKernelTimer timer(KernelKind::Conv, batch * (s + t) * n);
+
+    // One factor table for the whole batch (paper SIV-B data reuse).
+    ConvFactors f = convFactors(tower, front.limbIndices(), target_limbs);
+
+    ThreadPool &tp = poolOrGlobal(pool);
+    std::vector<u64> y(batch * s * n);
+    tp.parallelFor2D(batch, s, [&](std::size_t b, std::size_t i) {
+        const RnsPolynomial &a = *as[b];
+        const Modulus &mi = a.limbModulus(i);
+        const u64 *src = a.limb(i);
+        u64 *dst = y.data() + (b * s + i) * n;
+        for (std::size_t c = 0; c < n; ++c)
+            dst[c] = mulModShoup(src[c], f.hatInv[i], f.hatInvShoup[i],
+                                 mi.value());
+    });
+
+    std::vector<RnsPolynomial> out;
+    out.reserve(batch);
+    for (std::size_t b = 0; b < batch; ++b)
+        out.emplace_back(tower, target_limbs, Domain::Coeff);
+    tp.parallelFor2D(batch, t, [&](std::size_t b, std::size_t j) {
+        convAccumulate(y.data() + b * s * n, f, s, n, t, j,
+                       tower.modulus(target_limbs[j]), out[b].limb(j));
     });
     return out;
 }
@@ -208,6 +299,176 @@ rescaleByLastLimb(const RnsPolynomial &a)
                 : mod.sub(0, (q_last - v) % q);
             po[c] = mulModShoup(mod.sub(pa[c], lifted), qlast_inv,
                                 qi_shoup, q);
+        }
+    });
+    return out;
+}
+
+std::vector<RnsPolynomial>
+modUpBatch(const std::vector<const RnsPolynomial *> &digits,
+           std::size_t level_count, ThreadPool *pool)
+{
+    std::size_t batch = digits.size();
+    if (batch == 0)
+        return {};
+    const RnsPolynomial &front = *digits[0];
+    const RnsTower &tower = front.tower();
+    std::size_t n = front.n();
+
+    // Union basis and the converted-limb list are fixed by the digit's
+    // limb set, so they are computed once for the batch.
+    std::vector<std::size_t> target;
+    for (std::size_t i = 0; i < level_count; ++i)
+        target.push_back(i);
+    for (std::size_t k = 0; k < tower.numP(); ++k)
+        target.push_back(tower.specialIndex(k));
+
+    std::vector<std::size_t> others;
+    for (std::size_t idx : target) {
+        if (std::find(front.limbIndices().begin(),
+                      front.limbIndices().end(), idx)
+                == front.limbIndices().end()) {
+            others.push_back(idx);
+        }
+    }
+    auto converted = fastBaseConvBatch(digits, others, pool);
+
+    std::vector<RnsPolynomial> out;
+    out.reserve(batch);
+    for (std::size_t b = 0; b < batch; ++b)
+        out.emplace_back(tower, target, Domain::Coeff);
+    poolOrGlobal(pool).parallelFor(0, batch, [&](std::size_t b) {
+        const RnsPolynomial &digit = *digits[b];
+        std::size_t oi = 0;
+        for (std::size_t j = 0; j < target.size(); ++j) {
+            auto it = std::find(digit.limbIndices().begin(),
+                                digit.limbIndices().end(), target[j]);
+            if (it != digit.limbIndices().end()) {
+                std::size_t src = static_cast<std::size_t>(
+                    it - digit.limbIndices().begin());
+                std::copy(digit.limb(src), digit.limb(src) + n,
+                          out[b].limb(j));
+            } else {
+                std::copy(converted[b].limb(oi),
+                          converted[b].limb(oi) + n, out[b].limb(j));
+                ++oi;
+            }
+        }
+    });
+    return out;
+}
+
+std::vector<RnsPolynomial>
+modDownBatch(const std::vector<const RnsPolynomial *> &as,
+             ThreadPool *pool)
+{
+    std::size_t batch = as.size();
+    if (batch == 0)
+        return {};
+    const RnsPolynomial &front = *as[0];
+    const RnsTower &tower = front.tower();
+    std::size_t k = tower.numP();
+    TFHE_ASSERT(front.numLimbs() > k, "nothing to drop");
+    std::size_t ql = front.numLimbs() - k;
+    std::size_t n = front.n();
+
+    std::vector<std::size_t> p_idx(front.limbIndices().end() - k,
+                                   front.limbIndices().end());
+    for (std::size_t j = 0; j < k; ++j)
+        TFHE_ASSERT(p_idx[j] >= tower.numQ(), "limb order violated");
+    std::vector<std::size_t> q_idx(front.limbIndices().begin(),
+                                   front.limbIndices().begin() + ql);
+
+    ThreadPool &tp = poolOrGlobal(pool);
+    std::vector<RnsPolynomial> a_ps;
+    a_ps.reserve(batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+        TFHE_ASSERT(as[b]->domain() == Domain::Coeff);
+        TFHE_ASSERT(as[b]->limbIndices() == front.limbIndices(),
+                    "batched ModDown requires a uniform limb set");
+        a_ps.emplace_back(tower, p_idx, Domain::Coeff);
+    }
+    tp.parallelFor2D(batch, k, [&](std::size_t b, std::size_t j) {
+        std::copy(as[b]->limb(ql + j), as[b]->limb(ql + j) + n,
+                  a_ps[b].limb(j));
+    });
+
+    std::vector<const RnsPolynomial *> a_p_ptrs(batch);
+    for (std::size_t b = 0; b < batch; ++b)
+        a_p_ptrs[b] = &a_ps[b];
+    auto conv = fastBaseConvBatch(a_p_ptrs, q_idx, pool);
+
+    // P^-1 per q-limb is slot-independent: precompute once.
+    std::vector<u64> pinv(ql), pinv_shoup(ql);
+    for (std::size_t j = 0; j < ql; ++j) {
+        pinv[j] = tower.pInvModQ(q_idx[j]);
+        pinv_shoup[j] =
+            shoupPrecompute(pinv[j], tower.modulus(q_idx[j]).value());
+    }
+
+    std::vector<RnsPolynomial> out;
+    out.reserve(batch);
+    for (std::size_t b = 0; b < batch; ++b)
+        out.emplace_back(tower, q_idx, Domain::Coeff);
+    tp.parallelFor2D(batch, ql, [&](std::size_t b, std::size_t j) {
+        const Modulus &mod = tower.modulus(q_idx[j]);
+        const u64 *pa = as[b]->limb(j);
+        const u64 *pc = conv[b].limb(j);
+        u64 *po = out[b].limb(j);
+        for (std::size_t c = 0; c < n; ++c) {
+            po[c] = mulModShoup(mod.sub(pa[c], pc[c]), pinv[j],
+                                pinv_shoup[j], mod.value());
+        }
+    });
+    return out;
+}
+
+std::vector<RnsPolynomial>
+rescaleByLastLimbBatch(const std::vector<const RnsPolynomial *> &as,
+                       ThreadPool *pool)
+{
+    std::size_t batch = as.size();
+    if (batch == 0)
+        return {};
+    const RnsPolynomial &front = *as[0];
+    TFHE_ASSERT(front.numLimbs() >= 2, "cannot rescale a one-limb poly");
+    const RnsTower &tower = front.tower();
+    std::size_t last = front.numLimbs() - 1;
+    std::size_t n = front.n();
+    u64 q_last = tower.prime(front.limbIndex(last));
+
+    std::vector<std::size_t> q_idx(front.limbIndices().begin(),
+                                   front.limbIndices().begin() + last);
+    // q_last^-1 per remaining limb is slot-independent.
+    std::vector<u64> qinv(last), qinv_shoup(last);
+    for (std::size_t j = 0; j < last; ++j) {
+        const Modulus &mod = tower.modulus(q_idx[j]);
+        qinv[j] = mod.inv(q_last % mod.value());
+        qinv_shoup[j] = shoupPrecompute(qinv[j], mod.value());
+    }
+
+    std::vector<RnsPolynomial> out;
+    out.reserve(batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+        TFHE_ASSERT(as[b]->domain() == Domain::Coeff);
+        TFHE_ASSERT(as[b]->limbIndices() == front.limbIndices(),
+                    "batched RESCALE requires a uniform limb set");
+        out.emplace_back(tower, q_idx, Domain::Coeff);
+    }
+    poolOrGlobal(pool).parallelFor2D(batch, last, [&](std::size_t b,
+                                                      std::size_t j) {
+        const Modulus &mod = tower.modulus(q_idx[j]);
+        u64 q = mod.value();
+        const u64 *pl = as[b]->limb(last);
+        const u64 *pa = as[b]->limb(j);
+        u64 *po = out[b].limb(j);
+        for (std::size_t c = 0; c < n; ++c) {
+            u64 v = pl[c];
+            u64 lifted = v <= q_last / 2
+                ? v % q
+                : mod.sub(0, (q_last - v) % q);
+            po[c] = mulModShoup(mod.sub(pa[c], lifted), qinv[j],
+                                qinv_shoup[j], q);
         }
     });
     return out;

@@ -19,6 +19,11 @@
 
 #include "rns/rns_poly.hh"
 
+namespace tensorfhe
+{
+class ThreadPool;
+}
+
 namespace tensorfhe::rns
 {
 
@@ -60,6 +65,36 @@ RnsPolynomial modDown(const RnsPolynomial &a);
  * with a centered lift of the last limb. `a` must be Coeff domain.
  */
 RnsPolynomial rescaleByLastLimb(const RnsPolynomial &a);
+
+/*
+ * Batched counterparts for operation-level batching (paper SIV-D/E).
+ * Every input must carry the same limb set, so the O(s^2 + s*t) CRT
+ * factors are computed once and shared by the whole batch, and the
+ * per-coefficient work drains through the pool as one flattened
+ * (slot x limb) dispatch. Each returns exactly what `batch` serial
+ * calls would, bit for bit.
+ */
+
+/** Batched fastBaseConv. */
+std::vector<RnsPolynomial>
+fastBaseConvBatch(const std::vector<const RnsPolynomial *> &as,
+                  const std::vector<std::size_t> &target_limbs,
+                  ThreadPool *pool = nullptr);
+
+/** Batched ModUp of one digit position across the batch. */
+std::vector<RnsPolynomial>
+modUpBatch(const std::vector<const RnsPolynomial *> &digits,
+           std::size_t level_count, ThreadPool *pool = nullptr);
+
+/** Batched ModDown. */
+std::vector<RnsPolynomial>
+modDownBatch(const std::vector<const RnsPolynomial *> &as,
+             ThreadPool *pool = nullptr);
+
+/** Batched RESCALE core. */
+std::vector<RnsPolynomial>
+rescaleByLastLimbBatch(const std::vector<const RnsPolynomial *> &as,
+                       ThreadPool *pool = nullptr);
 
 } // namespace tensorfhe::rns
 

@@ -195,6 +195,113 @@ liftSigned(const RnsTower &tower, const std::vector<std::size_t> &limbs,
 }
 
 RnsPolynomial
+restrictToLimbs(const RnsPolynomial &a,
+                const std::vector<std::size_t> &limbs)
+{
+    RnsPolynomial out(a.tower(), limbs, a.domain());
+    for (std::size_t i = 0; i < limbs.size(); ++i) {
+        TFHE_ASSERT(a.limbIndex(limbs[i]) == limbs[i]);
+        std::copy(a.limb(limbs[i]), a.limb(limbs[i]) + a.n(),
+                  out.limb(i));
+    }
+    return out;
+}
+
+void
+toEvalBatch(const std::vector<RnsPolynomial *> &polys, ntt::NttVariant v,
+            ThreadPool *pool)
+{
+    std::vector<ntt::NttJob> jobs;
+    for (RnsPolynomial *p : polys) {
+        if (p->domain() == Domain::Eval)
+            continue;
+        for (std::size_t i = 0; i < p->numLimbs(); ++i)
+            jobs.push_back({&p->tower().nttContext(p->limbIndex(i)),
+                            p->limb(i)});
+    }
+    ntt::forwardBatch(jobs, v, pool);
+    for (RnsPolynomial *p : polys)
+        p->setDomain(Domain::Eval);
+}
+
+void
+toCoeffBatch(const std::vector<RnsPolynomial *> &polys, ntt::NttVariant v,
+             ThreadPool *pool)
+{
+    std::vector<ntt::NttJob> jobs;
+    for (RnsPolynomial *p : polys) {
+        if (p->domain() == Domain::Coeff)
+            continue;
+        for (std::size_t i = 0; i < p->numLimbs(); ++i)
+            jobs.push_back({&p->tower().nttContext(p->limbIndex(i)),
+                            p->limb(i)});
+    }
+    ntt::inverseBatch(jobs, v, pool);
+    for (RnsPolynomial *p : polys)
+        p->setDomain(Domain::Coeff);
+}
+
+std::vector<RnsPolynomial>
+applyAutomorphismBatch(const std::vector<const RnsPolynomial *> &as,
+                       u64 galois, ThreadPool *pool)
+{
+    std::size_t batch = as.size();
+    if (batch == 0)
+        return {};
+    const RnsPolynomial &front = *as[0];
+    std::size_t n = front.n();
+    u64 m = 2 * n;
+    TFHE_ASSERT(galois % 2 == 1 && galois < m, "bad Galois element");
+
+    std::vector<RnsPolynomial> out;
+    out.reserve(batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+        TFHE_ASSERT(as[b]->domain() == front.domain()
+                        && as[b]->n() == n,
+                    "batched automorphism requires a uniform shape");
+        out.emplace_back(as[b]->tower(), as[b]->limbIndices(),
+                         as[b]->domain());
+    }
+
+    ThreadPool &tp = pool ? *pool : ThreadPool::global();
+    if (front.domain() == Domain::Eval) {
+        ScopedKernelTimer timer(KernelKind::FrobeniusMap,
+                                batch * front.numLimbs() * n);
+        // The ForbeniusMap permutation is shared by the whole batch.
+        std::vector<std::size_t> pi(n);
+        for (std::size_t j = 0; j < n; ++j)
+            pi[j] = ((galois * (2 * j + 1)) % m - 1) / 2;
+        tp.parallelFor2D(batch, front.numLimbs(),
+                         [&](std::size_t b, std::size_t i) {
+            const u64 *src = as[b]->limb(i);
+            u64 *dst = out[b].limb(i);
+            for (std::size_t j = 0; j < n; ++j)
+                dst[j] = src[pi[j]];
+        });
+        return out;
+    }
+
+    // Coefficient domain: the destination index and the sign flip are
+    // also slot-independent.
+    std::vector<std::size_t> dst_idx(n);
+    std::vector<u8> flip(n);
+    for (std::size_t j = 0; j < n; ++j) {
+        u64 e = (static_cast<u64>(j) * galois) % m;
+        dst_idx[j] = e < n ? e : e - n;
+        flip[j] = e < n ? 0 : 1;
+    }
+    tp.parallelFor2D(batch, front.numLimbs(),
+                     [&](std::size_t b, std::size_t i) {
+        const Modulus &mod = as[b]->limbModulus(i);
+        const u64 *src = as[b]->limb(i);
+        u64 *dst = out[b].limb(i);
+        for (std::size_t j = 0; j < n; ++j)
+            dst[dst_idx[j]] = flip[j] ? mod.neg(src[j]) : src[j];
+    });
+    return out;
+}
+
+RnsPolynomial
 applyAutomorphism(const RnsPolynomial &a, u64 galois)
 {
     std::size_t n = a.n();

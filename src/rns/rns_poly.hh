@@ -123,6 +123,34 @@ RnsPolynomial liftSigned(const RnsTower &tower,
  */
 RnsPolynomial applyAutomorphism(const RnsPolynomial &a, u64 galois);
 
+/** Copy of `a` restricted to the given tower limb indices (which must
+    be present in `a` at matching positions). */
+RnsPolynomial restrictToLimbs(const RnsPolynomial &a,
+                              const std::vector<std::size_t> &limbs);
+
+/*
+ * Batched counterparts used by the parallel batched execution engine:
+ * the (poly x limb) iteration space is flattened into one work-queue
+ * dispatch instead of one pool round-trip per polynomial. Bit-identical
+ * to per-polynomial calls.
+ */
+
+/** Move every polynomial to Eval domain in one batched NTT dispatch. */
+void toEvalBatch(const std::vector<RnsPolynomial *> &polys,
+                 ntt::NttVariant v = ntt::NttVariant::Butterfly,
+                 ThreadPool *pool = nullptr);
+
+/** Move every polynomial to Coeff domain in one batched dispatch. */
+void toCoeffBatch(const std::vector<RnsPolynomial *> &polys,
+                  ntt::NttVariant v = ntt::NttVariant::Butterfly,
+                  ThreadPool *pool = nullptr);
+
+/** Apply one Galois automorphism to every polynomial; the slot
+    permutation is computed once and shared across the batch. */
+std::vector<RnsPolynomial>
+applyAutomorphismBatch(const std::vector<const RnsPolynomial *> &as,
+                       u64 galois, ThreadPool *pool = nullptr);
+
 } // namespace tensorfhe::rns
 
 #endif // TENSORFHE_RNS_RNS_POLY_HH

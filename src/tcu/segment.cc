@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "common/thread_pool.hh"
 #include "tcu/int8_gemm.hh"
 #include "tcu/stream.hh"
 
@@ -51,10 +52,13 @@ fuseMod(const std::array<std::array<std::vector<s32>, 4>, 4> &o,
 void
 tensorGemmModSegSeg(const SegmentedMatrix &a_seg,
                     const SegmentedMatrix &b_seg, u64 *c, std::size_t m,
-                    std::size_t n, std::size_t k, const Modulus &mod)
+                    std::size_t n, std::size_t k, const Modulus &mod,
+                    ThreadPool *pool)
 {
     TFHE_ASSERT(a_seg[0].size() == m * k, "segmented LHS shape mismatch");
     TFHE_ASSERT(b_seg[0].size() == k * n, "segmented RHS shape mismatch");
+    if (!pool)
+        pool = &ThreadPool::global();
 
     std::array<std::array<std::vector<s32>, 4>, 4> o;
     {
@@ -66,10 +70,15 @@ tensorGemmModSegSeg(const SegmentedMatrix &a_seg,
                 // Each of the 16 GEMMs goes to its own stream, as the
                 // paper assigns one GEMM per CUDA stream (SIV-C.2).
                 streams.dispatch(static_cast<double>(m) * n * k);
-                int8Gemm(a_seg[i].data(), b_seg[j].data(), o[i][j].data(),
-                         m, n, k);
             }
         }
+        // The 16 independent segment GEMMs drain across the worker
+        // pool — the CPU analogue of the concurrent streams. Outputs
+        // are disjoint, so this is bit-exact regardless of order.
+        pool->parallelFor2D(4, 4, [&](std::size_t i, std::size_t j) {
+            int8Gemm(a_seg[i].data(), b_seg[j].data(), o[i][j].data(),
+                     m, n, k);
+        });
     }
     fuseMod(o, m * n, mod, c);
 }
@@ -77,10 +86,57 @@ tensorGemmModSegSeg(const SegmentedMatrix &a_seg,
 void
 tensorGemmMod(const u64 *a, const SegmentedMatrix &b_seg, u64 *c,
               std::size_t m, std::size_t n, std::size_t k,
-              const Modulus &mod)
+              const Modulus &mod, ThreadPool *pool)
 {
     SegmentedMatrix a_seg = segmentU32(a, m * k);
-    tensorGemmModSegSeg(a_seg, b_seg, c, m, n, k, mod);
+    tensorGemmModSegSeg(a_seg, b_seg, c, m, n, k, mod, pool);
+}
+
+void
+tensorGemmModBatchLhs(const u64 *const *as, const SegmentedMatrix &b_seg,
+                      u64 *const *cs, std::size_t batch, std::size_t m,
+                      std::size_t n, std::size_t k, const Modulus &mod,
+                      ThreadPool *pool)
+{
+    if (batch == 0)
+        return;
+    // Stack the A_b row-blocks: rows [b*m, (b+1)*m) come from A_b.
+    std::vector<u64> stacked(batch * m * k);
+    for (std::size_t b = 0; b < batch; ++b)
+        std::copy(as[b], as[b] + m * k, stacked.begin() + b * m * k);
+    std::vector<u64> out(batch * m * n);
+    tensorGemmMod(stacked.data(), b_seg, out.data(), batch * m, n, k,
+                  mod, pool);
+    for (std::size_t b = 0; b < batch; ++b)
+        std::copy(out.begin() + b * m * n, out.begin() + (b + 1) * m * n,
+                  cs[b]);
+}
+
+void
+tensorGemmModBatchRhs(const SegmentedMatrix &a_seg, const u64 *const *bs,
+                      u64 *const *cs, std::size_t batch, std::size_t m,
+                      std::size_t n, std::size_t k, const Modulus &mod,
+                      ThreadPool *pool)
+{
+    if (batch == 0)
+        return;
+    // Pack the B_b column-blocks: row r holds [B_0 row r | B_1 row r
+    // | ...], so column block b of the product is C_b.
+    std::size_t wide = batch * n;
+    std::vector<u64> packed(k * wide);
+    for (std::size_t r = 0; r < k; ++r)
+        for (std::size_t b = 0; b < batch; ++b)
+            std::copy(bs[b] + r * n, bs[b] + (r + 1) * n,
+                      packed.begin() + r * wide + b * n);
+    std::vector<u64> out(m * wide);
+    SegmentedMatrix packed_seg = segmentU32(packed.data(), k * wide);
+    tensorGemmModSegSeg(a_seg, packed_seg, out.data(), m, wide, k, mod,
+                        pool);
+    for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t b = 0; b < batch; ++b)
+            std::copy(out.begin() + i * wide + b * n,
+                      out.begin() + i * wide + (b + 1) * n,
+                      cs[b] + i * n);
 }
 
 } // namespace tensorfhe::tcu

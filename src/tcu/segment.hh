@@ -19,6 +19,11 @@
 #include "common/modarith.hh"
 #include "common/types.hh"
 
+namespace tensorfhe
+{
+class ThreadPool;
+}
+
 namespace tensorfhe::tcu
 {
 
@@ -44,20 +49,47 @@ void fuseMod(const std::array<std::array<std::vector<s32>, 4>, 4> &o,
 
 /**
  * Full segment-fusion GEMM: C = A x B mod q, with A (m x k) and
- * B (k x n) holding residues < 2^32, dispatching 16 INT8 GEMMs.
+ * B (k x n) holding residues < 2^32, dispatching 16 INT8 GEMMs
+ * across `pool` (null = process-global).
  *
  * @param b_seg pre-segmented RHS (twiddle matrices are segmented once
  *              at init, as the paper does for reused factors)
  */
 void tensorGemmMod(const u64 *a, const SegmentedMatrix &b_seg, u64 *c,
                    std::size_t m, std::size_t n, std::size_t k,
-                   const Modulus &mod);
+                   const Modulus &mod, ThreadPool *pool = nullptr);
 
 /** As tensorGemmMod, with both operands already segmented. */
 void tensorGemmModSegSeg(const SegmentedMatrix &a_seg,
                          const SegmentedMatrix &b_seg, u64 *c,
                          std::size_t m, std::size_t n, std::size_t k,
-                         const Modulus &mod);
+                         const Modulus &mod, ThreadPool *pool = nullptr);
+
+/**
+ * Segment-fusion over the batch dimension (paper SIV-D: batching
+ * turns B small GEMMs into one TCU-filling GEMM).
+ *
+ * C_b = A_b x B mod q for b < batch: the A_b row-blocks are stacked
+ * into one (batch*m x k) matrix, segmented once, and multiplied by
+ * the shared (pre-segmented) RHS in a single 16-GEMM dispatch.
+ * Bit-identical to `batch` independent tensorGemmMod calls.
+ */
+void tensorGemmModBatchLhs(const u64 *const *as,
+                           const SegmentedMatrix &b_seg, u64 *const *cs,
+                           std::size_t batch, std::size_t m,
+                           std::size_t n, std::size_t k,
+                           const Modulus &mod, ThreadPool *pool = nullptr);
+
+/**
+ * C_b = A x B_b mod q for b < batch: the B_b column-blocks are packed
+ * into one (k x batch*n) matrix against the shared (pre-segmented)
+ * LHS. Bit-identical to `batch` independent calls.
+ */
+void tensorGemmModBatchRhs(const SegmentedMatrix &a_seg,
+                           const u64 *const *bs, u64 *const *cs,
+                           std::size_t batch, std::size_t m,
+                           std::size_t n, std::size_t k,
+                           const Modulus &mod, ThreadPool *pool = nullptr);
 
 } // namespace tensorfhe::tcu
 

@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Parallel batched execution engine tests: every batched operation
+ * must be bit-identical to the serial scalar path, for every NTT
+ * variant, on a 1-thread pool and a wider pool, and for batch sizes
+ * that do not divide evenly across lanes (non-power-of-two).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "batch/executor.hh"
+#include "ckks/crypto.hh"
+#include "common/primes.hh"
+#include "common/thread_pool.hh"
+#include "ntt/ntt.hh"
+#include "rns/conv.hh"
+
+namespace tensorfhe::batch
+{
+namespace
+{
+
+void
+expectPolyEq(const rns::RnsPolynomial &x, const rns::RnsPolynomial &y)
+{
+    ASSERT_EQ(x.numLimbs(), y.numLimbs());
+    ASSERT_EQ(x.limbIndices(), y.limbIndices());
+    ASSERT_EQ(x.domain(), y.domain());
+    for (std::size_t i = 0; i < x.numLimbs(); ++i) {
+        const u64 *px = x.limb(i);
+        const u64 *py = y.limb(i);
+        for (std::size_t c = 0; c < x.n(); ++c)
+            ASSERT_EQ(px[c], py[c]) << "limb " << i << " coeff " << c;
+    }
+}
+
+void
+expectCtEq(const ckks::Ciphertext &x, const ckks::Ciphertext &y)
+{
+    expectPolyEq(x.c0, y.c0);
+    expectPolyEq(x.c1, y.c1);
+    EXPECT_DOUBLE_EQ(x.scale, y.scale);
+}
+
+// ------------------------------------------------------------------
+// Raw batched NTT dispatch, all four variants.
+
+class NttBatch : public ::testing::TestWithParam<ntt::NttVariant>
+{};
+
+TEST_P(NttBatch, MatchesSerialTransforms)
+{
+    ntt::NttVariant v = GetParam();
+    std::size_t n = 256;
+    u64 q = generateNttPrimes(30, 1, 2 * n)[0];
+    ntt::NttContext ctx(n, q);
+    Rng rng(42);
+
+    // Non-power-of-two batch.
+    std::size_t batch = 7;
+    std::vector<std::vector<u64>> serial(batch), batched(batch);
+    std::vector<u64 *> ptrs(batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+        serial[b].resize(n);
+        for (auto &c : serial[b])
+            c = rng.uniform(q);
+        batched[b] = serial[b];
+        ptrs[b] = batched[b].data();
+    }
+
+    for (std::size_t b = 0; b < batch; ++b)
+        ctx.forward(serial[b].data(), v);
+    ctx.forwardBatch(ptrs.data(), batch, v);
+    for (std::size_t b = 0; b < batch; ++b)
+        ASSERT_EQ(batched[b], serial[b]) << "forward slot " << b;
+
+    for (std::size_t b = 0; b < batch; ++b)
+        ctx.inverse(serial[b].data(), v);
+    ctx.inverseBatch(ptrs.data(), batch, v);
+    for (std::size_t b = 0; b < batch; ++b)
+        ASSERT_EQ(batched[b], serial[b]) << "inverse slot " << b;
+}
+
+TEST_P(NttBatch, OneThreadPoolMatches)
+{
+    ntt::NttVariant v = GetParam();
+    std::size_t n = 128;
+    u64 q = generateNttPrimes(30, 1, 2 * n)[0];
+    ntt::NttContext ctx(n, q);
+    Rng rng(5);
+    ThreadPool pool1(1);
+
+    std::size_t batch = 3;
+    std::vector<std::vector<u64>> serial(batch), batched(batch);
+    std::vector<u64 *> ptrs(batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+        serial[b].resize(n);
+        for (auto &c : serial[b])
+            c = rng.uniform(q);
+        batched[b] = serial[b];
+        ptrs[b] = batched[b].data();
+    }
+    for (std::size_t b = 0; b < batch; ++b)
+        ctx.forward(serial[b].data(), v);
+    ctx.forwardBatch(ptrs.data(), batch, v, &pool1);
+    for (std::size_t b = 0; b < batch; ++b)
+        ASSERT_EQ(batched[b], serial[b]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, NttBatch,
+    ::testing::Values(ntt::NttVariant::Reference,
+                      ntt::NttVariant::Butterfly, ntt::NttVariant::Gemm,
+                      ntt::NttVariant::Tensor),
+    [](const auto &info) {
+        switch (info.param) {
+          case ntt::NttVariant::Reference: return "Reference";
+          case ntt::NttVariant::Butterfly: return "Butterfly";
+          case ntt::NttVariant::Gemm: return "Gemm";
+          case ntt::NttVariant::Tensor: return "Tensor";
+          default: return "Other";
+        }
+    });
+
+TEST(NttBatchJobs, MixedPrimeJobQueueMatchesSerial)
+{
+    // A (slot x tower) queue across contexts with different primes.
+    std::size_t n = 128;
+    auto qs = generateNttPrimes(30, 3, 2 * n);
+    std::vector<ntt::NttContext> ctxs;
+    for (u64 q : qs)
+        ctxs.emplace_back(n, q);
+    Rng rng(11);
+
+    std::size_t slots = 5;
+    std::vector<std::vector<u64>> serial, batched;
+    std::vector<ntt::NttJob> jobs;
+    for (std::size_t s = 0; s < slots; ++s) {
+        for (std::size_t t = 0; t < ctxs.size(); ++t) {
+            std::vector<u64> poly(n);
+            for (auto &c : poly)
+                c = rng.uniform(qs[t]);
+            serial.push_back(poly);
+            batched.push_back(poly);
+        }
+    }
+    for (std::size_t i = 0; i < batched.size(); ++i)
+        jobs.push_back({&ctxs[i % ctxs.size()], batched[i].data()});
+
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        ctxs[i % ctxs.size()].forward(serial[i].data());
+    ntt::forwardBatch(jobs);
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        ASSERT_EQ(batched[i], serial[i]);
+}
+
+// ------------------------------------------------------------------
+// Batched RNS conversions.
+
+TEST(ConvBatch, FastBaseConvBatchMatchesSerial)
+{
+    rns::TowerConfig cfg;
+    cfg.n = 64;
+    cfg.levels = 3;
+    cfg.special = 1;
+    rns::RnsTower tower(cfg);
+    Rng rng(3);
+
+    std::vector<std::size_t> src_limbs = {0, 1, 2};
+    std::vector<std::size_t> targets = {3, tower.specialIndex(0)};
+    std::size_t batch = 5;
+    std::vector<rns::RnsPolynomial> as;
+    for (std::size_t b = 0; b < batch; ++b)
+        as.push_back(rns::sampleUniform(tower, src_limbs,
+                                        rns::Domain::Coeff, rng));
+    std::vector<const rns::RnsPolynomial *> ptrs;
+    for (const auto &a : as)
+        ptrs.push_back(&a);
+
+    auto got = rns::fastBaseConvBatch(ptrs, targets);
+    ASSERT_EQ(got.size(), batch);
+    for (std::size_t b = 0; b < batch; ++b)
+        expectPolyEq(got[b], rns::fastBaseConv(as[b], targets));
+}
+
+TEST(ConvBatch, RescaleByLastLimbBatchMatchesSerial)
+{
+    rns::TowerConfig cfg;
+    cfg.n = 64;
+    cfg.levels = 3;
+    cfg.special = 1;
+    rns::RnsTower tower(cfg);
+    Rng rng(4);
+
+    std::vector<std::size_t> limbs = {0, 1, 2, 3};
+    std::size_t batch = 6;
+    std::vector<rns::RnsPolynomial> as;
+    for (std::size_t b = 0; b < batch; ++b)
+        as.push_back(rns::sampleUniform(tower, limbs, rns::Domain::Coeff,
+                                        rng));
+    std::vector<const rns::RnsPolynomial *> ptrs;
+    for (const auto &a : as)
+        ptrs.push_back(&a);
+
+    ThreadPool pool1(1);
+    auto got = rns::rescaleByLastLimbBatch(ptrs, &pool1);
+    ASSERT_EQ(got.size(), batch);
+    for (std::size_t b = 0; b < batch; ++b)
+        expectPolyEq(got[b], rns::rescaleByLastLimb(as[b]));
+}
+
+// ------------------------------------------------------------------
+// Full batched evaluator vs the scalar path, per NTT variant.
+
+struct VariantFixture
+{
+    explicit VariantFixture(ntt::NttVariant v, ThreadPool *pool)
+        : params(makeParams(v)), ctx(params), rng(7),
+          sk(ctx.generateSecretKey(rng)),
+          keys(ctx.generateKeys(sk, rng, {1})), enc(ctx, keys.pk),
+          batched(ctx, keys, pool)
+    {}
+
+    static ckks::CkksParams
+    makeParams(ntt::NttVariant v)
+    {
+        auto p = ckks::Presets::tiny();
+        p.nttVariant = v;
+        return p;
+    }
+
+    ckks::Ciphertext
+    encryptValue(double v, std::size_t levels)
+    {
+        auto pt = ctx.encoder().encodeConstant(
+            ckks::Complex(v, 0), ctx.params().scale(), levels);
+        return enc.encrypt(pt, rng);
+    }
+
+    ckks::CkksParams params;
+    ckks::CkksContext ctx;
+    Rng rng;
+    ckks::SecretKey sk;
+    ckks::KeyBundle keys;
+    ckks::Encryptor enc;
+    BatchedEvaluator batched;
+};
+
+class ParallelExecutor : public ::testing::TestWithParam<ntt::NttVariant>
+{};
+
+void
+runAllOpsBitIdentical(ntt::NttVariant v, ThreadPool *pool,
+                      std::size_t batch)
+{
+    VariantFixture f(v, pool);
+    std::vector<ckks::Ciphertext> a, b;
+    for (std::size_t i = 0; i < batch; ++i) {
+        a.push_back(f.encryptValue(0.1 * double(i + 1), 3));
+        b.push_back(f.encryptValue(0.05 * double(i + 1), 3));
+    }
+    const auto &ev = f.batched.scalar();
+
+    auto sum = f.batched.add(a, b);
+    auto diff = f.batched.sub(a, b);
+    auto prod = f.batched.multiply(a, b);
+    auto dropped = f.batched.rescale(prod);
+    auto pt = f.ctx.encoder().encodeConstant(
+        ckks::Complex(0.3, 0), f.ctx.params().scale(), 3);
+    auto cmult = f.batched.multiplyPlain(a, pt);
+    auto rot = f.batched.rotate(a, 1);
+
+    for (std::size_t i = 0; i < batch; ++i) {
+        expectCtEq(sum[i], ev.add(a[i], b[i]));
+        expectCtEq(diff[i], ev.sub(a[i], b[i]));
+        auto sprod = ev.multiply(a[i], b[i]);
+        expectCtEq(prod[i], sprod);
+        expectCtEq(dropped[i], ev.rescale(sprod));
+        expectCtEq(cmult[i], ev.multiplyPlain(a[i], pt));
+        expectCtEq(rot[i], ev.rotate(a[i], 1));
+    }
+}
+
+TEST_P(ParallelExecutor, BitIdenticalOnGlobalPool)
+{
+    // Non-power-of-two batch on the process-global pool.
+    runAllOpsBitIdentical(GetParam(), nullptr, 5);
+}
+
+TEST_P(ParallelExecutor, BitIdenticalOnOneThreadPool)
+{
+    ThreadPool pool1(1);
+    runAllOpsBitIdentical(GetParam(), &pool1, 3);
+}
+
+TEST_P(ParallelExecutor, BitIdenticalOnWidePoolNonPowerOfTwoBatch)
+{
+    // More lanes than a small machine has cores, batch of 7.
+    ThreadPool pool(5);
+    runAllOpsBitIdentical(GetParam(), &pool, 7);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EngineVariants, ParallelExecutor,
+    ::testing::Values(ntt::NttVariant::Butterfly, ntt::NttVariant::Gemm,
+                      ntt::NttVariant::Tensor),
+    [](const auto &info) {
+        switch (info.param) {
+          case ntt::NttVariant::Butterfly: return "Butterfly";
+          case ntt::NttVariant::Gemm: return "Gemm";
+          case ntt::NttVariant::Tensor: return "Tensor";
+          default: return "Other";
+        }
+    });
+
+} // namespace
+} // namespace tensorfhe::batch
