@@ -18,7 +18,7 @@ main()
     bench::banner("Fig. 12 - kernel-level breakdown per workload");
 
     std::printf("%-22s %8s %10s %8s %13s %6s\n", "workload", "NTT",
-                "Hada-Mult", "Ele-Add", "ForbeniusMap", "Conv");
+                "Hada-Mult", "Ele-Add", "FrobeniusMap", "Conv");
     for (const auto &w : {resnet20Model(), logisticRegressionModel(),
                           lstmModel(), packedBootstrappingModel()}) {
         auto s = workloadKernelShares(w);

@@ -44,7 +44,7 @@ main(int argc, char **argv)
         {"NTT", nttCost(p.n, 45, p.nttVariant)},
         {"Ele-Add", eleAddCost(p.n, 45)},
         {"Conv", convCost(p.n, 45, 1)},
-        {"ForbeniusMap", frobeniusCost(p.n, 45)},
+        {"FrobeniusMap", frobeniusCost(p.n, 45)},
     };
     std::vector<std::size_t> batches = {32, 64, 128, 256, 512, 1024};
     std::printf("%-14s", "kernel");
@@ -128,7 +128,7 @@ main(int argc, char **argv)
     }
     std::printf("\npaper: larger batches amortize twiddle reuse and "
                 "launches until VRAM binds;\n"
-                "BS = 128 balances all kernels (ForbeniusMap gains "
+                "BS = 128 balances all kernels (FrobeniusMap gains "
                 "31.4%% at BS = 1024).\n"
                 "speedup column: serial HMULT / parallel batched HMULT "
                 "at the same batch.\n");

@@ -49,7 +49,7 @@ main()
     row("Hada-Mult", [](std::size_t n) { return hadaMultCost(n, 45); });
     row("Ele-Add", [](std::size_t n) { return eleAddCost(n, 45); });
     row("Conv", [](std::size_t n) { return convCost(n, 45, 1); });
-    row("ForbeniusMap",
+    row("FrobeniusMap",
         [](std::size_t n) { return frobeniusCost(n, 45); });
 
     bench::section("measured: butterfly vs GEMM vs TCU NTT on this "

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Hoisted key-switching bench: the naive per-rotation keyswitch
+ * (automorphism + full Dcomp/ModUp/NTT/inner-product/ModDown per
+ * step) against Evaluator::rotateHoisted (one head, one tail per
+ * step) and the BSGS boot::LinearTransformPlan, reporting the
+ * NTT / ModUp(Conv) kernel work per rotation alongside wall clock.
+ *
+ * Usage: bench_keyswitch_hoist [reps]
+ *   reps = measurement repetitions (default 3; CI smoke runs 1).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_util.hh"
+#include "boot/linear.hh"
+#include "ckks/crypto.hh"
+#include "common/stats.hh"
+
+namespace
+{
+
+using namespace tensorfhe;
+using tensorfhe::bench::fmtSeconds;
+
+struct KernelSnapshot
+{
+    u64 nttElements = 0;
+    u64 nttInvocations = 0;
+    u64 convElements = 0;
+    u64 convInvocations = 0;
+};
+
+KernelSnapshot
+takeSnapshot()
+{
+    auto &s = KernelStats::instance();
+    KernelSnapshot out;
+    out.nttElements = s.counter(KernelKind::Ntt).elements
+        + s.counter(KernelKind::Intt).elements;
+    out.nttInvocations = s.counter(KernelKind::Ntt).invocations
+        + s.counter(KernelKind::Intt).invocations;
+    out.convElements = s.counter(KernelKind::Conv).elements;
+    out.convInvocations = s.counter(KernelKind::Conv).invocations;
+    return out;
+}
+
+void
+printRow(const char *label, double seconds, std::size_t rotations,
+         const KernelSnapshot &snap)
+{
+    std::printf("  %-28s %10s/rot   NTT %8.1fK elem/rot   "
+                "Conv %7.1fK elem/rot (%5.1f disp/rot)\n",
+                label,
+                fmtSeconds(seconds / double(rotations)).c_str(),
+                double(snap.nttElements) / double(rotations) / 1e3,
+                double(snap.convElements) / double(rotations) / 1e3,
+                double(snap.convInvocations) / double(rotations));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int reps = argc > 1 ? std::atoi(argv[1]) : 3;
+    if (reps < 1)
+        reps = 1;
+
+    auto params = ckks::Presets::tiny();
+    ckks::CkksContext ctx(params);
+    std::size_t slots = ctx.slots();
+    Rng rng(0xb0b);
+    auto sk = ctx.generateSecretKey(rng);
+    std::vector<s64> all_steps;
+    for (std::size_t d = 1; d < slots; ++d)
+        all_steps.push_back(static_cast<s64>(d));
+    auto keys = ctx.generateKeys(sk, rng, all_steps);
+    ckks::Encryptor enc(ctx, keys.pk);
+    ckks::Evaluator eval(ctx, keys);
+
+    std::size_t lc = ctx.tower().numQ();
+    std::vector<ckks::Complex> z(slots, ckks::Complex(0.25, -0.5));
+    auto ct = enc.encrypt(
+        ctx.encoder().encode(z, params.scale(), lc), rng);
+
+    std::vector<s64> steps;
+    for (s64 s = 1; s <= 8; ++s)
+        steps.push_back(s);
+
+    bench::banner("bench_keyswitch_hoist — hoisted keyswitching + BSGS "
+                  "(N=" + std::to_string(params.n)
+                  + ", L=" + std::to_string(params.levels)
+                  + ", dnum=" + std::to_string(params.effectiveDnum())
+                  + ", " + std::to_string(steps.size())
+                  + " rotations, reps=" + std::to_string(reps) + ")");
+
+    // Naive: the pre-hoisting HROTATE composition — automorphism on
+    // both components, then one full keyswitch per step.
+    auto naive = [&] {
+        for (s64 step : steps) {
+            u64 galois = ctx.galoisForRotation(step);
+            auto c0r = rns::applyAutomorphism(ct.c0, galois);
+            auto c1r = rns::applyAutomorphism(ct.c1, galois);
+            auto [ks0, ks1] = eval.keySwitch(c1r, keys.rot.at(step));
+            rns::eleAddInPlace(ks0, c0r);
+        }
+    };
+    auto hoisted = [&] { (void)eval.rotateHoisted(ct, steps); };
+
+    bench::section("rotations (measured, this machine)");
+    auto &stats = KernelStats::instance();
+    stats.reset();
+    naive();
+    auto naive_snap = takeSnapshot();
+    double naive_t = bench::timeMean(reps, naive);
+
+    stats.reset();
+    hoisted();
+    auto hoisted_snap = takeSnapshot();
+    double hoisted_t = bench::timeMean(reps, hoisted);
+    stats.reset();
+
+    printRow("naive per-rotation KS", naive_t, steps.size(),
+             naive_snap);
+    printRow("rotateHoisted", hoisted_t, steps.size(), hoisted_snap);
+    std::printf("  speedup: %.2fx wall, %.2fx NTT elements, "
+                "%.2fx Conv dispatches\n",
+                naive_t / hoisted_t,
+                double(naive_snap.nttElements)
+                    / double(hoisted_snap.nttElements),
+                double(naive_snap.convInvocations)
+                    / double(hoisted_snap.convInvocations));
+    // One decompose+ModUp per *input*: the hoisted path runs the
+    // per-digit ModUp Conv once, plus the two ModDown Convs each tail
+    // pays; the naive path repeats the ModUp head every rotation.
+    std::size_t digits = (lc + params.alpha() - 1) / params.alpha();
+    std::printf("  ModUp Conv dispatches: naive %zu (= %zu digits x "
+                "%zu rotations), hoisted %zu (= %zu digits x 1 hoist)\n",
+                digits * steps.size(), digits, steps.size(),
+                digits, digits);
+
+    // Bit-identity sanity: rotateHoisted must equal the serial rotate.
+    auto hoisted_cts = eval.rotateHoisted(ct, steps);
+    bool identical = true;
+    for (std::size_t i = 0; i < steps.size() && identical; ++i) {
+        auto serial = eval.rotate(ct, steps[i]);
+        for (std::size_t l = 0;
+             l < serial.c0.numLimbs() && identical; ++l) {
+            for (std::size_t c = 0; c < serial.c0.n(); ++c) {
+                if (serial.c0.limb(l)[c]
+                        != hoisted_cts[i].c0.limb(l)[c]
+                    || serial.c1.limb(l)[c]
+                        != hoisted_cts[i].c1.limb(l)[c]) {
+                    identical = false;
+                    break;
+                }
+            }
+        }
+    }
+    std::printf("  bit-identical to serial rotate: %s\n",
+                identical ? "yes" : "NO (BUG)");
+
+    bench::section("slots x slots linear transform (special FFT)");
+    auto plan = boot::LinearTransformPlan::specialFft(ctx);
+    auto ct3 = enc.encrypt(
+        ctx.encoder().encode(z, params.scale(), 3), rng);
+
+    // Naive diagonal method: one full rotation + fresh encode per
+    // nonzero diagonal (the pre-BSGS applyLinear).
+    auto naive_transform = [&] {
+        const auto &m = plan.matrix();
+        ckks::Ciphertext acc;
+        bool first = true;
+        for (std::size_t d = 0; d < slots; ++d) {
+            std::vector<ckks::Complex> diag(slots);
+            double mag = 0;
+            for (std::size_t j = 0; j < slots; ++j) {
+                diag[j] = m[j][(j + d) % slots];
+                mag = std::max(mag, std::abs(diag[j]));
+            }
+            if (mag < 1e-12)
+                continue;
+            auto rotated =
+                d == 0 ? ct3 : eval.rotate(ct3, static_cast<s64>(d));
+            auto pt = ctx.encoder().encode(diag, params.scale(),
+                                           rotated.levelCount());
+            auto term = eval.multiplyPlain(rotated, pt);
+            if (first) {
+                acc = std::move(term);
+                first = false;
+            } else {
+                acc = eval.add(acc, term);
+            }
+        }
+        (void)eval.rescale(acc);
+    };
+
+    double naive_lt = bench::timeSeconds(naive_transform);
+    double plan_cold = bench::timeSeconds(
+        [&] { (void)plan.apply(eval, ct3); });
+    double plan_warm = bench::timeMean(
+        reps, [&] { (void)plan.apply(eval, ct3); });
+    std::printf("  %-34s %10s  (%zu full keyswitches)\n",
+                "naive diagonal method", fmtSeconds(naive_lt).c_str(),
+                slots - 1);
+    std::printf("  %-34s %10s  (%zu rotation keys: baby+giant)\n",
+                "BSGS plan, cold cache", fmtSeconds(plan_cold).c_str(),
+                plan.requiredRotations().size());
+    std::printf("  %-34s %10s  (encoded diagonals cached)\n",
+                "BSGS plan, warm cache", fmtSeconds(plan_warm).c_str());
+    std::printf("  speedup: %.1fx cold, %.1fx warm\n",
+                naive_lt / plan_cold, naive_lt / plan_warm);
+    return identical ? 0 : 1;
+}

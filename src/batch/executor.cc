@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <iterator>
+#include <optional>
 
 #include "common/logging.hh"
 #include "common/stats.hh"
@@ -156,18 +157,14 @@ BatchedEvaluator::rescale(const Cts &a) const
     return out;
 }
 
-std::pair<std::vector<rns::RnsPolynomial>,
-          std::vector<rns::RnsPolynomial>>
-BatchedEvaluator::keySwitchBatch(std::vector<rns::RnsPolynomial> ds,
-                                 const ckks::SwitchKey &key) const
+BatchedEvaluator::HoistedDigitsBatch
+BatchedEvaluator::hoistBatch(std::vector<rns::RnsPolynomial> ds) const
 {
     const auto &tower = ctx_.tower();
     auto v = ctx_.nttVariant();
     std::size_t batch = ds.size();
     std::size_t n = ctx_.n();
     std::size_t level_count = ds[0].numLimbs();
-    auto union_limbs = ctx_.unionLimbs(level_count);
-    std::size_t ul = union_limbs.size();
 
     // Dcomp: all (slot x tower) INTTs of the batch in one dispatch.
     std::vector<rns::RnsPolynomial *> d_ptrs(batch);
@@ -181,18 +178,13 @@ BatchedEvaluator::keySwitchBatch(std::vector<rns::RnsPolynomial> ds,
     });
     std::size_t num_digits = digits[0].size();
 
-    std::vector<rns::RnsPolynomial> acc0, acc1;
-    acc0.reserve(batch);
-    acc1.reserve(batch);
-    for (std::size_t s = 0; s < batch; ++s) {
-        acc0.emplace_back(tower, union_limbs, rns::Domain::Eval);
-        acc1.emplace_back(tower, union_limbs, rns::Domain::Eval);
-    }
-
+    HoistedDigitsBatch h;
+    h.levelCount = level_count;
+    h.digits.resize(num_digits);
     for (std::size_t j = 0; j < num_digits; ++j) {
         // Per-digit constants are slot-independent: Dcomp scalars
-        // (with their Shoup precomputations) and the key digit
-        // restricted to the union basis, computed once per batch.
+        // (with their Shoup precomputations) and the ModUp plan's
+        // Conv factors, computed once per batch.
         std::size_t dl = digits[0][j].numLimbs();
         std::vector<u64> scalars(dl), scalars_shoup(dl);
         for (std::size_t i = 0; i < dl; ++i) {
@@ -220,7 +212,37 @@ BatchedEvaluator::keySwitchBatch(std::vector<rns::RnsPolynomial> ds,
         for (std::size_t s = 0; s < batch; ++s)
             up_ptrs[s] = &ups[s];
         rns::toEvalBatch(up_ptrs, v, pool_);
+        h.digits[j] = std::move(ups);
+    }
+    return h;
+}
 
+std::pair<std::vector<rns::RnsPolynomial>,
+          std::vector<rns::RnsPolynomial>>
+BatchedEvaluator::keySwitchTailBatch(const HoistedDigitsBatch &h,
+                                     const ckks::SwitchKey &key,
+                                     const rns::ModDownPlan *down) const
+{
+    const auto &tower = ctx_.tower();
+    auto v = ctx_.nttVariant();
+    std::size_t num_digits = h.digits.size();
+    std::size_t batch = h.digits[0].size();
+    std::size_t n = ctx_.n();
+    auto union_limbs = ctx_.unionLimbs(h.levelCount);
+    std::size_t ul = union_limbs.size();
+    requireArg(num_digits <= key.digits(),
+               "switch key has too few digits");
+
+    std::vector<rns::RnsPolynomial> acc0, acc1;
+    acc0.reserve(batch);
+    acc1.reserve(batch);
+    for (std::size_t s = 0; s < batch; ++s) {
+        acc0.emplace_back(tower, union_limbs, rns::Domain::Eval);
+        acc1.emplace_back(tower, union_limbs, rns::Domain::Eval);
+    }
+
+    for (std::size_t j = 0; j < num_digits; ++j) {
+        // The key digit restricted to the union basis, once per batch.
         auto keyb = rns::restrictToLimbs(key.b[j], union_limbs);
         auto keya = rns::restrictToLimbs(key.a[j], union_limbs);
 
@@ -229,8 +251,9 @@ BatchedEvaluator::keySwitchBatch(std::vector<rns::RnsPolynomial> ds,
                                 2 * batch * ul * n);
         pool_->parallelFor2D(batch, ul,
                              [&](std::size_t s, std::size_t i) {
-            const Modulus &mod = ups[s].limbModulus(i);
-            const u64 *pu = ups[s].limb(i);
+            const rns::RnsPolynomial &up = h.digits[j][s];
+            const Modulus &mod = up.limbModulus(i);
+            const u64 *pu = up.limb(i);
             const u64 *pb = keyb.limb(i);
             const u64 *pa = keya.limb(i);
             u64 *p0 = acc0[s].limb(i);
@@ -255,7 +278,10 @@ BatchedEvaluator::keySwitchBatch(std::vector<rns::RnsPolynomial> ds,
     std::vector<const rns::RnsPolynomial *> acc_in(acc_ptrs.size());
     for (std::size_t i = 0; i < acc_ptrs.size(); ++i)
         acc_in[i] = acc_ptrs[i];
-    auto downs = rns::modDownBatch(acc_in, pool_);
+    std::optional<rns::ModDownPlan> local_down;
+    if (!down)
+        local_down.emplace(tower, union_limbs);
+    auto downs = (down ? *down : *local_down).applyBatch(acc_in, pool_);
 
     std::vector<rns::RnsPolynomial> ks0(
         std::make_move_iterator(downs.begin()),
@@ -271,6 +297,14 @@ BatchedEvaluator::keySwitchBatch(std::vector<rns::RnsPolynomial> ds,
         ks_ptrs.push_back(&p);
     rns::toEvalBatch(ks_ptrs, v, pool_);
     return {std::move(ks0), std::move(ks1)};
+}
+
+std::pair<std::vector<rns::RnsPolynomial>,
+          std::vector<rns::RnsPolynomial>>
+BatchedEvaluator::keySwitchBatch(std::vector<rns::RnsPolynomial> ds,
+                                 const ckks::SwitchKey &key) const
+{
+    return keySwitchTailBatch(hoistBatch(std::move(ds)), key);
 }
 
 BatchedEvaluator::Cts
@@ -355,53 +389,109 @@ BatchedEvaluator::multiply(const Cts &a, const Cts &b) const
 BatchedEvaluator::Cts
 BatchedEvaluator::rotate(const Cts &a, s64 step) const
 {
+    auto out = rotateManyBatch(a, {step});
+    return std::move(out[0]);
+}
+
+std::vector<BatchedEvaluator::Cts>
+BatchedEvaluator::rotateManyBatch(const Cts &a,
+                                  const std::vector<s64> &steps) const
+{
+    std::vector<Cts> out(steps.size());
     if (a.empty())
-        return {};
+        return out;
     std::size_t slots = ctx_.slots();
-    s64 norm = ((step % s64(slots)) + s64(slots)) % s64(slots);
-    if (norm == 0)
-        return a;
-    auto it = keys_.rot.find(norm);
-    requireArg(it != keys_.rot.end(), "no rotation key for step ", norm);
     std::size_t batch = a.size();
     std::size_t limbs = a[0].levelCount();
     for (const auto &ct : a)
         requireArg(ct.levelCount() == limbs,
                    "batched ops require a uniform level");
 
-    // ForbeniusMap on both components of the whole batch, with one
-    // shared slot permutation.
-    u64 galois = ctx_.galoisForRotation(norm);
-    std::vector<const rns::RnsPolynomial *> comp_ptrs;
-    comp_ptrs.reserve(2 * batch);
-    for (const auto &ct : a)
-        comp_ptrs.push_back(&ct.c0);
-    for (const auto &ct : a)
-        comp_ptrs.push_back(&ct.c1);
-    auto rotated = rns::applyAutomorphismBatch(comp_ptrs, galois, pool_);
+    std::vector<s64> norms(steps.size());
+    bool any_nonzero = false;
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+        norms[i] = ((steps[i] % s64(slots)) + s64(slots)) % s64(slots);
+        if (norms[i] == 0)
+            continue;
+        requireArg(keys_.rot.count(norms[i]) != 0,
+                   "no rotation key for step ", norms[i]);
+        any_nonzero = true;
+    }
+    if (!any_nonzero) {
+        for (auto &cts : out)
+            cts = a;
+        return out;
+    }
 
-    std::vector<rns::RnsPolynomial> c1r(
-        std::make_move_iterator(rotated.begin() + batch),
-        std::make_move_iterator(rotated.end()));
-    auto [ks0, ks1] = keySwitchBatch(std::move(c1r), it->second);
+    // Hoist every slot's c1 once; the head and the tail's ModDown
+    // plan are shared by all steps.
+    std::vector<rns::RnsPolynomial> c1s;
+    c1s.reserve(batch);
+    for (const auto &ct : a)
+        c1s.push_back(ct.c1);
+    auto h = hoistBatch(std::move(c1s));
+    std::size_t num_digits = h.digits.size();
+    rns::ModDownPlan down(ctx_.tower(),
+                          ctx_.unionLimbs(h.levelCount));
+
+    // Flattened (digit x slot) pointer table for the per-step
+    // FrobeniusMap (all hoisted digits share the union-basis shape).
+    std::vector<const rns::RnsPolynomial *> digit_ptrs;
+    digit_ptrs.reserve(num_digits * batch);
+    for (std::size_t j = 0; j < num_digits; ++j)
+        for (std::size_t s = 0; s < batch; ++s)
+            digit_ptrs.push_back(&h.digits[j][s]);
+    std::vector<const rns::RnsPolynomial *> c0_ptrs;
+    c0_ptrs.reserve(batch);
+    for (const auto &ct : a)
+        c0_ptrs.push_back(&ct.c0);
 
     std::size_t n = ctx_.n();
-    Cts out(batch);
-    {
-        ScopedKernelTimer timer(KernelKind::EleAdd, batch * limbs * n);
-        pool_->parallelFor2D(batch, limbs,
-                             [&](std::size_t s, std::size_t i) {
-            const Modulus &mod = ks0[s].limbModulus(i);
-            u64 *p0 = ks0[s].limb(i);
-            const u64 *c0 = rotated[s].limb(i);
-            for (std::size_t c = 0; c < n; ++c)
-                p0[c] = mod.add(p0[c], c0[c]);
-        });
-    }
-    for (std::size_t s = 0; s < batch; ++s) {
-        out[s].c0 = std::move(ks0[s]);
-        out[s].c1 = std::move(ks1[s]);
-        out[s].scale = a[s].scale;
+    for (std::size_t r = 0; r < steps.size(); ++r) {
+        if (norms[r] == 0) {
+            out[r] = a;
+            continue;
+        }
+        u64 galois = ctx_.galoisForRotation(norms[r]);
+
+        // One shared permutation over every (digit, slot) and over
+        // the c0 components.
+        auto rot_flat =
+            rns::applyAutomorphismBatch(digit_ptrs, galois, pool_);
+        HoistedDigitsBatch hr;
+        hr.levelCount = h.levelCount;
+        hr.digits.resize(num_digits);
+        for (std::size_t j = 0; j < num_digits; ++j) {
+            hr.digits[j].assign(
+                std::make_move_iterator(rot_flat.begin()
+                                        + static_cast<std::ptrdiff_t>(
+                                            j * batch)),
+                std::make_move_iterator(rot_flat.begin()
+                                        + static_cast<std::ptrdiff_t>(
+                                            (j + 1) * batch)));
+        }
+        auto [ks0, ks1] =
+            keySwitchTailBatch(hr, keys_.rot.at(norms[r]), &down);
+        auto c0r = rns::applyAutomorphismBatch(c0_ptrs, galois, pool_);
+
+        {
+            ScopedKernelTimer timer(KernelKind::EleAdd,
+                                    batch * limbs * n);
+            pool_->parallelFor2D(batch, limbs,
+                                 [&](std::size_t s, std::size_t i) {
+                const Modulus &mod = ks0[s].limbModulus(i);
+                u64 *p0 = ks0[s].limb(i);
+                const u64 *c0 = c0r[s].limb(i);
+                for (std::size_t c = 0; c < n; ++c)
+                    p0[c] = mod.add(p0[c], c0[c]);
+            });
+        }
+        out[r].resize(batch);
+        for (std::size_t s = 0; s < batch; ++s) {
+            out[r][s].c0 = std::move(ks0[s]);
+            out[r][s].c1 = std::move(ks1[s]);
+            out[r][s].scale = a[s].scale;
+        }
     }
     return out;
 }

@@ -79,6 +79,18 @@ class BatchedEvaluator
     Cts rescale(const Cts &a) const;
     Cts rotate(const Cts &a, s64 step) const;
 
+    /**
+     * Hoisted HROTATE across both the batch and the step dimension:
+     * the decompose+ModUp+NTT key-switch head runs once per batch
+     * slot (not once per (slot, step)), and every per-step stage —
+     * the digit FrobeniusMap, the key inner product, ModDown — is
+     * flattened over (batch-slot x rotation x tower) through the
+     * work-queue. result[i] is the whole batch rotated by steps[i];
+     * bit-identical to the scalar rotate() per (slot, step).
+     */
+    std::vector<Cts> rotateManyBatch(const Cts &a,
+                                     const std::vector<s64> &steps) const;
+
     /** The scalar (per-ciphertext, serial-over-slots) reference path. */
     const ckks::Evaluator &scalar() const { return eval_; }
 
@@ -86,10 +98,42 @@ class BatchedEvaluator
 
   private:
     /**
+     * The hoisted key-switch head of the whole batch (the batched
+     * counterpart of ckks::HoistedDigits): digits[j][s] is digit j of
+     * batch slot s, Dcomp-scaled, ModUp-extended to the union basis,
+     * NTT domain. Shared by every rotation step of rotateManyBatch.
+     */
+    struct HoistedDigitsBatch
+    {
+        std::vector<std::vector<rns::RnsPolynomial>> digits;
+        std::size_t levelCount = 0;
+    };
+
+    /**
+     * Phase 1 of the batched KeySwitch: Dcomp -> scale -> ModUp ->
+     * NTT, every stage flattened over (slot x tower) with all
+     * slot-independent precomputation (Dcomp scalars, Conv factors)
+     * shared across the batch.
+     */
+    HoistedDigitsBatch
+    hoistBatch(std::vector<rns::RnsPolynomial> ds) const;
+
+    /**
+     * Phase 2: inner product with `key` (digits restricted to the
+     * union basis once per batch) -> ModDown -> NTT.
+     * @param down optional shared ModDown plan (rotateManyBatch
+     *             reuses one across steps).
+     */
+    std::pair<std::vector<rns::RnsPolynomial>,
+              std::vector<rns::RnsPolynomial>>
+    keySwitchTailBatch(const HoistedDigitsBatch &h,
+                       const ckks::SwitchKey &key,
+                       const rns::ModDownPlan *down = nullptr) const;
+
+    /**
      * Batched KeySwitch (paper Alg. 1) over one polynomial per slot
-     * (uniform shape): Dcomp -> ModUp -> inner product -> ModDown,
-     * with every stage flattened over (slot x tower) and all
-     * slot-independent precomputation shared across the batch.
+     * (uniform shape): keySwitchTailBatch(hoistBatch(ds), key), bit
+     * for bit.
      */
     std::pair<std::vector<rns::RnsPolynomial>,
               std::vector<rns::RnsPolynomial>>

@@ -10,8 +10,8 @@ namespace tensorfhe::boot
 Bootstrapper::Bootstrapper(const ckks::CkksContext &ctx,
                            const ckks::KeyBundle &keys, SineConfig sine)
     : ctx_(ctx), keys_(keys), eval_(ctx, keys), sine_(sine),
-      u_(specialFftMatrix(ctx.encoder())),
-      uInv_(specialFftInverseMatrix(ctx.encoder()))
+      u_(LinearTransformPlan::specialFft(ctx)),
+      uInv_(LinearTransformPlan::specialFftInverse(ctx))
 {
     requireArg(ctx.tower().numQ() > postRaiseLevelCost() + 1,
                "parameter chain too short for bootstrapping: need > ",
@@ -21,9 +21,18 @@ Bootstrapper::Bootstrapper(const ckks::CkksContext &ctx,
 std::vector<s64>
 Bootstrapper::requiredRotations(std::size_t slots)
 {
+    // The BSGS plans only rotate by baby steps b in [1, g) and giant
+    // multiples of g = ceil(sqrt(slots)) — O(sqrt(slots)) switch keys
+    // instead of one per diagonal. The analytic set here matches
+    // LinearTransformPlan's grouping (g identical by construction)
+    // and covers any diagonal pattern of a slots x slots matrix.
+    auto g = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(slots))));
     std::vector<s64> steps;
-    for (std::size_t d = 1; d < slots; ++d)
-        steps.push_back(static_cast<s64>(d));
+    for (std::size_t b = 1; b < g && b < slots; ++b)
+        steps.push_back(static_cast<s64>(b));
+    for (std::size_t k = g; k < slots; k += g)
+        steps.push_back(static_cast<s64>(k));
     return steps;
 }
 
@@ -37,13 +46,13 @@ Bootstrapper::postRaiseLevelCost() const
 ckks::Ciphertext
 Bootstrapper::slotToCoeff(const ckks::Ciphertext &ct) const
 {
-    return applyLinear(ctx_, eval_, u_, ct);
+    return u_.apply(eval_, ct);
 }
 
 ckks::Ciphertext
 Bootstrapper::coeffToSlot(const ckks::Ciphertext &ct) const
 {
-    return applyLinear(ctx_, eval_, uInv_, ct);
+    return uInv_.apply(eval_, ct);
 }
 
 ckks::Ciphertext

@@ -57,8 +57,11 @@ class Bootstrapper
     const ckks::KeyBundle &keys_;
     ckks::Evaluator eval_;
     SineConfig sine_;
-    SlotMatrix u_;    ///< special FFT (slot -> coeff)
-    SlotMatrix uInv_; ///< inverse
+    /// BSGS plans over the special FFT and its inverse; the dense
+    /// matrices and the encoded diagonal plaintexts are memoized here
+    /// (built once per bootstrapper, shared by every bootstrap call).
+    LinearTransformPlan u_;
+    LinearTransformPlan uInv_;
 };
 
 } // namespace tensorfhe::boot

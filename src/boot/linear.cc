@@ -1,5 +1,6 @@
 #include "boot/linear.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.hh"
@@ -49,41 +50,160 @@ applyPlain(const SlotMatrix &m, const std::vector<Complex> &z)
     return y;
 }
 
-ckks::Ciphertext
-applyLinear(const ckks::CkksContext &ctx, const ckks::Evaluator &eval,
-            const SlotMatrix &m, const ckks::Ciphertext &ct)
+LinearTransformPlan::LinearTransformPlan(const ckks::CkksContext &ctx,
+                                         SlotMatrix m)
+    : ctx_(ctx), m_(std::move(m))
 {
     std::size_t slots = ctx.slots();
-    TFHE_ASSERT(m.size() == slots);
-    double scale = ctx.params().scale();
+    TFHE_ASSERT(m_.size() == slots);
+    g_ = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(slots))));
 
-    ckks::Ciphertext acc;
-    bool first = true;
+    // Extract the nonzero diagonals, BSGS-regrouped: diagonal
+    // d = k*g + b is stored pre-rotated by -k*g so the giant
+    // rotation can be applied after the plaintext products.
     for (std::size_t d = 0; d < slots; ++d) {
         // diag_d[j] = M[j][(j + d) mod slots].
         std::vector<Complex> diag(slots);
         double mag = 0;
         for (std::size_t j = 0; j < slots; ++j) {
-            diag[j] = m[j][(j + d) % slots];
-            mag = std::max(mag,
-                           std::abs(diag[j]));
+            diag[j] = m_[j][(j + d) % slots];
+            mag = std::max(mag, std::abs(diag[j]));
         }
         if (mag < 1e-12)
             continue; // skip empty diagonals
-        auto rotated =
-            d == 0 ? ct : eval.rotate(ct, static_cast<s64>(d));
-        auto pt = ctx.encoder().encode(diag, scale,
-                                       rotated.levelCount());
-        auto term = eval.multiplyPlain(rotated, pt);
-        if (first) {
-            acc = std::move(term);
-            first = false;
+        Diagonal entry;
+        entry.k = d / g_;
+        entry.b = d % g_;
+        // rot_{-k*g}(diag): slot j of the stored diagonal lands back
+        // on diag[j] after the giant rotation by k*g.
+        entry.values.resize(slots);
+        std::size_t shift = entry.k * g_; // < slots since d < slots
+        for (std::size_t j = 0; j < slots; ++j)
+            entry.values[j] = diag[(j + slots - shift) % slots];
+        diags_.push_back(std::move(entry));
+    }
+    TFHE_ASSERT(!diags_.empty(), "matrix was entirely zero");
+    // Group by giant step; the (k, b) order also fixes the cache
+    // layout of encodedDiagonals().
+    std::stable_sort(diags_.begin(), diags_.end(),
+                     [](const Diagonal &x, const Diagonal &y) {
+                         return x.k != y.k ? x.k < y.k : x.b < y.b;
+                     });
+}
+
+LinearTransformPlan
+LinearTransformPlan::specialFft(const ckks::CkksContext &ctx)
+{
+    return LinearTransformPlan(ctx, specialFftMatrix(ctx.encoder()));
+}
+
+LinearTransformPlan
+LinearTransformPlan::specialFftInverse(const ckks::CkksContext &ctx)
+{
+    return LinearTransformPlan(ctx,
+                               specialFftInverseMatrix(ctx.encoder()));
+}
+
+std::vector<s64>
+LinearTransformPlan::requiredRotations() const
+{
+    std::vector<s64> steps;
+    for (const Diagonal &d : diags_) {
+        if (d.b != 0)
+            steps.push_back(static_cast<s64>(d.b));
+        if (d.k != 0)
+            steps.push_back(static_cast<s64>(d.k * g_));
+    }
+    std::sort(steps.begin(), steps.end());
+    steps.erase(std::unique(steps.begin(), steps.end()), steps.end());
+    return steps;
+}
+
+std::size_t
+LinearTransformPlan::cachedLevelCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.size();
+}
+
+const std::vector<ckks::Plaintext> &
+LinearTransformPlan::encodedDiagonals(std::size_t level_count) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(level_count);
+    if (it != cache_.end())
+        return it->second;
+    std::vector<ckks::Plaintext> pts;
+    pts.reserve(diags_.size());
+    double scale = ctx_.params().scale();
+    for (const Diagonal &d : diags_)
+        pts.push_back(
+            ctx_.encoder().encode(d.values, scale, level_count));
+    return cache_.emplace(level_count, std::move(pts)).first->second;
+}
+
+ckks::Ciphertext
+LinearTransformPlan::apply(const ckks::Evaluator &eval,
+                           const ckks::Ciphertext &ct) const
+{
+    const auto &pts = encodedDiagonals(ct.levelCount());
+
+    // Baby steps: every rot_b(ct) the plan touches, off one hoisted
+    // key-switch head.
+    std::vector<s64> baby_steps;
+    for (const Diagonal &d : diags_) {
+        if (d.b != 0)
+            baby_steps.push_back(static_cast<s64>(d.b));
+    }
+    std::sort(baby_steps.begin(), baby_steps.end());
+    baby_steps.erase(std::unique(baby_steps.begin(), baby_steps.end()),
+                     baby_steps.end());
+    auto baby = eval.rotateHoisted(ct, baby_steps);
+    auto babyCt = [&](std::size_t b) -> const ckks::Ciphertext & {
+        if (b == 0)
+            return ct;
+        auto it = std::lower_bound(baby_steps.begin(), baby_steps.end(),
+                                   static_cast<s64>(b));
+        return baby[static_cast<std::size_t>(it - baby_steps.begin())];
+    };
+
+    // Giant steps: per populated k, the plaintext products against
+    // the baby rotations, then one rotation of the partial sum.
+    ckks::Ciphertext acc;
+    bool first_k = true;
+    for (std::size_t i = 0; i < diags_.size();) {
+        std::size_t k = diags_[i].k;
+        ckks::Ciphertext inner;
+        bool first_b = true;
+        for (; i < diags_.size() && diags_[i].k == k; ++i) {
+            auto term = eval.multiplyPlain(babyCt(diags_[i].b), pts[i]);
+            if (first_b) {
+                inner = std::move(term);
+                first_b = false;
+            } else {
+                inner = eval.add(inner, term);
+            }
+        }
+        auto shifted = k == 0
+            ? std::move(inner)
+            : eval.rotate(inner, static_cast<s64>(k * g_));
+        if (first_k) {
+            acc = std::move(shifted);
+            first_k = false;
         } else {
-            acc = eval.add(acc, term);
+            acc = eval.add(acc, shifted);
         }
     }
-    TFHE_ASSERT(!first, "matrix was entirely zero");
     return eval.rescale(acc);
+}
+
+ckks::Ciphertext
+applyLinear(const ckks::CkksContext &ctx, const ckks::Evaluator &eval,
+            const SlotMatrix &m, const ckks::Ciphertext &ct)
+{
+    LinearTransformPlan plan(ctx, m);
+    return plan.apply(eval, ct);
 }
 
 } // namespace tensorfhe::boot

@@ -7,12 +7,21 @@
  * Re slot_j, coeff j+N/2 = Im slot_j, connected by the special FFT),
  * the slot-to-coeff map *in slot space* is exactly the special FFT
  * matrix, and coeff-to-slot its inverse — both C-linear, applied by
- * the classic diagonal method with HROTATE + CMULT.
+ * the diagonal method with HROTATE + CMULT.
+ *
+ * Evaluation goes through LinearTransformPlan: the diagonals are
+ * extracted and BSGS-regrouped once, their encoded plaintexts are
+ * cached per level, and the baby-step rotations run off a single
+ * hoisted key-switch head. A slots x slots transform thus costs
+ * O(sqrt(slots)) key-switch tails + O(sqrt(slots)) giant rotations
+ * instead of the naive one full keyswitch per nonzero diagonal.
  */
 
 #ifndef TENSORFHE_BOOT_LINEAR_HH
 #define TENSORFHE_BOOT_LINEAR_HH
 
+#include <map>
+#include <mutex>
 #include <vector>
 
 #include "ckks/crypto.hh"
@@ -37,9 +46,78 @@ std::vector<Complex> applyPlain(const SlotMatrix &m,
                                 const std::vector<Complex> &z);
 
 /**
- * Homomorphic y = M z by the diagonal method:
- * y = sum_d diag_d(M) (had) rot(z, d). Consumes one level.
- * Requires rotation keys for every step with a nonzero diagonal.
+ * A precompiled homomorphic linear transform y = M z.
+ *
+ * Construction extracts the nonzero diagonals of M and regroups them
+ * baby-step/giant-step: diagonal d = k*g + b is stored pre-rotated by
+ * -k*g so that
+ *   y = sum_k rot_{k*g}( sum_b diag'_{k,b} (had) rot_b(z) ).
+ * apply() computes the g-1 baby rotations off ONE hoisted key-switch
+ * head (Evaluator::rotateHoisted) and finishes with one giant
+ * rotation per populated k — about 2*sqrt(slots) key-switch tails in
+ * place of the naive slots-1 full keyswitches.
+ *
+ * The encoded diagonal plaintexts (the dominant per-call setup cost
+ * of the naive path, re-encoded on every call) are memoized per
+ * ciphertext level inside the plan; so are the dense special-FFT
+ * matrices, built once at plan construction via the factories below.
+ * apply() consumes one multiplicative level.
+ */
+class LinearTransformPlan
+{
+  public:
+    LinearTransformPlan(const ckks::CkksContext &ctx, SlotMatrix m);
+
+    /** Plan for the special FFT matrix U (SlotToCoeff). */
+    static LinearTransformPlan specialFft(const ckks::CkksContext &ctx);
+    /** Plan for U^-1 (CoeffToSlot). */
+    static LinearTransformPlan
+    specialFftInverse(const ckks::CkksContext &ctx);
+
+    /**
+     * Homomorphic y = M z. Requires rotation keys for every step in
+     * requiredRotations().
+     */
+    ckks::Ciphertext apply(const ckks::Evaluator &eval,
+                           const ckks::Ciphertext &ct) const;
+
+    /** Rotation steps apply() needs keys for (baby + giant steps). */
+    std::vector<s64> requiredRotations() const;
+
+    const SlotMatrix &matrix() const { return m_; }
+
+    /** Giant stride g ~ sqrt(slots); baby steps span [0, g). */
+    std::size_t giantStride() const { return g_; }
+    /** Nonzero diagonals the transform touches. */
+    std::size_t diagonalCount() const { return diags_.size(); }
+    /** Levels with a cached encoded-diagonal set (for tests). */
+    std::size_t cachedLevelCount() const;
+
+  private:
+    /** One nonzero diagonal d = k*g + b, pre-rotated by -k*g. */
+    struct Diagonal
+    {
+        std::size_t k;
+        std::size_t b;
+        std::vector<Complex> values;
+    };
+
+    const std::vector<ckks::Plaintext> &
+    encodedDiagonals(std::size_t level_count) const;
+
+    const ckks::CkksContext &ctx_;
+    SlotMatrix m_;
+    std::size_t g_ = 0;
+    std::vector<Diagonal> diags_; ///< sorted by (k, b)
+    mutable std::mutex mu_;
+    mutable std::map<std::size_t, std::vector<ckks::Plaintext>> cache_;
+};
+
+/**
+ * One-shot homomorphic y = M z: builds a transient LinearTransformPlan
+ * and applies it (BSGS + hoisted baby steps). Consumes one level.
+ * Callers evaluating the same matrix repeatedly should hold a plan
+ * instead to reuse the cached diagonal plaintexts.
  */
 ckks::Ciphertext applyLinear(const ckks::CkksContext &ctx,
                              const ckks::Evaluator &eval,

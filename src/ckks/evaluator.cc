@@ -1,6 +1,7 @@
 #include "ckks/evaluator.hh"
 
 #include <cmath>
+#include <optional>
 
 #include "common/logging.hh"
 
@@ -73,48 +74,79 @@ Evaluator::multiplyPlain(const Ciphertext &a, const Plaintext &p) const
     return out;
 }
 
-std::pair<rns::RnsPolynomial, rns::RnsPolynomial>
-Evaluator::keySwitch(const rns::RnsPolynomial &d,
-                     const SwitchKey &key) const
+HoistedDigits
+Evaluator::hoist(const rns::RnsPolynomial &d) const
 {
-    const auto &tower = ctx_.tower();
     auto v = ctx_.nttVariant();
     std::size_t level_count = d.numLimbs();
-    auto union_limbs = ctx_.unionLimbs(level_count);
 
     // Dcomp: coefficient-domain digits, scaled by (Q/Q_j)^-1 per limb.
     rns::RnsPolynomial d_coeff = d;
     d_coeff.toCoeff(v);
     auto digits = rns::decomposeDigits(d_coeff, ctx_.params().alpha());
 
-    rns::RnsPolynomial acc0(tower, union_limbs, rns::Domain::Eval);
-    rns::RnsPolynomial acc1(tower, union_limbs, rns::Domain::Eval);
+    std::vector<rns::RnsPolynomial> ups;
+    ups.reserve(digits.size());
     for (std::size_t j = 0; j < digits.size(); ++j) {
         auto &digit = digits[j];
         std::vector<u64> scalars(digit.numLimbs());
         for (std::size_t i = 0; i < digit.numLimbs(); ++i)
             scalars[i] = ctx_.dcompScalar(j, digit.limbIndex(i));
         rns::mulScalarInPlace(digit, scalars);
+        ups.push_back(rns::modUp(digit, level_count));
+    }
 
-        // ModUp to the union basis, then into Eval domain.
-        auto up = rns::modUp(digit, level_count);
-        up.toEval(v);
+    // Into Eval domain: every (digit x tower) NTT in one batched
+    // dispatch.
+    std::vector<rns::RnsPolynomial *> up_ptrs;
+    up_ptrs.reserve(ups.size());
+    for (auto &up : ups)
+        up_ptrs.push_back(&up);
+    rns::toEvalBatch(up_ptrs, v);
+    return {std::move(ups), level_count};
+}
 
+std::pair<rns::RnsPolynomial, rns::RnsPolynomial>
+Evaluator::keySwitchTail(const HoistedDigits &h, const SwitchKey &key,
+                         const rns::ModDownPlan *down) const
+{
+    const auto &tower = ctx_.tower();
+    auto v = ctx_.nttVariant();
+    auto union_limbs = ctx_.unionLimbs(h.levelCount);
+    requireArg(h.digits.size() <= key.digits(),
+               "switch key has too few digits: ", key.digits(),
+               " for ", h.digits.size());
+
+    rns::RnsPolynomial acc0(tower, union_limbs, rns::Domain::Eval);
+    rns::RnsPolynomial acc1(tower, union_limbs, rns::Domain::Eval);
+    for (std::size_t j = 0; j < h.digits.size(); ++j) {
         // Inner product with the key digit (restricted to the basis).
-        rns::mulAccumulate(acc0, up,
+        rns::mulAccumulate(acc0, h.digits[j],
                            rns::restrictToLimbs(key.b[j], union_limbs));
-        rns::mulAccumulate(acc1, up,
+        rns::mulAccumulate(acc1, h.digits[j],
                            rns::restrictToLimbs(key.a[j], union_limbs));
     }
 
     // ModDown by P, back to Eval domain. Both accumulators move
     // domains in one batched dispatch, so every (component x tower)
-    // NTT shares a single pool round-trip.
+    // NTT shares a single pool round-trip; both share one plan's
+    // Conv factors.
     rns::toCoeffBatch({&acc0, &acc1}, v);
-    auto ks0 = rns::modDown(acc0);
-    auto ks1 = rns::modDown(acc1);
+    std::optional<rns::ModDownPlan> local_down;
+    if (!down)
+        local_down.emplace(tower, union_limbs);
+    const rns::ModDownPlan &plan = down ? *down : *local_down;
+    auto ks0 = plan.apply(acc0);
+    auto ks1 = plan.apply(acc1);
     rns::toEvalBatch({&ks0, &ks1}, v);
     return {std::move(ks0), std::move(ks1)};
+}
+
+std::pair<rns::RnsPolynomial, rns::RnsPolynomial>
+Evaluator::keySwitch(const rns::RnsPolynomial &d,
+                     const SwitchKey &key) const
+{
+    return keySwitchTail(hoist(d), key);
 }
 
 Ciphertext
@@ -176,21 +208,28 @@ Evaluator::dropToLevelCount(const Ciphertext &a,
     return out;
 }
 
-Ciphertext
-Evaluator::rotate(const Ciphertext &a, s64 step) const
+namespace
 {
-    std::size_t slots = ctx_.slots();
-    s64 norm = ((step % s64(slots)) + s64(slots)) % s64(slots);
-    if (norm == 0)
-        return a;
-    auto it = keys_.rot.find(norm);
-    requireArg(it != keys_.rot.end(), "no rotation key for step ", norm);
 
-    u64 galois = ctx_.galoisForRotation(norm);
-    // ForbeniusMap on both components, then keyswitch c1' to s.
+/**
+ * Finish one automorphism + key switch on already-hoisted digits:
+ * permute the digits (FrobeniusMap, shared permutation across the
+ * digit vector), run the tail against `key`, and add the permuted c0.
+ */
+Ciphertext
+finishAutomorphism(const Evaluator &eval, const Ciphertext &a,
+                   const HoistedDigits &h, u64 galois,
+                   const SwitchKey &key, const rns::ModDownPlan *down)
+{
+    std::vector<const rns::RnsPolynomial *> digit_ptrs;
+    digit_ptrs.reserve(h.digits.size());
+    for (const auto &d : h.digits)
+        digit_ptrs.push_back(&d);
+    HoistedDigits rotated{rns::applyAutomorphismBatch(digit_ptrs, galois),
+                          h.levelCount};
+
+    auto [ks0, ks1] = eval.keySwitchTail(rotated, key, down);
     auto c0r = rns::applyAutomorphism(a.c0, galois);
-    auto c1r = rns::applyAutomorphism(a.c1, galois);
-    auto [ks0, ks1] = keySwitch(c1r, it->second);
     rns::eleAddInPlace(ks0, c0r);
     Ciphertext out;
     out.c0 = std::move(ks0);
@@ -199,19 +238,61 @@ Evaluator::rotate(const Ciphertext &a, s64 step) const
     return out;
 }
 
+} // namespace
+
+Ciphertext
+Evaluator::rotate(const Ciphertext &a, s64 step) const
+{
+    auto out = rotateHoisted(a, {step});
+    return std::move(out[0]);
+}
+
+std::vector<Ciphertext>
+Evaluator::rotateHoisted(const Ciphertext &a,
+                         const std::vector<s64> &steps) const
+{
+    std::size_t slots = ctx_.slots();
+    std::vector<s64> norms(steps.size());
+    bool any_nonzero = false;
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+        norms[i] = ((steps[i] % s64(slots)) + s64(slots)) % s64(slots);
+        if (norms[i] == 0)
+            continue;
+        requireArg(keys_.rot.count(norms[i]) != 0,
+                   "no rotation key for step ", norms[i]);
+        any_nonzero = true;
+    }
+
+    std::vector<Ciphertext> out(steps.size());
+    if (!any_nonzero) {
+        for (auto &ct : out)
+            ct = a;
+        return out;
+    }
+
+    // Hoist once: the Dcomp+ModUp+NTT head is step-independent, and
+    // so is the ModDown plan of the tails.
+    HoistedDigits h = hoist(a.c1);
+    rns::ModDownPlan down(ctx_.tower(), ctx_.unionLimbs(h.levelCount));
+
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+        if (norms[i] == 0) {
+            out[i] = a;
+            continue;
+        }
+        out[i] = finishAutomorphism(*this, a, h,
+                                    ctx_.galoisForRotation(norms[i]),
+                                    keys_.rot.at(norms[i]), &down);
+    }
+    return out;
+}
+
 Ciphertext
 Evaluator::conjugate(const Ciphertext &a) const
 {
-    u64 galois = ctx_.galoisForConjugation();
-    auto c0r = rns::applyAutomorphism(a.c0, galois);
-    auto c1r = rns::applyAutomorphism(a.c1, galois);
-    auto [ks0, ks1] = keySwitch(c1r, keys_.conj);
-    rns::eleAddInPlace(ks0, c0r);
-    Ciphertext out;
-    out.c0 = std::move(ks0);
-    out.c1 = std::move(ks1);
-    out.scale = a.scale;
-    return out;
+    HoistedDigits h = hoist(a.c1);
+    return finishAutomorphism(*this, a, h, ctx_.galoisForConjugation(),
+                              keys_.conj, nullptr);
 }
 
 Ciphertext

@@ -3,19 +3,37 @@
  * The CKKS evaluator: every operation of the paper's hierarchical
  * reconstruction (Table II, Algs. 1-6) — HADD, HSUB, CMULT, HMULT,
  * RESCALE, HROTATE, Conjugate — composed from the reusable kernels
- * (NTT, Hada-Mult, Ele-Add, Ele-Sub, ForbeniusMap, Conv).
+ * (NTT, Hada-Mult, Ele-Add, Ele-Sub, FrobeniusMap, Conv).
  */
 
 #ifndef TENSORFHE_CKKS_EVALUATOR_HH
 #define TENSORFHE_CKKS_EVALUATOR_HH
 
 #include <map>
+#include <utility>
+#include <vector>
 
 #include "ckks/ciphertext.hh"
 #include "ckks/context.hh"
 
 namespace tensorfhe::ckks
 {
+
+/**
+ * The reusable product of the expensive key-switch head (Halevi-Shoup
+ * hoisting): the decomposed, Dcomp-scaled, ModUp-extended, NTT-domain
+ * digits of one input polynomial. Because the Galois automorphism is
+ * a pure slot permutation in the Eval domain, one hoist serves every
+ * rotation step of the same input: each step pays only the digit
+ * permutation, the key inner product, and ModDown — the Dcomp, ModUp
+ * and forward-NTT work (the bulk of HROTATE, paper Fig. 11) is paid
+ * once instead of once per rotation.
+ */
+struct HoistedDigits
+{
+    std::vector<rns::RnsPolynomial> digits; ///< Eval domain, union basis
+    std::size_t levelCount = 0; ///< active q-limbs of the hoisted input
+};
 
 class Evaluator
 {
@@ -57,6 +75,18 @@ class Evaluator
     /** HROTATE (paper Alg. 4): rotate slots left by `step`. */
     Ciphertext rotate(const Ciphertext &a, s64 step) const;
 
+    /**
+     * HROTATE by every step in `steps` off a single hoist: the
+     * Dcomp+ModUp+NTT head runs once on a.c1 and is shared by all
+     * steps; each step finishes with only the digit automorphism, the
+     * inner product with its rotation key, and ModDown. Returns one
+     * ciphertext per requested step (step 0 returns a copy of `a`).
+     * Bit-identical to calling rotate() per step — rotate() routes
+     * through the same phases.
+     */
+    std::vector<Ciphertext> rotateHoisted(
+        const Ciphertext &a, const std::vector<s64> &steps) const;
+
     /** Complex conjugation of every slot. */
     Ciphertext conjugate(const Ciphertext &a) const;
 
@@ -83,9 +113,30 @@ class Evaluator
      * ModDown. Returns (ks0, ks1) with ks0 + ks1*s ~ d * target.
      * Exposed publicly because HMULT, HROTATE and Bootstrap all
      * reuse it, as in the paper's kernel reconstruction.
+     *
+     * Phase split (Halevi-Shoup hoisting): the procedure is composed
+     * of two reusable halves —
+     *   1. hoist(): Dcomp -> scale -> ModUp -> forward NTT. This is
+     *      the expensive, key-independent head (all the Conv work and
+     *      the digit-count x union-basis NTTs).
+     *   2. keySwitchTail(): per-key inner product -> ModDown -> NTT.
+     * keySwitch(d, key) == keySwitchTail(hoist(d), key) bit for bit;
+     * rotateHoisted() runs one hoist() and many tails.
      */
     std::pair<rns::RnsPolynomial, rns::RnsPolynomial>
     keySwitch(const rns::RnsPolynomial &d, const SwitchKey &key) const;
+
+    /** Phase 1 of keySwitch: the key-independent hoisted head. */
+    HoistedDigits hoist(const rns::RnsPolynomial &d) const;
+
+    /**
+     * Phase 2 of keySwitch: inner product with `key` + ModDown.
+     * @param down optional precomputed ModDown plan for the hoisted
+     *             union basis; rotateHoisted shares one across steps.
+     */
+    std::pair<rns::RnsPolynomial, rns::RnsPolynomial>
+    keySwitchTail(const HoistedDigits &h, const SwitchKey &key,
+                  const rns::ModDownPlan *down = nullptr) const;
 
   private:
     void requireCompatible(const Ciphertext &a,

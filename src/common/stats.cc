@@ -14,7 +14,7 @@ kernelKindName(KernelKind k)
       case KernelKind::HadaMult: return "Hada-Mult";
       case KernelKind::EleAdd: return "Ele-Add";
       case KernelKind::EleSub: return "Ele-Sub";
-      case KernelKind::FrobeniusMap: return "ForbeniusMap";
+      case KernelKind::FrobeniusMap: return "FrobeniusMap";
       case KernelKind::Conjugate: return "Conjugate";
       case KernelKind::Conv: return "Conv";
       case KernelKind::Segment: return "Segment";

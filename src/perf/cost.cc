@@ -103,7 +103,7 @@ convCost(std::size_t n, std::size_t src_limbs, std::size_t dst_limbs)
 }
 
 KernelCost
-keySwitchCost(const ckks::CkksParams &p, std::size_t level_count)
+keySwitchHoistCost(const ckks::CkksParams &p, std::size_t level_count)
 {
     std::size_t k = static_cast<std::size_t>(p.special);
     std::size_t alpha = p.alpha();
@@ -117,6 +117,20 @@ keySwitchCost(const ckks::CkksParams &p, std::size_t level_count)
         std::size_t dsz = std::min(alpha, level_count - j * alpha);
         c += convCost(p.n, dsz, union_limbs - dsz); // ModUp
         c += nttCost(p.n, union_limbs, p.nttVariant);
+    }
+    return c;
+}
+
+KernelCost
+keySwitchTailCost(const ckks::CkksParams &p, std::size_t level_count)
+{
+    std::size_t k = static_cast<std::size_t>(p.special);
+    std::size_t alpha = p.alpha();
+    std::size_t digits = (level_count + alpha - 1) / alpha;
+    std::size_t union_limbs = level_count + k;
+
+    KernelCost c;
+    for (std::size_t j = 0; j < digits; ++j) {
         // Fused inner-product accumulate (mulAccumulate kernel): the
         // two accumulators live in registers across the digit loop,
         // so DRAM sees only the two operand reads per accumulator.
@@ -129,6 +143,52 @@ keySwitchCost(const ckks::CkksParams &p, std::size_t level_count)
     c += 2 * convCost(p.n, k, level_count);
     c += 2 * eleAddCost(p.n, level_count);
     c += 2 * nttCost(p.n, level_count, p.nttVariant);
+    return c;
+}
+
+KernelCost
+keySwitchCost(const ckks::CkksParams &p, std::size_t level_count)
+{
+    return keySwitchHoistCost(p, level_count)
+        + keySwitchTailCost(p, level_count);
+}
+
+KernelCost
+rotateHoistedCost(const ckks::CkksParams &p, std::size_t level_count,
+                  std::size_t rotations)
+{
+    std::size_t k = static_cast<std::size_t>(p.special);
+    std::size_t alpha = p.alpha();
+    std::size_t digits = (level_count + alpha - 1) / alpha;
+    std::size_t union_limbs = level_count + k;
+
+    KernelCost c = keySwitchHoistCost(p, level_count);
+    KernelCost per_rotation =
+        frobeniusCost(p.n, digits * union_limbs) // hoisted digits
+        + keySwitchTailCost(p, level_count)
+        + frobeniusCost(p.n, level_count) // c0
+        + eleAddCost(p.n, level_count);
+    c += static_cast<double>(rotations) * per_rotation;
+    return c;
+}
+
+KernelCost
+bsgsLinearTransformCost(const ckks::CkksParams &p,
+                        std::size_t level_count, std::size_t slots)
+{
+    auto g = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(slots))));
+    std::size_t n2 = (slots + g - 1) / g;
+
+    // Baby steps off one hoist, one full HROTATE per giant step, one
+    // CMULT + HADD per diagonal, one final RESCALE.
+    KernelCost c = rotateHoistedCost(p, level_count, g - 1);
+    c += static_cast<double>(n2 - 1)
+        * opCost(OpKind::HRotate, p, level_count);
+    c += static_cast<double>(slots)
+        * (opCost(OpKind::CMult, p, level_count)
+           + opCost(OpKind::HAdd, p, level_count));
+    c += opCost(OpKind::Rescale, p, level_count);
     return c;
 }
 

@@ -73,6 +73,36 @@ KernelCost convCost(std::size_t n, std::size_t src_limbs,
 KernelCost keySwitchCost(const ckks::CkksParams &p,
                          std::size_t level_count);
 
+/**
+ * Phase split of keySwitchCost (Halevi-Shoup hoisting, mirroring
+ * Evaluator::hoist / keySwitchTail): the hoist is the key-independent
+ * head (Dcomp INTT, per-digit Conv, the digit-count x union-basis
+ * forward NTTs); the tail is the per-key remainder (inner product +
+ * ModDown). keySwitchHoistCost + keySwitchTailCost == keySwitchCost.
+ */
+KernelCost keySwitchHoistCost(const ckks::CkksParams &p,
+                              std::size_t level_count);
+KernelCost keySwitchTailCost(const ckks::CkksParams &p,
+                             std::size_t level_count);
+
+/**
+ * `rotations` HROTATEs of one input sharing a single hoisted head
+ * (Evaluator::rotateHoisted): one hoist + per rotation the digit
+ * FrobeniusMap, a key-switch tail, and the c0 permutation + add.
+ */
+KernelCost rotateHoistedCost(const ckks::CkksParams &p,
+                             std::size_t level_count,
+                             std::size_t rotations);
+
+/**
+ * BSGS slots x slots linear transform (boot::LinearTransformPlan):
+ * sqrt(slots)-ish hoisted baby rotations + giant rotations + one
+ * CMULT/HADD per diagonal, assuming all `slots` diagonals populated.
+ */
+KernelCost bsgsLinearTransformCost(const ckks::CkksParams &p,
+                                   std::size_t level_count,
+                                   std::size_t slots);
+
 /** The five Table II operations (+ conjugate). */
 enum class OpKind
 {

@@ -12,82 +12,6 @@ namespace tensorfhe::rns
 namespace
 {
 
-/**
- * CRT factors of the approximate base conversion, fixed by the
- * (source limbs, target limbs) pair: hatInv_i = (S/s_i)^-1 mod s_i
- * and hat_ij = (S/s_i) mod t_j. O(s^2 + s*t) scalar work — computed
- * once per batch and shared by every slot.
- */
-struct ConvFactors
-{
-    std::vector<u64> hatInv;      ///< s entries
-    std::vector<u64> hatInvShoup; ///< s entries
-    std::vector<u64> hat;         ///< s x t, row i = source limb i
-};
-
-ConvFactors
-convFactors(const RnsTower &tower, const std::vector<std::size_t> &src,
-            const std::vector<std::size_t> &targets)
-{
-    std::size_t s = src.size();
-    std::size_t t = targets.size();
-    ConvFactors f;
-    f.hatInv.resize(s);
-    f.hatInvShoup.resize(s);
-    for (std::size_t i = 0; i < s; ++i) {
-        const Modulus &mi = tower.modulus(src[i]);
-        u64 prod = 1;
-        for (std::size_t i2 = 0; i2 < s; ++i2) {
-            if (i2 != i)
-                prod = mi.mul(prod, tower.prime(src[i2]) % mi.value());
-        }
-        f.hatInv[i] = mi.inv(prod);
-        f.hatInvShoup[i] = shoupPrecompute(f.hatInv[i], mi.value());
-    }
-    f.hat.resize(s * t);
-    for (std::size_t j = 0; j < t; ++j) {
-        const Modulus &mj = tower.modulus(targets[j]);
-        for (std::size_t i = 0; i < s; ++i) {
-            u64 prod = 1;
-            for (std::size_t i2 = 0; i2 < s; ++i2) {
-                if (i2 != i)
-                    prod = mj.mul(prod, tower.prime(src[i2]) % mj.value());
-            }
-            f.hat[i * t + j] = prod;
-        }
-    }
-    return f;
-}
-
-/** y_i = a_i * hatInv_i mod s_i for every source limb of one slot. */
-void
-convScale(const RnsPolynomial &a, const ConvFactors &f, u64 *y)
-{
-    std::size_t n = a.n();
-    for (std::size_t i = 0; i < a.numLimbs(); ++i) {
-        const Modulus &mi = a.limbModulus(i);
-        const u64 *src = a.limb(i);
-        u64 *dst = y + i * n;
-        for (std::size_t c = 0; c < n; ++c)
-            dst[c] = mulModShoup(src[c], f.hatInv[i], f.hatInvShoup[i],
-                                 mi.value());
-    }
-}
-
-/** out_j = sum_i y_i * hat_ij for one (slot, target-limb) task. */
-void
-convAccumulate(const u64 *y, const ConvFactors &f, std::size_t s,
-               std::size_t n, std::size_t t, std::size_t j,
-               const Modulus &mj, u64 *dst)
-{
-    for (std::size_t c = 0; c < n; ++c) {
-        u128 acc = 0;
-        for (std::size_t i = 0; i < s; ++i)
-            acc += static_cast<u128>(y[i * n + c]) * f.hat[i * t + j];
-        dst[c] = mj.reduce(acc);
-    }
-}
-
 ThreadPool &
 poolOrGlobal(ThreadPool *pool)
 {
@@ -96,53 +20,112 @@ poolOrGlobal(ThreadPool *pool)
 
 } // namespace
 
+// ------------------------------------------------------------------
+// BaseConvPlan
+
+BaseConvPlan::BaseConvPlan(const RnsTower &tower,
+                           std::vector<std::size_t> src,
+                           std::vector<std::size_t> dst)
+    : tower_(&tower), src_(std::move(src)), dst_(std::move(dst))
+{
+    std::size_t s = src_.size();
+    std::size_t t = dst_.size();
+    hatInv_.resize(s);
+    hatInvShoup_.resize(s);
+    for (std::size_t i = 0; i < s; ++i) {
+        const Modulus &mi = tower.modulus(src_[i]);
+        u64 prod = 1;
+        for (std::size_t i2 = 0; i2 < s; ++i2) {
+            if (i2 != i)
+                prod = mi.mul(prod, tower.prime(src_[i2]) % mi.value());
+        }
+        hatInv_[i] = mi.inv(prod);
+        hatInvShoup_[i] = shoupPrecompute(hatInv_[i], mi.value());
+    }
+    hat_.resize(s * t);
+    for (std::size_t j = 0; j < t; ++j) {
+        const Modulus &mj = tower.modulus(dst_[j]);
+        for (std::size_t i = 0; i < s; ++i) {
+            u64 prod = 1;
+            for (std::size_t i2 = 0; i2 < s; ++i2) {
+                if (i2 != i)
+                    prod = mj.mul(prod, tower.prime(src_[i2]) % mj.value());
+            }
+            hat_[i * t + j] = prod;
+        }
+    }
+}
+
+/** y_i = a_i * hatInv_i mod s_i for every source limb of one slot. */
+void
+BaseConvPlan::scalePhase(const RnsPolynomial &a, u64 *y) const
+{
+    std::size_t n = a.n();
+    for (std::size_t i = 0; i < a.numLimbs(); ++i) {
+        const Modulus &mi = a.limbModulus(i);
+        const u64 *src = a.limb(i);
+        u64 *dst = y + i * n;
+        for (std::size_t c = 0; c < n; ++c)
+            dst[c] = mulModShoup(src[c], hatInv_[i], hatInvShoup_[i],
+                                 mi.value());
+    }
+}
+
+/** out_j = sum_i y_i * hat_ij for one (slot, target-limb) task. */
+void
+BaseConvPlan::accumulatePhase(const u64 *y, std::size_t j, u64 *dst) const
+{
+    std::size_t s = src_.size();
+    std::size_t t = dst_.size();
+    std::size_t n = tower_->n();
+    const Modulus &mj = tower_->modulus(dst_[j]);
+    for (std::size_t c = 0; c < n; ++c) {
+        u128 acc = 0;
+        for (std::size_t i = 0; i < s; ++i)
+            acc += static_cast<u128>(y[i * n + c]) * hat_[i * t + j];
+        dst[c] = mj.reduce(acc);
+    }
+}
+
 RnsPolynomial
-fastBaseConv(const RnsPolynomial &a,
-             const std::vector<std::size_t> &target_limbs)
+BaseConvPlan::apply(const RnsPolynomial &a) const
 {
     TFHE_ASSERT(a.domain() == Domain::Coeff,
                 "Conv operates in coefficient domain");
-    const RnsTower &tower = a.tower();
+    TFHE_ASSERT(a.limbIndices() == src_,
+                "polynomial does not match the plan's source basis");
     std::size_t n = a.n();
-    std::size_t s = a.numLimbs();
-    std::size_t t = target_limbs.size();
+    std::size_t s = src_.size();
+    std::size_t t = dst_.size();
     ScopedKernelTimer timer(KernelKind::Conv, (s + t) * n);
 
-    ConvFactors f = convFactors(tower, a.limbIndices(), target_limbs);
     std::vector<u64> y(s * n);
-    convScale(a, f, y.data());
+    scalePhase(a, y.data());
 
-    RnsPolynomial out(tower, target_limbs, Domain::Coeff);
+    RnsPolynomial out(*tower_, dst_, Domain::Coeff);
     ThreadPool::global().parallelFor(0, t, [&](std::size_t j) {
-        convAccumulate(y.data(), f, s, n, t, j,
-                       tower.modulus(target_limbs[j]), out.limb(j));
+        accumulatePhase(y.data(), j, out.limb(j));
     });
     return out;
 }
 
 std::vector<RnsPolynomial>
-fastBaseConvBatch(const std::vector<const RnsPolynomial *> &as,
-                  const std::vector<std::size_t> &target_limbs,
-                  ThreadPool *pool)
+BaseConvPlan::applyBatch(const std::vector<const RnsPolynomial *> &as,
+                         ThreadPool *pool) const
 {
     std::size_t batch = as.size();
     if (batch == 0)
         return {};
-    const RnsPolynomial &front = *as[0];
-    const RnsTower &tower = front.tower();
-    std::size_t n = front.n();
-    std::size_t s = front.numLimbs();
-    std::size_t t = target_limbs.size();
+    std::size_t n = tower_->n();
+    std::size_t s = src_.size();
+    std::size_t t = dst_.size();
     for (const RnsPolynomial *a : as) {
         TFHE_ASSERT(a->domain() == Domain::Coeff,
                     "Conv operates in coefficient domain");
-        TFHE_ASSERT(a->limbIndices() == front.limbIndices(),
-                    "batched Conv requires a uniform limb set");
+        TFHE_ASSERT(a->limbIndices() == src_,
+                    "batched Conv requires the plan's source basis");
     }
     ScopedKernelTimer timer(KernelKind::Conv, batch * (s + t) * n);
-
-    // One factor table for the whole batch (paper SIV-B data reuse).
-    ConvFactors f = convFactors(tower, front.limbIndices(), target_limbs);
 
     ThreadPool &tp = poolOrGlobal(pool);
     std::vector<u64> y(batch * s * n);
@@ -152,19 +135,38 @@ fastBaseConvBatch(const std::vector<const RnsPolynomial *> &as,
         const u64 *src = a.limb(i);
         u64 *dst = y.data() + (b * s + i) * n;
         for (std::size_t c = 0; c < n; ++c)
-            dst[c] = mulModShoup(src[c], f.hatInv[i], f.hatInvShoup[i],
+            dst[c] = mulModShoup(src[c], hatInv_[i], hatInvShoup_[i],
                                  mi.value());
     });
 
     std::vector<RnsPolynomial> out;
     out.reserve(batch);
     for (std::size_t b = 0; b < batch; ++b)
-        out.emplace_back(tower, target_limbs, Domain::Coeff);
+        out.emplace_back(*tower_, dst_, Domain::Coeff);
     tp.parallelFor2D(batch, t, [&](std::size_t b, std::size_t j) {
-        convAccumulate(y.data() + b * s * n, f, s, n, t, j,
-                       tower.modulus(target_limbs[j]), out[b].limb(j));
+        accumulatePhase(y.data() + b * s * n, j, out[b].limb(j));
     });
     return out;
+}
+
+RnsPolynomial
+fastBaseConv(const RnsPolynomial &a,
+             const std::vector<std::size_t> &target_limbs)
+{
+    return BaseConvPlan(a.tower(), a.limbIndices(), target_limbs)
+        .apply(a);
+}
+
+std::vector<RnsPolynomial>
+fastBaseConvBatch(const std::vector<const RnsPolynomial *> &as,
+                  const std::vector<std::size_t> &target_limbs,
+                  ThreadPool *pool)
+{
+    if (as.empty())
+        return {};
+    // One factor table for the whole batch (paper SIV-B data reuse).
+    BaseConvPlan plan(as[0]->tower(), as[0]->limbIndices(), target_limbs);
+    return plan.applyBatch(as, pool);
 }
 
 std::vector<RnsPolynomial>
@@ -187,40 +189,71 @@ decomposeDigits(const RnsPolynomial &a, std::size_t alpha)
     return digits;
 }
 
-RnsPolynomial
-modUp(const RnsPolynomial &digit, std::size_t level_count)
-{
-    const RnsTower &tower = digit.tower();
-    TFHE_ASSERT(digit.domain() == Domain::Coeff);
+// ------------------------------------------------------------------
+// ModUpPlan
 
-    // Union basis: active q-limbs then all special limbs.
+namespace
+{
+
+std::vector<std::size_t>
+unionBasis(const RnsTower &tower, std::size_t level_count)
+{
     std::vector<std::size_t> target;
     for (std::size_t i = 0; i < level_count; ++i)
         target.push_back(i);
     for (std::size_t k = 0; k < tower.numP(); ++k)
         target.push_back(tower.specialIndex(k));
+    return target;
+}
 
-    // Limbs outside the digit get converted values.
+std::vector<std::size_t>
+limbsOutside(const std::vector<std::size_t> &target,
+             const std::vector<std::size_t> &digit_limbs)
+{
     std::vector<std::size_t> others;
     for (std::size_t idx : target) {
-        if (std::find(digit.limbIndices().begin(),
-                      digit.limbIndices().end(), idx)
-                == digit.limbIndices().end()) {
+        if (std::find(digit_limbs.begin(), digit_limbs.end(), idx)
+                == digit_limbs.end()) {
             others.push_back(idx);
         }
     }
-    RnsPolynomial converted = fastBaseConv(digit, others);
+    return others;
+}
 
-    RnsPolynomial out(tower, target, Domain::Coeff);
+} // namespace
+
+ModUpPlan::ModUpPlan(const RnsTower &tower,
+                     std::vector<std::size_t> digit_limbs,
+                     std::size_t level_count)
+    : tower_(&tower), digit_limbs_(std::move(digit_limbs)),
+      target_(unionBasis(tower, level_count)),
+      conv_(tower, digit_limbs_, limbsOutside(target_, digit_limbs_))
+{
+    copySrc_.resize(target_.size());
+    for (std::size_t j = 0; j < target_.size(); ++j) {
+        auto it = std::find(digit_limbs_.begin(), digit_limbs_.end(),
+                            target_[j]);
+        copySrc_[j] = it == digit_limbs_.end()
+            ? npos
+            : static_cast<std::size_t>(it - digit_limbs_.begin());
+    }
+}
+
+RnsPolynomial
+ModUpPlan::apply(const RnsPolynomial &digit) const
+{
+    TFHE_ASSERT(digit.domain() == Domain::Coeff);
+    TFHE_ASSERT(digit.limbIndices() == digit_limbs_,
+                "digit does not match the plan's limb set");
+    RnsPolynomial converted = conv_.apply(digit);
+
+    RnsPolynomial out(*tower_, target_, Domain::Coeff);
     std::size_t n = digit.n();
     std::size_t oi = 0;
-    for (std::size_t j = 0; j < target.size(); ++j) {
-        auto it = std::find(digit.limbIndices().begin(),
-                            digit.limbIndices().end(), target[j]);
-        if (it != digit.limbIndices().end()) {
-            std::size_t src = static_cast<std::size_t>(
-                it - digit.limbIndices().begin());
-            std::copy(digit.limb(src), digit.limb(src) + n, out.limb(j));
+    for (std::size_t j = 0; j < target_.size(); ++j) {
+        if (copySrc_[j] != npos) {
+            std::copy(digit.limb(copySrc_[j]),
+                      digit.limb(copySrc_[j]) + n, out.limb(j));
         } else {
             std::copy(converted.limb(oi), converted.limb(oi) + n,
                       out.limb(j));
@@ -230,44 +263,214 @@ modUp(const RnsPolynomial &digit, std::size_t level_count)
     return out;
 }
 
-RnsPolynomial
-modDown(const RnsPolynomial &a)
+std::vector<RnsPolynomial>
+ModUpPlan::applyBatch(const std::vector<const RnsPolynomial *> &digits,
+                      ThreadPool *pool) const
 {
-    const RnsTower &tower = a.tower();
-    TFHE_ASSERT(a.domain() == Domain::Coeff);
+    std::size_t batch = digits.size();
+    if (batch == 0)
+        return {};
+    std::size_t n = tower_->n();
+    auto converted = conv_.applyBatch(digits, pool);
+
+    std::vector<RnsPolynomial> out;
+    out.reserve(batch);
+    for (std::size_t b = 0; b < batch; ++b)
+        out.emplace_back(*tower_, target_, Domain::Coeff);
+    poolOrGlobal(pool).parallelFor(0, batch, [&](std::size_t b) {
+        const RnsPolynomial &digit = *digits[b];
+        std::size_t oi = 0;
+        for (std::size_t j = 0; j < target_.size(); ++j) {
+            if (copySrc_[j] != npos) {
+                std::copy(digit.limb(copySrc_[j]),
+                          digit.limb(copySrc_[j]) + n, out[b].limb(j));
+            } else {
+                std::copy(converted[b].limb(oi),
+                          converted[b].limb(oi) + n, out[b].limb(j));
+                ++oi;
+            }
+        }
+    });
+    return out;
+}
+
+RnsPolynomial
+modUp(const RnsPolynomial &digit, std::size_t level_count)
+{
+    return ModUpPlan(digit.tower(), digit.limbIndices(), level_count)
+        .apply(digit);
+}
+
+std::vector<RnsPolynomial>
+modUpBatch(const std::vector<const RnsPolynomial *> &digits,
+           std::size_t level_count, ThreadPool *pool)
+{
+    if (digits.empty())
+        return {};
+    // Union basis and Conv factors are fixed by the digit's limb set,
+    // so they are computed once for the batch.
+    ModUpPlan plan(digits[0]->tower(), digits[0]->limbIndices(),
+                   level_count);
+    return plan.applyBatch(digits, pool);
+}
+
+// ------------------------------------------------------------------
+// ModDownPlan
+
+namespace
+{
+
+std::vector<std::size_t>
+qPartOfUnion(const RnsTower &tower,
+             const std::vector<std::size_t> &union_limbs)
+{
+    TFHE_ASSERT(union_limbs.size() > tower.numP(), "nothing to drop");
+    return {union_limbs.begin(),
+            union_limbs.end()
+                - static_cast<std::ptrdiff_t>(tower.numP())};
+}
+
+std::vector<std::size_t>
+pPartOfUnion(const RnsTower &tower,
+             const std::vector<std::size_t> &union_limbs)
+{
+    TFHE_ASSERT(union_limbs.size() > tower.numP(), "nothing to drop");
+    return {union_limbs.end()
+                - static_cast<std::ptrdiff_t>(tower.numP()),
+            union_limbs.end()};
+}
+
+} // namespace
+
+ModDownPlan::ModDownPlan(const RnsTower &tower,
+                         const std::vector<std::size_t> &union_limbs)
+    : tower_(&tower), q_idx_(qPartOfUnion(tower, union_limbs)),
+      p_idx_(pPartOfUnion(tower, union_limbs)),
+      conv_(tower, p_idx_, q_idx_)
+{
     std::size_t k = tower.numP();
-    TFHE_ASSERT(a.numLimbs() > k, "nothing to drop");
-    std::size_t ql = a.numLimbs() - k; // q-limbs in the result
+    for (std::size_t j = 0; j < k; ++j)
+        TFHE_ASSERT(p_idx_[j] >= tower.numQ(), "limb order violated");
+    // P^-1 per q-limb is slot-independent: precompute once.
+    std::size_t ql = q_idx_.size();
+    pInv_.resize(ql);
+    pInvShoup_.resize(ql);
+    for (std::size_t j = 0; j < ql; ++j) {
+        pInv_[j] = tower.pInvModQ(q_idx_[j]);
+        pInvShoup_[j] =
+            shoupPrecompute(pInv_[j], tower.modulus(q_idx_[j]).value());
+    }
+}
+
+bool
+ModDownPlan::matchesUnionBasis(const RnsPolynomial &a) const
+{
+    std::size_t ql = q_idx_.size();
+    if (a.numLimbs() != ql + p_idx_.size())
+        return false;
+    return std::equal(q_idx_.begin(), q_idx_.end(),
+                      a.limbIndices().begin())
+        && std::equal(p_idx_.begin(), p_idx_.end(),
+                      a.limbIndices().begin()
+                          + static_cast<std::ptrdiff_t>(ql));
+}
+
+RnsPolynomial
+ModDownPlan::apply(const RnsPolynomial &a) const
+{
+    TFHE_ASSERT(a.domain() == Domain::Coeff);
+    std::size_t k = p_idx_.size();
+    std::size_t ql = q_idx_.size();
+    TFHE_ASSERT(matchesUnionBasis(a),
+                "polynomial does not match the plan's union basis");
+    std::size_t n = a.n();
 
     // The special-limb part of a.
-    std::vector<std::size_t> p_idx(a.limbIndices().end() - k,
-                                   a.limbIndices().end());
-    for (std::size_t j = 0; j < k; ++j)
-        TFHE_ASSERT(p_idx[j] >= tower.numQ(), "limb order violated");
-    RnsPolynomial a_p(tower, p_idx, Domain::Coeff);
-    std::size_t n = a.n();
+    RnsPolynomial a_p(*tower_, p_idx_, Domain::Coeff);
     for (std::size_t j = 0; j < k; ++j)
         std::copy(a.limb(ql + j), a.limb(ql + j) + n, a_p.limb(j));
 
     // Convert a mod P onto the q-limbs, subtract, multiply by P^-1.
-    std::vector<std::size_t> q_idx(a.limbIndices().begin(),
-                                   a.limbIndices().begin() + ql);
-    RnsPolynomial conv = fastBaseConv(a_p, q_idx);
+    RnsPolynomial conv = conv_.apply(a_p);
 
-    RnsPolynomial out(tower, q_idx, Domain::Coeff);
+    RnsPolynomial out(*tower_, q_idx_, Domain::Coeff);
     ThreadPool::global().parallelFor(0, ql, [&](std::size_t j) {
-        const Modulus &mod = tower.modulus(q_idx[j]);
-        u64 pinv = tower.pInvModQ(q_idx[j]);
-        u64 pinv_shoup = shoupPrecompute(pinv, mod.value());
+        const Modulus &mod = tower_->modulus(q_idx_[j]);
         const u64 *pa = a.limb(j);
         const u64 *pc = conv.limb(j);
         u64 *po = out.limb(j);
         for (std::size_t c = 0; c < n; ++c) {
-            po[c] = mulModShoup(mod.sub(pa[c], pc[c]), pinv, pinv_shoup,
-                                mod.value());
+            po[c] = mulModShoup(mod.sub(pa[c], pc[c]), pInv_[j],
+                                pInvShoup_[j], mod.value());
         }
     });
     return out;
+}
+
+std::vector<RnsPolynomial>
+ModDownPlan::applyBatch(const std::vector<const RnsPolynomial *> &as,
+                        ThreadPool *pool) const
+{
+    std::size_t batch = as.size();
+    if (batch == 0)
+        return {};
+    std::size_t k = p_idx_.size();
+    std::size_t ql = q_idx_.size();
+    std::size_t n = tower_->n();
+
+    ThreadPool &tp = poolOrGlobal(pool);
+    std::vector<RnsPolynomial> a_ps;
+    a_ps.reserve(batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+        TFHE_ASSERT(as[b]->domain() == Domain::Coeff);
+        TFHE_ASSERT(matchesUnionBasis(*as[b]),
+                    "batched ModDown requires the plan's union basis");
+        a_ps.emplace_back(*tower_, p_idx_, Domain::Coeff);
+    }
+    tp.parallelFor2D(batch, k, [&](std::size_t b, std::size_t j) {
+        std::copy(as[b]->limb(ql + j), as[b]->limb(ql + j) + n,
+                  a_ps[b].limb(j));
+    });
+
+    std::vector<const RnsPolynomial *> a_p_ptrs(batch);
+    for (std::size_t b = 0; b < batch; ++b)
+        a_p_ptrs[b] = &a_ps[b];
+    auto conv = conv_.applyBatch(a_p_ptrs, pool);
+
+    std::vector<RnsPolynomial> out;
+    out.reserve(batch);
+    for (std::size_t b = 0; b < batch; ++b)
+        out.emplace_back(*tower_, q_idx_, Domain::Coeff);
+    tp.parallelFor2D(batch, ql, [&](std::size_t b, std::size_t j) {
+        const Modulus &mod = tower_->modulus(q_idx_[j]);
+        const u64 *pa = as[b]->limb(j);
+        const u64 *pc = conv[b].limb(j);
+        u64 *po = out[b].limb(j);
+        for (std::size_t c = 0; c < n; ++c) {
+            po[c] = mulModShoup(mod.sub(pa[c], pc[c]), pInv_[j],
+                                pInvShoup_[j], mod.value());
+        }
+    });
+    return out;
+}
+
+RnsPolynomial
+modDown(const RnsPolynomial &a)
+{
+    return ModDownPlan(a.tower(), a.limbIndices()).apply(a);
+}
+
+std::vector<RnsPolynomial>
+modDownBatch(const std::vector<const RnsPolynomial *> &as,
+             ThreadPool *pool)
+{
+    if (as.empty())
+        return {};
+    for (const RnsPolynomial *a : as)
+        TFHE_ASSERT(a->limbIndices() == as[0]->limbIndices(),
+                    "batched ModDown requires a uniform limb set");
+    ModDownPlan plan(as[0]->tower(), as[0]->limbIndices());
+    return plan.applyBatch(as, pool);
 }
 
 RnsPolynomial
@@ -299,125 +502,6 @@ rescaleByLastLimb(const RnsPolynomial &a)
                 : mod.sub(0, (q_last - v) % q);
             po[c] = mulModShoup(mod.sub(pa[c], lifted), qlast_inv,
                                 qi_shoup, q);
-        }
-    });
-    return out;
-}
-
-std::vector<RnsPolynomial>
-modUpBatch(const std::vector<const RnsPolynomial *> &digits,
-           std::size_t level_count, ThreadPool *pool)
-{
-    std::size_t batch = digits.size();
-    if (batch == 0)
-        return {};
-    const RnsPolynomial &front = *digits[0];
-    const RnsTower &tower = front.tower();
-    std::size_t n = front.n();
-
-    // Union basis and the converted-limb list are fixed by the digit's
-    // limb set, so they are computed once for the batch.
-    std::vector<std::size_t> target;
-    for (std::size_t i = 0; i < level_count; ++i)
-        target.push_back(i);
-    for (std::size_t k = 0; k < tower.numP(); ++k)
-        target.push_back(tower.specialIndex(k));
-
-    std::vector<std::size_t> others;
-    for (std::size_t idx : target) {
-        if (std::find(front.limbIndices().begin(),
-                      front.limbIndices().end(), idx)
-                == front.limbIndices().end()) {
-            others.push_back(idx);
-        }
-    }
-    auto converted = fastBaseConvBatch(digits, others, pool);
-
-    std::vector<RnsPolynomial> out;
-    out.reserve(batch);
-    for (std::size_t b = 0; b < batch; ++b)
-        out.emplace_back(tower, target, Domain::Coeff);
-    poolOrGlobal(pool).parallelFor(0, batch, [&](std::size_t b) {
-        const RnsPolynomial &digit = *digits[b];
-        std::size_t oi = 0;
-        for (std::size_t j = 0; j < target.size(); ++j) {
-            auto it = std::find(digit.limbIndices().begin(),
-                                digit.limbIndices().end(), target[j]);
-            if (it != digit.limbIndices().end()) {
-                std::size_t src = static_cast<std::size_t>(
-                    it - digit.limbIndices().begin());
-                std::copy(digit.limb(src), digit.limb(src) + n,
-                          out[b].limb(j));
-            } else {
-                std::copy(converted[b].limb(oi),
-                          converted[b].limb(oi) + n, out[b].limb(j));
-                ++oi;
-            }
-        }
-    });
-    return out;
-}
-
-std::vector<RnsPolynomial>
-modDownBatch(const std::vector<const RnsPolynomial *> &as,
-             ThreadPool *pool)
-{
-    std::size_t batch = as.size();
-    if (batch == 0)
-        return {};
-    const RnsPolynomial &front = *as[0];
-    const RnsTower &tower = front.tower();
-    std::size_t k = tower.numP();
-    TFHE_ASSERT(front.numLimbs() > k, "nothing to drop");
-    std::size_t ql = front.numLimbs() - k;
-    std::size_t n = front.n();
-
-    std::vector<std::size_t> p_idx(front.limbIndices().end() - k,
-                                   front.limbIndices().end());
-    for (std::size_t j = 0; j < k; ++j)
-        TFHE_ASSERT(p_idx[j] >= tower.numQ(), "limb order violated");
-    std::vector<std::size_t> q_idx(front.limbIndices().begin(),
-                                   front.limbIndices().begin() + ql);
-
-    ThreadPool &tp = poolOrGlobal(pool);
-    std::vector<RnsPolynomial> a_ps;
-    a_ps.reserve(batch);
-    for (std::size_t b = 0; b < batch; ++b) {
-        TFHE_ASSERT(as[b]->domain() == Domain::Coeff);
-        TFHE_ASSERT(as[b]->limbIndices() == front.limbIndices(),
-                    "batched ModDown requires a uniform limb set");
-        a_ps.emplace_back(tower, p_idx, Domain::Coeff);
-    }
-    tp.parallelFor2D(batch, k, [&](std::size_t b, std::size_t j) {
-        std::copy(as[b]->limb(ql + j), as[b]->limb(ql + j) + n,
-                  a_ps[b].limb(j));
-    });
-
-    std::vector<const RnsPolynomial *> a_p_ptrs(batch);
-    for (std::size_t b = 0; b < batch; ++b)
-        a_p_ptrs[b] = &a_ps[b];
-    auto conv = fastBaseConvBatch(a_p_ptrs, q_idx, pool);
-
-    // P^-1 per q-limb is slot-independent: precompute once.
-    std::vector<u64> pinv(ql), pinv_shoup(ql);
-    for (std::size_t j = 0; j < ql; ++j) {
-        pinv[j] = tower.pInvModQ(q_idx[j]);
-        pinv_shoup[j] =
-            shoupPrecompute(pinv[j], tower.modulus(q_idx[j]).value());
-    }
-
-    std::vector<RnsPolynomial> out;
-    out.reserve(batch);
-    for (std::size_t b = 0; b < batch; ++b)
-        out.emplace_back(tower, q_idx, Domain::Coeff);
-    tp.parallelFor2D(batch, ql, [&](std::size_t b, std::size_t j) {
-        const Modulus &mod = tower.modulus(q_idx[j]);
-        const u64 *pa = as[b]->limb(j);
-        const u64 *pc = conv[b].limb(j);
-        u64 *po = out[b].limb(j);
-        for (std::size_t c = 0; c < n; ++c) {
-            po[c] = mulModShoup(mod.sub(pa[c], pc[c]), pinv[j],
-                                pinv_shoup[j], mod.value());
         }
     });
     return out;

@@ -10,6 +10,14 @@
  * the result may differ from the true value by a small multiple of
  * the source modulus. CKKS absorbs this into ciphertext noise; the
  * tests bound it.
+ *
+ * The conversion procedures are phase-split: each has a *Plan class
+ * holding the precomputation fixed by the (source, target) limb pair
+ * — CRT factors, union-basis layout, P^-1 constants — separate from
+ * the per-coefficient apply phase. Hoisted key-switching builds one
+ * plan and applies it across every rotation, digit, and batch slot;
+ * the plan-free functions below remain as one-shot conveniences and
+ * are bit-identical to plan construction + apply.
  */
 
 #ifndef TENSORFHE_RNS_CONV_HH
@@ -26,6 +34,107 @@ class ThreadPool;
 
 namespace tensorfhe::rns
 {
+
+/**
+ * Precomputed CRT factors of the approximate base conversion for one
+ * fixed (source, target) limb pair: hatInv_i = (S/s_i)^-1 mod s_i and
+ * hat_ij = (S/s_i) mod t_j. The O(s^2 + s*t) scalar work happens once
+ * at construction; apply() then performs only the O(s*t*n)
+ * per-coefficient phase. apply()/applyBatch() are bit-identical to
+ * fastBaseConv()/fastBaseConvBatch().
+ */
+class BaseConvPlan
+{
+  public:
+    /** Source limbs must be distinct primes. */
+    BaseConvPlan(const RnsTower &tower, std::vector<std::size_t> src,
+                 std::vector<std::size_t> dst);
+
+    /** Convert one Coeff-domain polynomial over the source limbs. */
+    RnsPolynomial apply(const RnsPolynomial &a) const;
+
+    /** Batched apply: one flattened (slot x limb) dispatch. */
+    std::vector<RnsPolynomial>
+    applyBatch(const std::vector<const RnsPolynomial *> &as,
+               ThreadPool *pool = nullptr) const;
+
+    const std::vector<std::size_t> &sourceLimbs() const { return src_; }
+    const std::vector<std::size_t> &targetLimbs() const { return dst_; }
+
+  private:
+    void scalePhase(const RnsPolynomial &a, u64 *y) const;
+    void accumulatePhase(const u64 *y, std::size_t j, u64 *dst) const;
+
+    const RnsTower *tower_;
+    std::vector<std::size_t> src_;
+    std::vector<std::size_t> dst_;
+    std::vector<u64> hatInv_;      ///< s entries
+    std::vector<u64> hatInvShoup_; ///< s entries
+    std::vector<u64> hat_;         ///< s x t, row i = source limb i
+};
+
+/**
+ * Phase-split ModUp: the union basis {q_0..q_{level}} + {p_0..p_{K-1}},
+ * the copied-vs-converted limb layout, and the Conv factors for one
+ * digit shape at one level, computed once and reused across every
+ * hoisted rotation and batch slot. apply()/applyBatch() are
+ * bit-identical to modUp()/modUpBatch().
+ */
+class ModUpPlan
+{
+  public:
+    ModUpPlan(const RnsTower &tower,
+              std::vector<std::size_t> digit_limbs,
+              std::size_t level_count);
+
+    RnsPolynomial apply(const RnsPolynomial &digit) const;
+
+    std::vector<RnsPolynomial>
+    applyBatch(const std::vector<const RnsPolynomial *> &digits,
+               ThreadPool *pool = nullptr) const;
+
+    const std::vector<std::size_t> &unionLimbs() const { return target_; }
+
+  private:
+    const RnsTower *tower_;
+    std::vector<std::size_t> digit_limbs_;
+    std::vector<std::size_t> target_;
+    /** copySrc_[j]: digit-limb position copied into target slot j, or
+        npos when the limb comes from the conversion. */
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+    std::vector<std::size_t> copySrc_;
+    BaseConvPlan conv_;
+};
+
+/**
+ * Phase-split ModDown: the q/p limb split and the p->q Conv factors
+ * plus P^-1 (Shoup form) per remaining limb for one union basis.
+ * Hoisted rotation tails share one plan across every step.
+ * apply()/applyBatch() are bit-identical to modDown()/modDownBatch().
+ */
+class ModDownPlan
+{
+  public:
+    /** `union_limbs` = active q-limbs followed by all special limbs. */
+    ModDownPlan(const RnsTower &tower,
+                const std::vector<std::size_t> &union_limbs);
+
+    RnsPolynomial apply(const RnsPolynomial &a) const;
+
+    std::vector<RnsPolynomial>
+    applyBatch(const std::vector<const RnsPolynomial *> &as,
+               ThreadPool *pool = nullptr) const;
+
+  private:
+    bool matchesUnionBasis(const RnsPolynomial &a) const;
+
+    const RnsTower *tower_;
+    std::vector<std::size_t> q_idx_;
+    std::vector<std::size_t> p_idx_;
+    std::vector<u64> pInv_;
+    std::vector<u64> pInvShoup_;
+    BaseConvPlan conv_; ///< p -> q
+};
 
 /**
  * Convert a Coeff-domain polynomial from its current basis to

@@ -257,7 +257,8 @@ applyAutomorphismBatch(const std::vector<const RnsPolynomial *> &as,
     out.reserve(batch);
     for (std::size_t b = 0; b < batch; ++b) {
         TFHE_ASSERT(as[b]->domain() == front.domain()
-                        && as[b]->n() == n,
+                        && as[b]->n() == n
+                        && as[b]->numLimbs() == front.numLimbs(),
                     "batched automorphism requires a uniform shape");
         out.emplace_back(as[b]->tower(), as[b]->limbIndices(),
                          as[b]->domain());
@@ -267,7 +268,7 @@ applyAutomorphismBatch(const std::vector<const RnsPolynomial *> &as,
     if (front.domain() == Domain::Eval) {
         ScopedKernelTimer timer(KernelKind::FrobeniusMap,
                                 batch * front.numLimbs() * n);
-        // The ForbeniusMap permutation is shared by the whole batch.
+        // The FrobeniusMap permutation is shared by the whole batch.
         std::vector<std::size_t> pi(n);
         for (std::size_t j = 0; j < n; ++j)
             pi[j] = ((galois * (2 * j + 1)) % m - 1) / 2;
@@ -310,7 +311,7 @@ applyAutomorphism(const RnsPolynomial &a, u64 galois)
     RnsPolynomial out(a.tower(), a.limbIndices(), a.domain());
 
     if (a.domain() == Domain::Eval) {
-        // ForbeniusMap kernel (paper SIV-A): pure slot permutation.
+        // FrobeniusMap kernel (paper SIV-A): pure slot permutation.
         ScopedKernelTimer timer(KernelKind::FrobeniusMap,
                                 a.numLimbs() * n);
         std::vector<std::size_t> pi(n);

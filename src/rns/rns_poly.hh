@@ -118,7 +118,7 @@ RnsPolynomial liftSigned(const RnsTower &tower,
  * Apply the Galois automorphism X -> X^galois to a polynomial.
  *
  * In Coeff domain this permutes coefficients with sign flips; in Eval
- * domain it is the pure permutation the paper calls the ForbeniusMap
+ * domain it is the pure permutation the paper calls the FrobeniusMap
  * kernel: out[j] = in[pi(j)] with pi(j) = ((galois*(2j+1) mod 2N)-1)/2.
  */
 RnsPolynomial applyAutomorphism(const RnsPolynomial &a, u64 galois);

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "perf/cost.hh"
 
 namespace tensorfhe::workloads
 {
@@ -21,17 +22,68 @@ sigmoidPoly(double z)
     return kSig0 + kSig1 * z + kSig3 * z * z * z;
 }
 
+/**
+ * Whether summing all f-1 rotations off one hoist beats the log2(f)
+ * doubling fold, per the analytic cost model. At deep chains the
+ * hoisted head dominates a keyswitch and sharing it wins; at shallow
+ * chains the f-1 tails outweigh the saved heads and doubling wins.
+ */
+bool
+hoistedFoldWins(const ckks::CkksParams &p, std::size_t level_count,
+                std::size_t f)
+{
+    auto work = [](const perf::KernelCost &c) {
+        return c.coreOps + c.tcuMacs / 8.0 + c.bytes;
+    };
+    double hoisted =
+        work(perf::rotateHoistedCost(p, level_count, f - 1));
+    double doubling = std::log2(static_cast<double>(f))
+        * work(perf::opCost(perf::OpKind::HRotate, p, level_count));
+    return hoisted < doubling;
+}
+
+/**
+ * sum_{k=0}^{f-1} rot_{dir * k}(ct): the rotate-fold primitive of the
+ * gradient pass, scheduled as either a hoisted multi-rotation sum or
+ * the classic doubling fold (identical slot values either way; keys
+ * for both schedules come from lrRequiredRotations).
+ */
+ckks::Ciphertext
+foldRotations(const ckks::Evaluator &eval, const ckks::CkksContext &ctx,
+              ckks::Ciphertext ct, std::size_t f, s64 dir)
+{
+    std::size_t slots = ctx.slots();
+    if (hoistedFoldWins(ctx.params(), ct.levelCount(), f)) {
+        std::vector<s64> steps;
+        for (std::size_t k = 1; k < f; ++k)
+            steps.push_back(dir * static_cast<s64>(k));
+        auto rot = eval.rotateHoisted(ct, steps);
+        for (auto &r : rot)
+            ct = eval.add(ct, r);
+        return ct;
+    }
+    for (std::size_t step = 1; step < f; step *= 2) {
+        s64 s = dir * static_cast<s64>(step);
+        s = ((s % s64(slots)) + s64(slots)) % s64(slots);
+        ct = eval.add(ct, eval.rotate(ct, s));
+    }
+    return ct;
+}
+
 } // namespace
 
 std::vector<s64>
 lrRequiredRotations(const LrConfig &cfg, std::size_t slots)
 {
     std::vector<s64> steps;
-    // Intra-block folds (dot product) and their negative
-    // counterparts (broadcast of the error term).
-    for (std::size_t s = cfg.features / 2; s >= 1; s /= 2) {
-        steps.push_back(static_cast<s64>(s));
-        steps.push_back(static_cast<s64>(slots - s));
+    // Intra-block dot-product fold and error-term broadcast: steps
+    // 1..f-1 (and their negative counterparts) cover both fold
+    // schedules — the hoisted multi-rotation sum needs every step,
+    // the doubling fold the power-of-two subset; the trainer picks
+    // per pass via the cost model (see foldRotations).
+    for (std::size_t k = 1; k < cfg.features; ++k) {
+        steps.push_back(static_cast<s64>(k));
+        steps.push_back(static_cast<s64>(slots - k));
     }
     // Cross-block folds for the gradient sum over samples.
     for (std::size_t s = cfg.features;
@@ -79,9 +131,9 @@ EncryptedLrTrainer::encryptedGradientPass(
     auto pt_w = ctx_.encoder().encode(ws, scale, lc);
 
     // z = fold(x (had) w): dot product lands at every block start.
-    auto z = eval_.rescale(eval_.multiplyPlain(ct_x, pt_w));
-    for (std::size_t step = f / 2; step >= 1; step /= 2)
-        z = eval_.add(z, eval_.rotate(z, static_cast<s64>(step)));
+    auto z = foldRotations(
+        eval_, ctx_, eval_.rescale(eval_.multiplyPlain(ct_x, pt_w)), f,
+        1);
 
     // Degree-3 sigmoid: p = 0.5 + c1*z + c3*z^3 on encrypted scores.
     // Both branches are steered to the same exact scale so they add.
@@ -108,11 +160,12 @@ EncryptedLrTrainer::encryptedGradientPass(
         mask[s * f] = ckks::Complex(1, 0);
     auto pt_mask =
         ctx_.encoder().encode(mask, scale, err.levelCount());
-    err = eval_.rescale(eval_.multiplyPlain(err, pt_mask));
-    for (std::size_t step = 1; step < f; step *= 2) {
-        err = eval_.add(
-            err, eval_.rotate(err, static_cast<s64>(slots - step)));
-    }
+    // Broadcast across each block: the masked error is nonzero only
+    // at block starts, so summing the f-1 negative rotations
+    // replicates it block-wide.
+    err = foldRotations(
+        eval_, ctx_, eval_.rescale(eval_.multiplyPlain(err, pt_mask)),
+        f, -1);
 
     // g = err (had) x summed over samples (cross-block fold).
     auto ct_x_low = eval_.dropToLevelCount(ct_x, err.levelCount());

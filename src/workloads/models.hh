@@ -75,7 +75,7 @@ double workloadSeconds(const WorkloadModel &w,
 /**
  * Kernel-level time breakdown of the workload (Fig. 12 rows):
  * fraction of modeled time in each of NTT / Hada-Mult / Ele-Add /
- * Ele-Sub / ForbeniusMap / Conv.
+ * Ele-Sub / FrobeniusMap / Conv.
  */
 struct KernelShares
 {

@@ -219,8 +219,10 @@ struct VariantFixture
     explicit VariantFixture(ntt::NttVariant v, ThreadPool *pool)
         : params(makeParams(v)), ctx(params), rng(7),
           sk(ctx.generateSecretKey(rng)),
-          keys(ctx.generateKeys(sk, rng, {1})), enc(ctx, keys.pk),
-          batched(ctx, keys, pool)
+          keys(ctx.generateKeys(
+              sk, rng,
+              {1, 2, static_cast<s64>(params.slots()) - 1})),
+          enc(ctx, keys.pk), batched(ctx, keys, pool)
     {}
 
     static ckks::CkksParams
@@ -281,6 +283,52 @@ runAllOpsBitIdentical(ntt::NttVariant v, ThreadPool *pool,
         expectCtEq(cmult[i], ev.multiplyPlain(a[i], pt));
         expectCtEq(rot[i], ev.rotate(a[i], 1));
     }
+}
+
+void
+runRotateManyBatchBitIdentical(ntt::NttVariant v, ThreadPool *pool,
+                               std::size_t batch)
+{
+    VariantFixture f(v, pool);
+    std::vector<ckks::Ciphertext> a;
+    for (std::size_t i = 0; i < batch; ++i)
+        a.push_back(f.encryptValue(0.1 * double(i + 1), 3));
+    const auto &ev = f.batched.scalar();
+
+    // Positive, zero, negative and wrap-around steps; the hoisted
+    // head is shared across all of them and the whole batch.
+    s64 slots = static_cast<s64>(f.ctx.slots());
+    std::vector<s64> steps = {1, 0, -1, slots + 2, 1};
+    auto many = f.batched.rotateManyBatch(a, steps);
+    ASSERT_EQ(many.size(), steps.size());
+    for (std::size_t r = 0; r < steps.size(); ++r) {
+        ASSERT_EQ(many[r].size(), batch) << "step " << steps[r];
+        for (std::size_t s = 0; s < batch; ++s) {
+            SCOPED_TRACE("step " + std::to_string(steps[r]) + " slot "
+                         + std::to_string(s));
+            expectCtEq(many[r][s], ev.rotate(a[s], steps[r]));
+        }
+    }
+}
+
+TEST_P(ParallelExecutor, RotateManyBatchBitIdenticalOnGlobalPool)
+{
+    runRotateManyBatchBitIdentical(GetParam(), nullptr, 5);
+}
+
+TEST_P(ParallelExecutor, RotateManyBatchBitIdenticalOnOneThreadPool)
+{
+    ThreadPool pool1(1);
+    runRotateManyBatchBitIdentical(GetParam(), &pool1, 3);
+}
+
+TEST(RotateManyBatch, EmptyBatchYieldsEmptyPerStep)
+{
+    VariantFixture f(ntt::NttVariant::Butterfly, nullptr);
+    auto many = f.batched.rotateManyBatch({}, {1, 2});
+    ASSERT_EQ(many.size(), 2u);
+    EXPECT_TRUE(many[0].empty());
+    EXPECT_TRUE(many[1].empty());
 }
 
 TEST_P(ParallelExecutor, BitIdenticalOnGlobalPool)

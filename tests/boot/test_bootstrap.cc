@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 
@@ -171,12 +172,25 @@ TEST(Bootstrap, EndToEndRefreshesLevelsAndPreservesValues)
     EXPECT_LT(err_sq, 5e-2);
 }
 
-TEST(Bootstrap, RequiredRotationsCoverAllDiagonals)
+TEST(Bootstrap, RequiredRotationsAreTheBsgsBabyAndGiantSteps)
 {
+    // g = ceil(sqrt(8)) = 3: baby steps {1, 2}, giant steps {3, 6} —
+    // O(sqrt(slots)) keys instead of one per diagonal.
     auto steps = Bootstrapper::requiredRotations(8);
-    EXPECT_EQ(steps.size(), 7u);
-    EXPECT_EQ(steps.front(), 1);
-    EXPECT_EQ(steps.back(), 7);
+    EXPECT_EQ(steps, (std::vector<s64>{1, 2, 3, 6}));
+
+    // The analytic set must cover what the actual plans rotate by.
+    auto &f = fx();
+    auto granted = Bootstrapper::requiredRotations(f.ctx.slots());
+    for (const auto &plan :
+         {LinearTransformPlan::specialFft(f.ctx),
+          LinearTransformPlan::specialFftInverse(f.ctx)}) {
+        for (s64 s : plan.requiredRotations()) {
+            EXPECT_NE(std::find(granted.begin(), granted.end(), s),
+                      granted.end())
+                << "missing key for step " << s;
+        }
+    }
 }
 
 TEST(Bootstrap, RejectsExhaustedInput)

@@ -72,6 +72,57 @@ TEST(Cost, OpCostOrdering)
     EXPECT_NEAR(work(hmult) / work(hrot), 1.0, 0.3);
 }
 
+TEST(Cost, KeySwitchPhasesSumToWhole)
+{
+    // The hoist/tail split must be a pure partition of the composed
+    // key-switch cost (Evaluator::keySwitch == hoist + tail).
+    for (auto v : {ntt::NttVariant::Butterfly, ntt::NttVariant::Gemm,
+                   ntt::NttVariant::Tensor}) {
+        auto p = paperParams(v);
+        auto whole = keySwitchCost(p, 45);
+        auto sum = keySwitchHoistCost(p, 45) + keySwitchTailCost(p, 45);
+        EXPECT_DOUBLE_EQ(whole.coreOps, sum.coreOps);
+        EXPECT_DOUBLE_EQ(whole.tcuMacs, sum.tcuMacs);
+        EXPECT_DOUBLE_EQ(whole.bytes, sum.bytes);
+        EXPECT_DOUBLE_EQ(whole.launches, sum.launches);
+    }
+}
+
+TEST(Cost, HoistedRotationsBeatSerialRotations)
+{
+    auto p = paperParams(ntt::NttVariant::Tensor);
+    auto work = [](const KernelCost &c) {
+        return c.coreOps + c.tcuMacs / 8.0 + c.bytes;
+    };
+    double serial_one = work(opCost(OpKind::HRotate, p, 45));
+    for (std::size_t r : {std::size_t(2), std::size_t(8),
+                          std::size_t(32)}) {
+        double hoisted = work(rotateHoistedCost(p, 45, r));
+        EXPECT_LT(hoisted, static_cast<double>(r) * serial_one)
+            << r << " rotations";
+    }
+    // At 8+ rotations the shared head must be a substantial win, not
+    // a rounding artifact.
+    EXPECT_LT(work(rotateHoistedCost(p, 45, 8)), 0.9 * 8 * serial_one);
+}
+
+TEST(Cost, BsgsTransformBeatsNaiveDiagonalMethod)
+{
+    auto p = paperParams(ntt::NttVariant::Tensor);
+    auto work = [](const KernelCost &c) {
+        return c.coreOps + c.tcuMacs / 8.0 + c.bytes;
+    };
+    std::size_t slots = p.slots();
+    // Naive diagonal method: one full HROTATE + CMULT + HADD per
+    // diagonal.
+    double naive = static_cast<double>(slots)
+        * work(opCost(OpKind::HRotate, p, 45)
+               + opCost(OpKind::CMult, p, 45)
+               + opCost(OpKind::HAdd, p, 45));
+    double bsgs = work(bsgsLinearTransformCost(p, 45, slots));
+    EXPECT_LT(bsgs, naive);
+}
+
 TEST(DeviceTime, BatchingImprovesThroughput)
 {
     DeviceTimeModel model(gpu::DeviceModel::a100());

@@ -1,7 +1,7 @@
 /**
  * @file
  * Tests for RnsPolynomial: domain moves, elementwise kernels, and the
- * ForbeniusMap / automorphism kernel.
+ * FrobeniusMap / automorphism kernel.
  */
 
 #include <gtest/gtest.h>
@@ -126,7 +126,7 @@ TEST(RnsPoly, LiftSignedCentersNegatives)
 TEST(RnsPoly, AutomorphismCoeffMatchesEvalFrobenius)
 {
     // sigma_k in coefficient domain, conjugated through the NTT, must
-    // equal the ForbeniusMap permutation in Eval domain.
+    // equal the FrobeniusMap permutation in Eval domain.
     auto a = randomPoly(2, Domain::Coeff, 9);
     u64 galois = 5; // generator step used by rotations
     auto coeff_path = applyAutomorphism(a, galois);
