@@ -5,17 +5,63 @@
  * model estimates at the Table V parameters beside the published
  * rows, with the paper's headline ratios (2.9x over F1+ on LR, up to
  * ~40x behind the big ASICs) recomputed from our model.
+ *
+ * The last section runs the *functional* scaled-down CNN and
+ * LSTM-cell workloads on real ciphertexts and prints their executed
+ * operation counts (EvalOpStats) next to the layer plans' modeled
+ * counts, flagging any divergence above 10% — the consistency check
+ * tying the analytic Table X machinery to code that actually
+ * computes.
  */
 
+#include <cmath>
 #include <cstdio>
 
 #include "bench_util.hh"
 #include "perf/device_time.hh"
 #include "perf/paper_data.hh"
+#include "workloads/cnn.hh"
+#include "workloads/lstm.hh"
 #include "workloads/models.hh"
 
 using namespace tensorfhe;
 using namespace tensorfhe::workloads;
+
+namespace
+{
+
+/** Modeled-vs-executed rows with >10% divergence flags. */
+void
+compareOps(const char *workload, const OpCounts &modeled,
+           const OpCounts &executed)
+{
+    struct Row
+    {
+        const char *op;
+        double model;
+        double exec;
+    } rows[] = {
+        {"HMULT", modeled.hmult, executed.hmult},
+        {"CMULT", modeled.cmult, executed.cmult},
+        {"HADD", modeled.hadd, executed.hadd},
+        {"HROTATE", modeled.hrotate, executed.hrotate},
+        {"RESCALE", modeled.rescale, executed.rescale},
+        {"CONJ", modeled.conjugate, executed.conjugate},
+    };
+    std::printf("%-10s %-8s %10s %10s %10s\n", workload, "op",
+                "modeled", "executed", "diverge");
+    for (const auto &r : rows) {
+        if (r.model == 0 && r.exec == 0)
+            continue;
+        double base = std::max(r.model, 1.0);
+        double div = std::abs(r.exec - r.model) / base;
+        std::printf("%-10s %-8s %10.0f %10.0f %9.1f%%%s\n", "", r.op,
+                    r.model, r.exec, 100.0 * div,
+                    div > 0.10 ? "  <-- DIVERGES >10%" : "");
+    }
+}
+
+} // namespace
 
 int
 main()
@@ -60,5 +106,57 @@ main()
     std::printf("ResNet-20: vs CPU %5.0fx, vs F1+ %4.2fx "
                 "(paper: F1+ still 1.8x ahead)\n",
                 cpu.resnet20 / ours[0], f1.resnet20 / ours[0]);
+
+    bench::section("functional workloads: modeled vs executed op "
+                   "counts [measured]");
+    {
+        ckks::CkksContext ctx(
+            EncryptedCnnClassifier::recommendedParams());
+        EncryptedCnnClassifier cnn(ctx);
+        Rng rng(42);
+        auto sk = ctx.generateSecretKey(rng);
+        auto keys =
+            ctx.generateKeys(sk, rng, cnn.requiredRotations());
+        ckks::Encryptor enc(ctx, keys.pk);
+        ckks::Decryptor dec(ctx, sk);
+        nn::NnEngine engine(ctx, keys);
+
+        std::vector<std::vector<double>> images(
+            1, std::vector<double>(cnn.config().inChannels
+                                   * cnn.config().height
+                                   * cnn.config().width));
+        Rng data(43);
+        for (auto &v : images[0])
+            v = data.uniformReal();
+        EvalOpStats::instance().reset();
+        cnn.classifyEncrypted(engine, enc, dec, rng, images);
+        compareOps("CNN",
+                   cnn.modeledCounts(),
+                   toOpCounts(EvalOpStats::instance().snapshot()));
+    }
+    {
+        ckks::CkksContext ctx(EncryptedLstmCell::recommendedParams());
+        EncryptedLstmCell cell(ctx);
+        Rng rng(44);
+        auto sk = ctx.generateSecretKey(rng);
+        auto keys =
+            ctx.generateKeys(sk, rng, cell.requiredRotations());
+        ckks::Encryptor enc(ctx, keys.pk);
+        ckks::Decryptor dec(ctx, sk);
+        nn::NnEngine engine(ctx, keys);
+
+        std::size_t d = cell.config().dim;
+        std::vector<double> xv(d, 0.25), hv(d, -0.5), cv(d, 0.5);
+        auto lc = cell.inputMeta().levelCount;
+        EncryptedLstmCell::State state{
+            nn::encryptTensor(ctx, enc, rng, hv, {{d}}, lc),
+            nn::encryptTensor(ctx, enc, rng, cv, {{d}}, lc)};
+        auto x = nn::encryptTensor(ctx, enc, rng, xv, {{d}}, lc);
+        EvalOpStats::instance().reset();
+        cell.step(engine, x, state);
+        compareOps("LSTM-cell",
+                   cell.modeledCounts(),
+                   toOpCounts(EvalOpStats::instance().snapshot()));
+    }
     return 0;
 }

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Encrypted neural-network inference demo: runs the functional CNN
+ * classifier (conv -> polynomial ReLU -> avg-pool -> dense) and one
+ * encrypted LSTM cell step on ciphertexts, verifies both against
+ * their plaintext references, and prints the executed-operation
+ * statistics next to the layer plans' predictions.
+ *
+ * Build & run:  ./build/nn_inference
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "nn/sequential.hh"
+#include "workloads/cnn.hh"
+#include "workloads/lstm.hh"
+
+using namespace tensorfhe;
+
+namespace
+{
+
+double
+maxAbsDiff(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double worst = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        worst = std::max(worst, std::abs(a[i] - b[i]));
+    return worst;
+}
+
+void
+printOps(const char *label, const EvalOpCounts &c)
+{
+    std::printf("%-10s hmult %5.0f  cmult %5.0f  hadd %5.0f  "
+                "hrot %5.0f  rescale %5.0f  ks-hoist %5.0f  "
+                "ks-tail %5.0f\n",
+                label, c.hmult, c.cmult, c.hadd, c.hrotate, c.rescale,
+                c.ksHoist, c.ksTail);
+}
+
+} // namespace
+
+int
+main()
+{
+    // ---------------- CNN classifier ----------------
+    ckks::CkksContext ctx(
+        workloads::EncryptedCnnClassifier::recommendedParams());
+    std::printf("CNN: N=%zu, slots=%zu, levels=%d\n", ctx.n(),
+                ctx.slots(), ctx.params().levels);
+
+    workloads::EncryptedCnnClassifier cnn(ctx);
+    Rng rng(2026);
+    auto sk = ctx.generateSecretKey(rng);
+    auto keys = ctx.generateKeys(sk, rng, cnn.requiredRotations());
+    ckks::Encryptor enc(ctx, keys.pk);
+    ckks::Decryptor dec(ctx, sk);
+    nn::NnEngine engine(ctx, keys);
+
+    // Two synthetic images ride the batched work-queue together.
+    std::size_t pixels = cnn.config().inChannels * cnn.config().height
+        * cnn.config().width;
+    std::vector<std::vector<double>> images(2,
+                                            std::vector<double>(pixels));
+    Rng data(7);
+    for (auto &img : images)
+        for (auto &v : img)
+            v = data.uniformReal();
+
+    EvalOpStats::instance().reset();
+    auto preds = cnn.classifyEncrypted(engine, enc, dec, rng, images);
+    auto executed = EvalOpStats::instance().snapshot();
+
+    for (std::size_t i = 0; i < images.size(); ++i) {
+        auto plain = cnn.classifyPlain(images[i]);
+        std::printf("image %zu: encrypted argmax %zu, plain argmax "
+                    "%zu, max |logit diff| %.2e\n",
+                    i, preds[i].argmax, plain.argmax,
+                    maxAbsDiff(preds[i].logits, plain.logits));
+    }
+    printOps("modeled",
+             static_cast<double>(images.size()) * cnn.modeledOps());
+    printOps("executed", executed);
+
+    // ---------------- LSTM cell step ----------------
+    ckks::CkksContext lctx(
+        workloads::EncryptedLstmCell::recommendedParams());
+    std::printf("\nLSTM cell: N=%zu, slots=%zu, levels=%d\n", lctx.n(),
+                lctx.slots(), lctx.params().levels);
+
+    workloads::EncryptedLstmCell cell(lctx);
+    Rng lrng(2027);
+    auto lsk = lctx.generateSecretKey(lrng);
+    auto lkeys =
+        lctx.generateKeys(lsk, lrng, cell.requiredRotations());
+    ckks::Encryptor lenc(lctx, lkeys.pk);
+    ckks::Decryptor ldec(lctx, lsk);
+    nn::NnEngine lengine(lctx, lkeys);
+
+    std::size_t d = cell.config().dim;
+    std::vector<double> xv(d), hv(d), cv(d);
+    Rng ldata(9);
+    for (auto &v : xv)
+        v = 2 * ldata.uniformReal() - 1;
+    for (auto &v : hv)
+        v = 2 * ldata.uniformReal() - 1;
+    for (auto &v : cv)
+        v = 2 * ldata.uniformReal() - 1;
+
+    auto lc = cell.inputMeta().levelCount;
+    workloads::EncryptedLstmCell::State state{
+        nn::encryptTensor(lctx, lenc, lrng, hv, {{d}}, lc),
+        nn::encryptTensor(lctx, lenc, lrng, cv, {{d}}, lc)};
+    auto x = nn::encryptTensor(lctx, lenc, lrng, xv, {{d}}, lc);
+
+    EvalOpStats::instance().reset();
+    auto next = cell.step(lengine, x, state);
+    auto lexec = EvalOpStats::instance().snapshot();
+    auto plain = cell.stepPlain(xv, {hv, cv});
+
+    auto h_dec = nn::decryptTensor(lctx, ldec, next.h);
+    auto c_dec = nn::decryptTensor(lctx, ldec, next.c);
+    std::printf("max |h diff| %.2e, max |c diff| %.2e\n",
+                maxAbsDiff(h_dec, plain.h), maxAbsDiff(c_dec, plain.c));
+    printOps("modeled", cell.modeledOps());
+    printOps("executed", lexec);
+    return 0;
+}

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <iterator>
-#include <optional>
 
 #include "common/logging.hh"
 #include "common/stats.hh"
@@ -80,6 +79,7 @@ elementwisePair(const BatchedEvaluator::Cts &a,
 BatchedEvaluator::Cts
 BatchedEvaluator::add(const Cts &a, const Cts &b) const
 {
+    EvalOpStats::instance().record(EvalOpKind::HAdd, a.size());
     return elementwisePair(a, b, KernelKind::EleAdd, *pool_,
                            [](const Modulus &m, u64 x, u64 y) {
                                return m.add(x, y);
@@ -89,6 +89,7 @@ BatchedEvaluator::add(const Cts &a, const Cts &b) const
 BatchedEvaluator::Cts
 BatchedEvaluator::sub(const Cts &a, const Cts &b) const
 {
+    EvalOpStats::instance().record(EvalOpKind::HAdd, a.size());
     return elementwisePair(a, b, KernelKind::EleSub, *pool_,
                            [](const Modulus &m, u64 x, u64 y) {
                                return m.sub(x, y);
@@ -101,6 +102,7 @@ BatchedEvaluator::multiplyPlain(const Cts &a,
 {
     if (a.empty())
         return {};
+    EvalOpStats::instance().record(EvalOpKind::CMult, a.size());
     Cts out = a;
     std::size_t limbs = a[0].levelCount();
     for (const auto &ct : a)
@@ -131,6 +133,7 @@ BatchedEvaluator::rescale(const Cts &a) const
 {
     if (a.empty())
         return {};
+    EvalOpStats::instance().record(EvalOpKind::Rescale, a.size());
     std::size_t limbs = a[0].levelCount();
     for (const auto &ct : a)
         requireArg(ct.levelCount() == limbs && limbs >= 2,
@@ -165,6 +168,7 @@ BatchedEvaluator::hoistBatch(std::vector<rns::RnsPolynomial> ds) const
     std::size_t batch = ds.size();
     std::size_t n = ctx_.n();
     std::size_t level_count = ds[0].numLimbs();
+    EvalOpStats::instance().record(EvalOpKind::KsHoist, batch);
 
     // Dcomp: all (slot x tower) INTTs of the batch in one dispatch.
     std::vector<rns::RnsPolynomial *> d_ptrs(batch);
@@ -202,12 +206,15 @@ BatchedEvaluator::hoistBatch(std::vector<rns::RnsPolynomial> ds) const
                                    mod.value());
         });
 
-        // ModUp to the union basis (shared CRT factors), then one
-        // batched NTT dispatch over every (slot, tower).
+        // ModUp to the union basis (the context's memoized plan, so
+        // the Conv factors are shared across calls as well as across
+        // the batch), then one batched NTT dispatch over every
+        // (slot, tower).
         std::vector<const rns::RnsPolynomial *> digit_ptrs(batch);
         for (std::size_t s = 0; s < batch; ++s)
             digit_ptrs[s] = &digits[s][j];
-        auto ups = rns::modUpBatch(digit_ptrs, level_count, pool_);
+        auto ups =
+            ctx_.modUpPlan(j, level_count).applyBatch(digit_ptrs, pool_);
         std::vector<rns::RnsPolynomial *> up_ptrs(batch);
         for (std::size_t s = 0; s < batch; ++s)
             up_ptrs[s] = &ups[s];
@@ -232,6 +239,11 @@ BatchedEvaluator::keySwitchTailBatch(const HoistedDigitsBatch &h,
     std::size_t ul = union_limbs.size();
     requireArg(num_digits <= key.digits(),
                "switch key has too few digits");
+    EvalOpStats::instance().record(EvalOpKind::KsTail, batch);
+
+    // The key digits restricted to the union basis: memoized in the
+    // context, shared across the batch and across calls.
+    auto rk = ctx_.restrictedKey(key, h.levelCount);
 
     std::vector<rns::RnsPolynomial> acc0, acc1;
     acc0.reserve(batch);
@@ -242,9 +254,8 @@ BatchedEvaluator::keySwitchTailBatch(const HoistedDigitsBatch &h,
     }
 
     for (std::size_t j = 0; j < num_digits; ++j) {
-        // The key digit restricted to the union basis, once per batch.
-        auto keyb = rns::restrictToLimbs(key.b[j], union_limbs);
-        auto keya = rns::restrictToLimbs(key.a[j], union_limbs);
+        const rns::RnsPolynomial &keyb = rk->b[j];
+        const rns::RnsPolynomial &keya = rk->a[j];
 
         // Inner product accumulate, flattened (slot x union-tower).
         ScopedKernelTimer timer(KernelKind::HadaMult,
@@ -278,10 +289,9 @@ BatchedEvaluator::keySwitchTailBatch(const HoistedDigitsBatch &h,
     std::vector<const rns::RnsPolynomial *> acc_in(acc_ptrs.size());
     for (std::size_t i = 0; i < acc_ptrs.size(); ++i)
         acc_in[i] = acc_ptrs[i];
-    std::optional<rns::ModDownPlan> local_down;
-    if (!down)
-        local_down.emplace(tower, union_limbs);
-    auto downs = (down ? *down : *local_down).applyBatch(acc_in, pool_);
+    const rns::ModDownPlan &plan =
+        down ? *down : ctx_.modDownPlan(h.levelCount);
+    auto downs = plan.applyBatch(acc_in, pool_);
 
     std::vector<rns::RnsPolynomial> ks0(
         std::make_move_iterator(downs.begin()),
@@ -314,6 +324,7 @@ BatchedEvaluator::multiply(const Cts &a, const Cts &b) const
     if (a.empty())
         return {};
     std::size_t batch = a.size();
+    EvalOpStats::instance().record(EvalOpKind::HMult, batch);
     std::size_t limbs = a[0].levelCount();
     for (std::size_t s = 0; s < batch; ++s) {
         requireArg(a[s].levelCount() == limbs
@@ -393,6 +404,72 @@ BatchedEvaluator::rotate(const Cts &a, s64 step) const
     return std::move(out[0]);
 }
 
+BatchedEvaluator::Cts
+BatchedEvaluator::addPlain(const Cts &a, const ckks::Plaintext &p) const
+{
+    if (a.empty())
+        return {};
+    EvalOpStats::instance().record(EvalOpKind::HAdd, a.size());
+    Cts out = a;
+    std::size_t limbs = a[0].levelCount();
+    for (const auto &ct : a)
+        requireArg(ct.levelCount() == p.levelCount()
+                       && ct.levelCount() == limbs
+                       && std::abs(ct.scale - p.scale)
+                           <= 1e-6 * ct.scale,
+                   "plaintext incompatible with ciphertext");
+    std::size_t n = ctx_.n();
+    ScopedKernelTimer timer(KernelKind::EleAdd, a.size() * limbs * n);
+    pool_->parallelFor2D(a.size(), limbs,
+                         [&](std::size_t s, std::size_t i) {
+        const Modulus &mod = out[s].c0.limbModulus(i);
+        u64 *p0 = out[s].c0.limb(i);
+        const u64 *pp = p.poly.limb(i);
+        for (std::size_t c = 0; c < n; ++c)
+            p0[c] = mod.add(p0[c], pp[c]);
+    });
+    return out;
+}
+
+BatchedEvaluator::Cts
+BatchedEvaluator::multiplyConstToScale(const Cts &a, double c,
+                                       double target_scale) const
+{
+    if (a.empty())
+        return {};
+    // Mirrors Evaluator::multiplyConstToScale: the plaintext scale
+    // is chosen as target * q_last / a.scale so the rescale lands at
+    // exactly the target.
+    std::size_t lc = a[0].levelCount();
+    requireArg(lc >= 2, "no level left for the rescale");
+    for (const auto &ct : a)
+        requireArg(ct.levelCount() == lc
+                       && std::abs(ct.scale - a[0].scale)
+                           <= 1e-6 * a[0].scale,
+                   "batched ops require a uniform level and scale");
+    u64 q_last = ctx_.tower().prime(lc - 1);
+    double pt_scale =
+        target_scale * static_cast<double>(q_last) / a[0].scale;
+    requireArg(pt_scale >= 2.0, "target scale too small for level");
+    auto pt = ctx_.encoder().encodeConstant(ckks::Complex(c, 0),
+                                            pt_scale, lc);
+    auto out = rescale(multiplyPlain(a, pt));
+    for (auto &ct : out)
+        ct.scale = target_scale; // exact by construction
+    return out;
+}
+
+BatchedEvaluator::Cts
+BatchedEvaluator::dropToLevelCount(const Cts &a,
+                                   std::size_t level_count) const
+{
+    Cts out;
+    out.reserve(a.size());
+    for (const auto &ct : a)
+        out.push_back(eval_.dropToLevelCount(ct, level_count));
+    return out;
+}
+
 std::vector<BatchedEvaluator::Cts>
 BatchedEvaluator::rotateManyBatch(const Cts &a,
                                   const std::vector<s64> &steps) const
@@ -431,8 +508,7 @@ BatchedEvaluator::rotateManyBatch(const Cts &a,
         c1s.push_back(ct.c1);
     auto h = hoistBatch(std::move(c1s));
     std::size_t num_digits = h.digits.size();
-    rns::ModDownPlan down(ctx_.tower(),
-                          ctx_.unionLimbs(h.levelCount));
+    const rns::ModDownPlan &down = ctx_.modDownPlan(h.levelCount);
 
     // Flattened (digit x slot) pointer table for the per-step
     // FrobeniusMap (all hoisted digits share the union-basis shape).
@@ -452,6 +528,7 @@ BatchedEvaluator::rotateManyBatch(const Cts &a,
             out[r] = a;
             continue;
         }
+        EvalOpStats::instance().record(EvalOpKind::HRotate, batch);
         u64 galois = ctx_.galoisForRotation(norms[r]);
 
         // One shared permutation over every (digit, slot) and over

@@ -76,8 +76,18 @@ class BatchedEvaluator
     Cts sub(const Cts &a, const Cts &b) const;
     Cts multiply(const Cts &a, const Cts &b) const;
     Cts multiplyPlain(const Cts &a, const ckks::Plaintext &p) const;
+    Cts addPlain(const Cts &a, const ckks::Plaintext &p) const;
+    /**
+     * Batched counterpart of Evaluator::multiplyConstToScale: one
+     * encoded constant shared by the batch, one CMULT + RESCALE per
+     * slot, exact `target_scale` on every output.
+     */
+    Cts multiplyConstToScale(const Cts &a, double c,
+                             double target_scale) const;
     Cts rescale(const Cts &a) const;
     Cts rotate(const Cts &a, s64 step) const;
+    /** Level alignment across the batch (no arithmetic). */
+    Cts dropToLevelCount(const Cts &a, std::size_t level_count) const;
 
     /**
      * Hoisted HROTATE across both the batch and the step dimension:

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "ckks/rotations.hh"
 #include "common/logging.hh"
 
 namespace tensorfhe::boot
@@ -28,12 +29,12 @@ Bootstrapper::requiredRotations(std::size_t slots)
     // and covers any diagonal pattern of a slots x slots matrix.
     auto g = static_cast<std::size_t>(
         std::ceil(std::sqrt(static_cast<double>(slots))));
-    std::vector<s64> steps;
+    std::vector<s64> baby, giant;
     for (std::size_t b = 1; b < g && b < slots; ++b)
-        steps.push_back(static_cast<s64>(b));
+        baby.push_back(static_cast<s64>(b));
     for (std::size_t k = g; k < slots; k += g)
-        steps.push_back(static_cast<s64>(k));
-    return steps;
+        giant.push_back(static_cast<s64>(k));
+    return ckks::unionRotationSteps({baby, giant}, slots);
 }
 
 std::size_t

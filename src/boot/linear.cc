@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "batch/executor.hh"
+#include "ckks/rotations.hh"
 #include "common/logging.hh"
 
 namespace tensorfhe::boot
@@ -90,6 +92,17 @@ LinearTransformPlan::LinearTransformPlan(const ckks::CkksContext &ctx,
                      [](const Diagonal &x, const Diagonal &y) {
                          return x.k != y.k ? x.k < y.k : x.b < y.b;
                      });
+
+    // The distinct rotation steps apply() touches, fixed once here.
+    std::vector<s64> baby, giant;
+    for (const Diagonal &d : diags_) {
+        if (d.b != 0)
+            baby.push_back(static_cast<s64>(d.b));
+        if (d.k != 0)
+            giant.push_back(static_cast<s64>(d.k * g_));
+    }
+    babySteps_ = ckks::normalizeRotationSteps(std::move(baby));
+    giantSteps_ = ckks::normalizeRotationSteps(std::move(giant));
 }
 
 LinearTransformPlan
@@ -108,16 +121,7 @@ LinearTransformPlan::specialFftInverse(const ckks::CkksContext &ctx)
 std::vector<s64>
 LinearTransformPlan::requiredRotations() const
 {
-    std::vector<s64> steps;
-    for (const Diagonal &d : diags_) {
-        if (d.b != 0)
-            steps.push_back(static_cast<s64>(d.b));
-        if (d.k != 0)
-            steps.push_back(static_cast<s64>(d.k * g_));
-    }
-    std::sort(steps.begin(), steps.end());
-    steps.erase(std::unique(steps.begin(), steps.end()), steps.end());
-    return steps;
+    return ckks::unionRotationSteps({babySteps_, giantSteps_});
 }
 
 std::size_t
@@ -151,21 +155,13 @@ LinearTransformPlan::apply(const ckks::Evaluator &eval,
 
     // Baby steps: every rot_b(ct) the plan touches, off one hoisted
     // key-switch head.
-    std::vector<s64> baby_steps;
-    for (const Diagonal &d : diags_) {
-        if (d.b != 0)
-            baby_steps.push_back(static_cast<s64>(d.b));
-    }
-    std::sort(baby_steps.begin(), baby_steps.end());
-    baby_steps.erase(std::unique(baby_steps.begin(), baby_steps.end()),
-                     baby_steps.end());
-    auto baby = eval.rotateHoisted(ct, baby_steps);
+    auto baby = eval.rotateHoisted(ct, babySteps_);
     auto babyCt = [&](std::size_t b) -> const ckks::Ciphertext & {
         if (b == 0)
             return ct;
-        auto it = std::lower_bound(baby_steps.begin(), baby_steps.end(),
+        auto it = std::lower_bound(babySteps_.begin(), babySteps_.end(),
                                    static_cast<s64>(b));
-        return baby[static_cast<std::size_t>(it - baby_steps.begin())];
+        return baby[static_cast<std::size_t>(it - babySteps_.begin())];
     };
 
     // Giant steps: per populated k, the plaintext products against
@@ -196,6 +192,55 @@ LinearTransformPlan::apply(const ckks::Evaluator &eval,
         }
     }
     return eval.rescale(acc);
+}
+
+std::vector<ckks::Ciphertext>
+LinearTransformPlan::applyBatch(
+    const batch::BatchedEvaluator &beval,
+    const std::vector<ckks::Ciphertext> &cts) const
+{
+    if (cts.empty())
+        return {};
+    const auto &pts = encodedDiagonals(cts[0].levelCount());
+
+    // Baby steps across the whole batch off one hoisted-batch head.
+    auto baby = beval.rotateManyBatch(cts, babySteps_);
+    auto babyCts =
+        [&](std::size_t b) -> const std::vector<ckks::Ciphertext> & {
+        if (b == 0)
+            return cts;
+        auto it = std::lower_bound(babySteps_.begin(), babySteps_.end(),
+                                   static_cast<s64>(b));
+        return baby[static_cast<std::size_t>(it - babySteps_.begin())];
+    };
+
+    std::vector<ckks::Ciphertext> acc;
+    bool first_k = true;
+    for (std::size_t i = 0; i < diags_.size();) {
+        std::size_t k = diags_[i].k;
+        std::vector<ckks::Ciphertext> inner;
+        bool first_b = true;
+        for (; i < diags_.size() && diags_[i].k == k; ++i) {
+            auto term =
+                beval.multiplyPlain(babyCts(diags_[i].b), pts[i]);
+            if (first_b) {
+                inner = std::move(term);
+                first_b = false;
+            } else {
+                inner = beval.add(inner, term);
+            }
+        }
+        auto shifted = k == 0
+            ? std::move(inner)
+            : beval.rotate(inner, static_cast<s64>(k * g_));
+        if (first_k) {
+            acc = std::move(shifted);
+            first_k = false;
+        } else {
+            acc = beval.add(acc, shifted);
+        }
+    }
+    return beval.rescale(acc);
 }
 
 ckks::Ciphertext

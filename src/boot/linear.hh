@@ -27,6 +27,11 @@
 #include "ckks/crypto.hh"
 #include "ckks/evaluator.hh"
 
+namespace tensorfhe::batch
+{
+class BatchedEvaluator;
+}
+
 namespace tensorfhe::boot
 {
 
@@ -81,6 +86,16 @@ class LinearTransformPlan
     ckks::Ciphertext apply(const ckks::Evaluator &eval,
                            const ckks::Ciphertext &ct) const;
 
+    /**
+     * Batched apply: the whole batch rides one hoisted-batch head per
+     * baby-rotation set (BatchedEvaluator::rotateManyBatch) and the
+     * giant stages run as flattened (slot x tower) dispatches.
+     * Bit-identical to apply() per slot.
+     */
+    std::vector<ckks::Ciphertext>
+    applyBatch(const batch::BatchedEvaluator &beval,
+               const std::vector<ckks::Ciphertext> &cts) const;
+
     /** Rotation steps apply() needs keys for (baby + giant steps). */
     std::vector<s64> requiredRotations() const;
 
@@ -90,6 +105,10 @@ class LinearTransformPlan
     std::size_t giantStride() const { return g_; }
     /** Nonzero diagonals the transform touches. */
     std::size_t diagonalCount() const { return diags_.size(); }
+    /** Distinct nonzero baby steps apply() rotates by. */
+    std::size_t babyStepCount() const { return babySteps_.size(); }
+    /** Distinct nonzero giant steps apply() rotates by. */
+    std::size_t giantStepCount() const { return giantSteps_.size(); }
     /** Levels with a cached encoded-diagonal set (for tests). */
     std::size_t cachedLevelCount() const;
 
@@ -108,7 +127,9 @@ class LinearTransformPlan
     const ckks::CkksContext &ctx_;
     SlotMatrix m_;
     std::size_t g_ = 0;
-    std::vector<Diagonal> diags_; ///< sorted by (k, b)
+    std::vector<Diagonal> diags_;  ///< sorted by (k, b)
+    std::vector<s64> babySteps_;   ///< distinct nonzero b, sorted
+    std::vector<s64> giantSteps_;  ///< distinct nonzero k*g, sorted
     mutable std::mutex mu_;
     mutable std::map<std::size_t, std::vector<ckks::Plaintext>> cache_;
 };

@@ -1,9 +1,31 @@
 #include "ckks/context.hh"
 
+#include <atomic>
+
 #include "common/logging.hh"
 
 namespace tensorfhe::ckks
 {
+
+namespace
+{
+
+/** Process-unique SwitchKey ids; 0 is reserved for "uncached". */
+u64
+nextSwitchKeyId()
+{
+    static std::atomic<u64> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+/**
+ * Resident restricted-key cap. Each entry holds digits x union-basis
+ * polynomials, so the cache is bounded FIFO rather than unbounded;
+ * production deployments would size this from the key-VRAM budget.
+ */
+constexpr std::size_t kMaxKeyRestrictions = 128;
+
+} // namespace
 
 CkksContext::CkksContext(const CkksParams &params) : params_(params)
 {
@@ -86,6 +108,108 @@ CkksContext::dcompScalar(std::size_t j, std::size_t i) const
     const auto &d = digits_[j];
     TFHE_ASSERT(i >= d.first && i < d.last);
     return dcomp_[j][i - d.first];
+}
+
+const rns::ModUpPlan &
+CkksContext::modUpPlan(std::size_t digit, std::size_t level_count) const
+{
+    requireArg(digit < digits_.size(), "digit index out of range");
+    std::size_t first = digits_[digit].first;
+    requireArg(first < level_count,
+               "digit ", digit, " empty at level count ", level_count);
+    std::lock_guard<std::mutex> lock(planMu_);
+    auto key = std::make_pair(digit, level_count);
+    auto it = modUpPlans_.find(key);
+    if (it == modUpPlans_.end()) {
+        std::vector<std::size_t> digit_limbs;
+        for (std::size_t i = first;
+             i < std::min(digits_[digit].last, level_count); ++i)
+            digit_limbs.push_back(i);
+        it = modUpPlans_
+                 .emplace(key, std::make_unique<rns::ModUpPlan>(
+                                   *tower_, std::move(digit_limbs),
+                                   level_count))
+                 .first;
+    }
+    return *it->second;
+}
+
+const rns::ModDownPlan &
+CkksContext::modDownPlan(std::size_t level_count) const
+{
+    std::lock_guard<std::mutex> lock(planMu_);
+    auto it = modDownPlans_.find(level_count);
+    if (it == modDownPlans_.end())
+        it = modDownPlans_
+                 .emplace(level_count,
+                          std::make_unique<rns::ModDownPlan>(
+                              *tower_, unionLimbs(level_count)))
+                 .first;
+    return *it->second;
+}
+
+std::shared_ptr<const RestrictedSwitchKey>
+CkksContext::restrictedKey(const SwitchKey &key,
+                           std::size_t level_count) const
+{
+    auto build = [&] {
+        auto union_limbs = unionLimbs(level_count);
+        auto out = std::make_shared<RestrictedSwitchKey>();
+        out->b.reserve(key.digits());
+        out->a.reserve(key.digits());
+        for (std::size_t j = 0; j < key.digits(); ++j) {
+            out->b.push_back(
+                rns::restrictToLimbs(key.b[j], union_limbs));
+            out->a.push_back(
+                rns::restrictToLimbs(key.a[j], union_limbs));
+        }
+        return out;
+    };
+    if (key.id == 0)
+        return build();
+
+    auto map_key = std::make_pair(key.id, level_count);
+    {
+        std::lock_guard<std::mutex> lock(planMu_);
+        auto it = keyRestrictions_.find(map_key);
+        if (it != keyRestrictions_.end())
+            return it->second;
+    }
+    // Build outside the lock: restriction copies digits x union-basis
+    // polynomials and must not serialize concurrent evaluators.
+    auto restricted = build();
+    std::lock_guard<std::mutex> lock(planMu_);
+    auto [it, inserted] =
+        keyRestrictions_.emplace(map_key, restricted);
+    if (inserted) {
+        keyRestrictionOrder_.push_back(map_key);
+        while (keyRestrictionOrder_.size() > kMaxKeyRestrictions) {
+            keyRestrictions_.erase(keyRestrictionOrder_.front());
+            keyRestrictionOrder_.erase(keyRestrictionOrder_.begin());
+        }
+    }
+    return it->second;
+}
+
+std::size_t
+CkksContext::modUpPlanCacheSize() const
+{
+    std::lock_guard<std::mutex> lock(planMu_);
+    return modUpPlans_.size();
+}
+
+std::size_t
+CkksContext::modDownPlanCacheSize() const
+{
+    std::lock_guard<std::mutex> lock(planMu_);
+    return modDownPlans_.size();
+}
+
+std::size_t
+CkksContext::keyRestrictionCacheSize() const
+{
+    std::lock_guard<std::mutex> lock(planMu_);
+    return keyRestrictions_.size();
 }
 
 u64
@@ -200,6 +324,7 @@ CkksContext::generateSwitchKey(const rns::RnsPolynomial &target_eval,
         key.a.push_back(std::move(a));
         key.b.push_back(std::move(b));
     }
+    key.id = nextSwitchKeyId();
     return key;
 }
 

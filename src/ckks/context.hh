@@ -10,6 +10,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "ckks/encoder.hh"
@@ -44,7 +45,28 @@ struct SwitchKey
     std::vector<rns::RnsPolynomial> b;
     std::vector<rns::RnsPolynomial> a;
 
+    /**
+     * Process-unique identity assigned at generation; copies share
+     * it (their contents are identical). Keys the context's
+     * union-basis restriction cache; 0 means "never cached" (e.g. a
+     * hand-assembled key).
+     */
+    u64 id = 0;
+
     std::size_t digits() const { return b.size(); }
+};
+
+/**
+ * A switch key's digits restricted to one union basis — the form the
+ * key-switch tail inner product consumes. Cached per (key id, level)
+ * in CkksContext so repeated tails (BSGS transforms, nn layers, every
+ * relinearization of a polynomial evaluation) stop re-copying the
+ * digit polynomials.
+ */
+struct RestrictedSwitchKey
+{
+    std::vector<rns::RnsPolynomial> b;
+    std::vector<rns::RnsPolynomial> a;
 };
 
 /** Everything the evaluator needs. */
@@ -98,6 +120,37 @@ class CkksContext
      */
     u64 keyFactor(std::size_t j, std::size_t t) const;
 
+    /*
+     * Phase-split conversion plans, memoized per shape. Building a
+     * ModUpPlan/ModDownPlan costs O(limbs^2) scalar CRT work; every
+     * hoist and key-switch tail at the same level reuses the same
+     * plan, so the Evaluator, BatchedEvaluator and the BSGS linear
+     * transforms all share these instead of rebuilding per call.
+     * Thread-safe; entries live for the context's lifetime (bounded
+     * by digits x levels).
+     */
+
+    /** ModUp plan of decomposition digit `digit` at `level_count`. */
+    const rns::ModUpPlan &modUpPlan(std::size_t digit,
+                                    std::size_t level_count) const;
+    /** ModDown plan of the union basis at `level_count`. */
+    const rns::ModDownPlan &modDownPlan(std::size_t level_count) const;
+
+    /**
+     * `key`'s digits restricted to the union basis of `level_count`,
+     * memoized per (key id, level). Keys with id 0 are restricted
+     * fresh on every call (never cached). The cache is bounded: when
+     * it exceeds an internal cap the oldest entries are dropped —
+     * returned values stay alive through the shared_ptr regardless.
+     */
+    std::shared_ptr<const RestrictedSwitchKey>
+    restrictedKey(const SwitchKey &key, std::size_t level_count) const;
+
+    /** Cache sizes, exposed for tests and capacity audits. */
+    std::size_t modUpPlanCacheSize() const;
+    std::size_t modDownPlanCacheSize() const;
+    std::size_t keyRestrictionCacheSize() const;
+
     SecretKey generateSecretKey(Rng &rng) const;
     PublicKey generatePublicKey(const SecretKey &sk, Rng &rng) const;
     /** Key switching s' -> s for an arbitrary target polynomial. */
@@ -120,6 +173,20 @@ class CkksContext
     // dcomp_[j][i - digits_[j].first] and keyFactor_[j][t].
     std::vector<std::vector<u64>> dcomp_;
     std::vector<std::vector<u64>> keyFactor_;
+
+    mutable std::mutex planMu_;
+    mutable std::map<std::pair<std::size_t, std::size_t>,
+                     std::unique_ptr<rns::ModUpPlan>>
+        modUpPlans_; ///< keyed by (digit, level_count)
+    mutable std::map<std::size_t, std::unique_ptr<rns::ModDownPlan>>
+        modDownPlans_; ///< keyed by level_count
+    /// Keyed by (key id, level_count); insertion-ordered for the
+    /// FIFO eviction that bounds resident restricted-key bytes.
+    mutable std::map<std::pair<u64, std::size_t>,
+                     std::shared_ptr<const RestrictedSwitchKey>>
+        keyRestrictions_;
+    mutable std::vector<std::pair<u64, std::size_t>>
+        keyRestrictionOrder_;
 };
 
 } // namespace tensorfhe::ckks

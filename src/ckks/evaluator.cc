@@ -1,9 +1,9 @@
 #include "ckks/evaluator.hh"
 
 #include <cmath>
-#include <optional>
 
 #include "common/logging.hh"
+#include "common/stats.hh"
 
 namespace tensorfhe::ckks
 {
@@ -24,6 +24,7 @@ Ciphertext
 Evaluator::add(const Ciphertext &a, const Ciphertext &b) const
 {
     requireCompatible(a, b);
+    EvalOpStats::instance().record(EvalOpKind::HAdd);
     Ciphertext out = a;
     rns::eleAddInPlace(out.c0, b.c0);
     rns::eleAddInPlace(out.c1, b.c1);
@@ -34,6 +35,7 @@ Ciphertext
 Evaluator::sub(const Ciphertext &a, const Ciphertext &b) const
 {
     requireCompatible(a, b);
+    EvalOpStats::instance().record(EvalOpKind::HAdd);
     Ciphertext out = a;
     rns::eleSubInPlace(out.c0, b.c0);
     rns::eleSubInPlace(out.c1, b.c1);
@@ -46,6 +48,7 @@ Evaluator::addPlain(const Ciphertext &a, const Plaintext &p) const
     requireArg(a.levelCount() == p.levelCount()
                    && std::abs(a.scale - p.scale) <= 1e-6 * a.scale,
                "plaintext incompatible with ciphertext");
+    EvalOpStats::instance().record(EvalOpKind::HAdd);
     Ciphertext out = a;
     rns::eleAddInPlace(out.c0, p.poly);
     return out;
@@ -57,6 +60,7 @@ Evaluator::subPlain(const Ciphertext &a, const Plaintext &p) const
     requireArg(a.levelCount() == p.levelCount()
                    && std::abs(a.scale - p.scale) <= 1e-6 * a.scale,
                "plaintext incompatible with ciphertext");
+    EvalOpStats::instance().record(EvalOpKind::HAdd);
     Ciphertext out = a;
     rns::eleSubInPlace(out.c0, p.poly);
     return out;
@@ -67,6 +71,7 @@ Evaluator::multiplyPlain(const Ciphertext &a, const Plaintext &p) const
 {
     requireArg(a.levelCount() == p.levelCount(),
                "plaintext level mismatch");
+    EvalOpStats::instance().record(EvalOpKind::CMult);
     Ciphertext out = a;
     rns::hadaMultInPlace(out.c0, p.poly);
     rns::hadaMultInPlace(out.c1, p.poly);
@@ -79,6 +84,7 @@ Evaluator::hoist(const rns::RnsPolynomial &d) const
 {
     auto v = ctx_.nttVariant();
     std::size_t level_count = d.numLimbs();
+    EvalOpStats::instance().record(EvalOpKind::KsHoist);
 
     // Dcomp: coefficient-domain digits, scaled by (Q/Q_j)^-1 per limb.
     rns::RnsPolynomial d_coeff = d;
@@ -93,7 +99,9 @@ Evaluator::hoist(const rns::RnsPolynomial &d) const
         for (std::size_t i = 0; i < digit.numLimbs(); ++i)
             scalars[i] = ctx_.dcompScalar(j, digit.limbIndex(i));
         rns::mulScalarInPlace(digit, scalars);
-        ups.push_back(rns::modUp(digit, level_count));
+        // The context's memoized plan: the union-basis Conv factors
+        // are computed once per (digit, level), not once per hoist.
+        ups.push_back(ctx_.modUpPlan(j, level_count).apply(digit));
     }
 
     // Into Eval domain: every (digit x tower) NTT in one batched
@@ -116,15 +124,18 @@ Evaluator::keySwitchTail(const HoistedDigits &h, const SwitchKey &key,
     requireArg(h.digits.size() <= key.digits(),
                "switch key has too few digits: ", key.digits(),
                " for ", h.digits.size());
+    EvalOpStats::instance().record(EvalOpKind::KsTail);
+
+    // The key digits restricted to the union basis, memoized in the
+    // context per (key, level) across tails.
+    auto rk = ctx_.restrictedKey(key, h.levelCount);
 
     rns::RnsPolynomial acc0(tower, union_limbs, rns::Domain::Eval);
     rns::RnsPolynomial acc1(tower, union_limbs, rns::Domain::Eval);
     for (std::size_t j = 0; j < h.digits.size(); ++j) {
         // Inner product with the key digit (restricted to the basis).
-        rns::mulAccumulate(acc0, h.digits[j],
-                           rns::restrictToLimbs(key.b[j], union_limbs));
-        rns::mulAccumulate(acc1, h.digits[j],
-                           rns::restrictToLimbs(key.a[j], union_limbs));
+        rns::mulAccumulate(acc0, h.digits[j], rk->b[j]);
+        rns::mulAccumulate(acc1, h.digits[j], rk->a[j]);
     }
 
     // ModDown by P, back to Eval domain. Both accumulators move
@@ -132,10 +143,8 @@ Evaluator::keySwitchTail(const HoistedDigits &h, const SwitchKey &key,
     // NTT shares a single pool round-trip; both share one plan's
     // Conv factors.
     rns::toCoeffBatch({&acc0, &acc1}, v);
-    std::optional<rns::ModDownPlan> local_down;
-    if (!down)
-        local_down.emplace(tower, union_limbs);
-    const rns::ModDownPlan &plan = down ? *down : *local_down;
+    const rns::ModDownPlan &plan =
+        down ? *down : ctx_.modDownPlan(h.levelCount);
     auto ks0 = plan.apply(acc0);
     auto ks1 = plan.apply(acc1);
     rns::toEvalBatch({&ks0, &ks1}, v);
@@ -155,6 +164,7 @@ Evaluator::multiply(const Ciphertext &a, const Ciphertext &b) const
     requireArg(a.levelCount() == b.levelCount(), "level mismatch");
     requireArg(a.levelCount() >= 2,
                "no level budget left for multiplication");
+    EvalOpStats::instance().record(EvalOpKind::HMult);
 
     // d0 = a0*b0, d1 = a0*b1 + a1*b0, d2 = a1*b1 (paper Alg. 2).
     auto d0 = a.c0;
@@ -185,6 +195,7 @@ Ciphertext
 Evaluator::rescale(const Ciphertext &a) const
 {
     requireArg(a.levelCount() >= 2, "cannot rescale at level 0");
+    EvalOpStats::instance().record(EvalOpKind::Rescale);
     u64 q_last = ctx_.tower().prime(a.levelCount() - 1);
     auto v = ctx_.nttVariant();
     Ciphertext out = a;
@@ -271,15 +282,16 @@ Evaluator::rotateHoisted(const Ciphertext &a,
     }
 
     // Hoist once: the Dcomp+ModUp+NTT head is step-independent, and
-    // so is the ModDown plan of the tails.
+    // so is the tails' ModDown plan (memoized in the context).
     HoistedDigits h = hoist(a.c1);
-    rns::ModDownPlan down(ctx_.tower(), ctx_.unionLimbs(h.levelCount));
+    const rns::ModDownPlan &down = ctx_.modDownPlan(h.levelCount);
 
     for (std::size_t i = 0; i < steps.size(); ++i) {
         if (norms[i] == 0) {
             out[i] = a;
             continue;
         }
+        EvalOpStats::instance().record(EvalOpKind::HRotate);
         out[i] = finishAutomorphism(*this, a, h,
                                     ctx_.galoisForRotation(norms[i]),
                                     keys_.rot.at(norms[i]), &down);
@@ -290,6 +302,7 @@ Evaluator::rotateHoisted(const Ciphertext &a,
 Ciphertext
 Evaluator::conjugate(const Ciphertext &a) const
 {
+    EvalOpStats::instance().record(EvalOpKind::Conjugate);
     HoistedDigits h = hoist(a.c1);
     return finishAutomorphism(*this, a, h, ctx_.galoisForConjugation(),
                               keys_.conj, nullptr);

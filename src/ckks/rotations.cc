@@ -1,0 +1,32 @@
+#include "ckks/rotations.hh"
+
+#include <algorithm>
+
+namespace tensorfhe::ckks
+{
+
+std::vector<s64>
+normalizeRotationSteps(std::vector<s64> steps, std::size_t slots)
+{
+    if (slots != 0) {
+        for (auto &s : steps)
+            s = ((s % s64(slots)) + s64(slots)) % s64(slots);
+    }
+    std::sort(steps.begin(), steps.end());
+    steps.erase(std::unique(steps.begin(), steps.end()), steps.end());
+    steps.erase(std::remove(steps.begin(), steps.end(), s64(0)),
+                steps.end());
+    return steps;
+}
+
+std::vector<s64>
+unionRotationSteps(const std::vector<std::vector<s64>> &lists,
+                   std::size_t slots)
+{
+    std::vector<s64> all;
+    for (const auto &l : lists)
+        all.insert(all.end(), l.begin(), l.end());
+    return normalizeRotationSteps(std::move(all), slots);
+}
+
+} // namespace tensorfhe::ckks

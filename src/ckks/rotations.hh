@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Shared rotation-step set algebra. Every workload component that
+ * needs Galois keys (the LR trainer, the bootstrapper's BSGS plans,
+ * the nn layer stacks) computes its own step list; key generation
+ * wants the deduplicated union so no Galois key is ever generated
+ * twice across components.
+ */
+
+#ifndef TENSORFHE_CKKS_ROTATIONS_HH
+#define TENSORFHE_CKKS_ROTATIONS_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace tensorfhe::ckks
+{
+
+/**
+ * Canonicalize one step list: normalize each step into [0, slots)
+ * (negative steps wrap), drop zero steps, sort, dedup. With slots ==
+ * 0 the steps are assumed pre-normalized and only sorted/deduped.
+ */
+std::vector<s64> normalizeRotationSteps(std::vector<s64> steps,
+                                        std::size_t slots = 0);
+
+/**
+ * Union of several step lists, canonicalized as above — the set a
+ * KeyBundle must cover so every contributing component can run.
+ */
+std::vector<s64>
+unionRotationSteps(const std::vector<std::vector<s64>> &lists,
+                   std::size_t slots = 0);
+
+} // namespace tensorfhe::ckks
+
+#endif // TENSORFHE_CKKS_ROTATIONS_HH

@@ -50,4 +50,77 @@ KernelStats::totalNanos() const
     return total;
 }
 
+const char *
+evalOpKindName(EvalOpKind k)
+{
+    switch (k) {
+      case EvalOpKind::HMult: return "HMULT";
+      case EvalOpKind::CMult: return "CMULT";
+      case EvalOpKind::HAdd: return "HADD";
+      case EvalOpKind::HRotate: return "HROTATE";
+      case EvalOpKind::Conjugate: return "CONJ";
+      case EvalOpKind::Rescale: return "RESCALE";
+      case EvalOpKind::KsHoist: return "KS-hoist";
+      case EvalOpKind::KsTail: return "KS-tail";
+      default: TFHE_ASSERT(false); return "?";
+    }
+}
+
+double
+EvalOpCounts::get(EvalOpKind k) const
+{
+    switch (k) {
+      case EvalOpKind::HMult: return hmult;
+      case EvalOpKind::CMult: return cmult;
+      case EvalOpKind::HAdd: return hadd;
+      case EvalOpKind::HRotate: return hrotate;
+      case EvalOpKind::Conjugate: return conjugate;
+      case EvalOpKind::Rescale: return rescale;
+      case EvalOpKind::KsHoist: return ksHoist;
+      case EvalOpKind::KsTail: return ksTail;
+      default: TFHE_ASSERT(false); return 0;
+    }
+}
+
+void
+EvalOpCounts::set(EvalOpKind k, double v)
+{
+    switch (k) {
+      case EvalOpKind::HMult: hmult = v; break;
+      case EvalOpKind::CMult: cmult = v; break;
+      case EvalOpKind::HAdd: hadd = v; break;
+      case EvalOpKind::HRotate: hrotate = v; break;
+      case EvalOpKind::Conjugate: conjugate = v; break;
+      case EvalOpKind::Rescale: rescale = v; break;
+      case EvalOpKind::KsHoist: ksHoist = v; break;
+      case EvalOpKind::KsTail: ksTail = v; break;
+      default: TFHE_ASSERT(false);
+    }
+}
+
+EvalOpStats &
+EvalOpStats::instance()
+{
+    static EvalOpStats stats;
+    return stats;
+}
+
+void
+EvalOpStats::reset()
+{
+    for (auto &c : counts_)
+        c.store(0, std::memory_order_relaxed);
+}
+
+EvalOpCounts
+EvalOpStats::snapshot() const
+{
+    EvalOpCounts out;
+    for (std::size_t i = 0; i < kNumEvalOpKinds; ++i)
+        out.set(static_cast<EvalOpKind>(i),
+                static_cast<double>(
+                    counts_[i].load(std::memory_order_relaxed)));
+    return out;
+}
+
 } // namespace tensorfhe

@@ -110,6 +110,123 @@ class ScopedKernelTimer
     std::chrono::steady_clock::time_point start_;
 };
 
+/**
+ * The homomorphic operations of paper Table II plus the two phases of
+ * generalized key-switching (Halevi-Shoup hoisting). The evaluators
+ * record every executed operation here so workload runs can be
+ * cross-checked against the analytic op-count models (models.cc) and
+ * layer plans (nn) — the functional counterpart of the Fig. 13
+ * operation breakdown.
+ */
+enum class EvalOpKind : int
+{
+    HMult = 0,
+    CMult,
+    HAdd,
+    HRotate,
+    Conjugate,
+    Rescale,
+    KsHoist, ///< key-switch heads (Dcomp+ModUp+NTT)
+    KsTail,  ///< key-switch tails (inner product + ModDown)
+    NumOps
+};
+
+constexpr std::size_t kNumEvalOpKinds =
+    static_cast<std::size_t>(EvalOpKind::NumOps);
+
+const char *evalOpKindName(EvalOpKind k);
+
+/**
+ * A snapshot (or analytic prediction) of executed-operation counts.
+ * Doubles so models can scale fractionally; executed snapshots hold
+ * exact integers.
+ */
+struct EvalOpCounts
+{
+    double hmult = 0;
+    double cmult = 0;
+    double hadd = 0;
+    double hrotate = 0;
+    double conjugate = 0;
+    double rescale = 0;
+    double ksHoist = 0;
+    double ksTail = 0;
+
+    double get(EvalOpKind k) const;
+    void set(EvalOpKind k, double v);
+
+    EvalOpCounts &
+    operator+=(const EvalOpCounts &o)
+    {
+        hmult += o.hmult;
+        cmult += o.cmult;
+        hadd += o.hadd;
+        hrotate += o.hrotate;
+        conjugate += o.conjugate;
+        rescale += o.rescale;
+        ksHoist += o.ksHoist;
+        ksTail += o.ksTail;
+        return *this;
+    }
+
+    friend EvalOpCounts
+    operator*(double k, const EvalOpCounts &c)
+    {
+        EvalOpCounts out;
+        out.hmult = k * c.hmult;
+        out.cmult = k * c.cmult;
+        out.hadd = k * c.hadd;
+        out.hrotate = k * c.hrotate;
+        out.conjugate = k * c.conjugate;
+        out.rescale = k * c.rescale;
+        out.ksHoist = k * c.ksHoist;
+        out.ksTail = k * c.ksTail;
+        return out;
+    }
+
+    friend EvalOpCounts
+    operator-(EvalOpCounts a, const EvalOpCounts &b)
+    {
+        a.hmult -= b.hmult;
+        a.cmult -= b.cmult;
+        a.hadd -= b.hadd;
+        a.hrotate -= b.hrotate;
+        a.conjugate -= b.conjugate;
+        a.rescale -= b.rescale;
+        a.ksHoist -= b.ksHoist;
+        a.ksTail -= b.ksTail;
+        return a;
+    }
+};
+
+/**
+ * Process-wide executed-operation counters (the operation-level
+ * sibling of KernelStats). Scalar and batched evaluators record the
+ * same counts per logical ciphertext, so a batched run over B slots
+ * reads exactly B times the scalar counts.
+ */
+class EvalOpStats
+{
+  public:
+    static EvalOpStats &instance();
+
+    void
+    record(EvalOpKind k, u64 count = 1)
+    {
+        counts_[static_cast<std::size_t>(k)].fetch_add(
+            count, std::memory_order_relaxed);
+    }
+
+    /** Zero every counter (benches call this between sections). */
+    void reset();
+
+    EvalOpCounts snapshot() const;
+
+  private:
+    EvalOpStats() = default;
+    std::array<std::atomic<u64>, kNumEvalOpKinds> counts_{};
+};
+
 } // namespace tensorfhe
 
 #endif // TENSORFHE_COMMON_STATS_HH

@@ -1,0 +1,142 @@
+#include "nn/activation.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tensorfhe::nn
+{
+
+double
+PolyApprox::evalPlain(double x) const
+{
+    double acc = 0;
+    for (std::size_t k = coeffs.size(); k-- > 0;)
+        acc = acc * x + coeffs[k];
+    return acc;
+}
+
+PolyApprox
+chebyshevFit(const std::function<double(double)> &f, double lo,
+             double hi, std::size_t degree, std::string name)
+{
+    requireArg(hi > lo, "empty fit interval");
+    requireArg(degree >= 1, "activation degree must be >= 1");
+
+    // Chebyshev coefficients from the node sums (discrete
+    // orthogonality at the Chebyshev points of [lo, hi]).
+    std::size_t m = std::max<std::size_t>(64, 4 * degree + 16);
+    std::vector<double> cheb(degree + 1, 0.0);
+    for (std::size_t j = 0; j < m; ++j) {
+        double theta = M_PI * (static_cast<double>(j) + 0.5)
+            / static_cast<double>(m);
+        double t = std::cos(theta);
+        double x = 0.5 * (hi - lo) * t + 0.5 * (hi + lo);
+        double fx = f(x);
+        for (std::size_t k = 0; k <= degree; ++k)
+            cheb[k] += fx * std::cos(static_cast<double>(k) * theta);
+    }
+    for (std::size_t k = 0; k <= degree; ++k)
+        cheb[k] *= 2.0 / static_cast<double>(m);
+    cheb[0] *= 0.5;
+
+    // Monomial coefficients in t via the T_k recurrence, then the
+    // affine substitution t = a*x + b back onto [lo, hi].
+    std::vector<double> tk_prev = {1.0};       // T_0
+    std::vector<double> tk = {0.0, 1.0};       // T_1
+    std::vector<double> in_t(degree + 1, 0.0); // poly in t
+    in_t[0] = cheb[0];
+    if (degree >= 1)
+        for (std::size_t i = 0; i < tk.size(); ++i)
+            in_t[i] += cheb[1] * tk[i];
+    for (std::size_t k = 2; k <= degree; ++k) {
+        // T_k = 2 t T_{k-1} - T_{k-2}.
+        std::vector<double> next(k + 1, 0.0);
+        for (std::size_t i = 0; i < tk.size(); ++i)
+            next[i + 1] += 2.0 * tk[i];
+        for (std::size_t i = 0; i < tk_prev.size(); ++i)
+            next[i] -= tk_prev[i];
+        tk_prev = std::move(tk);
+        tk = std::move(next);
+        for (std::size_t i = 0; i < tk.size(); ++i)
+            in_t[i] += cheb[k] * tk[i];
+    }
+
+    double a = 2.0 / (hi - lo);
+    double b = -(hi + lo) / (hi - lo);
+    // Horner over polynomial coefficients: result(x) = in_t(a x + b).
+    std::vector<double> out = {0.0};
+    for (std::size_t k = in_t.size(); k-- > 0;) {
+        // out = out * (a x + b) + in_t[k].
+        std::vector<double> next(out.size() + 1, 0.0);
+        for (std::size_t i = 0; i < out.size(); ++i) {
+            next[i] += out[i] * b;
+            next[i + 1] += out[i] * a;
+        }
+        next[0] += in_t[k];
+        while (next.size() > 1 && next.back() == 0.0)
+            next.pop_back();
+        out = std::move(next);
+    }
+    out.resize(degree + 1, 0.0);
+
+    PolyApprox p;
+    p.name = std::move(name);
+    p.coeffs = std::move(out);
+    p.lo = lo;
+    p.hi = hi;
+    return p;
+}
+
+PolyApprox
+sigmoidApprox(std::size_t degree)
+{
+    if (degree == 3) {
+        // The HELR degree-3 sigmoid (paper ref [30]); identical to
+        // the LR workload's polynomial so both paths are comparable.
+        // Its least-squares calibration holds to ~5% on [-4, 4] and
+        // degrades quickly outside.
+        PolyApprox p;
+        p.name = "sigmoid3";
+        p.coeffs = {0.5, 0.197, 0.0, -0.004};
+        p.lo = -4.0;
+        p.hi = 4.0;
+        return p;
+    }
+    return chebyshevFit(
+        [](double x) { return 1.0 / (1.0 + std::exp(-x)); }, -6.0, 6.0,
+        degree, "sigmoid" + std::to_string(degree));
+}
+
+PolyApprox
+tanhApprox(std::size_t degree)
+{
+    return chebyshevFit([](double x) { return std::tanh(x); }, -2.0,
+                        2.0, degree,
+                        "tanh" + std::to_string(degree));
+}
+
+PolyApprox
+reluApprox(std::size_t degree)
+{
+    return chebyshevFit([](double x) { return x > 0 ? x : 0.0; }, -1.0,
+                        1.0, degree,
+                        "relu" + std::to_string(degree));
+}
+
+double
+maxAbsError(const PolyApprox &approx,
+            const std::function<double(double)> &f, std::size_t samples)
+{
+    double worst = 0;
+    for (std::size_t i = 0; i < samples; ++i) {
+        double x = approx.lo
+            + (approx.hi - approx.lo) * static_cast<double>(i)
+                / static_cast<double>(samples - 1);
+        worst = std::max(worst, std::abs(approx.evalPlain(x) - f(x)));
+    }
+    return worst;
+}
+
+} // namespace tensorfhe::nn

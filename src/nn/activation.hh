@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Polynomial activation approximants. CKKS evaluates only additions
+ * and multiplications, so every nonlinearity of the paper's neural
+ * workloads (the ReLUs of ResNet-20, the sigmoid/tanh gates of LSTM,
+ * the HELR sigmoid) runs as a low-degree polynomial calibrated on a
+ * bounded input interval. This header owns the approximants and their
+ * plaintext evaluation; nn::PolyActivation evaluates them
+ * homomorphically with a depth-log2(d) power ladder.
+ */
+
+#ifndef TENSORFHE_NN_ACTIVATION_HH
+#define TENSORFHE_NN_ACTIVATION_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace tensorfhe::nn
+{
+
+/**
+ * A monomial-basis polynomial sum_k coeffs[k] * x^k approximating a
+ * scalar activation on [lo, hi]. Outside the calibrated interval the
+ * approximation degrades quickly — layer calibration (weight scaling)
+ * must keep values inside it.
+ */
+struct PolyApprox
+{
+    std::string name;
+    std::vector<double> coeffs; ///< c_0 .. c_degree
+    double lo = -1.0;
+    double hi = 1.0;
+
+    std::size_t degree() const { return coeffs.size() - 1; }
+
+    /** Horner evaluation (the plaintext reference path). */
+    double evalPlain(double x) const;
+};
+
+/**
+ * Chebyshev least-squares fit of `f` on [lo, hi] at the given degree,
+ * converted to the monomial basis.
+ */
+PolyApprox chebyshevFit(const std::function<double(double)> &f,
+                        double lo, double hi, std::size_t degree,
+                        std::string name);
+
+/**
+ * Sigmoid approximant. Degree 3 returns the HELR coefficients
+ * 0.5 + 0.197 x - 0.004 x^3 (the same polynomial the LR workload
+ * trains with), whose least-squares calibration holds on [-4, 4];
+ * other degrees are Chebyshev fits on [-6, 6].
+ */
+PolyApprox sigmoidApprox(std::size_t degree);
+
+/** tanh approximant, calibrated on [-2, 2] (LSTM gate range). */
+PolyApprox tanhApprox(std::size_t degree);
+
+/** ReLU approximant, calibrated on [-1, 1] (post-conv range). */
+PolyApprox reluApprox(std::size_t degree);
+
+/** max |approx(x) - f(x)| over `samples` points of [lo, hi]. */
+double maxAbsError(const PolyApprox &approx,
+                   const std::function<double(double)> &f,
+                   std::size_t samples = 1001);
+
+} // namespace tensorfhe::nn
+
+#endif // TENSORFHE_NN_ACTIVATION_HH

@@ -1,0 +1,659 @@
+#include "nn/layers.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/modarith.hh"
+#include "perf/cost.hh"
+
+namespace tensorfhe::nn
+{
+
+namespace
+{
+
+/**
+ * The exact scale produced by multiplyPlain(pt at scale ps) followed
+ * by rescale at level `lc` — computed with the same double
+ * arithmetic as the evaluator so compiled metas match runtime bits.
+ */
+double
+mulRescaleScale(const ckks::CkksContext &ctx, double ct_scale,
+                double pt_scale, std::size_t lc)
+{
+    return ct_scale * pt_scale
+        / static_cast<double>(ctx.tower().prime(lc - 1));
+}
+
+} // namespace
+
+void
+Layer::requireCompiled() const
+{
+    requireState(compiled_, "layer used before compile()");
+}
+
+// ------------------------------------------------------------------
+// MatvecLayer
+
+TensorMeta
+MatvecLayer::compile(const ckks::CkksContext &ctx, const TensorMeta &in)
+{
+    requireArg(!compiled_, "layer compiled twice");
+    std::size_t slots = ctx.slots();
+    requireArg(in.chunkCount == 1,
+               name(), " requires a single-chunk input (got ",
+               in.chunkCount, " chunks)");
+    requireArg(in.layout.slotSpan(in.shape) <= slots,
+               name(), " input layout exceeds the slot capacity");
+    requireArg(in.levelCount >= 2,
+               name(), " needs one multiplicative level, input is at "
+                       "level count ",
+               in.levelCount);
+
+    in_ = in;
+    // Output capacity must be checked before buildMatrix(): the
+    // matrix writers index rows by output slot.
+    out_.shape = outputShape(in.shape);
+    requireArg(out_.shape.numel() <= slots,
+               name(), " output exceeds the slot capacity");
+
+    auto m = buildMatrix(ctx, in);
+    plan_ = std::make_unique<boot::LinearTransformPlan>(ctx,
+                                                        std::move(m));
+
+    out_.layout = SlotLayout::contiguous(out_.shape);
+    out_.chunkCount = 1;
+    out_.levelCount = in.levelCount - 1;
+    out_.scale = mulRescaleScale(ctx, in.scale, ctx.params().scale(),
+                                 in.levelCount);
+
+    auto bias = biasVector();
+    if (!bias.empty()) {
+        requireArg(bias.size() == out_.shape.numel(),
+                   name(), " bias size mismatch");
+        std::vector<ckks::Complex> z(slots, ckks::Complex(0, 0));
+        for (std::size_t j = 0; j < bias.size(); ++j)
+            z[out_.layout.slotOf(out_.shape, j)] =
+                ckks::Complex(bias[j], 0);
+        bias_ = ctx.encoder().encode(z, out_.scale, out_.levelCount);
+    }
+    compiled_ = true;
+    return out_;
+}
+
+std::vector<s64>
+MatvecLayer::requiredRotations() const
+{
+    requireCompiled();
+    return plan_->requiredRotations();
+}
+
+const boot::LinearTransformPlan &
+MatvecLayer::plan() const
+{
+    requireCompiled();
+    return *plan_;
+}
+
+Cts
+MatvecLayer::apply(const NnEngine &engine, const Cts &in) const
+{
+    requireCompiled();
+    auto out = plan_->applyBatch(engine.batched(), in);
+    if (bias_)
+        out = engine.batched().addPlain(out, *bias_);
+    return out;
+}
+
+EvalOpCounts
+MatvecLayer::modeledOps() const
+{
+    requireCompiled();
+    double baby = static_cast<double>(plan_->babyStepCount());
+    double giant = static_cast<double>(plan_->giantStepCount());
+    double diags = static_cast<double>(plan_->diagonalCount());
+    EvalOpCounts c;
+    c.hrotate = baby + giant;
+    c.ksHoist = (baby > 0 ? 1 : 0) + giant;
+    c.ksTail = baby + giant;
+    c.cmult = diags;
+    c.hadd = diags - 1 + (bias_ ? 1 : 0);
+    c.rescale = 1;
+    return c;
+}
+
+// ------------------------------------------------------------------
+// Dense
+
+Dense::Dense(std::vector<std::vector<double>> weights,
+             std::vector<double> bias)
+    : weights_(std::move(weights)), bias_(std::move(bias))
+{
+    requireArg(!weights_.empty() && !weights_[0].empty(),
+               "Dense needs a nonempty weight matrix");
+    for (const auto &row : weights_)
+        requireArg(row.size() == weights_[0].size(),
+                   "Dense weight rows must have equal length");
+    requireArg(bias_.empty() || bias_.size() == weights_.size(),
+               "Dense bias size mismatch");
+}
+
+boot::SlotMatrix
+Dense::buildMatrix(const ckks::CkksContext &ctx,
+                   const TensorMeta &in) const
+{
+    std::size_t slots = ctx.slots();
+    requireArg(in.shape.numel() == cols(),
+               "Dense expects ", cols(), " inputs, got ",
+               in.shape.str());
+    boot::SlotMatrix m(
+        slots, std::vector<ckks::Complex>(slots, ckks::Complex(0, 0)));
+    for (std::size_t j = 0; j < rows(); ++j)
+        for (std::size_t k = 0; k < cols(); ++k)
+            m[j][in.layout.slotOf(in.shape, k)] +=
+                ckks::Complex(weights_[j][k], 0);
+    return m;
+}
+
+TensorShape
+Dense::outputShape(const TensorShape &) const
+{
+    return {{rows()}};
+}
+
+std::vector<double>
+Dense::applyPlain(const std::vector<double> &in) const
+{
+    std::vector<double> out(rows(), 0.0);
+    for (std::size_t j = 0; j < rows(); ++j) {
+        for (std::size_t k = 0; k < cols(); ++k)
+            out[j] += weights_[j][k] * in[k];
+        if (!bias_.empty())
+            out[j] += bias_[j];
+    }
+    return out;
+}
+
+// ------------------------------------------------------------------
+// Conv2d
+
+Conv2d::Conv2d(std::size_t out_channels, std::size_t kernel,
+               std::vector<double> weights, std::vector<double> bias)
+    : outChannels_(out_channels), kernel_(kernel),
+      weights_(std::move(weights)), bias_(std::move(bias))
+{
+    requireArg(outChannels_ >= 1, "Conv2d needs >= 1 output channel");
+    requireArg(kernel_ % 2 == 1, "Conv2d kernel must be odd");
+    requireArg(bias_.empty() || bias_.size() == outChannels_,
+               "Conv2d bias size mismatch");
+}
+
+double
+Conv2d::tap(std::size_t oc, std::size_t ic, std::size_t ky,
+            std::size_t kx) const
+{
+    std::size_t in_c = in_.shape.dims[0];
+    return weights_[((oc * in_c + ic) * kernel_ + ky) * kernel_ + kx];
+}
+
+boot::SlotMatrix
+Conv2d::buildMatrix(const ckks::CkksContext &ctx,
+                    const TensorMeta &in) const
+{
+    std::size_t slots = ctx.slots();
+    requireArg(in.shape.dims.size() == 3,
+               "Conv2d expects a (C, H, W) input, got ",
+               in.shape.str());
+    std::size_t ic = in.shape.dims[0];
+    std::size_t h = in.shape.dims[1];
+    std::size_t w = in.shape.dims[2];
+    requireArg(weights_.size() == outChannels_ * ic * kernel_ * kernel_,
+               "Conv2d weight count mismatch: expected ",
+               outChannels_ * ic * kernel_ * kernel_, ", got ",
+               weights_.size());
+    std::size_t half = kernel_ / 2;
+    std::size_t ic_ky_kx = ic * kernel_ * kernel_;
+
+    boot::SlotMatrix m(
+        slots, std::vector<ckks::Complex>(slots, ckks::Complex(0, 0)));
+    for (std::size_t oc = 0; oc < outChannels_; ++oc) {
+        for (std::size_t y = 0; y < h; ++y) {
+            for (std::size_t x = 0; x < w; ++x) {
+                std::size_t row = (oc * h + y) * w + x;
+                for (std::size_t t = 0; t < ic_ky_kx; ++t) {
+                    std::size_t c = t / (kernel_ * kernel_);
+                    std::size_t ky = (t / kernel_) % kernel_;
+                    std::size_t kx = t % kernel_;
+                    auto iy = static_cast<std::ptrdiff_t>(y + ky)
+                        - static_cast<std::ptrdiff_t>(half);
+                    auto ix = static_cast<std::ptrdiff_t>(x + kx)
+                        - static_cast<std::ptrdiff_t>(half);
+                    if (iy < 0 || ix < 0
+                        || iy >= static_cast<std::ptrdiff_t>(h)
+                        || ix >= static_cast<std::ptrdiff_t>(w))
+                        continue; // zero padding
+                    std::size_t flat =
+                        (c * h + static_cast<std::size_t>(iy)) * w
+                        + static_cast<std::size_t>(ix);
+                    m[row][in.layout.slotOf(in.shape, flat)] +=
+                        ckks::Complex(tap(oc, c, ky, kx), 0);
+                }
+            }
+        }
+    }
+    return m;
+}
+
+TensorShape
+Conv2d::outputShape(const TensorShape &in) const
+{
+    return {{outChannels_, in.dims[1], in.dims[2]}};
+}
+
+std::vector<double>
+Conv2d::biasVector() const
+{
+    if (bias_.empty())
+        return {};
+    std::size_t hw = in_.shape.dims[1] * in_.shape.dims[2];
+    std::vector<double> out(outChannels_ * hw);
+    for (std::size_t oc = 0; oc < outChannels_; ++oc)
+        for (std::size_t i = 0; i < hw; ++i)
+            out[oc * hw + i] = bias_[oc];
+    return out;
+}
+
+std::vector<double>
+Conv2d::applyPlain(const std::vector<double> &in) const
+{
+    requireCompiled();
+    std::size_t ic = in_.shape.dims[0];
+    std::size_t h = in_.shape.dims[1];
+    std::size_t w = in_.shape.dims[2];
+    std::size_t half = kernel_ / 2;
+    std::vector<double> out(outChannels_ * h * w, 0.0);
+    for (std::size_t oc = 0; oc < outChannels_; ++oc) {
+        for (std::size_t y = 0; y < h; ++y) {
+            for (std::size_t x = 0; x < w; ++x) {
+                double acc = bias_.empty() ? 0.0 : bias_[oc];
+                for (std::size_t c = 0; c < ic; ++c) {
+                    for (std::size_t ky = 0; ky < kernel_; ++ky) {
+                        for (std::size_t kx = 0; kx < kernel_; ++kx) {
+                            auto iy =
+                                static_cast<std::ptrdiff_t>(y + ky)
+                                - static_cast<std::ptrdiff_t>(half);
+                            auto ix =
+                                static_cast<std::ptrdiff_t>(x + kx)
+                                - static_cast<std::ptrdiff_t>(half);
+                            if (iy < 0 || ix < 0
+                                || iy >= static_cast<std::ptrdiff_t>(h)
+                                || ix >= static_cast<std::ptrdiff_t>(w))
+                                continue;
+                            acc += tap(oc, c, ky, kx)
+                                * in[(c * h
+                                      + static_cast<std::size_t>(iy))
+                                         * w
+                                     + static_cast<std::size_t>(ix)];
+                        }
+                    }
+                }
+                out[(oc * h + y) * w + x] = acc;
+            }
+        }
+    }
+    return out;
+}
+
+// ------------------------------------------------------------------
+// AvgPool2d
+
+TensorMeta
+AvgPool2d::compile(const ckks::CkksContext &ctx, const TensorMeta &in)
+{
+    requireArg(!compiled_, "layer compiled twice");
+    std::size_t slots = ctx.slots();
+    requireArg(isPowerOfTwo(window_) && window_ >= 2,
+               "pool window must be a power of two >= 2");
+    requireArg(in.chunkCount == 1,
+               "AvgPool2d requires a single-chunk input");
+    requireArg(in.shape.dims.size() == 3,
+               "AvgPool2d expects a (C, H, W) input, got ",
+               in.shape.str());
+    requireArg(in.shape.dims[1] % window_ == 0
+                   && in.shape.dims[2] % window_ == 0,
+               "pool window must divide H and W");
+    requireArg(in.layout.slotSpan(in.shape) <= slots,
+               "AvgPool2d input layout exceeds the slot capacity");
+    requireArg(in.levelCount >= 2,
+               "AvgPool2d needs one multiplicative level");
+
+    std::size_t sy = in.layout.stride[1];
+    std::size_t sx = in.layout.stride[2];
+    // Doubling folds per axis: x first, then y.
+    steps_.clear();
+    for (std::size_t d = 1; d < window_; d *= 2)
+        steps_.push_back(static_cast<s64>(d * sx));
+    for (std::size_t d = 1; d < window_; d *= 2)
+        steps_.push_back(static_cast<s64>(d * sy));
+
+    in_ = in;
+    out_.shape = {{in.shape.dims[0], in.shape.dims[1] / window_,
+                   in.shape.dims[2] / window_}};
+    out_.layout.offset = in.layout.offset;
+    out_.layout.stride = {in.layout.stride[0], window_ * sy,
+                          window_ * sx};
+    out_.chunkCount = 1;
+    out_.levelCount = in.levelCount - 1;
+    out_.scale = mulRescaleScale(ctx, in.scale, ctx.params().scale(),
+                                 in.levelCount);
+
+    // The window-base mask, folding the 1/window^2 average into the
+    // mask values so no extra level is spent.
+    double inv = 1.0
+        / static_cast<double>(window_ * window_);
+    std::vector<ckks::Complex> z(slots, ckks::Complex(0, 0));
+    for (std::size_t i = 0; i < out_.shape.numel(); ++i)
+        z[out_.layout.slotOf(out_.shape, i)] = ckks::Complex(inv, 0);
+    mask_ = ctx.encoder().encode(z, ctx.params().scale(),
+                                 in.levelCount);
+    compiled_ = true;
+    return out_;
+}
+
+std::vector<s64>
+AvgPool2d::requiredRotations() const
+{
+    requireCompiled();
+    return steps_;
+}
+
+Cts
+AvgPool2d::apply(const NnEngine &engine, const Cts &in) const
+{
+    requireCompiled();
+    const auto &beval = engine.batched();
+    Cts t = in;
+    for (s64 s : steps_)
+        t = beval.add(t, beval.rotate(t, s));
+    return beval.rescale(beval.multiplyPlain(t, *mask_));
+}
+
+std::vector<double>
+AvgPool2d::applyPlain(const std::vector<double> &in) const
+{
+    requireCompiled();
+    std::size_t c = in_.shape.dims[0];
+    std::size_t h = in_.shape.dims[1];
+    std::size_t w = in_.shape.dims[2];
+    std::size_t oh = h / window_;
+    std::size_t ow = w / window_;
+    std::vector<double> out(c * oh * ow, 0.0);
+    for (std::size_t ch = 0; ch < c; ++ch)
+        for (std::size_t y = 0; y < oh; ++y)
+            for (std::size_t x = 0; x < ow; ++x) {
+                double acc = 0;
+                for (std::size_t dy = 0; dy < window_; ++dy)
+                    for (std::size_t dx = 0; dx < window_; ++dx)
+                        acc += in[(ch * h + y * window_ + dy) * w
+                                  + x * window_ + dx];
+                out[(ch * oh + y) * ow + x] = acc
+                    / static_cast<double>(window_ * window_);
+            }
+    return out;
+}
+
+EvalOpCounts
+AvgPool2d::modeledOps() const
+{
+    requireCompiled();
+    auto rounds = static_cast<double>(steps_.size());
+    EvalOpCounts c;
+    c.hrotate = rounds;
+    c.ksHoist = rounds;
+    c.ksTail = rounds;
+    c.hadd = rounds;
+    c.cmult = 1;
+    c.rescale = 1;
+    return c;
+}
+
+// ------------------------------------------------------------------
+// SumReduce
+
+TensorMeta
+SumReduce::compile(const ckks::CkksContext &ctx, const TensorMeta &in)
+{
+    requireArg(!compiled_, "layer compiled twice");
+    std::size_t slots = ctx.slots();
+    requireArg(in.chunkCount == 1,
+               "SumReduce requires a single-chunk input");
+    requireArg(in.layout.slotSpan(in.shape) <= slots,
+               "SumReduce input layout exceeds the slot capacity");
+    std::size_t m = in.shape.numel();
+    requireArg(isPowerOfTwo(m) && m >= 2,
+               "SumReduce needs a power-of-two element count");
+
+    // The layout must enumerate an arithmetic slot progression: the
+    // generalized row-major check with a uniform base stride.
+    std::size_t base = in.layout.stride.back();
+    std::size_t expect = base;
+    for (std::size_t i = in.shape.dims.size(); i-- > 0;) {
+        requireArg(in.layout.stride[i] == expect,
+                   "SumReduce requires a uniformly strided layout");
+        expect *= in.shape.dims[i];
+    }
+
+    hoisted_ = perf::hoistedFoldWins(ctx.params(), in.levelCount, m);
+    steps_.clear();
+    if (hoisted_) {
+        for (std::size_t k = 1; k < m; ++k)
+            steps_.push_back(static_cast<s64>(k * base));
+    } else {
+        for (std::size_t k = 1; k < m; k *= 2)
+            steps_.push_back(static_cast<s64>(k * base));
+    }
+
+    in_ = in;
+    out_.shape = {{1}};
+    out_.layout.offset = in.layout.offset;
+    out_.layout.stride = {base};
+    out_.chunkCount = 1;
+    out_.levelCount = in.levelCount;
+    out_.scale = in.scale;
+    compiled_ = true;
+    return out_;
+}
+
+std::vector<s64>
+SumReduce::requiredRotations() const
+{
+    requireCompiled();
+    return steps_;
+}
+
+Cts
+SumReduce::apply(const NnEngine &engine, const Cts &in) const
+{
+    requireCompiled();
+    const auto &beval = engine.batched();
+    if (hoisted_) {
+        auto rots = beval.rotateManyBatch(in, steps_);
+        Cts acc = in;
+        for (auto &r : rots)
+            acc = beval.add(acc, r);
+        return acc;
+    }
+    Cts acc = in;
+    for (s64 s : steps_)
+        acc = beval.add(acc, beval.rotate(acc, s));
+    return acc;
+}
+
+std::vector<double>
+SumReduce::applyPlain(const std::vector<double> &in) const
+{
+    double acc = 0;
+    for (double v : in)
+        acc += v;
+    return {acc};
+}
+
+EvalOpCounts
+SumReduce::modeledOps() const
+{
+    requireCompiled();
+    auto r = static_cast<double>(steps_.size());
+    EvalOpCounts c;
+    c.hrotate = r;
+    c.ksTail = r;
+    c.ksHoist = hoisted_ ? 1 : r;
+    c.hadd = r;
+    return c;
+}
+
+// ------------------------------------------------------------------
+// PolyActivation
+
+PolyActivation::PolyActivation(PolyApprox approx)
+    : approx_(std::move(approx))
+{
+    requireArg(approx_.coeffs.size() >= 2,
+               "activation must have degree >= 1");
+    constexpr double kEps = 1e-12;
+
+    // Active terms; zero coefficients cost nothing.
+    for (std::size_t k = 1; k < approx_.coeffs.size(); ++k)
+        if (std::abs(approx_.coeffs[k]) > kEps)
+            terms_.emplace_back(k, approx_.coeffs[k]);
+    requireArg(!terms_.empty(), "activation has no nonconstant term");
+    hasConstant_ = std::abs(approx_.coeffs[0]) > kEps;
+
+    // Power-ladder closure: x^k = x^ceil(k/2) * x^floor(k/2).
+    std::vector<std::size_t> work;
+    for (const auto &[k, c] : terms_)
+        if (k >= 2)
+            work.push_back(k);
+    std::vector<std::size_t> needed;
+    while (!work.empty()) {
+        std::size_t k = work.back();
+        work.pop_back();
+        if (k < 2
+            || std::find(needed.begin(), needed.end(), k)
+                != needed.end())
+            continue;
+        needed.push_back(k);
+        work.push_back((k + 1) / 2);
+        work.push_back(k / 2);
+    }
+    std::sort(needed.begin(), needed.end());
+    powers_ = std::move(needed);
+
+    depth_[1] = 0;
+    for (std::size_t k : powers_)
+        depth_[k] =
+            std::max(depth_.at((k + 1) / 2), depth_.at(k / 2)) + 1;
+    for (const auto &[k, c] : terms_)
+        maxDepth_ = std::max(maxDepth_, depth_.at(k));
+}
+
+std::string
+PolyActivation::name() const
+{
+    return "PolyActivation(" + approx_.name + ")";
+}
+
+TensorMeta
+PolyActivation::compile(const ckks::CkksContext &ctx,
+                        const TensorMeta &in)
+{
+    requireArg(!compiled_, "layer compiled twice");
+    requireArg(in.levelCount >= maxDepth_ + 2,
+               name(), " needs ", maxDepth_ + 2,
+               " level counts, input is at ", in.levelCount);
+
+    in_ = in;
+    out_ = in;
+    out_.levelCount = in.levelCount - maxDepth_ - 1;
+    out_.scale = ctx.params().scale(); // exact, by term steering
+    compiled_ = true;
+    return out_;
+}
+
+std::size_t
+PolyActivation::levelCost() const
+{
+    return maxDepth_ + 1;
+}
+
+Cts
+PolyActivation::apply(const NnEngine &engine, const Cts &in) const
+{
+    requireCompiled();
+    const auto &beval = engine.batched();
+    double target = engine.ctx().params().scale();
+
+    // The monomial ladder at natural levels.
+    std::map<std::size_t, Cts> pows;
+    pows.emplace(1, in);
+    for (std::size_t k : powers_) {
+        const Cts &a = pows.at((k + 1) / 2);
+        const Cts &b = pows.at(k / 2);
+        std::size_t lc =
+            std::min(a[0].levelCount(), b[0].levelCount());
+        pows.emplace(k, beval.rescale(beval.multiply(
+                            beval.dropToLevelCount(a, lc),
+                            beval.dropToLevelCount(b, lc))));
+    }
+
+    // Steer every term to (min power level - 1, target scale).
+    std::size_t lmin = in[0].levelCount() - maxDepth_;
+    Cts acc;
+    bool first = true;
+    for (const auto &[k, c] : terms_) {
+        auto term = beval.multiplyConstToScale(
+            beval.dropToLevelCount(pows.at(k), lmin), c, target);
+        if (first) {
+            acc = std::move(term);
+            first = false;
+        } else {
+            acc = beval.add(acc, term);
+        }
+    }
+    if (hasConstant_) {
+        auto pt = engine.ctx().encoder().encodeConstant(
+            ckks::Complex(approx_.coeffs[0], 0), acc[0].scale,
+            acc[0].levelCount());
+        acc = beval.addPlain(acc, pt);
+    }
+    return acc;
+}
+
+std::vector<double>
+PolyActivation::applyPlain(const std::vector<double> &in) const
+{
+    std::vector<double> out(in.size());
+    for (std::size_t i = 0; i < in.size(); ++i)
+        out[i] = approx_.evalPlain(in[i]);
+    return out;
+}
+
+EvalOpCounts
+PolyActivation::modeledOps() const
+{
+    requireCompiled();
+    auto np = static_cast<double>(powers_.size());
+    auto nt = static_cast<double>(terms_.size());
+    EvalOpCounts c;
+    c.hmult = np;
+    // Every HMULT relinearizes through one key-switch head + tail.
+    c.ksHoist = np;
+    c.ksTail = np;
+    c.cmult = nt;
+    c.rescale = np + nt;
+    c.hadd = nt - 1 + (hasConstant_ ? 1 : 0);
+    return c;
+}
+
+} // namespace tensorfhe::nn

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Encrypted neural-network layers over CipherTensors — the layer
+ * library behind the functional counterparts of the paper's ResNet-20
+ * and LSTM workloads (SV, Table X).
+ *
+ * Every layer has three synchronized faces:
+ *   - compile(): validates the incoming TensorMeta, builds plans
+ *     (BSGS matrices, encoded masks, power ladders) and returns the
+ *     outgoing meta — shape, layout, level count and exact scale —
+ *     before anything encrypted runs;
+ *   - apply(): the encrypted forward pass over a uniform batch,
+ *     dispatched through batch::BatchedEvaluator so multiple inputs
+ *     ride the (slot x tower) work-queue;
+ *   - applyPlain(): the plaintext reference with the same arithmetic
+ *     (same polynomial activations), used for verification.
+ * modeledOps() predicts the exact executed-operation counts of one
+ * apply() sample, cross-checked against EvalOpStats by the tests and
+ * the Table X bench.
+ *
+ * Matrix-shaped layers (Dense, Conv2d) lower to a single
+ * boot::LinearTransformPlan BSGS matvec: ~2*sqrt(slots) key-switch
+ * tails per application instead of one full keyswitch per nonzero
+ * diagonal, with per-level cached diagonal plaintexts. Pooling and
+ * reductions run as rotate-folds on the affine slot layout; pooled
+ * outputs stay in strided slots and the next matrix layer reads them
+ * in place.
+ */
+
+#ifndef TENSORFHE_NN_LAYERS_HH
+#define TENSORFHE_NN_LAYERS_HH
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "batch/executor.hh"
+#include "boot/linear.hh"
+#include "common/stats.hh"
+#include "nn/activation.hh"
+#include "nn/tensor.hh"
+
+namespace tensorfhe::nn
+{
+
+/**
+ * Server-side execution context for encrypted inference: the CKKS
+ * context plus the batched evaluator every layer dispatches through.
+ */
+class NnEngine
+{
+  public:
+    NnEngine(const ckks::CkksContext &ctx, const ckks::KeyBundle &keys,
+             ThreadPool *pool = nullptr)
+        : ctx_(ctx), beval_(ctx, keys, pool)
+    {}
+
+    const ckks::CkksContext &ctx() const { return ctx_; }
+    const batch::BatchedEvaluator &batched() const { return beval_; }
+    const ckks::Evaluator &scalar() const { return beval_.scalar(); }
+
+  private:
+    const ckks::CkksContext &ctx_;
+    batch::BatchedEvaluator beval_;
+};
+
+using Cts = std::vector<ckks::Ciphertext>;
+
+class Layer
+{
+  public:
+    virtual ~Layer() = default;
+
+    virtual std::string name() const = 0;
+
+    /**
+     * Validate against the incoming meta, build the layer's plans and
+     * return the outgoing meta. Must be called exactly once before
+     * apply()/requiredRotations()/modeledOps().
+     */
+    virtual TensorMeta compile(const ckks::CkksContext &ctx,
+                               const TensorMeta &in) = 0;
+
+    /** Rotation steps apply() needs keys for (valid after compile). */
+    virtual std::vector<s64> requiredRotations() const { return {}; }
+
+    /** Multiplicative levels consumed (valid after compile). */
+    virtual std::size_t levelCost() const = 0;
+
+    /**
+     * Encrypted forward over a uniform batch: `in` holds every
+     * sample's chunks, sample-major. Elementwise layers accept any
+     * chunk count; rotation-based layers require single-chunk metas
+     * (enforced at compile).
+     */
+    virtual Cts apply(const NnEngine &engine, const Cts &in) const = 0;
+
+    /** Plaintext reference on one sample's logical values. */
+    virtual std::vector<double>
+    applyPlain(const std::vector<double> &in) const = 0;
+
+    /** Predicted executed ops of one apply() sample. */
+    virtual EvalOpCounts modeledOps() const = 0;
+
+    const TensorMeta &inputMeta() const { return in_; }
+    const TensorMeta &outputMeta() const { return out_; }
+
+  protected:
+    void requireCompiled() const;
+
+    TensorMeta in_;
+    TensorMeta out_;
+    bool compiled_ = false;
+};
+
+/**
+ * Common machinery of the matrix-shaped layers: the layer's linear
+ * map is embedded into a slots x slots SlotMatrix (columns at the
+ * input layout's slots, rows contiguous from slot 0) and evaluated by
+ * one BSGS LinearTransformPlan application; the optional bias rides
+ * a single plaintext addition. Consumes one level.
+ */
+class MatvecLayer : public Layer
+{
+  public:
+    TensorMeta compile(const ckks::CkksContext &ctx,
+                       const TensorMeta &in) override;
+    std::vector<s64> requiredRotations() const override;
+    std::size_t levelCost() const override { return 1; }
+    Cts apply(const NnEngine &engine, const Cts &in) const override;
+    EvalOpCounts modeledOps() const override;
+
+    /** The compiled BSGS plan (valid after compile; for tests). */
+    const boot::LinearTransformPlan &plan() const;
+
+  protected:
+    /** The slots x slots matrix realizing the layer on `in`. */
+    virtual boot::SlotMatrix
+    buildMatrix(const ckks::CkksContext &ctx,
+                const TensorMeta &in) const = 0;
+    virtual TensorShape outputShape(const TensorShape &in) const = 0;
+    /** Bias over the output's logical elements; empty = none. */
+    virtual std::vector<double> biasVector() const = 0;
+
+  private:
+    std::unique_ptr<boot::LinearTransformPlan> plan_;
+    std::optional<ckks::Plaintext> bias_;
+};
+
+/** Fully-connected y = W x + b via one BSGS matvec. */
+class Dense : public MatvecLayer
+{
+  public:
+    /** weights[row][col]; bias empty or size rows. */
+    Dense(std::vector<std::vector<double>> weights,
+          std::vector<double> bias = {});
+
+    std::string name() const override { return "Dense"; }
+    std::vector<double>
+    applyPlain(const std::vector<double> &in) const override;
+
+    std::size_t rows() const { return weights_.size(); }
+    std::size_t cols() const { return weights_[0].size(); }
+
+  protected:
+    boot::SlotMatrix buildMatrix(const ckks::CkksContext &ctx,
+                                 const TensorMeta &in) const override;
+    TensorShape outputShape(const TensorShape &in) const override;
+    std::vector<double> biasVector() const override { return bias_; }
+
+  private:
+    std::vector<std::vector<double>> weights_;
+    std::vector<double> bias_;
+};
+
+/**
+ * 2D convolution (stride 1, zero 'same' padding) on a (C, H, W)
+ * tensor, lowered to one packed BSGS matvec: the convolution is a
+ * linear map on the packed slot vector, so its slot matrix feeds the
+ * same LinearTransformPlan path as Dense — the rotation-sum over
+ * kernel taps becomes the plan's diagonal structure.
+ */
+class Conv2d : public MatvecLayer
+{
+  public:
+    /**
+     * @param weights flat [outC][inC][ky][kx] taps (inC checked at
+     *                compile against the input shape)
+     * @param bias    empty or one entry per output channel
+     */
+    Conv2d(std::size_t out_channels, std::size_t kernel,
+           std::vector<double> weights, std::vector<double> bias = {});
+
+    std::string name() const override { return "Conv2d"; }
+    std::vector<double>
+    applyPlain(const std::vector<double> &in) const override;
+
+  protected:
+    boot::SlotMatrix buildMatrix(const ckks::CkksContext &ctx,
+                                 const TensorMeta &in) const override;
+    TensorShape outputShape(const TensorShape &in) const override;
+    std::vector<double> biasVector() const override;
+
+  private:
+    double tap(std::size_t oc, std::size_t ic, std::size_t ky,
+               std::size_t kx) const;
+
+    std::size_t outChannels_;
+    std::size_t kernel_;
+    std::vector<double> weights_;
+    std::vector<double> bias_;
+};
+
+/**
+ * window x window average pooling (stride = window, a power of two)
+ * on a (C, H, W) tensor via rotate-folds on the affine layout: one
+ * doubling fold per axis sums each window in place, one masked CMULT
+ * scales by 1/window^2 and zeroes the dropped positions. The output
+ * stays in strided slots (strides multiplied by the window), so the
+ * next matrix layer reads it without a repacking pass. Consumes one
+ * level.
+ */
+class AvgPool2d : public Layer
+{
+  public:
+    explicit AvgPool2d(std::size_t window = 2) : window_(window) {}
+
+    std::string name() const override { return "AvgPool2d"; }
+    TensorMeta compile(const ckks::CkksContext &ctx,
+                       const TensorMeta &in) override;
+    std::vector<s64> requiredRotations() const override;
+    std::size_t levelCost() const override { return 1; }
+    Cts apply(const NnEngine &engine, const Cts &in) const override;
+    std::vector<double>
+    applyPlain(const std::vector<double> &in) const override;
+    EvalOpCounts modeledOps() const override;
+
+  private:
+    std::size_t window_;
+    std::vector<s64> steps_; ///< doubling-fold steps, x then y
+    std::optional<ckks::Plaintext> mask_;
+};
+
+/**
+ * Sum over every element of a uniformly-strided tensor, landing at
+ * the layout's base slot. Schedules either the hoisted
+ * multi-rotation sum or the doubling fold, chosen by the shared
+ * perf::hoistedFoldWins cost model (the LR gradient folds use the
+ * same decision). Consumes no level.
+ */
+class SumReduce : public Layer
+{
+  public:
+    std::string name() const override { return "SumReduce"; }
+    TensorMeta compile(const ckks::CkksContext &ctx,
+                       const TensorMeta &in) override;
+    std::vector<s64> requiredRotations() const override;
+    std::size_t levelCost() const override { return 0; }
+    Cts apply(const NnEngine &engine, const Cts &in) const override;
+    std::vector<double>
+    applyPlain(const std::vector<double> &in) const override;
+    EvalOpCounts modeledOps() const override;
+
+    /** Whether compile chose the hoisted schedule (for tests). */
+    bool hoisted() const { return hoisted_; }
+
+  private:
+    bool hoisted_ = false;
+    std::vector<s64> steps_;
+};
+
+/**
+ * Elementwise polynomial activation: evaluates a PolyApprox on every
+ * slot with a depth-optimal power ladder (x^k from x^ceil(k/2) *
+ * x^floor(k/2), so degree d costs ceil(log2 d) + 1 levels, not d),
+ * steering every term to the context scale so the output lands at
+ * exactly params().scale() — downstream layers see a clean scale
+ * regardless of the input's drift.
+ */
+class PolyActivation : public Layer
+{
+  public:
+    explicit PolyActivation(PolyApprox approx);
+
+    std::string name() const override;
+    TensorMeta compile(const ckks::CkksContext &ctx,
+                       const TensorMeta &in) override;
+    std::size_t levelCost() const override;
+    Cts apply(const NnEngine &engine, const Cts &in) const override;
+    std::vector<double>
+    applyPlain(const std::vector<double> &in) const override;
+    EvalOpCounts modeledOps() const override;
+
+    const PolyApprox &approx() const { return approx_; }
+
+  private:
+    PolyApprox approx_;
+    std::vector<std::size_t> powers_; ///< ladder products, ascending
+    std::vector<std::pair<std::size_t, double>> terms_; ///< (k, c_k)
+    std::size_t maxDepth_ = 0;
+    bool hasConstant_ = false;
+    std::map<std::size_t, std::size_t> depth_; ///< power -> depth
+};
+
+} // namespace tensorfhe::nn
+
+#endif // TENSORFHE_NN_LAYERS_HH

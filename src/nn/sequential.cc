@@ -1,0 +1,182 @@
+#include "nn/sequential.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "ckks/rotations.hh"
+#include "common/logging.hh"
+
+namespace tensorfhe::nn
+{
+
+void
+Sequential::add(std::unique_ptr<Layer> layer)
+{
+    requireArg(!compiled_, "cannot add layers after compile()");
+    requireArg(layer != nullptr, "null layer");
+    layers_.push_back(std::move(layer));
+}
+
+TensorMeta
+Sequential::compile(const ckks::CkksContext &ctx,
+                    const TensorMeta &input)
+{
+    requireArg(!compiled_, "model compiled twice");
+    requireArg(!layers_.empty(), "empty model");
+
+    // Whole-model budget validation up front: walk the level ledger
+    // before any layer builds plans, so a model that cannot fit the
+    // chain fails with the full per-layer picture instead of dying
+    // midway through an inference.
+    std::size_t need = 0;
+    std::ostringstream ledger;
+    for (const auto &l : layers_) {
+        need += l->levelCost();
+        ledger << "\n  " << l->name() << ": " << l->levelCost();
+    }
+    requireArg(input.levelCount >= need + 1,
+               "level budget exhausted: input has ", input.levelCount,
+               " level counts, the stack consumes ", need,
+               " and must leave >= 1; per-layer costs:",
+               ledger.str());
+
+    TensorMeta meta = input;
+    for (auto &l : layers_)
+        meta = l->compile(ctx, meta);
+    input_ = input;
+    output_ = meta;
+    compiled_ = true;
+    return output_;
+}
+
+std::vector<s64>
+Sequential::requiredRotations() const
+{
+    requireState(compiled_, "model used before compile()");
+    std::vector<std::vector<s64>> lists;
+    lists.reserve(layers_.size());
+    for (const auto &l : layers_)
+        lists.push_back(l->requiredRotations());
+    return ckks::unionRotationSteps(lists);
+}
+
+std::size_t
+Sequential::levelCost() const
+{
+    std::size_t total = 0;
+    for (const auto &l : layers_)
+        total += l->levelCost();
+    return total;
+}
+
+namespace
+{
+
+void
+requireMetaMatch(const TensorMeta &got, const TensorMeta &want,
+                 const std::string &where)
+{
+    requireArg(got.shape == want.shape && got.layout == want.layout
+                   && got.chunkCount == want.chunkCount,
+               where, ": tensor packing does not match the compiled "
+                      "meta");
+    requireArg(got.levelCount == want.levelCount,
+               where, ": level count ", got.levelCount,
+               " != compiled ", want.levelCount);
+    requireArg(std::abs(got.scale - want.scale) <= 1e-6 * want.scale,
+               where, ": scale ", got.scale, " != compiled ",
+               want.scale);
+}
+
+} // namespace
+
+std::vector<CipherTensor>
+Sequential::run(const NnEngine &engine,
+                const std::vector<CipherTensor> &batch) const
+{
+    requireState(compiled_, "model used before compile()");
+    requireArg(!batch.empty(), "empty batch");
+    for (const auto &t : batch)
+        requireMetaMatch(t.meta(), input_, "input");
+
+    // Flatten to (sample x chunk) and ride the batched evaluator.
+    std::size_t chunks = input_.chunkCount;
+    Cts flat;
+    flat.reserve(batch.size() * chunks);
+    for (const auto &t : batch)
+        for (const auto &ct : t.chunks())
+            flat.push_back(ct);
+
+    for (const auto &l : layers_) {
+        flat = l->apply(engine, flat);
+        const TensorMeta &m = l->outputMeta();
+        requireState(flat.size() == batch.size() * m.chunkCount,
+                     l->name(), ": chunk count drifted");
+        // Level/scale invariants after every layer: the executed
+        // batch must land exactly where compile() predicted.
+        for (const auto &ct : flat) {
+            requireState(ct.levelCount() == m.levelCount,
+                         l->name(), ": level count ", ct.levelCount(),
+                         " != compiled ", m.levelCount);
+            requireState(std::abs(ct.scale - m.scale)
+                             <= 1e-6 * m.scale,
+                         l->name(), ": scale ", ct.scale,
+                         " != compiled ", m.scale);
+        }
+    }
+
+    std::size_t out_chunks = output_.chunkCount;
+    std::vector<CipherTensor> out;
+    out.reserve(batch.size());
+    for (std::size_t s = 0; s < batch.size(); ++s) {
+        std::vector<ckks::Ciphertext> cts(
+            flat.begin() + static_cast<std::ptrdiff_t>(s * out_chunks),
+            flat.begin()
+                + static_cast<std::ptrdiff_t>((s + 1) * out_chunks));
+        out.emplace_back(output_.shape, output_.layout,
+                         std::move(cts));
+    }
+    return out;
+}
+
+CipherTensor
+Sequential::run(const NnEngine &engine, const CipherTensor &input) const
+{
+    auto out = run(engine, std::vector<CipherTensor>{input});
+    return std::move(out[0]);
+}
+
+std::vector<double>
+Sequential::runPlain(std::vector<double> values) const
+{
+    requireState(compiled_, "model used before compile()");
+    for (const auto &l : layers_)
+        values = l->applyPlain(values);
+    return values;
+}
+
+EvalOpCounts
+Sequential::modeledOps() const
+{
+    requireState(compiled_, "model used before compile()");
+    EvalOpCounts total;
+    for (const auto &l : layers_)
+        total += l->modeledOps();
+    return total;
+}
+
+const TensorMeta &
+Sequential::inputMeta() const
+{
+    requireState(compiled_, "model used before compile()");
+    return input_;
+}
+
+const TensorMeta &
+Sequential::outputMeta() const
+{
+    requireState(compiled_, "model used before compile()");
+    return output_;
+}
+
+} // namespace tensorfhe::nn

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Sequential: the nn model runner. Owns a layer stack, compiles it
+ * against an input TensorMeta (propagating shape/layout/level/scale
+ * and validating the whole multiplicative budget up front, before
+ * any key is generated or ciphertext touched), surfaces the union
+ * rotation-key requirement of every layer, and runs encrypted
+ * batches through the BatchedEvaluator with per-layer meta checks.
+ */
+
+#ifndef TENSORFHE_NN_SEQUENTIAL_HH
+#define TENSORFHE_NN_SEQUENTIAL_HH
+
+#include <memory>
+
+#include "nn/layers.hh"
+
+namespace tensorfhe::nn
+{
+
+class Sequential
+{
+  public:
+    Sequential() = default;
+
+    /** Append a layer (before compile). */
+    void add(std::unique_ptr<Layer> layer);
+
+    /** Construct-and-append convenience; returns the layer. */
+    template <typename L, typename... Args>
+    L &
+    emplace(Args &&...args)
+    {
+        auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+        L &ref = *layer;
+        add(std::move(layer));
+        return ref;
+    }
+
+    /**
+     * Compile every layer against the propagated metas. Throws
+     * std::invalid_argument with the per-layer level ledger when the
+     * input's multiplicative budget cannot cover the stack — the
+     * whole-model validation happens here, up front.
+     */
+    TensorMeta compile(const ckks::CkksContext &ctx,
+                       const TensorMeta &input);
+
+    /**
+     * Union rotation-key set of every layer (deduplicated via the
+     * shared step-set helper): generate exactly these keys and every
+     * layer can run, with no Galois key duplicated across layers.
+     */
+    std::vector<s64> requiredRotations() const;
+
+    /** Total multiplicative levels the stack consumes. */
+    std::size_t levelCost() const;
+
+    /**
+     * Encrypted inference over a batch. Each sample must match the
+     * compiled input meta; every layer's output is checked against
+     * its compiled meta (level and scale invariants) before the next
+     * layer runs.
+     */
+    std::vector<CipherTensor>
+    run(const NnEngine &engine,
+        const std::vector<CipherTensor> &batch) const;
+
+    /** Single-sample convenience. */
+    CipherTensor run(const NnEngine &engine,
+                     const CipherTensor &input) const;
+
+    /** Plaintext reference with the same layer arithmetic. */
+    std::vector<double> runPlain(std::vector<double> values) const;
+
+    /** Predicted executed ops of one sample through every layer. */
+    EvalOpCounts modeledOps() const;
+
+    const std::vector<std::unique_ptr<Layer>> &layers() const
+    {
+        return layers_;
+    }
+    const TensorMeta &inputMeta() const;
+    const TensorMeta &outputMeta() const;
+    bool compiled() const { return compiled_; }
+
+  private:
+    std::vector<std::unique_ptr<Layer>> layers_;
+    TensorMeta input_;
+    TensorMeta output_;
+    bool compiled_ = false;
+};
+
+} // namespace tensorfhe::nn
+
+#endif // TENSORFHE_NN_SEQUENTIAL_HH

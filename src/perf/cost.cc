@@ -192,6 +192,66 @@ bsgsLinearTransformCost(const ckks::CkksParams &p,
     return c;
 }
 
+KernelCost
+matvecBsgsCost(const ckks::CkksParams &p, std::size_t level_count,
+               std::size_t diagonals, std::size_t baby,
+               std::size_t giant)
+{
+    KernelCost c = rotateHoistedCost(p, level_count, baby);
+    c += static_cast<double>(giant)
+        * opCost(OpKind::HRotate, p, level_count);
+    c += static_cast<double>(diagonals)
+        * (opCost(OpKind::CMult, p, level_count)
+           + opCost(OpKind::HAdd, p, level_count));
+    c += opCost(OpKind::Rescale, p, level_count);
+    return c;
+}
+
+bool
+hoistedFoldWins(const ckks::CkksParams &p, std::size_t level_count,
+                std::size_t m)
+{
+    // Exactly the argmin of rotateFoldCost over the two schedules,
+    // so the decision can never pick the one the model prices
+    // higher.
+    auto work = [](const KernelCost &c) {
+        return c.coreOps + c.tcuMacs / 8.0 + c.bytes;
+    };
+    return work(rotateFoldCost(p, level_count, m, true))
+        < work(rotateFoldCost(p, level_count, m, false));
+}
+
+KernelCost
+rotateFoldCost(const ckks::CkksParams &p, std::size_t level_count,
+               std::size_t m, bool hoisted)
+{
+    if (hoisted) {
+        KernelCost c = rotateHoistedCost(p, level_count, m - 1);
+        c += static_cast<double>(m - 1)
+            * opCost(OpKind::HAdd, p, level_count);
+        return c;
+    }
+    double rounds = std::ceil(std::log2(static_cast<double>(m)));
+    return rounds
+        * (opCost(OpKind::HRotate, p, level_count)
+           + opCost(OpKind::HAdd, p, level_count));
+}
+
+KernelCost
+polyActivationCost(const ckks::CkksParams &p, std::size_t level_count,
+                   std::size_t powers, std::size_t terms)
+{
+    KernelCost c = static_cast<double>(powers)
+        * (opCost(OpKind::HMult, p, level_count)
+           + opCost(OpKind::Rescale, p, level_count));
+    c += static_cast<double>(terms)
+        * (opCost(OpKind::CMult, p, level_count)
+           + opCost(OpKind::Rescale, p, level_count));
+    c += static_cast<double>(terms)
+        * opCost(OpKind::HAdd, p, level_count);
+    return c;
+}
+
 const char *
 opKindName(OpKind k)
 {

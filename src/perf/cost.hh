@@ -103,6 +103,40 @@ KernelCost bsgsLinearTransformCost(const ckks::CkksParams &p,
                                    std::size_t level_count,
                                    std::size_t slots);
 
+/**
+ * BSGS matvec with the plan's actual population (nn::Dense /
+ * nn::Conv2d): `baby` hoisted baby rotations, `giant` full giant
+ * rotations, one CMULT + HADD per populated diagonal, one RESCALE.
+ * bsgsLinearTransformCost is the fully-populated instance.
+ */
+KernelCost matvecBsgsCost(const ckks::CkksParams &p,
+                          std::size_t level_count,
+                          std::size_t diagonals, std::size_t baby,
+                          std::size_t giant);
+
+/**
+ * Whether summing m-1 rotations off one hoist beats the log2(m)
+ * doubling fold (the schedule decision of the LR gradient folds and
+ * nn::SumReduce). At deep chains the shared head wins; at shallow
+ * chains the extra tails outweigh the saved heads.
+ */
+bool hoistedFoldWins(const ckks::CkksParams &p, std::size_t level_count,
+                     std::size_t m);
+
+/** m-element rotate-fold under the chosen schedule. */
+KernelCost rotateFoldCost(const ckks::CkksParams &p,
+                          std::size_t level_count, std::size_t m,
+                          bool hoisted);
+
+/**
+ * Power-ladder polynomial activation (nn::PolyActivation): `powers`
+ * HMULT+RESCALE pairs building the monomial ladder, `terms`
+ * coefficient CMULT+RESCALE steerings, and the term-sum HADDs.
+ */
+KernelCost polyActivationCost(const ckks::CkksParams &p,
+                              std::size_t level_count,
+                              std::size_t powers, std::size_t terms);
+
 /** The five Table II operations (+ conjugate). */
 enum class OpKind
 {

@@ -1,0 +1,113 @@
+#include "workloads/cnn.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tensorfhe::workloads
+{
+
+ckks::CkksParams
+EncryptedCnnClassifier::recommendedParams()
+{
+    auto p = ckks::Presets::tiny();
+    p.levels = 7; // conv 1 + ReLU 2 + pool 1 + dense 1, plus slack
+    return p;
+}
+
+EncryptedCnnClassifier::EncryptedCnnClassifier(
+    const ckks::CkksContext &ctx, CnnConfig cfg)
+    : cfg_(cfg)
+{
+    // Synthetic weights, calibrated so the conv output stays inside
+    // the ReLU approximant's [-1, 1] interval for images in [0, 1]:
+    // |conv| <= fan_in * |tap| + |bias|.
+    Rng rng(cfg.seed);
+    auto uniform = [&](double mag) {
+        return mag * (2.0 * rng.uniformReal() - 1.0);
+    };
+    std::size_t fan_in =
+        cfg.inChannels * cfg.kernel * cfg.kernel;
+    double conv_mag = 0.9 / static_cast<double>(fan_in);
+    std::vector<double> conv_w(cfg.convChannels * fan_in);
+    for (auto &v : conv_w)
+        v = uniform(conv_mag);
+    std::vector<double> conv_b(cfg.convChannels);
+    for (auto &v : conv_b)
+        v = uniform(0.05);
+
+    std::size_t pooled = cfg.convChannels
+        * (cfg.height / cfg.poolWindow) * (cfg.width / cfg.poolWindow);
+    std::vector<std::vector<double>> fc_w(
+        cfg.classes, std::vector<double>(pooled));
+    for (auto &row : fc_w)
+        for (auto &v : row)
+            v = uniform(0.3);
+    std::vector<double> fc_b(cfg.classes);
+    for (auto &v : fc_b)
+        v = uniform(0.1);
+
+    net_.emplace<nn::Conv2d>(cfg.convChannels, cfg.kernel,
+                             std::move(conv_w), std::move(conv_b));
+    net_.emplace<nn::PolyActivation>(nn::reluApprox(cfg.actDegree));
+    net_.emplace<nn::AvgPool2d>(cfg.poolWindow);
+    net_.emplace<nn::Dense>(std::move(fc_w), std::move(fc_b));
+
+    nn::TensorMeta input;
+    input.shape = {{cfg.inChannels, cfg.height, cfg.width}};
+    input.layout = nn::SlotLayout::contiguous(input.shape);
+    input.chunkCount = 1;
+    input.levelCount = ctx.tower().numQ();
+    input.scale = ctx.params().scale();
+    net_.compile(ctx, input);
+}
+
+std::vector<EncryptedCnnClassifier::Prediction>
+EncryptedCnnClassifier::classifyEncrypted(
+    const nn::NnEngine &engine, const ckks::Encryptor &enc,
+    const ckks::Decryptor &dec, Rng &rng,
+    const std::vector<std::vector<double>> &images) const
+{
+    const auto &ctx = engine.ctx();
+    const auto &meta = net_.inputMeta();
+    std::vector<nn::CipherTensor> batch;
+    batch.reserve(images.size());
+    for (const auto &img : images)
+        batch.push_back(nn::encryptTensor(ctx, enc, rng, img,
+                                          meta.shape,
+                                          meta.levelCount));
+
+    auto outputs = net_.run(engine, batch);
+
+    std::vector<Prediction> preds;
+    preds.reserve(outputs.size());
+    for (const auto &out : outputs) {
+        Prediction p;
+        p.logits = nn::decryptTensor(ctx, dec, out);
+        p.argmax = static_cast<std::size_t>(
+            std::max_element(p.logits.begin(), p.logits.end())
+            - p.logits.begin());
+        preds.push_back(std::move(p));
+    }
+    return preds;
+}
+
+EncryptedCnnClassifier::Prediction
+EncryptedCnnClassifier::classifyPlain(
+    const std::vector<double> &image) const
+{
+    Prediction p;
+    p.logits = net_.runPlain(image);
+    p.argmax = static_cast<std::size_t>(
+        std::max_element(p.logits.begin(), p.logits.end())
+        - p.logits.begin());
+    return p;
+}
+
+OpCounts
+EncryptedCnnClassifier::modeledCounts() const
+{
+    return toOpCounts(net_.modeledOps());
+}
+
+} // namespace tensorfhe::workloads

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Functional encrypted CNN classifier — the scaled-down, fully
+ * runnable counterpart of the paper's ResNet-20 workload [42]
+ * (conv -> polynomial ReLU -> average pool -> dense), built on the
+ * nn layer library: the convolution and the classifier head run as
+ * BSGS matvecs (boot::LinearTransformPlan), pooling as rotate-folds
+ * on the strided slot layout, and the activation as a power-ladder
+ * polynomial.
+ *
+ * Weights are synthetic (seeded, calibrated so every activation
+ * input stays inside its approximant's interval); the point is the
+ * encrypted execution pipeline, verified layer-by-layer against the
+ * plaintext reference with matching arithmetic.
+ */
+
+#ifndef TENSORFHE_WORKLOADS_CNN_HH
+#define TENSORFHE_WORKLOADS_CNN_HH
+
+#include "nn/sequential.hh"
+#include "workloads/models.hh"
+
+namespace tensorfhe::workloads
+{
+
+struct CnnConfig
+{
+    std::size_t height = 8;
+    std::size_t width = 8;
+    std::size_t inChannels = 1;
+    std::size_t convChannels = 4;
+    std::size_t kernel = 3;
+    std::size_t poolWindow = 2;
+    std::size_t classes = 10;
+    std::size_t actDegree = 2; ///< ReLU approximant degree
+    u64 seed = 0xc44;          ///< synthetic weight seed
+};
+
+class EncryptedCnnClassifier
+{
+  public:
+    /** Builds and compiles the stack; throws if it cannot fit. */
+    EncryptedCnnClassifier(const ckks::CkksContext &ctx,
+                           CnnConfig cfg = {});
+
+    /**
+     * The functional parameter set the default config runs at:
+     * N = 2^10 (512 slots holds the 4x8x8 conv output) with a chain
+     * deep enough for conv + ReLU + pool + dense.
+     */
+    static ckks::CkksParams recommendedParams();
+
+    const CnnConfig &config() const { return cfg_; }
+    const nn::Sequential &net() const { return net_; }
+    const nn::TensorMeta &inputMeta() const { return net_.inputMeta(); }
+
+    /** Rotation keys the whole stack needs (deduplicated union). */
+    std::vector<s64>
+    requiredRotations() const
+    {
+        return net_.requiredRotations();
+    }
+
+    struct Prediction
+    {
+        std::size_t argmax = 0;
+        std::vector<double> logits;
+    };
+
+    /**
+     * Encrypted inference: encrypt each image, run the batch through
+     * the engine (all samples ride the (slot x tower) work-queue
+     * together), decrypt the logits, argmax client-side.
+     */
+    std::vector<Prediction>
+    classifyEncrypted(const nn::NnEngine &engine,
+                      const ckks::Encryptor &enc,
+                      const ckks::Decryptor &dec, Rng &rng,
+                      const std::vector<std::vector<double>> &images)
+        const;
+
+    /** Plaintext reference with the same polynomial activation. */
+    Prediction classifyPlain(const std::vector<double> &image) const;
+
+    /** Predicted executed ops of one encrypted sample. */
+    EvalOpCounts modeledOps() const { return net_.modeledOps(); }
+    /** Same, in the op-count-model vocabulary (Table X machinery). */
+    OpCounts modeledCounts() const;
+
+  private:
+    CnnConfig cfg_;
+    nn::Sequential net_;
+};
+
+} // namespace tensorfhe::workloads
+
+#endif // TENSORFHE_WORKLOADS_CNN_HH

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "ckks/rotations.hh"
 #include "common/logging.hh"
 #include "perf/cost.hh"
 
@@ -23,37 +24,18 @@ sigmoidPoly(double z)
 }
 
 /**
- * Whether summing all f-1 rotations off one hoist beats the log2(f)
- * doubling fold, per the analytic cost model. At deep chains the
- * hoisted head dominates a keyswitch and sharing it wins; at shallow
- * chains the f-1 tails outweigh the saved heads and doubling wins.
- */
-bool
-hoistedFoldWins(const ckks::CkksParams &p, std::size_t level_count,
-                std::size_t f)
-{
-    auto work = [](const perf::KernelCost &c) {
-        return c.coreOps + c.tcuMacs / 8.0 + c.bytes;
-    };
-    double hoisted =
-        work(perf::rotateHoistedCost(p, level_count, f - 1));
-    double doubling = std::log2(static_cast<double>(f))
-        * work(perf::opCost(perf::OpKind::HRotate, p, level_count));
-    return hoisted < doubling;
-}
-
-/**
  * sum_{k=0}^{f-1} rot_{dir * k}(ct): the rotate-fold primitive of the
  * gradient pass, scheduled as either a hoisted multi-rotation sum or
  * the classic doubling fold (identical slot values either way; keys
- * for both schedules come from lrRequiredRotations).
+ * for both schedules come from lrRequiredRotations). The schedule
+ * decision is the shared perf::hoistedFoldWins cost model.
  */
 ckks::Ciphertext
 foldRotations(const ckks::Evaluator &eval, const ckks::CkksContext &ctx,
               ckks::Ciphertext ct, std::size_t f, s64 dir)
 {
     std::size_t slots = ctx.slots();
-    if (hoistedFoldWins(ctx.params(), ct.levelCount(), f)) {
+    if (perf::hoistedFoldWins(ctx.params(), ct.levelCount(), f)) {
         std::vector<s64> steps;
         for (std::size_t k = 1; k < f; ++k)
             steps.push_back(dir * static_cast<s64>(k));
@@ -75,21 +57,22 @@ foldRotations(const ckks::Evaluator &eval, const ckks::CkksContext &ctx,
 std::vector<s64>
 lrRequiredRotations(const LrConfig &cfg, std::size_t slots)
 {
-    std::vector<s64> steps;
     // Intra-block dot-product fold and error-term broadcast: steps
     // 1..f-1 (and their negative counterparts) cover both fold
     // schedules — the hoisted multi-rotation sum needs every step,
     // the doubling fold the power-of-two subset; the trainer picks
     // per pass via the cost model (see foldRotations).
+    std::vector<s64> folds, broadcasts, blocks;
     for (std::size_t k = 1; k < cfg.features; ++k) {
-        steps.push_back(static_cast<s64>(k));
-        steps.push_back(static_cast<s64>(slots - k));
+        folds.push_back(static_cast<s64>(k));
+        broadcasts.push_back(-static_cast<s64>(k));
     }
     // Cross-block folds for the gradient sum over samples.
     for (std::size_t s = cfg.features;
          s < cfg.features * cfg.samples; s *= 2)
-        steps.push_back(static_cast<s64>(s));
-    return steps;
+        blocks.push_back(static_cast<s64>(s));
+    return ckks::unionRotationSteps({folds, broadcasts, blocks},
+                                    slots);
 }
 
 EncryptedLrTrainer::EncryptedLrTrainer(const ckks::CkksContext &ctx,

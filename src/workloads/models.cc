@@ -33,6 +33,19 @@ bootstrapOpCounts(std::size_t slots)
     return c;
 }
 
+OpCounts
+toOpCounts(const EvalOpCounts &c)
+{
+    OpCounts out;
+    out.hmult = c.hmult;
+    out.cmult = c.cmult;
+    out.hadd = c.hadd;
+    out.hrotate = c.hrotate;
+    out.rescale = c.rescale;
+    out.conjugate = c.conjugate;
+    return out;
+}
+
 namespace
 {
 

@@ -8,6 +8,18 @@
  * structure (layer shapes, iteration counts, BSGS decompositions);
  * EXPERIMENTS.md documents each derivation. They feed Table X and
  * Figs. 12-13 through the device time model.
+ *
+ * Two kinds of workload live in this directory and should not be
+ * confused:
+ *   - op-count-only models (this header): paper-scale parameter sets
+ *     with analytic operation counts, never executed — they exist to
+ *     drive the device-time model;
+ *   - functional workloads (lr.hh, cnn.hh, lstm.hh): scaled-down
+ *     instances that really compute on ciphertexts, verified against
+ *     plaintext references. Their executed-op statistics
+ *     (EvalOpStats) cross-check the analytic counts here via
+ *     toOpCounts(); bench_table10_workloads prints both side by
+ *     side.
  */
 
 #ifndef TENSORFHE_WORKLOADS_MODELS_HH
@@ -15,6 +27,7 @@
 
 #include <string>
 
+#include "common/stats.hh"
 #include "perf/cost.hh"
 #include "perf/device_time.hh"
 
@@ -53,6 +66,13 @@ struct OpCounts
 
 /** One slim bootstrap (paper Fig. 6) at the given slot count. */
 OpCounts bootstrapOpCounts(std::size_t slots);
+
+/**
+ * Executed/predicted functional-path statistics mapped into the
+ * model vocabulary (key-switch phase counters are dropped; they have
+ * no analytic-model counterpart).
+ */
+OpCounts toOpCounts(const EvalOpCounts &c);
 
 struct WorkloadModel
 {

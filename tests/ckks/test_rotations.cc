@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Rotation-step set algebra: normalization (wrapping, zero-dropping,
+ * dedup) and the union helper shared by the LR trainer, the
+ * bootstrapper and the nn layer stacks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "boot/bootstrap.hh"
+#include "ckks/rotations.hh"
+#include "workloads/lr.hh"
+
+namespace tensorfhe::ckks
+{
+namespace
+{
+
+TEST(RotationSteps, NormalizeWrapsSortsAndDedups)
+{
+    auto steps =
+        normalizeRotationSteps({5, -1, 5, 0, 9, -8}, /*slots=*/8);
+    EXPECT_EQ(steps, (std::vector<s64>{1, 5, 7}));
+}
+
+TEST(RotationSteps, NormalizeWithoutSlotsOnlySortsAndDedups)
+{
+    auto steps = normalizeRotationSteps({4, 2, 4, 0, 2});
+    EXPECT_EQ(steps, (std::vector<s64>{2, 4}));
+}
+
+TEST(RotationSteps, UnionMergesLists)
+{
+    auto steps =
+        unionRotationSteps({{1, 2}, {2, 3}, {}, {-1}}, /*slots=*/16);
+    EXPECT_EQ(steps, (std::vector<s64>{1, 2, 3, 15}));
+}
+
+TEST(RotationSteps, LrAndBootstrapSetsAreCanonical)
+{
+    workloads::LrConfig cfg;
+    cfg.features = 4;
+    cfg.samples = 8;
+    for (const auto &steps :
+         {workloads::lrRequiredRotations(cfg, 512),
+          boot::Bootstrapper::requiredRotations(512)}) {
+        EXPECT_TRUE(std::is_sorted(steps.begin(), steps.end()));
+        EXPECT_EQ(std::adjacent_find(steps.begin(), steps.end()),
+                  steps.end());
+        EXPECT_EQ(std::count(steps.begin(), steps.end(), 0), 0);
+    }
+}
+
+} // namespace
+} // namespace tensorfhe::ckks

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Sequential model-runner tests: up-front budget validation, the
+ * deduplicated union rotation-key set, per-layer level/scale
+ * invariants at runtime, batched-vs-single bit identity, and
+ * multi-chunk elementwise stacks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "nn/sequential.hh"
+
+namespace tensorfhe::nn
+{
+namespace
+{
+
+ckks::CkksParams
+testParams(int levels)
+{
+    auto p = ckks::Presets::tiny();
+    p.levels = levels;
+    return p;
+}
+
+TensorMeta
+freshMeta(const ckks::CkksContext &ctx, TensorShape shape)
+{
+    TensorMeta m;
+    m.shape = std::move(shape);
+    m.layout = SlotLayout::contiguous(m.shape);
+    m.levelCount = ctx.tower().numQ();
+    m.scale = ctx.params().scale();
+    return m;
+}
+
+std::vector<std::vector<double>>
+randomMatrix(std::size_t rows, std::size_t cols, double mag, u64 seed)
+{
+    Rng rng(seed);
+    std::vector<std::vector<double>> w(rows,
+                                       std::vector<double>(cols));
+    for (auto &row : w)
+        for (auto &v : row)
+            v = mag * (2 * rng.uniformReal() - 1);
+    return w;
+}
+
+TEST(Sequential, BudgetValidationFailsUpFront)
+{
+    ckks::CkksContext ctx(testParams(3)); // 4 level counts
+    Sequential net;
+    net.emplace<Dense>(randomMatrix(4, 4, 0.2, 1));
+    net.emplace<PolyActivation>(sigmoidApprox(3)); // needs 3 levels
+    net.emplace<Dense>(randomMatrix(2, 4, 0.2, 2));
+    // Total cost 5 > 3 available: compile must throw before any
+    // plan is built, naming the per-layer ledger.
+    try {
+        net.compile(ctx, freshMeta(ctx, {{4}}));
+        FAIL() << "expected budget rejection";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("level budget"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("Dense"),
+                  std::string::npos);
+    }
+}
+
+TEST(Sequential, RequiredRotationsAreDedupedUnion)
+{
+    ckks::CkksContext ctx(testParams(5));
+    Sequential net;
+    auto &d1 = net.emplace<Dense>(randomMatrix(16, 16, 0.2, 3));
+    auto &d2 = net.emplace<Dense>(randomMatrix(16, 16, 0.2, 4));
+    net.compile(ctx, freshMeta(ctx, {{16}}));
+
+    auto steps = net.requiredRotations();
+    EXPECT_TRUE(std::is_sorted(steps.begin(), steps.end()));
+    EXPECT_EQ(std::adjacent_find(steps.begin(), steps.end()),
+              steps.end());
+    // Both layers' needs are covered, nothing duplicated.
+    for (const auto *layer : {&d1, &d2})
+        for (s64 s : layer->requiredRotations())
+            EXPECT_TRUE(std::binary_search(steps.begin(), steps.end(),
+                                           s))
+                << "missing step " << s;
+    // The identical layers share every step: the union is no larger
+    // than one layer's set.
+    EXPECT_EQ(steps.size(), d1.requiredRotations().size());
+}
+
+TEST(Sequential, BatchedRunIsBitIdenticalToSingleRuns)
+{
+    ckks::CkksContext ctx(testParams(5));
+    Sequential net;
+    net.emplace<Dense>(randomMatrix(8, 8, 0.3, 5));
+    net.emplace<PolyActivation>(reluApprox(2));
+    net.compile(ctx, freshMeta(ctx, {{8}}));
+
+    Rng rng(6);
+    auto sk = ctx.generateSecretKey(rng);
+    auto keys = ctx.generateKeys(sk, rng, net.requiredRotations());
+    ckks::Encryptor enc(ctx, keys.pk);
+    nn::NnEngine engine(ctx, keys);
+
+    std::vector<CipherTensor> batch;
+    for (std::size_t s = 0; s < 3; ++s) {
+        std::vector<double> x(8);
+        for (auto &v : x)
+            v = rng.uniformReal() - 0.5;
+        batch.push_back(encryptTensor(ctx, enc, rng, x, {{8}},
+                                      ctx.tower().numQ()));
+    }
+
+    auto expectPolyEq = [](const rns::RnsPolynomial &x,
+                           const rns::RnsPolynomial &y) {
+        ASSERT_EQ(x.numLimbs(), y.numLimbs());
+        for (std::size_t i = 0; i < x.numLimbs(); ++i)
+            for (std::size_t c = 0; c < x.n(); ++c)
+                ASSERT_EQ(x.limb(i)[c], y.limb(i)[c])
+                    << "limb " << i << " coeff " << c;
+    };
+    auto together = net.run(engine, batch);
+    for (std::size_t s = 0; s < batch.size(); ++s) {
+        auto alone = net.run(engine, batch[s]);
+        const auto &a = alone.chunks()[0];
+        const auto &b = together[s].chunks()[0];
+        expectPolyEq(a.c0, b.c0);
+        expectPolyEq(a.c1, b.c1);
+    }
+}
+
+TEST(Sequential, ElementwiseStackHandlesMultiChunkTensors)
+{
+    ckks::CkksContext ctx(testParams(4));
+    Sequential net;
+    net.emplace<PolyActivation>(reluApprox(2));
+    std::size_t n = ctx.slots() + 4; // forces two chunks
+    TensorMeta in = freshMeta(ctx, {{n}});
+    in.chunkCount = 2;
+    auto out = net.compile(ctx, in);
+    EXPECT_EQ(out.chunkCount, 2u);
+
+    Rng rng(7);
+    auto sk = ctx.generateSecretKey(rng);
+    auto keys = ctx.generateKeys(sk, rng);
+    ckks::Encryptor enc(ctx, keys.pk);
+    ckks::Decryptor dec(ctx, sk);
+    nn::NnEngine engine(ctx, keys);
+
+    std::vector<double> x(n);
+    for (auto &v : x)
+        v = 2 * rng.uniformReal() - 1;
+    auto t = encryptTensor(ctx, enc, rng, x, {{n}},
+                           ctx.tower().numQ());
+    ASSERT_EQ(t.chunkCount(), 2u);
+    auto y = net.run(engine, t);
+    auto got = decryptTensor(ctx, dec, y);
+    auto want = net.runPlain(x);
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_NEAR(got[i], want[i], 1e-3) << "element " << i;
+}
+
+TEST(Sequential, RunRejectsMismatchedInputMeta)
+{
+    ckks::CkksContext ctx(testParams(4));
+    Sequential net;
+    net.emplace<Dense>(randomMatrix(4, 4, 0.2, 8));
+    net.compile(ctx, freshMeta(ctx, {{4}}));
+
+    Rng rng(9);
+    auto sk = ctx.generateSecretKey(rng);
+    auto keys = ctx.generateKeys(sk, rng, net.requiredRotations());
+    ckks::Encryptor enc(ctx, keys.pk);
+    nn::NnEngine engine(ctx, keys);
+
+    // Encrypted at a lower level than compiled: rejected up front.
+    auto t = encryptTensor(ctx, enc, rng, {1, 2, 3, 4}, {{4}},
+                           ctx.tower().numQ() - 1);
+    EXPECT_THROW(net.run(engine, t), std::invalid_argument);
+}
+
+} // namespace
+} // namespace tensorfhe::nn

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "perf/device_time.hh"
 #include "perf/paper_data.hh"
 
@@ -121,6 +123,53 @@ TEST(Cost, BsgsTransformBeatsNaiveDiagonalMethod)
                + opCost(OpKind::HAdd, p, 45));
     double bsgs = work(bsgsLinearTransformCost(p, 45, slots));
     EXPECT_LT(bsgs, naive);
+}
+
+TEST(Cost, MatvecBsgsMatchesFullyPopulatedTransform)
+{
+    auto p = paperParams(ntt::NttVariant::Tensor);
+    std::size_t slots = p.slots();
+    auto g = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(slots))));
+    std::size_t n2 = (slots + g - 1) / g;
+    // With every diagonal populated, the explicit-count matvec cost
+    // is exactly the fully-populated BSGS transform cost.
+    auto a = matvecBsgsCost(p, 45, slots, g - 1, n2 - 1);
+    auto b = bsgsLinearTransformCost(p, 45, slots);
+    EXPECT_DOUBLE_EQ(a.coreOps, b.coreOps);
+    EXPECT_DOUBLE_EQ(a.bytes, b.bytes);
+
+    // Fewer populated diagonals only reduce the cost.
+    auto sparse = matvecBsgsCost(p, 45, slots / 8, g - 1, n2 - 1);
+    EXPECT_LT(sparse.coreOps, a.coreOps);
+}
+
+TEST(Cost, RotateFoldCostTracksScheduleDecision)
+{
+    auto p = paperParams(ntt::NttVariant::Tensor);
+    auto work = [](const KernelCost &c) {
+        return c.coreOps + c.tcuMacs / 8.0 + c.bytes;
+    };
+    // The decision function must pick the cheaper schedule.
+    for (std::size_t m : {4u, 16u, 64u}) {
+        bool hoisted = hoistedFoldWins(p, 45, m);
+        double h = work(rotateFoldCost(p, 45, m, true));
+        double d = work(rotateFoldCost(p, 45, m, false));
+        EXPECT_EQ(hoisted, h < d) << "m = " << m;
+    }
+}
+
+TEST(Cost, PolyActivationScalesWithLadderSize)
+{
+    auto p = paperParams(ntt::NttVariant::Tensor);
+    auto deg3 = polyActivationCost(p, 45, 2, 2);  // sigmoid3 shape
+    auto deg7 = polyActivationCost(p, 45, 6, 7);
+    EXPECT_GT(deg7.coreOps, deg3.coreOps);
+    // Ladder products (HMULTs with keyswitch) dominate the term
+    // steering CMULTs.
+    auto powers_only = polyActivationCost(p, 45, 2, 0);
+    auto terms_only = polyActivationCost(p, 45, 0, 2);
+    EXPECT_GT(powers_only.coreOps, terms_only.coreOps);
 }
 
 TEST(DeviceTime, BatchingImprovesThroughput)

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Functional encrypted CNN tests: layer-by-layer agreement with the
+ * plaintext reference, argmax prediction agreement, and executed-op
+ * statistics against the layer plans' predictions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "workloads/cnn.hh"
+
+namespace tensorfhe::workloads
+{
+namespace
+{
+
+struct CnnFixture
+{
+    CnnFixture()
+        : ctx(EncryptedCnnClassifier::recommendedParams()), cnn(ctx),
+          rng(77), sk(ctx.generateSecretKey(rng)),
+          keys(ctx.generateKeys(sk, rng, cnn.requiredRotations())),
+          enc(ctx, keys.pk), dec(ctx, sk), engine(ctx, keys)
+    {}
+
+    std::vector<double>
+    randomImage(u64 seed)
+    {
+        Rng r(seed);
+        std::vector<double> img(cnn.config().inChannels
+                                * cnn.config().height
+                                * cnn.config().width);
+        for (auto &v : img)
+            v = r.uniformReal();
+        return img;
+    }
+
+    ckks::CkksContext ctx;
+    EncryptedCnnClassifier cnn;
+    Rng rng;
+    ckks::SecretKey sk;
+    ckks::KeyBundle keys;
+    ckks::Encryptor enc;
+    ckks::Decryptor dec;
+    nn::NnEngine engine;
+};
+
+CnnFixture &
+fx()
+{
+    static CnnFixture f;
+    return f;
+}
+
+TEST(EncryptedCnn, LayerByLayerMatchesPlainReference)
+{
+    auto &f = fx();
+    auto img = f.randomImage(101);
+    const auto &meta = f.cnn.inputMeta();
+    auto t = nn::encryptTensor(f.ctx, f.enc, f.rng, img, meta.shape,
+                               meta.levelCount);
+
+    nn::Cts cts = t.chunks();
+    std::vector<double> plain = img;
+    for (const auto &layer : f.cnn.net().layers()) {
+        cts = layer->apply(f.engine, cts);
+        plain = layer->applyPlain(plain);
+        const auto &m = layer->outputMeta();
+        // Level/scale invariants after each layer.
+        ASSERT_EQ(cts[0].levelCount(), m.levelCount) << layer->name();
+        ASSERT_NEAR(cts[0].scale, m.scale, 1e-6 * m.scale)
+            << layer->name();
+        // Values track the reference at Table V-style scales.
+        nn::CipherTensor stage(m.shape, m.layout, cts);
+        auto got = nn::decryptTensor(f.ctx, f.dec, stage);
+        ASSERT_EQ(got.size(), plain.size()) << layer->name();
+        for (std::size_t i = 0; i < plain.size(); ++i)
+            ASSERT_NEAR(got[i], plain[i], 1e-2)
+                << layer->name() << " element " << i;
+    }
+}
+
+TEST(EncryptedCnn, ArgmaxAgreesWithPlainOnABatch)
+{
+    auto &f = fx();
+    std::vector<std::vector<double>> images;
+    for (u64 s = 0; s < 4; ++s)
+        images.push_back(f.randomImage(200 + s));
+
+    auto preds =
+        f.cnn.classifyEncrypted(f.engine, f.enc, f.dec, f.rng, images);
+    ASSERT_EQ(preds.size(), images.size());
+    for (std::size_t i = 0; i < images.size(); ++i) {
+        auto plain = f.cnn.classifyPlain(images[i]);
+        EXPECT_EQ(preds[i].argmax, plain.argmax) << "image " << i;
+        for (std::size_t j = 0; j < plain.logits.size(); ++j)
+            EXPECT_NEAR(preds[i].logits[j], plain.logits[j], 1e-2);
+    }
+}
+
+TEST(EncryptedCnn, ExecutedOpsMatchLayerPlans)
+{
+    auto &f = fx();
+    std::vector<std::vector<double>> images = {f.randomImage(301),
+                                               f.randomImage(302)};
+    EvalOpStats::instance().reset();
+    f.cnn.classifyEncrypted(f.engine, f.enc, f.dec, f.rng, images);
+    auto got = EvalOpStats::instance().snapshot();
+    auto want = static_cast<double>(images.size())
+        * f.cnn.modeledOps();
+    for (std::size_t k = 0; k < kNumEvalOpKinds; ++k) {
+        auto kind = static_cast<EvalOpKind>(k);
+        EXPECT_EQ(got.get(kind), want.get(kind))
+            << evalOpKindName(kind);
+    }
+}
+
+TEST(EncryptedCnn, ModeledCountsConvertToModelVocabulary)
+{
+    auto &f = fx();
+    auto counts = f.cnn.modeledCounts();
+    auto ops = f.cnn.modeledOps();
+    EXPECT_EQ(counts.hrotate, ops.hrotate);
+    EXPECT_EQ(counts.cmult, ops.cmult);
+    EXPECT_EQ(counts.conjugate, 0.0);
+}
+
+} // namespace
+} // namespace tensorfhe::workloads
