@@ -11,12 +11,14 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "batch/executor.hh"
 #include "bench_util.hh"
 #include "ckks/crypto.hh"
+#include "common/stats.hh"
 #include "common/thread_pool.hh"
 #include "perf/device_time.hh"
 
@@ -64,8 +66,13 @@ main(int argc, char **argv)
 
     unsigned hw = std::thread::hardware_concurrency();
     long threads = hw > 0 ? long(hw) : 1;
-    if (argc > 1)
-        threads = std::atol(argv[1]);
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--json" && i + 1 < argc)
+            json_path = argv[++i];
+        else
+            threads = std::atol(argv[i]);
+    }
     if (threads < 1)
         threads = 1;
     // lanes = workers + caller, so [threads] lanes = threads-1 workers
@@ -125,6 +132,34 @@ main(int argc, char **argv)
                     bench::fmtSeconds(s_hmult).c_str(),
                     bench::fmtSeconds(p_hmult).c_str(),
                     s_hmult / p_hmult);
+        if (!json_path.empty()) {
+            // One executed-op-count + timing object per batch size.
+            EvalOpStats::instance().reset();
+            auto r = evalb.multiply(cts, cts);
+            auto snap = EvalOpStats::instance().snapshot();
+            bench::JsonWriter json("fig14_batch_size");
+            json.add("batch", static_cast<double>(b))
+                .add("threads", static_cast<double>(threads))
+                .add("hadd_serial_s", s_add)
+                .add("hadd_parallel_s", p_add)
+                .add("cmult_serial_s", s_cmult)
+                .add("cmult_parallel_s", p_cmult)
+                .add("hmult_serial_s", s_hmult)
+                .add("hmult_parallel_s", p_hmult)
+                .add("hmult_speedup", s_hmult / p_hmult)
+                .add("hmult_ops", snap.hmult)
+                .add("ks_hoist_ops", snap.ksHoist)
+                .add("ks_tail_ops", snap.ksTail)
+                .add("mod_ups",
+                     static_cast<double>(
+                         EvalOpStats::instance().modUps()))
+                .add("mod_downs",
+                     static_cast<double>(
+                         EvalOpStats::instance().modDowns()));
+            if (!json.appendTo(json_path))
+                std::fprintf(stderr, "cannot write %s\n",
+                             json_path.c_str());
+        }
     }
     std::printf("\npaper: larger batches amortize twiddle reuse and "
                 "launches until VRAM binds;\n"

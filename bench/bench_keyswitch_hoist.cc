@@ -6,18 +6,24 @@
  * step) and the BSGS boot::LinearTransformPlan, reporting the
  * NTT / ModUp(Conv) kernel work per rotation alongside wall clock.
  *
- * Usage: bench_keyswitch_hoist [reps]
+ * Usage: bench_keyswitch_hoist [reps] [--json PATH]
  *   reps = measurement repetitions (default 3; CI smoke runs 1).
+ *   --json PATH appends one machine-readable result object (op
+ *   counts + timings + conversion accounting) to PATH — the CI
+ *   Release job collects BENCH_PR4.json this way.
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench_util.hh"
 #include "boot/linear.hh"
 #include "ckks/crypto.hh"
 #include "common/stats.hh"
+#include "gpu/pipeline.hh"
 
 namespace
 {
@@ -65,7 +71,14 @@ printRow(const char *label, double seconds, std::size_t rotations,
 int
 main(int argc, char **argv)
 {
-    int reps = argc > 1 ? std::atoi(argv[1]) : 3;
+    int reps = 3;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            json_path = argv[++i];
+        else
+            reps = std::atoi(argv[i]);
+    }
     if (reps < 1)
         reps = 1;
 
@@ -213,5 +226,82 @@ main(int argc, char **argv)
                 "BSGS plan, warm cache", fmtSeconds(plan_warm).c_str());
     std::printf("  speedup: %.1fx cold, %.1fx warm\n",
                 naive_lt / plan_cold, naive_lt / plan_warm);
+
+    // Double-hoisting accounting: the deferred-ModDown schedule pays
+    // ONE c1-only ModDown per giant step + a single final pair, where
+    // the single-hoisted schedule paid two per keyswitch.
+    bench::section("double-hoisted BSGS conversion accounting");
+    auto &ops = EvalOpStats::instance();
+    ops.reset();
+    (void)plan.apply(eval, ct3);
+    auto snap = ops.snapshot();
+    double baby = static_cast<double>(plan.babyStepCount());
+    double giant = static_cast<double>(plan.giantStepCount());
+    double classic_moddowns = 2 * (baby + giant);
+    std::printf("  baby %zu + giant %zu steps over %zu diagonals "
+                "(stride g=%zu)\n",
+                plan.babyStepCount(), plan.giantStepCount(),
+                plan.diagonalCount(), plan.giantStride());
+    std::printf("  KS heads (ModUp hoists): %.0f   KS tails: %.0f\n",
+                snap.ksHoist, snap.ksTail);
+    std::printf("  ModUp digit conversions: %llu\n",
+                static_cast<unsigned long long>(ops.modUps()));
+    std::printf("  ModDown conversions: %llu  (single-hoisted "
+                "schedule: %.0f — %.1fx fewer)\n",
+                static_cast<unsigned long long>(ops.modDowns()),
+                classic_moddowns,
+                classic_moddowns
+                    / static_cast<double>(ops.modDowns()));
+    u64 mod_downs = ops.modDowns();
+    u64 mod_ups = ops.modUps();
+
+    // Kernel-queue replay: record one warm apply's dispatch schedule
+    // and run it through the SM pipeline model.
+    stats.reset();
+    stats.startQueue();
+    (void)plan.apply(eval, ct3);
+    auto queue = stats.stopQueue();
+    auto breakdowns = gpu::simulateKernelQueue(queue, params.n);
+    auto total = gpu::sumBreakdowns(breakdowns);
+    std::printf("  kernel queue: %zu launches, simulated stall "
+                "fraction %.1f%%\n",
+                queue.size(), 100.0 * total.totalStallFraction());
+
+    if (!json_path.empty()) {
+        bench::JsonWriter json("keyswitch_hoist");
+        json.add("reps", static_cast<double>(reps))
+            .add("rotations", static_cast<double>(steps.size()))
+            .add("naive_s_per_rot", naive_t / double(steps.size()))
+            .add("hoisted_s_per_rot", hoisted_t / double(steps.size()))
+            .add("naive_ntt_elements",
+                 static_cast<double>(naive_snap.nttElements))
+            .add("hoisted_ntt_elements",
+                 static_cast<double>(hoisted_snap.nttElements))
+            .add("bit_identical", identical ? 1.0 : 0.0)
+            .add("bsgs_naive_s", naive_lt)
+            .add("bsgs_cold_s", plan_cold)
+            .add("bsgs_warm_s", plan_warm)
+            .add("bsgs_diagonals",
+                 static_cast<double>(plan.diagonalCount()))
+            .add("bsgs_baby_steps", baby)
+            .add("bsgs_giant_steps", giant)
+            .add("bsgs_giant_stride",
+                 static_cast<double>(plan.giantStride()))
+            .add("ks_hoist_ops", snap.ksHoist)
+            .add("ks_tail_ops", snap.ksTail)
+            .add("mod_up_conversions", static_cast<double>(mod_ups))
+            .add("mod_down_conversions",
+                 static_cast<double>(mod_downs))
+            .add("single_hoisted_mod_downs", classic_moddowns)
+            .add("kernel_queue_launches",
+                 static_cast<double>(queue.size()))
+            .add("sim_stall_fraction", total.totalStallFraction());
+        if (!json.appendTo(json_path)) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         json_path.c_str());
+            return 1;
+        }
+        std::printf("  wrote %s\n", json_path.c_str());
+    }
     return identical ? 0 : 1;
 }

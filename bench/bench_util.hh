@@ -13,10 +13,59 @@
 #include <chrono>
 #include <cstdio>
 #include <functional>
+#include <sstream>
 #include <string>
 
 namespace tensorfhe::bench
 {
+
+/**
+ * Minimal JSON object builder for the machine-readable bench dumps
+ * (BENCH_PR4.json): each bench appends one `{"k": v, ...}` object
+ * per line (JSON Lines), so several benches can share one file and
+ * CI can grep/parse it without a JSON library.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::string bench_name)
+    {
+        // Full double precision: op counts are exact integers that
+        // must survive the round-trip (344064 != 3.44064e+05 at the
+        // default 6 significant digits).
+        out_.precision(17);
+        out_ << "{\"bench\": \"" << bench_name << '"';
+    }
+
+    JsonWriter &
+    add(const std::string &key, double value)
+    {
+        out_ << ", \"" << key << "\": " << value;
+        return *this;
+    }
+
+    JsonWriter &
+    add(const std::string &key, const std::string &value)
+    {
+        out_ << ", \"" << key << "\": \"" << value << '"';
+        return *this;
+    }
+
+    /** Append the object as one line of `path` (creates the file). */
+    bool
+    appendTo(const std::string &path)
+    {
+        std::FILE *f = std::fopen(path.c_str(), "a");
+        if (!f)
+            return false;
+        std::fprintf(f, "%s}\n", out_.str().c_str());
+        std::fclose(f);
+        return true;
+    }
+
+  private:
+    std::ostringstream out_;
+};
 
 /** Seconds of wall clock consumed by fn(). */
 inline double

@@ -1,11 +1,8 @@
 #include "batch/executor.hh"
 
-#include <algorithm>
 #include <cmath>
-#include <iterator>
 
 #include "common/logging.hh"
-#include "common/stats.hh"
 #include "common/thread_pool.hh"
 
 namespace tensorfhe::batch
@@ -14,86 +11,63 @@ namespace tensorfhe::batch
 BatchedEvaluator::BatchedEvaluator(const ckks::CkksContext &ctx,
                                    const ckks::KeyBundle &keys,
                                    ThreadPool *pool)
-    : ctx_(ctx), keys_(keys), eval_(ctx, keys),
-      pool_(pool ? pool : &ThreadPool::global())
+    : ctx_(ctx), keys_(keys),
+      disp_(std::make_shared<exec::Dispatcher>(ctx, keys, pool)),
+      eval_(ctx, keys, disp_)
 {}
 
-namespace
+std::size_t
+BatchedEvaluator::requireUniformLevel(const Cts &a,
+                                      std::size_t min_level) const
 {
-
-/** Pointers to both components of every ciphertext in the batch. */
-std::vector<rns::RnsPolynomial *>
-componentPtrs(BatchedEvaluator::Cts &cts)
-{
-    std::vector<rns::RnsPolynomial *> ps;
-    ps.reserve(2 * cts.size());
-    for (auto &ct : cts) {
-        ps.push_back(&ct.c0);
-        ps.push_back(&ct.c1);
-    }
-    return ps;
+    std::size_t limbs = a[0].levelCount();
+    for (const auto &ct : a)
+        requireArg(ct.levelCount() == limbs,
+                   "batched ops require a uniform level");
+    requireArg(limbs >= min_level,
+               min_level >= 2 ? "cannot rescale at level 0"
+                              : "batched op needs at least one limb");
+    return limbs;
 }
 
-/**
- * Shared body of batched HADD/HSUB: validate, then apply op(mod, x, y)
- * to both components across the flattened (slot x tower) space.
- */
-template <typename OpFn>
-BatchedEvaluator::Cts
-elementwisePair(const BatchedEvaluator::Cts &a,
-                const BatchedEvaluator::Cts &b, KernelKind kind,
-                ThreadPool &pool, OpFn &&op)
+void
+BatchedEvaluator::requireCompatiblePair(const Cts &a, const Cts &b) const
 {
     requireArg(a.size() == b.size(), "batch size mismatch");
     if (a.empty())
-        return {};
-    BatchedEvaluator::Cts out = a;
-    std::size_t limbs = a[0].levelCount();
+        return;
+    std::size_t limbs = requireUniformLevel(a);
     for (std::size_t s = 0; s < a.size(); ++s) {
-        requireArg(a[s].levelCount() == limbs
-                       && b[s].levelCount() == limbs,
+        requireArg(b[s].levelCount() == limbs,
                    "batched ops require a uniform level");
         requireArg(std::abs(a[s].scale - b[s].scale)
                        <= 1e-6 * std::max(a[s].scale, b[s].scale),
                    "ciphertext scales differ");
     }
-    std::size_t n = a[0].c0.n();
-    ScopedKernelTimer timer(kind, 2 * a.size() * limbs * n);
-    pool.parallelFor2D(a.size(), limbs,
-                       [&](std::size_t s, std::size_t i) {
-        const Modulus &mod = out[s].c0.limbModulus(i);
-        u64 *p0 = out[s].c0.limb(i);
-        u64 *p1 = out[s].c1.limb(i);
-        const u64 *q0 = b[s].c0.limb(i);
-        const u64 *q1 = b[s].c1.limb(i);
-        for (std::size_t c = 0; c < n; ++c) {
-            p0[c] = op(mod, p0[c], q0[c]);
-            p1[c] = op(mod, p1[c], q1[c]);
-        }
-    });
-    return out;
 }
-
-} // namespace
 
 BatchedEvaluator::Cts
 BatchedEvaluator::add(const Cts &a, const Cts &b) const
 {
-    EvalOpStats::instance().record(EvalOpKind::HAdd, a.size());
-    return elementwisePair(a, b, KernelKind::EleAdd, *pool_,
-                           [](const Modulus &m, u64 x, u64 y) {
-                               return m.add(x, y);
-                           });
+    Cts out = a;
+    addInPlace(out, b);
+    return out;
+}
+
+void
+BatchedEvaluator::addInPlace(Cts &a, const Cts &b) const
+{
+    requireCompatiblePair(a, b);
+    disp_->addInPlace(a.data(), b.data(), a.size());
 }
 
 BatchedEvaluator::Cts
 BatchedEvaluator::sub(const Cts &a, const Cts &b) const
 {
-    EvalOpStats::instance().record(EvalOpKind::HAdd, a.size());
-    return elementwisePair(a, b, KernelKind::EleSub, *pool_,
-                           [](const Modulus &m, u64 x, u64 y) {
-                               return m.sub(x, y);
-                           });
+    requireCompatiblePair(a, b);
+    Cts out = a;
+    disp_->subInPlace(out.data(), b.data(), out.size());
+    return out;
 }
 
 BatchedEvaluator::Cts
@@ -102,29 +76,27 @@ BatchedEvaluator::multiplyPlain(const Cts &a,
 {
     if (a.empty())
         return {};
-    EvalOpStats::instance().record(EvalOpKind::CMult, a.size());
+    std::size_t limbs = requireUniformLevel(a);
+    requireArg(p.levelCount() == limbs, "plaintext level mismatch");
     Cts out = a;
-    std::size_t limbs = a[0].levelCount();
+    disp_->multiplyPlainInPlace(out.data(), p, out.size());
+    return out;
+}
+
+BatchedEvaluator::Cts
+BatchedEvaluator::addPlain(const Cts &a, const ckks::Plaintext &p) const
+{
+    if (a.empty())
+        return {};
+    std::size_t limbs = requireUniformLevel(a);
     for (const auto &ct : a)
         requireArg(ct.levelCount() == p.levelCount()
-                       && ct.levelCount() == limbs,
-                   "plaintext level mismatch");
-    std::size_t n = ctx_.n();
-    ScopedKernelTimer timer(KernelKind::HadaMult,
-                            2 * a.size() * limbs * n);
-    pool_->parallelFor2D(a.size(), limbs,
-                         [&](std::size_t s, std::size_t i) {
-        const Modulus &mod = out[s].c0.limbModulus(i);
-        u64 *p0 = out[s].c0.limb(i);
-        u64 *p1 = out[s].c1.limb(i);
-        const u64 *pp = p.poly.limb(i);
-        for (std::size_t c = 0; c < n; ++c) {
-            p0[c] = mod.mul(p0[c], pp[c]);
-            p1[c] = mod.mul(p1[c], pp[c]);
-        }
-    });
-    for (std::size_t s = 0; s < a.size(); ++s)
-        out[s].scale = a[s].scale * p.scale;
+                       && ct.levelCount() == limbs
+                       && std::abs(ct.scale - p.scale)
+                           <= 1e-6 * ct.scale,
+                   "plaintext incompatible with ciphertext");
+    Cts out = a;
+    disp_->addPlainInPlace(out.data(), p, out.size());
     return out;
 }
 
@@ -133,188 +105,18 @@ BatchedEvaluator::rescale(const Cts &a) const
 {
     if (a.empty())
         return {};
-    EvalOpStats::instance().record(EvalOpKind::Rescale, a.size());
-    std::size_t limbs = a[0].levelCount();
-    for (const auto &ct : a)
-        requireArg(ct.levelCount() == limbs && limbs >= 2,
-                   "cannot rescale at level 0");
-    u64 q_last = ctx_.tower().prime(limbs - 1);
-    auto v = ctx_.nttVariant();
-
     Cts out = a;
-    auto comps = componentPtrs(out);
-    rns::toCoeffBatch(comps, v, pool_);
-
-    std::vector<const rns::RnsPolynomial *> inputs(comps.size());
-    for (std::size_t i = 0; i < comps.size(); ++i)
-        inputs[i] = comps[i];
-    auto dropped = rns::rescaleByLastLimbBatch(inputs, pool_);
-    for (std::size_t s = 0; s < out.size(); ++s) {
-        out[s].c0 = std::move(dropped[2 * s]);
-        out[s].c1 = std::move(dropped[2 * s + 1]);
-    }
-    comps = componentPtrs(out);
-    rns::toEvalBatch(comps, v, pool_);
-    for (std::size_t s = 0; s < out.size(); ++s)
-        out[s].scale = a[s].scale / static_cast<double>(q_last);
+    rescaleInPlace(out);
     return out;
 }
 
-BatchedEvaluator::HoistedDigitsBatch
-BatchedEvaluator::hoistBatch(std::vector<rns::RnsPolynomial> ds) const
+void
+BatchedEvaluator::rescaleInPlace(Cts &a) const
 {
-    const auto &tower = ctx_.tower();
-    auto v = ctx_.nttVariant();
-    std::size_t batch = ds.size();
-    std::size_t n = ctx_.n();
-    std::size_t level_count = ds[0].numLimbs();
-    EvalOpStats::instance().record(EvalOpKind::KsHoist, batch);
-
-    // Dcomp: all (slot x tower) INTTs of the batch in one dispatch.
-    std::vector<rns::RnsPolynomial *> d_ptrs(batch);
-    for (std::size_t s = 0; s < batch; ++s)
-        d_ptrs[s] = &ds[s];
-    rns::toCoeffBatch(d_ptrs, v, pool_);
-
-    std::vector<std::vector<rns::RnsPolynomial>> digits(batch);
-    pool_->parallelFor(0, batch, [&](std::size_t s) {
-        digits[s] = rns::decomposeDigits(ds[s], ctx_.params().alpha());
-    });
-    std::size_t num_digits = digits[0].size();
-
-    HoistedDigitsBatch h;
-    h.levelCount = level_count;
-    h.digits.resize(num_digits);
-    for (std::size_t j = 0; j < num_digits; ++j) {
-        // Per-digit constants are slot-independent: Dcomp scalars
-        // (with their Shoup precomputations) and the ModUp plan's
-        // Conv factors, computed once per batch.
-        std::size_t dl = digits[0][j].numLimbs();
-        std::vector<u64> scalars(dl), scalars_shoup(dl);
-        for (std::size_t i = 0; i < dl; ++i) {
-            std::size_t limb = digits[0][j].limbIndex(i);
-            scalars[i] = ctx_.dcompScalar(j, limb);
-            scalars_shoup[i] = shoupPrecompute(
-                scalars[i], tower.modulus(limb).value());
-        }
-        pool_->parallelFor2D(batch, dl,
-                             [&](std::size_t s, std::size_t i) {
-            const Modulus &mod = digits[s][j].limbModulus(i);
-            u64 *p = digits[s][j].limb(i);
-            for (std::size_t c = 0; c < n; ++c)
-                p[c] = mulModShoup(p[c], scalars[i], scalars_shoup[i],
-                                   mod.value());
-        });
-
-        // ModUp to the union basis (the context's memoized plan, so
-        // the Conv factors are shared across calls as well as across
-        // the batch), then one batched NTT dispatch over every
-        // (slot, tower).
-        std::vector<const rns::RnsPolynomial *> digit_ptrs(batch);
-        for (std::size_t s = 0; s < batch; ++s)
-            digit_ptrs[s] = &digits[s][j];
-        auto ups =
-            ctx_.modUpPlan(j, level_count).applyBatch(digit_ptrs, pool_);
-        std::vector<rns::RnsPolynomial *> up_ptrs(batch);
-        for (std::size_t s = 0; s < batch; ++s)
-            up_ptrs[s] = &ups[s];
-        rns::toEvalBatch(up_ptrs, v, pool_);
-        h.digits[j] = std::move(ups);
-    }
-    return h;
-}
-
-std::pair<std::vector<rns::RnsPolynomial>,
-          std::vector<rns::RnsPolynomial>>
-BatchedEvaluator::keySwitchTailBatch(const HoistedDigitsBatch &h,
-                                     const ckks::SwitchKey &key,
-                                     const rns::ModDownPlan *down) const
-{
-    const auto &tower = ctx_.tower();
-    auto v = ctx_.nttVariant();
-    std::size_t num_digits = h.digits.size();
-    std::size_t batch = h.digits[0].size();
-    std::size_t n = ctx_.n();
-    auto union_limbs = ctx_.unionLimbs(h.levelCount);
-    std::size_t ul = union_limbs.size();
-    requireArg(num_digits <= key.digits(),
-               "switch key has too few digits");
-    EvalOpStats::instance().record(EvalOpKind::KsTail, batch);
-
-    // The key digits restricted to the union basis: memoized in the
-    // context, shared across the batch and across calls.
-    auto rk = ctx_.restrictedKey(key, h.levelCount);
-
-    std::vector<rns::RnsPolynomial> acc0, acc1;
-    acc0.reserve(batch);
-    acc1.reserve(batch);
-    for (std::size_t s = 0; s < batch; ++s) {
-        acc0.emplace_back(tower, union_limbs, rns::Domain::Eval);
-        acc1.emplace_back(tower, union_limbs, rns::Domain::Eval);
-    }
-
-    for (std::size_t j = 0; j < num_digits; ++j) {
-        const rns::RnsPolynomial &keyb = rk->b[j];
-        const rns::RnsPolynomial &keya = rk->a[j];
-
-        // Inner product accumulate, flattened (slot x union-tower).
-        ScopedKernelTimer timer(KernelKind::HadaMult,
-                                2 * batch * ul * n);
-        pool_->parallelFor2D(batch, ul,
-                             [&](std::size_t s, std::size_t i) {
-            const rns::RnsPolynomial &up = h.digits[j][s];
-            const Modulus &mod = up.limbModulus(i);
-            const u64 *pu = up.limb(i);
-            const u64 *pb = keyb.limb(i);
-            const u64 *pa = keya.limb(i);
-            u64 *p0 = acc0[s].limb(i);
-            u64 *p1 = acc1[s].limb(i);
-            for (std::size_t c = 0; c < n; ++c) {
-                p0[c] = mod.add(p0[c], mod.mul(pu[c], pb[c]));
-                p1[c] = mod.add(p1[c], mod.mul(pu[c], pa[c]));
-            }
-        });
-    }
-
-    // ModDown by P: both accumulators of every slot share one batched
-    // dispatch (identical limb sets), then back to Eval domain.
-    std::vector<rns::RnsPolynomial *> acc_ptrs;
-    acc_ptrs.reserve(2 * batch);
-    for (auto &p : acc0)
-        acc_ptrs.push_back(&p);
-    for (auto &p : acc1)
-        acc_ptrs.push_back(&p);
-    rns::toCoeffBatch(acc_ptrs, v, pool_);
-
-    std::vector<const rns::RnsPolynomial *> acc_in(acc_ptrs.size());
-    for (std::size_t i = 0; i < acc_ptrs.size(); ++i)
-        acc_in[i] = acc_ptrs[i];
-    const rns::ModDownPlan &plan =
-        down ? *down : ctx_.modDownPlan(h.levelCount);
-    auto downs = plan.applyBatch(acc_in, pool_);
-
-    std::vector<rns::RnsPolynomial> ks0(
-        std::make_move_iterator(downs.begin()),
-        std::make_move_iterator(downs.begin() + batch));
-    std::vector<rns::RnsPolynomial> ks1(
-        std::make_move_iterator(downs.begin() + batch),
-        std::make_move_iterator(downs.end()));
-    std::vector<rns::RnsPolynomial *> ks_ptrs;
-    ks_ptrs.reserve(2 * batch);
-    for (auto &p : ks0)
-        ks_ptrs.push_back(&p);
-    for (auto &p : ks1)
-        ks_ptrs.push_back(&p);
-    rns::toEvalBatch(ks_ptrs, v, pool_);
-    return {std::move(ks0), std::move(ks1)};
-}
-
-std::pair<std::vector<rns::RnsPolynomial>,
-          std::vector<rns::RnsPolynomial>>
-BatchedEvaluator::keySwitchBatch(std::vector<rns::RnsPolynomial> ds,
-                                 const ckks::SwitchKey &key) const
-{
-    return keySwitchTailBatch(hoistBatch(std::move(ds)), key);
+    if (a.empty())
+        return;
+    requireUniformLevel(a, 2);
+    disp_->rescaleInPlace(a.data(), a.size());
 }
 
 BatchedEvaluator::Cts
@@ -323,77 +125,13 @@ BatchedEvaluator::multiply(const Cts &a, const Cts &b) const
     requireArg(a.size() == b.size(), "batch size mismatch");
     if (a.empty())
         return {};
-    std::size_t batch = a.size();
-    EvalOpStats::instance().record(EvalOpKind::HMult, batch);
-    std::size_t limbs = a[0].levelCount();
-    for (std::size_t s = 0; s < batch; ++s) {
-        requireArg(a[s].levelCount() == limbs
-                       && b[s].levelCount() == limbs,
+    std::size_t limbs = requireUniformLevel(a);
+    for (std::size_t s = 0; s < a.size(); ++s)
+        requireArg(b[s].levelCount() == limbs,
                    "batched ops require a uniform level");
-        requireArg(limbs >= 2, "no level budget left for multiplication");
-    }
-    std::size_t n = ctx_.n();
-
-    // d0 = a0*b0, d1 = a0*b1 + a1*b0, d2 = a1*b1 (paper Alg. 2),
-    // flattened over (slot x tower). Fresh zero polynomials of the
-    // right shape — every coefficient is overwritten below, so
-    // copying the inputs would be wasted traffic.
-    const auto &limb_idx = a[0].c0.limbIndices();
-    std::vector<rns::RnsPolynomial> d0s, d1s, d2s;
-    d0s.reserve(batch);
-    d1s.reserve(batch);
-    d2s.reserve(batch);
-    for (std::size_t s = 0; s < batch; ++s) {
-        d0s.emplace_back(ctx_.tower(), limb_idx, rns::Domain::Eval);
-        d1s.emplace_back(ctx_.tower(), limb_idx, rns::Domain::Eval);
-        d2s.emplace_back(ctx_.tower(), limb_idx, rns::Domain::Eval);
-    }
-    {
-        ScopedKernelTimer timer(KernelKind::HadaMult,
-                                4 * batch * limbs * n);
-        pool_->parallelFor2D(batch, limbs,
-                             [&](std::size_t s, std::size_t i) {
-            const Modulus &mod = d0s[s].limbModulus(i);
-            u64 *p0 = d0s[s].limb(i);
-            u64 *p1 = d1s[s].limb(i);
-            u64 *p2 = d2s[s].limb(i);
-            const u64 *a0 = a[s].c0.limb(i);
-            const u64 *a1 = a[s].c1.limb(i);
-            const u64 *b0 = b[s].c0.limb(i);
-            const u64 *b1 = b[s].c1.limb(i);
-            for (std::size_t c = 0; c < n; ++c) {
-                p0[c] = mod.mul(a0[c], b0[c]);
-                p1[c] = mod.add(mod.mul(a0[c], b1[c]),
-                                mod.mul(a1[c], b0[c]));
-                p2[c] = mod.mul(a1[c], b1[c]);
-            }
-        });
-    }
-
-    auto [ks0, ks1] = keySwitchBatch(std::move(d2s), keys_.relin);
-
-    Cts out(batch);
-    {
-        ScopedKernelTimer timer(KernelKind::EleAdd,
-                                2 * batch * limbs * n);
-        pool_->parallelFor2D(batch, limbs,
-                             [&](std::size_t s, std::size_t i) {
-            const Modulus &mod = d0s[s].limbModulus(i);
-            u64 *p0 = d0s[s].limb(i);
-            u64 *p1 = d1s[s].limb(i);
-            const u64 *k0 = ks0[s].limb(i);
-            const u64 *k1 = ks1[s].limb(i);
-            for (std::size_t c = 0; c < n; ++c) {
-                p0[c] = mod.add(p0[c], k0[c]);
-                p1[c] = mod.add(p1[c], k1[c]);
-            }
-        });
-    }
-    for (std::size_t s = 0; s < batch; ++s) {
-        out[s].c0 = std::move(d0s[s]);
-        out[s].c1 = std::move(d1s[s]);
-        out[s].scale = a[s].scale * b[s].scale;
-    }
+    requireArg(limbs >= 2, "no level budget left for multiplication");
+    Cts out = a;
+    disp_->multiplyInPlace(out.data(), b.data(), out.size());
     return out;
 }
 
@@ -402,33 +140,6 @@ BatchedEvaluator::rotate(const Cts &a, s64 step) const
 {
     auto out = rotateManyBatch(a, {step});
     return std::move(out[0]);
-}
-
-BatchedEvaluator::Cts
-BatchedEvaluator::addPlain(const Cts &a, const ckks::Plaintext &p) const
-{
-    if (a.empty())
-        return {};
-    EvalOpStats::instance().record(EvalOpKind::HAdd, a.size());
-    Cts out = a;
-    std::size_t limbs = a[0].levelCount();
-    for (const auto &ct : a)
-        requireArg(ct.levelCount() == p.levelCount()
-                       && ct.levelCount() == limbs
-                       && std::abs(ct.scale - p.scale)
-                           <= 1e-6 * ct.scale,
-                   "plaintext incompatible with ciphertext");
-    std::size_t n = ctx_.n();
-    ScopedKernelTimer timer(KernelKind::EleAdd, a.size() * limbs * n);
-    pool_->parallelFor2D(a.size(), limbs,
-                         [&](std::size_t s, std::size_t i) {
-        const Modulus &mod = out[s].c0.limbModulus(i);
-        u64 *p0 = out[s].c0.limb(i);
-        const u64 *pp = p.poly.limb(i);
-        for (std::size_t c = 0; c < n; ++c)
-            p0[c] = mod.add(p0[c], pp[c]);
-    });
-    return out;
 }
 
 BatchedEvaluator::Cts
@@ -474,103 +185,10 @@ std::vector<BatchedEvaluator::Cts>
 BatchedEvaluator::rotateManyBatch(const Cts &a,
                                   const std::vector<s64> &steps) const
 {
-    std::vector<Cts> out(steps.size());
     if (a.empty())
-        return out;
-    std::size_t slots = ctx_.slots();
-    std::size_t batch = a.size();
-    std::size_t limbs = a[0].levelCount();
-    for (const auto &ct : a)
-        requireArg(ct.levelCount() == limbs,
-                   "batched ops require a uniform level");
-
-    std::vector<s64> norms(steps.size());
-    bool any_nonzero = false;
-    for (std::size_t i = 0; i < steps.size(); ++i) {
-        norms[i] = ((steps[i] % s64(slots)) + s64(slots)) % s64(slots);
-        if (norms[i] == 0)
-            continue;
-        requireArg(keys_.rot.count(norms[i]) != 0,
-                   "no rotation key for step ", norms[i]);
-        any_nonzero = true;
-    }
-    if (!any_nonzero) {
-        for (auto &cts : out)
-            cts = a;
-        return out;
-    }
-
-    // Hoist every slot's c1 once; the head and the tail's ModDown
-    // plan are shared by all steps.
-    std::vector<rns::RnsPolynomial> c1s;
-    c1s.reserve(batch);
-    for (const auto &ct : a)
-        c1s.push_back(ct.c1);
-    auto h = hoistBatch(std::move(c1s));
-    std::size_t num_digits = h.digits.size();
-    const rns::ModDownPlan &down = ctx_.modDownPlan(h.levelCount);
-
-    // Flattened (digit x slot) pointer table for the per-step
-    // FrobeniusMap (all hoisted digits share the union-basis shape).
-    std::vector<const rns::RnsPolynomial *> digit_ptrs;
-    digit_ptrs.reserve(num_digits * batch);
-    for (std::size_t j = 0; j < num_digits; ++j)
-        for (std::size_t s = 0; s < batch; ++s)
-            digit_ptrs.push_back(&h.digits[j][s]);
-    std::vector<const rns::RnsPolynomial *> c0_ptrs;
-    c0_ptrs.reserve(batch);
-    for (const auto &ct : a)
-        c0_ptrs.push_back(&ct.c0);
-
-    std::size_t n = ctx_.n();
-    for (std::size_t r = 0; r < steps.size(); ++r) {
-        if (norms[r] == 0) {
-            out[r] = a;
-            continue;
-        }
-        EvalOpStats::instance().record(EvalOpKind::HRotate, batch);
-        u64 galois = ctx_.galoisForRotation(norms[r]);
-
-        // One shared permutation over every (digit, slot) and over
-        // the c0 components.
-        auto rot_flat =
-            rns::applyAutomorphismBatch(digit_ptrs, galois, pool_);
-        HoistedDigitsBatch hr;
-        hr.levelCount = h.levelCount;
-        hr.digits.resize(num_digits);
-        for (std::size_t j = 0; j < num_digits; ++j) {
-            hr.digits[j].assign(
-                std::make_move_iterator(rot_flat.begin()
-                                        + static_cast<std::ptrdiff_t>(
-                                            j * batch)),
-                std::make_move_iterator(rot_flat.begin()
-                                        + static_cast<std::ptrdiff_t>(
-                                            (j + 1) * batch)));
-        }
-        auto [ks0, ks1] =
-            keySwitchTailBatch(hr, keys_.rot.at(norms[r]), &down);
-        auto c0r = rns::applyAutomorphismBatch(c0_ptrs, galois, pool_);
-
-        {
-            ScopedKernelTimer timer(KernelKind::EleAdd,
-                                    batch * limbs * n);
-            pool_->parallelFor2D(batch, limbs,
-                                 [&](std::size_t s, std::size_t i) {
-                const Modulus &mod = ks0[s].limbModulus(i);
-                u64 *p0 = ks0[s].limb(i);
-                const u64 *c0 = c0r[s].limb(i);
-                for (std::size_t c = 0; c < n; ++c)
-                    p0[c] = mod.add(p0[c], c0[c]);
-            });
-        }
-        out[r].resize(batch);
-        for (std::size_t s = 0; s < batch; ++s) {
-            out[r][s].c0 = std::move(ks0[s]);
-            out[r][s].c1 = std::move(ks1[s]);
-            out[r][s].scale = a[s].scale;
-        }
-    }
-    return out;
+        return std::vector<Cts>(steps.size());
+    requireUniformLevel(a);
+    return disp_->rotateMany(a.data(), a.size(), steps);
 }
 
 double

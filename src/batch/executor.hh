@@ -18,24 +18,13 @@
  * CTA-level scheduling, where batched NTT/IOp kernels fill all SMs
  * regardless of which operation a CTA belongs to.
  *
- * Concretely, HMULT over a batch runs as:
- *   1. (B x L') Hada-Mult tasks forming d0/d1/d2;
- *   2. one batched INTT dispatch over every (slot, tower) of d2;
- *   3. per key-switch digit: (B x digit-limbs) Dcomp-scale tasks, a
- *      batched Conv whose CRT factors are computed once for the whole
- *      batch, one batched NTT dispatch, and (B x union-limbs)
- *      inner-product tasks;
- *   4. a batched ModDown (shared P^-1 constants) and final (B x L)
- *      Ele-Add tasks.
- *
- * Shared read-only state (twiddle tables, CRT factors, Galois
- * permutations, key digits restricted to the union basis) is computed
- * once per batch on the dispatching thread; tasks only write to the
- * limb they own, so no locks are taken inside kernels. Results are
- * bit-identical to running the scalar Evaluator per slot — the engine
- * reorders work, never arithmetic. Nested dispatches (a kernel that
- * itself calls parallelFor from inside a pool lane) degrade to serial
- * execution, so composing batched and scalar code paths is safe.
+ * Since the unified-dispatch refactor the kernels live in src/exec/
+ * (exec::Dispatcher + exec/kernels.hh): this class validates batch
+ * shape and delegates, and the serial ckks::Evaluator runs the SAME
+ * path with batch = 1 — there is one implementation of every
+ * operation, and batched results are bit-identical to the scalar
+ * evaluator per slot by construction. Scratch polynomials come from
+ * the dispatcher's exec::Workspace arena instead of the allocator.
  *
  * The pool is injectable (constructor argument) so callers can pin a
  * thread budget — tests run the same engine on a 1-worker pool and on
@@ -48,6 +37,7 @@
 #include <vector>
 
 #include "ckks/evaluator.hh"
+#include "exec/dispatch.hh"
 #include "gpu/device.hh"
 
 namespace tensorfhe
@@ -77,6 +67,10 @@ class BatchedEvaluator
     Cts multiply(const Cts &a, const Cts &b) const;
     Cts multiplyPlain(const Cts &a, const ckks::Plaintext &p) const;
     Cts addPlain(const Cts &a, const ckks::Plaintext &p) const;
+
+    /** In-place HADD: a[s] += b[s] without copying the batch. */
+    void addInPlace(Cts &a, const Cts &b) const;
+
     /**
      * Batched counterpart of Evaluator::multiplyConstToScale: one
      * encoded constant shared by the batch, one CMULT + RESCALE per
@@ -85,6 +79,8 @@ class BatchedEvaluator
     Cts multiplyConstToScale(const Cts &a, double c,
                              double target_scale) const;
     Cts rescale(const Cts &a) const;
+    /** In-place RESCALE of the whole batch. */
+    void rescaleInPlace(Cts &a) const;
     Cts rotate(const Cts &a, s64 step) const;
     /** Level alignment across the batch (no arithmetic). */
     Cts dropToLevelCount(const Cts &a, std::size_t level_count) const;
@@ -101,59 +97,26 @@ class BatchedEvaluator
     std::vector<Cts> rotateManyBatch(const Cts &a,
                                      const std::vector<s64> &steps) const;
 
-    /** The scalar (per-ciphertext, serial-over-slots) reference path. */
+    /** The scalar (per-ciphertext) reference façade — the SAME
+        dispatcher (pool + workspace arena), batch = 1. */
     const ckks::Evaluator &scalar() const { return eval_; }
 
-    ThreadPool &pool() const { return *pool_; }
+    /** The unified execution layer this engine dispatches through. */
+    const exec::Dispatcher &dispatcher() const { return *disp_; }
+
+    ThreadPool &pool() const { return disp_->pool(); }
 
   private:
-    /**
-     * The hoisted key-switch head of the whole batch (the batched
-     * counterpart of ckks::HoistedDigits): digits[j][s] is digit j of
-     * batch slot s, Dcomp-scaled, ModUp-extended to the union basis,
-     * NTT domain. Shared by every rotation step of rotateManyBatch.
-     */
-    struct HoistedDigitsBatch
-    {
-        std::vector<std::vector<rns::RnsPolynomial>> digits;
-        std::size_t levelCount = 0;
-    };
-
-    /**
-     * Phase 1 of the batched KeySwitch: Dcomp -> scale -> ModUp ->
-     * NTT, every stage flattened over (slot x tower) with all
-     * slot-independent precomputation (Dcomp scalars, Conv factors)
-     * shared across the batch.
-     */
-    HoistedDigitsBatch
-    hoistBatch(std::vector<rns::RnsPolynomial> ds) const;
-
-    /**
-     * Phase 2: inner product with `key` (digits restricted to the
-     * union basis once per batch) -> ModDown -> NTT.
-     * @param down optional shared ModDown plan (rotateManyBatch
-     *             reuses one across steps).
-     */
-    std::pair<std::vector<rns::RnsPolynomial>,
-              std::vector<rns::RnsPolynomial>>
-    keySwitchTailBatch(const HoistedDigitsBatch &h,
-                       const ckks::SwitchKey &key,
-                       const rns::ModDownPlan *down = nullptr) const;
-
-    /**
-     * Batched KeySwitch (paper Alg. 1) over one polynomial per slot
-     * (uniform shape): keySwitchTailBatch(hoistBatch(ds), key), bit
-     * for bit.
-     */
-    std::pair<std::vector<rns::RnsPolynomial>,
-              std::vector<rns::RnsPolynomial>>
-    keySwitchBatch(std::vector<rns::RnsPolynomial> ds,
-                   const ckks::SwitchKey &key) const;
+    /** Shared batch validation: uniform level (optionally >= floor). */
+    std::size_t requireUniformLevel(const Cts &a,
+                                    std::size_t min_level = 1) const;
+    /** Pairwise validation shared by add/sub/addInPlace. */
+    void requireCompatiblePair(const Cts &a, const Cts &b) const;
 
     const ckks::CkksContext &ctx_;
     const ckks::KeyBundle &keys_;
+    std::shared_ptr<exec::Dispatcher> disp_;
     ckks::Evaluator eval_;
-    ThreadPool *pool_;
 };
 
 /**

@@ -24,9 +24,12 @@ Bootstrapper::requiredRotations(std::size_t slots)
 {
     // The BSGS plans only rotate by baby steps b in [1, g) and giant
     // multiples of g = ceil(sqrt(slots)) — O(sqrt(slots)) switch keys
-    // instead of one per diagonal. The analytic set here matches
-    // LinearTransformPlan's grouping (g identical by construction)
-    // and covers any diagonal pattern of a slots x slots matrix.
+    // instead of one per diagonal. The analytic set here covers any
+    // diagonal pattern of a slots x slots matrix: the plan's stride
+    // chooser may pick a LARGER stride than g, but only when the
+    // resulting steps stay inside this root pattern (babies < g,
+    // giants multiples of g — the containment check in
+    // chooseGiantStride), so these grants always suffice.
     auto g = static_cast<std::size_t>(
         std::ceil(std::sqrt(static_cast<double>(slots))));
     std::vector<s64> baby, giant;

@@ -6,6 +6,7 @@
 #include "batch/executor.hh"
 #include "ckks/rotations.hh"
 #include "common/logging.hh"
+#include "perf/cost.hh"
 
 namespace tensorfhe::boot
 {
@@ -52,18 +53,99 @@ applyPlain(const SlotMatrix &m, const std::vector<Complex> &z)
     return y;
 }
 
+namespace
+{
+
+/**
+ * Pick the BSGS giant stride for the given nonzero diagonal set by
+ * the double-hoisted cost model: with deferred ModDowns the baby
+ * steps are much cheaper than giant steps (which each pay a c1
+ * ModDown + their own hoisted head), so sparse / structured diagonal
+ * populations often prefer a stride above the classic
+ * ceil(sqrt(slots)) — fewer giant groups, fewer ModUps.
+ *
+ * Candidates are the root stride plus every larger stride whose
+ * rotation-step set stays INSIDE the root-based key pattern (baby
+ * steps < root, giant steps multiples of root): the analytic
+ * rotation-key grants (Bootstrapper::requiredRotations, pre-generated
+ * key bundles) cover exactly that pattern, so a qualifying stride
+ * never demands a key the caller did not provision. Dense matrices
+ * therefore keep g = root; a diagonal band {0..root-1}, say, compiles
+ * to zero giant steps. Ties keep the smaller stride.
+ */
+std::size_t
+chooseGiantStride(const ckks::CkksContext &ctx,
+                  const std::vector<std::size_t> &diag_idx,
+                  std::size_t slots)
+{
+    auto root = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(slots))));
+    std::vector<std::size_t> candidates;
+    candidates.push_back(root);
+    for (std::size_t g = 1; g < slots; g <<= 1)
+        if (g > root)
+            candidates.push_back(g);
+    candidates.push_back(slots);
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+
+    auto work = [](const perf::KernelCost &c) {
+        return c.coreOps + c.tcuMacs / 8.0 + c.bytes;
+    };
+    std::size_t costing_level = ctx.tower().numQ();
+    std::size_t best_g = root;
+    double best = -1;
+    for (std::size_t g : candidates) {
+        std::vector<std::size_t> babies, giants;
+        for (std::size_t d : diag_idx) {
+            if (d % g != 0)
+                babies.push_back(d % g);
+            if (d / g != 0)
+                giants.push_back(d / g * g);
+        }
+        auto uniq = [](std::vector<std::size_t> &v) {
+            std::sort(v.begin(), v.end());
+            v.erase(std::unique(v.begin(), v.end()), v.end());
+        };
+        uniq(babies);
+        uniq(giants);
+        if (g != root) {
+            // Key-pattern containment: every step this stride rotates
+            // by must already exist in the root-based key grant.
+            bool covered = true;
+            for (std::size_t b : babies)
+                covered = covered && b < root;
+            for (std::size_t k : giants)
+                covered = covered && k % root == 0;
+            if (!covered)
+                continue;
+        }
+        double w = work(perf::matvecBsgsCost(ctx.params(), costing_level,
+                                             diag_idx.size(),
+                                             babies.size(),
+                                             giants.size()));
+        if (best < 0 || w < best) {
+            best = w;
+            best_g = g;
+        }
+    }
+    return best_g;
+}
+
+} // namespace
+
 LinearTransformPlan::LinearTransformPlan(const ckks::CkksContext &ctx,
                                          SlotMatrix m)
     : ctx_(ctx), m_(std::move(m))
 {
     std::size_t slots = ctx.slots();
     TFHE_ASSERT(m_.size() == slots);
-    g_ = static_cast<std::size_t>(
-        std::ceil(std::sqrt(static_cast<double>(slots))));
 
-    // Extract the nonzero diagonals, BSGS-regrouped: diagonal
-    // d = k*g + b is stored pre-rotated by -k*g so the giant
-    // rotation can be applied after the plaintext products.
+    // Extract the nonzero diagonals first (stride-independent), then
+    // pick the giant stride from their population.
+    std::vector<std::size_t> diag_idx;
+    std::vector<std::vector<Complex>> diag_vals;
     for (std::size_t d = 0; d < slots; ++d) {
         // diag_d[j] = M[j][(j + d) mod slots].
         std::vector<Complex> diag(slots);
@@ -74,6 +156,18 @@ LinearTransformPlan::LinearTransformPlan(const ckks::CkksContext &ctx,
         }
         if (mag < 1e-12)
             continue; // skip empty diagonals
+        diag_idx.push_back(d);
+        diag_vals.push_back(std::move(diag));
+    }
+    TFHE_ASSERT(!diag_idx.empty(), "matrix was entirely zero");
+
+    g_ = chooseGiantStride(ctx, diag_idx, slots);
+
+    // BSGS regrouping: diagonal d = k*g + b stored pre-rotated by
+    // -k*g so the giant rotation can be applied after the plaintext
+    // products.
+    for (std::size_t i = 0; i < diag_idx.size(); ++i) {
+        std::size_t d = diag_idx[i];
         Diagonal entry;
         entry.k = d / g_;
         entry.b = d % g_;
@@ -82,10 +176,9 @@ LinearTransformPlan::LinearTransformPlan(const ckks::CkksContext &ctx,
         entry.values.resize(slots);
         std::size_t shift = entry.k * g_; // < slots since d < slots
         for (std::size_t j = 0; j < slots; ++j)
-            entry.values[j] = diag[(j + slots - shift) % slots];
+            entry.values[j] = diag_vals[i][(j + slots - shift) % slots];
         diags_.push_back(std::move(entry));
     }
-    TFHE_ASSERT(!diags_.empty(), "matrix was entirely zero");
     // Group by giant step; the (k, b) order also fixes the cache
     // layout of encodedDiagonals().
     std::stable_sort(diags_.begin(), diags_.end(),
@@ -138,60 +231,45 @@ LinearTransformPlan::encodedDiagonals(std::size_t level_count) const
     auto it = cache_.find(level_count);
     if (it != cache_.end())
         return it->second;
+    // Diagonals are encoded over the key-switch union basis of this
+    // level so the double-hoisted path can multiply them into the
+    // pre-ModDown (QP) accumulators; restricted to the q-limbs they
+    // are bit-identical to a plain encode at this level.
     std::vector<ckks::Plaintext> pts;
     pts.reserve(diags_.size());
     double scale = ctx_.params().scale();
+    auto union_limbs = ctx_.unionLimbs(level_count);
     for (const Diagonal &d : diags_)
-        pts.push_back(
-            ctx_.encoder().encode(d.values, scale, level_count));
+        pts.push_back(ctx_.encoder().encodeOnLimbs(d.values, scale,
+                                                   union_limbs));
     return cache_.emplace(level_count, std::move(pts)).first->second;
+}
+
+exec::BsgsProgram
+LinearTransformPlan::program(std::size_t level_count) const
+{
+    const auto &pts = encodedDiagonals(level_count);
+    exec::BsgsProgram prog;
+    prog.babySteps = babySteps_;
+    for (std::size_t i = 0; i < diags_.size();) {
+        std::size_t k = diags_[i].k;
+        exec::BsgsGroup group;
+        group.shift = static_cast<s64>(k * g_);
+        for (; i < diags_.size() && diags_[i].k == k; ++i)
+            group.entries.push_back(
+                {static_cast<s64>(diags_[i].b), &pts[i]});
+        prog.groups.push_back(std::move(group));
+    }
+    return prog;
 }
 
 ckks::Ciphertext
 LinearTransformPlan::apply(const ckks::Evaluator &eval,
                            const ckks::Ciphertext &ct) const
 {
-    const auto &pts = encodedDiagonals(ct.levelCount());
-
-    // Baby steps: every rot_b(ct) the plan touches, off one hoisted
-    // key-switch head.
-    auto baby = eval.rotateHoisted(ct, babySteps_);
-    auto babyCt = [&](std::size_t b) -> const ckks::Ciphertext & {
-        if (b == 0)
-            return ct;
-        auto it = std::lower_bound(babySteps_.begin(), babySteps_.end(),
-                                   static_cast<s64>(b));
-        return baby[static_cast<std::size_t>(it - babySteps_.begin())];
-    };
-
-    // Giant steps: per populated k, the plaintext products against
-    // the baby rotations, then one rotation of the partial sum.
-    ckks::Ciphertext acc;
-    bool first_k = true;
-    for (std::size_t i = 0; i < diags_.size();) {
-        std::size_t k = diags_[i].k;
-        ckks::Ciphertext inner;
-        bool first_b = true;
-        for (; i < diags_.size() && diags_[i].k == k; ++i) {
-            auto term = eval.multiplyPlain(babyCt(diags_[i].b), pts[i]);
-            if (first_b) {
-                inner = std::move(term);
-                first_b = false;
-            } else {
-                inner = eval.add(inner, term);
-            }
-        }
-        auto shifted = k == 0
-            ? std::move(inner)
-            : eval.rotate(inner, static_cast<s64>(k * g_));
-        if (first_k) {
-            acc = std::move(shifted);
-            first_k = false;
-        } else {
-            acc = eval.add(acc, shifted);
-        }
-    }
-    return eval.rescale(acc);
+    auto out =
+        eval.dispatcher().applyBsgs(program(ct.levelCount()), &ct, 1);
+    return std::move(out[0]);
 }
 
 std::vector<ckks::Ciphertext>
@@ -201,46 +279,12 @@ LinearTransformPlan::applyBatch(
 {
     if (cts.empty())
         return {};
-    const auto &pts = encodedDiagonals(cts[0].levelCount());
-
-    // Baby steps across the whole batch off one hoisted-batch head.
-    auto baby = beval.rotateManyBatch(cts, babySteps_);
-    auto babyCts =
-        [&](std::size_t b) -> const std::vector<ckks::Ciphertext> & {
-        if (b == 0)
-            return cts;
-        auto it = std::lower_bound(babySteps_.begin(), babySteps_.end(),
-                                   static_cast<s64>(b));
-        return baby[static_cast<std::size_t>(it - babySteps_.begin())];
-    };
-
-    std::vector<ckks::Ciphertext> acc;
-    bool first_k = true;
-    for (std::size_t i = 0; i < diags_.size();) {
-        std::size_t k = diags_[i].k;
-        std::vector<ckks::Ciphertext> inner;
-        bool first_b = true;
-        for (; i < diags_.size() && diags_[i].k == k; ++i) {
-            auto term =
-                beval.multiplyPlain(babyCts(diags_[i].b), pts[i]);
-            if (first_b) {
-                inner = std::move(term);
-                first_b = false;
-            } else {
-                inner = beval.add(inner, term);
-            }
-        }
-        auto shifted = k == 0
-            ? std::move(inner)
-            : beval.rotate(inner, static_cast<s64>(k * g_));
-        if (first_k) {
-            acc = std::move(shifted);
-            first_k = false;
-        } else {
-            acc = beval.add(acc, shifted);
-        }
-    }
-    return beval.rescale(acc);
+    std::size_t lc = cts[0].levelCount();
+    for (const auto &ct : cts)
+        requireArg(ct.levelCount() == lc,
+                   "batched ops require a uniform level");
+    return beval.dispatcher().applyBsgs(program(lc), cts.data(),
+                                        cts.size());
 }
 
 ckks::Ciphertext

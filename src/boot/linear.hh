@@ -9,12 +9,20 @@
  * matrix, and coeff-to-slot its inverse — both C-linear, applied by
  * the diagonal method with HROTATE + CMULT.
  *
- * Evaluation goes through LinearTransformPlan: the diagonals are
- * extracted and BSGS-regrouped once, their encoded plaintexts are
- * cached per level, and the baby-step rotations run off a single
- * hoisted key-switch head. A slots x slots transform thus costs
- * O(sqrt(slots)) key-switch tails + O(sqrt(slots)) giant rotations
- * instead of the naive one full keyswitch per nonzero diagonal.
+ * Evaluation goes through LinearTransformPlan, which compiles the
+ * matrix into an exec::BsgsProgram executed by the unified dispatch
+ * layer with DOUBLE HOISTING:
+ *   - head-1: one hoisted key-switch head serves every baby-step
+ *     rotation, and the baby tails stay on the extended QP basis
+ *     (their ModDown is deferred);
+ *   - the diagonal products and giant-group sums accumulate on QP
+ *     (diagonals are encoded over the union basis, cached per level);
+ *   - head-2: each nonzero giant step pays one c1-only ModDown plus
+ *     its own hoisted head, and ONE final ModDown pair + RESCALE
+ *     closes the transform.
+ * The giant stride g is chosen by perf::matvecBsgsCost over the
+ * plan's actual diagonal population, so the hoist/ModUp count drops
+ * versus the classic sqrt-stride schedule (baby steps became cheap).
  */
 
 #ifndef TENSORFHE_BOOT_LINEAR_HH
@@ -26,6 +34,7 @@
 
 #include "ckks/crypto.hh"
 #include "ckks/evaluator.hh"
+#include "exec/dispatch.hh"
 
 namespace tensorfhe::batch
 {
@@ -53,20 +62,22 @@ std::vector<Complex> applyPlain(const SlotMatrix &m,
 /**
  * A precompiled homomorphic linear transform y = M z.
  *
- * Construction extracts the nonzero diagonals of M and regroups them
- * baby-step/giant-step: diagonal d = k*g + b is stored pre-rotated by
- * -k*g so that
+ * Construction extracts the nonzero diagonals of M, picks the BSGS
+ * giant stride g by the double-hoisted cost model, and regroups:
+ * diagonal d = k*g + b is stored pre-rotated by -k*g so that
  *   y = sum_k rot_{k*g}( sum_b diag'_{k,b} (had) rot_b(z) ).
- * apply() computes the g-1 baby rotations off ONE hoisted key-switch
- * head (Evaluator::rotateHoisted) and finishes with one giant
- * rotation per populated k — about 2*sqrt(slots) key-switch tails in
- * place of the naive slots-1 full keyswitches.
+ * apply() hands the compiled exec::BsgsProgram to the unified
+ * dispatch layer, which runs it double-hoisted: about sqrt(slots)
+ * raw key-switch tails off one head plus O(slots/g) giant heads, and
+ * a single final ModDown, in place of the naive slots-1 full
+ * keyswitches (and of the ~2*sqrt(slots) ModDowns of the
+ * single-hoisted schedule).
  *
- * The encoded diagonal plaintexts (the dominant per-call setup cost
- * of the naive path, re-encoded on every call) are memoized per
- * ciphertext level inside the plan; so are the dense special-FFT
- * matrices, built once at plan construction via the factories below.
- * apply() consumes one multiplicative level.
+ * The encoded diagonal plaintexts (extended to the key-switch union
+ * basis for the QP-domain products) are memoized per ciphertext
+ * level inside the plan; so are the dense special-FFT matrices,
+ * built once at plan construction via the factories below. apply()
+ * consumes one multiplicative level.
  */
 class LinearTransformPlan
 {
@@ -87,10 +98,9 @@ class LinearTransformPlan
                            const ckks::Ciphertext &ct) const;
 
     /**
-     * Batched apply: the whole batch rides one hoisted-batch head per
-     * baby-rotation set (BatchedEvaluator::rotateManyBatch) and the
-     * giant stages run as flattened (slot x tower) dispatches.
-     * Bit-identical to apply() per slot.
+     * Batched apply: the whole batch rides the same double-hoisted
+     * program through the unified dispatch layer, flattened over
+     * (batch-slot x tower). Bit-identical to apply() per slot.
      */
     std::vector<ckks::Ciphertext>
     applyBatch(const batch::BatchedEvaluator &beval,
@@ -101,7 +111,7 @@ class LinearTransformPlan
 
     const SlotMatrix &matrix() const { return m_; }
 
-    /** Giant stride g ~ sqrt(slots); baby steps span [0, g). */
+    /** Giant stride g (cost-model-chosen); baby steps span [0, g). */
     std::size_t giantStride() const { return g_; }
     /** Nonzero diagonals the transform touches. */
     std::size_t diagonalCount() const { return diags_.size(); }
@@ -124,6 +134,10 @@ class LinearTransformPlan
     const std::vector<ckks::Plaintext> &
     encodedDiagonals(std::size_t level_count) const;
 
+    /** Compile the cached diagonals into the exec program for one
+        ciphertext level (pointers into the per-level cache). */
+    exec::BsgsProgram program(std::size_t level_count) const;
+
     const ckks::CkksContext &ctx_;
     SlotMatrix m_;
     std::size_t g_ = 0;
@@ -131,14 +145,15 @@ class LinearTransformPlan
     std::vector<s64> babySteps_;   ///< distinct nonzero b, sorted
     std::vector<s64> giantSteps_;  ///< distinct nonzero k*g, sorted
     mutable std::mutex mu_;
+    /// Per-level encoded diagonals, union-basis, aligned with diags_.
     mutable std::map<std::size_t, std::vector<ckks::Plaintext>> cache_;
 };
 
 /**
  * One-shot homomorphic y = M z: builds a transient LinearTransformPlan
- * and applies it (BSGS + hoisted baby steps). Consumes one level.
- * Callers evaluating the same matrix repeatedly should hold a plan
- * instead to reuse the cached diagonal plaintexts.
+ * and applies it (double-hoisted BSGS). Consumes one level. Callers
+ * evaluating the same matrix repeatedly should hold a plan instead to
+ * reuse the cached diagonal plaintexts.
  */
 ckks::Ciphertext applyLinear(const ckks::CkksContext &ctx,
                              const ckks::Evaluator &eval,

@@ -96,10 +96,22 @@ Plaintext
 CkksEncoder::encode(const std::vector<Complex> &values, double scale,
                     std::size_t level_count) const
 {
-    requireArg(values.size() <= slots_, "too many values for N/2 slots");
-    requireArg(scale > 0, "scale must be positive");
     requireArg(level_count >= 1 && level_count <= tower_.numQ(),
                "bad level count");
+    std::vector<std::size_t> limbs(level_count);
+    for (std::size_t i = 0; i < level_count; ++i)
+        limbs[i] = i;
+    return encodeOnLimbs(values, scale, limbs);
+}
+
+Plaintext
+CkksEncoder::encodeOnLimbs(const std::vector<Complex> &values,
+                           double scale,
+                           const std::vector<std::size_t> &limbs) const
+{
+    requireArg(values.size() <= slots_, "too many values for N/2 slots");
+    requireArg(scale > 0, "scale must be positive");
+    requireArg(!limbs.empty(), "need at least one limb");
 
     std::vector<Complex> vals(slots_, Complex(0, 0));
     std::copy(values.begin(), values.end(), vals.begin());
@@ -112,9 +124,6 @@ CkksEncoder::encode(const std::vector<Complex> &values, double scale,
             static_cast<s64>(std::llround(vals[j].imag() * scale));
     }
 
-    std::vector<std::size_t> limbs(level_count);
-    for (std::size_t i = 0; i < level_count; ++i)
-        limbs[i] = i;
     Plaintext pt{rns::liftSigned(tower_, limbs, coeffs), scale};
     pt.poly.toEval();
     return pt;

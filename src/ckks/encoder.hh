@@ -46,6 +46,19 @@ class CkksEncoder
                              std::size_t level_count) const;
 
     /**
+     * Encode over an arbitrary tower limb set (e.g. the key-switch
+     * union basis {q_0..q_{l-1}, p_*}). Same rounding as encode() —
+     * the integer coefficient vector is identical, only the residue
+     * set differs — so restricting the result to the q-limbs matches
+     * encode() bit for bit. The double-hoisted BSGS path uses this to
+     * multiply diagonals into pre-ModDown (extended-basis)
+     * accumulators.
+     */
+    Plaintext encodeOnLimbs(const std::vector<Complex> &values,
+                            double scale,
+                            const std::vector<std::size_t> &limbs) const;
+
+    /**
      * Decode back to N/2 complex values. Uses CRT reconstruction over
      * the first min(2, limbs) limbs; valid while coefficient
      * magnitudes stay below q_0*q_1 / 2 (see DESIGN.md SS8).

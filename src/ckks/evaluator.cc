@@ -8,6 +8,16 @@
 namespace tensorfhe::ckks
 {
 
+Evaluator::Evaluator(const CkksContext &ctx, const KeyBundle &keys)
+    : ctx_(ctx), keys_(keys),
+      disp_(std::make_shared<exec::Dispatcher>(ctx, keys))
+{}
+
+Evaluator::Evaluator(const CkksContext &ctx, const KeyBundle &keys,
+                     std::shared_ptr<exec::Dispatcher> disp)
+    : ctx_(ctx), keys_(keys), disp_(std::move(disp))
+{}
+
 void
 Evaluator::requireCompatible(const Ciphertext &a,
                              const Ciphertext &b) const
@@ -24,10 +34,8 @@ Ciphertext
 Evaluator::add(const Ciphertext &a, const Ciphertext &b) const
 {
     requireCompatible(a, b);
-    EvalOpStats::instance().record(EvalOpKind::HAdd);
     Ciphertext out = a;
-    rns::eleAddInPlace(out.c0, b.c0);
-    rns::eleAddInPlace(out.c1, b.c1);
+    disp_->addInPlace(&out, &b, 1);
     return out;
 }
 
@@ -35,10 +43,8 @@ Ciphertext
 Evaluator::sub(const Ciphertext &a, const Ciphertext &b) const
 {
     requireCompatible(a, b);
-    EvalOpStats::instance().record(EvalOpKind::HAdd);
     Ciphertext out = a;
-    rns::eleSubInPlace(out.c0, b.c0);
-    rns::eleSubInPlace(out.c1, b.c1);
+    disp_->subInPlace(&out, &b, 1);
     return out;
 }
 
@@ -48,9 +54,8 @@ Evaluator::addPlain(const Ciphertext &a, const Plaintext &p) const
     requireArg(a.levelCount() == p.levelCount()
                    && std::abs(a.scale - p.scale) <= 1e-6 * a.scale,
                "plaintext incompatible with ciphertext");
-    EvalOpStats::instance().record(EvalOpKind::HAdd);
     Ciphertext out = a;
-    rns::eleAddInPlace(out.c0, p.poly);
+    disp_->addPlainInPlace(&out, p, 1);
     return out;
 }
 
@@ -60,9 +65,8 @@ Evaluator::subPlain(const Ciphertext &a, const Plaintext &p) const
     requireArg(a.levelCount() == p.levelCount()
                    && std::abs(a.scale - p.scale) <= 1e-6 * a.scale,
                "plaintext incompatible with ciphertext");
-    EvalOpStats::instance().record(EvalOpKind::HAdd);
     Ciphertext out = a;
-    rns::eleSubInPlace(out.c0, p.poly);
+    disp_->subPlainInPlace(&out, p, 1);
     return out;
 }
 
@@ -71,84 +75,37 @@ Evaluator::multiplyPlain(const Ciphertext &a, const Plaintext &p) const
 {
     requireArg(a.levelCount() == p.levelCount(),
                "plaintext level mismatch");
-    EvalOpStats::instance().record(EvalOpKind::CMult);
     Ciphertext out = a;
-    rns::hadaMultInPlace(out.c0, p.poly);
-    rns::hadaMultInPlace(out.c1, p.poly);
-    out.scale = a.scale * p.scale;
+    disp_->multiplyPlainInPlace(&out, p, 1);
     return out;
 }
 
 HoistedDigits
 Evaluator::hoist(const rns::RnsPolynomial &d) const
 {
-    auto v = ctx_.nttVariant();
-    std::size_t level_count = d.numLimbs();
-    EvalOpStats::instance().record(EvalOpKind::KsHoist);
-
-    // Dcomp: coefficient-domain digits, scaled by (Q/Q_j)^-1 per limb.
-    rns::RnsPolynomial d_coeff = d;
-    d_coeff.toCoeff(v);
-    auto digits = rns::decomposeDigits(d_coeff, ctx_.params().alpha());
-
-    std::vector<rns::RnsPolynomial> ups;
-    ups.reserve(digits.size());
-    for (std::size_t j = 0; j < digits.size(); ++j) {
-        auto &digit = digits[j];
-        std::vector<u64> scalars(digit.numLimbs());
-        for (std::size_t i = 0; i < digit.numLimbs(); ++i)
-            scalars[i] = ctx_.dcompScalar(j, digit.limbIndex(i));
-        rns::mulScalarInPlace(digit, scalars);
-        // The context's memoized plan: the union-basis Conv factors
-        // are computed once per (digit, level), not once per hoist.
-        ups.push_back(ctx_.modUpPlan(j, level_count).apply(digit));
-    }
-
-    // Into Eval domain: every (digit x tower) NTT in one batched
-    // dispatch.
-    std::vector<rns::RnsPolynomial *> up_ptrs;
-    up_ptrs.reserve(ups.size());
-    for (auto &up : ups)
-        up_ptrs.push_back(&up);
-    rns::toEvalBatch(up_ptrs, v);
-    return {std::move(ups), level_count};
+    const rns::RnsPolynomial *ptr = &d;
+    auto h = disp_->hoistCopy(&ptr, 1);
+    HoistedDigits out;
+    out.levelCount = h.levelCount;
+    out.digits.reserve(h.numDigits());
+    for (auto &row : h.digits)
+        out.digits.push_back(row[0].detach());
+    return out;
 }
 
 std::pair<rns::RnsPolynomial, rns::RnsPolynomial>
 Evaluator::keySwitchTail(const HoistedDigits &h, const SwitchKey &key,
                          const rns::ModDownPlan *down) const
 {
-    const auto &tower = ctx_.tower();
-    auto v = ctx_.nttVariant();
-    auto union_limbs = ctx_.unionLimbs(h.levelCount);
-    requireArg(h.digits.size() <= key.digits(),
-               "switch key has too few digits: ", key.digits(),
-               " for ", h.digits.size());
-    EvalOpStats::instance().record(EvalOpKind::KsTail);
-
-    // The key digits restricted to the union basis, memoized in the
-    // context per (key, level) across tails.
-    auto rk = ctx_.restrictedKey(key, h.levelCount);
-
-    rns::RnsPolynomial acc0(tower, union_limbs, rns::Domain::Eval);
-    rns::RnsPolynomial acc1(tower, union_limbs, rns::Domain::Eval);
-    for (std::size_t j = 0; j < h.digits.size(); ++j) {
-        // Inner product with the key digit (restricted to the basis).
-        rns::mulAccumulate(acc0, h.digits[j], rk->b[j]);
-        rns::mulAccumulate(acc1, h.digits[j], rk->a[j]);
-    }
-
-    // ModDown by P, back to Eval domain. Both accumulators move
-    // domains in one batched dispatch, so every (component x tower)
-    // NTT shares a single pool round-trip; both share one plan's
-    // Conv factors.
-    rns::toCoeffBatch({&acc0, &acc1}, v);
-    const rns::ModDownPlan &plan =
-        down ? *down : ctx_.modDownPlan(h.levelCount);
-    auto ks0 = plan.apply(acc0);
-    auto ks1 = plan.apply(acc1);
-    rns::toEvalBatch({&ks0, &ks1}, v);
-    return {std::move(ks0), std::move(ks1)};
+    exec::HoistedView view;
+    view.numDigits = h.digits.size();
+    view.batchN = 1;
+    view.levelCount = h.levelCount;
+    view.table.reserve(h.digits.size());
+    for (const auto &d : h.digits)
+        view.table.push_back(&d);
+    auto [ks0, ks1] = disp_->keySwitchTail(view, key, down);
+    return {std::move(ks0[0]), std::move(ks1[0])};
 }
 
 std::pair<rns::RnsPolynomial, rns::RnsPolynomial>
@@ -164,24 +121,8 @@ Evaluator::multiply(const Ciphertext &a, const Ciphertext &b) const
     requireArg(a.levelCount() == b.levelCount(), "level mismatch");
     requireArg(a.levelCount() >= 2,
                "no level budget left for multiplication");
-    EvalOpStats::instance().record(EvalOpKind::HMult);
-
-    // d0 = a0*b0, d1 = a0*b1 + a1*b0, d2 = a1*b1 (paper Alg. 2).
-    auto d0 = a.c0;
-    rns::hadaMultInPlace(d0, b.c0);
-    auto d1 = a.c0;
-    rns::hadaMultInPlace(d1, b.c1);
-    rns::mulAccumulate(d1, a.c1, b.c0);
-    auto d2 = a.c1;
-    rns::hadaMultInPlace(d2, b.c1);
-
-    auto [ks0, ks1] = keySwitch(d2, keys_.relin);
-    Ciphertext out;
-    rns::eleAddInPlace(d0, ks0);
-    rns::eleAddInPlace(d1, ks1);
-    out.c0 = std::move(d0);
-    out.c1 = std::move(d1);
-    out.scale = a.scale * b.scale;
+    Ciphertext out = a;
+    disp_->multiplyInPlace(&out, &b, 1);
     return out;
 }
 
@@ -195,15 +136,8 @@ Ciphertext
 Evaluator::rescale(const Ciphertext &a) const
 {
     requireArg(a.levelCount() >= 2, "cannot rescale at level 0");
-    EvalOpStats::instance().record(EvalOpKind::Rescale);
-    u64 q_last = ctx_.tower().prime(a.levelCount() - 1);
-    auto v = ctx_.nttVariant();
     Ciphertext out = a;
-    rns::toCoeffBatch({&out.c0, &out.c1}, v);
-    out.c0 = rns::rescaleByLastLimb(out.c0);
-    out.c1 = rns::rescaleByLastLimb(out.c1);
-    rns::toEvalBatch({&out.c0, &out.c1}, v);
-    out.scale = a.scale / static_cast<double>(q_last);
+    disp_->rescaleInPlace(&out, 1);
     return out;
 }
 
@@ -219,38 +153,6 @@ Evaluator::dropToLevelCount(const Ciphertext &a,
     return out;
 }
 
-namespace
-{
-
-/**
- * Finish one automorphism + key switch on already-hoisted digits:
- * permute the digits (FrobeniusMap, shared permutation across the
- * digit vector), run the tail against `key`, and add the permuted c0.
- */
-Ciphertext
-finishAutomorphism(const Evaluator &eval, const Ciphertext &a,
-                   const HoistedDigits &h, u64 galois,
-                   const SwitchKey &key, const rns::ModDownPlan *down)
-{
-    std::vector<const rns::RnsPolynomial *> digit_ptrs;
-    digit_ptrs.reserve(h.digits.size());
-    for (const auto &d : h.digits)
-        digit_ptrs.push_back(&d);
-    HoistedDigits rotated{rns::applyAutomorphismBatch(digit_ptrs, galois),
-                          h.levelCount};
-
-    auto [ks0, ks1] = eval.keySwitchTail(rotated, key, down);
-    auto c0r = rns::applyAutomorphism(a.c0, galois);
-    rns::eleAddInPlace(ks0, c0r);
-    Ciphertext out;
-    out.c0 = std::move(ks0);
-    out.c1 = std::move(ks1);
-    out.scale = a.scale;
-    return out;
-}
-
-} // namespace
-
 Ciphertext
 Evaluator::rotate(const Ciphertext &a, s64 step) const
 {
@@ -262,50 +164,19 @@ std::vector<Ciphertext>
 Evaluator::rotateHoisted(const Ciphertext &a,
                          const std::vector<s64> &steps) const
 {
-    std::size_t slots = ctx_.slots();
-    std::vector<s64> norms(steps.size());
-    bool any_nonzero = false;
-    for (std::size_t i = 0; i < steps.size(); ++i) {
-        norms[i] = ((steps[i] % s64(slots)) + s64(slots)) % s64(slots);
-        if (norms[i] == 0)
-            continue;
-        requireArg(keys_.rot.count(norms[i]) != 0,
-                   "no rotation key for step ", norms[i]);
-        any_nonzero = true;
-    }
-
-    std::vector<Ciphertext> out(steps.size());
-    if (!any_nonzero) {
-        for (auto &ct : out)
-            ct = a;
-        return out;
-    }
-
-    // Hoist once: the Dcomp+ModUp+NTT head is step-independent, and
-    // so is the tails' ModDown plan (memoized in the context).
-    HoistedDigits h = hoist(a.c1);
-    const rns::ModDownPlan &down = ctx_.modDownPlan(h.levelCount);
-
-    for (std::size_t i = 0; i < steps.size(); ++i) {
-        if (norms[i] == 0) {
-            out[i] = a;
-            continue;
-        }
-        EvalOpStats::instance().record(EvalOpKind::HRotate);
-        out[i] = finishAutomorphism(*this, a, h,
-                                    ctx_.galoisForRotation(norms[i]),
-                                    keys_.rot.at(norms[i]), &down);
-    }
+    auto per_step = disp_->rotateMany(&a, 1, steps);
+    std::vector<Ciphertext> out;
+    out.reserve(per_step.size());
+    for (auto &cts : per_step)
+        out.push_back(std::move(cts[0]));
     return out;
 }
 
 Ciphertext
 Evaluator::conjugate(const Ciphertext &a) const
 {
-    EvalOpStats::instance().record(EvalOpKind::Conjugate);
-    HoistedDigits h = hoist(a.c1);
-    return finishAutomorphism(*this, a, h, ctx_.galoisForConjugation(),
-                              keys_.conj, nullptr);
+    auto out = disp_->conjugate(&a, 1);
+    return std::move(out[0]);
 }
 
 Ciphertext

@@ -4,17 +4,26 @@
  * reconstruction (Table II, Algs. 1-6) — HADD, HSUB, CMULT, HMULT,
  * RESCALE, HROTATE, Conjugate — composed from the reusable kernels
  * (NTT, Hada-Mult, Ele-Add, Ele-Sub, FrobeniusMap, Conv).
+ *
+ * Since the unified-dispatch refactor this class is a thin batch-1
+ * façade over exec::Dispatcher: it validates arguments and delegates
+ * to the same span-kernel path batch::BatchedEvaluator uses, so the
+ * serial and batched engines cannot drift — they are one
+ * implementation. Results are bit-identical to the pre-refactor
+ * serial evaluator (the kernels reorder work, never arithmetic).
  */
 
 #ifndef TENSORFHE_CKKS_EVALUATOR_HH
 #define TENSORFHE_CKKS_EVALUATOR_HH
 
 #include <map>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "ckks/ciphertext.hh"
 #include "ckks/context.hh"
+#include "exec/dispatch.hh"
 
 namespace tensorfhe::ckks
 {
@@ -42,9 +51,15 @@ class Evaluator
      * @param keys must outlive the evaluator; rotation keys are
      *             looked up per step on demand.
      */
-    Evaluator(const CkksContext &ctx, const KeyBundle &keys)
-        : ctx_(ctx), keys_(keys)
-    {}
+    Evaluator(const CkksContext &ctx, const KeyBundle &keys);
+
+    /**
+     * Façade over an existing dispatcher (shares its pool and
+     * workspace arena): batch::BatchedEvaluator uses this so its
+     * scalar() view runs on the same engine instead of a duplicate.
+     */
+    Evaluator(const CkksContext &ctx, const KeyBundle &keys,
+              std::shared_ptr<exec::Dispatcher> disp);
 
     /** HADD (paper Alg. 5). */
     Ciphertext add(const Ciphertext &a, const Ciphertext &b) const;
@@ -138,12 +153,20 @@ class Evaluator
     keySwitchTail(const HoistedDigits &h, const SwitchKey &key,
                   const rns::ModDownPlan *down = nullptr) const;
 
+    /**
+     * The unified execution layer this evaluator dispatches through
+     * (batch = 1). boot::LinearTransformPlan and the batched engine
+     * run their work on the same layer.
+     */
+    const exec::Dispatcher &dispatcher() const { return *disp_; }
+
   private:
     void requireCompatible(const Ciphertext &a,
                            const Ciphertext &b) const;
 
     const CkksContext &ctx_;
     const KeyBundle &keys_;
+    std::shared_ptr<exec::Dispatcher> disp_; ///< copies share the arena
 };
 
 } // namespace tensorfhe::ckks

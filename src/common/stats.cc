@@ -41,6 +41,30 @@ KernelStats::reset()
     }
 }
 
+void
+KernelStats::startQueue()
+{
+    std::lock_guard<std::mutex> lock(queueMu_);
+    queue_.clear();
+    queueEnabled_.store(true, std::memory_order_relaxed);
+}
+
+std::vector<KernelLaunch>
+KernelStats::stopQueue()
+{
+    std::lock_guard<std::mutex> lock(queueMu_);
+    queueEnabled_.store(false, std::memory_order_relaxed);
+    return std::move(queue_);
+}
+
+void
+KernelStats::enqueue(KernelKind k, u64 elements)
+{
+    std::lock_guard<std::mutex> lock(queueMu_);
+    if (queueEnabled_.load(std::memory_order_relaxed))
+        queue_.push_back({k, elements});
+}
+
 u64
 KernelStats::totalNanos() const
 {
@@ -110,6 +134,8 @@ EvalOpStats::reset()
 {
     for (auto &c : counts_)
         c.store(0, std::memory_order_relaxed);
+    modUps_.store(0, std::memory_order_relaxed);
+    modDowns_.store(0, std::memory_order_relaxed);
 }
 
 EvalOpCounts

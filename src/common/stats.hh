@@ -13,7 +13,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/types.hh"
 
@@ -51,6 +53,18 @@ struct KernelCounter
     std::atomic<u64> elements{0}; ///< coefficients processed
 };
 
+/**
+ * One recorded kernel dispatch — the unit of the kernel-queue
+ * description the exec layer emits. A queue of these is what the
+ * GPU pipeline simulator consumes to replay an operation's kernel
+ * schedule (gpu::simulateKernelQueue).
+ */
+struct KernelLaunch
+{
+    KernelKind kind;
+    u64 elements = 0; ///< coefficients the dispatch touched
+};
+
 /** Global registry of kernel counters. */
 class KernelStats
 {
@@ -64,7 +78,20 @@ class KernelStats
         c.invocations.fetch_add(1, std::memory_order_relaxed);
         c.nanos.fetch_add(nanos, std::memory_order_relaxed);
         c.elements.fetch_add(elements, std::memory_order_relaxed);
+        if (queueEnabled_.load(std::memory_order_relaxed))
+            enqueue(k, elements);
     }
+
+    /**
+     * Start capturing the kernel-launch sequence alongside the
+     * aggregate counters. The queue is the machine-readable dispatch
+     * schedule of everything executed until stopQueue(); benches feed
+     * it to gpu::simulateKernelQueue. Thread-safe; launches from
+     * concurrent dispatches interleave in completion order.
+     */
+    void startQueue();
+    /** Stop capturing and return the recorded launch sequence. */
+    std::vector<KernelLaunch> stopQueue();
 
     const KernelCounter &
     counter(KernelKind k) const
@@ -80,7 +107,12 @@ class KernelStats
 
   private:
     KernelStats() = default;
+    void enqueue(KernelKind k, u64 elements);
+
     std::array<KernelCounter, kNumKernelKinds> counters_;
+    std::atomic<bool> queueEnabled_{false};
+    std::mutex queueMu_;
+    std::vector<KernelLaunch> queue_;
 };
 
 /** RAII timer recording into KernelStats on destruction. */
@@ -204,6 +236,12 @@ struct EvalOpCounts
  * sibling of KernelStats). Scalar and batched evaluators record the
  * same counts per logical ciphertext, so a batched run over B slots
  * reads exactly B times the scalar counts.
+ *
+ * All counters are lock-free relaxed atomics, so record() is safe
+ * from inside parallel dispatches (worker lanes of the unified exec
+ * path record concurrently); snapshot() reads each counter once and
+ * never tears. tests/common/test_stats_race.cc hammers this from a
+ * full pool.
  */
 class EvalOpStats
 {
@@ -217,6 +255,35 @@ class EvalOpStats
             count, std::memory_order_relaxed);
     }
 
+    /**
+     * Basis-conversion procedure counters (one count per ModUp of one
+     * digit / per ModDown of one accumulator). Not part of
+     * EvalOpCounts — the op-count models predict Table II operations;
+     * these track the conversion work inside them, which the
+     * double-hoisted BSGS path reduces (bench_keyswitch_hoist prints
+     * the drop, BENCH_PR4.json records it).
+     */
+    void
+    recordModUp(u64 count = 1)
+    {
+        modUps_.fetch_add(count, std::memory_order_relaxed);
+    }
+    void
+    recordModDown(u64 count = 1)
+    {
+        modDowns_.fetch_add(count, std::memory_order_relaxed);
+    }
+    u64
+    modUps() const
+    {
+        return modUps_.load(std::memory_order_relaxed);
+    }
+    u64
+    modDowns() const
+    {
+        return modDowns_.load(std::memory_order_relaxed);
+    }
+
     /** Zero every counter (benches call this between sections). */
     void reset();
 
@@ -225,6 +292,8 @@ class EvalOpStats
   private:
     EvalOpStats() = default;
     std::array<std::atomic<u64>, kNumEvalOpKinds> counts_{};
+    std::atomic<u64> modUps_{0};
+    std::atomic<u64> modDowns_{0};
 };
 
 } // namespace tensorfhe

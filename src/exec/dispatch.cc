@@ -1,0 +1,786 @@
+#include "exec/dispatch.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/modarith.hh"
+#include "common/thread_pool.hh"
+
+namespace tensorfhe::exec
+{
+
+HoistedView
+HoistedView::of(const HoistedBatch &h)
+{
+    HoistedView v;
+    v.numDigits = h.numDigits();
+    v.batchN = h.batch();
+    v.levelCount = h.levelCount;
+    v.table.reserve(v.numDigits * v.batchN);
+    for (const auto &row : h.digits)
+        for (const auto &p : row)
+            v.table.push_back(p.get());
+    return v;
+}
+
+Dispatcher::Dispatcher(const ckks::CkksContext &ctx,
+                       const ckks::KeyBundle &keys, ThreadPool *pool)
+    : ctx_(ctx), keys_(keys), kctx_(pool),
+      ws_(std::make_unique<Workspace>(ctx.tower()))
+{}
+
+// ------------------------------------------------------------------
+// Elementwise operations
+
+void
+Dispatcher::addInPlace(ckks::Ciphertext *as, const ckks::Ciphertext *bs,
+                       std::size_t batch) const
+{
+    if (batch == 0)
+        return;
+    EvalOpStats::instance().record(EvalOpKind::HAdd, batch);
+    eleAddCts(kctx_, as, bs, batch);
+}
+
+void
+Dispatcher::subInPlace(ckks::Ciphertext *as, const ckks::Ciphertext *bs,
+                       std::size_t batch) const
+{
+    if (batch == 0)
+        return;
+    EvalOpStats::instance().record(EvalOpKind::HAdd, batch);
+    eleSubCts(kctx_, as, bs, batch);
+}
+
+void
+Dispatcher::addPlainInPlace(ckks::Ciphertext *as, const ckks::Plaintext &p,
+                            std::size_t batch) const
+{
+    if (batch == 0)
+        return;
+    EvalOpStats::instance().record(EvalOpKind::HAdd, batch);
+    addPlainC0(kctx_, as, p, batch);
+}
+
+void
+Dispatcher::subPlainInPlace(ckks::Ciphertext *as, const ckks::Plaintext &p,
+                            std::size_t batch) const
+{
+    if (batch == 0)
+        return;
+    EvalOpStats::instance().record(EvalOpKind::HAdd, batch);
+    subPlainC0(kctx_, as, p, batch);
+}
+
+void
+Dispatcher::multiplyPlainInPlace(ckks::Ciphertext *as,
+                                 const ckks::Plaintext &p,
+                                 std::size_t batch) const
+{
+    if (batch == 0)
+        return;
+    EvalOpStats::instance().record(EvalOpKind::CMult, batch);
+    hadaMultPlainCts(kctx_, as, p, batch);
+    for (std::size_t s = 0; s < batch; ++s)
+        as[s].scale = as[s].scale * p.scale;
+}
+
+void
+Dispatcher::rescaleInPlace(ckks::Ciphertext *as, std::size_t batch) const
+{
+    if (batch == 0)
+        return;
+    EvalOpStats::instance().record(EvalOpKind::Rescale, batch);
+    std::size_t lc = as[0].levelCount();
+    u64 q_last = ctx_.tower().prime(as[0].c1.limbIndex(lc - 1));
+    auto v = ctx_.nttVariant();
+
+    std::vector<rns::RnsPolynomial *> comps;
+    comps.reserve(2 * batch);
+    for (std::size_t s = 0; s < batch; ++s) {
+        comps.push_back(&as[s].c0);
+        comps.push_back(&as[s].c1);
+    }
+    rns::toCoeffBatch(comps, v, kctx_.pool);
+
+    std::vector<const rns::RnsPolynomial *> inputs(comps.begin(),
+                                                   comps.end());
+    auto dropped = rns::rescaleByLastLimbBatch(inputs, kctx_.pool);
+    for (std::size_t s = 0; s < batch; ++s) {
+        // The replaced components' storage feeds the arena so later
+        // scratch checkouts of this shape stay allocator-free.
+        ws_->donate(std::move(as[s].c0));
+        ws_->donate(std::move(as[s].c1));
+        as[s].c0 = std::move(dropped[2 * s]);
+        as[s].c1 = std::move(dropped[2 * s + 1]);
+    }
+    comps.clear();
+    for (std::size_t s = 0; s < batch; ++s) {
+        comps.push_back(&as[s].c0);
+        comps.push_back(&as[s].c1);
+    }
+    rns::toEvalBatch(comps, v, kctx_.pool);
+    for (std::size_t s = 0; s < batch; ++s)
+        as[s].scale = as[s].scale / static_cast<double>(q_last);
+}
+
+void
+Dispatcher::multiplyInPlace(ckks::Ciphertext *as,
+                            const ckks::Ciphertext *bs,
+                            std::size_t batch) const
+{
+    if (batch == 0)
+        return;
+    EvalOpStats::instance().record(EvalOpKind::HMult, batch);
+    const auto &limb_idx = as[0].c0.limbIndices();
+
+    // d0 = a0*b0, d1 = a0*b1 + a1*b0, d2 = a1*b1 (paper Alg. 2),
+    // flattened over (slot x tower) into arena scratch.
+    std::vector<Workspace::Pooled> d0s, d1s, d2s;
+    std::vector<rns::RnsPolynomial *> p0(batch), p1(batch), p2(batch);
+    d0s.reserve(batch);
+    d1s.reserve(batch);
+    d2s.reserve(batch);
+    for (std::size_t s = 0; s < batch; ++s) {
+        d0s.push_back(ws_->zeros(limb_idx, rns::Domain::Eval));
+        d1s.push_back(ws_->zeros(limb_idx, rns::Domain::Eval));
+        d2s.push_back(ws_->zeros(limb_idx, rns::Domain::Eval));
+        p0[s] = d0s[s].get();
+        p1[s] = d1s[s].get();
+        p2[s] = d2s[s].get();
+    }
+    multiplyTriple(kctx_, as, bs, p0.data(), p1.data(), p2.data(),
+                   batch);
+
+    // Relinearize d2 through the unified key-switch path.
+    std::vector<Workspace::Pooled> d2_scratch = std::move(d2s);
+    auto head = hoist(std::move(d2_scratch));
+    auto [ks0, ks1] = keySwitchTail(HoistedView::of(head), keys_.relin);
+
+    std::vector<const rns::RnsPolynomial *> k0(batch), k1(batch);
+    for (std::size_t s = 0; s < batch; ++s) {
+        k0[s] = &ks0[s];
+        k1[s] = &ks1[s];
+    }
+    addPolysInPlace(kctx_, p0.data(), k0.data(), batch);
+    addPolysInPlace(kctx_, p1.data(), k1.data(), batch);
+
+    for (std::size_t s = 0; s < batch; ++s) {
+        double scale = as[s].scale * bs[s].scale;
+        ws_->donate(std::move(as[s].c0));
+        ws_->donate(std::move(as[s].c1));
+        as[s].c0 = d0s[s].detach();
+        as[s].c1 = d1s[s].detach();
+        as[s].scale = scale;
+    }
+}
+
+// ------------------------------------------------------------------
+// Hoisted key switching
+
+const Dispatcher::PLift &
+Dispatcher::pLift(std::size_t level_count) const
+{
+    std::lock_guard<std::mutex> lock(pliftMu_);
+    auto it = plift_.find(level_count);
+    if (it != plift_.end())
+        return it->second;
+    PLift out;
+    const auto &tower = ctx_.tower();
+    out.pmodq.resize(level_count);
+    out.pmodqShoup.resize(level_count);
+    for (std::size_t i = 0; i < level_count; ++i) {
+        const Modulus &mod = tower.modulus(i);
+        u64 p = 1;
+        for (std::size_t k = 0; k < tower.numP(); ++k)
+            p = mod.mul(p, tower.prime(tower.specialIndex(k))
+                               % mod.value());
+        out.pmodq[i] = p;
+        out.pmodqShoup[i] = shoupPrecompute(p, mod.value());
+    }
+    return plift_.emplace(level_count, std::move(out)).first->second;
+}
+
+HoistedBatch
+Dispatcher::hoist(std::vector<Workspace::Pooled> ds) const
+{
+    std::size_t batch = ds.size();
+    TFHE_ASSERT(batch > 0, "empty hoist");
+    std::size_t lc = ds[0]->numLimbs();
+    std::size_t n = ctx_.n();
+    std::size_t alpha = ctx_.params().alpha();
+    auto v = ctx_.nttVariant();
+    EvalOpStats::instance().record(EvalOpKind::KsHoist, batch);
+
+    // Dcomp input to coefficient domain: all (slot x tower) INTTs of
+    // the batch in one dispatch.
+    std::vector<rns::RnsPolynomial *> d_ptrs(batch);
+    for (std::size_t s = 0; s < batch; ++s)
+        d_ptrs[s] = ds[s].get();
+    rns::toCoeffBatch(d_ptrs, v, kctx_.pool);
+
+    HoistedBatch h;
+    h.levelCount = lc;
+    for (std::size_t j = 0, start = 0; start < lc; ++j, start += alpha) {
+        std::size_t stop = std::min(start + alpha, lc);
+        std::size_t dl = stop - start;
+        std::vector<std::size_t> idx(
+            ds[0]->limbIndices().begin()
+                + static_cast<std::ptrdiff_t>(start),
+            ds[0]->limbIndices().begin()
+                + static_cast<std::ptrdiff_t>(stop));
+
+        // Per-digit constants are slot-independent: Dcomp scalars
+        // (with Shoup precomputations) computed once per batch.
+        std::vector<u64> scalars(dl), scalars_shoup(dl);
+        for (std::size_t i = 0; i < dl; ++i) {
+            scalars[i] = ctx_.dcompScalar(j, idx[i]);
+            scalars_shoup[i] = shoupPrecompute(
+                scalars[i], ctx_.tower().modulus(idx[i]).value());
+        }
+
+        // Slice the digit's limbs out of the batch and scale, both as
+        // flattened (slot x digit-limb) dispatches over arena scratch.
+        std::vector<Workspace::Pooled> raw;
+        std::vector<rns::RnsPolynomial *> raw_ptrs(batch);
+        raw.reserve(batch);
+        for (std::size_t s = 0; s < batch; ++s) {
+            raw.push_back(ws_->zeros(idx, rns::Domain::Coeff));
+            raw_ptrs[s] = raw[s].get();
+        }
+        kctx_.pool->parallelFor2D(batch, dl,
+                                  [&](std::size_t s, std::size_t i) {
+            std::copy(ds[s]->limb(start + i), ds[s]->limb(start + i) + n,
+                      raw_ptrs[s]->limb(i));
+        });
+        mulScalarShoup(kctx_, raw_ptrs.data(), scalars, scalars_shoup,
+                       batch);
+
+        // ModUp to the union basis through the context's memoized
+        // plan, into arena buffers.
+        std::vector<const rns::RnsPolynomial *> raw_in(raw_ptrs.begin(),
+                                                       raw_ptrs.end());
+        const auto &plan = ctx_.modUpPlan(j, lc);
+        std::vector<Workspace::Pooled> ups;
+        std::vector<rns::RnsPolynomial *> up_ptrs(batch);
+        ups.reserve(batch);
+        for (std::size_t s = 0; s < batch; ++s) {
+            ups.push_back(
+                ws_->zeros(plan.unionLimbs(), rns::Domain::Coeff));
+            up_ptrs[s] = ups[s].get();
+        }
+        plan.applyBatchInto(raw_in, up_ptrs.data(), kctx_.pool);
+        EvalOpStats::instance().recordModUp(batch);
+        h.digits.push_back(std::move(ups));
+    }
+
+    // Into Eval domain: every (digit x slot x tower) NTT of the head
+    // in ONE batched dispatch.
+    std::vector<rns::RnsPolynomial *> all;
+    all.reserve(h.numDigits() * batch);
+    for (auto &row : h.digits)
+        for (auto &p : row)
+            all.push_back(p.get());
+    rns::toEvalBatch(all, v, kctx_.pool);
+    return h;
+}
+
+HoistedBatch
+Dispatcher::hoistCopy(const rns::RnsPolynomial *const *ds,
+                      std::size_t batch) const
+{
+    std::vector<Workspace::Pooled> copies;
+    copies.reserve(batch);
+    std::size_t n = ctx_.n();
+    for (std::size_t s = 0; s < batch; ++s)
+        copies.push_back(
+            ws_->zeros(ds[s]->limbIndices(), ds[s]->domain()));
+    kctx_.pool->parallelFor2D(batch, ds[0]->numLimbs(),
+                              [&](std::size_t s, std::size_t i) {
+        std::copy(ds[s]->limb(i), ds[s]->limb(i) + n,
+                  copies[s]->limb(i));
+    });
+    return hoist(std::move(copies));
+}
+
+void
+Dispatcher::tailRawInto(const HoistedView &h, const ckks::SwitchKey &key,
+                        rns::RnsPolynomial *const *acc0,
+                        rns::RnsPolynomial *const *acc1) const
+{
+    requireArg(h.numDigits <= key.digits(),
+               "switch key has too few digits: ", key.digits(), " for ",
+               h.numDigits);
+    EvalOpStats::instance().record(EvalOpKind::KsTail, h.batchN);
+    auto rk = ctx_.restrictedKey(key, h.levelCount);
+    for (std::size_t j = 0; j < h.numDigits; ++j)
+        innerProductAccum(kctx_, acc0, acc1, h.row(j), rk->b[j],
+                          rk->a[j], h.batchN);
+}
+
+std::pair<std::vector<rns::RnsPolynomial>, std::vector<rns::RnsPolynomial>>
+Dispatcher::keySwitchTail(const HoistedView &h, const ckks::SwitchKey &key,
+                          const rns::ModDownPlan *down) const
+{
+    std::size_t batch = h.batchN;
+    auto v = ctx_.nttVariant();
+    auto union_limbs = ctx_.unionLimbs(h.levelCount);
+
+    std::vector<Workspace::Pooled> acc0, acc1;
+    std::vector<rns::RnsPolynomial *> a0(batch), a1(batch);
+    acc0.reserve(batch);
+    acc1.reserve(batch);
+    for (std::size_t s = 0; s < batch; ++s) {
+        acc0.push_back(ws_->zeros(union_limbs, rns::Domain::Eval));
+        acc1.push_back(ws_->zeros(union_limbs, rns::Domain::Eval));
+        a0[s] = acc0[s].get();
+        a1[s] = acc1[s].get();
+    }
+    tailRawInto(h, key, a0.data(), a1.data());
+
+    // ModDown by P: both accumulators of every slot share one batched
+    // dispatch (identical limb sets), then back to Eval domain.
+    std::vector<rns::RnsPolynomial *> acc_ptrs;
+    acc_ptrs.reserve(2 * batch);
+    for (auto *p : a0)
+        acc_ptrs.push_back(p);
+    for (auto *p : a1)
+        acc_ptrs.push_back(p);
+    rns::toCoeffBatch(acc_ptrs, v, kctx_.pool);
+
+    std::vector<const rns::RnsPolynomial *> acc_in(acc_ptrs.begin(),
+                                                   acc_ptrs.end());
+    const rns::ModDownPlan &plan =
+        down ? *down : ctx_.modDownPlan(h.levelCount);
+    auto q_idx = ctx_.qLimbs(h.levelCount);
+    std::vector<rns::RnsPolynomial> ks0, ks1;
+    std::vector<rns::RnsPolynomial *> out_ptrs;
+    ks0.reserve(batch);
+    ks1.reserve(batch);
+    out_ptrs.reserve(2 * batch);
+    for (std::size_t s = 0; s < batch; ++s)
+        ks0.emplace_back(ctx_.tower(), q_idx, rns::Domain::Coeff);
+    for (std::size_t s = 0; s < batch; ++s)
+        ks1.emplace_back(ctx_.tower(), q_idx, rns::Domain::Coeff);
+    for (auto &p : ks0)
+        out_ptrs.push_back(&p);
+    for (auto &p : ks1)
+        out_ptrs.push_back(&p);
+    plan.applyBatchInto(acc_in, out_ptrs.data(), kctx_.pool);
+    EvalOpStats::instance().recordModDown(2 * batch);
+    rns::toEvalBatch(out_ptrs, v, kctx_.pool);
+    return {std::move(ks0), std::move(ks1)};
+}
+
+HoistedBatch
+Dispatcher::permuteHead(const HoistedView &h, u64 galois) const
+{
+    HoistedBatch out;
+    out.levelCount = h.levelCount;
+    auto union_limbs = ctx_.unionLimbs(h.levelCount);
+    std::vector<const rns::RnsPolynomial *> all(h.table.begin(),
+                                                h.table.end());
+    std::vector<Workspace::Pooled> flat;
+    std::vector<rns::RnsPolynomial *> flat_ptrs(all.size());
+    flat.reserve(all.size());
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        flat.push_back(ws_->zeros(union_limbs, rns::Domain::Eval));
+        flat_ptrs[i] = flat[i].get();
+    }
+    rns::applyAutomorphismBatchInto(all, galois, flat_ptrs.data(),
+                                    kctx_.pool);
+    out.digits.resize(h.numDigits);
+    for (std::size_t j = 0; j < h.numDigits; ++j) {
+        out.digits[j].reserve(h.batchN);
+        for (std::size_t s = 0; s < h.batchN; ++s)
+            out.digits[j].push_back(
+                std::move(flat[j * h.batchN + s]));
+    }
+    return out;
+}
+
+// ------------------------------------------------------------------
+// Rotations
+
+std::vector<std::vector<ckks::Ciphertext>>
+Dispatcher::rotateMany(const ckks::Ciphertext *as, std::size_t batch,
+                       const std::vector<s64> &steps) const
+{
+    std::vector<std::vector<ckks::Ciphertext>> out(steps.size());
+    if (batch == 0)
+        return out;
+    std::size_t slots = ctx_.slots();
+    std::vector<s64> norms(steps.size());
+    bool any_nonzero = false;
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+        norms[i] = ((steps[i] % s64(slots)) + s64(slots)) % s64(slots);
+        if (norms[i] == 0)
+            continue;
+        requireArg(keys_.rot.count(norms[i]) != 0,
+                   "no rotation key for step ", norms[i]);
+        any_nonzero = true;
+    }
+    auto copyInput = [&](std::vector<ckks::Ciphertext> &dst) {
+        dst.assign(as, as + batch);
+    };
+    if (!any_nonzero) {
+        for (auto &cts : out)
+            copyInput(cts);
+        return out;
+    }
+
+    // Hoist every slot's c1 once; the head and the tails' ModDown
+    // plan are shared by all steps.
+    std::vector<const rns::RnsPolynomial *> c1s(batch);
+    for (std::size_t s = 0; s < batch; ++s)
+        c1s[s] = &as[s].c1;
+    auto head = hoist([&] {
+        std::vector<Workspace::Pooled> copies;
+        copies.reserve(batch);
+        std::size_t n = ctx_.n();
+        for (std::size_t s = 0; s < batch; ++s)
+            copies.push_back(
+                ws_->zeros(c1s[s]->limbIndices(), c1s[s]->domain()));
+        kctx_.pool->parallelFor2D(batch, c1s[0]->numLimbs(),
+                                  [&](std::size_t s, std::size_t i) {
+            std::copy(c1s[s]->limb(i), c1s[s]->limb(i) + n,
+                      copies[s]->limb(i));
+        });
+        return copies;
+    }());
+    auto view = HoistedView::of(head);
+    const rns::ModDownPlan &down = ctx_.modDownPlan(head.levelCount);
+
+    std::vector<const rns::RnsPolynomial *> c0_ptrs(batch);
+    for (std::size_t s = 0; s < batch; ++s)
+        c0_ptrs[s] = &as[s].c0;
+
+    for (std::size_t r = 0; r < steps.size(); ++r) {
+        if (norms[r] == 0) {
+            copyInput(out[r]);
+            continue;
+        }
+        EvalOpStats::instance().record(EvalOpKind::HRotate, batch);
+        u64 galois = ctx_.galoisForRotation(norms[r]);
+
+        // One shared permutation over every (digit, slot) and over
+        // the c0 components.
+        auto rotated = permuteHead(view, galois);
+        auto [ks0, ks1] = keySwitchTail(HoistedView::of(rotated),
+                                        keys_.rot.at(norms[r]), &down);
+        auto c0r = rns::applyAutomorphismBatch(c0_ptrs, galois,
+                                               kctx_.pool);
+
+        std::vector<rns::RnsPolynomial *> kp(batch);
+        std::vector<const rns::RnsPolynomial *> cp(batch);
+        for (std::size_t s = 0; s < batch; ++s) {
+            kp[s] = &ks0[s];
+            cp[s] = &c0r[s];
+        }
+        addPolysInPlace(kctx_, kp.data(), cp.data(), batch);
+        out[r].resize(batch);
+        for (std::size_t s = 0; s < batch; ++s) {
+            out[r][s].c0 = std::move(ks0[s]);
+            out[r][s].c1 = std::move(ks1[s]);
+            out[r][s].scale = as[s].scale;
+            ws_->donate(std::move(c0r[s]));
+        }
+    }
+    return out;
+}
+
+std::vector<ckks::Ciphertext>
+Dispatcher::conjugate(const ckks::Ciphertext *as, std::size_t batch) const
+{
+    std::vector<ckks::Ciphertext> out(batch);
+    if (batch == 0)
+        return out;
+    EvalOpStats::instance().record(EvalOpKind::Conjugate, batch);
+    u64 galois = ctx_.galoisForConjugation();
+
+    std::vector<const rns::RnsPolynomial *> c1s(batch), c0s(batch);
+    for (std::size_t s = 0; s < batch; ++s) {
+        c1s[s] = &as[s].c1;
+        c0s[s] = &as[s].c0;
+    }
+    auto head = hoistCopy(c1s.data(), batch);
+    auto rotated = permuteHead(HoistedView::of(head), galois);
+    auto [ks0, ks1] =
+        keySwitchTail(HoistedView::of(rotated), keys_.conj);
+    auto c0r = rns::applyAutomorphismBatch(c0s, galois, kctx_.pool);
+
+    std::vector<rns::RnsPolynomial *> kp(batch);
+    std::vector<const rns::RnsPolynomial *> cp(batch);
+    for (std::size_t s = 0; s < batch; ++s) {
+        kp[s] = &ks0[s];
+        cp[s] = &c0r[s];
+    }
+    addPolysInPlace(kctx_, kp.data(), cp.data(), batch);
+    for (std::size_t s = 0; s < batch; ++s) {
+        out[s].c0 = std::move(ks0[s]);
+        out[s].c1 = std::move(ks1[s]);
+        out[s].scale = as[s].scale;
+        ws_->donate(std::move(c0r[s]));
+    }
+    return out;
+}
+
+// ------------------------------------------------------------------
+// Double-hoisted BSGS
+
+std::vector<ckks::Ciphertext>
+Dispatcher::applyBsgs(const BsgsProgram &program,
+                      const ckks::Ciphertext *as, std::size_t batch) const
+{
+    TFHE_ASSERT(!program.groups.empty(), "empty BSGS program");
+    std::vector<ckks::Ciphertext> out(batch);
+    if (batch == 0)
+        return out;
+    std::size_t lc = as[0].levelCount();
+    requireArg(lc >= 2,
+               "linear transform consumes one level: cannot apply at "
+               "level 0");
+    auto v = ctx_.nttVariant();
+    auto union_limbs = ctx_.unionLimbs(lc);
+    const PLift &plift = pLift(lc);
+    auto &stats = EvalOpStats::instance();
+    double pt_scale = program.groups[0].entries[0].pt->scale;
+
+    auto zerosUnion = [&] { return ws_->zeros(union_limbs,
+                                              rns::Domain::Eval); };
+    auto pooledRow = [&](std::vector<Workspace::Pooled> &row,
+                         std::vector<rns::RnsPolynomial *> &ptrs) {
+        row.reserve(batch);
+        ptrs.resize(batch);
+        for (std::size_t s = 0; s < batch; ++s) {
+            row.push_back(zerosUnion());
+            ptrs[s] = row[s].get();
+        }
+    };
+
+    // ---------------- head-1: one hoist serves every baby step -----
+    // Per baby step b: permute the head, raw tail against key_b (NO
+    // ModDown — the pair stays on the extended QP basis), and fold
+    // P * rot_b(c0) into the c0 half so the eventual ModDown yields
+    // exactly rot_b(ct).
+    std::size_t n_baby = program.babySteps.size();
+    std::vector<std::vector<Workspace::Pooled>> T0(n_baby), T1(n_baby);
+    std::vector<std::vector<rns::RnsPolynomial *>> T0p(n_baby),
+        T1p(n_baby);
+    if (n_baby > 0) {
+        std::vector<const rns::RnsPolynomial *> c1s(batch);
+        std::vector<const rns::RnsPolynomial *> c0s(batch);
+        for (std::size_t s = 0; s < batch; ++s) {
+            c1s[s] = &as[s].c1;
+            c0s[s] = &as[s].c0;
+        }
+        auto head = hoistCopy(c1s.data(), batch);
+        auto view = HoistedView::of(head);
+        for (std::size_t bi = 0; bi < n_baby; ++bi) {
+            s64 step = program.babySteps[bi];
+            requireArg(keys_.rot.count(step) != 0,
+                       "no rotation key for step ", step);
+            stats.record(EvalOpKind::HRotate, batch);
+            u64 galois = ctx_.galoisForRotation(step);
+            auto rotated = permuteHead(view, galois);
+            pooledRow(T0[bi], T0p[bi]);
+            pooledRow(T1[bi], T1p[bi]);
+            tailRawInto(HoistedView::of(rotated), keys_.rot.at(step),
+                        T0p[bi].data(), T1p[bi].data());
+
+            // P * rot_b(c0) into the q-part of the c0 accumulator.
+            auto c0r = rns::applyAutomorphismBatch(c0s, galois,
+                                                   kctx_.pool);
+            std::vector<const rns::RnsPolynomial *> c0r_ptrs(batch);
+            for (std::size_t s = 0; s < batch; ++s)
+                c0r_ptrs[s] = &c0r[s];
+            addPLifted(kctx_, T0p[bi].data(), c0r_ptrs.data(),
+                       plift.pmodq, plift.pmodqShoup, batch);
+            for (auto &p : c0r)
+                ws_->donate(std::move(p));
+        }
+    }
+
+    // The b = 0 term: P * ct lifted onto the union basis.
+    bool need_b0 = false;
+    for (const auto &g : program.groups)
+        for (const auto &e : g.entries)
+            need_b0 = need_b0 || e.baby == 0;
+    std::vector<Workspace::Pooled> B0, B1;
+    std::vector<rns::RnsPolynomial *> B0p, B1p;
+    if (need_b0) {
+        pooledRow(B0, B0p);
+        pooledRow(B1, B1p);
+        std::vector<const rns::RnsPolynomial *> c0s(batch), c1s(batch);
+        for (std::size_t s = 0; s < batch; ++s) {
+            c0s[s] = &as[s].c0;
+            c1s[s] = &as[s].c1;
+        }
+        addPLifted(kctx_, B0p.data(), c0s.data(), plift.pmodq,
+                   plift.pmodqShoup, batch);
+        addPLifted(kctx_, B1p.data(), c1s.data(), plift.pmodq,
+                   plift.pmodqShoup, batch);
+    }
+
+    auto babyPair = [&](s64 b)
+        -> std::pair<rns::RnsPolynomial *const *,
+                     rns::RnsPolynomial *const *> {
+        if (b == 0)
+            return {B0p.data(), B1p.data()};
+        auto it = std::lower_bound(program.babySteps.begin(),
+                                   program.babySteps.end(), b);
+        std::size_t bi = static_cast<std::size_t>(
+            it - program.babySteps.begin());
+        return {T0p[bi].data(), T1p[bi].data()};
+    };
+
+    // ---------------- giant groups ---------------------------------
+    // Global QP accumulator pair; each group's diagonal products sum
+    // on QP, shifted groups pay one c1-only ModDown + head-2 hoist +
+    // raw tail, and the group's c0 half rides as a pure permutation.
+    std::vector<Workspace::Pooled> G0, G1;
+    std::vector<rns::RnsPolynomial *> G0p, G1p;
+    pooledRow(G0, G0p);
+    pooledRow(G1, G1p);
+    bool first_group = true;
+
+    for (const auto &group : program.groups) {
+        // acc = sum_b diag'_{k,b} (had) T_b on the extended basis.
+        std::vector<Workspace::Pooled> acc0, acc1;
+        std::vector<rns::RnsPolynomial *> acc0p, acc1p;
+        pooledRow(acc0, acc0p);
+        pooledRow(acc1, acc1p);
+        bool first_entry = true;
+        for (const auto &entry : group.entries) {
+            stats.record(EvalOpKind::CMult, batch);
+            if (!first_entry)
+                stats.record(EvalOpKind::HAdd, batch);
+            first_entry = false;
+            auto [s0, s1] = babyPair(entry.baby);
+            std::vector<const rns::RnsPolynomial *> src0(batch),
+                src1(batch);
+            for (std::size_t s = 0; s < batch; ++s) {
+                src0[s] = s0[s];
+                src1[s] = s1[s];
+            }
+            hadaAccumPlain(kctx_, acc0p.data(), src0.data(), *entry.pt,
+                           batch);
+            hadaAccumPlain(kctx_, acc1p.data(), src1.data(), *entry.pt,
+                           batch);
+        }
+
+        if (!first_group)
+            stats.record(EvalOpKind::HAdd, batch);
+
+        if (group.shift == 0) {
+            std::vector<const rns::RnsPolynomial *> a0(batch), a1(batch);
+            for (std::size_t s = 0; s < batch; ++s) {
+                a0[s] = acc0p[s];
+                a1[s] = acc1p[s];
+            }
+            addPolysInPlace(kctx_, G0p.data(), a0.data(), batch);
+            addPolysInPlace(kctx_, G1p.data(), a1.data(), batch);
+            first_group = false;
+            continue;
+        }
+
+        // Giant rotation of the group sum: ModDown the c1 half only,
+        // hoist it (head-2 of this group), permute, raw tail; the c0
+        // half is permuted directly on QP — its ModDown stays
+        // deferred to the single final one.
+        stats.record(EvalOpKind::HRotate, batch);
+        requireArg(keys_.rot.count(group.shift) != 0,
+                   "no rotation key for step ", group.shift);
+        u64 galois = ctx_.galoisForRotation(group.shift);
+
+        rns::toCoeffBatch(acc1p, v, kctx_.pool);
+        std::vector<const rns::RnsPolynomial *> acc1_in(acc1p.begin(),
+                                                        acc1p.end());
+        const auto &mdplan = ctx_.modDownPlan(lc);
+        auto q_idx = ctx_.qLimbs(lc);
+        std::vector<Workspace::Pooled> md1;
+        std::vector<rns::RnsPolynomial *> md1p(batch);
+        md1.reserve(batch);
+        for (std::size_t s = 0; s < batch; ++s) {
+            md1.push_back(ws_->zeros(q_idx, rns::Domain::Coeff));
+            md1p[s] = md1[s].get();
+        }
+        mdplan.applyBatchInto(acc1_in, md1p.data(), kctx_.pool);
+        stats.recordModDown(batch);
+
+        auto head2 = hoist(std::move(md1));
+        auto rotated = permuteHead(HoistedView::of(head2), galois);
+        std::vector<Workspace::Pooled> g0, g1;
+        std::vector<rns::RnsPolynomial *> g0p, g1p;
+        pooledRow(g0, g0p);
+        pooledRow(g1, g1p);
+        tailRawInto(HoistedView::of(rotated), keys_.rot.at(group.shift),
+                    g0p.data(), g1p.data());
+
+        // Permute the QP c0 half of the group sum.
+        std::vector<const rns::RnsPolynomial *> acc0_in(batch);
+        for (std::size_t s = 0; s < batch; ++s)
+            acc0_in[s] = acc0p[s];
+        std::vector<Workspace::Pooled> c0rot;
+        std::vector<rns::RnsPolynomial *> c0rotp(batch);
+        c0rot.reserve(batch);
+        for (std::size_t s = 0; s < batch; ++s) {
+            c0rot.push_back(zerosUnion());
+            c0rotp[s] = c0rot[s].get();
+        }
+        rns::applyAutomorphismBatchInto(acc0_in, galois, c0rotp.data(),
+                                        kctx_.pool);
+
+        std::vector<const rns::RnsPolynomial *> add0(batch), add1(batch),
+            addc(batch);
+        for (std::size_t s = 0; s < batch; ++s) {
+            add0[s] = g0p[s];
+            add1[s] = g1p[s];
+            addc[s] = c0rotp[s];
+        }
+        addPolysInPlace(kctx_, G0p.data(), add0.data(), batch);
+        addPolysInPlace(kctx_, G0p.data(), addc.data(), batch);
+        addPolysInPlace(kctx_, G1p.data(), add1.data(), batch);
+        first_group = false;
+    }
+
+    // ---------------- single final ModDown + rescale ---------------
+    std::vector<rns::RnsPolynomial *> g_all;
+    g_all.reserve(2 * batch);
+    for (auto *p : G0p)
+        g_all.push_back(p);
+    for (auto *p : G1p)
+        g_all.push_back(p);
+    rns::toCoeffBatch(g_all, v, kctx_.pool);
+    std::vector<const rns::RnsPolynomial *> g_in(g_all.begin(),
+                                                 g_all.end());
+    const auto &mdplan = ctx_.modDownPlan(lc);
+    auto q_idx = ctx_.qLimbs(lc);
+    std::vector<rns::RnsPolynomial> final0, final1;
+    std::vector<rns::RnsPolynomial *> final_ptrs;
+    final0.reserve(batch);
+    final1.reserve(batch);
+    final_ptrs.reserve(2 * batch);
+    for (std::size_t s = 0; s < batch; ++s)
+        final0.emplace_back(ctx_.tower(), q_idx, rns::Domain::Coeff);
+    for (std::size_t s = 0; s < batch; ++s)
+        final1.emplace_back(ctx_.tower(), q_idx, rns::Domain::Coeff);
+    for (auto &p : final0)
+        final_ptrs.push_back(&p);
+    for (auto &p : final1)
+        final_ptrs.push_back(&p);
+    mdplan.applyBatchInto(g_in, final_ptrs.data(), kctx_.pool);
+    stats.recordModDown(2 * batch);
+    rns::toEvalBatch(final_ptrs, v, kctx_.pool);
+
+    for (std::size_t s = 0; s < batch; ++s) {
+        out[s].c0 = std::move(final0[s]);
+        out[s].c1 = std::move(final1[s]);
+        out[s].scale = as[s].scale * pt_scale;
+    }
+    rescaleInPlace(out.data(), batch);
+    return out;
+}
+
+} // namespace tensorfhe::exec

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * The unified kernel/dispatch layer (paper SIV-D/E): ONE execution
+ * path for every CKKS operation, shared by the serial ckks::Evaluator
+ * (batch = 1) and batch::BatchedEvaluator (batch = B). Both façades
+ * validate their inputs and delegate here; the Dispatcher flattens
+ * each operation over the (batch-slot x tower) space through the
+ * span kernels (exec/kernels.hh), checks scratch out of the
+ * Workspace arena, and records the executed-operation counters the
+ * op-count models are checked against.
+ *
+ * The Dispatcher also executes the double-hoisted BSGS linear
+ * transform (applyBsgs): boot::LinearTransformPlan compiles its
+ * diagonals into a BsgsProgram and this layer runs it — see
+ * src/exec/README.md for the head-1/head-2 dataflow.
+ */
+
+#ifndef TENSORFHE_EXEC_DISPATCH_HH
+#define TENSORFHE_EXEC_DISPATCH_HH
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "ckks/context.hh"
+#include "exec/kernels.hh"
+#include "exec/workspace.hh"
+
+namespace tensorfhe::exec
+{
+
+/**
+ * The hoisted key-switch head of a batch: digits[j][s] is digit j of
+ * batch slot s — Dcomp-scaled, ModUp-extended to the union basis,
+ * Eval domain. Buffers are Workspace leases: the head's storage
+ * returns to the arena when the batch dies.
+ */
+struct HoistedBatch
+{
+    std::vector<std::vector<Workspace::Pooled>> digits;
+    std::size_t levelCount = 0;
+
+    std::size_t numDigits() const { return digits.size(); }
+    std::size_t
+    batch() const
+    {
+        return digits.empty() ? 0 : digits[0].size();
+    }
+};
+
+/**
+ * Non-owning (digit x slot) view of a hoisted head — the shape the
+ * key-switch tail consumes. Lets the tail run over a HoistedBatch,
+ * over externally-owned digits (ckks::HoistedDigits, batch = 1), or
+ * over a permuted copy, through one code path.
+ */
+struct HoistedView
+{
+    std::vector<const rns::RnsPolynomial *> table; ///< j * batch + s
+    std::size_t numDigits = 0;
+    std::size_t batchN = 0;
+    std::size_t levelCount = 0;
+
+    const rns::RnsPolynomial *const *
+    row(std::size_t j) const
+    {
+        return table.data() + j * batchN;
+    }
+
+    static HoistedView of(const HoistedBatch &h);
+};
+
+/**
+ * A compiled BSGS linear transform: the nonzero diagonals regrouped
+ * d = k*g + b, with the per-level encoded diagonal plaintexts
+ * (extended to the key-switch union basis) owned by the compiling
+ * plan. entry.baby == 0 means the unrotated input; group.shift == 0
+ * means no giant rotation.
+ */
+struct BsgsEntry
+{
+    s64 baby;
+    const ckks::Plaintext *pt; ///< union-basis encoded diagonal
+};
+
+struct BsgsGroup
+{
+    s64 shift;
+    std::vector<BsgsEntry> entries;
+};
+
+struct BsgsProgram
+{
+    std::vector<s64> babySteps; ///< sorted distinct nonzero baby steps
+    std::vector<BsgsGroup> groups;
+};
+
+class Dispatcher
+{
+  public:
+    /**
+     * @param keys must outlive the dispatcher; rotation keys are
+     *             looked up per step on demand.
+     * @param pool worker pool the flattened dispatches drain through;
+     *             null = process-global pool.
+     */
+    Dispatcher(const ckks::CkksContext &ctx, const ckks::KeyBundle &keys,
+               ThreadPool *pool = nullptr);
+
+    const ckks::CkksContext &context() const { return ctx_; }
+    ThreadPool &pool() const { return *kctx_.pool; }
+    const KernelCtx &kctx() const { return kctx_; }
+    Workspace &workspace() const { return *ws_; }
+
+    /*
+     * Elementwise operations, in-place over the output span. Aliasing
+     * the input span onto the output span is supported (x += x).
+     * Callers validate levels/scales; these record the executed-op
+     * counters and run the kernels.
+     */
+    void addInPlace(ckks::Ciphertext *as, const ckks::Ciphertext *bs,
+                    std::size_t batch) const;
+    void subInPlace(ckks::Ciphertext *as, const ckks::Ciphertext *bs,
+                    std::size_t batch) const;
+    void addPlainInPlace(ckks::Ciphertext *as, const ckks::Plaintext &p,
+                         std::size_t batch) const;
+    void subPlainInPlace(ckks::Ciphertext *as, const ckks::Plaintext &p,
+                         std::size_t batch) const;
+    /** CMULT; updates each scale to a.scale * p.scale. */
+    void multiplyPlainInPlace(ckks::Ciphertext *as,
+                              const ckks::Plaintext &p,
+                              std::size_t batch) const;
+
+    /** RESCALE in place (drop last limb, divide scale by q_last). */
+    void rescaleInPlace(ckks::Ciphertext *as, std::size_t batch) const;
+
+    /** HMULT + relinearization; result replaces `as`. */
+    void multiplyInPlace(ckks::Ciphertext *as, const ckks::Ciphertext *bs,
+                         std::size_t batch) const;
+
+    /**
+     * Hoisted HROTATE across the batch and the step dimension: one
+     * key-switch head per batch slot shared by every step.
+     * result[i] = the whole batch rotated by steps[i] (step 0 copies
+     * the input). Bit-identical to serial per-(slot, step) rotation.
+     */
+    std::vector<std::vector<ckks::Ciphertext>>
+    rotateMany(const ckks::Ciphertext *as, std::size_t batch,
+               const std::vector<s64> &steps) const;
+
+    /** Complex conjugation of every slot (same phases as a rotation). */
+    std::vector<ckks::Ciphertext> conjugate(const ckks::Ciphertext *as,
+                                            std::size_t batch) const;
+
+    /**
+     * Phase 1 of generalized key switching: Dcomp -> Dcomp-scale ->
+     * ModUp -> one fused NTT dispatch over every (digit, slot, tower).
+     * Consumes its scratch inputs (any domain).
+     */
+    HoistedBatch hoist(std::vector<Workspace::Pooled> ds) const;
+
+    /** hoist() of copies of externally-owned polynomials. */
+    HoistedBatch hoistCopy(const rns::RnsPolynomial *const *ds,
+                           std::size_t batch) const;
+
+    /**
+     * Phase 2: inner product against `key` (restricted to the union
+     * basis via the context cache) + ModDown + NTT back to Eval.
+     * @param down optional shared ModDown plan (rotateMany reuses one
+     *             across steps).
+     */
+    std::pair<std::vector<rns::RnsPolynomial>,
+              std::vector<rns::RnsPolynomial>>
+    keySwitchTail(const HoistedView &h, const ckks::SwitchKey &key,
+                  const rns::ModDownPlan *down = nullptr) const;
+
+    /**
+     * Run a compiled BSGS program with double hoisting: head-1 serves
+     * every baby step (raw tails, ModDown deferred — outputs stay on
+     * the extended QP basis), diagonal products and giant-group sums
+     * accumulate on QP, each nonzero giant step pays one c1-only
+     * ModDown + head-2 hoist + raw tail, and ONE final ModDown pair +
+     * RESCALE closes the transform. Cuts the per-transform basis
+     * conversions from ~2 per keyswitch (2*(baby+giant) ModDowns) to
+     * giant + 2, and — with the cost-model-chosen giant stride — the
+     * ModUp/hoist count versus the classic sqrt-stride BSGS.
+     */
+    std::vector<ckks::Ciphertext> applyBsgs(const BsgsProgram &program,
+                                            const ckks::Ciphertext *as,
+                                            std::size_t batch) const;
+
+  private:
+    struct PLift
+    {
+        std::vector<u64> pmodq;      ///< (P mod q_i) per q-limb
+        std::vector<u64> pmodqShoup;
+    };
+    const PLift &pLift(std::size_t level_count) const;
+
+    /** Raw key-switch tail: inner product only, Eval domain, union
+        basis, no ModDown — accumulates into preshaped zero polys. */
+    void tailRawInto(const HoistedView &h, const ckks::SwitchKey &key,
+                     rns::RnsPolynomial *const *acc0,
+                     rns::RnsPolynomial *const *acc1) const;
+
+    /** Permute a hoisted head by one Galois element (shared FrobeniusMap
+        across every (digit, slot)), into pooled buffers. */
+    HoistedBatch permuteHead(const HoistedView &h, u64 galois) const;
+
+    const ckks::CkksContext &ctx_;
+    const ckks::KeyBundle &keys_;
+    KernelCtx kctx_;
+    std::unique_ptr<Workspace> ws_;
+    mutable std::mutex pliftMu_;
+    mutable std::map<std::size_t, PLift> plift_;
+};
+
+} // namespace tensorfhe::exec
+
+#endif // TENSORFHE_EXEC_DISPATCH_HH

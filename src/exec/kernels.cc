@@ -1,0 +1,270 @@
+#include "exec/kernels.hh"
+
+#include "common/logging.hh"
+#include "common/modarith.hh"
+#include "common/thread_pool.hh"
+
+namespace tensorfhe::exec
+{
+
+KernelCtx::KernelCtx(ThreadPool *p)
+    : pool(p ? p : &ThreadPool::global())
+{}
+
+namespace
+{
+
+/** Shared body of the ciphertext-pair elementwise kernels. */
+template <typename OpFn>
+void
+elementwisePair(const KernelCtx &ctx, ckks::Ciphertext *out,
+                const ckks::Ciphertext *b, std::size_t batch,
+                KernelKind kind, OpFn &&op)
+{
+    if (batch == 0)
+        return;
+    std::size_t limbs = out[0].levelCount();
+    std::size_t n = out[0].c0.n();
+    ScopedKernelTimer timer(kind, 2 * batch * limbs * n);
+    ctx.pool->parallelFor2D(batch, limbs,
+                            [&](std::size_t s, std::size_t i) {
+        const Modulus &mod = out[s].c0.limbModulus(i);
+        u64 *p0 = out[s].c0.limb(i);
+        u64 *p1 = out[s].c1.limb(i);
+        const u64 *q0 = b[s].c0.limb(i);
+        const u64 *q1 = b[s].c1.limb(i);
+        for (std::size_t c = 0; c < n; ++c) {
+            p0[c] = op(mod, p0[c], q0[c]);
+            p1[c] = op(mod, p1[c], q1[c]);
+        }
+    });
+}
+
+template <typename OpFn>
+void
+plainC0(const KernelCtx &ctx, ckks::Ciphertext *out,
+        const ckks::Plaintext &p, std::size_t batch, KernelKind kind,
+        OpFn &&op)
+{
+    if (batch == 0)
+        return;
+    std::size_t limbs = out[0].levelCount();
+    std::size_t n = out[0].c0.n();
+    ScopedKernelTimer timer(kind, batch * limbs * n);
+    ctx.pool->parallelFor2D(batch, limbs,
+                            [&](std::size_t s, std::size_t i) {
+        const Modulus &mod = out[s].c0.limbModulus(i);
+        u64 *p0 = out[s].c0.limb(i);
+        const u64 *pp = p.poly.limb(i);
+        for (std::size_t c = 0; c < n; ++c)
+            p0[c] = op(mod, p0[c], pp[c]);
+    });
+}
+
+} // namespace
+
+void
+eleAddCts(const KernelCtx &ctx, ckks::Ciphertext *out,
+          const ckks::Ciphertext *b, std::size_t batch)
+{
+    elementwisePair(ctx, out, b, batch, KernelKind::EleAdd,
+                    [](const Modulus &m, u64 x, u64 y) {
+                        return m.add(x, y);
+                    });
+}
+
+void
+eleSubCts(const KernelCtx &ctx, ckks::Ciphertext *out,
+          const ckks::Ciphertext *b, std::size_t batch)
+{
+    elementwisePair(ctx, out, b, batch, KernelKind::EleSub,
+                    [](const Modulus &m, u64 x, u64 y) {
+                        return m.sub(x, y);
+                    });
+}
+
+void
+addPlainC0(const KernelCtx &ctx, ckks::Ciphertext *out,
+           const ckks::Plaintext &p, std::size_t batch)
+{
+    plainC0(ctx, out, p, batch, KernelKind::EleAdd,
+            [](const Modulus &m, u64 x, u64 y) { return m.add(x, y); });
+}
+
+void
+subPlainC0(const KernelCtx &ctx, ckks::Ciphertext *out,
+           const ckks::Plaintext &p, std::size_t batch)
+{
+    plainC0(ctx, out, p, batch, KernelKind::EleSub,
+            [](const Modulus &m, u64 x, u64 y) { return m.sub(x, y); });
+}
+
+void
+hadaMultPlainCts(const KernelCtx &ctx, ckks::Ciphertext *out,
+                 const ckks::Plaintext &p, std::size_t batch)
+{
+    if (batch == 0)
+        return;
+    std::size_t limbs = out[0].levelCount();
+    std::size_t n = out[0].c0.n();
+    ScopedKernelTimer timer(KernelKind::HadaMult, 2 * batch * limbs * n);
+    ctx.pool->parallelFor2D(batch, limbs,
+                            [&](std::size_t s, std::size_t i) {
+        const Modulus &mod = out[s].c0.limbModulus(i);
+        u64 *p0 = out[s].c0.limb(i);
+        u64 *p1 = out[s].c1.limb(i);
+        const u64 *pp = p.poly.limb(i);
+        for (std::size_t c = 0; c < n; ++c) {
+            p0[c] = mod.mul(p0[c], pp[c]);
+            p1[c] = mod.mul(p1[c], pp[c]);
+        }
+    });
+}
+
+void
+multiplyTriple(const KernelCtx &ctx, const ckks::Ciphertext *a,
+               const ckks::Ciphertext *b,
+               rns::RnsPolynomial *const *d0s,
+               rns::RnsPolynomial *const *d1s,
+               rns::RnsPolynomial *const *d2s, std::size_t batch)
+{
+    if (batch == 0)
+        return;
+    std::size_t limbs = a[0].levelCount();
+    std::size_t n = a[0].c0.n();
+    ScopedKernelTimer timer(KernelKind::HadaMult, 4 * batch * limbs * n);
+    ctx.pool->parallelFor2D(batch, limbs,
+                            [&](std::size_t s, std::size_t i) {
+        const Modulus &mod = d0s[s]->limbModulus(i);
+        u64 *p0 = d0s[s]->limb(i);
+        u64 *p1 = d1s[s]->limb(i);
+        u64 *p2 = d2s[s]->limb(i);
+        const u64 *a0 = a[s].c0.limb(i);
+        const u64 *a1 = a[s].c1.limb(i);
+        const u64 *b0 = b[s].c0.limb(i);
+        const u64 *b1 = b[s].c1.limb(i);
+        for (std::size_t c = 0; c < n; ++c) {
+            p0[c] = mod.mul(a0[c], b0[c]);
+            p1[c] = mod.add(mod.mul(a0[c], b1[c]),
+                            mod.mul(a1[c], b0[c]));
+            p2[c] = mod.mul(a1[c], b1[c]);
+        }
+    });
+}
+
+void
+addPolysInPlace(const KernelCtx &ctx, rns::RnsPolynomial *const *accs,
+                const rns::RnsPolynomial *const *bs, std::size_t batch)
+{
+    if (batch == 0)
+        return;
+    std::size_t limbs = accs[0]->numLimbs();
+    std::size_t n = accs[0]->n();
+    ScopedKernelTimer timer(KernelKind::EleAdd, batch * limbs * n);
+    ctx.pool->parallelFor2D(batch, limbs,
+                            [&](std::size_t s, std::size_t i) {
+        const Modulus &mod = accs[s]->limbModulus(i);
+        u64 *pa = accs[s]->limb(i);
+        const u64 *pb = bs[s]->limb(i);
+        for (std::size_t c = 0; c < n; ++c)
+            pa[c] = mod.add(pa[c], pb[c]);
+    });
+}
+
+void
+innerProductAccum(const KernelCtx &ctx, rns::RnsPolynomial *const *acc0,
+                  rns::RnsPolynomial *const *acc1,
+                  const rns::RnsPolynomial *const *digits,
+                  const rns::RnsPolynomial &keyb,
+                  const rns::RnsPolynomial &keya, std::size_t batch)
+{
+    if (batch == 0)
+        return;
+    std::size_t ul = acc0[0]->numLimbs();
+    std::size_t n = acc0[0]->n();
+    ScopedKernelTimer timer(KernelKind::HadaMult, 2 * batch * ul * n);
+    ctx.pool->parallelFor2D(batch, ul,
+                            [&](std::size_t s, std::size_t i) {
+        const rns::RnsPolynomial &up = *digits[s];
+        const Modulus &mod = up.limbModulus(i);
+        const u64 *pu = up.limb(i);
+        const u64 *pb = keyb.limb(i);
+        const u64 *pa = keya.limb(i);
+        u64 *p0 = acc0[s]->limb(i);
+        u64 *p1 = acc1[s]->limb(i);
+        for (std::size_t c = 0; c < n; ++c) {
+            p0[c] = mod.add(p0[c], mod.mul(pu[c], pb[c]));
+            p1[c] = mod.add(p1[c], mod.mul(pu[c], pa[c]));
+        }
+    });
+}
+
+void
+hadaAccumPlain(const KernelCtx &ctx, rns::RnsPolynomial *const *accs,
+               const rns::RnsPolynomial *const *srcs,
+               const ckks::Plaintext &p, std::size_t batch)
+{
+    if (batch == 0)
+        return;
+    std::size_t limbs = accs[0]->numLimbs();
+    std::size_t n = accs[0]->n();
+    TFHE_ASSERT(p.poly.numLimbs() >= limbs,
+                "plaintext does not cover the accumulator basis");
+    ScopedKernelTimer timer(KernelKind::HadaMult, batch * limbs * n);
+    ctx.pool->parallelFor2D(batch, limbs,
+                            [&](std::size_t s, std::size_t i) {
+        const Modulus &mod = accs[s]->limbModulus(i);
+        u64 *pa = accs[s]->limb(i);
+        const u64 *ps = srcs[s]->limb(i);
+        const u64 *pp = p.poly.limb(i);
+        for (std::size_t c = 0; c < n; ++c)
+            pa[c] = mod.add(pa[c], mod.mul(pp[c], ps[c]));
+    });
+}
+
+void
+addPLifted(const KernelCtx &ctx, rns::RnsPolynomial *const *accs,
+           const rns::RnsPolynomial *const *srcs,
+           const std::vector<u64> &pmodq,
+           const std::vector<u64> &pmodqShoup, std::size_t batch)
+{
+    if (batch == 0)
+        return;
+    std::size_t limbs = srcs[0]->numLimbs(); // the q-part only
+    std::size_t n = srcs[0]->n();
+    TFHE_ASSERT(accs[0]->numLimbs() >= limbs,
+                "accumulator smaller than the lifted source");
+    ScopedKernelTimer timer(KernelKind::HadaMult, batch * limbs * n);
+    ctx.pool->parallelFor2D(batch, limbs,
+                            [&](std::size_t s, std::size_t i) {
+        const Modulus &mod = accs[s]->limbModulus(i);
+        u64 *pa = accs[s]->limb(i);
+        const u64 *ps = srcs[s]->limb(i);
+        u64 scalar = pmodq[i];
+        u64 shoup = pmodqShoup[i];
+        for (std::size_t c = 0; c < n; ++c)
+            pa[c] = mod.add(pa[c], mulModShoup(ps[c], scalar, shoup,
+                                               mod.value()));
+    });
+}
+
+void
+mulScalarShoup(const KernelCtx &ctx, rns::RnsPolynomial *const *polys,
+               const std::vector<u64> &scalars,
+               const std::vector<u64> &scalarsShoup, std::size_t batch)
+{
+    if (batch == 0)
+        return;
+    std::size_t limbs = polys[0]->numLimbs();
+    std::size_t n = polys[0]->n();
+    ctx.pool->parallelFor2D(batch, limbs,
+                            [&](std::size_t s, std::size_t i) {
+        const Modulus &mod = polys[s]->limbModulus(i);
+        u64 *p = polys[s]->limb(i);
+        for (std::size_t c = 0; c < n; ++c)
+            p[c] = mulModShoup(p[c], scalars[i], scalarsShoup[i],
+                               mod.value());
+    });
+}
+
+} // namespace tensorfhe::exec

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Span-based polynomial kernels of the unified execution layer.
+ *
+ * Every kernel operates on a span of ciphertexts / polynomials and
+ * flattens its full iteration space — batch slot s in [0, B) crossed
+ * with RNS tower (limb) i — into one ThreadPool::parallelFor2D
+ * dispatch, exactly the CTA-filling shape of the paper's batched
+ * kernels (SIV-D). Batch B = 1 is the degenerate case: the serial
+ * ckks::Evaluator and the batch::BatchedEvaluator both execute
+ * through these kernels, so there is one implementation of every
+ * Table II primitive and the two evaluators are bit-identical by
+ * construction.
+ *
+ * All kernels are aliasing-safe for the in-place pattern (the output
+ * span may be the input span: each (slot, limb, coeff) cell reads
+ * only itself before writing). Kernel timers record into KernelStats
+ * with the same element accounting the pre-refactor code used, so the
+ * Fig. 11-13 breakdown benches are unaffected.
+ */
+
+#ifndef TENSORFHE_EXEC_KERNELS_HH
+#define TENSORFHE_EXEC_KERNELS_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "ckks/ciphertext.hh"
+#include "ckks/encoder.hh"
+#include "common/stats.hh"
+
+namespace tensorfhe
+{
+class ThreadPool;
+}
+
+namespace tensorfhe::exec
+{
+
+/** Execution context the span kernels dispatch through. */
+struct KernelCtx
+{
+    ThreadPool *pool = nullptr; ///< never null once constructed
+
+    explicit KernelCtx(ThreadPool *p);
+};
+
+/** out[s] += / -= b[s], both components, flattened (slot x tower). */
+void eleAddCts(const KernelCtx &ctx, ckks::Ciphertext *out,
+               const ckks::Ciphertext *b, std::size_t batch);
+void eleSubCts(const KernelCtx &ctx, ckks::Ciphertext *out,
+               const ckks::Ciphertext *b, std::size_t batch);
+
+/** out[s].c0 += / -= p, one shared plaintext across the batch. */
+void addPlainC0(const KernelCtx &ctx, ckks::Ciphertext *out,
+                const ckks::Plaintext &p, std::size_t batch);
+void subPlainC0(const KernelCtx &ctx, ckks::Ciphertext *out,
+                const ckks::Plaintext &p, std::size_t batch);
+
+/** out[s] = out[s] (had) p on both components (CMULT core). */
+void hadaMultPlainCts(const KernelCtx &ctx, ckks::Ciphertext *out,
+                      const ckks::Plaintext &p, std::size_t batch);
+
+/**
+ * HMULT product core (paper Alg. 2): d0 = a0*b0, d1 = a0*b1 + a1*b0,
+ * d2 = a1*b1 per slot, into preshaped zero polynomials.
+ */
+void multiplyTriple(const KernelCtx &ctx, const ckks::Ciphertext *a,
+                    const ckks::Ciphertext *b,
+                    rns::RnsPolynomial *const *d0s,
+                    rns::RnsPolynomial *const *d1s,
+                    rns::RnsPolynomial *const *d2s, std::size_t batch);
+
+/** acc[s] += b[s] over the polynomials' shared limb count. */
+void addPolysInPlace(const KernelCtx &ctx,
+                     rns::RnsPolynomial *const *accs,
+                     const rns::RnsPolynomial *const *bs,
+                     std::size_t batch);
+
+/**
+ * Key-switch inner-product accumulate for one digit row:
+ * acc0[s] += digit[s] (had) keyb, acc1[s] += digit[s] (had) keya,
+ * flattened (slot x union-tower).
+ */
+void innerProductAccum(const KernelCtx &ctx,
+                       rns::RnsPolynomial *const *acc0,
+                       rns::RnsPolynomial *const *acc1,
+                       const rns::RnsPolynomial *const *digits,
+                       const rns::RnsPolynomial &keyb,
+                       const rns::RnsPolynomial &keya,
+                       std::size_t batch);
+
+/**
+ * Fused plaintext product accumulate: acc[s] += p (had) src[s] over
+ * acc's limb count (the BSGS diagonal step; in the double-hoisted
+ * path acc and src live on the extended union basis and p is a
+ * union-encoded diagonal).
+ */
+void hadaAccumPlain(const KernelCtx &ctx,
+                    rns::RnsPolynomial *const *accs,
+                    const rns::RnsPolynomial *const *srcs,
+                    const ckks::Plaintext &p, std::size_t batch);
+
+/**
+ * P-lift accumulate: acc[s].limb(i) += (P mod q_i) * src[s].limb(i)
+ * for the first src-limb-count limbs of acc (the q-part), leaving the
+ * special limbs untouched. Lifts a basis-Q polynomial into an
+ * extended-basis accumulator so the final ModDown recovers src
+ * exactly (ModDown(P*x) == x). `pmodq` / `pmodqShoup` index by acc
+ * limb position.
+ */
+void addPLifted(const KernelCtx &ctx, rns::RnsPolynomial *const *accs,
+                const rns::RnsPolynomial *const *srcs,
+                const std::vector<u64> &pmodq,
+                const std::vector<u64> &pmodqShoup, std::size_t batch);
+
+/**
+ * Dcomp digit scaling: digit[s] .limb(i) *= scalars[i] with Shoup
+ * precomputation shared across the batch.
+ */
+void mulScalarShoup(const KernelCtx &ctx,
+                    rns::RnsPolynomial *const *polys,
+                    const std::vector<u64> &scalars,
+                    const std::vector<u64> &scalarsShoup,
+                    std::size_t batch);
+
+} // namespace tensorfhe::exec
+
+#endif // TENSORFHE_EXEC_KERNELS_HH

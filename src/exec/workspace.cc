@@ -1,0 +1,91 @@
+#include "exec/workspace.hh"
+
+#include <functional>
+#include <thread>
+
+namespace tensorfhe::exec
+{
+
+std::size_t
+Workspace::shardIndex()
+{
+    return std::hash<std::thread::id>{}(std::this_thread::get_id())
+        % kShards;
+}
+
+Workspace::Pooled
+Workspace::zeros(const std::vector<std::size_t> &limbs,
+                 rns::Domain domain)
+{
+    std::size_t need = limbs.size() * tower_->n();
+    std::size_t start = shardIndex();
+    // Prefer the caller's shard; steal from the others before paying
+    // the allocator.
+    for (std::size_t probe = 0; probe < kShards; ++probe) {
+        Shard &shard = shards_[(start + probe) % kShards];
+        std::lock_guard<std::mutex> lock(shard.mu);
+        // Best-fit scan over the free list: smallest buffer that fits
+        // (an oversized batch buffer should not be burned on a
+        // single-limb checkout).
+        std::size_t best = shard.free.size();
+        for (std::size_t i = 0; i < shard.free.size(); ++i) {
+            if (shard.free[i].capacity() < need)
+                continue;
+            if (best == shard.free.size()
+                || shard.free[i].capacity()
+                    < shard.free[best].capacity())
+                best = i;
+        }
+        if (best == shard.free.size())
+            continue;
+        std::vector<u64> buf = std::move(shard.free[best]);
+        shard.free.erase(shard.free.begin()
+                         + static_cast<std::ptrdiff_t>(best));
+        reuses_.fetch_add(1, std::memory_order_relaxed);
+        return Pooled(this, rns::RnsPolynomial(*tower_, limbs, domain,
+                                               std::move(buf)));
+    }
+    allocs_.fetch_add(1, std::memory_order_relaxed);
+    return Pooled(this, rns::RnsPolynomial(*tower_, limbs, domain));
+}
+
+void
+Workspace::recycle(rns::RnsPolynomial &&p)
+{
+    std::vector<u64> buf = p.takeStorage();
+    if (buf.capacity() == 0)
+        return;
+    returns_.fetch_add(1, std::memory_order_relaxed);
+    Shard &shard = shards_[shardIndex()];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.free.push_back(std::move(buf));
+}
+
+Workspace::Stats
+Workspace::stats() const
+{
+    Stats s;
+    s.allocs = allocs_.load(std::memory_order_relaxed);
+    s.reuses = reuses_.load(std::memory_order_relaxed);
+    s.returns = returns_.load(std::memory_order_relaxed);
+    return s;
+}
+
+void
+Workspace::resetStats()
+{
+    allocs_.store(0, std::memory_order_relaxed);
+    reuses_.store(0, std::memory_order_relaxed);
+    returns_.store(0, std::memory_order_relaxed);
+}
+
+void
+Workspace::trim()
+{
+    for (auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        shard.free.clear();
+    }
+}
+
+} // namespace tensorfhe::exec

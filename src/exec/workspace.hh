@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Workspace: a size-bucketed arena of RnsPolynomial coefficient
+ * buffers for the unified kernel/dispatch layer.
+ *
+ * The hot FHE paths (hoist, key-switch tails, ModUp/ModDown staging,
+ * BSGS accumulators) are steady-state: every call wants the same few
+ * buffer shapes — (level x N), (union-basis x N), (digit x N). Before
+ * this arena each call re-allocated those from the general-purpose
+ * allocator; now exec::Dispatcher checks them out, the RAII lease
+ * returns the storage on destruction, and the next call reuses it
+ * without an allocator round-trip. This is the CPU stand-in for the
+ * paper's preallocated device working set (SIV-B "Data Reuse"): VRAM
+ * scratch is carved out once and cycled, never malloc'd per kernel.
+ *
+ * Buffers are bucketed by capacity (in u64 coefficients) and sharded
+ * by thread so concurrent dispatches do not contend on one free list.
+ * checkout() prefers the calling thread's shard and falls back to
+ * allocation; release returns to the caller's shard. alloc/reuse
+ * counters are process-visible so benches can assert steady-state
+ * reuse (>90% on warm rotateManyBatch / nn::Sequential runs).
+ */
+
+#ifndef TENSORFHE_EXEC_WORKSPACE_HH
+#define TENSORFHE_EXEC_WORKSPACE_HH
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "rns/rns_poly.hh"
+
+namespace tensorfhe::exec
+{
+
+class Workspace
+{
+  public:
+    explicit Workspace(const rns::RnsTower &tower) : tower_(&tower) {}
+
+    Workspace(const Workspace &) = delete;
+    Workspace &operator=(const Workspace &) = delete;
+
+    /**
+     * RAII lease of one pooled polynomial. The wrapped RnsPolynomial
+     * is usable like any other; on destruction its storage returns to
+     * the arena. Move-only.
+     */
+    class Pooled
+    {
+      public:
+        Pooled() = default;
+        Pooled(Workspace *ws, rns::RnsPolynomial p)
+            : ws_(ws), poly_(std::move(p))
+        {}
+        Pooled(Pooled &&o) noexcept
+            : ws_(o.ws_), poly_(std::move(o.poly_))
+        {
+            o.ws_ = nullptr;
+        }
+        Pooled &
+        operator=(Pooled &&o) noexcept
+        {
+            if (this != &o) {
+                releaseToArena();
+                ws_ = o.ws_;
+                poly_ = std::move(o.poly_);
+                o.ws_ = nullptr;
+            }
+            return *this;
+        }
+        Pooled(const Pooled &) = delete;
+        Pooled &operator=(const Pooled &) = delete;
+        ~Pooled() { releaseToArena(); }
+
+        rns::RnsPolynomial &operator*() { return poly_; }
+        const rns::RnsPolynomial &operator*() const { return poly_; }
+        rns::RnsPolynomial *operator->() { return &poly_; }
+        const rns::RnsPolynomial *operator->() const { return &poly_; }
+        rns::RnsPolynomial *get() { return &poly_; }
+        const rns::RnsPolynomial *get() const { return &poly_; }
+
+        /** Detach the polynomial; its storage will NOT be recycled. */
+        rns::RnsPolynomial
+        detach()
+        {
+            ws_ = nullptr;
+            return std::move(poly_);
+        }
+
+      private:
+        void
+        releaseToArena()
+        {
+            if (ws_) {
+                ws_->recycle(std::move(poly_));
+                ws_ = nullptr;
+            }
+        }
+
+        Workspace *ws_ = nullptr;
+        rns::RnsPolynomial poly_;
+    };
+
+    /**
+     * Check out a zeroed polynomial over `limbs` in `domain`. Reuses
+     * a pooled buffer of sufficient capacity when one is available
+     * (no allocator call); otherwise allocates fresh and counts it.
+     */
+    Pooled zeros(const std::vector<std::size_t> &limbs,
+                 rns::Domain domain);
+
+    /** Arena traffic counters (cumulative since resetStats). */
+    struct Stats
+    {
+        u64 allocs = 0;   ///< checkouts served by the allocator
+        u64 reuses = 0;   ///< checkouts served from the pool
+        u64 returns = 0;  ///< buffers returned to the pool
+
+        double
+        reuseRate() const
+        {
+            u64 total = allocs + reuses;
+            return total == 0
+                ? 0.0
+                : static_cast<double>(reuses)
+                    / static_cast<double>(total);
+        }
+    };
+
+    /**
+     * Donate a dead polynomial's storage to the pool (e.g. the
+     * pre-rescale components an in-place op replaces), so the next
+     * checkout of that shape is allocator-free.
+     */
+    void
+    donate(rns::RnsPolynomial &&p)
+    {
+        recycle(std::move(p));
+    }
+
+    Stats stats() const;
+    void resetStats();
+
+    /** Drop every pooled buffer (tests use this to force cold state). */
+    void trim();
+
+    const rns::RnsTower &tower() const { return *tower_; }
+
+  private:
+    friend class Pooled;
+
+    /** Return a dead polynomial's storage to the caller's shard. */
+    void recycle(rns::RnsPolynomial &&p);
+
+    static constexpr std::size_t kShards = 8;
+    static std::size_t shardIndex();
+
+    struct Shard
+    {
+        std::mutex mu;
+        /** Free buffers, any capacity; checkout scans for a fit. */
+        std::vector<std::vector<u64>> free;
+    };
+
+    const rns::RnsTower *tower_;
+    mutable Shard shards_[kShards];
+    std::atomic<u64> allocs_{0};
+    std::atomic<u64> reuses_{0};
+    std::atomic<u64> returns_{0};
+};
+
+} // namespace tensorfhe::exec
+
+#endif // TENSORFHE_EXEC_WORKSPACE_HH

@@ -252,4 +252,56 @@ simulateSmBatch(const std::vector<SmJob> &jobs, const PipelineConfig &cfg,
     return out;
 }
 
+std::vector<StallBreakdown>
+simulateKernelQueue(const std::vector<KernelLaunch> &queue, std::size_t n,
+                    const PipelineConfig &cfg, ThreadPool *pool)
+{
+    if (queue.empty())
+        return {};
+    // Three representative traces cover the kernel taxonomy; built
+    // once per replay and shared by every launch of their class.
+    WarpTrace ntt = butterflyNttTrace(n, 128);
+    WarpTrace gemm = gemmNttTrace(n, 128);
+    WarpTrace ele = elementwiseTrace(n, 256);
+
+    auto traceFor = [&](KernelKind k) -> const WarpTrace * {
+        switch (k) {
+          case KernelKind::Ntt:
+          case KernelKind::Intt:
+            return &ntt;
+          case KernelKind::TcuGemm:
+            return &gemm;
+          default:
+            return &ele;
+        }
+    };
+    std::vector<SmJob> jobs;
+    jobs.reserve(queue.size());
+    for (const auto &launch : queue) {
+        // Warp occupancy scales with the launch's element volume —
+        // a whole-batch dispatch fills the SM, a single-limb fixup
+        // does not (paper SIV-D's motivation for batching).
+        int warps = static_cast<int>(launch.elements / 4096);
+        if (warps < 1)
+            warps = 1;
+        if (warps > 32)
+            warps = 32;
+        jobs.push_back({traceFor(launch.kind), warps});
+    }
+    return simulateSmBatch(jobs, cfg, pool);
+}
+
+StallBreakdown
+sumBreakdowns(const std::vector<StallBreakdown> &parts)
+{
+    StallBreakdown total;
+    for (const auto &p : parts) {
+        total.totalCycles += p.totalCycles;
+        total.issuedCycles += p.issuedCycles;
+        for (std::size_t s = 0; s < total.stalls.size(); ++s)
+            total.stalls[s] += p.stalls[s];
+    }
+    return total;
+}
+
 } // namespace tensorfhe::gpu

@@ -26,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/stats.hh"
 #include "gpu/device.hh"
 #include "gpu/trace.hh"
 
@@ -132,6 +133,26 @@ using SmJob = std::pair<const WarpTrace *, int>;
 std::vector<StallBreakdown> simulateSmBatch(const std::vector<SmJob> &jobs,
                                             const PipelineConfig &cfg = {},
                                             ThreadPool *pool = nullptr);
+
+/**
+ * Replay a recorded kernel queue (the dispatch schedule the unified
+ * exec layer emits through KernelStats::startQueue/stopQueue) on the
+ * SM model: every launch is mapped to a representative warp trace —
+ * NTT/INTT to the butterfly trace, TCU-GEMM to the GEMM trace,
+ * everything elementwise (Hada-Mult, Ele-Add/Sub, FrobeniusMap,
+ * Conv, Segment, Fusion) to the streaming trace — with the warp
+ * count scaled by the launch's element volume. Returns one
+ * StallBreakdown per launch, in queue order. Deterministic.
+ *
+ * @param n poly length used to shape the representative traces
+ */
+std::vector<StallBreakdown>
+simulateKernelQueue(const std::vector<KernelLaunch> &queue, std::size_t n,
+                    const PipelineConfig &cfg = {},
+                    ThreadPool *pool = nullptr);
+
+/** Aggregate a queue replay into one breakdown (cycle-weighted sum). */
+StallBreakdown sumBreakdowns(const std::vector<StallBreakdown> &parts);
 
 } // namespace tensorfhe::gpu
 

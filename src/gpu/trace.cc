@@ -225,4 +225,34 @@ gemmNttTrace(std::size_t n, int block)
     return t;
 }
 
+WarpTrace
+elementwiseTrace(std::size_t n, int block)
+{
+    // Streaming kernel: per element two global loads, one mul-mod
+    // chain, one store. No reuse, no barriers — the long-latency
+    // loads dominate, matching the memory-bound Table II kernels
+    // (Hada-Mult / Ele-Add / Conv accumulate).
+    WarpTrace t;
+    t.name = "elementwise";
+    RegAlloc r;
+    std::size_t per_thread = n / static_cast<std::size_t>(block);
+    if (per_thread == 0)
+        per_thread = 1;
+    if (per_thread > 64)
+        per_thread = 64; // grid-stride loop body, re-executed
+    for (std::size_t e = 0; e < per_thread; ++e) {
+        int addr = r.fresh();
+        t.emit(Op::IAdd, addr);
+        int a = r.fresh(), b = r.fresh();
+        t.emit(Op::Ldg, a, addr);
+        t.emit(Op::Ldg, b, addr);
+        int p = r.fresh();
+        t.emit(Op::IMul, p, a, b);
+        t.emit(Op::Mod, p, p);
+        t.emit(Op::Stg, -1, p);
+    }
+    t.footprintInstrs = 24; // tight grid-stride loop
+    return t;
+}
+
 } // namespace tensorfhe::gpu

@@ -80,6 +80,14 @@ WarpTrace dwtTrace(std::size_t n, int block);
 /** GEMM-form NTT (TensorFHE-CO): three tiled modular GEMM stages. */
 WarpTrace gemmNttTrace(std::size_t n, int block);
 
+/**
+ * Streaming elementwise modular kernel (Hada-Mult / Ele-Add / Conv
+ * accumulate shape): load two operands, one mul-mod chain, store.
+ * Memory-bound with long-latency stalls — the trace the pipeline
+ * simulator uses for the non-NTT entries of an exec kernel queue.
+ */
+WarpTrace elementwiseTrace(std::size_t n, int block);
+
 } // namespace tensorfhe::gpu
 
 #endif // TENSORFHE_GPU_TRACE_HH

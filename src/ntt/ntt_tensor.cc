@@ -15,6 +15,7 @@
  * paper's terms), so only the data matrix is segmented per call.
  */
 
+#include <array>
 #include <vector>
 
 #include "common/thread_pool.hh"
@@ -23,6 +24,44 @@
 
 namespace tensorfhe::ntt::detail
 {
+
+namespace
+{
+
+/**
+ * Per-thread staging buffers for the five-stage workflow, following
+ * the cached-plan policy the CkksContext applies to its conversion
+ * factors: the TCU path's twiddle tables and fusion weights are built
+ * once (TwiddleTable Stage-0, tcu::fusionWeights), and the stage
+ * intermediates here stop paying an allocator round-trip per
+ * transform — every dispatch on a thread reuses the same grown
+ * buffers. Contents are fully overwritten by each stage before being
+ * read, so reuse is bit-exact. The buffers persist at the largest
+ * batch size a thread ever dispatched (3 x batch x N u64) until the
+ * thread exits — the deliberate steady-state trade, same as the
+ * exec::Workspace arena.
+ */
+std::vector<u64> &
+stageScratch(std::size_t stage, std::size_t need)
+{
+    thread_local std::array<std::vector<u64>, 3> bufs;
+    auto &b = bufs[stage];
+    if (b.size() < need)
+        b.resize(need);
+    return b;
+}
+
+/** Carve `count` n-element scratch blocks out of one buffer. */
+std::vector<u64 *>
+blockPtrs(std::vector<u64> &buf, std::size_t count, std::size_t n)
+{
+    std::vector<u64 *> ptrs(count);
+    for (std::size_t b = 0; b < count; ++b)
+        ptrs[b] = buf.data() + b * n;
+    return ptrs;
+}
+
+} // namespace
 
 void
 forwardTensor(const TwiddleTable &t, u64 *a)
@@ -33,7 +72,7 @@ forwardTensor(const TwiddleTable &t, u64 *a)
     std::size_t n2 = gm.n2;
 
     // Stages 1-2: B = W1 x a_mat on the TCU (W1 segments cached).
-    std::vector<u64> b(n1 * n2);
+    auto &b = stageScratch(0, n1 * n2);
     tcu::SegmentedMatrix a_seg = tcu::segmentU32(a, n1 * n2);
     tcu::tensorGemmModSegSeg(gm.w1Seg, a_seg, b.data(), n1, n2, n1, mod);
 
@@ -42,7 +81,7 @@ forwardTensor(const TwiddleTable &t, u64 *a)
         b[e] = mod.mul(b[e], gm.w2[e]);
 
     // Stage 4: A_mat = C x W3 on the TCU (W3 segments cached).
-    std::vector<u64> out(n1 * n2);
+    auto &out = stageScratch(1, n1 * n2);
     tcu::tensorGemmMod(b.data(), gm.w3Seg, out.data(), n1, n2, n2, mod);
 
     // Stage 5: column-major readout (k = k1 + N1*k2).
@@ -60,13 +99,13 @@ inverseTensor(const TwiddleTable &t, u64 *a)
     std::size_t n2 = gm.n2;
     std::size_t n = n1 * n2;
 
-    std::vector<u64> amat(n);
+    auto &amat = stageScratch(0, n);
     for (std::size_t k1 = 0; k1 < n1; ++k1)
         for (std::size_t k2 = 0; k2 < n2; ++k2)
             amat[k1 * n2 + k2] = a[k1 + n1 * k2];
 
     // D = A_mat x W3i on the TCU.
-    std::vector<u64> d(n);
+    auto &d = stageScratch(1, n);
     tcu::tensorGemmMod(amat.data(), gm.w3iSeg, d.data(), n1, n2, n2, mod);
 
     // E = D had W2i.
@@ -74,7 +113,7 @@ inverseTensor(const TwiddleTable &t, u64 *a)
         d[e] = mod.mul(d[e], gm.w2i[e]);
 
     // a_mat = W1i x E on the TCU, then the psi^-n * N^-1 twist.
-    std::vector<u64> out(n);
+    auto &out = stageScratch(2, n);
     tcu::SegmentedMatrix d_seg = tcu::segmentU32(d.data(), n);
     tcu::tensorGemmModSegSeg(gm.w1iSeg, d_seg, out.data(), n1, n2, n1, mod);
     for (std::size_t i1 = 0; i1 < n1; ++i1) {
@@ -84,21 +123,6 @@ inverseTensor(const TwiddleTable &t, u64 *a)
         }
     }
 }
-
-namespace
-{
-
-/** Carve `count` n-element scratch blocks out of one allocation. */
-std::vector<u64 *>
-blockPtrs(std::vector<u64> &buf, std::size_t count, std::size_t n)
-{
-    std::vector<u64 *> ptrs(count);
-    for (std::size_t b = 0; b < count; ++b)
-        ptrs[b] = buf.data() + b * n;
-    return ptrs;
-}
-
-} // namespace
 
 void
 forwardTensorBatch(const TwiddleTable &t, u64 *const *polys,
@@ -114,7 +138,7 @@ forwardTensorBatch(const TwiddleTable &t, u64 *const *polys,
 
     // Stages 1-2, whole batch at once: B_b = W1 x a_mat_b through one
     // segment-fusion GEMM with the batch packed column-wise.
-    std::vector<u64> bbuf(count * n);
+    auto &bbuf = stageScratch(0, count * n);
     auto bs = blockPtrs(bbuf, count, n);
     tcu::tensorGemmModBatchRhs(gm.w1Seg, polys, bs.data(), count, n1, n2,
                                n1, mod, pool);
@@ -128,7 +152,7 @@ forwardTensorBatch(const TwiddleTable &t, u64 *const *polys,
 
     // Stages 4-5: A_mat_b = C_b x W3 with the batch stacked row-wise,
     // then the column-major readout per slot.
-    std::vector<u64> obuf(count * n);
+    auto &obuf = stageScratch(1, count * n);
     auto os = blockPtrs(obuf, count, n);
     tcu::tensorGemmModBatchLhs(bs.data(), gm.w3Seg, os.data(), count, n1,
                                n2, n2, mod, pool);
@@ -153,7 +177,7 @@ inverseTensorBatch(const TwiddleTable &t, u64 *const *polys,
     if (!pool)
         pool = &ThreadPool::global();
 
-    std::vector<u64> amatbuf(count * n);
+    auto &amatbuf = stageScratch(0, count * n);
     auto amats = blockPtrs(amatbuf, count, n);
     pool->parallelFor(0, count, [&](std::size_t b) {
         const u64 *a = polys[b];
@@ -164,7 +188,7 @@ inverseTensorBatch(const TwiddleTable &t, u64 *const *polys,
     });
 
     // D_b = A_mat_b x W3i, batch stacked row-wise.
-    std::vector<u64> dbuf(count * n);
+    auto &dbuf = stageScratch(1, count * n);
     auto ds = blockPtrs(dbuf, count, n);
     tcu::tensorGemmModBatchLhs(amats.data(), gm.w3iSeg, ds.data(), count,
                                n1, n2, n2, mod, pool);
@@ -177,7 +201,7 @@ inverseTensorBatch(const TwiddleTable &t, u64 *const *polys,
     });
 
     // a_mat_b = W1i x E_b, batch packed column-wise, then the twist.
-    std::vector<u64> obuf(count * n);
+    auto &obuf = stageScratch(2, count * n);
     auto os = blockPtrs(obuf, count, n);
     tcu::tensorGemmModBatchRhs(gm.w1iSeg, ds.data(), os.data(), count,
                                n1, n2, n1, mod, pool);

@@ -172,6 +172,113 @@ rotateHoistedCost(const ckks::CkksParams &p, std::size_t level_count,
     return c;
 }
 
+namespace
+{
+
+/**
+ * The inner-product-only ("raw") key-switch tail of the
+ * double-hoisted path: the per-digit fused mul-accumulate on the
+ * union basis, with NO ModDown and no domain moves — those are
+ * deferred to the giant steps / the final ModDown.
+ */
+KernelCost
+rawTailCost(const ckks::CkksParams &p, std::size_t level_count)
+{
+    std::size_t k = static_cast<std::size_t>(p.special);
+    std::size_t alpha = p.alpha();
+    std::size_t digits = (level_count + alpha - 1) / alpha;
+    std::size_t union_limbs = level_count + k;
+    KernelCost c;
+    for (std::size_t j = 0; j < digits; ++j) {
+        double e = static_cast<double>(p.n) * union_limbs;
+        c += KernelCost{2 * 2 * e * kBytesPerResidue,
+                        2 * e * (kOpsPerModMul + kOpsPerModAdd), 0, 2};
+    }
+    return c;
+}
+
+/** keySwitchHoistCost for a Coeff-domain input: the Dcomp INTT is
+    skipped, leaving the per-digit Conv + union-basis NTT work. */
+KernelCost
+hoistFromCoeffCost(const ckks::CkksParams &p, std::size_t level_count)
+{
+    std::size_t k = static_cast<std::size_t>(p.special);
+    std::size_t alpha = p.alpha();
+    std::size_t digits = (level_count + alpha - 1) / alpha;
+    std::size_t union_limbs = level_count + k;
+    KernelCost c;
+    for (std::size_t j = 0; j < digits; ++j) {
+        std::size_t dsz = std::min(alpha, level_count - j * alpha);
+        c += convCost(p.n, dsz, union_limbs - dsz); // ModUp
+        c += nttCost(p.n, union_limbs, p.nttVariant);
+    }
+    return c;
+}
+
+/** One ModDown of a single polynomial (c1-only giant-step variant):
+    INTT of the union basis, the p->q Conv, and the P^-1 fixup. */
+KernelCost
+modDownOneCost(const ckks::CkksParams &p, std::size_t level_count)
+{
+    std::size_t k = static_cast<std::size_t>(p.special);
+    std::size_t union_limbs = level_count + k;
+    KernelCost c = nttCost(p.n, union_limbs, p.nttVariant);
+    c += convCost(p.n, k, level_count);
+    c += hadaMultCost(p.n, level_count); // sub + P^-1 Shoup multiply
+    return c;
+}
+
+} // namespace
+
+KernelCost
+matvecBsgsCost(const ckks::CkksParams &p, std::size_t level_count,
+               std::size_t diagonals, std::size_t baby,
+               std::size_t giant)
+{
+    std::size_t k = static_cast<std::size_t>(p.special);
+    std::size_t alpha = p.alpha();
+    std::size_t digits = (level_count + alpha - 1) / alpha;
+    std::size_t union_limbs = level_count + k;
+
+    // Double-hoisted dataflow (boot::LinearTransformPlan through
+    // exec::Dispatcher::applyBsgs):
+    //  head-1 once, then per baby step a digit FrobeniusMap + raw
+    //  tail + c0 permutation + P-lift (ModDown deferred);
+    KernelCost c;
+    if (baby > 0)
+        c += keySwitchHoistCost(p, level_count);
+    KernelCost per_baby = frobeniusCost(p.n, digits * union_limbs)
+        + rawTailCost(p, level_count)
+        + frobeniusCost(p.n, level_count)   // c0 permutation
+        + hadaMultCost(p.n, level_count);   // P-lift accumulate
+    c += static_cast<double>(baby) * per_baby;
+
+    //  per diagonal: CMULT + HADD fused on the extended basis (both
+    //  components);
+    c += static_cast<double>(diagonals)
+        * (2 * hadaMultCost(p.n, union_limbs)
+           + 2 * eleAddCost(p.n, union_limbs));
+
+    //  per giant step: one c1-only ModDown, its own hoisted head
+    //  (head-2, Coeff-domain input so the Dcomp INTT is skipped), a
+    //  digit FrobeniusMap + raw tail, the QP c0 permutation, and the
+    //  global-accumulator adds;
+    KernelCost per_giant = modDownOneCost(p, level_count)
+        + hoistFromCoeffCost(p, level_count)
+        + frobeniusCost(p.n, digits * union_limbs)
+        + rawTailCost(p, level_count)
+        + frobeniusCost(p.n, union_limbs)
+        + 3 * eleAddCost(p.n, union_limbs);
+    c += static_cast<double>(giant) * per_giant;
+
+    //  one final ModDown pair (back to the q-basis Eval domain) and
+    //  the closing RESCALE.
+    c += 2 * modDownOneCost(p, level_count);
+    c += 2 * nttCost(p.n, level_count, p.nttVariant);
+    c += opCost(OpKind::Rescale, p, level_count);
+    return c;
+}
+
 KernelCost
 bsgsLinearTransformCost(const ckks::CkksParams &p,
                         std::size_t level_count, std::size_t slots)
@@ -179,32 +286,9 @@ bsgsLinearTransformCost(const ckks::CkksParams &p,
     auto g = static_cast<std::size_t>(
         std::ceil(std::sqrt(static_cast<double>(slots))));
     std::size_t n2 = (slots + g - 1) / g;
-
-    // Baby steps off one hoist, one full HROTATE per giant step, one
-    // CMULT + HADD per diagonal, one final RESCALE.
-    KernelCost c = rotateHoistedCost(p, level_count, g - 1);
-    c += static_cast<double>(n2 - 1)
-        * opCost(OpKind::HRotate, p, level_count);
-    c += static_cast<double>(slots)
-        * (opCost(OpKind::CMult, p, level_count)
-           + opCost(OpKind::HAdd, p, level_count));
-    c += opCost(OpKind::Rescale, p, level_count);
-    return c;
-}
-
-KernelCost
-matvecBsgsCost(const ckks::CkksParams &p, std::size_t level_count,
-               std::size_t diagonals, std::size_t baby,
-               std::size_t giant)
-{
-    KernelCost c = rotateHoistedCost(p, level_count, baby);
-    c += static_cast<double>(giant)
-        * opCost(OpKind::HRotate, p, level_count);
-    c += static_cast<double>(diagonals)
-        * (opCost(OpKind::CMult, p, level_count)
-           + opCost(OpKind::HAdd, p, level_count));
-    c += opCost(OpKind::Rescale, p, level_count);
-    return c;
+    // The fully-populated instance of the double-hoisted matvec at
+    // the classic root stride (the plan may rebalance g further).
+    return matvecBsgsCost(p, level_count, slots, g - 1, n2 - 1);
 }
 
 bool

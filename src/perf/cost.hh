@@ -95,19 +95,25 @@ KernelCost rotateHoistedCost(const ckks::CkksParams &p,
                              std::size_t rotations);
 
 /**
- * BSGS slots x slots linear transform (boot::LinearTransformPlan):
- * sqrt(slots)-ish hoisted baby rotations + giant rotations + one
- * CMULT/HADD per diagonal, assuming all `slots` diagonals populated.
+ * BSGS slots x slots linear transform (boot::LinearTransformPlan,
+ * DOUBLE-HOISTED): baby steps ride one hoisted head with raw
+ * (ModDown-deferred) tails, diagonal products run on the extended
+ * basis, each giant step pays a c1-only ModDown + its own head, and
+ * one final ModDown pair + RESCALE closes the transform. Assumes all
+ * `slots` diagonals populated at the classic root stride.
  */
 KernelCost bsgsLinearTransformCost(const ckks::CkksParams &p,
                                    std::size_t level_count,
                                    std::size_t slots);
 
 /**
- * BSGS matvec with the plan's actual population (nn::Dense /
- * nn::Conv2d): `baby` hoisted baby rotations, `giant` full giant
- * rotations, one CMULT + HADD per populated diagonal, one RESCALE.
- * bsgsLinearTransformCost is the fully-populated instance.
+ * Double-hoisted BSGS matvec with the plan's actual population
+ * (nn::Dense / nn::Conv2d, and the stride chooser in
+ * boot::LinearTransformPlan): `baby` raw-tail baby rotations off one
+ * head, `giant` giant steps (c1 ModDown + head-2 + raw tail each),
+ * one extended-basis CMULT + HADD per populated diagonal, one final
+ * ModDown pair + RESCALE. bsgsLinearTransformCost is the
+ * fully-populated instance.
  */
 KernelCost matvecBsgsCost(const ckks::CkksParams &p,
                           std::size_t level_count,

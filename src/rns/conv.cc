@@ -270,28 +270,46 @@ ModUpPlan::applyBatch(const std::vector<const RnsPolynomial *> &digits,
     std::size_t batch = digits.size();
     if (batch == 0)
         return {};
-    std::size_t n = tower_->n();
-    auto converted = conv_.applyBatch(digits, pool);
-
     std::vector<RnsPolynomial> out;
     out.reserve(batch);
-    for (std::size_t b = 0; b < batch; ++b)
+    std::vector<RnsPolynomial *> out_ptrs(batch);
+    for (std::size_t b = 0; b < batch; ++b) {
         out.emplace_back(*tower_, target_, Domain::Coeff);
+        out_ptrs[b] = &out[b];
+    }
+    applyBatchInto(digits, out_ptrs.data(), pool);
+    return out;
+}
+
+void
+ModUpPlan::applyBatchInto(const std::vector<const RnsPolynomial *> &digits,
+                          RnsPolynomial *const *outs,
+                          ThreadPool *pool) const
+{
+    std::size_t batch = digits.size();
+    if (batch == 0)
+        return;
+    std::size_t n = tower_->n();
+    for (std::size_t b = 0; b < batch; ++b)
+        TFHE_ASSERT(outs[b]->limbIndices() == target_
+                        && outs[b]->domain() == Domain::Coeff,
+                    "ModUp output not preshaped to the union basis");
+    auto converted = conv_.applyBatch(digits, pool);
+
     poolOrGlobal(pool).parallelFor(0, batch, [&](std::size_t b) {
         const RnsPolynomial &digit = *digits[b];
         std::size_t oi = 0;
         for (std::size_t j = 0; j < target_.size(); ++j) {
             if (copySrc_[j] != npos) {
                 std::copy(digit.limb(copySrc_[j]),
-                          digit.limb(copySrc_[j]) + n, out[b].limb(j));
+                          digit.limb(copySrc_[j]) + n, outs[b]->limb(j));
             } else {
                 std::copy(converted[b].limb(oi),
-                          converted[b].limb(oi) + n, out[b].limb(j));
+                          converted[b].limb(oi) + n, outs[b]->limb(j));
                 ++oi;
             }
         }
     });
-    return out;
 }
 
 RnsPolynomial
@@ -414,6 +432,25 @@ ModDownPlan::applyBatch(const std::vector<const RnsPolynomial *> &as,
     std::size_t batch = as.size();
     if (batch == 0)
         return {};
+    std::vector<RnsPolynomial> out;
+    out.reserve(batch);
+    std::vector<RnsPolynomial *> out_ptrs(batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+        out.emplace_back(*tower_, q_idx_, Domain::Coeff);
+        out_ptrs[b] = &out[b];
+    }
+    applyBatchInto(as, out_ptrs.data(), pool);
+    return out;
+}
+
+void
+ModDownPlan::applyBatchInto(const std::vector<const RnsPolynomial *> &as,
+                            RnsPolynomial *const *outs,
+                            ThreadPool *pool) const
+{
+    std::size_t batch = as.size();
+    if (batch == 0)
+        return;
     std::size_t k = p_idx_.size();
     std::size_t ql = q_idx_.size();
     std::size_t n = tower_->n();
@@ -425,6 +462,9 @@ ModDownPlan::applyBatch(const std::vector<const RnsPolynomial *> &as,
         TFHE_ASSERT(as[b]->domain() == Domain::Coeff);
         TFHE_ASSERT(matchesUnionBasis(*as[b]),
                     "batched ModDown requires the plan's union basis");
+        TFHE_ASSERT(outs[b]->limbIndices() == q_idx_
+                        && outs[b]->domain() == Domain::Coeff,
+                    "ModDown output not preshaped to the q-basis");
         a_ps.emplace_back(*tower_, p_idx_, Domain::Coeff);
     }
     tp.parallelFor2D(batch, k, [&](std::size_t b, std::size_t j) {
@@ -437,21 +477,16 @@ ModDownPlan::applyBatch(const std::vector<const RnsPolynomial *> &as,
         a_p_ptrs[b] = &a_ps[b];
     auto conv = conv_.applyBatch(a_p_ptrs, pool);
 
-    std::vector<RnsPolynomial> out;
-    out.reserve(batch);
-    for (std::size_t b = 0; b < batch; ++b)
-        out.emplace_back(*tower_, q_idx_, Domain::Coeff);
     tp.parallelFor2D(batch, ql, [&](std::size_t b, std::size_t j) {
         const Modulus &mod = tower_->modulus(q_idx_[j]);
         const u64 *pa = as[b]->limb(j);
         const u64 *pc = conv[b].limb(j);
-        u64 *po = out[b].limb(j);
+        u64 *po = outs[b]->limb(j);
         for (std::size_t c = 0; c < n; ++c) {
             po[c] = mulModShoup(mod.sub(pa[c], pc[c]), pInv_[j],
                                 pInvShoup_[j], mod.value());
         }
     });
-    return out;
 }
 
 RnsPolynomial

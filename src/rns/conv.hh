@@ -93,6 +93,16 @@ class ModUpPlan
     applyBatch(const std::vector<const RnsPolynomial *> &digits,
                ThreadPool *pool = nullptr) const;
 
+    /**
+     * applyBatch writing into caller-provided outputs (preshaped to
+     * unionLimbs(), Coeff domain) — the exec::Workspace hook that
+     * keeps steady-state hoists off the allocator. Bit-identical to
+     * applyBatch.
+     */
+    void applyBatchInto(const std::vector<const RnsPolynomial *> &digits,
+                        RnsPolynomial *const *outs,
+                        ThreadPool *pool = nullptr) const;
+
     const std::vector<std::size_t> &unionLimbs() const { return target_; }
 
   private:
@@ -124,6 +134,18 @@ class ModDownPlan
     std::vector<RnsPolynomial>
     applyBatch(const std::vector<const RnsPolynomial *> &as,
                ThreadPool *pool = nullptr) const;
+
+    /**
+     * applyBatch writing into caller-provided outputs (preshaped to
+     * qLimbs(), Coeff domain) — the exec::Workspace hook. Bit-identical
+     * to applyBatch.
+     */
+    void applyBatchInto(const std::vector<const RnsPolynomial *> &as,
+                        RnsPolynomial *const *outs,
+                        ThreadPool *pool = nullptr) const;
+
+    /** The surviving q-limbs (the outputs' limb set). */
+    const std::vector<std::size_t> &qLimbs() const { return q_idx_; }
 
   private:
     bool matchesUnionBasis(const RnsPolynomial &a) const;

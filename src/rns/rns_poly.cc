@@ -18,6 +18,26 @@ RnsPolynomial::RnsPolynomial(const RnsTower &tower,
     data_.assign(limbIndices_.size() * tower.n(), 0);
 }
 
+RnsPolynomial::RnsPolynomial(const RnsTower &tower,
+                             std::vector<std::size_t> limbs, Domain domain,
+                             std::vector<u64> storage)
+    : tower_(&tower), limbIndices_(std::move(limbs)), domain_(domain),
+      data_(std::move(storage))
+{
+    for (std::size_t idx : limbIndices_)
+        TFHE_ASSERT(idx < tower.numTotal(), "limb index out of range");
+    data_.assign(limbIndices_.size() * tower.n(), 0);
+}
+
+std::vector<u64>
+RnsPolynomial::takeStorage()
+{
+    std::vector<u64> out = std::move(data_);
+    data_.clear();
+    limbIndices_.clear();
+    return out;
+}
+
 RnsPolynomial
 RnsPolynomial::zeros(const RnsTower &tower, std::size_t count,
                      Domain domain)
@@ -248,21 +268,43 @@ applyAutomorphismBatch(const std::vector<const RnsPolynomial *> &as,
     std::size_t batch = as.size();
     if (batch == 0)
         return {};
+    std::vector<RnsPolynomial> out;
+    out.reserve(batch);
+    std::vector<RnsPolynomial *> out_ptrs(batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+        out.emplace_back(as[b]->tower(), as[b]->limbIndices(),
+                         as[b]->domain());
+        out_ptrs[b] = &out[b];
+    }
+    applyAutomorphismBatchInto(as, galois, out_ptrs.data(), pool);
+    return out;
+}
+
+void
+applyAutomorphismBatchInto(const std::vector<const RnsPolynomial *> &as,
+                           u64 galois, RnsPolynomial *const *outs,
+                           ThreadPool *pool)
+{
+    std::size_t batch = as.size();
+    if (batch == 0)
+        return;
     const RnsPolynomial &front = *as[0];
     std::size_t n = front.n();
     u64 m = 2 * n;
     TFHE_ASSERT(galois % 2 == 1 && galois < m, "bad Galois element");
 
-    std::vector<RnsPolynomial> out;
-    out.reserve(batch);
+    std::vector<RnsPolynomial *> out_view(batch);
     for (std::size_t b = 0; b < batch; ++b) {
         TFHE_ASSERT(as[b]->domain() == front.domain()
                         && as[b]->n() == n
                         && as[b]->numLimbs() == front.numLimbs(),
                     "batched automorphism requires a uniform shape");
-        out.emplace_back(as[b]->tower(), as[b]->limbIndices(),
-                         as[b]->domain());
+        TFHE_ASSERT(outs[b]->numLimbs() == as[b]->numLimbs()
+                        && outs[b]->domain() == as[b]->domain(),
+                    "automorphism output not preshaped to its input");
+        out_view[b] = outs[b];
     }
+    auto &out = out_view;
 
     ThreadPool &tp = pool ? *pool : ThreadPool::global();
     if (front.domain() == Domain::Eval) {
@@ -275,11 +317,11 @@ applyAutomorphismBatch(const std::vector<const RnsPolynomial *> &as,
         tp.parallelFor2D(batch, front.numLimbs(),
                          [&](std::size_t b, std::size_t i) {
             const u64 *src = as[b]->limb(i);
-            u64 *dst = out[b].limb(i);
+            u64 *dst = out[b]->limb(i);
             for (std::size_t j = 0; j < n; ++j)
                 dst[j] = src[pi[j]];
         });
-        return out;
+        return;
     }
 
     // Coefficient domain: the destination index and the sign flip are
@@ -295,11 +337,10 @@ applyAutomorphismBatch(const std::vector<const RnsPolynomial *> &as,
                      [&](std::size_t b, std::size_t i) {
         const Modulus &mod = as[b]->limbModulus(i);
         const u64 *src = as[b]->limb(i);
-        u64 *dst = out[b].limb(i);
+        u64 *dst = out[b]->limb(i);
         for (std::size_t j = 0; j < n; ++j)
             dst[dst_idx[j]] = flip[j] ? mod.neg(src[j]) : src[j];
     });
-    return out;
 }
 
 RnsPolynomial

@@ -38,6 +38,20 @@ class RnsPolynomial
     RnsPolynomial(const RnsTower &tower, std::vector<std::size_t> limbs,
                   Domain domain);
 
+    /**
+     * Zero polynomial reusing `storage` as the coefficient buffer:
+     * when its capacity already covers limbs*N the construction makes
+     * no allocator call. This is the exec::Workspace recycling hook.
+     */
+    RnsPolynomial(const RnsTower &tower, std::vector<std::size_t> limbs,
+                  Domain domain, std::vector<u64> storage);
+
+    /**
+     * Steal the coefficient buffer (for return to an arena), leaving
+     * this polynomial empty.
+     */
+    std::vector<u64> takeStorage();
+
     /** Zero polynomial over limbs [0, count) of the q-chain. */
     static RnsPolynomial zeros(const RnsTower &tower, std::size_t count,
                                Domain domain);
@@ -150,6 +164,14 @@ void toCoeffBatch(const std::vector<RnsPolynomial *> &polys,
 std::vector<RnsPolynomial>
 applyAutomorphismBatch(const std::vector<const RnsPolynomial *> &as,
                        u64 galois, ThreadPool *pool = nullptr);
+
+/** applyAutomorphismBatch writing into caller-provided outputs
+    (preshaped to each input's limb set and domain) — the
+    exec::Workspace hook for the per-rotation FrobeniusMap. Outputs
+    must not alias the inputs. Bit-identical to applyAutomorphismBatch. */
+void applyAutomorphismBatchInto(
+    const std::vector<const RnsPolynomial *> &as, u64 galois,
+    RnsPolynomial *const *outs, ThreadPool *pool = nullptr);
 
 } // namespace tensorfhe::rns
 

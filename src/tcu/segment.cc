@@ -1,5 +1,7 @@
 #include "tcu/segment.hh"
 
+#include <unordered_map>
+
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/thread_pool.hh"
@@ -8,6 +10,25 @@
 
 namespace tensorfhe::tcu
 {
+
+const FusionWeights &
+fusionWeights(const Modulus &mod)
+{
+    // Per-thread cache: fuseMod sits on the hot TCU NTT path and is
+    // called concurrently from every pool lane, so the memo must not
+    // funnel through one lock. The table is seven u64s per prime —
+    // duplicating it per thread is far cheaper than cross-core lock
+    // traffic per kernel.
+    thread_local std::unordered_map<u64, FusionWeights> cache;
+    auto it = cache.find(mod.value());
+    if (it != cache.end())
+        return it->second;
+    FusionWeights fw;
+    for (int s = 0; s <= 6; ++s)
+        fw.w[static_cast<std::size_t>(s)] =
+            mod.reduce(u128(1) << (8 * s));
+    return cache.emplace(mod.value(), fw).first->second;
+}
 
 SegmentedMatrix
 segmentU32(const u64 *src, std::size_t n)
@@ -32,10 +53,9 @@ fuseMod(const std::array<std::array<std::vector<s32>, 4>, 4> &o,
         std::size_t n, const Modulus &mod, u64 *out)
 {
     ScopedKernelTimer timer(KernelKind::Fusion, n);
-    // Radix weights 2^(8(i+j)), i + j in [0, 6].
-    u64 w[7];
-    for (int s = 0; s <= 6; ++s)
-        w[s] = mod.reduce(u128(1) << (8 * s));
+    // Radix weights 2^(8(i+j)), i + j in [0, 6] — memoized per prime
+    // instead of rebuilt on every fusion dispatch.
+    const auto &w = fusionWeights(mod).w;
     for (std::size_t e = 0; e < n; ++e) {
         u128 acc = 0;
         for (int i = 0; i < 4; ++i) {

@@ -37,6 +37,23 @@ using SegmentedMatrix = std::array<std::vector<u8>, 4>;
 SegmentedMatrix segmentU32(const u64 *src, std::size_t n);
 
 /**
+ * The fusion stage's radix weights 2^(8(i+j)) mod q, i+j in [0, 6].
+ * Fixed by the modulus alone, so they are memoized per thread (the
+ * same cached-plan policy CkksContext applies to its ModUp/ModDown
+ * factors, but lock-free — fuseMod runs concurrently on every pool
+ * lane): the first fusion under a prime builds them, every later
+ * fuseMod — including every batched TCU NTT dispatch — reuses them
+ * instead of recomputing seven u128 reductions per kernel call.
+ */
+struct FusionWeights
+{
+    std::array<u64, 7> w;
+};
+
+/** Memoized fusion weights for `mod` (thread-safe, stable reference). */
+const FusionWeights &fusionWeights(const Modulus &mod);
+
+/**
  * Fuse the sixteen s32 partial-product planes back into residues
  * mod q: out[e] = sum_{i,j} o[i][j][e] * 2^(8(i+j)) (mod q).
  * Paper Stages 3 and 5.

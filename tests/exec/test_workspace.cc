@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Workspace arena tests: checkout/return cycling, steady-state reuse,
+ * best-fit bucketing, detach semantics, and concurrent checkout from
+ * a full worker pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/thread_pool.hh"
+#include "exec/workspace.hh"
+#include "rns/tower.hh"
+
+namespace tensorfhe::exec
+{
+namespace
+{
+
+rns::RnsTower &
+tower()
+{
+    static rns::RnsTower t([] {
+        rns::TowerConfig cfg;
+        cfg.n = 64;
+        cfg.levels = 3;
+        cfg.special = 1;
+        return cfg;
+    }());
+    return t;
+}
+
+std::vector<std::size_t>
+limbs(std::size_t count)
+{
+    std::vector<std::size_t> idx(count);
+    for (std::size_t i = 0; i < count; ++i)
+        idx[i] = i;
+    return idx;
+}
+
+TEST(Workspace, CheckoutReturnsZeroedPoly)
+{
+    Workspace ws(tower());
+    auto p = ws.zeros(limbs(2), rns::Domain::Eval);
+    EXPECT_EQ(p->numLimbs(), 2u);
+    EXPECT_EQ(p->domain(), rns::Domain::Eval);
+    for (std::size_t i = 0; i < 2; ++i)
+        for (std::size_t c = 0; c < p->n(); ++c)
+            ASSERT_EQ(p->limb(i)[c], 0u);
+}
+
+TEST(Workspace, SteadyStateReusesInsteadOfAllocating)
+{
+    Workspace ws(tower());
+    // Warm-up: one allocation enters the pool on release.
+    { auto p = ws.zeros(limbs(3), rns::Domain::Coeff); }
+    ws.resetStats();
+    for (int round = 0; round < 10; ++round) {
+        auto p = ws.zeros(limbs(3), rns::Domain::Coeff);
+        p->limb(0)[0] = 7; // dirty it; next checkout must re-zero
+    }
+    auto s = ws.stats();
+    EXPECT_EQ(s.allocs, 0u);
+    EXPECT_EQ(s.reuses, 10u);
+    EXPECT_EQ(s.returns, 10u);
+    EXPECT_DOUBLE_EQ(s.reuseRate(), 1.0);
+    // Re-zeroing on checkout.
+    auto p = ws.zeros(limbs(3), rns::Domain::Coeff);
+    EXPECT_EQ(p->limb(0)[0], 0u);
+}
+
+TEST(Workspace, ReusedBufferServesSmallerShapes)
+{
+    Workspace ws(tower());
+    { auto big = ws.zeros(limbs(4), rns::Domain::Coeff); }
+    ws.resetStats();
+    auto small = ws.zeros(limbs(1), rns::Domain::Coeff);
+    EXPECT_EQ(ws.stats().reuses, 1u);
+    EXPECT_EQ(ws.stats().allocs, 0u);
+    EXPECT_EQ(small->numLimbs(), 1u);
+}
+
+TEST(Workspace, BestFitPrefersSmallestSufficientBuffer)
+{
+    Workspace ws(tower());
+    // Two pooled buffers of different capacity: held live together so
+    // both allocate, then both return to the pool.
+    {
+        auto big = ws.zeros(limbs(4), rns::Domain::Coeff);
+        auto small = ws.zeros(limbs(1), rns::Domain::Coeff);
+    }
+    ws.resetStats();
+    // A 1-limb checkout must take the 1-limb buffer, leaving the
+    // 4-limb one for a later large checkout (no fresh allocation).
+    auto a = ws.zeros(limbs(1), rns::Domain::Coeff);
+    auto b = ws.zeros(limbs(4), rns::Domain::Coeff);
+    EXPECT_EQ(ws.stats().allocs, 0u);
+    EXPECT_EQ(ws.stats().reuses, 2u);
+}
+
+TEST(Workspace, DetachLeavesArenaUntouched)
+{
+    Workspace ws(tower());
+    ws.resetStats();
+    rns::RnsPolynomial kept;
+    {
+        auto p = ws.zeros(limbs(2), rns::Domain::Eval);
+        p->limb(0)[1] = 42;
+        kept = p.detach();
+    }
+    EXPECT_EQ(ws.stats().returns, 0u); // detached storage never returns
+    EXPECT_EQ(kept.limb(0)[1], 42u);
+    ws.resetStats();
+    auto p = ws.zeros(limbs(2), rns::Domain::Eval);
+    EXPECT_EQ(ws.stats().allocs, 1u); // nothing pooled to reuse
+}
+
+TEST(Workspace, TrimDropsPooledBuffers)
+{
+    Workspace ws(tower());
+    { auto p = ws.zeros(limbs(2), rns::Domain::Eval); }
+    ws.trim();
+    ws.resetStats();
+    auto p = ws.zeros(limbs(2), rns::Domain::Eval);
+    EXPECT_EQ(ws.stats().allocs, 1u);
+    EXPECT_EQ(ws.stats().reuses, 0u);
+}
+
+TEST(Workspace, ConcurrentCheckoutFromFullPool)
+{
+    // ThreadSanitizer-style stress: every lane hammers checkout /
+    // write / release concurrently; counters must balance exactly and
+    // no lane may observe another lane's writes (buffers are
+    // exclusively owned between checkout and release).
+    Workspace ws(tower());
+    ThreadPool &pool = ThreadPool::global();
+    constexpr std::size_t kLanes = 16;
+    constexpr std::size_t kIters = 200;
+    std::atomic<u64> bad{0};
+    pool.parallelFor(0, kLanes, [&](std::size_t lane) {
+        for (std::size_t it = 0; it < kIters; ++it) {
+            auto p = ws.zeros(limbs(1 + (it % 4)), rns::Domain::Coeff);
+            u64 tag = lane * 1000 + it;
+            for (std::size_t i = 0; i < p->numLimbs(); ++i)
+                p->limb(i)[0] = tag;
+            for (std::size_t i = 0; i < p->numLimbs(); ++i)
+                if (p->limb(i)[0] != tag)
+                    bad.fetch_add(1);
+        }
+    });
+    EXPECT_EQ(bad.load(), 0u);
+    auto s = ws.stats();
+    EXPECT_EQ(s.allocs + s.reuses, kLanes * kIters);
+    EXPECT_EQ(s.returns, kLanes * kIters);
+}
+
+} // namespace
+} // namespace tensorfhe::exec

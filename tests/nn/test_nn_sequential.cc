@@ -132,6 +132,41 @@ TEST(Sequential, BatchedRunIsBitIdenticalToSingleRuns)
     }
 }
 
+TEST(Sequential, SteadyStateRunsReuseTheWorkspaceArena)
+{
+    // After one warm-up inference, repeated Sequential runs must
+    // cycle the exec::Workspace arena instead of the allocator
+    // (> 90% checkout reuse): the plan caches are hot and every
+    // hoist/tail/BSGS buffer shape recurs.
+    ckks::CkksContext ctx(testParams(5));
+    Sequential net;
+    net.emplace<Dense>(randomMatrix(8, 8, 0.3, 7));
+    net.emplace<PolyActivation>(reluApprox(2));
+    net.compile(ctx, freshMeta(ctx, {{8}}));
+
+    Rng rng(8);
+    auto sk = ctx.generateSecretKey(rng);
+    auto keys = ctx.generateKeys(sk, rng, net.requiredRotations());
+    ckks::Encryptor enc(ctx, keys.pk);
+    nn::NnEngine engine(ctx, keys);
+
+    std::vector<double> x(8);
+    for (auto &v : x)
+        v = rng.uniformReal() - 0.5;
+    auto ct = encryptTensor(ctx, enc, rng, x, {{8}},
+                            ctx.tower().numQ());
+
+    (void)net.run(engine, ct); // warm-up populates the arena
+    auto &ws = engine.batched().dispatcher().workspace();
+    ws.resetStats();
+    for (int round = 0; round < 3; ++round)
+        (void)net.run(engine, ct);
+    auto s = ws.stats();
+    ASSERT_GT(s.allocs + s.reuses, 0u);
+    EXPECT_GT(s.reuseRate(), 0.9)
+        << "allocs " << s.allocs << " reuses " << s.reuses;
+}
+
 TEST(Sequential, ElementwiseStackHandlesMultiChunkTensors)
 {
     ckks::CkksContext ctx(testParams(4));
