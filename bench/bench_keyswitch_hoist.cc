@@ -22,6 +22,7 @@
 #include "bench_util.hh"
 #include "boot/linear.hh"
 #include "ckks/crypto.hh"
+#include "ckks/rotations.hh"
 #include "common/stats.hh"
 #include "gpu/pipeline.hh"
 
@@ -90,7 +91,13 @@ main(int argc, char **argv)
     std::vector<s64> all_steps;
     for (std::size_t d = 1; d < slots; ++d)
         all_steps.push_back(static_cast<s64>(d));
-    auto keys = ctx.generateKeys(sk, rng, all_steps);
+    // Conjugate-composed keys for the fused sine-stage split plans.
+    auto c2s_re = boot::LinearTransformPlan::coeffToSlotReal(ctx);
+    auto c2s_im = boot::LinearTransformPlan::coeffToSlotImag(ctx);
+    auto conj_steps = ckks::unionRotationSteps(
+        {c2s_re.requiredConjRotations(),
+         c2s_im.requiredConjRotations()});
+    auto keys = ctx.generateKeys(sk, rng, all_steps, conj_steps);
     ckks::Encryptor enc(ctx, keys.pk);
     ckks::Evaluator eval(ctx, keys);
 
@@ -255,6 +262,77 @@ main(int argc, char **argv)
     u64 mod_downs = ops.modDowns();
     u64 mod_ups = ops.modUps();
 
+    // ---------------------------------------------------------------
+    // Sine-stage split (bootstrap CoeffToSlot): the unfused pipeline
+    // pays C2S + a standalone conjugation keyswitch + two split
+    // CMULT/RESCALE pairs (one extra level); the fused split plans
+    // ride the conjugation as composed baby steps off the SAME
+    // double-hoisted head — giant+2 conversions per transform, like
+    // any other matvec.
+    bench::section("sine-stage split: unfused C2S+conjugate vs fused "
+                   "double-hoisted split plans");
+    auto uinv = boot::LinearTransformPlan::specialFftInverse(ctx);
+    ckks::Ciphertext old_u, old_v;
+    auto old_split = [&] {
+        auto w = uinv.apply(eval, ct3);
+        auto wc = eval.conjugate(w);
+        auto sum = eval.add(w, wc);
+        auto diff = eval.sub(w, wc);
+        double target = params.scale();
+        old_u = eval.multiplyConstToScale(sum, 1.0, target);
+        old_v = eval.multiplyConstToScale(diff, 1.0, target);
+    };
+    ckks::Ciphertext new_u, new_v;
+    auto fused_split = [&] {
+        // Both split plans read ONE shared head + raw-tail table
+        // (sine-stage double hoisting).
+        auto re_prog = c2s_re.program(ct3.levelCount());
+        auto im_prog = c2s_im.program(ct3.levelCount());
+        const exec::BsgsProgram *progs[] = {&re_prog, &im_prog};
+        auto out =
+            eval.dispatcher().applyBsgsFanout(progs, 2, &ct3, 1);
+        new_u = std::move(out[0][0]);
+        new_v = std::move(out[1][0]);
+    };
+
+    ops.reset();
+    old_split();
+    auto old_snap = ops.snapshot();
+    u64 old_md = ops.modDowns();
+    double old_t = bench::timeMean(reps, old_split);
+    ops.reset();
+    fused_split();
+    auto new_snap = ops.snapshot();
+    u64 new_md = ops.modDowns();
+    double new_t = bench::timeMean(reps, fused_split);
+    ops.reset();
+
+    double fused_giants =
+        static_cast<double>(c2s_re.giantStepCount())
+        + static_cast<double>(c2s_im.giantStepCount());
+    std::printf("  %-34s %10s  KS %3.0f  ModDown %llu  levels %zu\n",
+                "unfused C2S + conj + split", fmtSeconds(old_t).c_str(),
+                old_snap.ksTail,
+                static_cast<unsigned long long>(old_md),
+                ct3.levelCount() - old_u.levelCount());
+    std::printf("  %-34s %10s  KS %3.0f  ModDown %llu  levels %zu\n",
+                "fused split plans (giant+2 each)",
+                fmtSeconds(new_t).c_str(), new_snap.ksTail,
+                static_cast<unsigned long long>(new_md),
+                ct3.levelCount() - new_u.levelCount());
+    std::printf("  fused conversions = giants(%.0f) + 2 per output; "
+                "single-hoisted schedule would pay 2*(baby+giant) = "
+                "%.0f\n",
+                fused_giants,
+                2.0
+                    * (static_cast<double>(c2s_re.babyStepCount()
+                                           + c2s_re.conjStepCount()
+                                           + c2s_re.giantStepCount())
+                       + static_cast<double>(
+                           c2s_im.babyStepCount()
+                           + c2s_im.conjStepCount()
+                           + c2s_im.giantStepCount())));
+
     // Kernel-queue replay: record one warm apply's dispatch schedule
     // and run it through the SM pipeline model.
     stats.reset();
@@ -295,7 +373,22 @@ main(int argc, char **argv)
             .add("single_hoisted_mod_downs", classic_moddowns)
             .add("kernel_queue_launches",
                  static_cast<double>(queue.size()))
-            .add("sim_stall_fraction", total.totalStallFraction());
+            .add("sim_stall_fraction", total.totalStallFraction())
+            .add("sine_split_old_s", old_t)
+            .add("sine_split_fused_s", new_t)
+            .add("sine_split_old_ks_tails", old_snap.ksTail)
+            .add("sine_split_fused_ks_tails", new_snap.ksTail)
+            .add("sine_split_old_mod_downs",
+                 static_cast<double>(old_md))
+            .add("sine_split_fused_mod_downs",
+                 static_cast<double>(new_md))
+            .add("sine_split_fused_giant_steps", fused_giants)
+            .add("sine_split_old_levels",
+                 static_cast<double>(ct3.levelCount()
+                                     - old_u.levelCount()))
+            .add("sine_split_fused_levels",
+                 static_cast<double>(ct3.levelCount()
+                                     - new_u.levelCount()));
         if (!json.appendTo(json_path)) {
             std::fprintf(stderr, "cannot write %s\n",
                          json_path.c_str());

@@ -6,16 +6,24 @@
  * rows, with the paper's headline ratios (2.9x over F1+ on LR, up to
  * ~40x behind the big ASICs) recomputed from our model.
  *
- * The last section runs the *functional* scaled-down CNN and
- * LSTM-cell workloads on real ciphertexts and prints their executed
- * operation counts (EvalOpStats) next to the layer plans' modeled
- * counts, flagging any divergence above 10% — the consistency check
- * tying the analytic Table X machinery to code that actually
- * computes.
+ * The measured sections run the *functional* scaled-down CNN,
+ * LSTM-cell and DEEP bootstrap-in-the-loop CNN workloads on real
+ * ciphertexts and print their executed operation counts
+ * (EvalOpStats) next to the layer plans' modeled counts, flagging
+ * any divergence above 10% — the consistency check tying the
+ * analytic Table X machinery to code that actually computes.
+ *
+ * Usage: bench_table10_workloads [--json PATH]
+ *   --json PATH appends one machine-readable object per measured
+ *   workload (bootstrap count, conversion counts, timings, logit
+ *   error) to PATH — the CI Release job collects BENCH_PR5.json
+ *   this way.
  */
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "bench_util.hh"
 #include "perf/device_time.hh"
@@ -64,8 +72,13 @@ compareOps(const char *workload, const OpCounts &modeled,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string json_path;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            json_path = argv[++i];
+
     bench::banner("Table X - full FHE workloads (seconds)");
 
     std::printf("%-18s %10s %10s %10s %12s\n", "system", "ResNet-20",
@@ -157,6 +170,91 @@ main()
         compareOps("LSTM-cell",
                    cell.modeledCounts(),
                    toOpCounts(EvalOpStats::instance().snapshot()));
+    }
+
+    bench::section("deep CNN with bootstrap-in-the-loop [measured]");
+    {
+        // The Table X ResNet scenario in miniature: a two-chunk
+        // tensor through block-BSGS convs, the ledger going negative
+        // mid-network, and >= 1 automatically inserted bootstrap
+        // (fused C2S split riding the shared double-hoisted head).
+        ckks::CkksContext ctx(
+            EncryptedCnnClassifier::recommendedDeepParams());
+        EncryptedCnnClassifier cnn(
+            ctx, EncryptedCnnClassifier::deepConfig());
+        Rng rng(45);
+        auto sk = ctx.generateSecretKey(rng);
+        auto keys = ctx.generateKeys(sk, rng, cnn.requiredRotations(),
+                                     cnn.requiredConjRotations());
+        ckks::Encryptor enc(ctx, keys.pk);
+        ckks::Decryptor dec(ctx, sk);
+        nn::NnEngine engine(ctx, keys);
+
+        std::vector<std::vector<double>> images(
+            1, std::vector<double>(cnn.config().inChannels
+                                   * cnn.config().height
+                                   * cnn.config().width));
+        Rng data(46);
+        for (auto &v : images[0])
+            v = data.uniformReal();
+
+        auto &ops = EvalOpStats::instance();
+        ops.reset();
+        std::vector<EncryptedCnnClassifier::Prediction> preds;
+        double secs = bench::timeSeconds([&] {
+            preds = cnn.classifyEncrypted(engine, enc, dec, rng,
+                                          images);
+        });
+        auto snap = ops.snapshot();
+        u64 mod_ups = ops.modUps();
+        u64 mod_downs = ops.modDowns();
+        auto plain = cnn.classifyPlain(images[0]);
+        double worst_logit = 0;
+        for (std::size_t j = 0; j < plain.logits.size(); ++j)
+            worst_logit = std::max(
+                worst_logit,
+                std::abs(preds[0].logits[j] - plain.logits[j]));
+        std::size_t boots = cnn.net().bootstrapCount();
+
+        std::printf("  %zu-chunk input, %zu bootstraps inserted, "
+                    "argmax %s, worst |logit err| %.2e\n",
+                    cnn.inputMeta().chunkCount, boots,
+                    preds[0].argmax == plain.argmax ? "agrees"
+                                                    : "DISAGREES",
+                    worst_logit);
+        std::printf("  wall %s   ModUp %llu   ModDown %llu   "
+                    "conjugate-composed steps %.0f\n",
+                    bench::fmtSeconds(secs).c_str(),
+                    static_cast<unsigned long long>(mod_ups),
+                    static_cast<unsigned long long>(mod_downs),
+                    snap.conjugate);
+        compareOps("deep-CNN", toOpCounts(cnn.modeledOps()),
+                   toOpCounts(snap));
+
+        if (!json_path.empty()) {
+            bench::JsonWriter json("table10_deep_cnn");
+            json.add("bootstraps", static_cast<double>(boots))
+                .add("input_chunks",
+                     static_cast<double>(cnn.inputMeta().chunkCount))
+                .add("seconds", secs)
+                .add("mod_up_conversions",
+                     static_cast<double>(mod_ups))
+                .add("mod_down_conversions",
+                     static_cast<double>(mod_downs))
+                .add("conjugate_ops", snap.conjugate)
+                .add("hrotate_ops", snap.hrotate)
+                .add("ks_hoist_ops", snap.ksHoist)
+                .add("ks_tail_ops", snap.ksTail)
+                .add("worst_logit_err", worst_logit)
+                .add("argmax_agrees",
+                     preds[0].argmax == plain.argmax ? 1.0 : 0.0);
+            if (!json.appendTo(json_path)) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             json_path.c_str());
+                return 1;
+            }
+            std::printf("  wrote %s\n", json_path.c_str());
+        }
     }
     return 0;
 }

@@ -171,6 +171,33 @@ BatchedEvaluator::multiplyConstToScale(const Cts &a, double c,
 }
 
 BatchedEvaluator::Cts
+BatchedEvaluator::addConst(const Cts &a, double c) const
+{
+    if (a.empty())
+        return {};
+    std::size_t lc = requireUniformLevel(a);
+    for (const auto &ct : a)
+        requireArg(std::abs(ct.scale - a[0].scale) <= 1e-6 * a[0].scale,
+                   "batched ops require a uniform scale");
+    auto pt = ctx_.encoder().encodeConstant(ckks::Complex(c, 0),
+                                            a[0].scale, lc);
+    Cts out = a;
+    disp_->addPlainInPlace(out.data(), pt, out.size());
+    return out;
+}
+
+BatchedEvaluator::Cts
+BatchedEvaluator::negate(const Cts &a) const
+{
+    Cts out = a;
+    for (auto &ct : out) {
+        rns::negateInPlace(ct.c0);
+        rns::negateInPlace(ct.c1);
+    }
+    return out;
+}
+
+BatchedEvaluator::Cts
 BatchedEvaluator::dropToLevelCount(const Cts &a,
                                    std::size_t level_count) const
 {

@@ -78,6 +78,10 @@ class BatchedEvaluator
      */
     Cts multiplyConstToScale(const Cts &a, double c,
                              double target_scale) const;
+    /** Add a real constant to every slot (one shared plaintext). */
+    Cts addConst(const Cts &a, double c) const;
+    /** Negate all slots (no key material, no level). */
+    Cts negate(const Cts &a) const;
     Cts rescale(const Cts &a) const;
     /** In-place RESCALE of the whole batch. */
     void rescaleInPlace(Cts &a) const;

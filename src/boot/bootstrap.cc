@@ -8,15 +8,42 @@
 namespace tensorfhe::boot
 {
 
-Bootstrapper::Bootstrapper(const ckks::CkksContext &ctx,
-                           const ckks::KeyBundle &keys, SineConfig sine)
-    : ctx_(ctx), keys_(keys), eval_(ctx, keys), sine_(sine),
-      u_(LinearTransformPlan::specialFft(ctx)),
-      uInv_(LinearTransformPlan::specialFftInverse(ctx))
+namespace
+{
+
+/**
+ * The fixed part of the sine pre-scale kappa = pi * hidden_scale /
+ * (q0 * 2^r), folded into the split-plan diagonals: with hidden =
+ * pts the factor is exact, and the runtime hidden/pts remainder is
+ * pure scale metadata (bootstrapBatch).
+ */
+double
+splitFactor(const ckks::CkksContext &ctx, const SineConfig &sine)
+{
+    return M_PI * ctx.params().scale()
+        / (static_cast<double>(ctx.tower().prime(0))
+           * std::exp2(sine.doublings));
+}
+
+} // namespace
+
+Bootstrapper::Bootstrapper(const ckks::CkksContext &ctx, SineConfig sine)
+    : ctx_(ctx), sine_(sine), u_(LinearTransformPlan::specialFft(ctx)),
+      c2sRe_(LinearTransformPlan::coeffToSlotReal(
+          ctx, splitFactor(ctx, sine))),
+      c2sIm_(LinearTransformPlan::coeffToSlotImag(
+          ctx, splitFactor(ctx, sine)))
 {
     requireArg(ctx.tower().numQ() > postRaiseLevelCost() + 1,
                "parameter chain too short for bootstrapping: need > ",
                postRaiseLevelCost() + 1, " levels");
+}
+
+Bootstrapper::Bootstrapper(const ckks::CkksContext &ctx,
+                           const ckks::KeyBundle &keys, SineConfig sine)
+    : Bootstrapper(ctx, sine)
+{
+    beval_.emplace(ctx, keys);
 }
 
 std::vector<s64>
@@ -29,7 +56,10 @@ Bootstrapper::requiredRotations(std::size_t slots)
     // chooser may pick a LARGER stride than g, but only when the
     // resulting steps stay inside this root pattern (babies < g,
     // giants multiples of g — the containment check in
-    // chooseGiantStride), so these grants always suffice.
+    // chooseGiantStride), so these grants always suffice. The fused
+    // C2S split plans' giant steps are plain rotations inside the
+    // same pattern; their conjugate-composed baby steps are
+    // advertised separately by requiredConjRotations().
     auto g = static_cast<std::size_t>(
         std::ceil(std::sqrt(static_cast<double>(slots))));
     std::vector<s64> baby, giant;
@@ -40,23 +70,35 @@ Bootstrapper::requiredRotations(std::size_t slots)
     return ckks::unionRotationSteps({baby, giant}, slots);
 }
 
+std::vector<s64>
+Bootstrapper::requiredConjRotations(std::size_t slots)
+{
+    // Conjugate-composed baby steps of the fused C2S split plans:
+    // the conj branch's babies live in [1, g) like the plain ones
+    // (the b = 0 conjugation rides the always-present conj key).
+    auto g = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(slots))));
+    std::vector<s64> steps;
+    for (std::size_t b = 1; b < g && b < slots; ++b)
+        steps.push_back(static_cast<s64>(b));
+    return steps;
+}
+
 std::size_t
 Bootstrapper::postRaiseLevelCost() const
 {
-    // CoeffToSlot (1) + split constant (1) + sine + recombine (1).
-    return sineLevelCost(sine_) + 3;
+    // CoeffToSlot split (1, kappa folded into scale metadata) + sine
+    // + recombine (1).
+    return sineLevelsUsed(sine_) + 2;
 }
 
 ckks::Ciphertext
 Bootstrapper::slotToCoeff(const ckks::Ciphertext &ct) const
 {
-    return u_.apply(eval_, ct);
-}
-
-ckks::Ciphertext
-Bootstrapper::coeffToSlot(const ckks::Ciphertext &ct) const
-{
-    return uInv_.apply(eval_, ct);
+    requireState(beval_.has_value(),
+                 "slotToCoeff needs the key-bundle constructor");
+    auto out = u_.applyBatch(*beval_, {ct});
+    return std::move(out[0]);
 }
 
 ckks::Ciphertext
@@ -91,60 +133,125 @@ Bootstrapper::modRaise(const ckks::Ciphertext &ct) const
     return out;
 }
 
-ckks::Ciphertext
-Bootstrapper::bootstrap(const ckks::Ciphertext &ct) const
+Bootstrapper::Refresh
+Bootstrapper::predictRefresh(const ckks::CkksContext &ctx,
+                             const SineConfig &sine,
+                             std::size_t input_level_count)
 {
-    requireArg(ct.levelCount() >= 2,
+    requireArg(input_level_count >= 2,
                "slotToCoeff needs at least one spare level");
+    const auto &tower = ctx.tower();
+    double pts = ctx.params().scale();
+    std::size_t full = tower.numQ();
+    requireArg(full >= sineLevelsUsed(sine) + 3,
+               "parameter chain too short for bootstrapping: need "
+               ">= ",
+               sineLevelsUsed(sine) + 3, " levels, have ", full);
+    // C2S split consumes one level off the top; the sine output is
+    // steered to exactly the context scale; the recombine CMULT +
+    // RESCALE sets the final coordinates. (The input scale cancels:
+    // kappa is pure scale metadata and the sine steering is exact.)
+    std::size_t lc = full - 1 - sineLevelsUsed(sine);
+    Refresh r;
+    r.scale = pts * pts
+        / static_cast<double>(tower.prime(lc - 1));
+    r.levelCount = lc - 1;
+    return r;
+}
+
+EvalOpCounts
+Bootstrapper::modeledOps() const
+{
+    EvalOpCounts c;
+    c += u_.modeledApplyOps();
+    c += LinearTransformPlan::modeledFanoutOps({&c2sRe_, &c2sIm_});
+    c += 2.0 * sineModeledOps(sine_);
+    // Recombine: two CMULTs (back, i*back), one HADD, one RESCALE.
+    c.cmult += 2;
+    c.hadd += 1;
+    c.rescale += 1;
+    return c;
+}
+
+std::vector<ckks::Ciphertext>
+Bootstrapper::bootstrapBatch(const batch::BatchedEvaluator &beval,
+                             const std::vector<ckks::Ciphertext> &cts)
+    const
+{
+    if (cts.empty())
+        return {};
+    requireArg(cts[0].levelCount() >= 2,
+               "slotToCoeff needs at least one spare level");
+    for (const auto &ct : cts)
+        requireArg(ct.levelCount() == cts[0].levelCount()
+                       && std::abs(ct.scale - cts[0].scale)
+                           <= 1e-6 * cts[0].scale,
+                   "bootstrap batch requires a uniform level and "
+                   "scale");
     u64 q0 = ctx_.tower().prime(0);
-    double two_pow_r = std::exp2(sine_.doublings);
+    double pts = ctx_.params().scale();
 
     // Stage 1: SlotToCoeff — coefficients now hold Re/Im of slots.
-    auto packed = slotToCoeff(ct);
+    auto packed = u_.applyBatch(beval, cts);
 
     // Stage 2: ModRaising from q0 to the full chain. The hidden
     // coefficients become m + q0*I for small integers I.
-    auto raised = modRaise(eval_.dropToLevelCount(packed, 1));
+    auto low = beval.dropToLevelCount(packed, 1);
+    std::vector<ckks::Ciphertext> raised;
+    raised.reserve(low.size());
+    for (const auto &ct : low)
+        raised.push_back(modRaise(ct));
 
-    // Stage 3: CoeffToSlot — slot j now holds
-    // (c_j + i*c_{j+N/2}) / scale with c = m + q0*I.
-    auto w = coeffToSlot(raised);
-
-    // Split real and imaginary coefficient streams with a conjugate,
-    // folding the sine pre-scale kappa = pi*scale/(q0*2^r) into the
-    // split constants. Slot values of w are c / raised.scale (the
-    // C2S transform is value-preserving), so the hidden-coefficient
-    // scale is the pre-C2S one.
-    double hidden_scale = raised.scale;
-    double kappa = M_PI * hidden_scale / (q0 * two_pow_r);
-    auto wc = eval_.conjugate(w);
-    auto sum = eval_.add(w, wc);  // 2*Re
-    auto diff = eval_.sub(w, wc); // 2i*Im
-    auto t_u = eval_.rescale(eval_.multiplyPlain(
-        sum, ctx_.encoder().encodeConstant(Complex(kappa, 0),
-                                           ctx_.params().scale(),
-                                           sum.levelCount())));
-    auto t_v = eval_.rescale(eval_.multiplyPlain(
-        diff, ctx_.encoder().encodeConstant(Complex(0, -kappa),
-                                            ctx_.params().scale(),
-                                            diff.levelCount())));
+    // Stage 3: fused CoeffToSlot + Re/Im split — the plans carry the
+    // fixed factor pi*pts/(q0*2^r) of the sine pre-scale kappa in
+    // their diagonals; the remaining hidden_scale/pts ratio is pure
+    // scale metadata, so slot values become exactly kappa * 2Re /
+    // kappa * 2Im of the hidden coefficients with NO split CMULT and
+    // no extra level. The conjugate branch rides the same hoisted
+    // BSGS head as the plain diagonals (composed conj-rotation
+    // steps), so the stage costs giant + 2 basis conversions per
+    // transform.
+    double hidden_scale = packed[0].scale;
+    std::size_t full = ctx_.tower().numQ();
+    double t_scale =
+        pts * pts / static_cast<double>(ctx_.tower().prime(full - 1));
+    // The Re/Im plans share one hoisted head and one raw-tail table
+    // (their baby and conjugate steps coincide): sine-stage double
+    // hoisting.
+    auto split = LinearTransformPlan::applyBatchFanout(
+        beval, {&c2sRe_, &c2sIm_}, raised);
+    auto t_u = std::move(split[0]);
+    auto t_v = std::move(split[1]);
+    // Stored scale is hidden*pts/q_last; claiming pts^2/q_last reads
+    // the values multiplied by hidden/pts — the kappa remainder.
+    for (auto &ct : t_u)
+        ct.scale = t_scale;
+    for (auto &ct : t_v)
+        ct.scale = t_scale;
 
     // Stage 4: Sine Evaluation on both streams.
-    auto sin_u = evalScaledSine(ctx_, eval_, t_u, sine_);
-    auto sin_v = evalScaledSine(ctx_, eval_, t_v, sine_);
+    auto sin_u = evalScaledSine(ctx_, beval, t_u, sine_);
+    auto sin_v = evalScaledSine(ctx_, beval, t_v, sine_);
 
     // Recombine: out = (q0 / (2 pi scale)) * (sin_u + i*sin_v); slot
     // values return to z_j = Re z_j + i Im z_j.
     double back = q0 / (2.0 * M_PI * hidden_scale);
-    auto out_u = eval_.multiplyPlain(
-        sin_u, ctx_.encoder().encodeConstant(Complex(back, 0),
-                                             ctx_.params().scale(),
-                                             sin_u.levelCount()));
-    auto out_v = eval_.multiplyPlain(
-        sin_v, ctx_.encoder().encodeConstant(Complex(0, back),
-                                             ctx_.params().scale(),
-                                             sin_v.levelCount()));
-    return eval_.rescale(eval_.add(out_u, out_v));
+    auto out_u = beval.multiplyPlain(
+        sin_u, ctx_.encoder().encodeConstant(Complex(back, 0), pts,
+                                             sin_u[0].levelCount()));
+    auto out_v = beval.multiplyPlain(
+        sin_v, ctx_.encoder().encodeConstant(Complex(0, back), pts,
+                                             sin_v[0].levelCount()));
+    return beval.rescale(beval.add(out_u, out_v));
+}
+
+ckks::Ciphertext
+Bootstrapper::bootstrap(const ckks::Ciphertext &ct) const
+{
+    requireState(beval_.has_value(),
+                 "bootstrap needs the key-bundle constructor");
+    auto out = bootstrapBatch(*beval_, {ct});
+    return std::move(out[0]);
 }
 
 } // namespace tensorfhe::boot

@@ -6,12 +6,28 @@
  * ciphertext. The DFT stages use the homomorphic linear transforms
  * of boot/linear.hh; the modular-reduction stage uses the Taylor +
  * double-angle sine of boot/sine.hh.
+ *
+ * The sine stage's Re/Im split is FUSED into CoeffToSlot: two
+ * conjugate-symmetric plans (coeffToSlotReal / coeffToSlotImag)
+ * produce the sine inputs directly off the mod-raised ciphertext,
+ * the conjugation riding the double-hoisted BSGS head as composed
+ * conj-rotation baby steps (KeyBundle.conjRot). This removes the
+ * standalone conjugation keyswitch and the split-constant CMULT
+ * level of the unfused pipeline — the sine stage's rotations now
+ * cost giant + 2 basis conversions per transform like any other
+ * matvec (the kappa pre-scale is pure scale metadata).
+ *
+ * Everything is batched: bootstrapBatch() refreshes a whole stream
+ * of ciphertexts (batch slots x tensor chunks) through one shared
+ * pipeline on a BatchedEvaluator — the shape nn::Sequential uses for
+ * bootstrap-in-the-loop inference.
  */
 
 #ifndef TENSORFHE_BOOT_BOOTSTRAP_HH
 #define TENSORFHE_BOOT_BOOTSTRAP_HH
 
 #include <memory>
+#include <optional>
 
 #include "boot/linear.hh"
 #include "boot/sine.hh"
@@ -23,45 +39,100 @@ class Bootstrapper
 {
   public:
     /**
+     * Plan-only construction: compiles the S2C / fused-C2S plans but
+     * holds no key material. bootstrapBatch() runs on any caller-
+     * provided BatchedEvaluator whose keys cover requiredRotations()
+     * + requiredConjRotations() + conjugation; the serial bootstrap()
+     * convenience is unavailable.
+     */
+    explicit Bootstrapper(const ckks::CkksContext &ctx,
+                          SineConfig sine = {});
+
+    /**
      * @param keys must contain rotation keys for every step in
-     *             requiredRotations(ctx.slots()) plus the
-     *             conjugation key.
+     *             requiredRotations(ctx.slots()), conjugate-rotation
+     *             keys for requiredConjRotations(ctx.slots()), and
+     *             the conjugation key.
      */
     Bootstrapper(const ckks::CkksContext &ctx,
                  const ckks::KeyBundle &keys, SineConfig sine = {});
 
-    /** Rotation steps bootstrap needs keys for. */
+    /** Plain rotation steps bootstrap needs keys for. */
     static std::vector<s64> requiredRotations(std::size_t slots);
+    /** Conjugate-composed steps (KeyBundle.conjRot) it needs. */
+    static std::vector<s64> requiredConjRotations(std::size_t slots);
 
     /**
      * Refresh `ct` (any level >= 2, slots holding values with
      * |z| <~ 1) to a fresh ciphertext at the highest level the sine
      * budget allows, approximately preserving the slot values.
+     * Requires the key-bundle constructor.
      */
     ckks::Ciphertext bootstrap(const ckks::Ciphertext &ct) const;
 
-    /** Stage 1: move slot values into polynomial coefficients. */
+    /**
+     * Batched refresh: every ciphertext rides the shared S2C /
+     * fused-C2S programs and one power ladder through the evaluator's
+     * (slot x tower) work-queue. Bit-identical to bootstrap() per
+     * slot. All inputs must share one level and scale.
+     */
+    std::vector<ckks::Ciphertext>
+    bootstrapBatch(const batch::BatchedEvaluator &beval,
+                   const std::vector<ckks::Ciphertext> &cts) const;
+
+    /** Stage 1: move slot values into polynomial coefficients
+        (requires the key-bundle constructor). */
     ckks::Ciphertext slotToCoeff(const ckks::Ciphertext &ct) const;
 
     /** Stage 2: re-lift a level-1 ciphertext to the full chain. */
     ckks::Ciphertext modRaise(const ckks::Ciphertext &ct) const;
 
-    /** Stage 3: move (noisy multiples of q0 +) coeffs into slots. */
-    ckks::Ciphertext coeffToSlot(const ckks::Ciphertext &ct) const;
-
-    /** Levels consumed below the top by C2S + sine. */
+    /** Levels consumed below the top by C2S + sine (exact). */
     std::size_t postRaiseLevelCost() const;
+
+    /** The refreshed budget coordinates a bootstrap output lands at. */
+    struct Refresh
+    {
+        std::size_t levelCount = 0;
+        double scale = 0.0;
+    };
+
+    /**
+     * Exact prediction of bootstrap output level and scale — the same
+     * double arithmetic the pipeline executes, so budget planners
+     * (nn::Sequential's ledger) can validate refreshed metas bit-for-
+     * bit. Independent of the input scale: the sine stage steers to
+     * the context scale exactly.
+     */
+    static Refresh predictRefresh(const ckks::CkksContext &ctx,
+                                  const SineConfig &sine,
+                                  std::size_t input_level_count);
+
+    /**
+     * Exact executed-op counts of one bootstrap per ciphertext,
+     * mirroring what the dispatch layer records (plan-derived BSGS
+     * counts + the sine ladder + the recombine).
+     */
+    EvalOpCounts modeledOps() const;
+
+    const SineConfig &sine() const { return sine_; }
+    /** The compiled plans (for benches / conversion accounting). */
+    const LinearTransformPlan &s2cPlan() const { return u_; }
+    const LinearTransformPlan &c2sRealPlan() const { return c2sRe_; }
+    const LinearTransformPlan &c2sImagPlan() const { return c2sIm_; }
 
   private:
     const ckks::CkksContext &ctx_;
-    const ckks::KeyBundle &keys_;
-    ckks::Evaluator eval_;
     SineConfig sine_;
-    /// BSGS plans over the special FFT and its inverse; the dense
-    /// matrices and the encoded diagonal plaintexts are memoized here
-    /// (built once per bootstrapper, shared by every bootstrap call).
+    /// BSGS plans: the special FFT (S2C) and the two fused C2S split
+    /// transforms; dense matrices and encoded diagonal plaintexts are
+    /// memoized here (built once per bootstrapper, shared by every
+    /// bootstrap call).
     LinearTransformPlan u_;
-    LinearTransformPlan uInv_;
+    LinearTransformPlan c2sRe_;
+    LinearTransformPlan c2sIm_;
+    /// Serial-convenience engine (key-bundle constructor only).
+    std::optional<batch::BatchedEvaluator> beval_;
 };
 
 } // namespace tensorfhe::boot

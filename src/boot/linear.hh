@@ -34,6 +34,7 @@
 
 #include "ckks/crypto.hh"
 #include "ckks/evaluator.hh"
+#include "common/stats.hh"
 #include "exec/dispatch.hh"
 
 namespace tensorfhe::batch
@@ -84,11 +85,36 @@ class LinearTransformPlan
   public:
     LinearTransformPlan(const ckks::CkksContext &ctx, SlotMatrix m);
 
+    /**
+     * Conjugate-symmetric plan: y = M z + conj(M) conj(z) = 2 Re(M z).
+     * The conj(z) branch rides the SAME double-hoisted head as the
+     * plain branch — its baby steps are conjugate-composed rotations
+     * (KeyBundle.conj / conjRot keys) — so the transform costs
+     * giant + 2 basis conversions like any other matvec instead of a
+     * standalone conjugation keyswitch. This is how the bootstrapper
+     * folds the sine-stage Re/Im split into CoeffToSlot.
+     */
+    LinearTransformPlan(const ckks::CkksContext &ctx, SlotMatrix m,
+                        SlotMatrix conj_m);
+
     /** Plan for the special FFT matrix U (SlotToCoeff). */
     static LinearTransformPlan specialFft(const ckks::CkksContext &ctx);
     /** Plan for U^-1 (CoeffToSlot). */
     static LinearTransformPlan
     specialFftInverse(const ckks::CkksContext &ctx);
+    /**
+     * Fused CoeffToSlot + Re split: factor * 2 Re(U^-1 z). Applied to
+     * the mod-raised ciphertext it hands the sine stage its real
+     * stream directly; the bootstrapper folds the fixed part of the
+     * sine pre-scale kappa into `factor` and the input-scale-
+     * dependent remainder into pure scale metadata.
+     */
+    static LinearTransformPlan
+    coeffToSlotReal(const ckks::CkksContext &ctx, double factor = 1.0);
+    /** Fused CoeffToSlot + Im split: factor * 2 Im(U^-1 z) =
+        factor * (-i U^-1 z + conj(-i U^-1) conj(z)). */
+    static LinearTransformPlan
+    coeffToSlotImag(const ckks::CkksContext &ctx, double factor = 1.0);
 
     /**
      * Homomorphic y = M z. Requires rotation keys for every step in
@@ -106,21 +132,68 @@ class LinearTransformPlan
     applyBatch(const batch::BatchedEvaluator &beval,
                const std::vector<ckks::Ciphertext> &cts) const;
 
-    /** Rotation steps apply() needs keys for (baby + giant steps). */
+    /**
+     * Several plans over ONE input batch with shared baby-step work
+     * (exec::Dispatcher::applyBsgsFanout): the hoisted head and the
+     * raw baby/conjugate tails are built once for all plans — the
+     * bootstrapper's C2S Re/Im split pair rides this. Returns one
+     * output batch per plan, plan-major.
+     */
+    static std::vector<std::vector<ckks::Ciphertext>>
+    applyBatchFanout(const batch::BatchedEvaluator &beval,
+                     const std::vector<const LinearTransformPlan *> &ps,
+                     const std::vector<ckks::Ciphertext> &cts);
+
+    /** Exact executed-op counts of one applyBatchFanout per batch
+        slot: the union baby/conjugate tails counted once, each
+        plan's groups and final RESCALE counted per plan. */
+    static EvalOpCounts
+    modeledFanoutOps(const std::vector<const LinearTransformPlan *> &ps);
+
+    /** Rotation steps apply() needs plain keys for (baby + giant). */
     std::vector<s64> requiredRotations() const;
+    /**
+     * Conjugate-composed baby steps apply() needs KeyBundle.conjRot
+     * keys for (empty unless the plan has a conjugate branch; the
+     * step-0 conjugation rides the always-present conj key).
+     */
+    std::vector<s64> requiredConjRotations() const;
 
     const SlotMatrix &matrix() const { return m_; }
 
     /** Giant stride g (cost-model-chosen); baby steps span [0, g). */
     std::size_t giantStride() const { return g_; }
-    /** Nonzero diagonals the transform touches. */
+    /** Nonzero diagonals the transform touches (both branches). */
     std::size_t diagonalCount() const { return diags_.size(); }
-    /** Distinct nonzero baby steps apply() rotates by. */
+    /** Distinct nonzero plain baby steps apply() rotates by. */
     std::size_t babyStepCount() const { return babySteps_.size(); }
+    /** Distinct conjugate-composed baby steps (incl. step 0). */
+    std::size_t conjStepCount() const { return conjSteps_.size(); }
     /** Distinct nonzero giant steps apply() rotates by. */
     std::size_t giantStepCount() const { return giantSteps_.size(); }
+    /** Giant groups, counting the unshifted (k = 0) one. */
+    std::size_t groupCount() const { return groupCount_; }
     /** Levels with a cached encoded-diagonal set (for tests). */
     std::size_t cachedLevelCount() const;
+
+    /**
+     * The exact executed-op counts of one apply() per batch slot,
+     * mirroring what exec::Dispatcher::applyBsgs records. modeled-
+     * AccumOps() is the share one accumulation contributes inside an
+     * applyBsgsSum (counting the inter-group HAdd for EVERY group);
+     * a standalone apply is accum minus the first group's HAdd plus
+     * the single final RESCALE.
+     */
+    EvalOpCounts modeledAccumOps() const;
+    EvalOpCounts modeledApplyOps() const;
+
+    /**
+     * Compile the cached diagonals into the exec program for one
+     * ciphertext level (pointers into the per-level cache; the plan
+     * must outlive the program). Exposed so block matvecs can hand
+     * several plans to exec::Dispatcher::applyBsgsSum.
+     */
+    exec::BsgsProgram program(std::size_t level_count) const;
 
   private:
     /** One nonzero diagonal d = k*g + b, pre-rotated by -k*g. */
@@ -128,22 +201,21 @@ class LinearTransformPlan
     {
         std::size_t k;
         std::size_t b;
+        bool conj = false; ///< applies to conj(z) via composed steps
         std::vector<Complex> values;
     };
 
     const std::vector<ckks::Plaintext> &
     encodedDiagonals(std::size_t level_count) const;
 
-    /** Compile the cached diagonals into the exec program for one
-        ciphertext level (pointers into the per-level cache). */
-    exec::BsgsProgram program(std::size_t level_count) const;
-
     const ckks::CkksContext &ctx_;
     SlotMatrix m_;
     std::size_t g_ = 0;
-    std::vector<Diagonal> diags_;  ///< sorted by (k, b)
-    std::vector<s64> babySteps_;   ///< distinct nonzero b, sorted
-    std::vector<s64> giantSteps_;  ///< distinct nonzero k*g, sorted
+    std::size_t groupCount_ = 0;
+    std::vector<Diagonal> diags_;       ///< sorted by (k, conj, b)
+    std::vector<s64> babySteps_;        ///< distinct nonzero plain b
+    std::vector<s64> conjSteps_;        ///< distinct conj b (incl. 0)
+    std::vector<s64> giantSteps_;       ///< distinct nonzero k*g
     mutable std::mutex mu_;
     /// Per-level encoded diagonals, union-basis, aligned with diags_.
     mutable std::map<std::size_t, std::vector<ckks::Plaintext>> cache_;

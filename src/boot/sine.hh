@@ -5,11 +5,17 @@
  * argument, then double-angle reconstruction, following the paper's
  * Taylor-approximation approach [8] with the standard double-angle
  * range reduction.
+ *
+ * The evaluation is batched: the whole stream of ciphertexts (batch
+ * slots x tensor chunks inside a bootstrap-in-the-loop inference)
+ * rides the BatchedEvaluator's (slot x tower) work-queue through one
+ * shared power ladder. Serial callers pass a one-element batch.
  */
 
 #ifndef TENSORFHE_BOOT_SINE_HH
 #define TENSORFHE_BOOT_SINE_HH
 
+#include "batch/executor.hh"
 #include "ckks/crypto.hh"
 #include "ckks/evaluator.hh"
 
@@ -31,18 +37,34 @@ struct SineConfig
     int doublings = 4;
 };
 
-/** Levels a sine evaluation consumes (for budget planning). */
+/** Levels a sine evaluation consumes, conservative upper bound (for
+    chain-length checks; the exact ledger is sineLevelsUsed). */
 std::size_t sineLevelCost(const SineConfig &cfg);
 
+/** Exact levels evalScaledSine consumes from its input level (pure
+    function of the ladder shape; budget planners mirror this). */
+std::size_t sineLevelsUsed(const SineConfig &cfg);
+
 /**
- * Given ct whose slots hold real t (|t| <= ~1 after the caller's
- * pre-scaling by 1/2^doublings), return ct' with slots
- * sin(t * 2^doublings).
+ * Given cts whose slots hold real t (|t| <= ~1 after the caller's
+ * pre-scaling by 1/2^doublings), return cts' with slots
+ * sin(t * 2^doublings), each at exactly the context scale. All
+ * inputs must share one level and scale.
  */
+std::vector<ckks::Ciphertext>
+evalScaledSine(const ckks::CkksContext &ctx,
+               const batch::BatchedEvaluator &beval,
+               const std::vector<ckks::Ciphertext> &ct_t,
+               const SineConfig &cfg);
+
+/** Serial convenience: one ciphertext through the batched path. */
 ckks::Ciphertext evalScaledSine(const ckks::CkksContext &ctx,
-                                const ckks::Evaluator &eval,
+                                const batch::BatchedEvaluator &beval,
                                 const ckks::Ciphertext &ct_t,
                                 const SineConfig &cfg);
+
+/** Exact executed-op counts of one evalScaledSine per batch slot. */
+EvalOpCounts sineModeledOps(const SineConfig &cfg);
 
 } // namespace tensorfhe::boot
 

@@ -352,9 +352,26 @@ CkksContext::generateConjugationKey(const SecretKey &sk, Rng &rng) const
     return generateSwitchKey(conj, sk, rng);
 }
 
+u64
+CkksContext::galoisForConjRotation(s64 step) const
+{
+    u64 m = 2 * params_.n;
+    return (galoisForConjugation() * galoisForRotation(step)) % m;
+}
+
+SwitchKey
+CkksContext::generateConjRotationKey(const SecretKey &sk, s64 step,
+                                     Rng &rng) const
+{
+    auto target =
+        rns::applyAutomorphism(sk.eval, galoisForConjRotation(step));
+    return generateSwitchKey(target, sk, rng);
+}
+
 KeyBundle
 CkksContext::generateKeys(const SecretKey &sk, Rng &rng,
-                          const std::vector<s64> &rotations) const
+                          const std::vector<s64> &rotations,
+                          const std::vector<s64> &conj_rotations) const
 {
     KeyBundle bundle;
     bundle.pk = generatePublicKey(sk, rng);
@@ -362,6 +379,8 @@ CkksContext::generateKeys(const SecretKey &sk, Rng &rng,
     for (s64 r : rotations)
         bundle.rot.emplace(r, generateRotationKey(sk, r, rng));
     bundle.conj = generateConjugationKey(sk, rng);
+    for (s64 r : conj_rotations)
+        bundle.conjRot.emplace(r, generateConjRotationKey(sk, r, rng));
     return bundle;
 }
 

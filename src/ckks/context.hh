@@ -76,6 +76,14 @@ struct KeyBundle
     SwitchKey relin;                 ///< target s^2
     std::map<s64, SwitchKey> rot;    ///< per rotation step
     SwitchKey conj;                  ///< target s(X^-1)
+    /**
+     * Conjugate-composed rotation keys: step r targets
+     * s(X^((2N-1)*5^r)), the automorphism "conjugate then rotate by
+     * r". The fused CoeffToSlot split plans of the bootstrapper ride
+     * these so the sine-stage conjugation shares the double-hoisted
+     * BSGS head instead of paying its own full keyswitch.
+     */
+    std::map<s64, SwitchKey> conjRot;
 };
 
 class CkksContext
@@ -160,10 +168,21 @@ class CkksContext
     SwitchKey generateRotationKey(const SecretKey &sk, s64 step,
                                   Rng &rng) const;
     SwitchKey generateConjugationKey(const SecretKey &sk, Rng &rng) const;
+    /** Key for the composed automorphism conjugate-then-rotate(step). */
+    SwitchKey generateConjRotationKey(const SecretKey &sk, s64 step,
+                                      Rng &rng) const;
 
-    /** pk + relin + rotation keys for the given steps + conjugation. */
+    /** Galois element of conjugate-then-rotate(step). */
+    u64 galoisForConjRotation(s64 step) const;
+
+    /**
+     * pk + relin + rotation keys for the given steps + conjugation
+     * (+ conjugate-composed rotation keys for `conj_rotations`).
+     */
     KeyBundle generateKeys(const SecretKey &sk, Rng &rng,
-                           const std::vector<s64> &rotations = {}) const;
+                           const std::vector<s64> &rotations = {},
+                           const std::vector<s64> &conj_rotations = {})
+        const;
 
   private:
     CkksParams params_;

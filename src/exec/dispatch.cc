@@ -529,65 +529,91 @@ Dispatcher::conjugate(const ckks::Ciphertext *as, std::size_t batch) const
 // ------------------------------------------------------------------
 // Double-hoisted BSGS
 
-std::vector<ckks::Ciphertext>
-Dispatcher::applyBsgs(const BsgsProgram &program,
-                      const ckks::Ciphertext *as, std::size_t batch) const
+const ckks::SwitchKey &
+Dispatcher::babyStepKey(const BsgsStep &step) const
 {
-    TFHE_ASSERT(!program.groups.empty(), "empty BSGS program");
-    std::vector<ckks::Ciphertext> out(batch);
-    if (batch == 0)
-        return out;
-    std::size_t lc = as[0].levelCount();
-    requireArg(lc >= 2,
-               "linear transform consumes one level: cannot apply at "
-               "level 0");
-    auto v = ctx_.nttVariant();
+    if (!step.conj) {
+        requireArg(keys_.rot.count(step.step) != 0,
+                   "no rotation key for step ", step.step);
+        return keys_.rot.at(step.step);
+    }
+    if (step.step == 0)
+        return keys_.conj;
+    requireArg(keys_.conjRot.count(step.step) != 0,
+               "no conjugate-rotation key for step ", step.step);
+    return keys_.conjRot.at(step.step);
+}
+
+void
+Dispatcher::pooledUnionRow(std::size_t batch,
+                           const std::vector<std::size_t> &union_limbs,
+                           std::vector<Workspace::Pooled> &row,
+                           std::vector<rns::RnsPolynomial *> &ptrs) const
+{
+    row.reserve(batch);
+    ptrs.resize(batch);
+    for (std::size_t s = 0; s < batch; ++s) {
+        row.push_back(ws_->zeros(union_limbs, rns::Domain::Eval));
+        ptrs[s] = row[s].get();
+    }
+}
+
+Dispatcher::BabyTables
+Dispatcher::buildBabyTables(const std::vector<BsgsStep> &steps,
+                            bool need_b0,
+                            const ckks::Ciphertext *const *as,
+                            std::size_t batch) const
+{
+    BabyTables t;
+    t.steps = steps;
+    std::size_t lc = as[0]->levelCount();
+    t.levelCount = lc;
     auto union_limbs = ctx_.unionLimbs(lc);
     const PLift &plift = pLift(lc);
     auto &stats = EvalOpStats::instance();
-    double pt_scale = program.groups[0].entries[0].pt->scale;
 
-    auto zerosUnion = [&] { return ws_->zeros(union_limbs,
-                                              rns::Domain::Eval); };
     auto pooledRow = [&](std::vector<Workspace::Pooled> &row,
                          std::vector<rns::RnsPolynomial *> &ptrs) {
-        row.reserve(batch);
-        ptrs.resize(batch);
-        for (std::size_t s = 0; s < batch; ++s) {
-            row.push_back(zerosUnion());
-            ptrs[s] = row[s].get();
-        }
+        pooledUnionRow(batch, union_limbs, row, ptrs);
     };
 
-    // ---------------- head-1: one hoist serves every baby step -----
-    // Per baby step b: permute the head, raw tail against key_b (NO
-    // ModDown — the pair stays on the extended QP basis), and fold
-    // P * rot_b(c0) into the c0 half so the eventual ModDown yields
-    // exactly rot_b(ct).
-    std::size_t n_baby = program.babySteps.size();
-    std::vector<std::vector<Workspace::Pooled>> T0(n_baby), T1(n_baby);
-    std::vector<std::vector<rns::RnsPolynomial *>> T0p(n_baby),
-        T1p(n_baby);
+    // head-1: one hoist serves every baby step. Per step: permute
+    // the head, raw tail against its key (NO ModDown - the pair
+    // stays on the extended QP basis), and fold P * rot_b(c0) into
+    // the c0 half so the eventual ModDown yields exactly rot_b(ct).
+    // Conjugate-composed steps ride the same head with the composed
+    // Galois element and the conj / conjRot key. The tails are
+    // plan-independent: every program whose steps are covered reads
+    // this one table (the sine-stage fanout shares it across the
+    // Re/Im split plans).
+    std::size_t n_baby = t.steps.size();
+    t.T0.resize(n_baby);
+    t.T1.resize(n_baby);
+    t.T0p.resize(n_baby);
+    t.T1p.resize(n_baby);
     if (n_baby > 0) {
         std::vector<const rns::RnsPolynomial *> c1s(batch);
         std::vector<const rns::RnsPolynomial *> c0s(batch);
         for (std::size_t s = 0; s < batch; ++s) {
-            c1s[s] = &as[s].c1;
-            c0s[s] = &as[s].c0;
+            c1s[s] = &as[s]->c1;
+            c0s[s] = &as[s]->c0;
         }
         auto head = hoistCopy(c1s.data(), batch);
         auto view = HoistedView::of(head);
         for (std::size_t bi = 0; bi < n_baby; ++bi) {
-            s64 step = program.babySteps[bi];
-            requireArg(keys_.rot.count(step) != 0,
-                       "no rotation key for step ", step);
-            stats.record(EvalOpKind::HRotate, batch);
-            u64 galois = ctx_.galoisForRotation(step);
+            const BsgsStep &step = t.steps[bi];
+            const ckks::SwitchKey &key = babyStepKey(step);
+            stats.record(step.conj ? EvalOpKind::Conjugate
+                                   : EvalOpKind::HRotate,
+                         batch);
+            u64 galois = step.conj
+                ? ctx_.galoisForConjRotation(step.step)
+                : ctx_.galoisForRotation(step.step);
             auto rotated = permuteHead(view, galois);
-            pooledRow(T0[bi], T0p[bi]);
-            pooledRow(T1[bi], T1p[bi]);
-            tailRawInto(HoistedView::of(rotated), keys_.rot.at(step),
-                        T0p[bi].data(), T1p[bi].data());
+            pooledRow(t.T0[bi], t.T0p[bi]);
+            pooledRow(t.T1[bi], t.T1p[bi]);
+            tailRawInto(HoistedView::of(rotated), key,
+                        t.T0p[bi].data(), t.T1p[bi].data());
 
             // P * rot_b(c0) into the q-part of the c0 accumulator.
             auto c0r = rns::applyAutomorphismBatch(c0s, galois,
@@ -595,56 +621,69 @@ Dispatcher::applyBsgs(const BsgsProgram &program,
             std::vector<const rns::RnsPolynomial *> c0r_ptrs(batch);
             for (std::size_t s = 0; s < batch; ++s)
                 c0r_ptrs[s] = &c0r[s];
-            addPLifted(kctx_, T0p[bi].data(), c0r_ptrs.data(),
+            addPLifted(kctx_, t.T0p[bi].data(), c0r_ptrs.data(),
                        plift.pmodq, plift.pmodqShoup, batch);
             for (auto &p : c0r)
                 ws_->donate(std::move(p));
         }
     }
 
-    // The b = 0 term: P * ct lifted onto the union basis.
-    bool need_b0 = false;
-    for (const auto &g : program.groups)
-        for (const auto &e : g.entries)
-            need_b0 = need_b0 || e.baby == 0;
-    std::vector<Workspace::Pooled> B0, B1;
-    std::vector<rns::RnsPolynomial *> B0p, B1p;
+    // The plain b = 0 term: P * ct lifted onto the union basis.
     if (need_b0) {
-        pooledRow(B0, B0p);
-        pooledRow(B1, B1p);
+        t.hasB0 = true;
+        pooledRow(t.B0, t.B0p);
+        pooledRow(t.B1, t.B1p);
         std::vector<const rns::RnsPolynomial *> c0s(batch), c1s(batch);
         for (std::size_t s = 0; s < batch; ++s) {
-            c0s[s] = &as[s].c0;
-            c1s[s] = &as[s].c1;
+            c0s[s] = &as[s]->c0;
+            c1s[s] = &as[s]->c1;
         }
-        addPLifted(kctx_, B0p.data(), c0s.data(), plift.pmodq,
+        addPLifted(kctx_, t.B0p.data(), c0s.data(), plift.pmodq,
                    plift.pmodqShoup, batch);
-        addPLifted(kctx_, B1p.data(), c1s.data(), plift.pmodq,
+        addPLifted(kctx_, t.B1p.data(), c1s.data(), plift.pmodq,
                    plift.pmodqShoup, batch);
     }
+    return t;
+}
 
-    auto babyPair = [&](s64 b)
-        -> std::pair<rns::RnsPolynomial *const *,
-                     rns::RnsPolynomial *const *> {
-        if (b == 0)
-            return {B0p.data(), B1p.data()};
-        auto it = std::lower_bound(program.babySteps.begin(),
-                                   program.babySteps.end(), b);
-        std::size_t bi = static_cast<std::size_t>(
-            it - program.babySteps.begin());
-        return {T0p[bi].data(), T1p[bi].data()};
+std::pair<rns::RnsPolynomial *const *, rns::RnsPolynomial *const *>
+Dispatcher::BabyTables::pair(s64 baby, bool conj) const
+{
+    if (baby == 0 && !conj) {
+        TFHE_ASSERT(hasB0, "BSGS tables missing the b = 0 term");
+        return {B0p.data(), B1p.data()};
+    }
+    BsgsStep want{baby, conj};
+    auto it = std::lower_bound(steps.begin(), steps.end(), want);
+    TFHE_ASSERT(it != steps.end() && *it == want,
+                "BSGS tables missing a baby step");
+    std::size_t bi = static_cast<std::size_t>(it - steps.begin());
+    return {T0p[bi].data(), T1p[bi].data()};
+}
+
+void
+Dispatcher::accumulateGroups(const BsgsProgram &program,
+                             const BabyTables &tables,
+                             std::size_t batch,
+                             rns::RnsPolynomial *const *G0p,
+                             rns::RnsPolynomial *const *G1p,
+                             bool &first_group) const
+{
+    TFHE_ASSERT(!program.groups.empty(), "empty BSGS program");
+    std::size_t lc = tables.levelCount;
+    auto v = ctx_.nttVariant();
+    auto union_limbs = ctx_.unionLimbs(lc);
+    auto &stats = EvalOpStats::instance();
+
+    auto pooledRow = [&](std::vector<Workspace::Pooled> &row,
+                         std::vector<rns::RnsPolynomial *> &ptrs) {
+        pooledUnionRow(batch, union_limbs, row, ptrs);
     };
 
-    // ---------------- giant groups ---------------------------------
-    // Global QP accumulator pair; each group's diagonal products sum
-    // on QP, shifted groups pay one c1-only ModDown + head-2 hoist +
-    // raw tail, and the group's c0 half rides as a pure permutation.
-    std::vector<Workspace::Pooled> G0, G1;
-    std::vector<rns::RnsPolynomial *> G0p, G1p;
-    pooledRow(G0, G0p);
-    pooledRow(G1, G1p);
-    bool first_group = true;
-
+    // Each group's diagonal products sum on QP, shifted groups pay
+    // one c1-only ModDown + head-2 hoist + raw tail, and the group's
+    // c0 half rides as a pure permutation into the shared global
+    // accumulator pair (G0p, G1p).
     for (const auto &group : program.groups) {
         // acc = sum_b diag'_{k,b} (had) T_b on the extended basis.
         std::vector<Workspace::Pooled> acc0, acc1;
@@ -657,7 +696,7 @@ Dispatcher::applyBsgs(const BsgsProgram &program,
             if (!first_entry)
                 stats.record(EvalOpKind::HAdd, batch);
             first_entry = false;
-            auto [s0, s1] = babyPair(entry.baby);
+            auto [s0, s1] = tables.pair(entry.baby, entry.conj);
             std::vector<const rns::RnsPolynomial *> src0(batch),
                 src1(batch);
             for (std::size_t s = 0; s < batch; ++s) {
@@ -679,15 +718,15 @@ Dispatcher::applyBsgs(const BsgsProgram &program,
                 a0[s] = acc0p[s];
                 a1[s] = acc1p[s];
             }
-            addPolysInPlace(kctx_, G0p.data(), a0.data(), batch);
-            addPolysInPlace(kctx_, G1p.data(), a1.data(), batch);
+            addPolysInPlace(kctx_, G0p, a0.data(), batch);
+            addPolysInPlace(kctx_, G1p, a1.data(), batch);
             first_group = false;
             continue;
         }
 
         // Giant rotation of the group sum: ModDown the c1 half only,
         // hoist it (head-2 of this group), permute, raw tail; the c0
-        // half is permuted directly on QP — its ModDown stays
+        // half is permuted directly on QP - its ModDown stays
         // deferred to the single final one.
         stats.record(EvalOpKind::HRotate, batch);
         requireArg(keys_.rot.count(group.shift) != 0,
@@ -724,11 +763,7 @@ Dispatcher::applyBsgs(const BsgsProgram &program,
             acc0_in[s] = acc0p[s];
         std::vector<Workspace::Pooled> c0rot;
         std::vector<rns::RnsPolynomial *> c0rotp(batch);
-        c0rot.reserve(batch);
-        for (std::size_t s = 0; s < batch; ++s) {
-            c0rot.push_back(zerosUnion());
-            c0rotp[s] = c0rot[s].get();
-        }
+        pooledUnionRow(batch, union_limbs, c0rot, c0rotp);
         rns::applyAutomorphismBatchInto(acc0_in, galois, c0rotp.data(),
                                         kctx_.pool);
 
@@ -739,24 +774,31 @@ Dispatcher::applyBsgs(const BsgsProgram &program,
             add1[s] = g1p[s];
             addc[s] = c0rotp[s];
         }
-        addPolysInPlace(kctx_, G0p.data(), add0.data(), batch);
-        addPolysInPlace(kctx_, G0p.data(), addc.data(), batch);
-        addPolysInPlace(kctx_, G1p.data(), add1.data(), batch);
+        addPolysInPlace(kctx_, G0p, add0.data(), batch);
+        addPolysInPlace(kctx_, G0p, addc.data(), batch);
+        addPolysInPlace(kctx_, G1p, add1.data(), batch);
         first_group = false;
     }
+}
 
-    // ---------------- single final ModDown + rescale ---------------
+std::vector<ckks::Ciphertext>
+Dispatcher::finalizeBsgs(rns::RnsPolynomial *const *G0p,
+                         rns::RnsPolynomial *const *G1p,
+                         std::size_t batch, std::size_t level_count,
+                         double out_scale) const
+{
+    auto v = ctx_.nttVariant();
     std::vector<rns::RnsPolynomial *> g_all;
     g_all.reserve(2 * batch);
-    for (auto *p : G0p)
-        g_all.push_back(p);
-    for (auto *p : G1p)
-        g_all.push_back(p);
+    for (std::size_t s = 0; s < batch; ++s)
+        g_all.push_back(G0p[s]);
+    for (std::size_t s = 0; s < batch; ++s)
+        g_all.push_back(G1p[s]);
     rns::toCoeffBatch(g_all, v, kctx_.pool);
     std::vector<const rns::RnsPolynomial *> g_in(g_all.begin(),
                                                  g_all.end());
-    const auto &mdplan = ctx_.modDownPlan(lc);
-    auto q_idx = ctx_.qLimbs(lc);
+    const auto &mdplan = ctx_.modDownPlan(level_count);
+    auto q_idx = ctx_.qLimbs(level_count);
     std::vector<rns::RnsPolynomial> final0, final1;
     std::vector<rns::RnsPolynomial *> final_ptrs;
     final0.reserve(batch);
@@ -771,15 +813,139 @@ Dispatcher::applyBsgs(const BsgsProgram &program,
     for (auto &p : final1)
         final_ptrs.push_back(&p);
     mdplan.applyBatchInto(g_in, final_ptrs.data(), kctx_.pool);
-    stats.recordModDown(2 * batch);
+    EvalOpStats::instance().recordModDown(2 * batch);
     rns::toEvalBatch(final_ptrs, v, kctx_.pool);
 
+    std::vector<ckks::Ciphertext> out(batch);
     for (std::size_t s = 0; s < batch; ++s) {
         out[s].c0 = std::move(final0[s]);
         out[s].c1 = std::move(final1[s]);
-        out[s].scale = as[s].scale * pt_scale;
+        out[s].scale = out_scale;
     }
     rescaleInPlace(out.data(), batch);
+    return out;
+}
+
+namespace
+{
+
+bool
+programNeedsB0(const BsgsProgram &p)
+{
+    for (const auto &g : p.groups)
+        for (const auto &e : g.entries)
+            if (e.baby == 0 && !e.conj)
+                return true;
+    return false;
+}
+
+} // namespace
+
+std::vector<ckks::Ciphertext>
+Dispatcher::applyBsgs(const BsgsProgram &program,
+                      const ckks::Ciphertext *as, std::size_t batch) const
+{
+    std::vector<const ckks::Ciphertext *> ptrs(batch);
+    for (std::size_t s = 0; s < batch; ++s)
+        ptrs[s] = &as[s];
+    const BsgsProgram *prog = &program;
+    return applyBsgsSum(&prog, ptrs.data(), 1, batch);
+}
+
+std::vector<ckks::Ciphertext>
+Dispatcher::applyBsgsSum(const BsgsProgram *const *programs,
+                         const ckks::Ciphertext *const *inputs,
+                         std::size_t terms, std::size_t batch) const
+{
+    TFHE_ASSERT(terms > 0, "empty BSGS sum");
+    std::vector<ckks::Ciphertext> out(batch);
+    if (batch == 0)
+        return out;
+    std::size_t lc = inputs[0]->levelCount();
+    double in_scale = inputs[0]->scale;
+    requireArg(lc >= 2,
+               "linear transform consumes one level: cannot apply at "
+               "level 0");
+    for (std::size_t t = 0; t < terms; ++t)
+        for (std::size_t s = 0; s < batch; ++s)
+            requireArg(inputs[t * batch + s]->levelCount() == lc
+                           && std::abs(inputs[t * batch + s]->scale
+                                       - in_scale)
+                               <= 1e-6 * in_scale,
+                       "BSGS sum terms require a uniform level and "
+                       "scale");
+    auto union_limbs = ctx_.unionLimbs(lc);
+    double pt_scale = programs[0]->groups[0].entries[0].pt->scale;
+
+    // Shared QP accumulator pair: every term's giant groups sum here,
+    // so the whole block row pays ONE final ModDown.
+    std::vector<Workspace::Pooled> G0, G1;
+    std::vector<rns::RnsPolynomial *> G0p, G1p;
+    pooledUnionRow(batch, union_limbs, G0, G0p);
+    pooledUnionRow(batch, union_limbs, G1, G1p);
+    bool first_group = true;
+    for (std::size_t t = 0; t < terms; ++t) {
+        auto tables = buildBabyTables(programs[t]->babySteps,
+                                      programNeedsB0(*programs[t]),
+                                      inputs + t * batch, batch);
+        accumulateGroups(*programs[t], tables, batch, G0p.data(),
+                         G1p.data(), first_group);
+    }
+    return finalizeBsgs(G0p.data(), G1p.data(), batch, lc,
+                        in_scale * pt_scale);
+}
+
+std::vector<std::vector<ckks::Ciphertext>>
+Dispatcher::applyBsgsFanout(const BsgsProgram *const *programs,
+                            std::size_t count,
+                            const ckks::Ciphertext *as,
+                            std::size_t batch) const
+{
+    TFHE_ASSERT(count > 0, "empty BSGS fanout");
+    std::vector<std::vector<ckks::Ciphertext>> out(count);
+    if (batch == 0)
+        return out;
+    std::size_t lc = as[0].levelCount();
+    double in_scale = as[0].scale;
+    requireArg(lc >= 2,
+               "linear transform consumes one level: cannot apply at "
+               "level 0");
+    for (std::size_t s = 0; s < batch; ++s)
+        requireArg(as[s].levelCount() == lc
+                       && std::abs(as[s].scale - in_scale)
+                           <= 1e-6 * in_scale,
+                   "BSGS fanout requires a uniform level and scale");
+    auto union_limbs = ctx_.unionLimbs(lc);
+
+    // One shared baby table over the union step set: the head and
+    // every raw tail are paid once for ALL programs.
+    std::vector<BsgsStep> steps;
+    bool need_b0 = false;
+    for (std::size_t p = 0; p < count; ++p) {
+        steps.insert(steps.end(), programs[p]->babySteps.begin(),
+                     programs[p]->babySteps.end());
+        need_b0 = need_b0 || programNeedsB0(*programs[p]);
+    }
+    std::sort(steps.begin(), steps.end());
+    steps.erase(std::unique(steps.begin(), steps.end()), steps.end());
+    std::vector<const ckks::Ciphertext *> ptrs(batch);
+    for (std::size_t s = 0; s < batch; ++s)
+        ptrs[s] = &as[s];
+    auto tables = buildBabyTables(steps, need_b0, ptrs.data(), batch);
+
+    for (std::size_t p = 0; p < count; ++p) {
+        std::vector<Workspace::Pooled> G0, G1;
+        std::vector<rns::RnsPolynomial *> G0p, G1p;
+        pooledUnionRow(batch, union_limbs, G0, G0p);
+        pooledUnionRow(batch, union_limbs, G1, G1p);
+        bool first_group = true;
+        accumulateGroups(*programs[p], tables, batch, G0p.data(),
+                         G1p.data(), first_group);
+        double pt_scale =
+            programs[p]->groups[0].entries[0].pt->scale;
+        out[p] = finalizeBsgs(G0p.data(), G1p.data(), batch, lc,
+                              in_scale * pt_scale);
+    }
     return out;
 }
 

@@ -76,12 +76,37 @@ struct HoistedView
  * A compiled BSGS linear transform: the nonzero diagonals regrouped
  * d = k*g + b, with the per-level encoded diagonal plaintexts
  * (extended to the key-switch union basis) owned by the compiling
- * plan. entry.baby == 0 means the unrotated input; group.shift == 0
- * means no giant rotation.
+ * plan. entry.baby == 0 (non-conj) means the unrotated input;
+ * group.shift == 0 means no giant rotation.
+ *
+ * A baby step may carry `conj = true`: the step is the composed
+ * automorphism conjugate-then-rotate(baby), served off the SAME
+ * hoisted head as the plain steps (keys come from KeyBundle.conj /
+ * conjRot). This is how the bootstrapper's fused CoeffToSlot split
+ * plans evaluate M z + conj(M) conj(z) without a standalone
+ * conjugation keyswitch.
  */
+struct BsgsStep
+{
+    s64 step;
+    bool conj = false;
+
+    friend bool
+    operator<(const BsgsStep &a, const BsgsStep &b)
+    {
+        return a.conj != b.conj ? a.conj < b.conj : a.step < b.step;
+    }
+    friend bool
+    operator==(const BsgsStep &a, const BsgsStep &b)
+    {
+        return a.step == b.step && a.conj == b.conj;
+    }
+};
+
 struct BsgsEntry
 {
     s64 baby;
+    bool conj = false;
     const ckks::Plaintext *pt; ///< union-basis encoded diagonal
 };
 
@@ -93,7 +118,10 @@ struct BsgsGroup
 
 struct BsgsProgram
 {
-    std::vector<s64> babySteps; ///< sorted distinct nonzero baby steps
+    /** Sorted distinct baby steps needing a raw keyswitch tail: all
+        nonzero plain steps plus every conj step (including conj of
+        step 0, which is a plain conjugation). */
+    std::vector<BsgsStep> babySteps;
     std::vector<BsgsGroup> groups;
 };
 
@@ -191,6 +219,35 @@ class Dispatcher
                                             const ckks::Ciphertext *as,
                                             std::size_t batch) const;
 
+    /**
+     * Sum of `terms` BSGS programs over distinct inputs, accumulated
+     * on the extended QP basis and closed by ONE final ModDown pair +
+     * RESCALE — the block-matvec primitive: a multi-ciphertext
+     * matvec's out-chunk is sum_j M_{ij} x_j, each addend a compiled
+     * program, partial sums never paying their own ModDown.
+     * inputs[t * batch + s] is batch slot s of term t; all inputs
+     * must share one level and scale.
+     */
+    std::vector<ckks::Ciphertext>
+    applyBsgsSum(const BsgsProgram *const *programs,
+                 const ckks::Ciphertext *const *inputs,
+                 std::size_t terms, std::size_t batch) const;
+
+    /**
+     * Several BSGS programs over ONE input, sharing the baby-step
+     * work: the hoisted head and every raw baby/conjugate tail are
+     * built once (they are plan-independent rotations of the input)
+     * and each program only pays its own diagonal products, giant
+     * steps and final ModDown pair + RESCALE. This is the sine-stage
+     * double hoisting: the bootstrapper's fused C2S Re/Im split
+     * plans read one shared tail table. Returns one output batch per
+     * program.
+     */
+    std::vector<std::vector<ckks::Ciphertext>>
+    applyBsgsFanout(const BsgsProgram *const *programs,
+                    std::size_t count, const ckks::Ciphertext *as,
+                    std::size_t batch) const;
+
   private:
     struct PLift
     {
@@ -208,6 +265,59 @@ class Dispatcher
     /** Permute a hoisted head by one Galois element (shared FrobeniusMap
         across every (digit, slot)), into pooled buffers. */
     HoistedBatch permuteHead(const HoistedView &h, u64 galois) const;
+
+    /** The switch key of one BSGS baby step (rot / conj / conjRot). */
+    const ckks::SwitchKey &babyStepKey(const BsgsStep &step) const;
+
+    /** Shared baby-step tail tables of one input batch: per step the
+        raw (ModDown-deferred) keyswitch pair on the union basis,
+        plus the P-lifted b = 0 term. Plan-independent — any program
+        whose steps are covered can read them. */
+    struct BabyTables
+    {
+        std::vector<BsgsStep> steps; ///< sorted
+        std::vector<std::vector<Workspace::Pooled>> T0, T1;
+        std::vector<std::vector<rns::RnsPolynomial *>> T0p, T1p;
+        std::vector<Workspace::Pooled> B0, B1;
+        std::vector<rns::RnsPolynomial *> B0p, B1p;
+        bool hasB0 = false;
+        std::size_t levelCount = 0;
+
+        std::pair<rns::RnsPolynomial *const *,
+                  rns::RnsPolynomial *const *>
+        pair(s64 baby, bool conj) const;
+    };
+
+    /** Build the shared tables: one hoisted head, one raw tail per
+        step (head-1 of the double-hoisted schedule). */
+    BabyTables buildBabyTables(const std::vector<BsgsStep> &steps,
+                               bool need_b0,
+                               const ckks::Ciphertext *const *as,
+                               std::size_t batch) const;
+
+    /** One zeroed union-basis Eval-domain lease per batch slot (the
+        BSGS working rows: tails, accumulators, group sums). */
+    void pooledUnionRow(std::size_t batch,
+                        const std::vector<std::size_t> &union_limbs,
+                        std::vector<Workspace::Pooled> &row,
+                        std::vector<rns::RnsPolynomial *> &ptrs) const;
+
+    /** Accumulate one program's diagonal products + giant steps off
+        prebuilt baby tables into the shared QP accumulator pair; the
+        single final ModDown is the caller's. `first_group` spans
+        programs so the inter-group HAdd accounting stays exact
+        across a sum. */
+    void accumulateGroups(const BsgsProgram &program,
+                          const BabyTables &tables, std::size_t batch,
+                          rns::RnsPolynomial *const *G0p,
+                          rns::RnsPolynomial *const *G1p,
+                          bool &first_group) const;
+
+    /** The single final ModDown pair + RESCALE closing a transform. */
+    std::vector<ckks::Ciphertext>
+    finalizeBsgs(rns::RnsPolynomial *const *G0p,
+                 rns::RnsPolynomial *const *G1p, std::size_t batch,
+                 std::size_t level_count, double out_scale) const;
 
     const ckks::CkksContext &ctx_;
     const ckks::KeyBundle &keys_;

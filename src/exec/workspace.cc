@@ -41,12 +41,19 @@ Workspace::zeros(const std::vector<std::size_t> &limbs,
         std::vector<u64> buf = std::move(shard.free[best]);
         shard.free.erase(shard.free.begin()
                          + static_cast<std::ptrdiff_t>(best));
+        // Count the reuse only once the polynomial owns the buffer:
+        // if construction throws during stack unwinding elsewhere,
+        // the counters must not claim a checkout that never happened
+        // (alloc/reuse totals are what the steady-state benches and
+        // the race stress assert against).
+        Pooled out(this, rns::RnsPolynomial(*tower_, limbs, domain,
+                                            std::move(buf)));
         reuses_.fetch_add(1, std::memory_order_relaxed);
-        return Pooled(this, rns::RnsPolynomial(*tower_, limbs, domain,
-                                               std::move(buf)));
+        return out;
     }
+    Pooled out(this, rns::RnsPolynomial(*tower_, limbs, domain));
     allocs_.fetch_add(1, std::memory_order_relaxed);
-    return Pooled(this, rns::RnsPolynomial(*tower_, limbs, domain));
+    return out;
 }
 
 void
@@ -55,10 +62,16 @@ Workspace::recycle(rns::RnsPolynomial &&p)
     std::vector<u64> buf = p.takeStorage();
     if (buf.capacity() == 0)
         return;
-    returns_.fetch_add(1, std::memory_order_relaxed);
     Shard &shard = shards_[shardIndex()];
-    std::lock_guard<std::mutex> lock(shard.mu);
-    shard.free.push_back(std::move(buf));
+    {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        shard.free.push_back(std::move(buf));
+    }
+    // After the push: a throwing push_back (allocator pressure) must
+    // not leave a counted return with no pooled buffer. recycle()
+    // runs inside Pooled destructors — often during stack unwinding —
+    // so the counter update is the last, non-throwing step.
+    returns_.fetch_add(1, std::memory_order_relaxed);
 }
 
 Workspace::Stats

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ckks/rotations.hh"
 #include "common/logging.hh"
 #include "common/modarith.hh"
 #include "perf/cost.hh"
@@ -42,42 +43,78 @@ MatvecLayer::compile(const ckks::CkksContext &ctx, const TensorMeta &in)
 {
     requireArg(!compiled_, "layer compiled twice");
     std::size_t slots = ctx.slots();
-    requireArg(in.chunkCount == 1,
-               name(), " requires a single-chunk input (got ",
-               in.chunkCount, " chunks)");
-    requireArg(in.layout.slotSpan(in.shape) <= slots,
-               name(), " input layout exceeds the slot capacity");
+    requireArg(in.chunkCount >= 1, name(), " needs >= 1 input chunk");
+    requireArg(in.layout.slotSpan(in.shape) <= in.chunkCount * slots,
+               name(), " input layout exceeds the chunked slot "
+                       "capacity");
     requireArg(in.levelCount >= 2,
                name(), " needs one multiplicative level, input is at "
                        "level count ",
                in.levelCount);
 
     in_ = in;
-    // Output capacity must be checked before buildMatrix(): the
-    // matrix writers index rows by output slot.
+    // Output capacity must be fixed before buildMatrix(): the matrix
+    // writers index rows by output slot.
     out_.shape = outputShape(in.shape);
-    requireArg(out_.shape.numel() <= slots,
-               name(), " output exceeds the slot capacity");
+    std::size_t out_chunks =
+        (out_.shape.numel() + slots - 1) / slots;
+    std::size_t rows = out_chunks * slots;
+    std::size_t cols = in.chunkCount * slots;
 
-    auto m = buildMatrix(ctx, in);
-    plan_ = std::make_unique<boot::LinearTransformPlan>(ctx,
-                                                        std::move(m));
+    auto m = buildMatrix(ctx, in, rows, cols);
+
+    // Slice the global matrix into per-(out-chunk, in-chunk) blocks;
+    // identically-zero blocks compile to no plan (and no work).
+    blocks_.resize(out_chunks);
+    for (std::size_t i = 0; i < out_chunks; ++i) {
+        blocks_[i].resize(in.chunkCount);
+        bool any = false;
+        for (std::size_t j = 0; j < in.chunkCount; ++j) {
+            boot::SlotMatrix block(
+                slots,
+                std::vector<ckks::Complex>(slots, ckks::Complex(0, 0)));
+            double mag = 0;
+            for (std::size_t r = 0; r < slots; ++r)
+                for (std::size_t c = 0; c < slots; ++c) {
+                    block[r][c] = m[i * slots + r][j * slots + c];
+                    mag = std::max(mag, std::abs(block[r][c]));
+                }
+            if (mag < 1e-12)
+                continue;
+            blocks_[i][j] =
+                std::make_unique<boot::LinearTransformPlan>(
+                    ctx, std::move(block));
+            any = true;
+        }
+        requireArg(any, name(), " output chunk ", i,
+                   " receives no input (all blocks zero)");
+    }
 
     out_.layout = SlotLayout::contiguous(out_.shape);
-    out_.chunkCount = 1;
+    out_.chunkCount = out_chunks;
     out_.levelCount = in.levelCount - 1;
     out_.scale = mulRescaleScale(ctx, in.scale, ctx.params().scale(),
                                  in.levelCount);
 
     auto bias = biasVector();
+    biases_.assign(out_chunks, std::nullopt);
     if (!bias.empty()) {
         requireArg(bias.size() == out_.shape.numel(),
                    name(), " bias size mismatch");
-        std::vector<ckks::Complex> z(slots, ckks::Complex(0, 0));
-        for (std::size_t j = 0; j < bias.size(); ++j)
-            z[out_.layout.slotOf(out_.shape, j)] =
-                ckks::Complex(bias[j], 0);
-        bias_ = ctx.encoder().encode(z, out_.scale, out_.levelCount);
+        for (std::size_t i = 0; i < out_chunks; ++i) {
+            std::vector<ckks::Complex> z(slots, ckks::Complex(0, 0));
+            bool any = false;
+            for (std::size_t j = 0; j < bias.size(); ++j) {
+                std::size_t slot = out_.layout.slotOf(out_.shape, j);
+                if (slot / slots != i)
+                    continue;
+                z[slot % slots] = ckks::Complex(bias[j], 0);
+                any = true;
+            }
+            if (any)
+                biases_[i] = ctx.encoder().encode(z, out_.scale,
+                                                  out_.levelCount);
+        }
     }
     compiled_ = true;
     return out_;
@@ -87,23 +124,71 @@ std::vector<s64>
 MatvecLayer::requiredRotations() const
 {
     requireCompiled();
-    return plan_->requiredRotations();
+    std::vector<std::vector<s64>> lists;
+    for (const auto &row : blocks_)
+        for (const auto &b : row)
+            if (b)
+                lists.push_back(b->requiredRotations());
+    return ckks::unionRotationSteps(lists);
 }
 
 const boot::LinearTransformPlan &
 MatvecLayer::plan() const
 {
     requireCompiled();
-    return *plan_;
+    requireState(blocks_.size() == 1 && blocks_[0].size() == 1
+                     && blocks_[0][0] != nullptr,
+                 name(), " is a block matvec; use blockPlan()");
+    return *blocks_[0][0];
+}
+
+const boot::LinearTransformPlan *
+MatvecLayer::blockPlan(std::size_t out_chunk,
+                       std::size_t in_chunk) const
+{
+    requireCompiled();
+    requireArg(out_chunk < blocks_.size()
+                   && in_chunk < blocks_[out_chunk].size(),
+               "block index out of range");
+    return blocks_[out_chunk][in_chunk].get();
 }
 
 Cts
 MatvecLayer::apply(const NnEngine &engine, const Cts &in) const
 {
     requireCompiled();
-    auto out = plan_->applyBatch(engine.batched(), in);
-    if (bias_)
-        out = engine.batched().addPlain(out, *bias_);
+    std::size_t in_chunks = in_.chunkCount;
+    std::size_t out_chunks = out_.chunkCount;
+    requireArg(!in.empty() && in.size() % in_chunks == 0,
+               name(), " batch is not a multiple of the chunk count");
+    std::size_t batch = in.size() / in_chunks;
+    std::size_t lc = in[0].levelCount();
+    const auto &beval = engine.batched();
+
+    Cts out(batch * out_chunks);
+    for (std::size_t i = 0; i < out_chunks; ++i) {
+        // One applyBsgsSum per output chunk: every nonzero input
+        // block accumulates on QP, one final ModDown + RESCALE.
+        std::vector<exec::BsgsProgram> owned;
+        std::vector<const exec::BsgsProgram *> progs;
+        std::vector<const ckks::Ciphertext *> inputs;
+        owned.reserve(in_chunks);
+        for (std::size_t j = 0; j < in_chunks; ++j) {
+            if (!blocks_[i][j])
+                continue;
+            owned.push_back(blocks_[i][j]->program(lc));
+            for (std::size_t s = 0; s < batch; ++s)
+                inputs.push_back(&in[s * in_chunks + j]);
+        }
+        for (const auto &p : owned)
+            progs.push_back(&p);
+        auto chunk = beval.dispatcher().applyBsgsSum(
+            progs.data(), inputs.data(), progs.size(), batch);
+        if (biases_[i])
+            chunk = beval.addPlain(chunk, *biases_[i]);
+        for (std::size_t s = 0; s < batch; ++s)
+            out[s * out_chunks + i] = std::move(chunk[s]);
+    }
     return out;
 }
 
@@ -111,17 +196,19 @@ EvalOpCounts
 MatvecLayer::modeledOps() const
 {
     requireCompiled();
-    double baby = static_cast<double>(plan_->babyStepCount());
-    double giant = static_cast<double>(plan_->giantStepCount());
-    double diags = static_cast<double>(plan_->diagonalCount());
-    EvalOpCounts c;
-    c.hrotate = baby + giant;
-    c.ksHoist = (baby > 0 ? 1 : 0) + giant;
-    c.ksTail = baby + giant;
-    c.cmult = diags;
-    c.hadd = diags - 1 + (bias_ ? 1 : 0);
-    c.rescale = 1;
-    return c;
+    EvalOpCounts total;
+    for (std::size_t i = 0; i < blocks_.size(); ++i) {
+        EvalOpCounts chunk;
+        for (const auto &b : blocks_[i])
+            if (b)
+                chunk += b->modeledAccumOps();
+        chunk.hadd -= 1; // the first group initializes the accumulator
+        chunk.rescale += 1;
+        if (biases_[i])
+            chunk.hadd += 1;
+        total += chunk;
+    }
+    return total;
 }
 
 // ------------------------------------------------------------------
@@ -142,14 +229,18 @@ Dense::Dense(std::vector<std::vector<double>> weights,
 
 boot::SlotMatrix
 Dense::buildMatrix(const ckks::CkksContext &ctx,
-                   const TensorMeta &in) const
+                   const TensorMeta &in, std::size_t matrix_rows,
+                   std::size_t matrix_cols) const
 {
-    std::size_t slots = ctx.slots();
+    (void)ctx;
     requireArg(in.shape.numel() == cols(),
                "Dense expects ", cols(), " inputs, got ",
                in.shape.str());
-    boot::SlotMatrix m(
-        slots, std::vector<ckks::Complex>(slots, ckks::Complex(0, 0)));
+    requireArg(rows() <= matrix_rows,
+               "Dense output exceeds the chunked slot capacity");
+    boot::SlotMatrix m(matrix_rows,
+                       std::vector<ckks::Complex>(matrix_cols,
+                                                  ckks::Complex(0, 0)));
     for (std::size_t j = 0; j < rows(); ++j)
         for (std::size_t k = 0; k < cols(); ++k)
             m[j][in.layout.slotOf(in.shape, k)] +=
@@ -200,9 +291,10 @@ Conv2d::tap(std::size_t oc, std::size_t ic, std::size_t ky,
 
 boot::SlotMatrix
 Conv2d::buildMatrix(const ckks::CkksContext &ctx,
-                    const TensorMeta &in) const
+                    const TensorMeta &in, std::size_t matrix_rows,
+                    std::size_t matrix_cols) const
 {
-    std::size_t slots = ctx.slots();
+    (void)ctx;
     requireArg(in.shape.dims.size() == 3,
                "Conv2d expects a (C, H, W) input, got ",
                in.shape.str());
@@ -213,11 +305,14 @@ Conv2d::buildMatrix(const ckks::CkksContext &ctx,
                "Conv2d weight count mismatch: expected ",
                outChannels_ * ic * kernel_ * kernel_, ", got ",
                weights_.size());
+    requireArg(outChannels_ * h * w <= matrix_rows,
+               "Conv2d output exceeds the chunked slot capacity");
     std::size_t half = kernel_ / 2;
     std::size_t ic_ky_kx = ic * kernel_ * kernel_;
 
-    boot::SlotMatrix m(
-        slots, std::vector<ckks::Complex>(slots, ckks::Complex(0, 0)));
+    boot::SlotMatrix m(matrix_rows,
+                       std::vector<ckks::Complex>(matrix_cols,
+                                                  ckks::Complex(0, 0)));
     for (std::size_t oc = 0; oc < outChannels_; ++oc) {
         for (std::size_t y = 0; y < h; ++y) {
             for (std::size_t x = 0; x < w; ++x) {
@@ -591,6 +686,19 @@ Cts
 PolyActivation::apply(const NnEngine &engine, const Cts &in) const
 {
     requireCompiled();
+    // Exact-scale steering needs the full ladder depth plus the term
+    // rescale: at levelCount == maxDepth + 1 the last rescale would
+    // drop below level 0 and the steering would silently emit a
+    // wrong-scale ciphertext — fail loudly instead (the off-by-one
+    // guard; compile() enforces the same bound on the compiled meta,
+    // this catches callers running on a deeper-drained input).
+    requireArg(!in.empty(), name(), ": empty batch");
+    requireArg(in[0].levelCount() >= maxDepth_ + 2,
+               name(), ": input at level count ", in[0].levelCount(),
+               " cannot host the power ladder plus the exact-scale "
+               "rescale (needs >= ",
+               maxDepth_ + 2,
+               "); the last rescale would drop below level 0");
     const auto &beval = engine.batched();
     double target = engine.ctx().params().scale();
 
@@ -653,7 +761,69 @@ PolyActivation::modeledOps() const
     c.cmult = nt;
     c.rescale = np + nt;
     c.hadd = nt - 1 + (hasConstant_ ? 1 : 0);
-    return c;
+    // Elementwise over every chunk: chunks ride the batch dimension.
+    return static_cast<double>(in_.chunkCount) * c;
+}
+
+// ------------------------------------------------------------------
+// Bootstrap
+
+TensorMeta
+Bootstrap::compile(const ckks::CkksContext &ctx, const TensorMeta &in)
+{
+    requireArg(!compiled_, "layer compiled twice");
+    requireArg(in.levelCount >= 2,
+               name(), " needs an input at level count >= 2 (the "
+                       "SlotToCoeff stage consumes one level), got ",
+               in.levelCount);
+    slots_ = ctx.slots();
+    boot_ = std::make_shared<boot::Bootstrapper>(ctx, sine_);
+
+    in_ = in;
+    out_ = in; // shape / layout / chunk count pass through
+    auto refresh =
+        boot::Bootstrapper::predictRefresh(ctx, sine_, in.levelCount);
+    out_.levelCount = refresh.levelCount;
+    out_.scale = refresh.scale;
+    compiled_ = true;
+    return out_;
+}
+
+std::vector<s64>
+Bootstrap::requiredRotations() const
+{
+    requireCompiled();
+    return boot::Bootstrapper::requiredRotations(slots_);
+}
+
+std::vector<s64>
+Bootstrap::requiredConjRotations() const
+{
+    requireCompiled();
+    return boot::Bootstrapper::requiredConjRotations(slots_);
+}
+
+Cts
+Bootstrap::apply(const NnEngine &engine, const Cts &in) const
+{
+    requireCompiled();
+    // Chunks are just more batch slots: the whole (sample x chunk)
+    // stream refreshes through one shared pipeline.
+    return boot_->bootstrapBatch(engine.batched(), in);
+}
+
+EvalOpCounts
+Bootstrap::modeledOps() const
+{
+    requireCompiled();
+    return static_cast<double>(in_.chunkCount) * boot_->modeledOps();
+}
+
+const boot::Bootstrapper &
+Bootstrap::bootstrapper() const
+{
+    requireCompiled();
+    return *boot_;
 }
 
 } // namespace tensorfhe::nn

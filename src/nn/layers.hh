@@ -35,6 +35,7 @@
 #include <optional>
 
 #include "batch/executor.hh"
+#include "boot/bootstrap.hh"
 #include "boot/linear.hh"
 #include "common/stats.hh"
 #include "nn/activation.hh"
@@ -84,7 +85,16 @@ class Layer
     /** Rotation steps apply() needs keys for (valid after compile). */
     virtual std::vector<s64> requiredRotations() const { return {}; }
 
-    /** Multiplicative levels consumed (valid after compile). */
+    /** Conjugate-composed rotation steps apply() needs
+        KeyBundle.conjRot keys for (the bootstrap layer's fused C2S
+        split; empty for ordinary layers). */
+    virtual std::vector<s64> requiredConjRotations() const
+    {
+        return {};
+    }
+
+    /** Multiplicative levels consumed (valid after compile; a
+        bootstrap layer reports 0 — it restores the budget). */
     virtual std::size_t levelCost() const = 0;
 
     /**
@@ -115,10 +125,17 @@ class Layer
 
 /**
  * Common machinery of the matrix-shaped layers: the layer's linear
- * map is embedded into a slots x slots SlotMatrix (columns at the
- * input layout's slots, rows contiguous from slot 0) and evaluated by
- * one BSGS LinearTransformPlan application; the optional bias rides
- * a single plaintext addition. Consumes one level.
+ * map is embedded into an (out-chunks * slots) x (in-chunks * slots)
+ * SlotMatrix (columns at the input layout's global slots, rows
+ * contiguous from slot 0) and lowered to BLOCK BSGS matvecs — one
+ * compiled LinearTransformPlan per nonzero (out-chunk, in-chunk)
+ * block, evaluated per out-chunk through
+ * exec::Dispatcher::applyBsgsSum so the partial sums over input
+ * chunks accumulate on the extended QP basis and pay ONE final
+ * ModDown + RESCALE. Tensors larger than one ciphertext therefore
+ * flow through the same double-hoisted path as single-chunk ones.
+ * The optional bias rides one plaintext addition per output chunk.
+ * Consumes one level.
  */
 class MatvecLayer : public Layer
 {
@@ -130,21 +147,34 @@ class MatvecLayer : public Layer
     Cts apply(const NnEngine &engine, const Cts &in) const override;
     EvalOpCounts modeledOps() const override;
 
-    /** The compiled BSGS plan (valid after compile; for tests). */
+    /** The compiled BSGS plan of a single-block layer (valid after
+        compile; for tests). */
     const boot::LinearTransformPlan &plan() const;
 
+    /** Block (out_chunk, in_chunk)'s plan; null for a zero block. */
+    const boot::LinearTransformPlan *
+    blockPlan(std::size_t out_chunk, std::size_t in_chunk) const;
+
   protected:
-    /** The slots x slots matrix realizing the layer on `in`. */
+    /**
+     * The rows x cols matrix realizing the layer on `in`: rows are
+     * contiguous output slots (out-chunk capacity), columns global
+     * input slots.
+     */
     virtual boot::SlotMatrix
-    buildMatrix(const ckks::CkksContext &ctx,
-                const TensorMeta &in) const = 0;
+    buildMatrix(const ckks::CkksContext &ctx, const TensorMeta &in,
+                std::size_t rows, std::size_t cols) const = 0;
     virtual TensorShape outputShape(const TensorShape &in) const = 0;
     /** Bias over the output's logical elements; empty = none. */
     virtual std::vector<double> biasVector() const = 0;
 
   private:
-    std::unique_ptr<boot::LinearTransformPlan> plan_;
-    std::optional<ckks::Plaintext> bias_;
+    /// blocks_[i][j]: plan of out-chunk i from in-chunk j (null when
+    /// the block is identically zero and skipped).
+    std::vector<std::vector<std::unique_ptr<boot::LinearTransformPlan>>>
+        blocks_;
+    /// Per-out-chunk encoded bias (nullopt = no bias on that chunk).
+    std::vector<std::optional<ckks::Plaintext>> biases_;
 };
 
 /** Fully-connected y = W x + b via one BSGS matvec. */
@@ -164,7 +194,9 @@ class Dense : public MatvecLayer
 
   protected:
     boot::SlotMatrix buildMatrix(const ckks::CkksContext &ctx,
-                                 const TensorMeta &in) const override;
+                                 const TensorMeta &in,
+                                 std::size_t rows,
+                                 std::size_t cols) const override;
     TensorShape outputShape(const TensorShape &in) const override;
     std::vector<double> biasVector() const override { return bias_; }
 
@@ -197,7 +229,9 @@ class Conv2d : public MatvecLayer
 
   protected:
     boot::SlotMatrix buildMatrix(const ckks::CkksContext &ctx,
-                                 const TensorMeta &in) const override;
+                                 const TensorMeta &in,
+                                 std::size_t rows,
+                                 std::size_t cols) const override;
     TensorShape outputShape(const TensorShape &in) const override;
     std::vector<double> biasVector() const override;
 
@@ -300,6 +334,47 @@ class PolyActivation : public Layer
     std::size_t maxDepth_ = 0;
     bool hasConstant_ = false;
     std::map<std::size_t, std::size_t> depth_; ///< power -> depth
+};
+
+/**
+ * Level-budget refresh between layers: every chunk of every batch
+ * sample rides one boot::Bootstrapper::bootstrapBatch call through
+ * the engine's BatchedEvaluator (the chunks are just more batch
+ * slots). Values are approximately preserved (|z| <~ 1 required —
+ * keep activations calibrated); shape, layout and chunk count pass
+ * through, the level count and scale jump to the bootstrapper's
+ * exact predicted refresh coordinates. nn::Sequential inserts these
+ * automatically when the level ledger would go negative
+ * (Sequential::enableAutoBootstrap); they can also be placed by
+ * hand.
+ */
+class Bootstrap : public Layer
+{
+  public:
+    explicit Bootstrap(boot::SineConfig sine = {}) : sine_(sine) {}
+
+    std::string name() const override { return "Bootstrap"; }
+    TensorMeta compile(const ckks::CkksContext &ctx,
+                       const TensorMeta &in) override;
+    std::vector<s64> requiredRotations() const override;
+    std::vector<s64> requiredConjRotations() const override;
+    /** Consumes no budget — it restores it (see outputMeta). */
+    std::size_t levelCost() const override { return 0; }
+    Cts apply(const NnEngine &engine, const Cts &in) const override;
+    std::vector<double>
+    applyPlain(const std::vector<double> &in) const override
+    {
+        return in; // value-preserving (approximately)
+    }
+    EvalOpCounts modeledOps() const override;
+
+    const boot::Bootstrapper &bootstrapper() const;
+
+  private:
+    boot::SineConfig sine_;
+    std::size_t slots_ = 0;
+    /// Shared so copies of the compiled net reuse the plan caches.
+    std::shared_ptr<boot::Bootstrapper> boot_;
 };
 
 } // namespace tensorfhe::nn

@@ -17,6 +17,15 @@ Sequential::add(std::unique_ptr<Layer> layer)
     layers_.push_back(std::move(layer));
 }
 
+void
+Sequential::enableAutoBootstrap(boot::SineConfig sine)
+{
+    requireArg(!compiled_,
+               "enableAutoBootstrap must precede compile()");
+    autoBoot_ = true;
+    sine_ = sine;
+}
+
 TensorMeta
 Sequential::compile(const ckks::CkksContext &ctx,
                     const TensorMeta &input)
@@ -24,25 +33,53 @@ Sequential::compile(const ckks::CkksContext &ctx,
     requireArg(!compiled_, "model compiled twice");
     requireArg(!layers_.empty(), "empty model");
 
-    // Whole-model budget validation up front: walk the level ledger
-    // before any layer builds plans, so a model that cannot fit the
-    // chain fails with the full per-layer picture instead of dying
-    // midway through an inference.
-    std::size_t need = 0;
-    std::ostringstream ledger;
-    for (const auto &l : layers_) {
-        need += l->levelCost();
-        ledger << "\n  " << l->name() << ": " << l->levelCost();
+    if (!autoBoot_) {
+        // Whole-model budget validation up front: walk the level
+        // ledger before any layer builds plans, so a model that
+        // cannot fit the chain fails with the full per-layer picture
+        // instead of dying midway through an inference.
+        std::size_t need = 0;
+        std::ostringstream ledger;
+        for (const auto &l : layers_) {
+            need += l->levelCost();
+            ledger << "\n  " << l->name() << ": " << l->levelCost();
+        }
+        requireArg(input.levelCount >= need + 1,
+                   "level budget exhausted: input has ",
+                   input.levelCount, " level counts, the stack "
+                                     "consumes ",
+                   need, " and must leave >= 1; per-layer costs:",
+                   ledger.str());
     }
-    requireArg(input.levelCount >= need + 1,
-               "level budget exhausted: input has ", input.levelCount,
-               " level counts, the stack consumes ", need,
-               " and must leave >= 1; per-layer costs:",
-               ledger.str());
 
+    // Bootstrap-aware walk: before each layer, if the running budget
+    // cannot cover its cost plus the terminal reserve (>= 1 after
+    // the last layer) plus the >= 2 floor any LATER bootstrap's
+    // SlotToCoeff needs, splice in a refresh and continue at the
+    // predicted level. The spliced layers become part of the stack.
+    std::vector<std::unique_ptr<Layer>> compiled;
+    compiled.reserve(layers_.size());
     TensorMeta meta = input;
-    for (auto &l : layers_)
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        auto &l = layers_[i];
+        bool last = i + 1 == layers_.size();
+        std::size_t need = l->levelCost() + (last ? 1 : 2);
+        if (autoBoot_ && meta.levelCount < need) {
+            auto b = std::make_unique<Bootstrap>(sine_);
+            meta = b->compile(ctx, meta);
+            requireArg(meta.levelCount >= need,
+                       "layer ", l->name(), " needs ", need,
+                       " level counts but a bootstrap refreshes only "
+                       "to ",
+                       meta.levelCount,
+                       " — the layer cannot fit this chain even "
+                       "after bootstrapping");
+            compiled.push_back(std::move(b));
+        }
         meta = l->compile(ctx, meta);
+        compiled.push_back(std::move(l));
+    }
+    layers_ = std::move(compiled);
     input_ = input;
     output_ = meta;
     compiled_ = true;
@@ -60,6 +97,17 @@ Sequential::requiredRotations() const
     return ckks::unionRotationSteps(lists);
 }
 
+std::vector<s64>
+Sequential::requiredConjRotations() const
+{
+    requireState(compiled_, "model used before compile()");
+    std::vector<std::vector<s64>> lists;
+    lists.reserve(layers_.size());
+    for (const auto &l : layers_)
+        lists.push_back(l->requiredConjRotations());
+    return ckks::unionRotationSteps(lists);
+}
+
 std::size_t
 Sequential::levelCost() const
 {
@@ -67,6 +115,16 @@ Sequential::levelCost() const
     for (const auto &l : layers_)
         total += l->levelCost();
     return total;
+}
+
+std::size_t
+Sequential::bootstrapCount() const
+{
+    std::size_t count = 0;
+    for (const auto &l : layers_)
+        if (dynamic_cast<const Bootstrap *>(l.get()) != nullptr)
+            ++count;
+    return count;
 }
 
 namespace

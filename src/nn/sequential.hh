@@ -26,6 +26,20 @@ class Sequential
     /** Append a layer (before compile). */
     void add(std::unique_ptr<Layer> layer);
 
+    /**
+     * Let compile() insert nn::Bootstrap layers wherever the level
+     * ledger would go negative: before any layer whose cost (plus
+     * the >= 1 terminal reserve, plus the >= 2 floor a later
+     * bootstrap itself needs) exceeds the running budget, a
+     * bootstrap refresh is spliced in and the walk continues at the
+     * refreshed level. The inserted layers join the stack — their
+     * rotation/conjugation key needs surface through
+     * requiredRotations()/requiredConjRotations(), their ops through
+     * modeledOps(), and run() batches them like any other layer.
+     * Must be called before compile().
+     */
+    void enableAutoBootstrap(boot::SineConfig sine = {});
+
     /** Construct-and-append convenience; returns the layer. */
     template <typename L, typename... Args>
     L &
@@ -53,8 +67,16 @@ class Sequential
      */
     std::vector<s64> requiredRotations() const;
 
-    /** Total multiplicative levels the stack consumes. */
+    /** Union conjugate-rotation key set (bootstrap layers' fused C2S
+        split steps; empty when no bootstrap is present). */
+    std::vector<s64> requiredConjRotations() const;
+
+    /** Total multiplicative levels the stack consumes (bootstrap
+        layers count 0 — they restore the budget). */
     std::size_t levelCost() const;
+
+    /** Bootstrap layers in the compiled stack (inserted + manual). */
+    std::size_t bootstrapCount() const;
 
     /**
      * Encrypted inference over a batch. Each sample must match the
@@ -89,6 +111,8 @@ class Sequential
     TensorMeta input_;
     TensorMeta output_;
     bool compiled_ = false;
+    bool autoBoot_ = false;
+    boot::SineConfig sine_;
 };
 
 } // namespace tensorfhe::nn

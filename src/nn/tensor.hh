@@ -77,10 +77,12 @@ struct TensorMeta
 
 /**
  * One encrypted tensor: `chunkCount` ciphertexts holding the packed
- * slots. All chunks share level and scale. Rotation-based layers
- * (Dense/Conv2d/AvgPool/SumReduce) require single-chunk tensors —
- * slot rotations do not cross chunk boundaries; elementwise layers
- * work on any chunk count.
+ * slots. All chunks share level and scale. Matrix-shaped layers
+ * (Dense/Conv2d) handle any chunk count — they lower to block BSGS
+ * matvecs over (out-chunk, in-chunk) pairs; the rotate-fold layers
+ * (AvgPool/SumReduce) still require single-chunk tensors because
+ * slot rotations do not cross chunk boundaries. Elementwise layers
+ * and Bootstrap treat chunks as extra batch slots.
  */
 class CipherTensor
 {

@@ -235,18 +235,28 @@ matvecBsgsCost(const ckks::CkksParams &p, std::size_t level_count,
                std::size_t diagonals, std::size_t baby,
                std::size_t giant)
 {
+    return blockMatvecBsgsCost(p, level_count, baby > 0 ? 1 : 0,
+                               diagonals, baby, giant);
+}
+
+KernelCost
+blockMatvecBsgsCost(const ckks::CkksParams &p, std::size_t level_count,
+                    std::size_t blocks, std::size_t diagonals,
+                    std::size_t baby, std::size_t giant)
+{
     std::size_t k = static_cast<std::size_t>(p.special);
     std::size_t alpha = p.alpha();
     std::size_t digits = (level_count + alpha - 1) / alpha;
     std::size_t union_limbs = level_count + k;
 
     // Double-hoisted dataflow (boot::LinearTransformPlan through
-    // exec::Dispatcher::applyBsgs):
-    //  head-1 once, then per baby step a digit FrobeniusMap + raw
-    //  tail + c0 permutation + P-lift (ModDown deferred);
+    // exec::Dispatcher::applyBsgs / applyBsgsSum):
+    //  one head-1 per input block, then per baby step a digit
+    //  FrobeniusMap + raw tail + c0 permutation + P-lift (ModDown
+    //  deferred);
     KernelCost c;
-    if (baby > 0)
-        c += keySwitchHoistCost(p, level_count);
+    c += static_cast<double>(blocks)
+        * keySwitchHoistCost(p, level_count);
     KernelCost per_baby = frobeniusCost(p.n, digits * union_limbs)
         + rawTailCost(p, level_count)
         + frobeniusCost(p.n, level_count)   // c0 permutation
@@ -289,6 +299,50 @@ bsgsLinearTransformCost(const ckks::CkksParams &p,
     // The fully-populated instance of the double-hoisted matvec at
     // the classic root stride (the plan may rebalance g further).
     return matvecBsgsCost(p, level_count, slots, g - 1, n2 - 1);
+}
+
+KernelCost
+bootstrapCost(const ckks::CkksParams &p, std::size_t level_count,
+              std::size_t slots, std::size_t taylor_terms,
+              std::size_t doublings)
+{
+    auto g = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(slots))));
+    std::size_t n2 = (slots + g - 1) / g;
+
+    // SlotToCoeff: one fully-populated double-hoisted transform.
+    KernelCost c = bsgsLinearTransformCost(p, level_count, slots);
+
+    // Two fused CoeffToSlot split transforms: plain + conjugate
+    // branches double the diagonal population and add g conjugate-
+    // composed tails (incl. the b = 0 conjugation) off the SAME
+    // head — giant + 2 conversions each, no standalone conjugation
+    // keyswitch and no split-constant CMULT level.
+    c += 2.0
+        * matvecBsgsCost(p, level_count, 2 * slots, 2 * g - 1,
+                         n2 - 1);
+
+    // Two sine evaluations (mirrors boot::sineModeledOps): the
+    // Taylor ladder, coefficient steerings, odd product and the
+    // double-angle chain, each HMULT relinearizing once.
+    double terms = static_cast<double>(taylor_terms);
+    double d = static_cast<double>(doublings);
+    double hmults = terms + 2 * d - 1;
+    double cmults = 2 * terms - 1;
+    double hadds = 2 * terms + d - 3;
+    KernelCost sine;
+    sine += hmults * opCost(OpKind::HMult, p, level_count);
+    sine += cmults * opCost(OpKind::CMult, p, level_count);
+    sine += hadds * opCost(OpKind::HAdd, p, level_count);
+    sine += (hmults + cmults)
+        * opCost(OpKind::Rescale, p, level_count);
+    c += 2.0 * sine;
+
+    // Recombine: two CMULTs, one HADD, one RESCALE.
+    c += 2.0 * opCost(OpKind::CMult, p, level_count);
+    c += opCost(OpKind::HAdd, p, level_count);
+    c += opCost(OpKind::Rescale, p, level_count);
+    return c;
 }
 
 bool

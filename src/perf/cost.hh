@@ -121,6 +121,33 @@ KernelCost matvecBsgsCost(const ckks::CkksParams &p,
                           std::size_t giant);
 
 /**
+ * Block BSGS matvec for ONE output chunk of a multi-ciphertext
+ * tensor (nn::MatvecLayer through exec::Dispatcher::applyBsgsSum):
+ * `blocks` per-input-chunk accumulations — each paying its own
+ * head-1 — with `diagonals` / `baby` / `giant` TOTALS across the
+ * blocks, all sharing a single final ModDown pair + RESCALE. The
+ * single-block instance equals matvecBsgsCost.
+ */
+KernelCost blockMatvecBsgsCost(const ckks::CkksParams &p,
+                               std::size_t level_count,
+                               std::size_t blocks,
+                               std::size_t diagonals,
+                               std::size_t baby, std::size_t giant);
+
+/**
+ * One slim bootstrap of a single ciphertext (the cost entry behind
+ * nn::Sequential's automatic bootstrap insertion): SlotToCoeff at
+ * the root-stride BSGS population, the two FUSED CoeffToSlot split
+ * transforms (plain + conjugate branches off one head each), two
+ * Taylor + double-angle sine evaluations of the given shape, and the
+ * recombine. Kernel work is costed at `level_count` active limbs.
+ */
+KernelCost bootstrapCost(const ckks::CkksParams &p,
+                         std::size_t level_count, std::size_t slots,
+                         std::size_t taylor_terms,
+                         std::size_t doublings);
+
+/**
  * Whether summing m-1 rotations off one hoist beats the log2(m)
  * doubling fold (the schedule decision of the LR gradient folds and
  * nn::SumReduce). At deep chains the shared head wins; at shallow

@@ -15,28 +15,72 @@ EncryptedCnnClassifier::recommendedParams()
     return p;
 }
 
+CnnConfig
+EncryptedCnnClassifier::deepConfig()
+{
+    CnnConfig cfg;
+    cfg.inChannels = 4;   // 4x8x8 = 256 logical slots = 2 chunks
+    cfg.convChannels = 4; // conv1 keeps 2 chunks (2x2 block matvec)
+    cfg.conv2Channels = 2; // conv2 narrows to 1 chunk before pooling
+    cfg.classes = 10;
+    cfg.autoBootstrap = true;
+    cfg.inputLevelCount = 5; // conv1 + ReLU drain it; conv2 trips the
+                             // ledger -> bootstrap before conv2
+    cfg.seed = 0xdee9;
+    return cfg;
+}
+
+ckks::CkksParams
+EncryptedCnnClassifier::recommendedDeepParams()
+{
+    // The bootTest shape (N = 2^8, 28-bit scale, 31-bit q0) with a
+    // longer chain so the refreshed budget hosts conv2 + ReLU + pool
+    // + dense, and a sparser key (h = 8): |I| <= ~4.6 keeps every
+    // slot inside the degree-11 Taylor range at 2^4 doublings, which
+    // the <1e-2 end-to-end bound needs (no catastrophic slots).
+    auto p = ckks::Presets::bootTest();
+    p.levels = 20;
+    p.secretHamming = 8;
+    return p;
+}
+
 EncryptedCnnClassifier::EncryptedCnnClassifier(
     const ckks::CkksContext &ctx, CnnConfig cfg)
     : cfg_(cfg)
 {
-    // Synthetic weights, calibrated so the conv output stays inside
+    // Synthetic weights, calibrated so every conv output stays inside
     // the ReLU approximant's [-1, 1] interval for images in [0, 1]:
     // |conv| <= fan_in * |tap| + |bias|.
     Rng rng(cfg.seed);
     auto uniform = [&](double mag) {
         return mag * (2.0 * rng.uniformReal() - 1.0);
     };
-    std::size_t fan_in =
-        cfg.inChannels * cfg.kernel * cfg.kernel;
-    double conv_mag = 0.9 / static_cast<double>(fan_in);
-    std::vector<double> conv_w(cfg.convChannels * fan_in);
-    for (auto &v : conv_w)
-        v = uniform(conv_mag);
-    std::vector<double> conv_b(cfg.convChannels);
-    for (auto &v : conv_b)
-        v = uniform(0.05);
+    auto convBlock = [&](std::size_t in_c, std::size_t out_c) {
+        std::size_t fan_in = in_c * cfg.kernel * cfg.kernel;
+        double mag = 0.9 / static_cast<double>(fan_in);
+        std::vector<double> w(out_c * fan_in);
+        for (auto &v : w)
+            v = uniform(mag);
+        std::vector<double> b(out_c);
+        for (auto &v : b)
+            v = uniform(0.05);
+        net_.emplace<nn::Conv2d>(out_c, cfg.kernel, std::move(w),
+                                 std::move(b));
+        net_.emplace<nn::PolyActivation>(
+            nn::reluApprox(cfg.actDegree));
+    };
 
-    std::size_t pooled = cfg.convChannels
+    if (cfg.autoBootstrap)
+        net_.enableAutoBootstrap(cfg.sine);
+
+    convBlock(cfg.inChannels, cfg.convChannels);
+    std::size_t last_channels = cfg.convChannels;
+    if (cfg.conv2Channels > 0) {
+        convBlock(cfg.convChannels, cfg.conv2Channels);
+        last_channels = cfg.conv2Channels;
+    }
+
+    std::size_t pooled = last_channels
         * (cfg.height / cfg.poolWindow) * (cfg.width / cfg.poolWindow);
     std::vector<std::vector<double>> fc_w(
         cfg.classes, std::vector<double>(pooled));
@@ -47,17 +91,17 @@ EncryptedCnnClassifier::EncryptedCnnClassifier(
     for (auto &v : fc_b)
         v = uniform(0.1);
 
-    net_.emplace<nn::Conv2d>(cfg.convChannels, cfg.kernel,
-                             std::move(conv_w), std::move(conv_b));
-    net_.emplace<nn::PolyActivation>(nn::reluApprox(cfg.actDegree));
     net_.emplace<nn::AvgPool2d>(cfg.poolWindow);
     net_.emplace<nn::Dense>(std::move(fc_w), std::move(fc_b));
 
     nn::TensorMeta input;
     input.shape = {{cfg.inChannels, cfg.height, cfg.width}};
     input.layout = nn::SlotLayout::contiguous(input.shape);
-    input.chunkCount = 1;
-    input.levelCount = ctx.tower().numQ();
+    std::size_t slots = ctx.slots();
+    input.chunkCount =
+        (input.layout.slotSpan(input.shape) + slots - 1) / slots;
+    input.levelCount = cfg.inputLevelCount > 0 ? cfg.inputLevelCount
+                                               : ctx.tower().numQ();
     input.scale = ctx.params().scale();
     net_.compile(ctx, input);
 }

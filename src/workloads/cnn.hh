@@ -29,11 +29,26 @@ struct CnnConfig
     std::size_t width = 8;
     std::size_t inChannels = 1;
     std::size_t convChannels = 4;
+    /**
+     * Channels of an optional second conv+ReLU block (0 = none).
+     * The deep variant uses it to exceed the chain's level budget —
+     * forcing a mid-network bootstrap — and to narrow a multi-chunk
+     * feature map back into one ciphertext before pooling.
+     */
+    std::size_t conv2Channels = 0;
     std::size_t kernel = 3;
     std::size_t poolWindow = 2;
     std::size_t classes = 10;
     std::size_t actDegree = 2; ///< ReLU approximant degree
     u64 seed = 0xc44;          ///< synthetic weight seed
+    /** Let Sequential splice boot::Bootstrapper refreshes wherever
+        the level ledger would go negative. */
+    bool autoBootstrap = false;
+    boot::SineConfig sine{};
+    /** Encrypt inputs at this level count (0 = full chain). A low
+        start is how the deep config forces the ledger negative
+        mid-network. */
+    std::size_t inputLevelCount = 0;
 };
 
 class EncryptedCnnClassifier
@@ -49,6 +64,26 @@ class EncryptedCnnClassifier
      * deep enough for conv + ReLU + pool + dense.
      */
     static ckks::CkksParams recommendedParams();
+
+    /**
+     * Deep bootstrap-in-the-loop variant (Table X ResNet scenario):
+     * a 4x8x8 input spanning TWO ciphertexts flows through
+     * conv -> ReLU -> conv -> ReLU -> pool -> dense as block-BSGS
+     * matvecs, encrypted at a deliberately low level so the ledger
+     * goes negative mid-network and Sequential splices >= 1
+     * bootstrap (over both chunks, batched).
+     */
+    static CnnConfig deepConfig();
+    /** Bootstrappable chain for deepConfig: N = 2^8, 21 limbs,
+        sparse key with h = 8 so |I| stays inside the sine range. */
+    static ckks::CkksParams recommendedDeepParams();
+
+    /** Conjugate-rotation keys the stack needs (bootstrap layers). */
+    std::vector<s64>
+    requiredConjRotations() const
+    {
+        return net_.requiredConjRotations();
+    }
 
     const CnnConfig &config() const { return cfg_; }
     const nn::Sequential &net() const { return net_; }

@@ -11,25 +11,32 @@ OpCounts
 bootstrapOpCounts(std::size_t slots)
 {
     // Slim bootstrap (paper Fig. 6): SlotToCoeff -> ModRaise ->
-    // CoeffToSlot -> Sine Evaluation. The homomorphic DFT is the
-    // 3-stage radix decomposition of Faster-DFT [14] with BSGS inside
-    // each stage: radix r = slots^(1/3), so each stage costs
-    // ~2*sqrt(r) rotations and r diagonal CMULTs.
+    // fused CoeffToSlot + Re/Im split -> Sine Evaluation. The
+    // homomorphic DFT is the 3-stage radix decomposition of
+    // Faster-DFT [14] with BSGS inside each stage: radix r =
+    // slots^(1/3), so each stage costs ~2*sqrt(r) rotations and r
+    // diagonal CMULTs; the C2S direction runs twice (Re and Im
+    // streams) with the sine-stage conjugation folded into its
+    // stages as conjugate-composed baby steps instead of standalone
+    // conjugation keyswitches.
     double radix = std::cbrt(static_cast<double>(slots));
     double stage_rot = 2.0 * std::sqrt(radix);
     OpCounts c;
-    // Two DFT directions x 3 stages.
-    c.hrotate += 6 * stage_rot;
-    c.cmult += 6 * radix;             // diagonal multiplications
-    c.hadd += 6 * radix;
-    c.conjugate += 2;                 // slot/coeff packing fixups
-    c.rescale += 6 + 2;
+    // One S2C direction + two fused C2S split directions, 3 stages
+    // each; the split directions' conjugate branches double their
+    // diagonal products and add conjugate-composed steps.
+    c.hrotate += 9 * stage_rot;
+    c.conjugate += 6 * stage_rot;     // conj-composed baby steps
+    c.cmult += (3 + 2 * 6) * radix;   // diagonal multiplications
+    c.hadd += (3 + 2 * 6) * radix;
+    c.rescale += 9;
     // Sine evaluation: Taylor base (deg 7 sin + deg 8 cos) plus 5
-    // double-angle steps (paper SIV-A: Taylor approximation [8]).
+    // double-angle steps (paper SIV-A: Taylor approximation [8]),
+    // once per split stream, plus the recombine.
     c.hmult += 12 + 2 * 5;
-    c.cmult += 8;
-    c.hadd += 20;
-    c.rescale += 12 + 2 * 5;
+    c.cmult += 8 + 2;
+    c.hadd += 20 + 1;
+    c.rescale += 12 + 2 * 5 + 1;
     return c;
 }
 

@@ -3,7 +3,10 @@
  * Bootstrapping tests, staged: homomorphic linear transforms (tight
  * bounds), sine evaluation (tight bounds on a controlled range), and
  * the end-to-end slim pipeline (paper Fig. 6; relaxed bound per
- * DESIGN.md SS8 given the 25-bit prime chain).
+ * DESIGN.md SS8 given the 25-bit prime chain). The key-coverage test
+ * runs a full bootstrap against a bundle holding ONLY the advertised
+ * rotation / conjugate-rotation sets, so any step the executed plans
+ * touch beyond the advertisement fails loudly here.
  */
 
 #include <gtest/gtest.h>
@@ -25,9 +28,10 @@ struct BootFixture
         : ctx(ckks::Presets::bootTest()), rng(11),
           sk(ctx.generateSecretKey(rng)),
           keys(ctx.generateKeys(
-              sk, rng, Bootstrapper::requiredRotations(ctx.slots()))),
+              sk, rng, Bootstrapper::requiredRotations(ctx.slots()),
+              Bootstrapper::requiredConjRotations(ctx.slots()))),
           enc(ctx, keys.pk), dec(ctx, sk), eval(ctx, keys),
-          boot(ctx, keys)
+          beval(ctx, keys), boot(ctx, keys)
     {}
 
     ckks::Ciphertext
@@ -44,6 +48,7 @@ struct BootFixture
     ckks::Encryptor enc;
     ckks::Decryptor dec;
     ckks::Evaluator eval;
+    batch::BatchedEvaluator beval;
     Bootstrapper boot;
 };
 
@@ -93,6 +98,35 @@ TEST(BootLinear, HomomorphicMatVecMatchesPlain)
     }
 }
 
+TEST(BootLinear, ConjugateSymmetricPlanMatchesRealAndImagParts)
+{
+    // The fused C2S split plans evaluate 2 Re(M z) / 2 Im(M z) with
+    // the conjugate branch riding composed conj-rotation baby steps.
+    auto &f = fx();
+    auto re_plan = LinearTransformPlan::coeffToSlotReal(f.ctx);
+    auto im_plan = LinearTransformPlan::coeffToSlotImag(f.ctx);
+    EXPECT_GT(re_plan.conjStepCount(), 0u);
+    auto u_inv = specialFftInverseMatrix(f.ctx.encoder());
+
+    auto z = randomSlots(f.ctx.slots(), 0.5, 12);
+    auto ct = f.encryptSlots(z, 3);
+    auto w = applyPlain(u_inv, z);
+
+    auto got_re = f.dec.decryptAndDecode(re_plan.apply(f.eval, ct));
+    auto got_im = f.dec.decryptAndDecode(im_plan.apply(f.eval, ct));
+    double mag = 0;
+    for (const auto &v : w)
+        mag = std::max(mag, std::abs(v));
+    for (std::size_t j = 0; j < z.size(); ++j) {
+        ASSERT_LT(std::abs(got_re[j] - 2.0 * w[j].real()),
+                  4e-2 * mag)
+            << "Re slot " << j;
+        ASSERT_LT(std::abs(got_im[j] - 2.0 * w[j].imag()),
+                  4e-2 * mag)
+            << "Im slot " << j;
+    }
+}
+
 TEST(BootSine, MatchesStdSinOnRange)
 {
     auto &f = fx();
@@ -104,7 +138,7 @@ TEST(BootSine, MatchesStdSinOnRange)
     for (auto &v : t)
         v = ckks::Complex(2 * r.uniformReal() - 1, 0);
     auto ct = f.encryptSlots(t, f.ctx.tower().numQ());
-    auto got_ct = evalScaledSine(f.ctx, f.eval, ct, cfg);
+    auto got_ct = evalScaledSine(f.ctx, f.beval, ct, cfg);
     auto got = f.dec.decryptAndDecode(got_ct);
     double scale = std::exp2(cfg.doublings);
     for (std::size_t j = 0; j < slots; ++j) {
@@ -172,25 +206,124 @@ TEST(Bootstrap, EndToEndRefreshesLevelsAndPreservesValues)
     EXPECT_LT(err_sq, 5e-2);
 }
 
+TEST(Bootstrap, OutputMatchesPredictedRefresh)
+{
+    auto &f = fx();
+    auto z = randomSlots(f.ctx.slots(), 0.4, 13);
+    for (std::size_t lc : {std::size_t(2), std::size_t(4)}) {
+        auto ct = f.encryptSlots(z, lc);
+        auto refreshed = f.boot.bootstrap(ct);
+        auto predict = Bootstrapper::predictRefresh(
+            f.ctx, f.boot.sine(), lc);
+        EXPECT_EQ(refreshed.levelCount(), predict.levelCount);
+        EXPECT_NEAR(refreshed.scale, predict.scale,
+                    1e-6 * predict.scale);
+    }
+}
+
+TEST(Bootstrap, BatchedBootstrapIsBitIdenticalToSerial)
+{
+    auto &f = fx();
+    std::vector<ckks::Ciphertext> cts;
+    for (u64 seed = 20; seed < 23; ++seed)
+        cts.push_back(
+            f.encryptSlots(randomSlots(f.ctx.slots(), 0.4, seed), 3));
+    auto together = f.boot.bootstrapBatch(f.beval, cts);
+    ASSERT_EQ(together.size(), cts.size());
+    for (std::size_t s = 0; s < cts.size(); ++s) {
+        auto alone = f.boot.bootstrap(cts[s]);
+        ASSERT_EQ(alone.c0.numLimbs(), together[s].c0.numLimbs());
+        for (std::size_t l = 0; l < alone.c0.numLimbs(); ++l)
+            for (std::size_t c = 0; c < alone.c0.n(); ++c) {
+                ASSERT_EQ(alone.c0.limb(l)[c],
+                          together[s].c0.limb(l)[c])
+                    << "slot " << s << " limb " << l << " coeff " << c;
+                ASSERT_EQ(alone.c1.limb(l)[c],
+                          together[s].c1.limb(l)[c])
+                    << "slot " << s << " limb " << l << " coeff " << c;
+            }
+    }
+}
+
+TEST(Bootstrap, ModeledOpsMatchExecutedExactly)
+{
+    auto &f = fx();
+    auto z = randomSlots(f.ctx.slots(), 0.4, 31);
+    auto ct = f.encryptSlots(z, 2);
+    auto &stats = EvalOpStats::instance();
+    stats.reset();
+    (void)f.boot.bootstrap(ct);
+    auto snap = stats.snapshot();
+    auto model = f.boot.modeledOps();
+    EXPECT_EQ(snap.hmult, model.hmult);
+    EXPECT_EQ(snap.cmult, model.cmult);
+    EXPECT_EQ(snap.hadd, model.hadd);
+    EXPECT_EQ(snap.hrotate, model.hrotate);
+    EXPECT_EQ(snap.conjugate, model.conjugate);
+    EXPECT_EQ(snap.rescale, model.rescale);
+    EXPECT_EQ(snap.ksHoist, model.ksHoist);
+    EXPECT_EQ(snap.ksTail, model.ksTail);
+    stats.reset();
+}
+
 TEST(Bootstrap, RequiredRotationsAreTheBsgsBabyAndGiantSteps)
 {
     // g = ceil(sqrt(8)) = 3: baby steps {1, 2}, giant steps {3, 6} —
     // O(sqrt(slots)) keys instead of one per diagonal.
     auto steps = Bootstrapper::requiredRotations(8);
     EXPECT_EQ(steps, (std::vector<s64>{1, 2, 3, 6}));
+    EXPECT_EQ(Bootstrapper::requiredConjRotations(8),
+              (std::vector<s64>{1, 2}));
 
-    // The analytic set must cover what the actual plans rotate by.
+    // The analytic set must cover what the actual plans rotate by —
+    // including the conjugate-composed steps of the fused C2S split.
     auto &f = fx();
     auto granted = Bootstrapper::requiredRotations(f.ctx.slots());
-    for (const auto &plan :
-         {LinearTransformPlan::specialFft(f.ctx),
-          LinearTransformPlan::specialFftInverse(f.ctx)}) {
-        for (s64 s : plan.requiredRotations()) {
+    auto conj_granted =
+        Bootstrapper::requiredConjRotations(f.ctx.slots());
+    for (const auto *plan :
+         {&f.boot.s2cPlan(), &f.boot.c2sRealPlan(),
+          &f.boot.c2sImagPlan()}) {
+        for (s64 s : plan->requiredRotations()) {
             EXPECT_NE(std::find(granted.begin(), granted.end(), s),
                       granted.end())
                 << "missing key for step " << s;
         }
+        for (s64 s : plan->requiredConjRotations()) {
+            EXPECT_NE(std::find(conj_granted.begin(),
+                                conj_granted.end(), s),
+                      conj_granted.end())
+                << "missing conj key for step " << s;
+        }
     }
+}
+
+TEST(Bootstrap, RunsWithOnlyTheAdvertisedKeySet)
+{
+    // Regenerate a bundle holding EXACTLY the advertised rotation and
+    // conjugate-rotation sets and run the full pipeline: any
+    // negative / wrap / conjugate step the executed plans need beyond
+    // the advertisement throws "no ... key for step" here.
+    auto &f = fx();
+    Rng rng(77);
+    auto sk = f.ctx.generateSecretKey(rng);
+    auto keys = f.ctx.generateKeys(
+        sk, rng, Bootstrapper::requiredRotations(f.ctx.slots()),
+        Bootstrapper::requiredConjRotations(f.ctx.slots()));
+    ckks::Encryptor enc(f.ctx, keys.pk);
+    ckks::Decryptor dec(f.ctx, sk);
+    Bootstrapper boot(f.ctx, keys);
+
+    auto z = randomSlots(f.ctx.slots(), 0.4, 40);
+    auto ct = enc.encrypt(
+        f.ctx.encoder().encode(z, f.ctx.params().scale(), 2), rng);
+    ckks::Ciphertext refreshed;
+    ASSERT_NO_THROW(refreshed = boot.bootstrap(ct));
+    auto got = dec.decryptAndDecode(refreshed);
+    double sum_err = 0;
+    for (std::size_t j = 0; j < z.size(); ++j)
+        sum_err += std::abs(got[j] - z[j]);
+    EXPECT_LT(sum_err / static_cast<double>(z.size()), 0.1);
 }
 
 TEST(Bootstrap, RejectsExhaustedInput)

@@ -12,9 +12,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
 
 #include "common/stats.hh"
 #include "common/thread_pool.hh"
+#include "exec/workspace.hh"
+#include "rns/tower.hh"
 
 namespace tensorfhe
 {
@@ -67,6 +70,66 @@ TEST(StatsRace, KernelCountersAndQueueUnderConcurrentRecording)
     ks.record(KernelKind::HadaMult, 1, 8);
     EXPECT_TRUE(ks.stopQueue().empty());
     ks.reset();
+}
+
+TEST(StatsRace, WorkspaceLeaseCountersSurviveExceptionUnwinding)
+{
+    // RAII leases released during stack unwinding (a mid-dispatch
+    // throw — e.g. a missing rotation key after scratch was checked
+    // out) must keep the arena's alloc/reuse/return accounting
+    // exact: every successful checkout is eventually matched by one
+    // return, from every lane of a full pool, throw or no throw.
+    rns::TowerConfig cfg;
+    cfg.n = 64;
+    cfg.levels = 3;
+    cfg.special = 1;
+    rns::RnsTower tower(cfg);
+    exec::Workspace ws(tower);
+    std::vector<std::size_t> limbs = {0, 1, 2};
+
+    constexpr std::size_t kLanes = 16;
+    constexpr int kIters = 200;
+    std::atomic<u64> throws{0};
+    ThreadPool::global().parallelFor(0, kLanes, [&](std::size_t lane) {
+        for (int i = 0; i < kIters; ++i) {
+            try {
+                auto a = ws.zeros(limbs, rns::Domain::Eval);
+                auto b = ws.zeros(limbs, rns::Domain::Coeff);
+                if ((lane + static_cast<std::size_t>(i)) % 3 == 0) {
+                    // Leases a and b unwind through this throw.
+                    throws.fetch_add(1, std::memory_order_relaxed);
+                    throw std::runtime_error("mid-dispatch failure");
+                }
+                // A detached polynomial must NOT count as a return.
+                if (i % 7 == 0) {
+                    auto keep = ws.zeros(limbs, rns::Domain::Eval);
+                    (void)keep.detach();
+                }
+            } catch (const std::runtime_error &) {
+                // unwound; leases returned to the arena
+            }
+        }
+    });
+    EXPECT_GT(throws.load(), 0u);
+
+    auto s = ws.stats();
+    // Checkouts: 2 per iteration + the detach ones on non-throwing
+    // i % 7 == 0 rounds; every non-detached checkout returned.
+    u64 checkouts = s.allocs + s.reuses;
+    u64 detached = 0;
+    for (std::size_t lane = 0; lane < kLanes; ++lane)
+        for (int i = 0; i < kIters; ++i)
+            if ((lane + static_cast<std::size_t>(i)) % 3 != 0
+                && i % 7 == 0)
+                ++detached;
+    EXPECT_EQ(checkouts, 2 * kLanes * kIters + detached);
+    EXPECT_EQ(s.returns, checkouts - detached);
+    // The arena stays serviceable after heavy unwinding: warm
+    // checkouts reuse.
+    ws.resetStats();
+    for (int i = 0; i < 8; ++i)
+        (void)ws.zeros(limbs, rns::Domain::Eval);
+    EXPECT_GT(ws.stats().reuses, 0u);
 }
 
 TEST(StatsRace, SnapshotIsConsistentWithConcurrentReset)

@@ -182,5 +182,41 @@ TEST(PolyActivationLayer, BudgetValidationRejectsShallowInputs)
     EXPECT_THROW(act.compile(f.ctx, in), std::invalid_argument);
 }
 
+TEST(PolyActivationLayer, ApplyGuardsTheLastRescaleLevelFloor)
+{
+    // The off-by-one runtime guard: a layer compiled against a valid
+    // meta but fed a deeper-drained ciphertext must fail with a clear
+    // error — not silently emit a wrong-scale result when the power
+    // ladder's last rescale would drop below level 0.
+    auto &f = fx();
+    nn::NnEngine engine(f.ctx, f.keys);
+    ckks::Encryptor enc(f.ctx, f.keys.pk);
+
+    PolyActivation act(sigmoidApprox(3)); // maxDepth 2, needs >= 4
+    TensorShape shape{{8}};
+    TensorMeta in;
+    in.shape = shape;
+    in.layout = SlotLayout::contiguous(shape);
+    in.levelCount = f.ctx.tower().numQ();
+    in.scale = f.ctx.params().scale();
+    act.compile(f.ctx, in);
+
+    Rng rng(41);
+    auto shallow = encryptTensor(f.ctx, enc, rng,
+                                 std::vector<double>(8, 0.25), shape,
+                                 2); // one below the ladder floor
+    try {
+        act.apply(engine, shallow.chunks());
+        FAIL() << "expected the level-floor rejection";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("power ladder"),
+                  std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("level 0"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
 } // namespace
 } // namespace tensorfhe::nn

@@ -287,30 +287,93 @@ TEST(SumReduceLayer, SumsAndHonorsScheduleDecision)
     EXPECT_NEAR(decryptTensor(f.ctx, dec, out_t)[0], expect, 1e-3);
 }
 
-TEST(LayerContracts, RotationLayersRejectMultiChunkInputs)
+TEST(LayerContracts, FoldLayersStillRejectMultiChunkInputs)
 {
+    // Matvec layers went multi-chunk (block BSGS); the rotate-fold
+    // layers still require a single chunk — slot rotations do not
+    // cross chunk boundaries.
     LayerFixture f;
-    Dense dense({{1.0, 0.0}, {0.0, 1.0}});
-    TensorMeta in2 = freshMeta(f.ctx, {{2}});
-    in2.chunkCount = 2;
-    EXPECT_THROW(dense.compile(f.ctx, in2), std::invalid_argument);
-
     AvgPool2d pool(2);
     TensorMeta in3 = freshMeta(f.ctx, {{1, 2, 2}});
     in3.chunkCount = 2;
     EXPECT_THROW(pool.compile(f.ctx, in3), std::invalid_argument);
+
+    SumReduce sum;
+    TensorMeta in4 = freshMeta(f.ctx, {{4}});
+    in4.chunkCount = 2;
+    EXPECT_THROW(sum.compile(f.ctx, in4), std::invalid_argument);
 }
 
-TEST(LayerContracts, OversizedOutputRejectedBeforeMatrixBuild)
+TEST(LayerContracts, OversizedOutputSpillsIntoASecondChunk)
 {
-    // More output rows than slots must be a clean rejection, not an
-    // out-of-bounds write while the slot matrix is populated.
+    // More output rows than slots used to be a rejection; block
+    // matvecs now spill them into further chunks.
     LayerFixture f;
     std::size_t rows = f.ctx.slots() + 1;
     Dense dense(std::vector<std::vector<double>>(
         rows, std::vector<double>(2, 0.5)));
-    EXPECT_THROW(dense.compile(f.ctx, freshMeta(f.ctx, {{2}})),
-                 std::invalid_argument);
+    auto out = dense.compile(f.ctx, freshMeta(f.ctx, {{2}}));
+    EXPECT_EQ(out.chunkCount, 2u);
+    EXPECT_EQ(out.shape.numel(), rows);
+    EXPECT_NE(dense.blockPlan(0, 0), nullptr);
+    EXPECT_NE(dense.blockPlan(1, 0), nullptr);
+}
+
+TEST(DenseLayer, MultiChunkBlockMatvecMatchesPlain)
+{
+    // A tensor spanning two ciphertexts through a Dense whose output
+    // also spans two: all four (out-chunk, in-chunk) block programs
+    // execute, each out chunk accumulating its input blocks' partial
+    // sums on QP before a single final ModDown. Executed op counts
+    // must match the block model exactly.
+    LayerFixture f;
+    std::size_t slots = f.ctx.slots();
+    std::size_t in_dim = slots + slots / 2;
+    std::size_t out_dim = slots + 8;
+    Rng wrng(61);
+    std::vector<std::vector<double>> w(out_dim,
+                                       std::vector<double>(in_dim));
+    for (auto &row : w)
+        for (auto &v : row)
+            v = (2 * wrng.uniformReal() - 1)
+                / static_cast<double>(in_dim);
+
+    Dense dense(w);
+    TensorMeta in_meta = freshMeta(f.ctx, {{in_dim}});
+    in_meta.chunkCount = (in_dim + slots - 1) / slots;
+    auto out_meta = dense.compile(f.ctx, in_meta);
+    EXPECT_EQ(out_meta.chunkCount, 2u);
+    EXPECT_EQ(dense.inputMeta().chunkCount, 2u);
+    // All four blocks are populated for a dense weight matrix.
+    for (std::size_t i = 0; i < 2; ++i)
+        for (std::size_t j = 0; j < 2; ++j)
+            EXPECT_NE(dense.blockPlan(i, j), nullptr);
+
+    auto keys = f.keysFor(dense.requiredRotations());
+    ckks::Encryptor enc(f.ctx, keys.pk);
+    ckks::Decryptor dec(f.ctx, f.sk);
+    NnEngine engine(f.ctx, keys);
+
+    std::vector<double> x(in_dim);
+    for (auto &v : x)
+        v = 2 * f.rng.uniformReal() - 1;
+    auto t = encryptTensor(f.ctx, enc, f.rng, x, {{in_dim}},
+                           f.ctx.tower().numQ());
+    ASSERT_EQ(t.chunkCount(), 2u);
+
+    EvalOpStats::instance().reset();
+    auto out_cts = dense.apply(engine, t.chunks());
+    expectOpsMatch(dense.modeledOps(),
+                   EvalOpStats::instance().snapshot());
+    ASSERT_EQ(out_cts.size(), 2u);
+
+    CipherTensor out(out_meta.shape, out_meta.layout,
+                     std::move(out_cts));
+    auto got = decryptTensor(f.ctx, dec, out);
+    auto want = dense.applyPlain(x);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i)
+        ASSERT_NEAR(got[i], want[i], 1e-2) << "row " << i;
 }
 
 } // namespace

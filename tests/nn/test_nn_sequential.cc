@@ -198,6 +198,101 @@ TEST(Sequential, ElementwiseStackHandlesMultiChunkTensors)
         ASSERT_NEAR(got[i], want[i], 1e-3) << "element " << i;
 }
 
+TEST(Sequential, AutoBootstrapInsertsRefreshWhenLedgerGoesNegative)
+{
+    // A bootstrappable chain (N = 2^8, sparse key) and a stack whose
+    // cost exceeds the input budget: without auto-bootstrap compile
+    // throws; with it, a Bootstrap layer is spliced mid-stack and
+    // the encrypted run matches the plaintext reference.
+    auto params = ckks::Presets::bootTest();
+    params.levels = 20;
+    params.secretHamming = 8;
+    ckks::CkksContext ctx(params);
+
+    auto buildNet = [](Sequential &net) {
+        net.emplace<Dense>(randomMatrix(8, 8, 0.1, 21));
+        net.emplace<PolyActivation>(reluApprox(2));
+        net.emplace<Dense>(randomMatrix(8, 8, 0.1, 22));
+        net.emplace<PolyActivation>(reluApprox(2));
+        net.emplace<Dense>(randomMatrix(4, 8, 0.1, 23));
+    };
+
+    TensorMeta in = freshMeta(ctx, {{8}});
+    in.levelCount = 5; // stack costs 8: goes negative mid-walk
+
+    Sequential rejected;
+    buildNet(rejected);
+    EXPECT_THROW(rejected.compile(ctx, in), std::invalid_argument);
+
+    Sequential net;
+    buildNet(net);
+    net.enableAutoBootstrap();
+    auto out = net.compile(ctx, in);
+    EXPECT_GE(net.bootstrapCount(), 1u);
+    EXPECT_GE(out.levelCount, 1u);
+    EXPECT_FALSE(net.requiredConjRotations().empty());
+
+    Rng rng(24);
+    auto sk = ctx.generateSecretKey(rng);
+    auto keys = ctx.generateKeys(sk, rng, net.requiredRotations(),
+                                 net.requiredConjRotations());
+    ckks::Encryptor enc(ctx, keys.pk);
+    ckks::Decryptor dec(ctx, sk);
+    nn::NnEngine engine(ctx, keys);
+
+    std::vector<double> x(8);
+    for (auto &v : x)
+        v = rng.uniformReal() - 0.5;
+    auto t = encryptTensor(ctx, enc, rng, x, {{8}}, in.levelCount);
+    auto y = net.run(engine, t);
+    auto got = decryptTensor(ctx, dec, y);
+    auto want = net.runPlain(x);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i)
+        ASSERT_NEAR(got[i], want[i], 1e-2) << "element " << i;
+
+    // Executed ops through the refresh match the stack model exactly.
+    EvalOpStats::instance().reset();
+    (void)net.run(engine, t);
+    auto snap = EvalOpStats::instance().snapshot();
+    auto model = net.modeledOps();
+    for (std::size_t k = 0; k < kNumEvalOpKinds; ++k) {
+        auto kind = static_cast<EvalOpKind>(k);
+        EXPECT_EQ(snap.get(kind), model.get(kind))
+            << evalOpKindName(kind);
+    }
+    EvalOpStats::instance().reset();
+}
+
+TEST(Sequential, AutoBootstrapRejectsLayersTooDeepForTheChain)
+{
+    // A single layer deeper than the refreshed budget can never fit,
+    // bootstrap or not — compile must say so, not loop.
+    auto params = ckks::Presets::bootTest();
+    params.levels = 20;
+    params.secretHamming = 8;
+    ckks::CkksContext ctx(params);
+
+    Sequential net;
+    net.emplace<PolyActivation>(reluApprox(2));
+    // x^128: ladder depth 8, cost 9 — beyond any refresh this chain
+    // can offer.
+    PolyApprox monster{"x128", std::vector<double>(129, 0.0)};
+    monster.coeffs[128] = 1.0;
+    net.emplace<PolyActivation>(monster);
+    net.enableAutoBootstrap();
+    TensorMeta in = freshMeta(ctx, {{8}});
+    in.levelCount = 4;
+    try {
+        net.compile(ctx, in);
+        FAIL() << "expected rejection";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("after bootstrap"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
 TEST(Sequential, RunRejectsMismatchedInputMeta)
 {
     ckks::CkksContext ctx(testParams(4));

@@ -144,6 +144,48 @@ TEST(Cost, MatvecBsgsMatchesFullyPopulatedTransform)
     EXPECT_LT(sparse.coreOps, a.coreOps);
 }
 
+TEST(Cost, BlockMatvecSharesTheFinalModDownAcrossBlocks)
+{
+    auto p = paperParams(ntt::NttVariant::Tensor);
+    std::size_t slots = p.slots();
+    auto g = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(slots))));
+    std::size_t n2 = (slots + g - 1) / g;
+
+    // One block degenerates to the plain matvec cost.
+    auto one = blockMatvecBsgsCost(p, 45, 1, slots, g - 1, n2 - 1);
+    auto plain = matvecBsgsCost(p, 45, slots, g - 1, n2 - 1);
+    EXPECT_DOUBLE_EQ(one.coreOps, plain.coreOps);
+    EXPECT_DOUBLE_EQ(one.bytes, plain.bytes);
+
+    // Two accumulated blocks must be cheaper than two standalone
+    // applications: the QP partial sums share one final ModDown pair
+    // + RESCALE.
+    auto fused = blockMatvecBsgsCost(p, 45, 2, 2 * slots,
+                                     2 * (g - 1), 2 * (n2 - 1));
+    EXPECT_LT(fused.coreOps, 2 * plain.coreOps);
+    EXPECT_LT(fused.bytes, 2 * plain.bytes);
+    // But they still pay both heads: more than one application.
+    EXPECT_GT(fused.coreOps, plain.coreOps);
+}
+
+TEST(Cost, BootstrapCostScalesWithSlotsAndSineShape)
+{
+    auto p = paperParams(ntt::NttVariant::Tensor);
+    auto base = bootstrapCost(p, 45, p.slots(), 6, 4);
+    EXPECT_GT(base.coreOps, 0.0);
+    // The DFT stages dominate and grow with the slot count.
+    auto fewer = bootstrapCost(p, 45, p.slots() / 4, 6, 4);
+    EXPECT_LT(fewer.coreOps, base.coreOps);
+    // A deeper double-angle chain only adds work.
+    auto deeper = bootstrapCost(p, 45, p.slots(), 6, 6);
+    EXPECT_GT(deeper.coreOps, base.coreOps);
+    // The three transforms alone exceed one S2C: the fused split
+    // pipeline is costed as 3 BSGS transforms, not 2 + a keyswitch.
+    auto s2c = bsgsLinearTransformCost(p, 45, p.slots());
+    EXPECT_GT(base.coreOps, 3 * s2c.coreOps);
+}
+
 TEST(Cost, RotateFoldCostTracksScheduleDecision)
 {
     auto p = paperParams(ntt::NttVariant::Tensor);
