@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Check that in-repo markdown links resolve.
+
+Scans every tracked *.md file for inline links/images
+``[text](target)`` and verifies that relative targets exist on disk
+(anchors are stripped; absolute URLs and mailto: are skipped). Pure
+stdlib; exits nonzero listing every broken link.
+
+Usage: python3 scripts/check_md_links.py [repo_root]
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def tracked_markdown(root: str) -> list[str]:
+    out = subprocess.run(
+        ["git", "ls-files", "*.md", "**/*.md"],
+        cwd=root,
+        capture_output=True,
+        text=True,
+        check=True,
+    ).stdout
+    return sorted(set(out.split()))
+
+
+def check_file(root: str, relpath: str) -> list[str]:
+    errors = []
+    base = os.path.dirname(os.path.join(root, relpath))
+    with open(os.path.join(root, relpath), encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                if target.startswith(SKIP_PREFIXES):
+                    continue
+                path = target.split("#", 1)[0]
+                if not path:
+                    continue
+                resolved = os.path.normpath(os.path.join(base, path))
+                if not os.path.exists(resolved):
+                    errors.append(
+                        f"{relpath}:{lineno}: broken link -> {target}"
+                    )
+    return errors
+
+
+def main() -> int:
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    files = tracked_markdown(root)
+    errors = []
+    for relpath in files:
+        errors.extend(check_file(root, relpath))
+    for err in errors:
+        print(err, file=sys.stderr)
+    print(f"checked {len(files)} markdown files, "
+          f"{len(errors)} broken links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,7 @@ kernelKindName(KernelKind k)
       case KernelKind::Segment: return "Segment";
       case KernelKind::Fusion: return "Fusion";
       case KernelKind::TcuGemm: return "TCU-GEMM";
+      case KernelKind::FusedEle: return "Fused-Ele";
       default: TFHE_ASSERT(false); return "?";
     }
 }

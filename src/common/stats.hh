@@ -36,6 +36,7 @@ enum class KernelKind : int
     Segment,   ///< TCU path: u32 -> 4 x u8 (paper Fig. 7)
     Fusion,    ///< TCU path: Booth-style partial-product fusion
     TcuGemm,   ///< TCU path: INT8 GEMM
+    FusedEle,  ///< graph-fused elementwise chain (one span pass)
     NumKinds
 };
 

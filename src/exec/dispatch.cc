@@ -87,6 +87,44 @@ Dispatcher::multiplyPlainInPlace(ckks::Ciphertext *as,
 }
 
 void
+Dispatcher::fusedElementwise(const FusedSpec &spec, ckks::Ciphertext *out,
+                             const ckks::Ciphertext *const *inputs,
+                             const ckks::Plaintext *const *pts,
+                             std::size_t batch) const
+{
+    if (batch == 0)
+        return;
+    // Fusion-invariant accounting: the fused pass records exactly the
+    // executed-op counts of the member launches it replaces.
+    if (spec.addLike > 0)
+        EvalOpStats::instance().record(EvalOpKind::HAdd,
+                                       spec.addLike * batch);
+    if (spec.mulLike > 0)
+        EvalOpStats::instance().record(EvalOpKind::CMult,
+                                       spec.mulLike * batch);
+    exec::fusedElementwise(kctx_, spec, out, inputs, pts, batch);
+    // Replay the chain over the scale metadata with the same double
+    // arithmetic the member ops would have used (MulPt multiplies,
+    // adds keep the destination's scale).
+    for (std::size_t s = 0; s < batch; ++s) {
+        double sc[FusedSpec::kMaxRegs] = {};
+        for (const auto &in : spec.ins) {
+            switch (in.op) {
+              case FusedSpec::Op::Load:
+                  sc[in.dst] = inputs[in.idx][s].scale;
+                  break;
+              case FusedSpec::Op::MulPt:
+                  sc[in.dst] = sc[in.dst] * pts[in.idx]->scale;
+                  break;
+              default:
+                  break;
+            }
+        }
+        out[s].scale = sc[spec.result];
+    }
+}
+
+void
 Dispatcher::rescaleInPlace(ckks::Ciphertext *as, std::size_t batch) const
 {
     if (batch == 0)

@@ -161,6 +161,19 @@ class Dispatcher
                               const ckks::Plaintext &p,
                               std::size_t batch) const;
 
+    /**
+     * One fused elementwise span pass (graph scheduler output): runs
+     * the FusedSpec register program over the batch and records the
+     * SAME EvalOpStats counters and scale updates as the member
+     * launches it replaces — the modeled-vs-executed op accounting is
+     * fusion-invariant. out[s] must be preshaped to the inputs' level
+     * count and must not alias any input.
+     */
+    void fusedElementwise(const FusedSpec &spec, ckks::Ciphertext *out,
+                          const ckks::Ciphertext *const *inputs,
+                          const ckks::Plaintext *const *pts,
+                          std::size_t batch) const;
+
     /** RESCALE in place (drop last limb, divide scale by q_last). */
     void rescaleInPlace(ckks::Ciphertext *as, std::size_t batch) const;
 

@@ -249,6 +249,62 @@ addPLifted(const KernelCtx &ctx, rns::RnsPolynomial *const *accs,
 }
 
 void
+fusedElementwise(const KernelCtx &ctx, const FusedSpec &spec,
+                 ckks::Ciphertext *out,
+                 const ckks::Ciphertext *const *inputs,
+                 const ckks::Plaintext *const *pts, std::size_t batch)
+{
+    if (batch == 0 || spec.ins.empty())
+        return;
+    TFHE_ASSERT(spec.numRegs <= FusedSpec::kMaxRegs,
+                "fused chain exceeds the register file");
+    std::size_t limbs = out[0].levelCount();
+    std::size_t n = out[0].c0.n();
+    ScopedKernelTimer timer(KernelKind::FusedEle,
+                            spec.elementsFactor * batch * limbs * n);
+    ctx.pool->parallelFor2D(batch, limbs,
+                            [&](std::size_t s, std::size_t i) {
+        const Modulus &mod = out[s].c0.limbModulus(i);
+        u64 *o0 = out[s].c0.limb(i);
+        u64 *o1 = out[s].c1.limb(i);
+        for (std::size_t c = 0; c < n; ++c) {
+            u64 r0[FusedSpec::kMaxRegs];
+            u64 r1[FusedSpec::kMaxRegs];
+            for (const auto &in : spec.ins) {
+                switch (in.op) {
+                  case FusedSpec::Op::Load: {
+                      const ckks::Ciphertext &a = inputs[in.idx][s];
+                      r0[in.dst] = a.c0.limb(i)[c];
+                      r1[in.dst] = a.c1.limb(i)[c];
+                      break;
+                  }
+                  case FusedSpec::Op::AddCt:
+                      r0[in.dst] = mod.add(r0[in.dst], r0[in.src]);
+                      r1[in.dst] = mod.add(r1[in.dst], r1[in.src]);
+                      break;
+                  case FusedSpec::Op::SubCt:
+                      r0[in.dst] = mod.sub(r0[in.dst], r0[in.src]);
+                      r1[in.dst] = mod.sub(r1[in.dst], r1[in.src]);
+                      break;
+                  case FusedSpec::Op::MulPt: {
+                      u64 p = pts[in.idx]->poly.limb(i)[c];
+                      r0[in.dst] = mod.mul(r0[in.dst], p);
+                      r1[in.dst] = mod.mul(r1[in.dst], p);
+                      break;
+                  }
+                  case FusedSpec::Op::AddPt:
+                      r0[in.dst] = mod.add(
+                          r0[in.dst], pts[in.idx]->poly.limb(i)[c]);
+                      break;
+                }
+            }
+            o0[c] = r0[spec.result];
+            o1[c] = r1[spec.result];
+        }
+    });
+}
+
+void
 mulScalarShoup(const KernelCtx &ctx, rns::RnsPolynomial *const *polys,
                const std::vector<u64> &scalars,
                const std::vector<u64> &scalarsShoup, std::size_t batch)

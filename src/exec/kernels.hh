@@ -124,6 +124,69 @@ void mulScalarShoup(const KernelCtx &ctx,
                     const std::vector<u64> &scalarsShoup,
                     std::size_t batch);
 
+/**
+ * A fused elementwise chain: the graph scheduler collapses adjacent
+ * single-consumer elementwise launches (Ele-Add / Ele-Sub / CMULT
+ * cores / plain-c0 adds) into ONE span pass described by this little
+ * register program. Because every member op is exact modular u64
+ * arithmetic on independent (slot, limb, coeff) cells, evaluating the
+ * whole expression tree per cell is bit-identical to running the
+ * member kernels back-to-back — fusion reorders memory traffic, never
+ * arithmetic.
+ *
+ * Registers hold one (c0, c1) residue pair per cell. Instructions:
+ *   Load   r[dst] = inputs[idx][s]           (both components)
+ *   AddCt  r[dst] += r[src]                  (both components)
+ *   SubCt  r[dst] -= r[src]                  (both components)
+ *   MulPt  r[dst] *= pts[idx]                (both components)
+ *   AddPt  r[dst].c0 += pts[idx]             (c0 only, HADD-plain)
+ */
+struct FusedSpec
+{
+    enum class Op : u8
+    {
+        Load,
+        AddCt,
+        SubCt,
+        MulPt,
+        AddPt
+    };
+
+    struct Ins
+    {
+        Op op;
+        u16 dst = 0; ///< destination register
+        u16 src = 0; ///< source register (AddCt / SubCt)
+        u16 idx = 0; ///< input index (Load) or plaintext index (pt ops)
+    };
+
+    std::vector<Ins> ins;
+    std::size_t numRegs = 0;
+    std::size_t numInputs = 0;
+    std::size_t numPts = 0;
+    u16 result = 0; ///< register holding the chain's output
+
+    /** Member-op accounting so the fused launch records the SAME
+        EvalOpStats and element volume as the launches it replaces. */
+    u64 addLike = 0;        ///< HAdd-recording members
+    u64 mulLike = 0;        ///< CMult-recording members
+    u64 elementsFactor = 0; ///< sum of member factors (x batch*L*n)
+
+    static constexpr std::size_t kMaxRegs = 8;
+};
+
+/**
+ * Execute a FusedSpec over the batch: out[s] is written from the
+ * result register (both components; out must not alias any input).
+ * inputs[i][s] is batch slot s of fused input i; all inputs and out
+ * share one level count. Records ONE KernelKind::FusedEle launch.
+ */
+void fusedElementwise(const KernelCtx &ctx, const FusedSpec &spec,
+                      ckks::Ciphertext *out,
+                      const ckks::Ciphertext *const *inputs,
+                      const ckks::Plaintext *const *pts,
+                      std::size_t batch);
+
 } // namespace tensorfhe::exec
 
 #endif // TENSORFHE_EXEC_KERNELS_HH

@@ -74,6 +74,19 @@ Workspace::recycle(rns::RnsPolynomial &&p)
     returns_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void
+Workspace::prestage(const std::vector<std::size_t> &limbs,
+                    rns::Domain domain, std::size_t count)
+{
+    // Checking out all `count` leases before releasing any forces
+    // `count` DISTINCT buffers into the pool (a checkout/release loop
+    // would recycle one buffer `count` times).
+    std::vector<Pooled> held;
+    held.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        held.push_back(zeros(limbs, domain));
+}
+
 Workspace::Stats
 Workspace::stats() const
 {

@@ -139,6 +139,18 @@ class Workspace
         recycle(std::move(p));
     }
 
+    /**
+     * Pre-stage `count` pooled buffers of the given shape: each is
+     * checked out (paying the allocator once, counted as an alloc)
+     * and immediately returned, so the next `count` concurrent
+     * checkouts of that shape — or any smaller one, via the best-fit
+     * scan — are served from the pool. The graph executor walks a
+     * compiled graph's scratch shapes through this before the first
+     * run, so even a COLD graph execution hits steady-state reuse.
+     */
+    void prestage(const std::vector<std::size_t> &limbs,
+                  rns::Domain domain, std::size_t count);
+
     Stats stats() const;
     void resetStats();
 

@@ -252,32 +252,36 @@ simulateSmBatch(const std::vector<SmJob> &jobs, const PipelineConfig &cfg,
     return out;
 }
 
-std::vector<StallBreakdown>
-simulateKernelQueue(const std::vector<KernelLaunch> &queue, std::size_t n,
-                    const PipelineConfig &cfg, ThreadPool *pool)
+namespace
 {
-    if (queue.empty())
-        return {};
-    // Three representative traces cover the kernel taxonomy; built
-    // once per replay and shared by every launch of their class.
-    WarpTrace ntt = butterflyNttTrace(n, 128);
-    WarpTrace gemm = gemmNttTrace(n, 128);
-    WarpTrace ele = elementwiseTrace(n, 256);
 
-    auto traceFor = [&](KernelKind k) -> const WarpTrace * {
-        switch (k) {
+/** The three representative traces covering the kernel taxonomy. */
+struct ReplayTraces
+{
+    WarpTrace ntt;
+    WarpTrace gemm;
+    WarpTrace ele;
+
+    explicit ReplayTraces(std::size_t n)
+        : ntt(butterflyNttTrace(n, 128)), gemm(gemmNttTrace(n, 128)),
+          ele(elementwiseTrace(n, 256))
+    {}
+
+    SmJob
+    jobFor(const KernelLaunch &launch) const
+    {
+        const WarpTrace *t = &ele;
+        switch (launch.kind) {
           case KernelKind::Ntt:
           case KernelKind::Intt:
-            return &ntt;
+            t = &ntt;
+            break;
           case KernelKind::TcuGemm:
-            return &gemm;
+            t = &gemm;
+            break;
           default:
-            return &ele;
+            break;
         }
-    };
-    std::vector<SmJob> jobs;
-    jobs.reserve(queue.size());
-    for (const auto &launch : queue) {
         // Warp occupancy scales with the launch's element volume —
         // a whole-batch dispatch fills the SM, a single-limb fixup
         // does not (paper SIV-D's motivation for batching).
@@ -286,9 +290,71 @@ simulateKernelQueue(const std::vector<KernelLaunch> &queue, std::size_t n,
             warps = 1;
         if (warps > 32)
             warps = 32;
-        jobs.push_back({traceFor(launch.kind), warps});
+        return {t, warps};
     }
+};
+
+} // namespace
+
+std::vector<StallBreakdown>
+simulateKernelQueue(const std::vector<KernelLaunch> &queue, std::size_t n,
+                    const PipelineConfig &cfg, ThreadPool *pool)
+{
+    if (queue.empty())
+        return {};
+    // Built once per replay and shared by every launch of their class.
+    ReplayTraces traces(n);
+    std::vector<SmJob> jobs;
+    jobs.reserve(queue.size());
+    for (const auto &launch : queue)
+        jobs.push_back(traces.jobFor(launch));
     return simulateSmBatch(jobs, cfg, pool);
+}
+
+QueueReplay
+replayScheduledQueue(const std::vector<ScheduledLaunch> &queue,
+                     std::size_t n, const PipelineConfig &cfg,
+                     ThreadPool *pool)
+{
+    QueueReplay out;
+    if (queue.empty())
+        return out;
+    ReplayTraces traces(n);
+    std::vector<SmJob> jobs;
+    jobs.reserve(queue.size());
+    for (const auto &sl : queue)
+        jobs.push_back(traces.jobFor(sl.launch));
+    out.perLaunch = simulateSmBatch(jobs, cfg, pool);
+
+    // Timeline: a launch starts when its stream frees up AND every
+    // dependency has finished; streams serialize in queue order.
+    out.startCycle.resize(queue.size());
+    out.finishCycle.resize(queue.size());
+    std::vector<u64> streamFree;
+    u64 serial = 0;
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        const auto &sl = queue[i];
+        TFHE_ASSERT(sl.stream >= 0, "negative stream id");
+        auto s = static_cast<std::size_t>(sl.stream);
+        if (s >= streamFree.size())
+            streamFree.resize(s + 1, 0);
+        u64 start = streamFree[s];
+        for (std::size_t d : sl.deps) {
+            TFHE_ASSERT(d < i, "dependency on a later launch");
+            start = std::max(start, out.finishCycle[d]);
+        }
+        u64 dur =
+            out.perLaunch[i].totalCycles + cfg.launchOverheadCycles;
+        out.startCycle[i] = start;
+        out.finishCycle[i] = start + dur;
+        streamFree[s] = out.finishCycle[i];
+        out.makespanCycles =
+            std::max(out.makespanCycles, out.finishCycle[i]);
+        serial += dur;
+    }
+    out.serialCycles = serial;
+    out.streamsUsed = static_cast<int>(streamFree.size());
+    return out;
 }
 
 StallBreakdown

@@ -104,6 +104,10 @@ struct PipelineConfig
     int aluPorts = 4;        ///< issue slots per cycle for ALU class
     int memPorts = 1;
     int mmaPorts = 1;
+    /** Fixed launch/teardown cost charged per kernel in the scheduled
+        queue replay (replayScheduledQueue) — the host-side latency a
+        fused launch amortizes. Does not affect simulateSm itself. */
+    u64 launchOverheadCycles = 200;
     double l1iMissRate(std::size_t footprint) const
     {
         // Instruction cache pressure grows with static footprint;
@@ -153,6 +157,61 @@ simulateKernelQueue(const std::vector<KernelLaunch> &queue, std::size_t n,
 
 /** Aggregate a queue replay into one breakdown (cycle-weighted sum). */
 StallBreakdown sumBreakdowns(const std::vector<StallBreakdown> &parts);
+
+/**
+ * One launch of a SCHEDULED kernel queue: the recorded launch plus
+ * the graph scheduler's placement — which stream it runs on and
+ * which earlier launches (by queue index) must finish first.
+ */
+struct ScheduledLaunch
+{
+    KernelLaunch launch;
+    int stream = 0;
+    /** Queue indices of producer launches (always < own index). */
+    std::vector<std::size_t> deps;
+};
+
+/**
+ * Replay of a scheduled queue: per-launch breakdowns plus the
+ * timeline. simulateKernelQueue() replays launches back-to-back — it
+ * assumes recorded order IS execution order, which serializes
+ * independent branches. This replay honors the scheduler's stream
+ * assignment instead: a launch starts when its stream is free AND
+ * every dependency has finished, so independent streams overlap and
+ * the makespan is the critical path, not the serial sum. Each launch
+ * is additionally charged cfg.launchOverheadCycles, so fusing N
+ * elementwise launches into one shows up as N-1 saved overheads.
+ */
+struct QueueReplay
+{
+    std::vector<StallBreakdown> perLaunch;
+    std::vector<u64> startCycle;  ///< per launch, scheduled start
+    std::vector<u64> finishCycle; ///< per launch, scheduled finish
+    u64 makespanCycles = 0;       ///< critical-path finish
+    u64 serialCycles = 0;         ///< back-to-back finish (1 stream)
+    int streamsUsed = 0;
+
+    /** Cycle-weighted stall fraction over every launch's pipeline
+        breakdown (stream overlap does not change per-launch stalls;
+        it changes the makespan). */
+    double
+    totalStallFraction() const
+    {
+        return sumBreakdowns(perLaunch).totalStallFraction();
+    }
+};
+
+/**
+ * Replay `queue` on the SM model with the scheduler's stream
+ * assignment (the simulateKernelQueue fix for overlap): per-launch
+ * simulation is identical to simulateKernelQueue on the bare
+ * launches; the timeline obeys stream serialization + dependencies.
+ * Deterministic.
+ */
+QueueReplay
+replayScheduledQueue(const std::vector<ScheduledLaunch> &queue,
+                     std::size_t n, const PipelineConfig &cfg = {},
+                     ThreadPool *pool = nullptr);
 
 } // namespace tensorfhe::gpu
 

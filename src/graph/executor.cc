@@ -1,0 +1,247 @@
+#include "graph/executor.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace tensorfhe::graph
+{
+
+namespace
+{
+
+/** Union of the producers' last-launch sets (the queue indices a
+    node's first launch must wait for). */
+std::vector<std::size_t>
+producerDeps(const Graph &g,
+             const std::vector<std::vector<std::size_t>> &last,
+             const Node &n)
+{
+    std::vector<std::size_t> deps;
+    for (ValueId v : n.inputs) {
+        NodeId p = g.values[v].producer;
+        if (p == kNoNode)
+            continue;
+        for (std::size_t idx : last[p])
+            deps.push_back(idx);
+    }
+    std::sort(deps.begin(), deps.end());
+    deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+    return deps;
+}
+
+} // namespace
+
+ExecResult
+GraphExecutor::run(const nn::NnEngine &engine, std::vector<Cts> inputs,
+                   const ExecOptions &opt) const
+{
+    const Graph &g = *g_;
+    requireArg(inputs.size() == g.inputs.size(),
+               "graph run: expected ", g.inputs.size(),
+               " input batches, got ", inputs.size());
+    requireArg(!g.inputs.empty() && !inputs[0].empty(),
+               "graph run: empty input");
+    std::size_t batch =
+        inputs[0].size() / g.values[g.inputs[0]].chunkCount;
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+        requireArg(inputs[i].size()
+                       == batch * g.values[g.inputs[i]].chunkCount,
+                   "graph run: input ", i,
+                   " does not match the common batch size");
+
+    // Input value -> caller batch index.
+    std::vector<std::size_t> input_index(g.values.size(), 0);
+    for (std::size_t i = 0; i < g.inputs.size(); ++i)
+        input_index[g.inputs[i]] = i;
+
+    const auto &beval = engine.batched();
+    const auto &disp = beval.dispatcher();
+    std::vector<Cts> vals(g.values.size());
+
+    ExecResult res;
+    // Per-node queue indices the node's output depends on.
+    std::vector<std::vector<std::size_t>> last(g.nodes.size());
+
+    for (NodeId id : sched_.order) {
+        const Node &n = g.nodes[id];
+        if (opt.captureSchedule)
+            KernelStats::instance().startQueue();
+
+        switch (n.kind) {
+          case NodeKind::Input:
+            vals[n.outputs[0]] =
+                std::move(inputs[input_index[n.outputs[0]]]);
+            break;
+          case NodeKind::Add:
+            vals[n.outputs[0]] =
+                beval.add(vals[n.inputs[0]], vals[n.inputs[1]]);
+            break;
+          case NodeKind::Sub:
+            vals[n.outputs[0]] =
+                beval.sub(vals[n.inputs[0]], vals[n.inputs[1]]);
+            break;
+          case NodeKind::AddPlain:
+            vals[n.outputs[0]] =
+                beval.addPlain(vals[n.inputs[0]], *n.pt);
+            break;
+          case NodeKind::MulPlain:
+            vals[n.outputs[0]] =
+                beval.multiplyPlain(vals[n.inputs[0]], *n.pt);
+            break;
+          case NodeKind::MulConstToScale:
+            vals[n.outputs[0]] = beval.multiplyConstToScale(
+                vals[n.inputs[0]], n.constant, n.targetScale);
+            break;
+          case NodeKind::AddConst:
+            vals[n.outputs[0]] =
+                beval.addConst(vals[n.inputs[0]], n.constant);
+            break;
+          case NodeKind::Rescale:
+            vals[n.outputs[0]] = beval.rescale(vals[n.inputs[0]]);
+            break;
+          case NodeKind::Multiply:
+            vals[n.outputs[0]] =
+                beval.multiply(vals[n.inputs[0]], vals[n.inputs[1]]);
+            break;
+          case NodeKind::RotateMany: {
+              auto rots =
+                  beval.rotateManyBatch(vals[n.inputs[0]], n.steps);
+              for (std::size_t i = 0; i < n.outputs.size(); ++i)
+                  vals[n.outputs[i]] = std::move(rots[i]);
+              break;
+          }
+          case NodeKind::Drop:
+            vals[n.outputs[0]] = beval.dropToLevelCount(
+                vals[n.inputs[0]], n.levelCount);
+            break;
+          case NodeKind::SetScale: {
+              Cts out = vals[n.inputs[0]];
+              for (auto &ct : out)
+                  ct.scale = n.targetScale;
+              vals[n.outputs[0]] = std::move(out);
+              break;
+          }
+          case NodeKind::Unpack: {
+              const Cts &in = vals[n.inputs[0]];
+              std::size_t k = n.outputs.size();
+              std::size_t b = in.size() / k;
+              for (std::size_t c = 0; c < k; ++c) {
+                  Cts out(b);
+                  for (std::size_t s = 0; s < b; ++s)
+                      out[s] = in[s * k + c];
+                  vals[n.outputs[c]] = std::move(out);
+              }
+              break;
+          }
+          case NodeKind::Pack: {
+              std::size_t k = n.inputs.size();
+              std::size_t b = vals[n.inputs[0]].size();
+              Cts out(k * b);
+              for (std::size_t c = 0; c < k; ++c)
+                  for (std::size_t s = 0; s < b; ++s)
+                      out[s * k + c] = vals[n.inputs[c]][s];
+              vals[n.outputs[0]] = std::move(out);
+              break;
+          }
+          case NodeKind::BsgsSum: {
+              std::size_t terms = n.plans.size();
+              std::size_t b = vals[n.inputs[0]].size();
+              std::size_t lc = vals[n.inputs[0]][0].levelCount();
+              std::vector<exec::BsgsProgram> owned;
+              owned.reserve(terms);
+              for (std::size_t t = 0; t < terms; ++t)
+                  owned.push_back(n.plans[t]->program(lc));
+              std::vector<const exec::BsgsProgram *> progs;
+              progs.reserve(terms);
+              std::vector<const ckks::Ciphertext *> ins;
+              ins.reserve(terms * b);
+              for (std::size_t t = 0; t < terms; ++t) {
+                  progs.push_back(&owned[t]);
+                  const Cts &tv = vals[n.inputs[t]];
+                  for (std::size_t s = 0; s < b; ++s)
+                      ins.push_back(&tv[s]);
+              }
+              vals[n.outputs[0]] = disp.applyBsgsSum(
+                  progs.data(), ins.data(), terms, b);
+              break;
+          }
+          case NodeKind::LayerApply:
+            vals[n.outputs[0]] =
+                n.layer->apply(engine, vals[n.inputs[0]]);
+            break;
+          case NodeKind::FusedEle: {
+              const Cts &base = vals[n.inputs[0]];
+              // Shape carrier; the span pass overwrites every
+              // coefficient and the dispatcher replays the scales.
+              Cts out = base;
+              std::vector<const ckks::Ciphertext *> ins;
+              ins.reserve(n.inputs.size());
+              for (ValueId v : n.inputs)
+                  ins.push_back(vals[v].data());
+              disp.fusedElementwise(n.fused, out.data(), ins.data(),
+                                    n.fusedPts.data(), out.size());
+              vals[n.outputs[0]] = std::move(out);
+              break;
+          }
+          default:
+            TFHE_ASSERT(false, "unexecutable node kind");
+        }
+
+        if (opt.captureSchedule) {
+            auto q = KernelStats::instance().stopQueue();
+            auto deps = producerDeps(g, last, n);
+            std::size_t base = res.schedule.size();
+            for (std::size_t i = 0; i < q.size(); ++i) {
+                gpu::ScheduledLaunch sl;
+                sl.launch = q[i];
+                sl.stream = sched_.stream[id];
+                // The node's first launch waits on every producer;
+                // later launches serialize behind it on the stream.
+                if (i == 0)
+                    sl.deps = deps;
+                res.schedule.push_back(std::move(sl));
+            }
+            last[id] = q.empty()
+                ? std::move(deps)
+                : std::vector<std::size_t>{base + q.size() - 1};
+        }
+    }
+
+    res.launchCount = res.schedule.size();
+    res.outputs.reserve(g.outputs.size());
+    for (ValueId v : g.outputs)
+        res.outputs.push_back(std::move(vals[v]));
+    return res;
+}
+
+void
+GraphExecutor::prestageWorkspace(const nn::NnEngine &engine,
+                                 std::size_t batch) const
+{
+    const Graph &g = *g_;
+    // The widest scratch any dispatch checks out is the key-switch
+    // union basis (every q and p limb); via the best-fit capacity
+    // scan a pooled buffer of that shape serves any smaller request.
+    const auto &tower = engine.ctx().tower();
+    std::vector<std::size_t> limbs(tower.numTotal());
+    std::iota(limbs.begin(), limbs.end(), 0);
+
+    std::size_t widest = 1;
+    for (const auto &n : g.nodes) {
+        if (n.dead)
+            continue;
+        for (ValueId v : n.outputs)
+            widest = std::max(widest,
+                              g.values[v].chunkCount * batch);
+    }
+    // Two live components per ciphertext plus slack for the
+    // per-digit hoist scratch.
+    std::size_t count = 2 * widest + 8;
+    engine.batched().dispatcher().workspace().prestage(
+        limbs, rns::Domain::Eval, count);
+}
+
+} // namespace tensorfhe::graph

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * GraphExecutor: runs a scheduled graph through the SAME evaluator
+ * entry points the eager path uses — bit-identity with eager
+ * execution is by construction, not by tolerance (the tests compare
+ * raw residue limbs). What the graph adds over eager:
+ *
+ *   - FusedEle nodes run one exec::Dispatcher::fusedElementwise span
+ *     pass instead of N member launches (fewer kernel launches, same
+ *     bits, same EvalOpStats);
+ *   - every node's kernel launches are captured (KernelStats queue)
+ *     and tagged with the scheduler's stream plus explicit
+ *     dependencies, producing the gpu::ScheduledLaunch queue that
+ *     gpu::replayScheduledQueue overlaps on the GPU model;
+ *   - prestageWorkspace() walks the graph's scratch demand once and
+ *     seeds the exec::Workspace arena, so even the first run of a
+ *     compiled graph hits steady-state (>90%) buffer reuse.
+ */
+
+#ifndef TENSORFHE_GRAPH_EXECUTOR_HH
+#define TENSORFHE_GRAPH_EXECUTOR_HH
+
+#include "gpu/pipeline.hh"
+#include "graph/schedule.hh"
+
+namespace tensorfhe::graph
+{
+
+struct ExecOptions
+{
+    /** Capture the per-node kernel launches into a scheduled queue
+        (KernelStats queue capture; modest overhead). */
+    bool captureSchedule = false;
+};
+
+struct ExecResult
+{
+    /** One batch per graph output, in Graph::outputs order. */
+    std::vector<Cts> outputs;
+    /** Stream- and dependency-tagged launch queue (when captured). */
+    std::vector<gpu::ScheduledLaunch> schedule;
+    std::size_t launchCount = 0;
+};
+
+class GraphExecutor
+{
+  public:
+    GraphExecutor(const Graph &g, Schedule sched)
+        : g_(&g), sched_(std::move(sched))
+    {}
+
+    /**
+     * Execute over one batch per graph input (Graph::inputs order);
+     * every input must hold meta.chunkCount * B ciphertexts for one
+     * common batch size B, laid out sample-major.
+     */
+    ExecResult run(const nn::NnEngine &engine,
+                   std::vector<Cts> inputs,
+                   const ExecOptions &opt = {}) const;
+
+    /**
+     * Seed the engine's workspace arena with the largest scratch
+     * shape the tower admits (the key-switch union basis), enough
+     * buffers for the graph's widest value: via the arena's best-fit
+     * scan every smaller checkout is then served from the pool.
+     */
+    void prestageWorkspace(const nn::NnEngine &engine,
+                           std::size_t batch) const;
+
+    const Schedule &schedule() const { return sched_; }
+    const Graph &graph() const { return *g_; }
+
+  private:
+    const Graph *g_;
+    Schedule sched_;
+};
+
+} // namespace tensorfhe::graph
+
+#endif // TENSORFHE_GRAPH_EXECUTOR_HH

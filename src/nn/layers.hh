@@ -155,6 +155,15 @@ class MatvecLayer : public Layer
     const boot::LinearTransformPlan *
     blockPlan(std::size_t out_chunk, std::size_t in_chunk) const;
 
+    /** Encoded bias of `out_chunk`; null when the chunk has no bias
+        (valid after compile; the graph lowering reads these). */
+    const ckks::Plaintext *
+    biasPlain(std::size_t out_chunk) const
+    {
+        requireCompiled();
+        return biases_[out_chunk] ? &*biases_[out_chunk] : nullptr;
+    }
+
   protected:
     /**
      * The rows x cols matrix realizing the layer on `in`: rows are
@@ -269,6 +278,13 @@ class AvgPool2d : public Layer
     applyPlain(const std::vector<double> &in) const override;
     EvalOpCounts modeledOps() const override;
 
+    /** Doubling-fold rotation steps, in apply() order (valid after
+        compile; the graph lowering replays them). */
+    const std::vector<s64> &poolSteps() const { return steps_; }
+
+    /** The 1/window^2 + layout mask plaintext (valid after compile). */
+    const ckks::Plaintext &poolMask() const { return *mask_; }
+
   private:
     std::size_t window_;
     std::vector<s64> steps_; ///< doubling-fold steps, x then y
@@ -298,6 +314,10 @@ class SumReduce : public Layer
     /** Whether compile chose the hoisted schedule (for tests). */
     bool hoisted() const { return hoisted_; }
 
+    /** Fold steps in apply() order (hoisted: one rotateManyBatch of
+        all steps; else one rotate+add per step). */
+    const std::vector<s64> &foldSteps() const { return steps_; }
+
   private:
     bool hoisted_ = false;
     std::vector<s64> steps_;
@@ -326,6 +346,26 @@ class PolyActivation : public Layer
     EvalOpCounts modeledOps() const override;
 
     const PolyApprox &approx() const { return approx_; }
+
+    /** Ladder powers in build order (valid after compile; the graph
+        lowering replays apply()'s exact schedule from these). */
+    const std::vector<std::size_t> &powerLadder() const
+    {
+        return powers_;
+    }
+
+    /** Nonzero terms (power, coefficient), power >= 1, ascending. */
+    const std::vector<std::pair<std::size_t, double>> &
+    activeTerms() const
+    {
+        return terms_;
+    }
+
+    /** Depth of the deepest ladder power (== levelCost()). */
+    std::size_t ladderDepth() const { return maxDepth_; }
+
+    /** Whether apply() adds the constant coefficient at the end. */
+    bool hasConstantTerm() const { return hasConstant_; }
 
   private:
     PolyApprox approx_;

@@ -166,6 +166,46 @@ EncryptedLstmCell::step(const nn::NnEngine &engine,
     return out;
 }
 
+graph::Graph
+EncryptedLstmCell::buildStepGraph(const ckks::CkksContext &ctx) const
+{
+    graph::GraphBuilder b(ctx);
+    auto x = b.input(1, input_.levelCount, input_.scale);
+    auto h = b.input(1, input_.levelCount, input_.scale);
+    auto c = b.input(1, input_.levelCount, input_.scale);
+
+    // z = W_x x + W_h h + b: two INDEPENDENT matvec branches the
+    // scheduler can overlap.
+    auto zx = graph::lowerLayer(b, wx_, x);
+    auto zh = graph::lowerLayer(b, wh_, h);
+    auto z = b.add(zx, zh);
+
+    auto s = graph::lowerLayer(b, sig_, z);
+    auto t = graph::lowerLayer(b, tanhGate_, z);
+    // The masked combine is a 3-op elementwise tree — the fusion
+    // pass folds it into one FusedEle span pass.
+    auto comb = b.setScale(
+        b.rescale(b.add(b.mulPlain(s, maskIfo_),
+                        b.mulPlain(t, maskG_))),
+        combScale_);
+
+    auto d = static_cast<s64>(cfg_.dim);
+    auto aligned = b.rotateMany(comb, {d, 2 * d, 3 * d});
+
+    auto c_prev = b.drop(c, b.meta(comb).levelCount);
+    auto fc = b.rescale(b.multiply(aligned[0], c_prev));
+    auto ig = b.rescale(b.multiply(comb, aligned[2]));
+    auto c_new = b.add(fc, ig);
+
+    auto tc = graph::lowerLayer(b, tanhCell_, c_new);
+    auto o_drop = b.drop(aligned[1], b.meta(tc).levelCount);
+    auto h_new = b.rescale(b.multiply(o_drop, tc));
+
+    b.output(h_new);
+    b.output(c_new);
+    return b.take();
+}
+
 EncryptedLstmCell::PlainState
 EncryptedLstmCell::stepPlain(const std::vector<double> &x,
                              const PlainState &prev) const

@@ -25,6 +25,7 @@
 #ifndef TENSORFHE_WORKLOADS_LSTM_HH
 #define TENSORFHE_WORKLOADS_LSTM_HH
 
+#include "graph/builder.hh"
 #include "nn/layers.hh"
 #include "workloads/models.hh"
 
@@ -74,6 +75,17 @@ class EncryptedLstmCell
     /** One encrypted cell step. */
     State step(const nn::NnEngine &engine, const nn::CipherTensor &x,
                const State &prev) const;
+
+    /**
+     * AOT-compile one cell step into a kernel dataflow graph that
+     * replays step()'s exact schedule (bit-identical when executed).
+     * Inputs bind in order {x, h, c}, all at the cell's input meta
+     * (i.e. the first step from fresh encryptions); outputs are
+     * {h', c'}. The two gate matvecs and the masked combine are the
+     * graph's overlap/fusion showcases. The cell must outlive the
+     * graph.
+     */
+    graph::Graph buildStepGraph(const ckks::CkksContext &ctx) const;
 
     /** Plaintext reference with the same polynomial gates. */
     PlainState stepPlain(const std::vector<double> &x,

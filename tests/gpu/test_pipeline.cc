@@ -149,5 +149,91 @@ TEST(Pipeline, Fig10Shape_GemmNttCutsRawAndOverallCycles)
               butterfly.totalStallFraction());
 }
 
+// ------------------------------------------------------------------
+// Scheduled-queue replay: simulateKernelQueue assumes recorded order
+// IS execution order; replayScheduledQueue honors the graph
+// scheduler's stream assignment and dependencies instead.
+
+ScheduledLaunch
+launchOn(int stream, std::vector<std::size_t> deps = {})
+{
+    ScheduledLaunch sl;
+    sl.launch = {KernelKind::EleAdd, u64(1) << 16};
+    sl.stream = stream;
+    sl.deps = std::move(deps);
+    return sl;
+}
+
+TEST(ScheduledReplay, IndependentStreamsOverlap)
+{
+    std::vector<ScheduledLaunch> q{launchOn(0), launchOn(1)};
+    auto r = replayScheduledQueue(q, 1 << 10);
+    ASSERT_EQ(r.perLaunch.size(), 2u);
+    EXPECT_EQ(r.streamsUsed, 2);
+    // Both start at cycle 0; the makespan is ONE launch, the serial
+    // baseline is two.
+    EXPECT_EQ(r.startCycle[0], 0u);
+    EXPECT_EQ(r.startCycle[1], 0u);
+    EXPECT_LT(r.makespanCycles, r.serialCycles);
+    EXPECT_EQ(r.serialCycles,
+              r.finishCycle[0] - r.startCycle[0]
+                  + r.finishCycle[1] - r.startCycle[1]);
+}
+
+TEST(ScheduledReplay, DependencySerializesAcrossStreams)
+{
+    // Same two launches, but the second waits on the first: distinct
+    // streams no longer help and the makespan equals the serial sum.
+    std::vector<ScheduledLaunch> q{launchOn(0), launchOn(1, {0})};
+    auto r = replayScheduledQueue(q, 1 << 10);
+    EXPECT_EQ(r.startCycle[1], r.finishCycle[0]);
+    EXPECT_EQ(r.makespanCycles, r.serialCycles);
+}
+
+TEST(ScheduledReplay, SameStreamSerializesWithoutDeps)
+{
+    std::vector<ScheduledLaunch> q{launchOn(3), launchOn(3)};
+    auto r = replayScheduledQueue(q, 1 << 10);
+    EXPECT_EQ(r.streamsUsed, 4); // streams 0..3 exist
+    EXPECT_EQ(r.startCycle[1], r.finishCycle[0]);
+    EXPECT_EQ(r.makespanCycles, r.serialCycles);
+}
+
+TEST(ScheduledReplay, ChargesLaunchOverheadPerLaunch)
+{
+    PipelineConfig cfg;
+    std::vector<ScheduledLaunch> q{launchOn(0)};
+    auto r = replayScheduledQueue(q, 1 << 10, cfg);
+    EXPECT_EQ(r.makespanCycles,
+              r.perLaunch[0].totalCycles + cfg.launchOverheadCycles);
+
+    // Fusing N launches into one saves (N-1) fixed overheads: the
+    // same work split into two launches costs one more overhead.
+    std::vector<ScheduledLaunch> two{launchOn(0), launchOn(0)};
+    auto r2 = replayScheduledQueue(two, 1 << 10, cfg);
+    EXPECT_EQ(r2.makespanCycles, r2.perLaunch[0].totalCycles
+                                     + r2.perLaunch[1].totalCycles
+                                     + 2 * cfg.launchOverheadCycles);
+}
+
+TEST(ScheduledReplay, PerLaunchBreakdownsMatchUnscheduledReplay)
+{
+    // The per-launch pipeline simulation is identical to
+    // simulateKernelQueue on the bare launches; only the timeline
+    // differs.
+    std::vector<ScheduledLaunch> q{launchOn(0), launchOn(1)};
+    q[0].launch = {KernelKind::Ntt, u64(1) << 18};
+    std::vector<KernelLaunch> bare{q[0].launch, q[1].launch};
+    auto sched = replayScheduledQueue(q, 1 << 10);
+    auto flat = simulateKernelQueue(bare, 1 << 10);
+    ASSERT_EQ(sched.perLaunch.size(), flat.size());
+    for (std::size_t i = 0; i < flat.size(); ++i) {
+        EXPECT_EQ(sched.perLaunch[i].totalCycles,
+                  flat[i].totalCycles);
+        EXPECT_EQ(sched.perLaunch[i].issuedCycles,
+                  flat[i].issuedCycles);
+    }
+}
+
 } // namespace
 } // namespace tensorfhe::gpu
