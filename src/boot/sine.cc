@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "fault/fault.hh"
 
 namespace tensorfhe::boot
 {
@@ -98,6 +99,7 @@ evalScaledSine(const ckks::CkksContext &ctx,
     requireArg(ct_t[0].levelCount() > sineLevelsUsed(cfg),
                "not enough levels for sine evaluation: need > ",
                sineLevelsUsed(cfg), ", have ", ct_t[0].levelCount());
+    TFHE_FAULT_POINT("boot/sine-stage");
     double target = ctx.params().scale();
     int terms = cfg.taylorTerms;
 

@@ -1,5 +1,6 @@
 #include "ckks/params.hh"
 
+#include "common/errors.hh"
 #include "common/logging.hh"
 
 namespace tensorfhe::ckks
@@ -35,19 +36,22 @@ CkksParams::towerConfig() const
 void
 CkksParams::validate() const
 {
-    requireArg(isPowerOfTwo(n) && n >= 8, "N must be a power of two >= 8");
-    requireArg(levels >= 1, "need at least one level");
-    requireArg(special >= 1, "need at least one special prime");
-    requireArg(effectiveDnum() >= 1 && effectiveDnum() <= levels + 1,
-               "dnum out of range");
+    requireBudget(isPowerOfTwo(n) && n >= 8, "ckks/params",
+                  "N must be a power of two >= 8");
+    requireBudget(levels >= 1, "ckks/params", "need at least one level");
+    requireBudget(special >= 1, "ckks/params",
+                  "need at least one special prime");
+    requireBudget(effectiveDnum() >= 1 && effectiveDnum() <= levels + 1,
+                  "ckks/params", "dnum out of range");
     // Key-switching noise control: P must dominate the largest digit
     // product, Max_j Q_j (paper SII-B, GKS). Compare in bits with the
     // q_0 digit as worst case.
     int digit_bits = firstBits
         + (static_cast<int>(alpha()) - 1) * scaleBits;
-    requireArg(special * specialBits >= digit_bits,
-               "special modulus P too small for dnum: digit needs ",
-               digit_bits, " bits but P has ", special * specialBits);
+    requireBudget(special * specialBits >= digit_bits, "ckks/params",
+                  "special modulus P too small for dnum: digit needs ",
+                  digit_bits, " bits but P has ",
+                  special * specialBits);
 }
 
 namespace

@@ -2,6 +2,7 @@
 
 #include <array>
 
+#include "common/errors.hh"
 #include "common/logging.hh"
 #include "common/modarith.hh"
 
@@ -73,9 +74,11 @@ isPrime(u64 n)
 std::vector<u64>
 generateNttPrimes(int bits, std::size_t count, u64 congruence)
 {
-    requireArg(bits >= 4 && bits <= 61, "prime size out of range");
-    requireArg(congruence > 0 && isPowerOfTwo(congruence),
-               "congruence must be a power of two");
+    requireBudget(bits >= 4 && bits <= 61, "common/primes",
+                  "prime size out of range");
+    requireBudget(congruence > 0 && isPowerOfTwo(congruence),
+                  "common/primes",
+                  "congruence must be a power of two");
     std::vector<u64> primes;
     u64 hi = u64(1) << bits;
     u64 lo = u64(1) << (bits - 1);
@@ -85,8 +88,9 @@ generateNttPrimes(int bits, std::size_t count, u64 congruence)
         if (isPrime(cand))
             primes.push_back(cand);
     }
-    requireState(primes.size() == count, "prime pool exhausted: wanted ",
-                 count, " ", bits, "-bit primes = 1 mod ", congruence);
+    requireBudget(primes.size() == count, "common/primes",
+                  "prime pool exhausted: wanted ", count, " ", bits,
+                  "-bit primes = 1 mod ", congruence);
     return primes;
 }
 

@@ -150,4 +150,24 @@ EvalOpStats::snapshot() const
     return out;
 }
 
+EvalOpStats::RawCounts
+EvalOpStats::rawSnapshot() const
+{
+    RawCounts raw;
+    for (std::size_t i = 0; i < kNumEvalOpKinds; ++i)
+        raw.ops[i] = counts_[i].load(std::memory_order_relaxed);
+    raw.modUps = modUps_.load(std::memory_order_relaxed);
+    raw.modDowns = modDowns_.load(std::memory_order_relaxed);
+    return raw;
+}
+
+void
+EvalOpStats::restore(const RawCounts &raw)
+{
+    for (std::size_t i = 0; i < kNumEvalOpKinds; ++i)
+        counts_[i].store(raw.ops[i], std::memory_order_relaxed);
+    modUps_.store(raw.modUps, std::memory_order_relaxed);
+    modDowns_.store(raw.modDowns, std::memory_order_relaxed);
+}
+
 } // namespace tensorfhe

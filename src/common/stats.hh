@@ -106,6 +106,46 @@ class KernelStats
     /** Total recorded nanoseconds across all kernels. */
     u64 totalNanos() const;
 
+    /**
+     * RAII queue capture: startQueue() on construction, and — unless
+     * take() already harvested the launches — stopQueue() on
+     * destruction, so a throwing dispatch can never leak an open
+     * capture into the next run (the resilient graph executor holds
+     * one of these per node attempt; a failed attempt's launches are
+     * discarded with the guard).
+     */
+    class QueueCapture
+    {
+      public:
+        explicit QueueCapture(bool enable = true) : armed_(enable)
+        {
+            if (armed_)
+                KernelStats::instance().startQueue();
+        }
+
+        ~QueueCapture()
+        {
+            if (armed_)
+                KernelStats::instance().stopQueue();
+        }
+
+        QueueCapture(const QueueCapture &) = delete;
+        QueueCapture &operator=(const QueueCapture &) = delete;
+
+        /** Stop capturing and return the recorded launches. */
+        std::vector<KernelLaunch>
+        take()
+        {
+            if (!armed_)
+                return {};
+            armed_ = false;
+            return KernelStats::instance().stopQueue();
+        }
+
+      private:
+        bool armed_;
+    };
+
   private:
     KernelStats() = default;
     void enqueue(KernelKind k, u64 elements);
@@ -289,6 +329,25 @@ class EvalOpStats
     void reset();
 
     EvalOpCounts snapshot() const;
+
+    /**
+     * Exact raw counter image, restorable. The resilient graph
+     * executor snapshots before every node attempt and restores on
+     * failure, so a retried run's executed-op accounting is
+     * IDENTICAL to an uninterrupted run (the modeled-vs-executed
+     * cross-check stays exact under faults). Restore is only
+     * coherent while no other thread records — the executor retries
+     * between dispatches, never inside one.
+     */
+    struct RawCounts
+    {
+        std::array<u64, kNumEvalOpKinds> ops{};
+        u64 modUps = 0;
+        u64 modDowns = 0;
+    };
+
+    RawCounts rawSnapshot() const;
+    void restore(const RawCounts &raw);
 
   private:
     EvalOpStats() = default;

@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "common/modarith.hh"
 #include "common/thread_pool.hh"
+#include "fault/fault.hh"
 
 namespace tensorfhe::exec
 {
@@ -94,6 +95,7 @@ Dispatcher::fusedElementwise(const FusedSpec &spec, ckks::Ciphertext *out,
 {
     if (batch == 0)
         return;
+    TFHE_FAULT_POINT("exec/fused-elementwise");
     // Fusion-invariant accounting: the fused pass records exactly the
     // executed-op counts of the member launches it replaces.
     if (spec.addLike > 0)
@@ -181,9 +183,12 @@ Dispatcher::multiplyInPlace(ckks::Ciphertext *as,
     d1s.reserve(batch);
     d2s.reserve(batch);
     for (std::size_t s = 0; s < batch; ++s) {
-        d0s.push_back(ws_->zeros(limb_idx, rns::Domain::Eval));
-        d1s.push_back(ws_->zeros(limb_idx, rns::Domain::Eval));
-        d2s.push_back(ws_->zeros(limb_idx, rns::Domain::Eval));
+        d0s.push_back(
+            ws_->zeros(limb_idx, rns::Domain::Eval, "exec/multiply"));
+        d1s.push_back(
+            ws_->zeros(limb_idx, rns::Domain::Eval, "exec/multiply"));
+        d2s.push_back(
+            ws_->zeros(limb_idx, rns::Domain::Eval, "exec/multiply"));
         p0[s] = d0s[s].get();
         p1[s] = d1s[s].get();
         p2[s] = d2s[s].get();
@@ -284,7 +289,8 @@ Dispatcher::hoist(std::vector<Workspace::Pooled> ds) const
         std::vector<rns::RnsPolynomial *> raw_ptrs(batch);
         raw.reserve(batch);
         for (std::size_t s = 0; s < batch; ++s) {
-            raw.push_back(ws_->zeros(idx, rns::Domain::Coeff));
+            raw.push_back(
+                ws_->zeros(idx, rns::Domain::Coeff, "exec/hoist-raw"));
             raw_ptrs[s] = raw[s].get();
         }
         kctx_.pool->parallelFor2D(batch, dl,
@@ -304,10 +310,12 @@ Dispatcher::hoist(std::vector<Workspace::Pooled> ds) const
         std::vector<rns::RnsPolynomial *> up_ptrs(batch);
         ups.reserve(batch);
         for (std::size_t s = 0; s < batch; ++s) {
-            ups.push_back(
-                ws_->zeros(plan.unionLimbs(), rns::Domain::Coeff));
+            ups.push_back(ws_->zeros(plan.unionLimbs(),
+                                     rns::Domain::Coeff,
+                                     "exec/hoist-up"));
             up_ptrs[s] = ups[s].get();
         }
+        TFHE_FAULT_POINT("exec/modup");
         plan.applyBatchInto(raw_in, up_ptrs.data(), kctx_.pool);
         EvalOpStats::instance().recordModUp(batch);
         h.digits.push_back(std::move(ups));
@@ -332,8 +340,9 @@ Dispatcher::hoistCopy(const rns::RnsPolynomial *const *ds,
     copies.reserve(batch);
     std::size_t n = ctx_.n();
     for (std::size_t s = 0; s < batch; ++s)
-        copies.push_back(
-            ws_->zeros(ds[s]->limbIndices(), ds[s]->domain()));
+        copies.push_back(ws_->zeros(ds[s]->limbIndices(),
+                                    ds[s]->domain(),
+                                    "exec/hoist-copy"));
     kctx_.pool->parallelFor2D(batch, ds[0]->numLimbs(),
                               [&](std::size_t s, std::size_t i) {
         std::copy(ds[s]->limb(i), ds[s]->limb(i) + n,
@@ -350,6 +359,7 @@ Dispatcher::tailRawInto(const HoistedView &h, const ckks::SwitchKey &key,
     requireArg(h.numDigits <= key.digits(),
                "switch key has too few digits: ", key.digits(), " for ",
                h.numDigits);
+    TFHE_FAULT_POINT("exec/keyswitch-tail");
     EvalOpStats::instance().record(EvalOpKind::KsTail, h.batchN);
     auto rk = ctx_.restrictedKey(key, h.levelCount);
     for (std::size_t j = 0; j < h.numDigits; ++j)
@@ -370,8 +380,10 @@ Dispatcher::keySwitchTail(const HoistedView &h, const ckks::SwitchKey &key,
     acc0.reserve(batch);
     acc1.reserve(batch);
     for (std::size_t s = 0; s < batch; ++s) {
-        acc0.push_back(ws_->zeros(union_limbs, rns::Domain::Eval));
-        acc1.push_back(ws_->zeros(union_limbs, rns::Domain::Eval));
+        acc0.push_back(
+            ws_->zeros(union_limbs, rns::Domain::Eval, "exec/ks-acc"));
+        acc1.push_back(
+            ws_->zeros(union_limbs, rns::Domain::Eval, "exec/ks-acc"));
         a0[s] = acc0[s].get();
         a1[s] = acc1[s].get();
     }
@@ -405,6 +417,7 @@ Dispatcher::keySwitchTail(const HoistedView &h, const ckks::SwitchKey &key,
         out_ptrs.push_back(&p);
     for (auto &p : ks1)
         out_ptrs.push_back(&p);
+    TFHE_FAULT_POINT("exec/moddown");
     plan.applyBatchInto(acc_in, out_ptrs.data(), kctx_.pool);
     EvalOpStats::instance().recordModDown(2 * batch);
     rns::toEvalBatch(out_ptrs, v, kctx_.pool);
@@ -478,8 +491,9 @@ Dispatcher::rotateMany(const ckks::Ciphertext *as, std::size_t batch,
         copies.reserve(batch);
         std::size_t n = ctx_.n();
         for (std::size_t s = 0; s < batch; ++s)
-            copies.push_back(
-                ws_->zeros(c1s[s]->limbIndices(), c1s[s]->domain()));
+            copies.push_back(ws_->zeros(c1s[s]->limbIndices(),
+                                        c1s[s]->domain(),
+                                        "exec/rotate-copy"));
         kctx_.pool->parallelFor2D(batch, c1s[0]->numLimbs(),
                                   [&](std::size_t s, std::size_t i) {
             std::copy(c1s[s]->limb(i), c1s[s]->limb(i) + n,
@@ -591,7 +605,8 @@ Dispatcher::pooledUnionRow(std::size_t batch,
     row.reserve(batch);
     ptrs.resize(batch);
     for (std::size_t s = 0; s < batch; ++s) {
-        row.push_back(ws_->zeros(union_limbs, rns::Domain::Eval));
+        row.push_back(ws_->zeros(union_limbs, rns::Domain::Eval,
+                                 "exec/bsgs-union"));
         ptrs[s] = row[s].get();
     }
 }
@@ -780,9 +795,11 @@ Dispatcher::accumulateGroups(const BsgsProgram &program,
         std::vector<rns::RnsPolynomial *> md1p(batch);
         md1.reserve(batch);
         for (std::size_t s = 0; s < batch; ++s) {
-            md1.push_back(ws_->zeros(q_idx, rns::Domain::Coeff));
+            md1.push_back(ws_->zeros(q_idx, rns::Domain::Coeff,
+                                     "exec/bsgs-moddown"));
             md1p[s] = md1[s].get();
         }
+        TFHE_FAULT_POINT("exec/moddown");
         mdplan.applyBatchInto(acc1_in, md1p.data(), kctx_.pool);
         stats.recordModDown(batch);
 
@@ -850,6 +867,7 @@ Dispatcher::finalizeBsgs(rns::RnsPolynomial *const *G0p,
         final_ptrs.push_back(&p);
     for (auto &p : final1)
         final_ptrs.push_back(&p);
+    TFHE_FAULT_POINT("exec/moddown");
     mdplan.applyBatchInto(g_in, final_ptrs.data(), kctx_.pool);
     EvalOpStats::instance().recordModDown(2 * batch);
     rns::toEvalBatch(final_ptrs, v, kctx_.pool);

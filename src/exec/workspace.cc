@@ -1,7 +1,10 @@
 #include "exec/workspace.hh"
 
+#include <cstdio>
 #include <functional>
 #include <thread>
+
+#include "fault/fault.hh"
 
 namespace tensorfhe::exec
 {
@@ -13,10 +16,71 @@ Workspace::shardIndex()
         % kShards;
 }
 
+Workspace::~Workspace()
+{
+    if (!trackLeases_.load(std::memory_order_relaxed))
+        return;
+    std::lock_guard<std::mutex> lock(leaseMu_);
+    std::size_t total = 0;
+    for (const auto &[site, count] : leases_)
+        total += count;
+    if (total == 0)
+        return;
+    std::fprintf(stderr,
+                 "exec::Workspace destroyed with %zu outstanding "
+                 "lease(s):\n",
+                 total);
+    for (const auto &[site, count] : leases_)
+        if (count > 0)
+            std::fprintf(stderr, "  %s: %zu\n", site.c_str(), count);
+}
+
+void
+Workspace::beginLease(const char *site)
+{
+    if (!trackLeases_.load(std::memory_order_relaxed))
+        return;
+    std::lock_guard<std::mutex> lock(leaseMu_);
+    ++leases_[site];
+}
+
+void
+Workspace::endLease(const char *site)
+{
+    if (!site || !trackLeases_.load(std::memory_order_relaxed))
+        return;
+    std::lock_guard<std::mutex> lock(leaseMu_);
+    auto it = leases_.find(site);
+    if (it != leases_.end() && it->second > 0)
+        --it->second;
+}
+
+std::size_t
+Workspace::outstandingLeases() const
+{
+    std::lock_guard<std::mutex> lock(leaseMu_);
+    std::size_t total = 0;
+    for (const auto &[site, count] : leases_)
+        total += count;
+    return total;
+}
+
+std::map<std::string, std::size_t>
+Workspace::outstandingBySite() const
+{
+    std::lock_guard<std::mutex> lock(leaseMu_);
+    std::map<std::string, std::size_t> out;
+    for (const auto &[site, count] : leases_)
+        if (count > 0)
+            out.emplace(site, count);
+    return out;
+}
+
 Workspace::Pooled
 Workspace::zeros(const std::vector<std::size_t> &limbs,
-                 rns::Domain domain)
+                 rns::Domain domain, const char *site)
 {
+    TFHE_FAULT_POINT("workspace/alloc");
     std::size_t need = limbs.size() * tower_->n();
     std::size_t start = shardIndex();
     // Prefer the caller's shard; steal from the others before paying
@@ -46,19 +110,24 @@ Workspace::zeros(const std::vector<std::size_t> &limbs,
         // the counters must not claim a checkout that never happened
         // (alloc/reuse totals are what the steady-state benches and
         // the race stress assert against).
-        Pooled out(this, rns::RnsPolynomial(*tower_, limbs, domain,
-                                            std::move(buf)));
+        Pooled out(this,
+                   rns::RnsPolynomial(*tower_, limbs, domain,
+                                      std::move(buf)),
+                   site);
         reuses_.fetch_add(1, std::memory_order_relaxed);
+        beginLease(site);
         return out;
     }
-    Pooled out(this, rns::RnsPolynomial(*tower_, limbs, domain));
+    Pooled out(this, rns::RnsPolynomial(*tower_, limbs, domain), site);
     allocs_.fetch_add(1, std::memory_order_relaxed);
+    beginLease(site);
     return out;
 }
 
 void
-Workspace::recycle(rns::RnsPolynomial &&p)
+Workspace::recycle(rns::RnsPolynomial &&p, const char *site)
 {
+    endLease(site);
     std::vector<u64> buf = p.takeStorage();
     if (buf.capacity() == 0)
         return;
@@ -84,7 +153,7 @@ Workspace::prestage(const std::vector<std::size_t> &limbs,
     std::vector<Pooled> held;
     held.reserve(count);
     for (std::size_t i = 0; i < count; ++i)
-        held.push_back(zeros(limbs, domain));
+        held.push_back(zeros(limbs, domain, "exec/prestage"));
 }
 
 Workspace::Stats

@@ -25,7 +25,9 @@
 #define TENSORFHE_EXEC_WORKSPACE_HH
 
 #include <atomic>
+#include <map>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "rns/rns_poly.hh"
@@ -42,6 +44,15 @@ class Workspace
     Workspace &operator=(const Workspace &) = delete;
 
     /**
+     * Leak check: with lease tracking on (default in debug builds),
+     * a workspace destroyed while leases are still outstanding names
+     * every site that failed to return its buffer on stderr instead
+     * of silently dropping them — a leaked lease is a bug in the
+     * dispatch layer's exception safety.
+     */
+    ~Workspace();
+
+    /**
      * RAII lease of one pooled polynomial. The wrapped RnsPolynomial
      * is usable like any other; on destruction its storage returns to
      * the arena. Move-only.
@@ -50,11 +61,12 @@ class Workspace
     {
       public:
         Pooled() = default;
-        Pooled(Workspace *ws, rns::RnsPolynomial p)
-            : ws_(ws), poly_(std::move(p))
+        Pooled(Workspace *ws, rns::RnsPolynomial p,
+               const char *site = "unnamed")
+            : ws_(ws), poly_(std::move(p)), site_(site)
         {}
         Pooled(Pooled &&o) noexcept
-            : ws_(o.ws_), poly_(std::move(o.poly_))
+            : ws_(o.ws_), poly_(std::move(o.poly_)), site_(o.site_)
         {
             o.ws_ = nullptr;
         }
@@ -65,6 +77,7 @@ class Workspace
                 releaseToArena();
                 ws_ = o.ws_;
                 poly_ = std::move(o.poly_);
+                site_ = o.site_;
                 o.ws_ = nullptr;
             }
             return *this;
@@ -84,7 +97,10 @@ class Workspace
         rns::RnsPolynomial
         detach()
         {
-            ws_ = nullptr;
+            if (ws_) {
+                ws_->endLease(site_);
+                ws_ = nullptr;
+            }
             return std::move(poly_);
         }
 
@@ -93,22 +109,24 @@ class Workspace
         releaseToArena()
         {
             if (ws_) {
-                ws_->recycle(std::move(poly_));
+                ws_->recycle(std::move(poly_), site_);
                 ws_ = nullptr;
             }
         }
 
         Workspace *ws_ = nullptr;
         rns::RnsPolynomial poly_;
+        const char *site_ = "unnamed";
     };
 
     /**
      * Check out a zeroed polynomial over `limbs` in `domain`. Reuses
      * a pooled buffer of sufficient capacity when one is available
      * (no allocator call); otherwise allocates fresh and counts it.
+     * `site` names the checkout for the lease tracker's leak report.
      */
     Pooled zeros(const std::vector<std::size_t> &limbs,
-                 rns::Domain domain);
+                 rns::Domain domain, const char *site = "unnamed");
 
     /** Arena traffic counters (cumulative since resetStats). */
     struct Stats
@@ -157,13 +175,34 @@ class Workspace
     /** Drop every pooled buffer (tests use this to force cold state). */
     void trim();
 
+    /**
+     * Toggle lease-site tracking (on by default in debug builds;
+     * off in release, where the per-checkout map update is real hot-
+     * path cost). Tests turn it on to assert the engine returns every
+     * lease across fault unwinding.
+     */
+    void
+    setLeaseTracking(bool on)
+    {
+        trackLeases_.store(on, std::memory_order_relaxed);
+    }
+
+    /** Leases currently checked out (0 unless tracking was on). */
+    std::size_t outstandingLeases() const;
+
+    /** Outstanding lease count per site (tracking only). */
+    std::map<std::string, std::size_t> outstandingBySite() const;
+
     const rns::RnsTower &tower() const { return *tower_; }
 
   private:
     friend class Pooled;
 
     /** Return a dead polynomial's storage to the caller's shard. */
-    void recycle(rns::RnsPolynomial &&p);
+    void recycle(rns::RnsPolynomial &&p, const char *site = nullptr);
+
+    void beginLease(const char *site);
+    void endLease(const char *site);
 
     static constexpr std::size_t kShards = 8;
     static std::size_t shardIndex();
@@ -180,6 +219,14 @@ class Workspace
     std::atomic<u64> allocs_{0};
     std::atomic<u64> reuses_{0};
     std::atomic<u64> returns_{0};
+
+#ifdef NDEBUG
+    std::atomic<bool> trackLeases_{false};
+#else
+    std::atomic<bool> trackLeases_{true};
+#endif
+    mutable std::mutex leaseMu_;
+    std::map<std::string, std::size_t> leases_;
 };
 
 } // namespace tensorfhe::exec

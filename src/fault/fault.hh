@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Deterministic, seed-driven fault injection for chaos testing the
+ * engine's failure paths.
+ *
+ * Instrumented code marks named sites with TFHE_FAULT_POINT(...)
+ * macros. When no plan is engaged the whole site compiles down to one
+ * relaxed atomic load and a predictable branch — bench_fault_overhead
+ * holds this under 1% on the graph-schedule workloads. A test arms a
+ * FaultSpec (site, fault kind, which hit fires, corruption seed) on
+ * the process-wide FaultPlan; the spec is ONE-SHOT: it fires on
+ * exactly the chosen hit and then stays quiet, so a retried node
+ * re-executes cleanly (transient-fault semantics).
+ *
+ * Fault kinds model the two failure families a long-running encrypted
+ * inference server actually sees:
+ *
+ *   - control faults (TransientKernel, AllocFail) abort the operation
+ *     in flight by throwing TransientFault — the typed, retryable
+ *     error of common/errors.hh;
+ *   - data faults (LimbBitFlip, MetaCorrupt) silently corrupt a
+ *     ciphertext AT REST — between kernel launches, where commodity
+ *     accelerator memory without ECC is actually vulnerable — and are
+ *     fired at the graph executor's value boundaries, where the
+ *     integrity guards (resilience/integrity.hh) must catch them.
+ *     In-ALU corruption is out of scope: a flipped bit inside a
+ *     modular reduction is renormalized into a wrong-but-well-formed
+ *     residue that no boundary check can distinguish from a correct
+ *     one (docs/RESILIENCE.md discusses the threat model).
+ *
+ * Counting mode (startCounting/stopCounting) profiles how often each
+ * site is hit by a workload so a campaign can draw trigger hits
+ * uniformly over the real hit range — tests/fault/ runs seeded
+ * campaigns of hundreds of injections this way.
+ */
+
+#ifndef TENSORFHE_FAULT_FAULT_HH
+#define TENSORFHE_FAULT_FAULT_HH
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ckks/ciphertext.hh"
+#include "common/types.hh"
+
+namespace tensorfhe::fault
+{
+
+enum class FaultKind : int
+{
+    TransientKernel = 0, ///< throw TransientFault at the site
+    AllocFail,           ///< throw TransientFault (failed allocation)
+    LimbBitFlip,         ///< XOR one bit of one residue (data sites)
+    MetaCorrupt,         ///< corrupt scale / limb metadata (data sites)
+    NumKinds
+};
+
+const char *faultKindName(FaultKind k);
+
+/** A named fault point plus what it can inject. */
+struct SiteInfo
+{
+    const char *name;
+    bool dataCapable; ///< LimbBitFlip / MetaCorrupt apply here
+};
+
+/** Every instrumented site (tests iterate this for coverage). */
+const std::vector<SiteInfo> &knownSites();
+
+/** One armed injection: fire `kind` on hit number `triggerHit`
+    (0-based, counted per site since arm()). */
+struct FaultSpec
+{
+    std::string site;
+    FaultKind kind = FaultKind::TransientKernel;
+    u64 triggerHit = 0;
+    u64 seed = 0; ///< drives which component/limb/coeff/bit corrupts
+};
+
+class FaultPlan
+{
+  public:
+    static FaultPlan &instance();
+
+    /** Disarmed-path flag: true while armed OR counting. */
+    static bool
+    engaged()
+    {
+        return engaged_.load(std::memory_order_relaxed);
+    }
+
+    /** Arm a one-shot fault; resets hit counters and fired state. */
+    void arm(FaultSpec spec);
+
+    /** Disarm and clear counters (always safe to call). */
+    void disarm();
+
+    /** Did the armed fault fire since arm()? */
+    bool fired() const;
+
+    /** Count site hits without firing anything (campaign profiling).
+        Mutually exclusive with an armed fault. */
+    void startCounting();
+
+    /** Stop counting; returns hits per site since startCounting(). */
+    std::map<std::string, u64> stopCounting();
+
+    /*
+     * Site hooks — called by the TFHE_FAULT_POINT macros only while
+     * engaged. onHit serves control sites (may throw TransientFault);
+     * onHitCt additionally applies data faults to the ciphertext.
+     */
+    void onHit(const char *site);
+    void onHitCt(const char *site, ckks::Ciphertext &ct);
+
+  private:
+    FaultPlan() = default;
+
+    /** Returns true when the armed fault fires on this hit. */
+    bool registerHit(const char *site);
+    [[noreturn]] void throwControl(const char *site) const;
+    void corruptCt(ckks::Ciphertext &ct) const;
+
+    static std::atomic<bool> engaged_;
+
+    mutable std::mutex mu_;
+    bool armed_ = false;
+    bool counting_ = false;
+    bool fired_ = false;
+    FaultSpec spec_;
+    std::map<std::string, u64> hits_;
+};
+
+} // namespace tensorfhe::fault
+
+/** Control-fault site: may throw TransientFault when armed. */
+#define TFHE_FAULT_POINT(site)                                          \
+    do {                                                                \
+        if (::tensorfhe::fault::FaultPlan::engaged())                   \
+            ::tensorfhe::fault::FaultPlan::instance().onHit(site);      \
+    } while (0)
+
+/** Data-fault site: may corrupt `ct` (or throw a control fault). */
+#define TFHE_FAULT_POINT_CT(site, ct)                                   \
+    do {                                                                \
+        if (::tensorfhe::fault::FaultPlan::engaged())                   \
+            ::tensorfhe::fault::FaultPlan::instance().onHitCt(site,     \
+                                                             ct);       \
+    } while (0)
+
+#endif // TENSORFHE_FAULT_FAULT_HH

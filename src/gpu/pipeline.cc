@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "fault/fault.hh"
 
 namespace tensorfhe::gpu
 {
@@ -334,6 +335,7 @@ replayScheduledQueue(const std::vector<ScheduledLaunch> &queue,
     u64 serial = 0;
     for (std::size_t i = 0; i < queue.size(); ++i) {
         const auto &sl = queue[i];
+        TFHE_FAULT_POINT("gpu/replay-dispatch");
         TFHE_ASSERT(sl.stream >= 0, "negative stream id");
         auto s = static_cast<std::size_t>(sl.stream);
         if (s >= streamFree.size())

@@ -5,6 +5,8 @@
 
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "fault/fault.hh"
+#include "resilience/integrity.hh"
 
 namespace tensorfhe::graph
 {
@@ -32,7 +34,324 @@ producerDeps(const Graph &g,
     return deps;
 }
 
+/**
+ * Execute one non-Input node through the evaluator entry points.
+ * Pure with respect to `vals[n.inputs]`: inputs are read, never
+ * mutated or moved, which is what makes a retry after a mid-node
+ * failure bit-identical to an uninterrupted run.
+ */
+void
+executeNode(const nn::NnEngine &engine, const Graph &g, const Node &n,
+            std::vector<Cts> &vals)
+{
+    const auto &beval = engine.batched();
+    const auto &disp = beval.dispatcher();
+    switch (n.kind) {
+      case NodeKind::Add:
+        vals[n.outputs[0]] =
+            beval.add(vals[n.inputs[0]], vals[n.inputs[1]]);
+        break;
+      case NodeKind::Sub:
+        vals[n.outputs[0]] =
+            beval.sub(vals[n.inputs[0]], vals[n.inputs[1]]);
+        break;
+      case NodeKind::AddPlain:
+        vals[n.outputs[0]] =
+            beval.addPlain(vals[n.inputs[0]], *n.pt);
+        break;
+      case NodeKind::MulPlain:
+        vals[n.outputs[0]] =
+            beval.multiplyPlain(vals[n.inputs[0]], *n.pt);
+        break;
+      case NodeKind::MulConstToScale:
+        vals[n.outputs[0]] = beval.multiplyConstToScale(
+            vals[n.inputs[0]], n.constant, n.targetScale);
+        break;
+      case NodeKind::AddConst:
+        vals[n.outputs[0]] =
+            beval.addConst(vals[n.inputs[0]], n.constant);
+        break;
+      case NodeKind::Rescale:
+        vals[n.outputs[0]] = beval.rescale(vals[n.inputs[0]]);
+        break;
+      case NodeKind::Multiply:
+        vals[n.outputs[0]] =
+            beval.multiply(vals[n.inputs[0]], vals[n.inputs[1]]);
+        break;
+      case NodeKind::RotateMany: {
+          auto rots =
+              beval.rotateManyBatch(vals[n.inputs[0]], n.steps);
+          for (std::size_t i = 0; i < n.outputs.size(); ++i)
+              vals[n.outputs[i]] = std::move(rots[i]);
+          break;
+      }
+      case NodeKind::Drop:
+        vals[n.outputs[0]] = beval.dropToLevelCount(
+            vals[n.inputs[0]], n.levelCount);
+        break;
+      case NodeKind::SetScale: {
+          Cts out = vals[n.inputs[0]];
+          for (auto &ct : out)
+              ct.scale = n.targetScale;
+          vals[n.outputs[0]] = std::move(out);
+          break;
+      }
+      case NodeKind::Unpack: {
+          const Cts &in = vals[n.inputs[0]];
+          std::size_t k = n.outputs.size();
+          std::size_t b = in.size() / k;
+          for (std::size_t c = 0; c < k; ++c) {
+              Cts out(b);
+              for (std::size_t s = 0; s < b; ++s)
+                  out[s] = in[s * k + c];
+              vals[n.outputs[c]] = std::move(out);
+          }
+          break;
+      }
+      case NodeKind::Pack: {
+          std::size_t k = n.inputs.size();
+          std::size_t b = vals[n.inputs[0]].size();
+          Cts out(k * b);
+          for (std::size_t c = 0; c < k; ++c)
+              for (std::size_t s = 0; s < b; ++s)
+                  out[s * k + c] = vals[n.inputs[c]][s];
+          vals[n.outputs[0]] = std::move(out);
+          break;
+      }
+      case NodeKind::BsgsSum: {
+          std::size_t terms = n.plans.size();
+          std::size_t b = vals[n.inputs[0]].size();
+          std::size_t lc = vals[n.inputs[0]][0].levelCount();
+          std::vector<exec::BsgsProgram> owned;
+          owned.reserve(terms);
+          for (std::size_t t = 0; t < terms; ++t)
+              owned.push_back(n.plans[t]->program(lc));
+          std::vector<const exec::BsgsProgram *> progs;
+          progs.reserve(terms);
+          std::vector<const ckks::Ciphertext *> ins;
+          ins.reserve(terms * b);
+          for (std::size_t t = 0; t < terms; ++t) {
+              progs.push_back(&owned[t]);
+              const Cts &tv = vals[n.inputs[t]];
+              for (std::size_t s = 0; s < b; ++s)
+                  ins.push_back(&tv[s]);
+          }
+          vals[n.outputs[0]] = disp.applyBsgsSum(
+              progs.data(), ins.data(), terms, b);
+          break;
+      }
+      case NodeKind::LayerApply:
+        vals[n.outputs[0]] =
+            n.layer->apply(engine, vals[n.inputs[0]]);
+        break;
+      case NodeKind::FusedEle: {
+          const Cts &base = vals[n.inputs[0]];
+          // Shape carrier; the span pass overwrites every
+          // coefficient and the dispatcher replays the scales.
+          Cts out = base;
+          std::vector<const ckks::Ciphertext *> ins;
+          ins.reserve(n.inputs.size());
+          for (ValueId v : n.inputs)
+              ins.push_back(vals[v].data());
+          disp.fusedElementwise(n.fused, out.data(), ins.data(),
+                                n.fusedPts.data(), out.size());
+          vals[n.outputs[0]] = std::move(out);
+          break;
+      }
+      default:
+        TFHE_ASSERT(false, "unexecutable node kind");
+    }
+}
+
 } // namespace
+
+ExecResult
+GraphExecutor::runSchedule(const nn::NnEngine &engine,
+                           std::vector<Cts> &vals,
+                           std::vector<std::vector<u64>> &sums,
+                           std::vector<Cts> inputs,
+                           std::size_t startPos,
+                           const ExecOptions &opt) const
+{
+    const Graph &g = *g_;
+
+    // Input value -> caller batch index.
+    std::vector<std::size_t> input_index(g.values.size(), 0);
+    for (std::size_t i = 0; i < g.inputs.size(); ++i)
+        input_index[g.inputs[i]] = i;
+
+    // Checkpoint plan: cut positions and the liveness that decides
+    // what each snapshot must carry.
+    std::vector<std::size_t> cuts;
+    std::vector<std::size_t> lastUse;
+    if (opt.checkpointEvery > 0) {
+        requireArg(opt.checkpointLog != nullptr,
+                   "checkpointEvery > 0 requires a checkpointLog");
+        cuts = resilience::chooseCutPoints(g, sched_,
+                                           opt.checkpointEvery);
+        lastUse = resilience::valueLastUse(g, sched_);
+    }
+    auto cutIt =
+        std::lower_bound(cuts.begin(), cuts.end(), startPos);
+
+    ExecResult res;
+    // Per-node queue indices the node's output depends on.
+    std::vector<std::vector<std::size_t>> last(g.nodes.size());
+
+    for (std::size_t pos = startPos; pos < sched_.order.size();
+         ++pos) {
+        NodeId id = sched_.order[pos];
+        const Node &n = g.nodes[id];
+
+        // Append the attempt's captured launches to the schedule,
+        // stream-tagged, first launch gated on every producer.
+        auto bookkeep = [&](std::vector<KernelLaunch> q) {
+            if (!opt.captureSchedule)
+                return;
+            auto deps = producerDeps(g, last, n);
+            std::size_t base = res.schedule.size();
+            for (std::size_t i = 0; i < q.size(); ++i) {
+                gpu::ScheduledLaunch sl;
+                sl.launch = q[i];
+                sl.stream = sched_.stream[id];
+                if (i == 0)
+                    sl.deps = deps;
+                res.schedule.push_back(std::move(sl));
+            }
+            last[id] = q.empty()
+                ? std::move(deps)
+                : std::vector<std::size_t>{base + q.size() - 1};
+        };
+
+        if (n.kind == NodeKind::Input) {
+            // Inputs move from the caller's batches; there is nothing
+            // to re-execute, so no fault hooks and no retry — but
+            // paranoid mode still seals them with a digest so any
+            // later at-rest flip is caught at consume time.
+            TFHE_ASSERT(!inputs.empty(),
+                        "Input node in a resumed schedule suffix");
+            KernelStats::QueueCapture cap(opt.captureSchedule);
+            ValueId v = n.outputs[0];
+            vals[v] = std::move(inputs[input_index[v]]);
+            if (opt.paranoid) {
+                sums[v].clear();
+                for (const auto &ct : vals[v])
+                    sums[v].push_back(resilience::validateCt(
+                        ct, "graph/node-output", id));
+            }
+            bookkeep(cap.take());
+            continue;
+        }
+
+        for (int attempt = 1;; ++attempt) {
+            auto raw = EvalOpStats::instance().rawSnapshot();
+            KernelStats::QueueCapture cap(opt.captureSchedule);
+            // Roll the failed attempt back so the engine and its
+            // accounting look exactly as if the attempt never ran:
+            // partially assigned outputs cleared, executed-op
+            // counters restored (the capture guard discards the
+            // attempt's launches, pooled leases return via RAII).
+            auto rollback = [&] {
+                EvalOpStats::instance().restore(raw);
+                for (ValueId v : n.outputs) {
+                    vals[v].clear();
+                    sums[v].clear();
+                }
+            };
+            bool retryable = false;
+            try {
+                // Consume side: the at-rest window since each input
+                // was produced closes here — verify before use.
+                for (ValueId v : n.inputs) {
+                    Cts &in = vals[v];
+                    for (std::size_t c = 0; c < in.size(); ++c) {
+                        TFHE_FAULT_POINT_CT("graph/value-store",
+                                            in[c]);
+                        if (opt.paranoid && c < sums[v].size()
+                            && resilience::ctChecksum(in[c])
+                                != sums[v][c])
+                            throw IntegrityError(
+                                "graph/value-store",
+                                strCat("stored value ", v, " chunk ",
+                                       c, " checksum mismatch"),
+                                id);
+                    }
+                }
+
+                executeNode(engine, g, n, vals);
+
+                // Produce side: validate against the compiled meta
+                // and seal with a digest.
+                for (ValueId v : n.outputs) {
+                    Cts &out = vals[v];
+                    if (opt.paranoid)
+                        sums[v].clear();
+                    for (auto &ct : out) {
+                        TFHE_FAULT_POINT_CT("graph/node-output", ct);
+                        if (!opt.paranoid)
+                            continue;
+                        resilience::checkCtMeta(
+                            ct, g.values[v].levelCount,
+                            g.values[v].scale, "graph/node-output",
+                            id);
+                        sums[v].push_back(resilience::validateCt(
+                            ct, "graph/node-output", id));
+                    }
+                }
+
+                bookkeep(cap.take());
+                break;
+            } catch (const TransientFault &e) {
+                retryable = attempt < opt.retry.maxAttempts;
+                rollback();
+                if (!retryable)
+                    throw TransientFault(
+                        e.site(), e.message(),
+                        e.hasNode() ? e.node() : id);
+            } catch (const IntegrityError &e) {
+                // A corrupted STORED value never repairs itself by
+                // re-running its consumer — surface it (recovery is
+                // resumeFrom, whose copies predate the corruption).
+                retryable = attempt < opt.retry.maxAttempts
+                    && opt.retry.retryIntegrity
+                    && e.site() != "graph/value-store";
+                rollback();
+                if (!retryable)
+                    throw IntegrityError(
+                        e.site(), e.message(),
+                        e.hasNode() ? e.node() : id);
+            }
+            ++res.retriesUsed;
+            resilience::backoff(opt.retry, attempt + 1);
+        }
+
+        if (cutIt != cuts.end() && *cutIt == pos) {
+            ++cutIt;
+            resilience::Checkpoint cp;
+            cp.resumeIndex = pos + 1;
+            cp.graphNodes = g.nodes.size();
+            for (ValueId v = 0; v < g.values.size(); ++v) {
+                if (vals[v].empty() || lastUse[v] <= pos)
+                    continue;
+                cp.valueIds.push_back(v);
+                cp.values.push_back(vals[v]);
+                std::vector<u64> cs;
+                cs.reserve(vals[v].size());
+                for (const auto &ct : vals[v])
+                    cs.push_back(resilience::ctChecksum(ct));
+                cp.checksums.push_back(std::move(cs));
+            }
+            opt.checkpointLog->push_back(std::move(cp));
+            ++res.checkpointsTaken;
+        }
+    }
+
+    res.launchCount = res.schedule.size();
+    res.outputs.reserve(g.outputs.size());
+    for (ValueId v : g.outputs)
+        res.outputs.push_back(std::move(vals[v]));
+    return res;
+}
 
 ExecResult
 GraphExecutor::run(const nn::NnEngine &engine, std::vector<Cts> inputs,
@@ -52,169 +371,49 @@ GraphExecutor::run(const nn::NnEngine &engine, std::vector<Cts> inputs,
                    "graph run: input ", i,
                    " does not match the common batch size");
 
-    // Input value -> caller batch index.
-    std::vector<std::size_t> input_index(g.values.size(), 0);
-    for (std::size_t i = 0; i < g.inputs.size(); ++i)
-        input_index[g.inputs[i]] = i;
-
-    const auto &beval = engine.batched();
-    const auto &disp = beval.dispatcher();
     std::vector<Cts> vals(g.values.size());
+    std::vector<std::vector<u64>> sums(g.values.size());
+    return runSchedule(engine, vals, sums, std::move(inputs), 0, opt);
+}
 
-    ExecResult res;
-    // Per-node queue indices the node's output depends on.
-    std::vector<std::vector<std::size_t>> last(g.nodes.size());
+ExecResult
+GraphExecutor::resumeFrom(const nn::NnEngine &engine,
+                          const resilience::Checkpoint &cp,
+                          const ExecOptions &opt) const
+{
+    const Graph &g = *g_;
+    requireArg(!cp.empty(), "resume from an empty checkpoint");
+    requireArg(cp.graphNodes == g.nodes.size(),
+               "checkpoint belongs to a different graph: ",
+               cp.graphNodes, " nodes vs ", g.nodes.size());
+    requireArg(cp.resumeIndex <= sched_.order.size(),
+               "checkpoint resume index ", cp.resumeIndex,
+               " beyond the schedule");
+    requireArg(cp.valueIds.size() == cp.values.size()
+                   && cp.valueIds.size() == cp.checksums.size(),
+               "malformed checkpoint: parallel arrays disagree");
 
-    for (NodeId id : sched_.order) {
-        const Node &n = g.nodes[id];
-        if (opt.captureSchedule)
-            KernelStats::instance().startQueue();
-
-        switch (n.kind) {
-          case NodeKind::Input:
-            vals[n.outputs[0]] =
-                std::move(inputs[input_index[n.outputs[0]]]);
-            break;
-          case NodeKind::Add:
-            vals[n.outputs[0]] =
-                beval.add(vals[n.inputs[0]], vals[n.inputs[1]]);
-            break;
-          case NodeKind::Sub:
-            vals[n.outputs[0]] =
-                beval.sub(vals[n.inputs[0]], vals[n.inputs[1]]);
-            break;
-          case NodeKind::AddPlain:
-            vals[n.outputs[0]] =
-                beval.addPlain(vals[n.inputs[0]], *n.pt);
-            break;
-          case NodeKind::MulPlain:
-            vals[n.outputs[0]] =
-                beval.multiplyPlain(vals[n.inputs[0]], *n.pt);
-            break;
-          case NodeKind::MulConstToScale:
-            vals[n.outputs[0]] = beval.multiplyConstToScale(
-                vals[n.inputs[0]], n.constant, n.targetScale);
-            break;
-          case NodeKind::AddConst:
-            vals[n.outputs[0]] =
-                beval.addConst(vals[n.inputs[0]], n.constant);
-            break;
-          case NodeKind::Rescale:
-            vals[n.outputs[0]] = beval.rescale(vals[n.inputs[0]]);
-            break;
-          case NodeKind::Multiply:
-            vals[n.outputs[0]] =
-                beval.multiply(vals[n.inputs[0]], vals[n.inputs[1]]);
-            break;
-          case NodeKind::RotateMany: {
-              auto rots =
-                  beval.rotateManyBatch(vals[n.inputs[0]], n.steps);
-              for (std::size_t i = 0; i < n.outputs.size(); ++i)
-                  vals[n.outputs[i]] = std::move(rots[i]);
-              break;
-          }
-          case NodeKind::Drop:
-            vals[n.outputs[0]] = beval.dropToLevelCount(
-                vals[n.inputs[0]], n.levelCount);
-            break;
-          case NodeKind::SetScale: {
-              Cts out = vals[n.inputs[0]];
-              for (auto &ct : out)
-                  ct.scale = n.targetScale;
-              vals[n.outputs[0]] = std::move(out);
-              break;
-          }
-          case NodeKind::Unpack: {
-              const Cts &in = vals[n.inputs[0]];
-              std::size_t k = n.outputs.size();
-              std::size_t b = in.size() / k;
-              for (std::size_t c = 0; c < k; ++c) {
-                  Cts out(b);
-                  for (std::size_t s = 0; s < b; ++s)
-                      out[s] = in[s * k + c];
-                  vals[n.outputs[c]] = std::move(out);
-              }
-              break;
-          }
-          case NodeKind::Pack: {
-              std::size_t k = n.inputs.size();
-              std::size_t b = vals[n.inputs[0]].size();
-              Cts out(k * b);
-              for (std::size_t c = 0; c < k; ++c)
-                  for (std::size_t s = 0; s < b; ++s)
-                      out[s * k + c] = vals[n.inputs[c]][s];
-              vals[n.outputs[0]] = std::move(out);
-              break;
-          }
-          case NodeKind::BsgsSum: {
-              std::size_t terms = n.plans.size();
-              std::size_t b = vals[n.inputs[0]].size();
-              std::size_t lc = vals[n.inputs[0]][0].levelCount();
-              std::vector<exec::BsgsProgram> owned;
-              owned.reserve(terms);
-              for (std::size_t t = 0; t < terms; ++t)
-                  owned.push_back(n.plans[t]->program(lc));
-              std::vector<const exec::BsgsProgram *> progs;
-              progs.reserve(terms);
-              std::vector<const ckks::Ciphertext *> ins;
-              ins.reserve(terms * b);
-              for (std::size_t t = 0; t < terms; ++t) {
-                  progs.push_back(&owned[t]);
-                  const Cts &tv = vals[n.inputs[t]];
-                  for (std::size_t s = 0; s < b; ++s)
-                      ins.push_back(&tv[s]);
-              }
-              vals[n.outputs[0]] = disp.applyBsgsSum(
-                  progs.data(), ins.data(), terms, b);
-              break;
-          }
-          case NodeKind::LayerApply:
-            vals[n.outputs[0]] =
-                n.layer->apply(engine, vals[n.inputs[0]]);
-            break;
-          case NodeKind::FusedEle: {
-              const Cts &base = vals[n.inputs[0]];
-              // Shape carrier; the span pass overwrites every
-              // coefficient and the dispatcher replays the scales.
-              Cts out = base;
-              std::vector<const ckks::Ciphertext *> ins;
-              ins.reserve(n.inputs.size());
-              for (ValueId v : n.inputs)
-                  ins.push_back(vals[v].data());
-              disp.fusedElementwise(n.fused, out.data(), ins.data(),
-                                    n.fusedPts.data(), out.size());
-              vals[n.outputs[0]] = std::move(out);
-              break;
-          }
-          default:
-            TFHE_ASSERT(false, "unexecutable node kind");
-        }
-
-        if (opt.captureSchedule) {
-            auto q = KernelStats::instance().stopQueue();
-            auto deps = producerDeps(g, last, n);
-            std::size_t base = res.schedule.size();
-            for (std::size_t i = 0; i < q.size(); ++i) {
-                gpu::ScheduledLaunch sl;
-                sl.launch = q[i];
-                sl.stream = sched_.stream[id];
-                // The node's first launch waits on every producer;
-                // later launches serialize behind it on the stream.
-                if (i == 0)
-                    sl.deps = deps;
-                res.schedule.push_back(std::move(sl));
-            }
-            last[id] = q.empty()
-                ? std::move(deps)
-                : std::vector<std::size_t>{base + q.size() - 1};
-        }
+    std::vector<Cts> vals(g.values.size());
+    std::vector<std::vector<u64>> sums(g.values.size());
+    for (std::size_t i = 0; i < cp.valueIds.size(); ++i) {
+        ValueId v = cp.valueIds[i];
+        requireArg(v < g.values.size(),
+                   "checkpoint names unknown value ", v);
+        const Cts &src = cp.values[i];
+        requireArg(src.size() == cp.checksums[i].size(),
+                   "checkpoint value ", v,
+                   " chunk/checksum count mismatch");
+        for (std::size_t c = 0; c < src.size(); ++c)
+            if (resilience::ctChecksum(src[c]) != cp.checksums[i][c])
+                throw IntegrityError(
+                    "resilience/checkpoint",
+                    strCat("checkpoint value ", v, " chunk ", c,
+                           " checksum mismatch"));
+        vals[v] = src;
+        if (opt.paranoid)
+            sums[v] = cp.checksums[i];
     }
-
-    res.launchCount = res.schedule.size();
-    res.outputs.reserve(g.outputs.size());
-    for (ValueId v : g.outputs)
-        res.outputs.push_back(std::move(vals[v]));
-    return res;
+    return runSchedule(engine, vals, sums, {}, cp.resumeIndex, opt);
 }
 
 void

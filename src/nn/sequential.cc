@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "ckks/rotations.hh"
+#include "common/errors.hh"
 #include "common/logging.hh"
 
 namespace tensorfhe::nn
@@ -44,12 +45,13 @@ Sequential::compile(const ckks::CkksContext &ctx,
             need += l->levelCost();
             ledger << "\n  " << l->name() << ": " << l->levelCost();
         }
-        requireArg(input.levelCount >= need + 1,
-                   "level budget exhausted: input has ",
-                   input.levelCount, " level counts, the stack "
-                                     "consumes ",
-                   need, " and must leave >= 1; per-layer costs:",
-                   ledger.str());
+        requireBudget(input.levelCount >= need + 1,
+                      "nn/sequential-compile",
+                      "level budget exhausted: input has ",
+                      input.levelCount, " level counts, the stack "
+                                        "consumes ",
+                      need, " and must leave >= 1; per-layer costs:",
+                      ledger.str());
     }
 
     // Bootstrap-aware walk: before each layer, if the running budget
@@ -67,13 +69,14 @@ Sequential::compile(const ckks::CkksContext &ctx,
         if (autoBoot_ && meta.levelCount < need) {
             auto b = std::make_unique<Bootstrap>(sine_);
             meta = b->compile(ctx, meta);
-            requireArg(meta.levelCount >= need,
-                       "layer ", l->name(), " needs ", need,
-                       " level counts but a bootstrap refreshes only "
-                       "to ",
-                       meta.levelCount,
-                       " — the layer cannot fit this chain even "
-                       "after bootstrapping");
+            requireBudget(meta.levelCount >= need,
+                          "nn/sequential-compile",
+                          "layer ", l->name(), " needs ", need,
+                          " level counts but a bootstrap refreshes "
+                          "only to ",
+                          meta.levelCount,
+                          " — the layer cannot fit this chain even "
+                          "after bootstrapping");
             compiled.push_back(std::move(b));
         }
         meta = l->compile(ctx, meta);
@@ -168,18 +171,26 @@ Sequential::run(const NnEngine &engine,
     for (const auto &l : layers_) {
         flat = l->apply(engine, flat);
         const TensorMeta &m = l->outputMeta();
-        requireState(flat.size() == batch.size() * m.chunkCount,
-                     l->name(), ": chunk count drifted");
         // Level/scale invariants after every layer: the executed
-        // batch must land exactly where compile() predicted.
+        // batch must land exactly where compile() predicted. Drift
+        // here is corruption of the evaluation itself, typed so
+        // callers can distinguish it from usage errors.
+        if (flat.size() != batch.size() * m.chunkCount)
+            throw IntegrityError(
+                "nn/sequential-run",
+                strCat(l->name(), ": chunk count drifted"));
         for (const auto &ct : flat) {
-            requireState(ct.levelCount() == m.levelCount,
-                         l->name(), ": level count ", ct.levelCount(),
-                         " != compiled ", m.levelCount);
-            requireState(std::abs(ct.scale - m.scale)
-                             <= 1e-6 * m.scale,
-                         l->name(), ": scale ", ct.scale,
-                         " != compiled ", m.scale);
+            if (ct.levelCount() != m.levelCount)
+                throw IntegrityError(
+                    "nn/sequential-run",
+                    strCat(l->name(), ": level count ",
+                           ct.levelCount(), " != compiled ",
+                           m.levelCount));
+            if (std::abs(ct.scale - m.scale) > 1e-6 * m.scale)
+                throw IntegrityError(
+                    "nn/sequential-run",
+                    strCat(l->name(), ": scale ", ct.scale,
+                           " != compiled ", m.scale));
         }
     }
 

@@ -1,0 +1,72 @@
+#include "resilience/checkpoint.hh"
+
+namespace tensorfhe::resilience
+{
+
+std::vector<std::size_t>
+valueLastUse(const graph::Graph &g, const graph::Schedule &sched)
+{
+    std::vector<std::size_t> last(g.values.size(), 0);
+    for (std::size_t pos = 0; pos < sched.order.size(); ++pos)
+        for (graph::ValueId v : g.nodes[sched.order[pos]].inputs)
+            last[v] = std::max(last[v], pos);
+    for (graph::ValueId v : g.outputs)
+        last[v] = sched.order.size();
+    return last;
+}
+
+std::vector<std::size_t>
+chooseCutPoints(const graph::Graph &g, const graph::Schedule &sched,
+                std::size_t every)
+{
+    std::vector<std::size_t> cuts;
+    if (every == 0 || sched.order.size() <= every)
+        return cuts;
+
+    auto last = valueLastUse(g, sched);
+    // Producer position of every value (inputs bind at their Input
+    // node's position).
+    std::vector<std::size_t> produced(g.values.size(),
+                                      sched.order.size());
+    std::size_t last_input = 0;
+    for (std::size_t pos = 0; pos < sched.order.size(); ++pos) {
+        const graph::Node &n = g.nodes[sched.order[pos]];
+        if (n.kind == graph::NodeKind::Input)
+            last_input = pos;
+        for (graph::ValueId v : n.outputs)
+            produced[v] = pos;
+    }
+
+    // Live footprint (chunk count) after each position.
+    std::vector<std::size_t> foot(sched.order.size(), 0);
+    for (graph::ValueId v = 0; v < g.values.size(); ++v) {
+        if (produced[v] >= sched.order.size())
+            continue;
+        std::size_t from = produced[v];
+        std::size_t to = std::min(last[v], sched.order.size());
+        for (std::size_t pos = from; pos < to; ++pos)
+            foot[pos] += g.values[v].chunkCount;
+    }
+
+    // One cut per window, at the window's smallest footprint. The
+    // final window is skipped: a checkpoint after the last node
+    // would snapshot work there is no one left to resume.
+    const std::size_t none = sched.order.size();
+    for (std::size_t start = every - 1;
+         start + 1 < sched.order.size(); start += every) {
+        std::size_t stop =
+            std::min(start + every, sched.order.size() - 1);
+        std::size_t best = none;
+        for (std::size_t pos = start; pos < stop; ++pos) {
+            if (pos <= last_input)
+                continue;
+            if (best == none || foot[pos] < foot[best])
+                best = pos;
+        }
+        if (best != none)
+            cuts.push_back(best);
+    }
+    return cuts;
+}
+
+} // namespace tensorfhe::resilience

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Graph-execution checkpoints: periodic snapshots of the live value
+ * set at scheduler-chosen cut positions, so a failed run can resume
+ * by re-executing only the nodes downstream of the last cut instead
+ * of the whole graph (deep CNN with a mid-network bootstrap and
+ * multi-step LSTMs are exactly the runs long enough to care).
+ *
+ * A cut's live set is every value already produced whose last
+ * consumer (or graph-output liveness) lies beyond the cut — the SSA
+ * frontier. chooseCutPoints() picks, inside every `every`-node
+ * window of the schedule, the position whose live footprint
+ * (ciphertext chunk count) is smallest, so checkpoints are taken
+ * where they are cheapest to copy. Each checkpointed value carries a
+ * per-chunk checksum; resumeFrom() re-verifies them, so a corrupted
+ * checkpoint raises IntegrityError instead of resuming into garbage.
+ *
+ * Resume is bit-identical to straight-through execution: the copies
+ * are exact, the kernels deterministic (tests/fault compares raw
+ * residue limbs on the CNN, deep-CNN and LSTM graphs).
+ */
+
+#ifndef TENSORFHE_RESILIENCE_CHECKPOINT_HH
+#define TENSORFHE_RESILIENCE_CHECKPOINT_HH
+
+#include "graph/schedule.hh"
+
+namespace tensorfhe::resilience
+{
+
+struct Checkpoint
+{
+    /** Position in Schedule::order the resumed run starts from. */
+    std::size_t resumeIndex = 0;
+    /** Live values at the cut, parallel arrays. */
+    std::vector<graph::ValueId> valueIds;
+    std::vector<graph::Cts> values;
+    /** Per value, one digest per ciphertext chunk. */
+    std::vector<std::vector<u64>> checksums;
+    /** Identity guard: node count of the graph that wrote this. */
+    std::size_t graphNodes = 0;
+
+    bool empty() const { return graphNodes == 0; }
+};
+
+/**
+ * Scheduler-chosen cut set: one position per `every`-node window of
+ * the live schedule, at the locally smallest live footprint.
+ * Positions are indices into sched.order; a checkpoint at position p
+ * is taken AFTER the node at p executed. Cuts before the last Input
+ * node are excluded (resume re-binds no caller inputs; the live set
+ * itself carries input values that are still needed).
+ */
+std::vector<std::size_t> chooseCutPoints(const graph::Graph &g,
+                                         const graph::Schedule &sched,
+                                         std::size_t every);
+
+/**
+ * Last-use position of every value under `sched` (the executor and
+ * the cut chooser share this liveness analysis). Graph outputs and
+ * values read by later nodes report the position of their final
+ * reader; outputs report one past the end.
+ */
+std::vector<std::size_t> valueLastUse(const graph::Graph &g,
+                                      const graph::Schedule &sched);
+
+} // namespace tensorfhe::resilience
+
+#endif // TENSORFHE_RESILIENCE_CHECKPOINT_HH

@@ -1,0 +1,157 @@
+#include "resilience/integrity.hh"
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/thread_pool.hh"
+
+namespace tensorfhe::resilience
+{
+
+namespace
+{
+
+constexpr u64 kFnvOffset = 0xcbf29ce484222325ull;
+constexpr u64 kFnvPrime = 0x100000001b3ull;
+
+inline u64
+fnv1a(u64 h, u64 v)
+{
+    return (h ^ v) * kFnvPrime;
+}
+
+/** One limb's 4-lane FNV-1a hash + range scan. Four independent
+    lanes keep the 64-bit multiplies pipelined instead of chained (a
+    single chained FNV costs one multiply latency per element); `bad`
+    is set when any residue is >= q. */
+u64
+hashLimb(const u64 *limb, std::size_t n, u64 q, u64 &bad)
+{
+    u64 l0 = kFnvOffset, l1 = kFnvOffset + 1, l2 = kFnvOffset + 2,
+        l3 = kFnvOffset + 3;
+    u64 b = 0;
+    std::size_t k = 0;
+    for (; k + 4 <= n; k += 4) {
+        u64 v0 = limb[k], v1 = limb[k + 1], v2 = limb[k + 2],
+            v3 = limb[k + 3];
+        l0 = fnv1a(l0, v0);
+        l1 = fnv1a(l1, v1);
+        l2 = fnv1a(l2, v2);
+        l3 = fnv1a(l3, v3);
+        b |= (v0 >= q) | (v1 >= q) | (v2 >= q) | (v3 >= q);
+    }
+    for (; k < n; ++k) {
+        u64 v = limb[k];
+        l0 = fnv1a(l0, v);
+        b |= v >= q ? u64(1) : u64(0);
+    }
+    bad = b;
+    return fnv1a(fnv1a(fnv1a(l0, l1), l2), l3);
+}
+
+/**
+ * Hash the limb data; when `scan` is set, also range-check every
+ * residue and report the first violation. Limbs hash independently
+ * (sharded over the kernel thread pool when the component is large,
+ * as the deep-CNN values around the bootstrap are) and fold into the
+ * running hash in limb order, so the digest is deterministic and
+ * thread-count independent. The digest is internal — never persisted
+ * across versions — so its exact value is free to change.
+ */
+u64
+hashComponent(const rns::RnsPolynomial &p, u64 h, bool scan,
+              const char *site, std::size_t node, const char *which)
+{
+    std::size_t limbs = p.numLimbs();
+    std::size_t n = limbs == 0 ? 0 : p.n();
+    std::vector<u64> lh(limbs), lbad(limbs);
+    auto one = [&](std::size_t i) {
+        lh[i] = hashLimb(p.limb(i), n, p.limbModulus(i).value(),
+                         lbad[i]);
+    };
+    // Worth sharding only when the sweep dwarfs the dispatch cost.
+    if (limbs > 1 && limbs * n >= (std::size_t(1) << 15))
+        ThreadPool::global().parallelFor(0, limbs, one);
+    else
+        for (std::size_t i = 0; i < limbs; ++i)
+            one(i);
+    for (std::size_t i = 0; i < limbs; ++i) {
+        h = fnv1a(h, lh[i]);
+        if (scan && lbad[i])
+            throw IntegrityError(
+                site,
+                strCat(which, " limb ", i, " holds a residue >= q_i (",
+                       p.limbModulus(i).value(), ")"),
+                node);
+    }
+    return h;
+}
+
+u64
+hashMeta(const ckks::Ciphertext &ct, u64 h)
+{
+    h = fnv1a(h, static_cast<u64>(ct.c0.numLimbs()));
+    for (std::size_t idx : ct.c0.limbIndices())
+        h = fnv1a(h, static_cast<u64>(idx));
+    u64 scale_bits;
+    static_assert(sizeof(scale_bits) == sizeof(ct.scale));
+    std::memcpy(&scale_bits, &ct.scale, sizeof(scale_bits));
+    return fnv1a(h, scale_bits);
+}
+
+} // namespace
+
+u64
+validateCt(const ckks::Ciphertext &ct, const char *site,
+           std::size_t node)
+{
+    if (ct.c0.numLimbs() == 0 || ct.c1.numLimbs() == 0)
+        throw IntegrityError(site, "empty ciphertext component", node);
+    if (ct.c0.numLimbs() != ct.c1.numLimbs()
+        || ct.c0.limbIndices() != ct.c1.limbIndices())
+        throw IntegrityError(
+            site,
+            strCat("c0/c1 limb sets diverge (", ct.c0.numLimbs(),
+                   " vs ", ct.c1.numLimbs(), " limbs)"),
+            node);
+    if (ct.c0.domain() != ct.c1.domain())
+        throw IntegrityError(site, "c0/c1 domains diverge", node);
+    if (!(ct.scale > 0.0) || !std::isfinite(ct.scale))
+        throw IntegrityError(
+            site, strCat("scale is not positive finite: ", ct.scale),
+            node);
+    u64 h = hashMeta(ct, kFnvOffset);
+    h = hashComponent(ct.c0, h, true, site, node, "c0");
+    h = hashComponent(ct.c1, h, true, site, node, "c1");
+    return h;
+}
+
+u64
+ctChecksum(const ckks::Ciphertext &ct)
+{
+    u64 h = hashMeta(ct, kFnvOffset);
+    h = hashComponent(ct.c0, h, false, nullptr, kNoErrorNode, nullptr);
+    h = hashComponent(ct.c1, h, false, nullptr, kNoErrorNode, nullptr);
+    return h;
+}
+
+void
+checkCtMeta(const ckks::Ciphertext &ct, std::size_t level_count,
+            double scale, const char *site, std::size_t node)
+{
+    if (ct.levelCount() != level_count)
+        throw IntegrityError(
+            site,
+            strCat("level count ", ct.levelCount(),
+                   " diverges from compiled meta ", level_count),
+            node);
+    if (std::abs(ct.scale - scale) > 1e-6 * scale)
+        throw IntegrityError(
+            site,
+            strCat("scale ", ct.scale,
+                   " diverges from compiled meta ", scale),
+            node);
+}
+
+} // namespace tensorfhe::resilience

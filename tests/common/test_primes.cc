@@ -7,6 +7,7 @@
 
 #include <set>
 
+#include "common/errors.hh"
 #include "common/modarith.hh"
 #include "common/primes.hh"
 
@@ -53,8 +54,9 @@ TEST(Primes, GenerateRejectsBadArgs)
 {
     EXPECT_THROW(generateNttPrimes(3, 1, 8), std::invalid_argument);
     EXPECT_THROW(generateNttPrimes(30, 1, 7), std::invalid_argument);
-    // Asking for far too many primes of a tiny size exhausts the pool.
-    EXPECT_THROW(generateNttPrimes(8, 100, 16), std::runtime_error);
+    // Asking for far too many primes of a tiny size exhausts the pool
+    // — a typed, non-retryable budget failure.
+    EXPECT_THROW(generateNttPrimes(8, 100, 16), BudgetError);
 }
 
 TEST(Primes, PrimitiveRootGenerates)

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Unit tests for the fault-injection plan, the typed error taxonomy
+ * and the ciphertext integrity guards: determinism of seeded
+ * corruption, one-shot trigger semantics, and the detection paths
+ * (residue range scan, checksum, metadata drift).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ckks/context.hh"
+#include "ckks/crypto.hh"
+#include "ckks/params.hh"
+#include "common/errors.hh"
+#include "common/primes.hh"
+#include "common/rng.hh"
+#include "fault/fault.hh"
+#include "resilience/integrity.hh"
+
+namespace tensorfhe
+{
+namespace
+{
+
+using fault::FaultKind;
+using fault::FaultPlan;
+using fault::FaultSpec;
+
+/** RAII disarm so a failing assertion cannot leak an armed fault
+    into the next test. */
+struct PlanGuard
+{
+    ~PlanGuard() { FaultPlan::instance().disarm(); }
+};
+
+TEST(FaultPlan, KnownSitesCoverTheInstrumentation)
+{
+    const auto &sites = fault::knownSites();
+    auto has = [&](const std::string &name, bool data) {
+        for (const auto &s : sites)
+            if (name == s.name)
+                return s.dataCapable == data;
+        return false;
+    };
+    EXPECT_TRUE(has("workspace/alloc", false));
+    EXPECT_TRUE(has("exec/modup", false));
+    EXPECT_TRUE(has("exec/moddown", false));
+    EXPECT_TRUE(has("exec/keyswitch-tail", false));
+    EXPECT_TRUE(has("exec/fused-elementwise", false));
+    EXPECT_TRUE(has("boot/sine-stage", false));
+    EXPECT_TRUE(has("gpu/replay-dispatch", false));
+    // Data faults apply only at the graph executor's value
+    // boundaries, where the integrity guards stand.
+    EXPECT_TRUE(has("graph/node-output", true));
+    EXPECT_TRUE(has("graph/value-store", true));
+}
+
+TEST(FaultPlan, DisarmedSiteIsANoOp)
+{
+    FaultPlan::instance().disarm();
+    EXPECT_FALSE(FaultPlan::engaged());
+    for (int i = 0; i < 100; ++i)
+        TFHE_FAULT_POINT("exec/modup");
+    EXPECT_FALSE(FaultPlan::instance().fired());
+}
+
+TEST(FaultPlan, OneShotControlFaultFiresOnTheExactHit)
+{
+    PlanGuard guard;
+    FaultPlan::instance().arm(
+        {"exec/modup", FaultKind::TransientKernel, 2, 99});
+    int hit = 0;
+    bool threw = false;
+    for (int i = 0; i < 6; ++i) {
+        try {
+            TFHE_FAULT_POINT("exec/modup");
+            ++hit;
+        } catch (const TransientFault &e) {
+            threw = true;
+            EXPECT_EQ(e.site(), "exec/modup");
+            EXPECT_FALSE(e.hasNode());
+            // The exact trigger: two hits passed before the throw.
+            EXPECT_EQ(hit, 2);
+        }
+    }
+    EXPECT_TRUE(threw);
+    EXPECT_TRUE(FaultPlan::instance().fired());
+    // One-shot: the remaining iterations passed clean (hit counts 5
+    // clean passes: 2 before + 3 after the firing hit).
+    EXPECT_EQ(hit, 5);
+}
+
+TEST(FaultPlan, SitesAreIndependentAndDataKindsDegradeToControl)
+{
+    PlanGuard guard;
+    // Armed on one site: other sites never fire.
+    FaultPlan::instance().arm(
+        {"exec/moddown", FaultKind::AllocFail, 0, 1});
+    EXPECT_NO_THROW(TFHE_FAULT_POINT("exec/modup"));
+    EXPECT_THROW(TFHE_FAULT_POINT("exec/moddown"), TransientFault);
+    FaultPlan::instance().disarm();
+
+    // A data kind on a control-only site degrades to a transient
+    // throw rather than silently doing nothing.
+    FaultPlan::instance().arm(
+        {"workspace/alloc", FaultKind::LimbBitFlip, 0, 1});
+    EXPECT_THROW(TFHE_FAULT_POINT("workspace/alloc"), TransientFault);
+    EXPECT_TRUE(FaultPlan::instance().fired());
+}
+
+TEST(FaultPlan, CountingModeProfilesHitsWithoutFiring)
+{
+    PlanGuard guard;
+    FaultPlan::instance().startCounting();
+    EXPECT_TRUE(FaultPlan::engaged());
+    for (int i = 0; i < 3; ++i)
+        TFHE_FAULT_POINT("exec/modup");
+    TFHE_FAULT_POINT("exec/moddown");
+    auto hits = FaultPlan::instance().stopCounting();
+    EXPECT_FALSE(FaultPlan::engaged());
+    EXPECT_EQ(hits["exec/modup"], 3u);
+    EXPECT_EQ(hits["exec/moddown"], 1u);
+    EXPECT_EQ(hits.count("workspace/alloc"), 0u);
+}
+
+// ------------------------------------------------------------------
+// Data corruption + integrity guards on a real ciphertext.
+
+struct CtFixture
+{
+    CtFixture()
+        : ctx(ckks::Presets::tiny()), rng(17),
+          sk(ctx.generateSecretKey(rng)),
+          keys(ctx.generateKeys(sk, rng, {})), enc(ctx, keys.pk)
+    {}
+
+    ckks::Ciphertext
+    encryptOnes()
+    {
+        std::vector<ckks::Complex> z(ctx.slots(),
+                                     ckks::Complex(1.0, 0.0));
+        auto pt = ctx.encoder().encode(z, ctx.params().scale(),
+                                       ctx.params().levels + 1);
+        return enc.encrypt(pt, rng);
+    }
+
+    ckks::CkksContext ctx;
+    Rng rng;
+    ckks::SecretKey sk;
+    ckks::KeyBundle keys;
+    ckks::Encryptor enc;
+};
+
+CtFixture &
+ctf()
+{
+    static CtFixture f;
+    return f;
+}
+
+TEST(FaultPlan, SeededCorruptionIsDeterministic)
+{
+    PlanGuard guard;
+    auto &f = ctf();
+    auto original = f.encryptOnes();
+
+    auto corruptOnce = [&](ckks::Ciphertext ct) {
+        FaultPlan::instance().arm(
+            {"graph/value-store", FaultKind::LimbBitFlip, 0, 12345});
+        TFHE_FAULT_POINT_CT("graph/value-store", ct);
+        EXPECT_TRUE(FaultPlan::instance().fired());
+        FaultPlan::instance().disarm();
+        return ct;
+    };
+    auto a = corruptOnce(original);
+    auto b = corruptOnce(original);
+
+    // Same seed, same flip — and a real flip.
+    EXPECT_NE(resilience::ctChecksum(a),
+              resilience::ctChecksum(original));
+    EXPECT_EQ(resilience::ctChecksum(a), resilience::ctChecksum(b));
+}
+
+TEST(Integrity, ValidateCatchesOutOfRangeResidue)
+{
+    auto &f = ctf();
+    auto ct = f.encryptOnes();
+    EXPECT_NO_THROW(resilience::validateCt(ct, "test/site"));
+
+    // A high-bit at-rest flip pushes a residue far above any q_i.
+    ct.c1.limb(0)[3] ^= u64(1) << 62;
+    try {
+        resilience::validateCt(ct, "test/site", 7);
+        FAIL() << "corrupted residue passed validation";
+    } catch (const IntegrityError &e) {
+        EXPECT_EQ(e.site(), "test/site");
+        EXPECT_EQ(e.node(), 7u);
+        EXPECT_NE(std::string(e.what()).find("node 7"),
+                  std::string::npos);
+    }
+}
+
+TEST(Integrity, ChecksumSeesInRangeFlipsValidationCannot)
+{
+    auto &f = ctf();
+    auto ct = f.encryptOnes();
+    u64 clean = resilience::validateCt(ct, "test/site");
+
+    // Flip bit 0 of a residue: almost surely still < q_i, so the
+    // structural scan stays green — only the digest moves.
+    ct.c0.limb(0)[0] ^= 1;
+    if (resilience::ctChecksum(ct) == clean)
+        GTEST_SKIP() << "flip left the residue at the range edge";
+    EXPECT_NO_THROW(resilience::validateCt(ct, "test/site"));
+    EXPECT_NE(resilience::validateCt(ct, "test/site"), clean);
+}
+
+TEST(Integrity, MetaGuardsCatchScaleDriftAndLimbShear)
+{
+    auto &f = ctf();
+    auto ct = f.encryptOnes();
+    std::size_t lc = ct.levelCount();
+    double scale = ct.scale;
+    EXPECT_NO_THROW(
+        resilience::checkCtMeta(ct, lc, scale, "test/site"));
+
+    // The injector's 1e-3 scale bump is far outside the evaluators'
+    // 1e-6 relative tolerance.
+    auto drifted = ct;
+    drifted.scale *= 1.0 + 1e-3;
+    EXPECT_THROW(
+        resilience::checkCtMeta(drifted, lc, scale, "test/site"),
+        IntegrityError);
+
+    // Shearing a limb off one component breaks the c0/c1 shape
+    // agreement validateCt insists on.
+    auto sheared = ct;
+    sheared.c0.truncateLimbs(sheared.c0.numLimbs() - 1);
+    EXPECT_THROW(resilience::validateCt(sheared, "test/site"),
+                 IntegrityError);
+    EXPECT_THROW(
+        resilience::checkCtMeta(sheared, lc, scale, "test/site"),
+        IntegrityError);
+}
+
+// ------------------------------------------------------------------
+// Error taxonomy.
+
+TEST(Errors, TaxonomyCarriesSiteAndNodeAndBaseTypes)
+{
+    TransientFault t("exec/modup", "boom", 3);
+    EXPECT_EQ(t.site(), "exec/modup");
+    EXPECT_TRUE(t.hasNode());
+    EXPECT_EQ(t.node(), 3u);
+    EXPECT_EQ(t.message(), "boom");
+
+    // Catch-compatibility: the taxonomy refines, never breaks, the
+    // standard hierarchy pre-taxonomy call sites threw.
+    EXPECT_THROW(throw TransientFault("s", "m"), std::runtime_error);
+    EXPECT_THROW(throw IntegrityError("s", "m"), std::runtime_error);
+    EXPECT_THROW(throw BudgetError("s", "m"), std::invalid_argument);
+
+    try {
+        requireBudget(false, "ckks/params", "want ", 4, " got ", 2);
+        FAIL() << "requireBudget(false) did not throw";
+    } catch (const BudgetError &e) {
+        EXPECT_EQ(e.site(), "ckks/params");
+        EXPECT_FALSE(e.hasNode());
+        EXPECT_EQ(e.message(), "want 4 got 2");
+    }
+}
+
+TEST(Errors, MigratedBudgetSitesThrowTyped)
+{
+    // ckks parameter validation rides the taxonomy now.
+    ckks::CkksParams p = ckks::Presets::tiny();
+    p.levels = 0;
+    try {
+        p.validate();
+        FAIL() << "invalid params passed validate()";
+    } catch (const BudgetError &e) {
+        EXPECT_EQ(e.site(), "ckks/params");
+    }
+
+    // The prime pool reports exhaustion as a budget failure.
+    try {
+        generateNttPrimes(8, 100, 16);
+        FAIL() << "prime pool did not exhaust";
+    } catch (const BudgetError &e) {
+        EXPECT_EQ(e.site(), "common/primes");
+    }
+}
+
+} // namespace
+} // namespace tensorfhe
