@@ -17,9 +17,14 @@
  *   - bit-identity of the graph outputs against the eager run.
  *
  * Usage: bench_graph_schedule [reps] [--json PATH]
+ *                             [--trace PATH] [--metrics PATH]
  *   reps = wall-clock repetitions (default 3; CI smoke runs 1).
  *   --json PATH appends one machine-readable result object to PATH —
  *   the CI Release job collects BENCH_PR6.json this way.
+ *   --trace PATH writes the whole run as Chrome trace-event JSON
+ *   (nested workload -> graph node -> dispatcher op -> kernel spans,
+ *   plus the GPU model's per-stream replay as its own process).
+ *   --metrics PATH dumps the unified MetricsRegistry snapshot.
  */
 
 #include <cstdio>
@@ -76,6 +81,8 @@ struct Comparison
     double coldReuseRate = 0;
     double prestagedReuseRate = 0;
     bool identical = false;
+    /** Per-stream GPU-model replay lanes for the trace export. */
+    std::vector<trace::Tracer::ExternalSpan> gpuLanes;
 
     double
     launchReduction() const
@@ -195,6 +202,14 @@ compareWorkload(const nn::NnEngine &engine, std::size_t n, int reps,
     c.makespanCycles = replay.makespanCycles;
     c.graphStallFraction = replay.totalStallFraction();
     c.identical = bitIdentical(flattenOutputs(res), eager_out);
+    // One trace lane per model stream (1 cycle rendered as 1 ns).
+    c.gpuLanes.reserve(res.schedule.size());
+    for (std::size_t i = 0; i < res.schedule.size(); ++i) {
+        c.gpuLanes.push_back(
+            {kernelKindName(res.schedule[i].launch.kind),
+             res.schedule[i].stream, replay.startCycle[i],
+             replay.finishCycle[i] - replay.startCycle[i]});
+    }
 
     // Wall clock.
     c.eagerSeconds = bench::timeMean(reps, [&] { (void)eager(); });
@@ -220,6 +235,7 @@ compareWorkload(const nn::NnEngine &engine, std::size_t n, int reps,
 int
 main(int argc, char **argv)
 {
+    auto obs = bench::ObsFlags::parse(argc, argv);
     int reps = 3;
     std::string json_path;
     for (int i = 1; i < argc; ++i) {
@@ -234,11 +250,14 @@ main(int argc, char **argv)
     bench::banner("bench_graph_schedule — AOT kernel DAG vs eager "
                   "dispatch (reps=" + std::to_string(reps) + ")");
 
+    obs.armIfRequested();
+
     // ---------------------------------------------------------------
     // LSTM cell step: fusable masked combine, two independent gate
     // matvec branches.
     Comparison lstm;
     {
+        TFHE_TRACE_SPAN("workload", "lstm-cell");
         ckks::CkksContext ctx(
             workloads::EncryptedLstmCell::recommendedParams());
         workloads::EncryptedLstmCell cell(ctx);
@@ -293,6 +312,7 @@ main(int argc, char **argv)
     // programs) around an auto-spliced bootstrap.
     Comparison cnn;
     {
+        TFHE_TRACE_SPAN("workload", "deep-cnn");
         ckks::CkksContext ctx(
             workloads::EncryptedCnnClassifier::recommendedDeepParams());
         workloads::EncryptedCnnClassifier net(
@@ -345,5 +365,9 @@ main(int argc, char **argv)
         }
         std::printf("  wrote %s\n", json_path.c_str());
     }
+
+    // Export the deep-CNN replay lanes (the showcase timeline); the
+    // LSTM's are a strict subset of the same structure.
+    obs.finish(cnn.gpuLanes.empty() ? lstm.gpuLanes : cnn.gpuLanes);
     return lstm.identical && cnn.identical ? 0 : 1;
 }

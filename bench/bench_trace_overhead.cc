@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Cost of the tracing layer (src/trace) on the LSTM graph workload —
+ * the observability counterpart of bench_fault_overhead. Two budgets,
+ * both enforced (the bench exits nonzero over budget):
+ *
+ *   - disarmed < 1%: every instrumented scope costs one relaxed
+ *     atomic load when the tracer is off. The pre-instrumentation
+ *     binary no longer exists, so the bound is taken from above: a
+ *     microbenchmark times the disarmed TraceSpan construct/destroy
+ *     path, multiplied by the span count an armed run actually
+ *     records, divided by the plain wall time.
+ *   - armed < 5%: measured directly, armed run vs disarmed run,
+ *     interleaved round-robin keeping each configuration's MINIMUM
+ *     (scheduler noise on the multi-threaded kernels dwarfs the
+ *     recording cost; the minimum over rounds is robust).
+ *
+ * Usage: bench_trace_overhead [reps] [--json PATH]
+ *   reps = rounds (default 5; CI smoke runs 1).
+ *   --json PATH appends one result object (BENCH_PR8.json in CI).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "graph/executor.hh"
+#include "workloads/lstm.hh"
+
+namespace
+{
+
+using namespace tensorfhe;
+using tensorfhe::bench::fmtSeconds;
+
+struct Overheads
+{
+    double plainSeconds = 0;
+    double armedSeconds = 0;
+    double disarmedSpanNs = 0; ///< microbenched cost per inert span
+    u64 spansPerRun = 0;
+    u64 droppedPerRun = 0;
+
+    double
+    armedOverhead() const
+    {
+        return plainSeconds == 0
+            ? 0.0
+            : armedSeconds / plainSeconds - 1.0;
+    }
+
+    /** Upper bound on the disarmed fraction: per-span inert cost
+        times the spans an armed run records, over the plain time. */
+    double
+    disarmedBound() const
+    {
+        return plainSeconds == 0
+            ? 0.0
+            : disarmedSpanNs * 1e-9 * static_cast<double>(spansPerRun)
+                / plainSeconds;
+    }
+};
+
+/** ns per construct/destroy of a TraceSpan while disarmed. */
+double
+microbenchDisarmedSpan()
+{
+    constexpr int kIters = 1 << 20;
+    double best = 0;
+    for (int round = 0; round < 3; ++round) {
+        double t = bench::timeSeconds([&] {
+            for (int i = 0; i < kIters; ++i) {
+                trace::TraceSpan sp("bench", "inert");
+                sp.arg("i", i);
+            }
+        });
+        if (best == 0 || t < best)
+            best = t;
+    }
+    return best * 1e9 / kIters;
+}
+
+Overheads
+measure(const nn::NnEngine &engine, const graph::GraphExecutor &ex,
+        const std::vector<graph::Cts> &inputs, int reps)
+{
+    Overheads o;
+    // Warm plan/diagonal caches on both paths.
+    (void)ex.run(engine, inputs);
+
+    auto minTime = [](double &slot, const std::function<void()> &fn) {
+        double t = bench::timeSeconds(fn);
+        if (slot == 0 || t < slot)
+            slot = t;
+    };
+    auto &tracer = trace::Tracer::instance();
+    for (int r = 0; r < reps; ++r) {
+        tracer.disarm();
+        minTime(o.plainSeconds,
+                [&] { (void)ex.run(engine, inputs); });
+        // Fresh capture per round so every armed run records into an
+        // empty ring (steady-state write cost, not drop cost).
+        tracer.arm();
+        minTime(o.armedSeconds,
+                [&] { (void)ex.run(engine, inputs); });
+        o.spansPerRun = tracer.recordedSpans();
+        o.droppedPerRun = tracer.droppedSpans();
+        tracer.disarm();
+    }
+    o.disarmedSpanNs = microbenchDisarmedSpan();
+    return o;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int reps = 5;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            json_path = argv[++i];
+        else
+            reps = std::atoi(argv[i]);
+    }
+    if (reps < 1)
+        reps = 1;
+
+    bench::banner("bench_trace_overhead — tracing cost on the LSTM "
+                  "graph run (reps=" + std::to_string(reps) + ")");
+
+    ckks::CkksContext ctx(
+        workloads::EncryptedLstmCell::recommendedParams());
+    workloads::EncryptedLstmCell cell(ctx);
+    Rng rng(0x8a);
+    auto sk = ctx.generateSecretKey(rng);
+    auto keys = ctx.generateKeys(sk, rng, cell.requiredRotations());
+    ckks::Encryptor enc(ctx, keys.pk);
+    nn::NnEngine engine(ctx, keys);
+
+    auto enc_state = [&](u64 seed) {
+        Rng r(seed);
+        std::vector<double> v(cell.config().dim);
+        for (auto &x : v)
+            x = 2 * r.uniformReal() - 1;
+        return nn::encryptTensor(ctx, enc, rng, v,
+                                 cell.inputMeta().shape,
+                                 cell.inputMeta().levelCount);
+    };
+    auto x = enc_state(1);
+    workloads::EncryptedLstmCell::State prev{enc_state(2),
+                                             enc_state(3)};
+
+    auto g = cell.buildStepGraph(ctx);
+    graph::GraphExecutor ex(g, graph::scheduleGraph(g));
+    std::vector<graph::Cts> inputs{x.chunks(), prev.h.chunks(),
+                                   prev.c.chunks()};
+
+    auto o = measure(engine, ex, inputs, reps);
+
+    bench::section("LSTM cell step (dim=8, degree-3 gates)");
+    std::printf("  disarmed run: %s\n",
+                fmtSeconds(o.plainSeconds).c_str());
+    std::printf("  armed run:    %s  (%+.2f%%, %llu spans, "
+                "%llu dropped)\n",
+                fmtSeconds(o.armedSeconds).c_str(),
+                100.0 * o.armedOverhead(),
+                static_cast<unsigned long long>(o.spansPerRun),
+                static_cast<unsigned long long>(o.droppedPerRun));
+    std::printf("  inert span: %.2f ns -> disarmed bound %.4f%% of "
+                "the run\n",
+                o.disarmedSpanNs, 100.0 * o.disarmedBound());
+
+    bool disarmed_ok = o.disarmedBound() < 0.01;
+    bool armed_ok = o.armedOverhead() < 0.05;
+    std::printf("  budget: disarmed < 1%%: %s, armed < 5%%: %s\n",
+                disarmed_ok ? "PASS" : "FAIL",
+                armed_ok ? "PASS" : "FAIL");
+
+    if (!json_path.empty()) {
+        bench::JsonWriter json("trace_overhead");
+        json.add("reps", static_cast<double>(reps))
+            .add("lstm_plain_s", o.plainSeconds)
+            .add("lstm_armed_s", o.armedSeconds)
+            .add("armed_overhead", o.armedOverhead())
+            .add("disarmed_span_ns", o.disarmedSpanNs)
+            .add("disarmed_bound", o.disarmedBound())
+            .add("spans_per_run",
+                 static_cast<double>(o.spansPerRun))
+            .add("dropped_per_run",
+                 static_cast<double>(o.droppedPerRun));
+        if (!json.appendTo(json_path)) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         json_path.c_str());
+            return 1;
+        }
+        std::printf("  wrote %s\n", json_path.c_str());
+    }
+    return disarmed_ok && armed_ok ? 0 : 1;
+}

@@ -16,8 +16,89 @@
 #include <sstream>
 #include <string>
 
+#include "trace/metrics.hh"
+#include "trace/trace.hh"
+
 namespace tensorfhe::bench
 {
+
+/**
+ * Observability flags shared by every bench: `--trace out.json`
+ * captures the run as Chrome trace-event JSON (chrome://tracing or
+ * ui.perfetto.dev), `--metrics out.json` dumps the unified
+ * MetricsRegistry snapshot. parse() strips the flags from argv so the
+ * bench's own positional arguments keep working.
+ */
+struct ObsFlags
+{
+    std::string tracePath;
+    std::string metricsPath;
+
+    static ObsFlags
+    parse(int &argc, char **argv)
+    {
+        ObsFlags f;
+        int w = 1;
+        for (int i = 1; i < argc; ++i) {
+            std::string a = argv[i];
+            if (a == "--trace" && i + 1 < argc)
+                f.tracePath = argv[++i];
+            else if (a == "--metrics" && i + 1 < argc)
+                f.metricsPath = argv[++i];
+            else
+                argv[w++] = argv[i];
+        }
+        argc = w;
+        return f;
+    }
+
+    bool wantTrace() const { return !tracePath.empty(); }
+    bool wantMetrics() const { return !metricsPath.empty(); }
+
+    /** Arm the tracer if --trace was given (call before the traced
+        region, while the pool is quiescent). Benches capture whole
+        workloads, so the ring is 4x the default capacity. */
+    void
+    armIfRequested() const
+    {
+        if (wantTrace())
+            trace::Tracer::instance().arm(
+                trace::Tracer::kDefaultCapacity * 4);
+    }
+
+    /** Disarm and write the requested artifacts; prints one line per
+        file written. Extra GPU-model lanes render as their own
+        process in the viewer. */
+    void
+    finish(const std::vector<trace::Tracer::ExternalSpan> &gpuLanes =
+               {}) const
+    {
+        if (wantTrace()) {
+            trace::Tracer::instance().disarm();
+            if (trace::Tracer::instance().writeChromeJson(tracePath,
+                                                          gpuLanes))
+                std::printf("trace:   %s (%llu spans, %llu dropped)\n",
+                            tracePath.c_str(),
+                            static_cast<unsigned long long>(
+                                trace::Tracer::instance()
+                                    .recordedSpans()),
+                            static_cast<unsigned long long>(
+                                trace::Tracer::instance()
+                                    .droppedSpans()));
+            else
+                std::printf("trace:   FAILED to write %s\n",
+                            tracePath.c_str());
+        }
+        if (wantMetrics()) {
+            if (trace::MetricsRegistry::instance().writeSnapshotJson(
+                    metricsPath))
+                std::printf("metrics: %s\n", metricsPath.c_str());
+            else
+                std::printf("metrics: FAILED to write %s\n",
+                            metricsPath.c_str());
+        }
+    }
+};
 
 /**
  * Minimal JSON object builder for the machine-readable bench dumps

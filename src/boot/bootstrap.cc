@@ -4,6 +4,7 @@
 
 #include "ckks/rotations.hh"
 #include "common/logging.hh"
+#include "trace/trace.hh"
 
 namespace tensorfhe::boot
 {
@@ -191,16 +192,27 @@ Bootstrapper::bootstrapBatch(const batch::BatchedEvaluator &beval,
     u64 q0 = ctx_.tower().prime(0);
     double pts = ctx_.params().scale();
 
+    trace::TraceSpan bootSpan("boot", "bootstrap-batch");
+    bootSpan.arg("batch", static_cast<s64>(cts.size()))
+        .arg("level", static_cast<s64>(cts[0].levelCount()));
+
     // Stage 1: SlotToCoeff — coefficients now hold Re/Im of slots.
-    auto packed = u_.applyBatch(beval, cts);
+    std::vector<ckks::Ciphertext> packed;
+    {
+        TFHE_TRACE_SPAN("boot", "s2c");
+        packed = u_.applyBatch(beval, cts);
+    }
 
     // Stage 2: ModRaising from q0 to the full chain. The hidden
     // coefficients become m + q0*I for small integers I.
-    auto low = beval.dropToLevelCount(packed, 1);
     std::vector<ckks::Ciphertext> raised;
-    raised.reserve(low.size());
-    for (const auto &ct : low)
-        raised.push_back(modRaise(ct));
+    {
+        TFHE_TRACE_SPAN("boot", "mod-raise");
+        auto low = beval.dropToLevelCount(packed, 1);
+        raised.reserve(low.size());
+        for (const auto &ct : low)
+            raised.push_back(modRaise(ct));
+    }
 
     // Stage 3: fused CoeffToSlot + Re/Im split — the plans carry the
     // fixed factor pi*pts/(q0*2^r) of the sine pre-scale kappa in
@@ -218,8 +230,12 @@ Bootstrapper::bootstrapBatch(const batch::BatchedEvaluator &beval,
     // The Re/Im plans share one hoisted head and one raw-tail table
     // (their baby and conjugate steps coincide): sine-stage double
     // hoisting.
-    auto split = LinearTransformPlan::applyBatchFanout(
-        beval, {&c2sRe_, &c2sIm_}, raised);
+    std::vector<std::vector<ckks::Ciphertext>> split;
+    {
+        TFHE_TRACE_SPAN("boot", "c2s-split");
+        split = LinearTransformPlan::applyBatchFanout(
+            beval, {&c2sRe_, &c2sIm_}, raised);
+    }
     auto t_u = std::move(split[0]);
     auto t_v = std::move(split[1]);
     // Stored scale is hidden*pts/q_last; claiming pts^2/q_last reads
@@ -230,11 +246,16 @@ Bootstrapper::bootstrapBatch(const batch::BatchedEvaluator &beval,
         ct.scale = t_scale;
 
     // Stage 4: Sine Evaluation on both streams.
-    auto sin_u = evalScaledSine(ctx_, beval, t_u, sine_);
-    auto sin_v = evalScaledSine(ctx_, beval, t_v, sine_);
+    std::vector<ckks::Ciphertext> sin_u, sin_v;
+    {
+        TFHE_TRACE_SPAN("boot", "sine");
+        sin_u = evalScaledSine(ctx_, beval, t_u, sine_);
+        sin_v = evalScaledSine(ctx_, beval, t_v, sine_);
+    }
 
     // Recombine: out = (q0 / (2 pi scale)) * (sin_u + i*sin_v); slot
     // values return to z_j = Re z_j + i Im z_j.
+    TFHE_TRACE_SPAN("boot", "recombine");
     double back = q0 / (2.0 * M_PI * hidden_scale);
     auto out_u = beval.multiplyPlain(
         sin_u, ctx_.encoder().encodeConstant(Complex(back, 0), pts,

@@ -3,6 +3,13 @@
  * Error-reporting helpers, following the gem5 panic/fatal split:
  * panic-class failures (TFHE_ASSERT) are internal bugs and abort;
  * user-fault failures throw standard exceptions.
+ *
+ * Plus env-gated leveled diagnostics: TFHE_LOG=debug|info|warn
+ * selects the runtime threshold (default warn — production runs are
+ * silent unless something is wrong). TFHE_LOG_DEBUG compiles to
+ * nothing in Release builds so hot paths (retry loops, workspace
+ * recycling) carry no formatting or branch cost; INFO/WARN are
+ * always compiled and gated by one cached level check.
  */
 
 #ifndef TENSORFHE_COMMON_LOGGING_HH
@@ -58,7 +65,90 @@ panicImpl(const char *file, int line, const std::string &msg)
     std::abort();
 }
 
+/** Diagnostic levels, most verbose first. */
+enum class LogLevel : int
+{
+    Debug = 0,
+    Info,
+    Warn,
+    Off
+};
+
+/** Runtime threshold from TFHE_LOG (parsed once; default Warn). */
+inline LogLevel
+logLevel()
+{
+    static const LogLevel level = [] {
+        const char *env = std::getenv("TFHE_LOG");
+        if (env == nullptr)
+            return LogLevel::Warn;
+        std::string v(env);
+        if (v == "debug")
+            return LogLevel::Debug;
+        if (v == "info")
+            return LogLevel::Info;
+        if (v == "warn")
+            return LogLevel::Warn;
+        if (v == "off" || v == "none")
+            return LogLevel::Off;
+        return LogLevel::Warn;
+    }();
+    return level;
+}
+
+inline bool
+logEnabled(LogLevel level)
+{
+    return static_cast<int>(level) >= static_cast<int>(logLevel());
+}
+
+inline const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      default: return "?";
+    }
+}
+
+/** One formatted line to stderr: "[level] subsys: message". */
+inline void
+logMessage(LogLevel level, const char *subsys, const std::string &msg)
+{
+    std::fprintf(stderr, "[%s] %s: %s\n", logLevelName(level), subsys,
+                 msg.c_str());
+}
+
 } // namespace tensorfhe
+
+/*
+ * Leveled log statements. Arguments are stream-insertable pieces and
+ * are only evaluated/formatted when the level passes, so a log line
+ * in a hot loop costs one comparison when silenced.
+ */
+#define TFHE_LOG_AT(level, subsys, ...)                                     \
+    do {                                                                    \
+        if (::tensorfhe::logEnabled(level))                                 \
+            ::tensorfhe::logMessage(level, subsys,                          \
+                ::tensorfhe::strCat(__VA_ARGS__));                          \
+    } while (0)
+
+#define TFHE_LOG_WARN(subsys, ...)                                          \
+    TFHE_LOG_AT(::tensorfhe::LogLevel::Warn, subsys, __VA_ARGS__)
+#define TFHE_LOG_INFO(subsys, ...)                                          \
+    TFHE_LOG_AT(::tensorfhe::LogLevel::Info, subsys, __VA_ARGS__)
+
+/* Debug lines vanish from Release hot paths entirely. */
+#ifdef NDEBUG
+#define TFHE_LOG_DEBUG(subsys, ...)                                         \
+    do {                                                                    \
+    } while (0)
+#else
+#define TFHE_LOG_DEBUG(subsys, ...)                                         \
+    TFHE_LOG_AT(::tensorfhe::LogLevel::Debug, subsys, __VA_ARGS__)
+#endif
 
 /** Internal invariant check: should never fire regardless of user input. */
 #define TFHE_ASSERT(cond, ...)                                              \

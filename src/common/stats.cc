@@ -40,6 +40,13 @@ KernelStats::reset()
         c.nanos.store(0, std::memory_order_relaxed);
         c.elements.store(0, std::memory_order_relaxed);
     }
+    // Also discard any in-flight queue capture: a bench resetting
+    // "everything" mid-capture used to leave the pre-reset launches
+    // in the queue, and the next stopQueue() returned stale entries
+    // recorded before the reset.
+    std::lock_guard<std::mutex> lock(queueMu_);
+    queueEnabled_.store(false, std::memory_order_relaxed);
+    queue_.clear();
 }
 
 void

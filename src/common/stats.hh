@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "trace/trace.hh"
 
 namespace tensorfhe
 {
@@ -172,6 +173,19 @@ class ScopedKernelTimer
             std::chrono::duration_cast<std::chrono::nanoseconds>(
                 stop - start_).count());
         KernelStats::instance().record(kind_, ns, elements_);
+        // Kernel-level trace span, reusing the timestamps this timer
+        // already took (disarmed: one relaxed load).
+        if (trace::Tracer::armed()) {
+            trace::SpanArg arg{"elements",
+                               static_cast<s64>(elements_)};
+            trace::Tracer::span(
+                "kernel", kernelKindName(kind_),
+                static_cast<u64>(
+                    std::chrono::duration_cast<
+                        std::chrono::nanoseconds>(
+                        start_.time_since_epoch()).count()),
+                ns, &arg, 1);
+        }
     }
 
     ScopedKernelTimer(const ScopedKernelTimer &) = delete;

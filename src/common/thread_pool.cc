@@ -1,6 +1,7 @@
 #include "common/thread_pool.hh"
 
 #include "common/logging.hh"
+#include "trace/trace.hh"
 
 namespace tensorfhe
 {
@@ -38,6 +39,9 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::drainBatch(const Batch &b)
 {
+    trace::TraceSpan tsp("pool", "drain");
+    tsp.arg("chunk", static_cast<s64>(b.chunk))
+        .arg("end", static_cast<s64>(b.end));
     const ThreadPool *prev = tl_current_pool;
     tl_current_pool = this;
     for (;;) {

@@ -7,6 +7,8 @@
 #include "common/modarith.hh"
 #include "common/thread_pool.hh"
 #include "fault/fault.hh"
+#include "trace/metrics.hh"
+#include "trace/trace.hh"
 
 namespace tensorfhe::exec
 {
@@ -29,7 +31,16 @@ Dispatcher::Dispatcher(const ckks::CkksContext &ctx,
                        const ckks::KeyBundle &keys, ThreadPool *pool)
     : ctx_(ctx), keys_(keys), kctx_(pool),
       ws_(std::make_unique<Workspace>(ctx.tower()))
-{}
+{
+    // The arena reports its traffic through the unified metrics
+    // snapshot for as long as this dispatcher lives.
+    trace::MetricsRegistry::instance().registerWorkspace(ws_.get());
+}
+
+Dispatcher::~Dispatcher()
+{
+    trace::MetricsRegistry::instance().unregisterWorkspace(ws_.get());
+}
 
 // ------------------------------------------------------------------
 // Elementwise operations
@@ -38,6 +49,7 @@ void
 Dispatcher::addInPlace(ckks::Ciphertext *as, const ckks::Ciphertext *bs,
                        std::size_t batch) const
 {
+    TFHE_TRACE_SPAN("exec", "add");
     if (batch == 0)
         return;
     EvalOpStats::instance().record(EvalOpKind::HAdd, batch);
@@ -48,6 +60,7 @@ void
 Dispatcher::subInPlace(ckks::Ciphertext *as, const ckks::Ciphertext *bs,
                        std::size_t batch) const
 {
+    TFHE_TRACE_SPAN("exec", "sub");
     if (batch == 0)
         return;
     EvalOpStats::instance().record(EvalOpKind::HAdd, batch);
@@ -58,6 +71,7 @@ void
 Dispatcher::addPlainInPlace(ckks::Ciphertext *as, const ckks::Plaintext &p,
                             std::size_t batch) const
 {
+    TFHE_TRACE_SPAN("exec", "addPlain");
     if (batch == 0)
         return;
     EvalOpStats::instance().record(EvalOpKind::HAdd, batch);
@@ -68,6 +82,7 @@ void
 Dispatcher::subPlainInPlace(ckks::Ciphertext *as, const ckks::Plaintext &p,
                             std::size_t batch) const
 {
+    TFHE_TRACE_SPAN("exec", "subPlain");
     if (batch == 0)
         return;
     EvalOpStats::instance().record(EvalOpKind::HAdd, batch);
@@ -79,6 +94,7 @@ Dispatcher::multiplyPlainInPlace(ckks::Ciphertext *as,
                                  const ckks::Plaintext &p,
                                  std::size_t batch) const
 {
+    TFHE_TRACE_SPAN("exec", "multiplyPlain");
     if (batch == 0)
         return;
     EvalOpStats::instance().record(EvalOpKind::CMult, batch);
@@ -93,6 +109,9 @@ Dispatcher::fusedElementwise(const FusedSpec &spec, ckks::Ciphertext *out,
                              const ckks::Plaintext *const *pts,
                              std::size_t batch) const
 {
+    trace::TraceSpan tsp_("exec", "fusedElementwise");
+    tsp_.arg("batch", static_cast<s64>(batch))
+        .arg("members", static_cast<s64>(spec.ins.size()));
     if (batch == 0)
         return;
     TFHE_FAULT_POINT("exec/fused-elementwise");
@@ -129,6 +148,7 @@ Dispatcher::fusedElementwise(const FusedSpec &spec, ckks::Ciphertext *out,
 void
 Dispatcher::rescaleInPlace(ckks::Ciphertext *as, std::size_t batch) const
 {
+    TFHE_TRACE_SPAN("exec", "rescale");
     if (batch == 0)
         return;
     EvalOpStats::instance().record(EvalOpKind::Rescale, batch);
@@ -170,6 +190,7 @@ Dispatcher::multiplyInPlace(ckks::Ciphertext *as,
                             const ckks::Ciphertext *bs,
                             std::size_t batch) const
 {
+    TFHE_TRACE_SPAN("exec", "multiply");
     if (batch == 0)
         return;
     EvalOpStats::instance().record(EvalOpKind::HMult, batch);
@@ -248,6 +269,7 @@ Dispatcher::pLift(std::size_t level_count) const
 HoistedBatch
 Dispatcher::hoist(std::vector<Workspace::Pooled> ds) const
 {
+    TFHE_TRACE_SPAN("exec", "ks-hoist");
     std::size_t batch = ds.size();
     TFHE_ASSERT(batch > 0, "empty hoist");
     std::size_t lc = ds[0]->numLimbs();
@@ -371,6 +393,7 @@ std::pair<std::vector<rns::RnsPolynomial>, std::vector<rns::RnsPolynomial>>
 Dispatcher::keySwitchTail(const HoistedView &h, const ckks::SwitchKey &key,
                           const rns::ModDownPlan *down) const
 {
+    TFHE_TRACE_SPAN("exec", "ks-tail");
     std::size_t batch = h.batchN;
     auto v = ctx_.nttVariant();
     auto union_limbs = ctx_.unionLimbs(h.levelCount);
@@ -458,6 +481,9 @@ std::vector<std::vector<ckks::Ciphertext>>
 Dispatcher::rotateMany(const ckks::Ciphertext *as, std::size_t batch,
                        const std::vector<s64> &steps) const
 {
+    trace::TraceSpan tsp_("exec", "rotateMany");
+    tsp_.arg("batch", static_cast<s64>(batch))
+        .arg("steps", static_cast<s64>(steps.size()));
     std::vector<std::vector<ckks::Ciphertext>> out(steps.size());
     if (batch == 0)
         return out;
@@ -545,6 +571,8 @@ Dispatcher::rotateMany(const ckks::Ciphertext *as, std::size_t batch,
 std::vector<ckks::Ciphertext>
 Dispatcher::conjugate(const ckks::Ciphertext *as, std::size_t batch) const
 {
+    trace::TraceSpan tsp_("exec", "conjugate");
+    tsp_.arg("batch", static_cast<s64>(batch));
     std::vector<ckks::Ciphertext> out(batch);
     if (batch == 0)
         return out;
@@ -901,6 +929,8 @@ std::vector<ckks::Ciphertext>
 Dispatcher::applyBsgs(const BsgsProgram &program,
                       const ckks::Ciphertext *as, std::size_t batch) const
 {
+    trace::TraceSpan tsp_("exec", "applyBsgs");
+    tsp_.arg("batch", static_cast<s64>(batch));
     std::vector<const ckks::Ciphertext *> ptrs(batch);
     for (std::size_t s = 0; s < batch; ++s)
         ptrs[s] = &as[s];
@@ -913,6 +943,9 @@ Dispatcher::applyBsgsSum(const BsgsProgram *const *programs,
                          const ckks::Ciphertext *const *inputs,
                          std::size_t terms, std::size_t batch) const
 {
+    trace::TraceSpan tsp_("exec", "applyBsgsSum");
+    tsp_.arg("batch", static_cast<s64>(batch))
+        .arg("terms", static_cast<s64>(terms));
     TFHE_ASSERT(terms > 0, "empty BSGS sum");
     std::vector<ckks::Ciphertext> out(batch);
     if (batch == 0)
@@ -957,6 +990,9 @@ Dispatcher::applyBsgsFanout(const BsgsProgram *const *programs,
                             const ckks::Ciphertext *as,
                             std::size_t batch) const
 {
+    trace::TraceSpan tsp_("exec", "applyBsgsFanout");
+    tsp_.arg("batch", static_cast<s64>(batch))
+        .arg("programs", static_cast<s64>(count));
     TFHE_ASSERT(count > 0, "empty BSGS fanout");
     std::vector<std::vector<ckks::Ciphertext>> out(count);
     if (batch == 0)

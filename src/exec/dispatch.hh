@@ -136,6 +136,11 @@ class Dispatcher
      */
     Dispatcher(const ckks::CkksContext &ctx, const ckks::KeyBundle &keys,
                ThreadPool *pool = nullptr);
+    /** Unregisters the workspace arena from the metrics registry. */
+    ~Dispatcher();
+
+    Dispatcher(const Dispatcher &) = delete;
+    Dispatcher &operator=(const Dispatcher &) = delete;
 
     const ckks::CkksContext &context() const { return ctx_; }
     ThreadPool &pool() const { return *kctx_.pool; }

@@ -1,9 +1,9 @@
 #include "exec/workspace.hh"
 
-#include <cstdio>
 #include <functional>
 #include <thread>
 
+#include "common/logging.hh"
 #include "fault/fault.hh"
 
 namespace tensorfhe::exec
@@ -26,13 +26,11 @@ Workspace::~Workspace()
         total += count;
     if (total == 0)
         return;
-    std::fprintf(stderr,
-                 "exec::Workspace destroyed with %zu outstanding "
-                 "lease(s):\n",
-                 total);
+    TFHE_LOG_WARN("exec", "Workspace destroyed with ", total,
+                  " outstanding lease(s)");
     for (const auto &[site, count] : leases_)
         if (count > 0)
-            std::fprintf(stderr, "  %s: %zu\n", site.c_str(), count);
+            TFHE_LOG_WARN("exec", "  ", site, ": ", count);
 }
 
 void

@@ -3,6 +3,7 @@
 #include "common/errors.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "trace/trace.hh"
 
 namespace tensorfhe::fault
 {
@@ -103,13 +104,22 @@ FaultPlan::stopCounting()
 bool
 FaultPlan::registerHit(const char *site)
 {
-    std::lock_guard<std::mutex> lock(mu_);
-    u64 hit = hits_[site]++;
-    if (counting_ || !armed_ || fired_ || spec_.site != site)
-        return false;
-    if (hit != spec_.triggerHit)
-        return false;
-    fired_ = true;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        u64 hit = hits_[site]++;
+        if (counting_ || !armed_ || fired_ || spec_.site != site)
+            return false;
+        if (hit != spec_.triggerHit)
+            return false;
+        fired_ = true;
+    }
+    // Sites are string literals, so the instant event can alias the
+    // site name directly (the timeline shows WHERE the fault fired).
+    trace::SpanArg arg{"hit",
+                       static_cast<s64>(spec_.triggerHit)};
+    trace::Tracer::instant("fault", site, &arg, 1);
+    TFHE_LOG_DEBUG("fault", "injected ", faultKindName(spec_.kind),
+                   " at ", site, " (hit ", spec_.triggerHit, ")");
     return true;
 }
 

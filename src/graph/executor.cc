@@ -6,7 +6,9 @@
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "fault/fault.hh"
+#include "resilience/counters.hh"
 #include "resilience/integrity.hh"
+#include "trace/trace.hh"
 
 namespace tensorfhe::graph
 {
@@ -244,6 +246,15 @@ GraphExecutor::runSchedule(const nn::NnEngine &engine,
         }
 
         for (int attempt = 1;; ++attempt) {
+            // Node span: one per attempt, so a retried node shows as
+            // repeated spans with the backoff gap between them.
+            trace::TraceSpan nodeSpan("graph", nodeKindName(n.kind));
+            nodeSpan.arg("node", static_cast<s64>(id))
+                .arg("stream", static_cast<s64>(sched_.stream[id]))
+                .arg("attempt", attempt)
+                .arg("level",
+                     static_cast<s64>(
+                         g.values[n.outputs[0]].levelCount));
             auto raw = EvalOpStats::instance().rawSnapshot();
             KernelStats::QueueCapture cap(opt.captureSchedule);
             // Roll the failed attempt back so the engine and its
@@ -302,6 +313,16 @@ GraphExecutor::runSchedule(const nn::NnEngine &engine,
                 bookkeep(cap.take());
                 break;
             } catch (const TransientFault &e) {
+                resilience::bump(
+                    resilience::Counters::instance().transientFaults);
+                trace::SpanArg fargs[] = {{"node",
+                                           static_cast<s64>(id)},
+                                          {"attempt", attempt}};
+                trace::Tracer::instant("graph", "transient-fault",
+                                       fargs, 2);
+                TFHE_LOG_DEBUG("graph", "node ", id, " attempt ",
+                               attempt, " transient fault at ",
+                               e.site(), ": ", e.message());
                 retryable = attempt < opt.retry.maxAttempts;
                 rollback();
                 if (!retryable)
@@ -309,6 +330,17 @@ GraphExecutor::runSchedule(const nn::NnEngine &engine,
                         e.site(), e.message(),
                         e.hasNode() ? e.node() : id);
             } catch (const IntegrityError &e) {
+                resilience::bump(
+                    resilience::Counters::instance()
+                        .integrityFailures);
+                trace::SpanArg fargs[] = {{"node",
+                                           static_cast<s64>(id)},
+                                          {"attempt", attempt}};
+                trace::Tracer::instant("graph", "integrity-error",
+                                       fargs, 2);
+                TFHE_LOG_DEBUG("graph", "node ", id, " attempt ",
+                               attempt, " integrity error at ",
+                               e.site(), ": ", e.message());
                 // A corrupted STORED value never repairs itself by
                 // re-running its consumer — surface it (recovery is
                 // resumeFrom, whose copies predate the corruption).
@@ -322,11 +354,23 @@ GraphExecutor::runSchedule(const nn::NnEngine &engine,
                         e.hasNode() ? e.node() : id);
             }
             ++res.retriesUsed;
-            resilience::backoff(opt.retry, attempt + 1);
+            resilience::bump(resilience::Counters::instance().retries);
+            {
+                // The backoff gap gets its own span so retry storms
+                // render as visible idle stretches on the timeline.
+                trace::TraceSpan sp("graph", "backoff");
+                sp.arg("node", static_cast<s64>(id))
+                    .arg("attempt", attempt + 1);
+                resilience::backoff(opt.retry, attempt + 1);
+            }
         }
 
         if (cutIt != cuts.end() && *cutIt == pos) {
             ++cutIt;
+            trace::TraceSpan cpSpan("graph", "checkpoint");
+            cpSpan.arg("pos", static_cast<s64>(pos));
+            resilience::bump(
+                resilience::Counters::instance().checkpointsTaken);
             resilience::Checkpoint cp;
             cp.resumeIndex = pos + 1;
             cp.graphNodes = g.nodes.size();
@@ -371,6 +415,13 @@ GraphExecutor::run(const nn::NnEngine &engine, std::vector<Cts> inputs,
                    "graph run: input ", i,
                    " does not match the common batch size");
 
+    // Workload-level span: the root of the workload -> node ->
+    // dispatcher-op -> kernel nesting.
+    trace::TraceSpan runSpan("graph", "graph-run");
+    runSpan.arg("nodes", static_cast<s64>(g.nodes.size()))
+        .arg("batch", static_cast<s64>(batch))
+        .arg("streams", static_cast<s64>(sched_.streamsUsed));
+
     std::vector<Cts> vals(g.values.size());
     std::vector<std::vector<u64>> sums(g.values.size());
     return runSchedule(engine, vals, sums, std::move(inputs), 0, opt);
@@ -392,6 +443,12 @@ GraphExecutor::resumeFrom(const nn::NnEngine &engine,
     requireArg(cp.valueIds.size() == cp.values.size()
                    && cp.valueIds.size() == cp.checksums.size(),
                "malformed checkpoint: parallel arrays disagree");
+
+    trace::TraceSpan runSpan("graph", "graph-resume");
+    runSpan.arg("resume_index",
+                static_cast<s64>(cp.resumeIndex));
+    resilience::bump(
+        resilience::Counters::instance().checkpointsResumed);
 
     std::vector<Cts> vals(g.values.size());
     std::vector<std::vector<u64>> sums(g.values.size());

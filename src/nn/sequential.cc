@@ -6,6 +6,7 @@
 #include "ckks/rotations.hh"
 #include "common/errors.hh"
 #include "common/logging.hh"
+#include "trace/trace.hh"
 
 namespace tensorfhe::nn
 {
@@ -168,7 +169,17 @@ Sequential::run(const NnEngine &engine,
         for (const auto &ct : t.chunks())
             flat.push_back(ct);
 
+    trace::TraceSpan runSpan("nn", "sequential-run");
+    runSpan.arg("batch", static_cast<s64>(batch.size()))
+        .arg("layers", static_cast<s64>(layers_.size()));
+
     for (const auto &l : layers_) {
+        trace::TraceSpan layerSpan("nn", l->name());
+        layerSpan
+            .arg("chunks",
+                 static_cast<s64>(l->outputMeta().chunkCount))
+            .arg("level",
+                 static_cast<s64>(l->outputMeta().levelCount));
         flat = l->apply(engine, flat);
         const TensorMeta &m = l->outputMeta();
         // Level/scale invariants after every layer: the executed

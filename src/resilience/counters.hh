@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Process-wide resilience counters — the fourth counter island
+ * (after KernelStats, EvalOpStats and the Workspace arena stats),
+ * unified with the rest behind trace::MetricsRegistry. The resilient
+ * graph executor bumps these as it recovers: per-run numbers stay on
+ * ExecResult; these accumulate across runs so a long-lived serving
+ * process can export "how often have we actually retried" without
+ * threading every ExecResult to the metrics sink.
+ */
+
+#ifndef TENSORFHE_RESILIENCE_COUNTERS_HH
+#define TENSORFHE_RESILIENCE_COUNTERS_HH
+
+#include <atomic>
+
+#include "common/types.hh"
+
+namespace tensorfhe::resilience
+{
+
+class Counters
+{
+  public:
+    static Counters &
+    instance()
+    {
+        static Counters c;
+        return c;
+    }
+
+    std::atomic<u64> retries{0};           ///< node re-executions
+    std::atomic<u64> transientFaults{0};   ///< TransientFault caught
+    std::atomic<u64> integrityFailures{0}; ///< IntegrityError caught
+    std::atomic<u64> checkpointsTaken{0};
+    std::atomic<u64> checkpointsResumed{0};
+
+    void
+    reset()
+    {
+        retries.store(0, std::memory_order_relaxed);
+        transientFaults.store(0, std::memory_order_relaxed);
+        integrityFailures.store(0, std::memory_order_relaxed);
+        checkpointsTaken.store(0, std::memory_order_relaxed);
+        checkpointsResumed.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    Counters() = default;
+};
+
+inline void
+bump(std::atomic<u64> &c, u64 n = 1)
+{
+    c.fetch_add(n, std::memory_order_relaxed);
+}
+
+} // namespace tensorfhe::resilience
+
+#endif // TENSORFHE_RESILIENCE_COUNTERS_HH

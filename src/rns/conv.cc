@@ -5,6 +5,7 @@
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/thread_pool.hh"
+#include "trace/trace.hh"
 
 namespace tensorfhe::rns
 {
@@ -245,6 +246,7 @@ ModUpPlan::apply(const RnsPolynomial &digit) const
     TFHE_ASSERT(digit.domain() == Domain::Coeff);
     TFHE_ASSERT(digit.limbIndices() == digit_limbs_,
                 "digit does not match the plan's limb set");
+    TFHE_TRACE_SPAN("rns", "modup");
     RnsPolynomial converted = conv_.apply(digit);
 
     RnsPolynomial out(*tower_, target_, Domain::Coeff);
@@ -289,6 +291,9 @@ ModUpPlan::applyBatchInto(const std::vector<const RnsPolynomial *> &digits,
     std::size_t batch = digits.size();
     if (batch == 0)
         return;
+    trace::TraceSpan tsp("rns", "modup");
+    tsp.arg("batch", static_cast<s64>(batch))
+        .arg("limbs", static_cast<s64>(target_.size()));
     std::size_t n = tower_->n();
     for (std::size_t b = 0; b < batch; ++b)
         TFHE_ASSERT(outs[b]->limbIndices() == target_
@@ -401,6 +406,7 @@ ModDownPlan::apply(const RnsPolynomial &a) const
     std::size_t ql = q_idx_.size();
     TFHE_ASSERT(matchesUnionBasis(a),
                 "polynomial does not match the plan's union basis");
+    TFHE_TRACE_SPAN("rns", "moddown");
     std::size_t n = a.n();
 
     // The special-limb part of a.
@@ -451,6 +457,9 @@ ModDownPlan::applyBatchInto(const std::vector<const RnsPolynomial *> &as,
     std::size_t batch = as.size();
     if (batch == 0)
         return;
+    trace::TraceSpan tsp("rns", "moddown");
+    tsp.arg("batch", static_cast<s64>(batch))
+        .arg("limbs", static_cast<s64>(q_idx_.size()));
     std::size_t k = p_idx_.size();
     std::size_t ql = q_idx_.size();
     std::size_t n = tower_->n();

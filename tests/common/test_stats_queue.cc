@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Regression coverage for the kernel-launch queue capture life cycle,
+ * in particular the reset()-mid-capture bug: reset() used to zero the
+ * aggregate counters but leave an open capture's queued launches (and
+ * the enabled flag) behind, so the NEXT stopQueue() returned stale
+ * entries recorded before the reset — bench sections that reset
+ * "everything" between runs silently fed the previous section's
+ * schedule to the GPU replay. reset() must discard the in-flight
+ * capture entirely.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/stats.hh"
+
+namespace tensorfhe
+{
+namespace
+{
+
+TEST(StatsQueue, ResetDiscardsInFlightQueueCapture)
+{
+    auto &ks = KernelStats::instance();
+    ks.reset();
+
+    ks.startQueue();
+    ks.record(KernelKind::Ntt, 10, 64);
+    ks.record(KernelKind::HadaMult, 10, 64);
+
+    // Bench-style "reset everything" in the middle of a capture.
+    ks.reset();
+
+    // The stale launches must be gone AND capturing must be off:
+    // records after the reset do not enqueue.
+    ks.record(KernelKind::EleAdd, 10, 64);
+    EXPECT_TRUE(ks.stopQueue().empty());
+
+    // A fresh capture starts clean and sees only its own launches.
+    ks.startQueue();
+    ks.record(KernelKind::Intt, 10, 64);
+    auto queue = ks.stopQueue();
+    ASSERT_EQ(queue.size(), 1u);
+    EXPECT_EQ(queue[0].kind, KernelKind::Intt);
+    EXPECT_EQ(queue[0].elements, 64u);
+    ks.reset();
+}
+
+TEST(StatsQueue, ResetZeroesAggregatesAlongsideTheQueue)
+{
+    auto &ks = KernelStats::instance();
+    ks.reset();
+    ks.startQueue();
+    ks.record(KernelKind::Conv, 123, 456);
+    ks.reset();
+    const auto &c = ks.counter(KernelKind::Conv);
+    EXPECT_EQ(c.invocations.load(), 0u);
+    EXPECT_EQ(c.nanos.load(), 0u);
+    EXPECT_EQ(c.elements.load(), 0u);
+    EXPECT_EQ(ks.totalNanos(), 0u);
+}
+
+TEST(StatsQueue, QueueCaptureGuardDiscardsOnUnwind)
+{
+    auto &ks = KernelStats::instance();
+    ks.reset();
+    try {
+        KernelStats::QueueCapture guard;
+        ks.record(KernelKind::Ntt, 1, 8);
+        throw std::runtime_error("mid-capture failure");
+    } catch (const std::runtime_error &) {
+        // guard's destructor stopped the capture
+    }
+    // No capture left open: a plain stopQueue finds nothing.
+    ks.record(KernelKind::Ntt, 1, 8);
+    EXPECT_TRUE(ks.stopQueue().empty());
+    ks.reset();
+}
+
+} // namespace
+} // namespace tensorfhe

@@ -19,10 +19,10 @@
 
 #include <cstdlib>
 #include <fstream>
-#include <iostream>
 #include <sstream>
 
 #include "common/errors.hh"
+#include "common/logging.hh"
 #include "fault/fault.hh"
 #include "graph/executor.hh"
 #include "workloads/cnn.hh"
@@ -49,7 +49,7 @@ campaignSeed()
 void
 appendReport(const std::string &line)
 {
-    std::cerr << "[chaos] " << line << "\n";
+    logMessage(LogLevel::Info, "chaos", line);
     const char *path = std::getenv("TENSORFHE_CHAOS_REPORT");
     if (path == nullptr)
         return;

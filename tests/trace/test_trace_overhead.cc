@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The disarmed tracer must stay cheap enough to leave compiled into
+ * every build: one relaxed atomic load and a predicted branch per
+ * instrumented scope. bench_trace_overhead enforces the real <1%
+ * budget on the LSTM graph workload; this test bounds the same fast
+ * path with a generous per-span ceiling so a regression (an
+ * accidental allocation, a mutex, a syscall on the disarmed path)
+ * fails fast in every CI build type without bench-grade noise
+ * control.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+
+#include "trace/trace.hh"
+
+namespace tensorfhe::trace
+{
+namespace
+{
+
+double
+timeSeconds(const std::function<void()> &fn)
+{
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(stop - start).count();
+}
+
+TEST(TraceOverhead, DisarmedSpanStaysUnderGenerousCeiling)
+{
+    Tracer::instance().disarm();
+    constexpr int kIters = 1 << 20;
+    // Best of three rounds: absorb one-off scheduler hiccups.
+    double best = 0;
+    for (int round = 0; round < 3; ++round) {
+        double t = timeSeconds([&] {
+            for (int i = 0; i < kIters; ++i) {
+                TraceSpan sp("test", "inert");
+                sp.arg("i", i);
+            }
+        });
+        if (best == 0 || t < best)
+            best = t;
+    }
+    double ns_per_span = best * 1e9 / kIters;
+    // The real cost is single-digit ns; 250 ns catches an order-of-
+    // magnitude regression even on a loaded Debug/sanitizer runner.
+    EXPECT_LT(ns_per_span, 250.0)
+        << "disarmed TraceSpan costs " << ns_per_span
+        << " ns — the fast path regressed";
+}
+
+TEST(TraceOverhead, DisarmedInstantIsInert)
+{
+    Tracer::instance().disarm();
+    constexpr int kIters = 1 << 20;
+    double t = timeSeconds([&] {
+        for (int i = 0; i < kIters; ++i)
+            Tracer::instant("test", "ping");
+    });
+    EXPECT_LT(t * 1e9 / kIters, 250.0);
+}
+
+} // namespace
+} // namespace tensorfhe::trace

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Core tracer semantics: span nesting depth, argument capture,
+ * ring-buffer overflow accounting, dynamic names, instant events, and
+ * — mirroring tests/common/test_stats_race.cc — thread attribution
+ * under full-pool hammering: every span must land in the recording
+ * thread's own buffer with that thread's nesting depth, with no
+ * records lost or torn while many lanes trace concurrently.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/thread_pool.hh"
+#include "trace/trace.hh"
+
+namespace tensorfhe::trace
+{
+namespace
+{
+
+/** Every test arms its own capture and disarms on exit. */
+class TraceSpans : public ::testing::Test
+{
+  protected:
+    void TearDown() override { Tracer::instance().disarm(); }
+};
+
+TEST_F(TraceSpans, DisarmedSpansRecordNothing)
+{
+    Tracer::instance().arm();
+    Tracer::instance().disarm();
+    {
+        TraceSpan sp("test", "invisible");
+        sp.arg("x", 1);
+        EXPECT_FALSE(sp.active());
+    }
+    Tracer::instant("test", "also-invisible");
+    EXPECT_EQ(Tracer::instance().recordedSpans(), 0u);
+}
+
+TEST_F(TraceSpans, NestingDepthAndCompletionOrder)
+{
+    Tracer::instance().arm();
+    {
+        TraceSpan outer("test", "outer");
+        {
+            TraceSpan mid("test", "mid");
+            TraceSpan inner("test", "inner");
+        }
+    }
+    auto threads = Tracer::instance().collect();
+    ASSERT_EQ(threads.size(), 1u);
+    const auto &recs = threads[0].records;
+    ASSERT_EQ(recs.size(), 3u);
+    // Spans record on destruction: innermost completes first.
+    EXPECT_STREQ(recs[0].displayName(), "inner");
+    EXPECT_EQ(recs[0].depth, 2u);
+    EXPECT_STREQ(recs[1].displayName(), "mid");
+    EXPECT_EQ(recs[1].depth, 1u);
+    EXPECT_STREQ(recs[2].displayName(), "outer");
+    EXPECT_EQ(recs[2].depth, 0u);
+    // Children nest inside the parent's time range.
+    EXPECT_GE(recs[0].startNs, recs[2].startNs);
+    EXPECT_LE(recs[0].startNs + recs[0].durNs,
+              recs[2].startNs + recs[2].durNs);
+}
+
+TEST_F(TraceSpans, ArgsCaptureAndOverflowDropsExtras)
+{
+    Tracer::instance().arm();
+    {
+        TraceSpan sp("test", "args");
+        sp.arg("a", 1).arg("b", -2).arg("c", 3).arg("d", 4).arg("e", 5);
+    }
+    auto recs = Tracer::instance().collect()[0].records;
+    ASSERT_EQ(recs.size(), 1u);
+    ASSERT_EQ(recs[0].numArgs, SpanRecord::kMaxArgs);
+    EXPECT_STREQ(recs[0].args[0].key, "a");
+    EXPECT_EQ(recs[0].args[1].value, -2);
+    EXPECT_STREQ(recs[0].args[3].key, "d");
+}
+
+TEST_F(TraceSpans, DynamicNamesAreCopiedAndTruncated)
+{
+    Tracer::instance().arm();
+    {
+        std::string name(64, 'x');
+        TraceSpan sp("test", name);
+        name.assign(64, 'y'); // the span must not alias the string
+    }
+    auto recs = Tracer::instance().collect()[0].records;
+    ASSERT_EQ(recs.size(), 1u);
+    std::string got = recs[0].displayName();
+    EXPECT_EQ(got, std::string(SpanRecord::kDynName - 1, 'x'));
+}
+
+TEST_F(TraceSpans, InstantEventsRecordAtCurrentDepth)
+{
+    Tracer::instance().arm();
+    {
+        TraceSpan sp("test", "parent");
+        SpanArg arg{"site", 7};
+        Tracer::instant("test", "ping", &arg, 1);
+    }
+    auto recs = Tracer::instance().collect()[0].records;
+    ASSERT_EQ(recs.size(), 2u);
+    EXPECT_EQ(recs[0].phase, 'i');
+    EXPECT_EQ(recs[0].depth, 1u);
+    EXPECT_EQ(recs[0].durNs, 0u);
+    EXPECT_EQ(recs[0].args[0].value, 7);
+    EXPECT_EQ(recs[1].phase, 'X');
+}
+
+TEST_F(TraceSpans, RingOverflowDropsAndCounts)
+{
+    Tracer::instance().arm(/*capacityPerThread=*/8);
+    for (int i = 0; i < 20; ++i)
+        TFHE_TRACE_SPAN("test", "filler");
+    EXPECT_EQ(Tracer::instance().recordedSpans(), 8u);
+    EXPECT_EQ(Tracer::instance().droppedSpans(), 12u);
+    // A truncated capture still collects cleanly.
+    EXPECT_EQ(Tracer::instance().collect()[0].records.size(), 8u);
+}
+
+TEST_F(TraceSpans, RearmClearsPreviousCapture)
+{
+    Tracer::instance().arm();
+    {
+        TFHE_TRACE_SPAN("test", "first");
+    }
+    Tracer::instance().arm();
+    EXPECT_EQ(Tracer::instance().recordedSpans(), 0u);
+    {
+        TFHE_TRACE_SPAN("test", "second");
+    }
+    Tracer::instance().disarm();
+    auto threads = Tracer::instance().collect();
+    ASSERT_EQ(threads.size(), 1u);
+    ASSERT_EQ(threads[0].records.size(), 1u);
+    EXPECT_STREQ(threads[0].records[0].displayName(), "second");
+}
+
+TEST_F(TraceSpans, ThreadAttributionUnderFullPoolHammering)
+{
+    // A private pool with real workers (the global pool may be
+    // serial on small machines). Each lane records a fixed number of
+    // nested spans; afterwards every buffer must hold complete,
+    // correctly-nested records from exactly one thread.
+    constexpr std::size_t kLanes = 16;
+    constexpr int kIters = 200;
+    Tracer::instance().arm(/*capacityPerThread=*/kLanes * kIters * 2
+                           + 16);
+    {
+        ThreadPool pool(4);
+        pool.parallelFor(0, kLanes, [&](std::size_t lane) {
+            for (int i = 0; i < kIters; ++i) {
+                TraceSpan outer("race", "outer");
+                outer.arg("lane", static_cast<s64>(lane));
+                TraceSpan inner("race", "inner");
+                inner.arg("lane", static_cast<s64>(lane));
+            }
+        });
+    }
+    Tracer::instance().disarm();
+
+    auto threads = Tracer::instance().collect();
+    ASSERT_GE(threads.size(), 1u);
+    u64 outer_total = 0;
+    u64 inner_total = 0;
+    for (const auto &tr : threads) {
+        EXPECT_EQ(tr.dropped, 0u);
+        for (const auto &r : tr.records) {
+            // The pool's own drainBatch span wraps each lane's work,
+            // so the lambda's spans sit one level below it.
+            if (std::string(r.cat) == "pool") {
+                EXPECT_EQ(r.depth, 0u);
+                continue;
+            }
+            if (std::string(r.displayName()) == "inner") {
+                EXPECT_EQ(r.depth, 2u);
+                ++inner_total;
+            } else {
+                ASSERT_STREQ(r.displayName(), "outer");
+                EXPECT_EQ(r.depth, 1u);
+                ++outer_total;
+            }
+            ASSERT_EQ(r.numArgs, 1);
+            EXPECT_LT(r.args[0].value,
+                      static_cast<s64>(kLanes));
+        }
+    }
+    EXPECT_EQ(outer_total, kLanes * kIters);
+    EXPECT_EQ(inner_total, kLanes * kIters);
+}
+
+} // namespace
+} // namespace tensorfhe::trace
