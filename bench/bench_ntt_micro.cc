@@ -15,6 +15,7 @@
 #include "common/rng.hh"
 #include "common/thread_pool.hh"
 #include "ntt/ntt.hh"
+#include "simd/simd.hh"
 
 namespace
 {
@@ -60,6 +61,35 @@ BENCHMARK(BM_NttButterfly)->DenseRange(10, 14, 2)
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_NttGemm)->DenseRange(10, 14, 2)->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_NttTensor)->DenseRange(10, 12, 2)
+    ->Unit(benchmark::kMicrosecond);
+
+/**
+ * Per-SIMD-backend butterfly column: the same forward transform with
+ * the vector backend pinned (range(1) is the simd::Backend enum
+ * value), so one run prints a scalar / avx2 / avx512 comparison
+ * table. Unsupported backends report as skipped rather than lying
+ * with fallback numbers.
+ */
+void
+BM_NttButterflyBackend(benchmark::State &state)
+{
+    auto b = static_cast<simd::Backend>(state.range(1));
+    if (!simd::backendSupported(b)) {
+        state.SkipWithError("backend unsupported on this host");
+        return;
+    }
+    simd::Backend saved = simd::activeBackend();
+    simd::setBackend(b);
+    runForward(state, NttVariant::Butterfly);
+    simd::setBackend(saved);
+    state.SetLabel(std::string("Butterfly/") + simd::backendName(b));
+}
+
+BENCHMARK(BM_NttButterflyBackend)
+    ->ArgsProduct({benchmark::CreateDenseRange(10, 14, 2),
+                   {static_cast<int>(simd::Backend::Scalar),
+                    static_cast<int>(simd::Backend::Avx2),
+                    static_cast<int>(simd::Backend::Avx512)}})
     ->Unit(benchmark::kMicrosecond);
 
 /**

@@ -34,6 +34,7 @@ TOLERANCE = 0.15
 # name -> (bench, metric key, mode, budget)
 #   mode "higher":  regression = new < old * (1 - TOLERANCE)
 #   mode "ceiling": regression = new > budget (absolute, baseline-free)
+#   mode "floor":   regression = new < budget (absolute, baseline-free)
 # The special key "@moddown_reduction" is computed, not read.
 HEADLINES = {
     "keyswitch_hoist_speedup": ("keyswitch_hoist", "@hoist_speedup", "higher", None),
@@ -44,6 +45,12 @@ HEADLINES = {
     "fault_paranoid_overhead": ("fault_overhead", "lstm_paranoid_overhead", "ceiling", 0.03),
     "trace_armed_overhead": ("trace_overhead", "armed_overhead", "ceiling", 0.05),
     "trace_disarmed_bound": ("trace_overhead", "disarmed_bound", "ceiling", 0.01),
+    # SIMD backend wins (bench_simd_backends): best vector backend vs
+    # the bit-identical scalar fallback. Floor-gated: the vectorized
+    # forward NTT must stay >= 2x scalar and the key-switch
+    # inner-product row >= 1.5x, independent of any baseline drift.
+    "ntt_simd_speedup": ("simd_backends", "ntt_simd_speedup", "floor", 2.0),
+    "ks_inner_product_simd_speedup": ("simd_backends", "ks_inner_product_speedup", "floor", 1.5),
 }
 
 
@@ -139,6 +146,10 @@ def cmd_check(args):
             ok = value <= budget
             verdict = f"<= budget {budget:g}" if ok else \
                 f"OVER BUDGET {budget:g}"
+        elif mode == "floor":
+            ok = value >= budget
+            verdict = f">= floor {budget:g}" if ok else \
+                f"UNDER FLOOR {budget:g}"
         elif old is None:
             ok, verdict = True, "new metric (no baseline)"
         else:

@@ -105,6 +105,11 @@ class Modulus
     u64 pow(u64 a, u64 e) const { return powMod(a, e, q_); }
     u64 inv(u64 a) const { return invMod(a, q_); }
 
+    /** The Barrett ratio words floor(2^128 / q) — the SIMD backends
+        replicate reduce() lane-wise from these. */
+    u64 ratioLo() const { return r0_; }
+    u64 ratioHi() const { return r1_; }
+
   private:
     u64 q_ = 0;
     u64 r0_ = 0; ///< low word of floor(2^128 / q)
@@ -120,6 +125,18 @@ inline u64
 shoupPrecompute(u64 w, u64 q)
 {
     return static_cast<u64>((static_cast<u128>(w) << 64) / q);
+}
+
+/**
+ * Shoup precomputation against a reduced wordbase beta = 2^bits
+ * (bits <= 62): floor(w * 2^bits / q). The SIMD lanes use bits = 32
+ * (q < 2^30, products via single 32x32 multiplies) and bits = 52
+ * (q < 2^50, AVX-512IFMA madd52 high halves).
+ */
+inline u64
+shoupPrecomputeBeta(u64 w, u64 q, int bits)
+{
+    return static_cast<u64>((static_cast<u128>(w) << bits) / q);
 }
 
 /**

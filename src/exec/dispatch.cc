@@ -186,6 +186,53 @@ Dispatcher::rescaleInPlace(ckks::Ciphertext *as, std::size_t batch) const
 }
 
 void
+Dispatcher::multiplyPlainRescaleInPlace(ckks::Ciphertext *as,
+                                        const ckks::Plaintext &p,
+                                        std::size_t batch) const
+{
+    TFHE_TRACE_SPAN("exec", "multiplyPlainRescale");
+    if (batch == 0)
+        return;
+    EvalOpStats::instance().record(EvalOpKind::CMult, batch);
+    EvalOpStats::instance().record(EvalOpKind::Rescale, batch);
+    std::size_t lc = as[0].levelCount();
+    u64 q_last = ctx_.tower().prime(as[0].c1.limbIndex(lc - 1));
+    auto v = ctx_.nttVariant();
+
+    // CMULT + INTT fused per (slot, component, tower); components
+    // come back in the coefficient domain.
+    hadaMultPlainInttCts(kctx_, as, p, v, batch);
+
+    // From here the dataflow is rescaleInPlace's, verbatim.
+    std::vector<rns::RnsPolynomial *> comps;
+    comps.reserve(2 * batch);
+    for (std::size_t s = 0; s < batch; ++s) {
+        comps.push_back(&as[s].c0);
+        comps.push_back(&as[s].c1);
+    }
+    std::vector<const rns::RnsPolynomial *> inputs(comps.begin(),
+                                                   comps.end());
+    auto dropped = rns::rescaleByLastLimbBatch(inputs, kctx_.pool);
+    for (std::size_t s = 0; s < batch; ++s) {
+        ws_->donate(std::move(as[s].c0));
+        ws_->donate(std::move(as[s].c1));
+        as[s].c0 = std::move(dropped[2 * s]);
+        as[s].c1 = std::move(dropped[2 * s + 1]);
+    }
+    comps.clear();
+    for (std::size_t s = 0; s < batch; ++s) {
+        comps.push_back(&as[s].c0);
+        comps.push_back(&as[s].c1);
+    }
+    rns::toEvalBatch(comps, v, kctx_.pool);
+    // Same double arithmetic order as the eager pair: the CMULT's
+    // (a.scale * p.scale) product first, then the rescale's divide.
+    for (std::size_t s = 0; s < batch; ++s)
+        as[s].scale = as[s].scale * p.scale
+            / static_cast<double>(q_last);
+}
+
+void
 Dispatcher::multiplyInPlace(ckks::Ciphertext *as,
                             const ckks::Ciphertext *bs,
                             std::size_t batch) const
@@ -384,9 +431,13 @@ Dispatcher::tailRawInto(const HoistedView &h, const ckks::SwitchKey &key,
     TFHE_FAULT_POINT("exec/keyswitch-tail");
     EvalOpStats::instance().record(EvalOpKind::KsTail, h.batchN);
     auto rk = ctx_.restrictedKey(key, h.levelCount);
+    // Lazy accumulation across the digit rows: one reduction to
+    // canonical per accumulator cell (on the last row) instead of one
+    // per term.
     for (std::size_t j = 0; j < h.numDigits; ++j)
-        innerProductAccum(kctx_, acc0, acc1, h.row(j), rk->b[j],
-                          rk->a[j], h.batchN);
+        innerProductAccumLazy(kctx_, acc0, acc1, h.row(j), rk->b[j],
+                              rk->a[j], h.batchN,
+                              j + 1 == h.numDigits);
 }
 
 std::pair<std::vector<rns::RnsPolynomial>, std::vector<rns::RnsPolynomial>>

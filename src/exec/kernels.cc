@@ -3,6 +3,7 @@
 #include "common/logging.hh"
 #include "common/modarith.hh"
 #include "common/thread_pool.hh"
+#include "simd/simd.hh"
 
 namespace tensorfhe::exec
 {
@@ -14,50 +15,44 @@ KernelCtx::KernelCtx(ThreadPool *p)
 namespace
 {
 
-/** Shared body of the ciphertext-pair elementwise kernels. */
-template <typename OpFn>
+/** Shared body of the ciphertext-pair elementwise kernels; addOp
+    selects addSpan vs subSpan of the active SIMD backend. */
 void
 elementwisePair(const KernelCtx &ctx, ckks::Ciphertext *out,
                 const ckks::Ciphertext *b, std::size_t batch,
-                KernelKind kind, OpFn &&op)
+                KernelKind kind, bool addOp)
 {
     if (batch == 0)
         return;
     std::size_t limbs = out[0].levelCount();
     std::size_t n = out[0].c0.n();
+    const simd::Ops &v = simd::ops();
+    auto span = addOp ? v.addSpan : v.subSpan;
     ScopedKernelTimer timer(kind, 2 * batch * limbs * n);
     ctx.pool->parallelFor2D(batch, limbs,
                             [&](std::size_t s, std::size_t i) {
-        const Modulus &mod = out[s].c0.limbModulus(i);
-        u64 *p0 = out[s].c0.limb(i);
-        u64 *p1 = out[s].c1.limb(i);
-        const u64 *q0 = b[s].c0.limb(i);
-        const u64 *q1 = b[s].c1.limb(i);
-        for (std::size_t c = 0; c < n; ++c) {
-            p0[c] = op(mod, p0[c], q0[c]);
-            p1[c] = op(mod, p1[c], q1[c]);
-        }
+        u64 q = out[s].c0.limbModulus(i).value();
+        span(out[s].c0.limb(i), b[s].c0.limb(i), n, q);
+        span(out[s].c1.limb(i), b[s].c1.limb(i), n, q);
     });
 }
 
-template <typename OpFn>
 void
 plainC0(const KernelCtx &ctx, ckks::Ciphertext *out,
         const ckks::Plaintext &p, std::size_t batch, KernelKind kind,
-        OpFn &&op)
+        bool addOp)
 {
     if (batch == 0)
         return;
     std::size_t limbs = out[0].levelCount();
     std::size_t n = out[0].c0.n();
+    const simd::Ops &v = simd::ops();
+    auto span = addOp ? v.addSpan : v.subSpan;
     ScopedKernelTimer timer(kind, batch * limbs * n);
     ctx.pool->parallelFor2D(batch, limbs,
                             [&](std::size_t s, std::size_t i) {
-        const Modulus &mod = out[s].c0.limbModulus(i);
-        u64 *p0 = out[s].c0.limb(i);
-        const u64 *pp = p.poly.limb(i);
-        for (std::size_t c = 0; c < n; ++c)
-            p0[c] = op(mod, p0[c], pp[c]);
+        span(out[s].c0.limb(i), p.poly.limb(i), n,
+             out[s].c0.limbModulus(i).value());
     });
 }
 
@@ -67,36 +62,28 @@ void
 eleAddCts(const KernelCtx &ctx, ckks::Ciphertext *out,
           const ckks::Ciphertext *b, std::size_t batch)
 {
-    elementwisePair(ctx, out, b, batch, KernelKind::EleAdd,
-                    [](const Modulus &m, u64 x, u64 y) {
-                        return m.add(x, y);
-                    });
+    elementwisePair(ctx, out, b, batch, KernelKind::EleAdd, true);
 }
 
 void
 eleSubCts(const KernelCtx &ctx, ckks::Ciphertext *out,
           const ckks::Ciphertext *b, std::size_t batch)
 {
-    elementwisePair(ctx, out, b, batch, KernelKind::EleSub,
-                    [](const Modulus &m, u64 x, u64 y) {
-                        return m.sub(x, y);
-                    });
+    elementwisePair(ctx, out, b, batch, KernelKind::EleSub, false);
 }
 
 void
 addPlainC0(const KernelCtx &ctx, ckks::Ciphertext *out,
            const ckks::Plaintext &p, std::size_t batch)
 {
-    plainC0(ctx, out, p, batch, KernelKind::EleAdd,
-            [](const Modulus &m, u64 x, u64 y) { return m.add(x, y); });
+    plainC0(ctx, out, p, batch, KernelKind::EleAdd, true);
 }
 
 void
 subPlainC0(const KernelCtx &ctx, ckks::Ciphertext *out,
            const ckks::Plaintext &p, std::size_t batch)
 {
-    plainC0(ctx, out, p, batch, KernelKind::EleSub,
-            [](const Modulus &m, u64 x, u64 y) { return m.sub(x, y); });
+    plainC0(ctx, out, p, batch, KernelKind::EleSub, false);
 }
 
 void
@@ -107,18 +94,55 @@ hadaMultPlainCts(const KernelCtx &ctx, ckks::Ciphertext *out,
         return;
     std::size_t limbs = out[0].levelCount();
     std::size_t n = out[0].c0.n();
+    const simd::Ops &v = simd::ops();
     ScopedKernelTimer timer(KernelKind::HadaMult, 2 * batch * limbs * n);
     ctx.pool->parallelFor2D(batch, limbs,
                             [&](std::size_t s, std::size_t i) {
         const Modulus &mod = out[s].c0.limbModulus(i);
-        u64 *p0 = out[s].c0.limb(i);
-        u64 *p1 = out[s].c1.limb(i);
         const u64 *pp = p.poly.limb(i);
-        for (std::size_t c = 0; c < n; ++c) {
-            p0[c] = mod.mul(p0[c], pp[c]);
-            p1[c] = mod.mul(p1[c], pp[c]);
-        }
+        v.mulSpan(out[s].c0.limb(i), pp, n, mod);
+        v.mulSpan(out[s].c1.limb(i), pp, n, mod);
     });
+}
+
+void
+hadaMultPlainInttCts(const KernelCtx &ctx, ckks::Ciphertext *out,
+                     const ckks::Plaintext &p, ntt::NttVariant v,
+                     std::size_t batch)
+{
+    if (batch == 0)
+        return;
+    std::size_t limbs = out[0].levelCount();
+    std::size_t n = out[0].c0.n();
+    const simd::Ops &vops = simd::ops();
+    auto start = std::chrono::steady_clock::now();
+    // Flatten (slot x component x tower) so each lane's unit of work
+    // is one limb's multiply immediately followed by its transform.
+    ctx.pool->parallelFor2D(batch, 2 * limbs,
+                            [&](std::size_t s, std::size_t k) {
+        rns::RnsPolynomial &comp = k < limbs ? out[s].c0 : out[s].c1;
+        std::size_t i = k % limbs;
+        vops.mulSpan(comp.limb(i), p.poly.limb(i), n,
+                     comp.limbModulus(i));
+        ntt::detail::inverseOneUntimed(
+            comp.tower().nttContext(comp.limbIndex(i)), comp.limb(i), v);
+    });
+    auto stop = std::chrono::steady_clock::now();
+    u64 ns = static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            stop - start).count());
+    // The replaced launch pair, in its execution order (CMULT core,
+    // then the batched INTT); one fused traversal's wall time is
+    // attributed half to each kind.
+    u64 elements = 2 * batch * limbs * n;
+    KernelStats::instance().record(KernelKind::HadaMult, ns / 2,
+                                   elements);
+    KernelStats::instance().record(KernelKind::Intt, ns - ns / 2,
+                                   elements);
+    for (std::size_t s = 0; s < batch; ++s) {
+        out[s].c0.setDomain(rns::Domain::Coeff);
+        out[s].c1.setDomain(rns::Domain::Coeff);
+    }
 }
 
 void
@@ -132,23 +156,14 @@ multiplyTriple(const KernelCtx &ctx, const ckks::Ciphertext *a,
         return;
     std::size_t limbs = a[0].levelCount();
     std::size_t n = a[0].c0.n();
+    const simd::Ops &v = simd::ops();
     ScopedKernelTimer timer(KernelKind::HadaMult, 4 * batch * limbs * n);
     ctx.pool->parallelFor2D(batch, limbs,
                             [&](std::size_t s, std::size_t i) {
         const Modulus &mod = d0s[s]->limbModulus(i);
-        u64 *p0 = d0s[s]->limb(i);
-        u64 *p1 = d1s[s]->limb(i);
-        u64 *p2 = d2s[s]->limb(i);
-        const u64 *a0 = a[s].c0.limb(i);
-        const u64 *a1 = a[s].c1.limb(i);
-        const u64 *b0 = b[s].c0.limb(i);
-        const u64 *b1 = b[s].c1.limb(i);
-        for (std::size_t c = 0; c < n; ++c) {
-            p0[c] = mod.mul(a0[c], b0[c]);
-            p1[c] = mod.add(mod.mul(a0[c], b1[c]),
-                            mod.mul(a1[c], b0[c]));
-            p2[c] = mod.mul(a1[c], b1[c]);
-        }
+        v.mulTriple(d0s[s]->limb(i), d1s[s]->limb(i), d2s[s]->limb(i),
+                    a[s].c0.limb(i), a[s].c1.limb(i), b[s].c0.limb(i),
+                    b[s].c1.limb(i), n, mod);
     });
 }
 
@@ -160,14 +175,36 @@ addPolysInPlace(const KernelCtx &ctx, rns::RnsPolynomial *const *accs,
         return;
     std::size_t limbs = accs[0]->numLimbs();
     std::size_t n = accs[0]->n();
+    const simd::Ops &v = simd::ops();
     ScopedKernelTimer timer(KernelKind::EleAdd, batch * limbs * n);
     ctx.pool->parallelFor2D(batch, limbs,
                             [&](std::size_t s, std::size_t i) {
-        const Modulus &mod = accs[s]->limbModulus(i);
-        u64 *pa = accs[s]->limb(i);
-        const u64 *pb = bs[s]->limb(i);
-        for (std::size_t c = 0; c < n; ++c)
-            pa[c] = mod.add(pa[c], pb[c]);
+        v.addSpan(accs[s]->limb(i), bs[s]->limb(i), n,
+                  accs[s]->limbModulus(i).value());
+    });
+}
+
+void
+innerProductAccumLazy(const KernelCtx &ctx,
+                      rns::RnsPolynomial *const *acc0,
+                      rns::RnsPolynomial *const *acc1,
+                      const rns::RnsPolynomial *const *digits,
+                      const rns::RnsPolynomial &keyb,
+                      const rns::RnsPolynomial &keya, std::size_t batch,
+                      bool lastRow)
+{
+    if (batch == 0)
+        return;
+    std::size_t ul = acc0[0]->numLimbs();
+    std::size_t n = acc0[0]->n();
+    const simd::Ops &v = simd::ops();
+    ScopedKernelTimer timer(KernelKind::HadaMult, 2 * batch * ul * n);
+    ctx.pool->parallelFor2D(batch, ul,
+                            [&](std::size_t s, std::size_t i) {
+        const rns::RnsPolynomial &up = *digits[s];
+        v.ipAccumLazy(acc0[s]->limb(i), acc1[s]->limb(i), up.limb(i),
+                      keyb.limb(i), keya.limb(i), n, up.limbModulus(i),
+                      lastRow);
     });
 }
 
@@ -178,25 +215,8 @@ innerProductAccum(const KernelCtx &ctx, rns::RnsPolynomial *const *acc0,
                   const rns::RnsPolynomial &keyb,
                   const rns::RnsPolynomial &keya, std::size_t batch)
 {
-    if (batch == 0)
-        return;
-    std::size_t ul = acc0[0]->numLimbs();
-    std::size_t n = acc0[0]->n();
-    ScopedKernelTimer timer(KernelKind::HadaMult, 2 * batch * ul * n);
-    ctx.pool->parallelFor2D(batch, ul,
-                            [&](std::size_t s, std::size_t i) {
-        const rns::RnsPolynomial &up = *digits[s];
-        const Modulus &mod = up.limbModulus(i);
-        const u64 *pu = up.limb(i);
-        const u64 *pb = keyb.limb(i);
-        const u64 *pa = keya.limb(i);
-        u64 *p0 = acc0[s]->limb(i);
-        u64 *p1 = acc1[s]->limb(i);
-        for (std::size_t c = 0; c < n; ++c) {
-            p0[c] = mod.add(p0[c], mod.mul(pu[c], pb[c]));
-            p1[c] = mod.add(p1[c], mod.mul(pu[c], pa[c]));
-        }
-    });
+    innerProductAccumLazy(ctx, acc0, acc1, digits, keyb, keya, batch,
+                          true);
 }
 
 void
@@ -210,15 +230,12 @@ hadaAccumPlain(const KernelCtx &ctx, rns::RnsPolynomial *const *accs,
     std::size_t n = accs[0]->n();
     TFHE_ASSERT(p.poly.numLimbs() >= limbs,
                 "plaintext does not cover the accumulator basis");
+    const simd::Ops &v = simd::ops();
     ScopedKernelTimer timer(KernelKind::HadaMult, batch * limbs * n);
     ctx.pool->parallelFor2D(batch, limbs,
                             [&](std::size_t s, std::size_t i) {
-        const Modulus &mod = accs[s]->limbModulus(i);
-        u64 *pa = accs[s]->limb(i);
-        const u64 *ps = srcs[s]->limb(i);
-        const u64 *pp = p.poly.limb(i);
-        for (std::size_t c = 0; c < n; ++c)
-            pa[c] = mod.add(pa[c], mod.mul(pp[c], ps[c]));
+        v.mulAccum(accs[s]->limb(i), p.poly.limb(i), srcs[s]->limb(i), n,
+                   accs[s]->limbModulus(i));
     });
 }
 
@@ -234,17 +251,13 @@ addPLifted(const KernelCtx &ctx, rns::RnsPolynomial *const *accs,
     std::size_t n = srcs[0]->n();
     TFHE_ASSERT(accs[0]->numLimbs() >= limbs,
                 "accumulator smaller than the lifted source");
+    const simd::Ops &v = simd::ops();
     ScopedKernelTimer timer(KernelKind::HadaMult, batch * limbs * n);
     ctx.pool->parallelFor2D(batch, limbs,
                             [&](std::size_t s, std::size_t i) {
-        const Modulus &mod = accs[s]->limbModulus(i);
-        u64 *pa = accs[s]->limb(i);
-        const u64 *ps = srcs[s]->limb(i);
-        u64 scalar = pmodq[i];
-        u64 shoup = pmodqShoup[i];
-        for (std::size_t c = 0; c < n; ++c)
-            pa[c] = mod.add(pa[c], mulModShoup(ps[c], scalar, shoup,
-                                               mod.value()));
+        v.mulShoupAccum(accs[s]->limb(i), srcs[s]->limb(i), pmodq[i],
+                        pmodqShoup[i], n,
+                        accs[s]->limbModulus(i).value());
     });
 }
 
@@ -260,47 +273,37 @@ fusedElementwise(const KernelCtx &ctx, const FusedSpec &spec,
                 "fused chain exceeds the register file");
     std::size_t limbs = out[0].levelCount();
     std::size_t n = out[0].c0.n();
+
+    // Translate the program once per launch into the simd layer's
+    // layout-mirrored instruction form.
+    std::vector<simd::EleIns> ins(spec.ins.size());
+    for (std::size_t k = 0; k < spec.ins.size(); ++k) {
+        ins[k].op = static_cast<u8>(spec.ins[k].op);
+        ins[k].dst = spec.ins[k].dst;
+        ins[k].src = spec.ins[k].src;
+        ins[k].idx = spec.ins[k].idx;
+    }
+    constexpr std::size_t kMaxPtrs = 32;
+    TFHE_ASSERT(spec.numInputs <= kMaxPtrs && spec.numPts <= kMaxPtrs,
+                "fused chain exceeds the pointer file");
+
+    const simd::Ops &v = simd::ops();
     ScopedKernelTimer timer(KernelKind::FusedEle,
                             spec.elementsFactor * batch * limbs * n);
     ctx.pool->parallelFor2D(batch, limbs,
                             [&](std::size_t s, std::size_t i) {
-        const Modulus &mod = out[s].c0.limbModulus(i);
-        u64 *o0 = out[s].c0.limb(i);
-        u64 *o1 = out[s].c1.limb(i);
-        for (std::size_t c = 0; c < n; ++c) {
-            u64 r0[FusedSpec::kMaxRegs];
-            u64 r1[FusedSpec::kMaxRegs];
-            for (const auto &in : spec.ins) {
-                switch (in.op) {
-                  case FusedSpec::Op::Load: {
-                      const ckks::Ciphertext &a = inputs[in.idx][s];
-                      r0[in.dst] = a.c0.limb(i)[c];
-                      r1[in.dst] = a.c1.limb(i)[c];
-                      break;
-                  }
-                  case FusedSpec::Op::AddCt:
-                      r0[in.dst] = mod.add(r0[in.dst], r0[in.src]);
-                      r1[in.dst] = mod.add(r1[in.dst], r1[in.src]);
-                      break;
-                  case FusedSpec::Op::SubCt:
-                      r0[in.dst] = mod.sub(r0[in.dst], r0[in.src]);
-                      r1[in.dst] = mod.sub(r1[in.dst], r1[in.src]);
-                      break;
-                  case FusedSpec::Op::MulPt: {
-                      u64 p = pts[in.idx]->poly.limb(i)[c];
-                      r0[in.dst] = mod.mul(r0[in.dst], p);
-                      r1[in.dst] = mod.mul(r1[in.dst], p);
-                      break;
-                  }
-                  case FusedSpec::Op::AddPt:
-                      r0[in.dst] = mod.add(
-                          r0[in.dst], pts[in.idx]->poly.limb(i)[c]);
-                      break;
-                }
-            }
-            o0[c] = r0[spec.result];
-            o1[c] = r1[spec.result];
+        const u64 *in0[kMaxPtrs];
+        const u64 *in1[kMaxPtrs];
+        const u64 *pp[kMaxPtrs];
+        for (std::size_t k = 0; k < spec.numInputs; ++k) {
+            in0[k] = inputs[k][s].c0.limb(i);
+            in1[k] = inputs[k][s].c1.limb(i);
         }
+        for (std::size_t k = 0; k < spec.numPts; ++k)
+            pp[k] = pts[k]->poly.limb(i);
+        v.fusedEle(ins.data(), ins.size(), spec.result,
+                   out[s].c0.limb(i), out[s].c1.limb(i), in0, in1, pp, n,
+                   out[s].c0.limbModulus(i));
     });
 }
 
@@ -313,13 +316,11 @@ mulScalarShoup(const KernelCtx &ctx, rns::RnsPolynomial *const *polys,
         return;
     std::size_t limbs = polys[0]->numLimbs();
     std::size_t n = polys[0]->n();
+    const simd::Ops &v = simd::ops();
     ctx.pool->parallelFor2D(batch, limbs,
                             [&](std::size_t s, std::size_t i) {
-        const Modulus &mod = polys[s]->limbModulus(i);
-        u64 *p = polys[s]->limb(i);
-        for (std::size_t c = 0; c < n; ++c)
-            p[c] = mulModShoup(p[c], scalars[i], scalarsShoup[i],
-                               mod.value());
+        v.mulShoup(polys[s]->limb(i), scalars[i], scalarsShoup[i], n,
+                   polys[s]->limbModulus(i).value());
     });
 }
 

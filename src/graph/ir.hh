@@ -74,6 +74,7 @@ enum class NodeKind : int
     BsgsSum,         ///< Dispatcher::applyBsgsSum over term chunks
     LayerApply,      ///< opaque nn::Layer::apply (Bootstrap)
     FusedEle,        ///< scheduler-emitted fused elementwise chain
+    MulPlainRescale, ///< scheduler-emitted fused CMULT+RESCALE
     NumKinds
 };
 

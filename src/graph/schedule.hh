@@ -1,6 +1,12 @@
 /**
  * @file
- * Graph scheduler: elementwise fusion + stream assignment.
+ * Graph scheduler: elementwise fusion, mul+rescale fusion, and
+ * stream assignment.
+ *
+ * A MulPlain whose product feeds a single-consumer, non-output
+ * Rescale is rewritten to one MulPlainRescale node first
+ * (BatchedEvaluator::multiplyPlainRescale — the CMULT and the
+ * rescale's INTT share one cache-hot pass); see mulRescaleFusePass.
  *
  * Fusion rewrites maximal single-consumer trees of elementwise nodes
  * (Add / Sub / AddPlain / MulPlain — the kinds whose kernels are one
@@ -53,6 +59,8 @@ struct Schedule
     std::vector<int> stream;
     std::size_t fusedGroups = 0;  ///< FusedEle nodes emitted
     std::size_t fusedMembers = 0; ///< member ops folded into them
+    /** MulPlain -> Rescale pairs fused into MulPlainRescale nodes. */
+    std::size_t mulRescaleFused = 0;
     int streamsUsed = 0;
 
     /** Elementwise launches eliminated: each group of m members

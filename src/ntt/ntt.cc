@@ -205,6 +205,12 @@ bitReversePermute(u64 *a, std::size_t n)
     }
 }
 
+void
+inverseOneUntimed(const NttContext &ctx, u64 *a, NttVariant v)
+{
+    dispatchOne(ctx, a, v, false);
+}
+
 } // namespace detail
 
 } // namespace tensorfhe::ntt

@@ -7,12 +7,16 @@
  * blames for GPGPU pipeline stalls.
  *
  * The raw CT pass emits bit-reversed order and the GS pass consumes
- * it; the public API is natural order, so each entry point adds one
- * permutation pass.
+ * it; the public API is natural order. The entry points first offer
+ * the transform to the active SIMD backend, whose vector stages fold
+ * the bit-reverse permutation into their first/last gathers; when it
+ * declines (scalar backend, or n below two vector widths) the scalar
+ * pass below runs with an explicit permutation pass.
  */
 
 #include "common/stats.hh"
 #include "ntt/ntt.hh"
+#include "simd/simd.hh"
 
 namespace tensorfhe::ntt::detail
 {
@@ -77,6 +81,8 @@ gsInverse(const TwiddleTable &tbl, u64 *a)
 void
 forwardButterfly(const TwiddleTable &t, u64 *a)
 {
+    if (simd::ops().nttForward(t, a))
+        return;
     ctForward(t, a);
     bitReversePermute(a, t.n());
 }
@@ -84,6 +90,8 @@ forwardButterfly(const TwiddleTable &t, u64 *a)
 void
 inverseButterfly(const TwiddleTable &t, u64 *a)
 {
+    if (simd::ops().nttInverse(t, a))
+        return;
     bitReversePermute(a, t.n());
     gsInverse(t, a);
 }

@@ -41,6 +41,49 @@ TwiddleTable::buildButterfly()
     }
     bf_.nInv = mod_.inv(n_ % q);
     bf_.nInvShoup = shoupPrecompute(bf_.nInv, q);
+
+    // SIMD companions: the folded-permutation gather map and the
+    // reordered forward last-stage twiddles (see twiddle.hh).
+    std::size_t half = n_ / 2;
+    bf_.brHalf.resize(half);
+    bf_.fwdLastTw.resize(half);
+    bf_.fwdLastTwShoup.resize(half);
+    for (std::size_t r = 0; r < half; ++r) {
+        u64 br = bitReverse(static_cast<u32>(r), logN_ - 1);
+        bf_.brHalf[r] = br;
+        u64 w = bf_.psiRev[half + br];
+        bf_.fwdLastTw[r] = w;
+        bf_.fwdLastTwShoup[r] = shoupPrecompute(w, q);
+    }
+    bf_.invLastW = mod_.mul(bf_.psiInvRev[1], bf_.nInv);
+    bf_.invLastWShoup = shoupPrecompute(bf_.invLastW, q);
+
+    auto buildBeta = [&](int bits, std::vector<u64> &psi,
+                         std::vector<u64> &psiInv,
+                         std::vector<u64> &fwdLast, u64 &nInvB,
+                         u64 &invLastB) {
+        psi.resize(n_);
+        psiInv.resize(n_);
+        fwdLast.resize(half);
+        for (std::size_t i = 0; i < n_; ++i) {
+            psi[i] = shoupPrecomputeBeta(bf_.psiRev[i], q, bits);
+            psiInv[i] = shoupPrecomputeBeta(bf_.psiInvRev[i], q, bits);
+        }
+        for (std::size_t r = 0; r < half; ++r)
+            fwdLast[r] = shoupPrecomputeBeta(bf_.fwdLastTw[r], q, bits);
+        nInvB = shoupPrecomputeBeta(bf_.nInv, q, bits);
+        invLastB = shoupPrecomputeBeta(bf_.invLastW, q, bits);
+    };
+    bf_.haveShoup32 = q < (u64(1) << 30);
+    if (bf_.haveShoup32)
+        buildBeta(32, bf_.psiRevShoup32, bf_.psiInvRevShoup32,
+                  bf_.fwdLastTwShoup32, bf_.nInvShoup32,
+                  bf_.invLastWShoup32);
+    bf_.haveShoup52 = q < (u64(1) << 50);
+    if (bf_.haveShoup52)
+        buildBeta(52, bf_.psiRevShoup52, bf_.psiInvRevShoup52,
+                  bf_.fwdLastTwShoup52, bf_.nInvShoup52,
+                  bf_.invLastWShoup52);
 }
 
 void

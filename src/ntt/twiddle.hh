@@ -23,6 +23,23 @@ namespace tensorfhe::ntt
 /**
  * Butterfly tables: powers of the 2N-th root psi in bit-reversed
  * order (Longa-Naehrig layout) plus Shoup precomputations.
+ *
+ * The layout is stage-major: stage m of the CT pass reads the
+ * contiguous block psiRev[m, 2m) (and the GS pass psiInvRev[h, 2h)),
+ * so every vector stage streams its twiddles sequentially. The extra
+ * tables below serve the SIMD path, which folds the standalone
+ * bit-reverse permutation into the first/last butterfly stage
+ * (docs/SIMD.md):
+ *  - brHalf[r] = bitrev over log2(N/2) bits of r — the gather index
+ *    map of the folded stages, widened to u64 for vector gathers;
+ *  - fwdLastTw[r] = psiRev[N/2 + brHalf[r]] — the forward last-stage
+ *    twiddles reordered by output position so they stream instead of
+ *    gather;
+ *  - invLastW = psiInvRev[1] * nInv — the GS last stage with the
+ *    N^-1 scaling folded in.
+ * The beta = 2^32 and beta = 2^52 Shoup companions feed the 32-bit
+ * lazy lane (q < 2^30) and the AVX-512IFMA lane (q < 2^50); they are
+ * only built when the modulus qualifies.
  */
 struct ButterflyTables
 {
@@ -32,6 +49,26 @@ struct ButterflyTables
     std::vector<u64> psiInvRevShoup;
     u64 nInv = 0;                  ///< N^-1 mod q
     u64 nInvShoup = 0;
+
+    std::vector<u64> brHalf;       ///< bitrev_{N/2}(r), r < N/2
+    std::vector<u64> fwdLastTw;    ///< psiRev[N/2 + brHalf[r]]
+    std::vector<u64> fwdLastTwShoup;
+    u64 invLastW = 0;              ///< psiInvRev[1] * nInv mod q
+    u64 invLastWShoup = 0;
+
+    bool haveShoup32 = false;      ///< beta = 2^32 tables (q < 2^30)
+    std::vector<u64> psiRevShoup32;
+    std::vector<u64> psiInvRevShoup32;
+    std::vector<u64> fwdLastTwShoup32;
+    u64 nInvShoup32 = 0;
+    u64 invLastWShoup32 = 0;
+
+    bool haveShoup52 = false;      ///< beta = 2^52 tables (q < 2^50)
+    std::vector<u64> psiRevShoup52;
+    std::vector<u64> psiInvRevShoup52;
+    std::vector<u64> fwdLastTwShoup52;
+    u64 nInvShoup52 = 0;
+    u64 invLastWShoup52 = 0;
 };
 
 /**

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * AVX-512IFMA NTT sub-path: the only TU compiled with -mavx512ifma,
+ * so no IFMA instruction can leak into code that runs on plain
+ * AVX-512 hosts. Provides the beta = 2^52 lazy Shoup butterflies —
+ * madd52hi is a single instruction where the DQ lane needs a full
+ * emulated mulhi — valid for q < 2^50 (inputs stay < 4q <= 2^52).
+ * The caller (kernels_avx512.cc) has already checked the CPUID bit
+ * and haveShoup52 before dispatching here.
+ */
+
+#include "simd/simd.hh"
+#include "simd/vec_avx512.hh"
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__) \
+    && defined(__AVX512IFMA__)
+
+#include "simd/vec_kernels.hh"
+
+namespace tensorfhe::simd::detail
+{
+
+namespace
+{
+
+using V = VecAvx512;
+
+struct Ifma52
+{
+    static __m512i
+    lazy(__m512i x, __m512i w, __m512i wsh, __m512i q)
+    {
+        __m512i k =
+            _mm512_madd52hi_epu64(_mm512_setzero_si512(), x, wsh);
+        return _mm512_sub_epi64(_mm512_mullo_epi64(x, w),
+                                _mm512_mullo_epi64(k, q));
+    }
+};
+
+} // namespace
+
+bool
+nttForwardIfma(const ntt::TwiddleTable &t, u64 *a)
+{
+    return vec::nttForward<V, Ifma52>(t, a, 52);
+}
+
+bool
+nttInverseIfma(const ntt::TwiddleTable &t, u64 *a)
+{
+    return vec::nttInverse<V, Ifma52>(t, a, 52);
+}
+
+} // namespace tensorfhe::simd::detail
+
+#else // IFMA not available in this build
+
+namespace tensorfhe::simd::detail
+{
+
+bool
+nttForwardIfma(const ntt::TwiddleTable &, u64 *)
+{
+    return false;
+}
+
+bool
+nttInverseIfma(const ntt::TwiddleTable &, u64 *)
+{
+    return false;
+}
+
+} // namespace tensorfhe::simd::detail
+
+#endif

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Backend selection: CPUID probe + TFHE_SIMD override, resolved once
+ * at first ops() call. setBackend() re-points the active table for
+ * tests and per-backend bench columns.
+ */
+
+#include "simd/simd.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace tensorfhe::simd
+{
+
+namespace
+{
+
+bool
+cpuHas(Backend b)
+{
+#if defined(__x86_64__) || defined(__i386__)
+    switch (b) {
+      case Backend::Scalar:
+        return true;
+      case Backend::Avx2:
+        return __builtin_cpu_supports("avx2");
+      case Backend::Avx512:
+        return __builtin_cpu_supports("avx512f")
+            && __builtin_cpu_supports("avx512dq")
+            && __builtin_cpu_supports("avx512vl");
+    }
+    return false;
+#else
+    return b == Backend::Scalar;
+#endif
+}
+
+const Ops *
+table(Backend b)
+{
+    switch (b) {
+      case Backend::Scalar: return scalarOps();
+      case Backend::Avx2: return avx2Ops();
+      case Backend::Avx512: return avx512Ops();
+    }
+    return nullptr;
+}
+
+/** Best backend the host runs, honoring TFHE_SIMD. */
+const Ops *
+resolve()
+{
+    Backend pick = Backend::Scalar;
+    for (Backend b : {Backend::Avx512, Backend::Avx2}) {
+        if (cpuHas(b) && table(b)) {
+            pick = b;
+            break;
+        }
+    }
+    if (const char *env = std::getenv("TFHE_SIMD")) {
+        Backend want;
+        if (!parseBackend(env, want)) {
+            TFHE_LOG_WARN("simd", "TFHE_SIMD=", env,
+                          " not recognized; using ",
+                          backendName(pick));
+        } else if (!cpuHas(want) || !table(want)) {
+            TFHE_LOG_WARN("simd", "TFHE_SIMD=", env,
+                          " unsupported on this host; using ",
+                          backendName(pick));
+        } else {
+            pick = want;
+        }
+    }
+    return table(pick);
+}
+
+std::atomic<const Ops *> &
+active()
+{
+    static std::atomic<const Ops *> a{resolve()};
+    return a;
+}
+
+} // namespace
+
+const Ops &
+ops()
+{
+    return *active().load(std::memory_order_relaxed);
+}
+
+Backend
+activeBackend()
+{
+    const Ops *t = active().load(std::memory_order_relaxed);
+    if (t == avx512Ops())
+        return Backend::Avx512;
+    if (t == avx2Ops())
+        return Backend::Avx2;
+    return Backend::Scalar;
+}
+
+bool
+setBackend(Backend b)
+{
+    if (!backendSupported(b))
+        return false;
+    active().store(table(b), std::memory_order_relaxed);
+    return true;
+}
+
+const char *
+backendName(Backend b)
+{
+    switch (b) {
+      case Backend::Scalar: return "scalar";
+      case Backend::Avx2: return "avx2";
+      case Backend::Avx512: return "avx512";
+    }
+    return "?";
+}
+
+bool
+backendSupported(Backend b)
+{
+    return cpuHas(b) && table(b) != nullptr;
+}
+
+std::vector<Backend>
+supportedBackends()
+{
+    std::vector<Backend> out;
+    for (Backend b :
+         {Backend::Scalar, Backend::Avx2, Backend::Avx512})
+        if (backendSupported(b))
+            out.push_back(b);
+    return out;
+}
+
+bool
+parseBackend(const char *name, Backend &out)
+{
+    if (!name)
+        return false;
+    if (std::strcmp(name, "scalar") == 0)
+        out = Backend::Scalar;
+    else if (std::strcmp(name, "avx2") == 0)
+        out = Backend::Avx2;
+    else if (std::strcmp(name, "avx512") == 0)
+        out = Backend::Avx512;
+    else
+        return false;
+    return true;
+}
+
+} // namespace tensorfhe::simd

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Fused CMULT+RESCALE contract tests (the Hadamard x INTT pass of
+ * Dispatcher::multiplyPlainRescaleInPlace): the fused path must be
+ * bit-identical to multiplyPlain-then-rescale INCLUDING the exact
+ * scale double, record the same executed-op counts, and — the
+ * accounting half of the contract — emit a kernel-launch sequence
+ * whose kinds, order, launch counts and element volumes EQUAL the
+ * sum of the launches it replaced (modeled here in closed form:
+ * HadaMult 2BLn, Intt 2BLn, Ntt 2B(L-1)n). The breakdown benches
+ * replay these queues, so any drift would silently skew Figs. 11-13.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "batch/executor.hh"
+#include "ckks/crypto.hh"
+#include "common/stats.hh"
+
+namespace tensorfhe::exec
+{
+namespace
+{
+
+using Cts = std::vector<ckks::Ciphertext>;
+
+struct Fixture
+{
+    Fixture()
+        : ctx(ckks::Presets::tiny()), rng(31337),
+          sk(ctx.generateSecretKey(rng)),
+          keys(ctx.generateKeys(sk, rng)), enc(ctx, keys.pk),
+          beval(ctx, keys)
+    {}
+
+    ckks::Ciphertext
+    encryptSlots(u64 seed, std::size_t lc)
+    {
+        Rng r(seed);
+        std::vector<ckks::Complex> z(ctx.slots());
+        for (auto &v : z)
+            v = ckks::Complex(r.uniformReal() - 0.5,
+                              r.uniformReal() - 0.5);
+        return enc.encrypt(
+            ctx.encoder().encode(z, ctx.params().scale(), lc), rng);
+    }
+
+    ckks::Plaintext
+    encodeMask(u64 seed, std::size_t lc)
+    {
+        Rng r(seed);
+        std::vector<ckks::Complex> z(ctx.slots());
+        for (auto &v : z)
+            v = ckks::Complex(r.uniformReal() - 0.5,
+                              r.uniformReal() - 0.5);
+        return ctx.encoder().encode(z, ctx.params().scale(), lc);
+    }
+
+    ckks::CkksContext ctx;
+    Rng rng;
+    ckks::SecretKey sk;
+    ckks::KeyBundle keys;
+    ckks::Encryptor enc;
+    batch::BatchedEvaluator beval;
+};
+
+Fixture &
+fx()
+{
+    static Fixture f;
+    return f;
+}
+
+void
+expectCtEq(const ckks::Ciphertext &a, const ckks::Ciphertext &b)
+{
+    ASSERT_EQ(a.levelCount(), b.levelCount());
+    EXPECT_EQ(a.scale, b.scale); // exact, not DOUBLE_EQ
+    for (std::size_t l = 0; l < a.c0.numLimbs(); ++l)
+        for (std::size_t k = 0; k < a.c0.n(); ++k) {
+            ASSERT_EQ(a.c0.limb(l)[k], b.c0.limb(l)[k])
+                << "limb " << l << " coeff " << k;
+            ASSERT_EQ(a.c1.limb(l)[k], b.c1.limb(l)[k])
+                << "limb " << l << " coeff " << k;
+        }
+}
+
+TEST(FusedMulRescale, BitIdenticalToTwoStepPathPerBatchSize)
+{
+    auto &f = fx();
+    for (std::size_t batch : {std::size_t(1), std::size_t(3)}) {
+        Cts cts;
+        for (std::size_t s = 0; s < batch; ++s)
+            cts.push_back(f.encryptSlots(500 + s, 3));
+        auto pt = f.encodeMask(7, 3);
+
+        auto two_step = f.beval.rescale(f.beval.multiplyPlain(cts, pt));
+        auto fused = f.beval.multiplyPlainRescale(cts, pt);
+
+        ASSERT_EQ(fused.size(), two_step.size());
+        for (std::size_t s = 0; s < batch; ++s)
+            expectCtEq(fused[s], two_step[s]);
+    }
+}
+
+TEST(FusedMulRescale, RecordsSameEvalOpCountsAsTwoStepPath)
+{
+    auto &f = fx();
+    Cts cts{f.encryptSlots(600, 3), f.encryptSlots(601, 3)};
+    auto pt = f.encodeMask(8, 3);
+
+    auto before = EvalOpStats::instance().rawSnapshot();
+    f.beval.rescale(f.beval.multiplyPlain(cts, pt));
+    auto mid = EvalOpStats::instance().rawSnapshot();
+    f.beval.multiplyPlainRescale(cts, pt);
+    auto after = EvalOpStats::instance().rawSnapshot();
+
+    for (std::size_t k = 0; k < kNumEvalOpKinds; ++k)
+        EXPECT_EQ(mid.ops[k] - before.ops[k],
+                  after.ops[k] - mid.ops[k])
+            << evalOpKindName(static_cast<EvalOpKind>(k));
+    EXPECT_EQ(mid.modUps - before.modUps, after.modUps - mid.modUps);
+    EXPECT_EQ(mid.modDowns - before.modDowns,
+              after.modDowns - mid.modDowns);
+}
+
+TEST(FusedMulRescale, KernelQueueEqualsSumOfReplacedLaunches)
+{
+    // Satellite contract: the fused kernel's KernelStats accounting
+    // must equal the launches it replaced — same kinds, same order,
+    // same launch count, same element volumes. Captured from the
+    // real two-step path AND cross-checked against the closed-form
+    // model so a regression in BOTH paths cannot cancel out.
+    auto &f = fx();
+    constexpr std::size_t kBatch = 3;
+    Cts cts;
+    for (std::size_t s = 0; s < kBatch; ++s)
+        cts.push_back(f.encryptSlots(700 + s, 3));
+    auto pt = f.encodeMask(9, 3);
+
+    std::size_t L = cts[0].levelCount();
+    std::size_t n = cts[0].c0.n();
+
+    KernelStats::QueueCapture cap_two;
+    f.beval.rescale(f.beval.multiplyPlain(cts, pt));
+    auto two_step = cap_two.take();
+
+    KernelStats::QueueCapture cap_fused;
+    f.beval.multiplyPlainRescale(cts, pt);
+    auto fused = cap_fused.take();
+
+    // Executed-vs-executed: identical launch sequences.
+    ASSERT_EQ(fused.size(), two_step.size());
+    for (std::size_t i = 0; i < fused.size(); ++i) {
+        EXPECT_EQ(fused[i].kind, two_step[i].kind)
+            << "launch " << i << ": "
+            << kernelKindName(fused[i].kind) << " vs "
+            << kernelKindName(two_step[i].kind);
+        EXPECT_EQ(fused[i].elements, two_step[i].elements)
+            << "launch " << i;
+    }
+
+    // Modeled-vs-executed: CMULT touches both components of every
+    // limb (2BLn), the rescale INTTs all L limbs (2BLn) and NTTs the
+    // surviving L-1 (2B(L-1)n).
+    ASSERT_EQ(fused.size(), 3u);
+    EXPECT_EQ(fused[0].kind, KernelKind::HadaMult);
+    EXPECT_EQ(fused[0].elements, 2 * kBatch * L * n);
+    EXPECT_EQ(fused[1].kind, KernelKind::Intt);
+    EXPECT_EQ(fused[1].elements, 2 * kBatch * L * n);
+    EXPECT_EQ(fused[2].kind, KernelKind::Ntt);
+    EXPECT_EQ(fused[2].elements, 2 * kBatch * (L - 1) * n);
+}
+
+TEST(FusedMulRescale, AggregateCountersMatchTwoStepPath)
+{
+    // The counter face of the same contract: per-kind invocation and
+    // element deltas equal between the paths (nanos necessarily
+    // differ — that is the point of the fusion).
+    auto &f = fx();
+    Cts cts{f.encryptSlots(800, 3)};
+    auto pt = f.encodeMask(10, 3);
+
+    auto grab = [] {
+        std::array<std::pair<u64, u64>, kNumKernelKinds> out;
+        for (std::size_t k = 0; k < kNumKernelKinds; ++k) {
+            const auto &c = KernelStats::instance().counter(
+                static_cast<KernelKind>(k));
+            out[k] = {c.invocations.load(), c.elements.load()};
+        }
+        return out;
+    };
+
+    auto before = grab();
+    f.beval.rescale(f.beval.multiplyPlain(cts, pt));
+    auto mid = grab();
+    f.beval.multiplyPlainRescale(cts, pt);
+    auto after = grab();
+
+    for (std::size_t k = 0; k < kNumKernelKinds; ++k) {
+        auto kind = static_cast<KernelKind>(k);
+        EXPECT_EQ(mid[k].first - before[k].first,
+                  after[k].first - mid[k].first)
+            << kernelKindName(kind) << " invocations";
+        EXPECT_EQ(mid[k].second - before[k].second,
+                  after[k].second - mid[k].second)
+            << kernelKindName(kind) << " elements";
+    }
+}
+
+} // namespace
+} // namespace tensorfhe::exec

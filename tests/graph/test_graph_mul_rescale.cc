@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Scheduler tests for the MulPlain -> Rescale fusion: legal chains
+ * collapse to one MulPlainRescale node whose execution is
+ * bit-identical to the unfused schedule with the same executed-op
+ * stats; chains whose intermediate product is multiply-consumed or a
+ * graph output must stay unfused (the product value is observable,
+ * so eliminating it would change the program).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "graph/builder.hh"
+#include "graph/executor.hh"
+
+namespace tensorfhe::graph
+{
+namespace
+{
+
+struct Fixture
+{
+    Fixture()
+        : ctx(ckks::Presets::tiny()), rng(2024),
+          sk(ctx.generateSecretKey(rng)),
+          keys(ctx.generateKeys(sk, rng)), enc(ctx, keys.pk),
+          engine(ctx, keys)
+    {
+        Rng r(5);
+        std::vector<ckks::Complex> z(ctx.slots());
+        for (auto &v : z)
+            v = ckks::Complex(r.uniformReal() - 0.5,
+                              r.uniformReal() - 0.5);
+        pt = ctx.encoder().encode(z, ctx.params().scale(), 3);
+    }
+
+    ckks::Ciphertext
+    encryptSlots(u64 seed, std::size_t lc)
+    {
+        Rng r(seed);
+        std::vector<ckks::Complex> z(ctx.slots());
+        for (auto &v : z)
+            v = ckks::Complex(r.uniformReal() - 0.5,
+                              r.uniformReal() - 0.5);
+        return enc.encrypt(
+            ctx.encoder().encode(z, ctx.params().scale(), lc), rng);
+    }
+
+    ckks::CkksContext ctx;
+    Rng rng;
+    ckks::SecretKey sk;
+    ckks::KeyBundle keys;
+    ckks::Encryptor enc;
+    nn::NnEngine engine;
+    ckks::Plaintext pt;
+};
+
+Fixture &
+fx()
+{
+    static Fixture f;
+    return f;
+}
+
+void
+expectBitIdentical(const Cts &a, const Cts &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t s = 0; s < a.size(); ++s) {
+        ASSERT_EQ(a[s].levelCount(), b[s].levelCount());
+        ASSERT_EQ(a[s].scale, b[s].scale);
+        for (std::size_t l = 0; l < a[s].c0.numLimbs(); ++l)
+            for (std::size_t k = 0; k < a[s].c0.n(); ++k) {
+                ASSERT_EQ(a[s].c0.limb(l)[k], b[s].c0.limb(l)[k]);
+                ASSERT_EQ(a[s].c1.limb(l)[k], b[s].c1.limb(l)[k]);
+            }
+    }
+}
+
+std::size_t
+countKind(const Graph &g, NodeKind k)
+{
+    std::size_t n = 0;
+    for (const auto &node : g.nodes)
+        if (!node.dead && node.kind == k)
+            ++n;
+    return n;
+}
+
+/** x * pt -> rescale, product dead after the rescale (legal). */
+Graph
+legalChain(Fixture &f)
+{
+    GraphBuilder b(f.ctx);
+    ValueId x = b.input(1, 3, f.ctx.params().scale());
+    ValueId t = b.mulPlain(x, f.pt);
+    ValueId r = b.rescale(t);
+    b.output(r);
+    return b.take();
+}
+
+TEST(GraphMulRescale, LegalChainFusesToOneNode)
+{
+    auto &f = fx();
+    auto g = legalChain(f);
+    auto sched = scheduleGraph(g);
+    EXPECT_EQ(sched.mulRescaleFused, 1u);
+    EXPECT_EQ(countKind(g, NodeKind::MulPlainRescale), 1u);
+    EXPECT_EQ(countKind(g, NodeKind::MulPlain), 0u);
+    EXPECT_EQ(countKind(g, NodeKind::Rescale), 0u);
+    EXPECT_STREQ(nodeKindName(NodeKind::MulPlainRescale),
+                 "MulPlainRescale");
+}
+
+TEST(GraphMulRescale, FusedRunIsBitIdenticalWithSameOpStats)
+{
+    auto &f = fx();
+    Cts in{f.encryptSlots(42, 3), f.encryptSlots(43, 3)};
+
+    auto gu = legalChain(f);
+    auto su = scheduleGraph(gu, {.fuse = false});
+    EXPECT_EQ(su.mulRescaleFused, 0u);
+    EvalOpStats::instance().reset();
+    auto unfused = GraphExecutor(gu, su).run(f.engine, {in});
+    auto stats_u = EvalOpStats::instance().snapshot();
+
+    auto gf = legalChain(f);
+    auto sf = scheduleGraph(gf);
+    ASSERT_EQ(sf.mulRescaleFused, 1u);
+    EvalOpStats::instance().reset();
+    auto fused = GraphExecutor(gf, sf).run(f.engine, {in});
+    auto stats_f = EvalOpStats::instance().snapshot();
+
+    ASSERT_EQ(fused.outputs.size(), 1u);
+    expectBitIdentical(fused.outputs[0], unfused.outputs[0]);
+    for (std::size_t k = 0; k < kNumEvalOpKinds; ++k) {
+        auto kind = static_cast<EvalOpKind>(k);
+        EXPECT_EQ(stats_f.get(kind), stats_u.get(kind))
+            << evalOpKindName(kind);
+    }
+}
+
+TEST(GraphMulRescale, MultiplyConsumedProductStaysUnfused)
+{
+    // The product also feeds an Add, so folding it into the rescale
+    // would orphan that consumer.
+    auto &f = fx();
+    GraphBuilder b(f.ctx);
+    ValueId x = b.input(1, 3, f.ctx.params().scale());
+    ValueId t = b.mulPlain(x, f.pt);
+    ValueId r = b.rescale(t);
+    ValueId u = b.add(t, t);
+    b.output(r);
+    b.output(u);
+    auto g = b.take();
+    auto sched = scheduleGraph(g);
+    EXPECT_EQ(sched.mulRescaleFused, 0u);
+    EXPECT_EQ(countKind(g, NodeKind::MulPlainRescale), 0u);
+    EXPECT_EQ(countKind(g, NodeKind::Rescale), 1u);
+}
+
+TEST(GraphMulRescale, OutputProductStaysUnfused)
+{
+    // The product IS a graph output: it must be materialized.
+    auto &f = fx();
+    GraphBuilder b(f.ctx);
+    ValueId x = b.input(1, 3, f.ctx.params().scale());
+    ValueId t = b.mulPlain(x, f.pt);
+    ValueId r = b.rescale(t);
+    b.output(t);
+    b.output(r);
+    auto g = b.take();
+    auto sched = scheduleGraph(g);
+    EXPECT_EQ(sched.mulRescaleFused, 0u);
+    EXPECT_EQ(countKind(g, NodeKind::MulPlainRescale), 0u);
+
+    // And the unfused graph still runs correctly.
+    Cts in{f.encryptSlots(44, 3)};
+    auto res = GraphExecutor(g, sched).run(f.engine, {in});
+    auto expect_t = f.engine.batched().multiplyPlain(in, f.pt);
+    auto expect_r = f.engine.batched().rescale(expect_t);
+    ASSERT_EQ(res.outputs.size(), 2u);
+    expectBitIdentical(res.outputs[0], expect_t);
+    expectBitIdentical(res.outputs[1], expect_r);
+}
+
+TEST(GraphMulRescale, FusionComposesWithElementwisePass)
+{
+    // add -> mulPlain -> rescale: the mul+rescale pair fuses first;
+    // the add stays a standalone elementwise node (a single node
+    // never forms a FusedEle group), and execution stays
+    // bit-identical to the fully unfused schedule.
+    auto &f = fx();
+    auto build = [&] {
+        GraphBuilder b(f.ctx);
+        ValueId x = b.input(1, 3, f.ctx.params().scale());
+        ValueId y = b.input(1, 3, f.ctx.params().scale());
+        ValueId s = b.add(x, y);
+        ValueId t = b.mulPlain(s, f.pt);
+        ValueId r = b.rescale(t);
+        b.output(r);
+        return b.take();
+    };
+    Cts inx{f.encryptSlots(50, 3)};
+    Cts iny{f.encryptSlots(51, 3)};
+
+    auto gu = build();
+    auto su = scheduleGraph(gu, {.fuse = false});
+    auto unfused = GraphExecutor(gu, su).run(f.engine, {inx, iny});
+
+    auto gf = build();
+    auto sf = scheduleGraph(gf);
+    EXPECT_EQ(sf.mulRescaleFused, 1u);
+    auto fused = GraphExecutor(gf, sf).run(f.engine, {inx, iny});
+
+    expectBitIdentical(fused.outputs[0], unfused.outputs[0]);
+}
+
+} // namespace
+} // namespace tensorfhe::graph
