@@ -51,6 +51,12 @@ HEADLINES = {
     # inner-product row >= 1.5x, independent of any baseline drift.
     "ntt_simd_speedup": ("simd_backends", "ntt_simd_speedup", "floor", 2.0),
     "ks_inner_product_simd_speedup": ("simd_backends", "ks_inner_product_speedup", "floor", 1.5),
+    # Global planner win (bench_plan): modeled cost of the planned
+    # schedule vs the greedy bootstrap splice on the better of the
+    # two reference workloads (deep CNN / LSTM gate tower). Model
+    # evaluation, fully deterministic, so floor-gated absolutely: the
+    # planner must keep a >= 10% win.
+    "planned_vs_greedy_cost_ratio": ("plan", "planned_vs_greedy_cost_ratio", "floor", 1.10),
 }
 
 

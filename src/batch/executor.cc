@@ -11,9 +11,18 @@ namespace tensorfhe::batch
 BatchedEvaluator::BatchedEvaluator(const ckks::CkksContext &ctx,
                                    const ckks::KeyBundle &keys,
                                    ThreadPool *pool)
-    : ctx_(ctx), keys_(keys),
+    : ctx_(ctx),
       disp_(std::make_shared<exec::Dispatcher>(ctx, keys, pool)),
-      eval_(ctx, keys, disp_)
+      eval_(ctx, disp_)
+{}
+
+BatchedEvaluator::BatchedEvaluator(
+    const ckks::CkksContext &ctx,
+    std::shared_ptr<const ckks::KeyStore> store, ThreadPool *pool)
+    : ctx_(ctx),
+      disp_(std::make_shared<exec::Dispatcher>(ctx, std::move(store),
+                                               pool)),
+      eval_(ctx, disp_)
 {}
 
 std::size_t

@@ -60,6 +60,12 @@ class BatchedEvaluator
                      const ckks::KeyBundle &keys,
                      ThreadPool *pool = nullptr);
 
+    /** Batched evaluator over an explicit key store (e.g. an
+        on-demand ckks::KeyStore for planner-built nets). */
+    BatchedEvaluator(const ckks::CkksContext &ctx,
+                     std::shared_ptr<const ckks::KeyStore> store,
+                     ThreadPool *pool = nullptr);
+
     using Cts = std::vector<ckks::Ciphertext>;
 
     Cts add(const Cts &a, const Cts &b) const;
@@ -128,7 +134,6 @@ class BatchedEvaluator
     void requireCompatiblePair(const Cts &a, const Cts &b) const;
 
     const ckks::CkksContext &ctx_;
-    const ckks::KeyBundle &keys_;
     std::shared_ptr<exec::Dispatcher> disp_;
     ckks::Evaluator eval_;
 };

@@ -6,7 +6,7 @@
 #include "batch/executor.hh"
 #include "ckks/rotations.hh"
 #include "common/logging.hh"
-#include "perf/cost.hh"
+#include "perf/cost_model.hh"
 
 namespace tensorfhe::boot
 {
@@ -64,73 +64,26 @@ namespace
  * populations often prefer a stride above the classic
  * ceil(sqrt(slots)) — fewer giant groups, fewer ModUps.
  *
- * Candidates are the root stride plus every larger stride whose
- * rotation-step set stays INSIDE the root-based key pattern (baby
- * steps < root, giant steps multiples of root): the analytic
- * rotation-key grants (Bootstrapper::requiredRotations, pre-generated
- * key bundles) cover exactly that pattern, so a qualifying stride
- * never demands a key the caller did not provision. Dense matrices
- * therefore keep g = root; a diagonal band {0..root-1}, say, compiles
- * to zero giant steps. Ties keep the smaller stride.
+ * The decision procedure itself lives in
+ * perf::CostModel::chooseBsgsStride (one argmin shared with the
+ * global execution planner, so a planned net is costed with exactly
+ * the stride its compiled transforms will run). StrideOptions
+ * selects the costing level (0 = full tower, the historical default)
+ * and whether non-root strides must stay inside the root-based key
+ * pattern of analytic pre-generated key grants.
  */
 std::size_t
 chooseGiantStride(const ckks::CkksContext &ctx,
                   const std::vector<std::size_t> &diag_idx,
-                  std::size_t slots)
+                  std::size_t slots, const StrideOptions &opt)
 {
-    auto root = static_cast<std::size_t>(
-        std::ceil(std::sqrt(static_cast<double>(slots))));
-    std::vector<std::size_t> candidates;
-    candidates.push_back(root);
-    for (std::size_t g = 1; g < slots; g <<= 1)
-        if (g > root)
-            candidates.push_back(g);
-    candidates.push_back(slots);
-    std::sort(candidates.begin(), candidates.end());
-    candidates.erase(std::unique(candidates.begin(), candidates.end()),
-                     candidates.end());
-
-    auto work = [](const perf::KernelCost &c) {
-        return c.coreOps + c.tcuMacs / 8.0 + c.bytes;
-    };
-    std::size_t costing_level = ctx.tower().numQ();
-    std::size_t best_g = root;
-    double best = -1;
-    for (std::size_t g : candidates) {
-        std::vector<std::size_t> babies, giants;
-        for (std::size_t d : diag_idx) {
-            if (d % g != 0)
-                babies.push_back(d % g);
-            if (d / g != 0)
-                giants.push_back(d / g * g);
-        }
-        auto uniq = [](std::vector<std::size_t> &v) {
-            std::sort(v.begin(), v.end());
-            v.erase(std::unique(v.begin(), v.end()), v.end());
-        };
-        uniq(babies);
-        uniq(giants);
-        if (g != root) {
-            // Key-pattern containment: every step this stride rotates
-            // by must already exist in the root-based key grant.
-            bool covered = true;
-            for (std::size_t b : babies)
-                covered = covered && b < root;
-            for (std::size_t k : giants)
-                covered = covered && k % root == 0;
-            if (!covered)
-                continue;
-        }
-        double w = work(perf::matvecBsgsCost(ctx.params(), costing_level,
-                                             diag_idx.size(),
-                                             babies.size(),
-                                             giants.size()));
-        if (best < 0 || w < best) {
-            best = w;
-            best_g = g;
-        }
-    }
-    return best_g;
+    std::size_t costing_level =
+        opt.costingLevel != 0 ? opt.costingLevel : ctx.tower().numQ();
+    perf::CostModel model(ctx.params());
+    return model
+        .chooseBsgsStride(costing_level, diag_idx, slots,
+                          opt.restrictToRootPattern)
+        .g;
 }
 
 } // namespace
@@ -163,11 +116,25 @@ extractDiagonals(const SlotMatrix &m, std::size_t slots,
 
 LinearTransformPlan::LinearTransformPlan(const ckks::CkksContext &ctx,
                                          SlotMatrix m)
-    : LinearTransformPlan(ctx, std::move(m), SlotMatrix{})
+    : LinearTransformPlan(ctx, std::move(m), SlotMatrix{},
+                          StrideOptions{})
+{}
+
+LinearTransformPlan::LinearTransformPlan(const ckks::CkksContext &ctx,
+                                         SlotMatrix m,
+                                         const StrideOptions &opt)
+    : LinearTransformPlan(ctx, std::move(m), SlotMatrix{}, opt)
 {}
 
 LinearTransformPlan::LinearTransformPlan(const ckks::CkksContext &ctx,
                                          SlotMatrix m, SlotMatrix conj_m)
+    : LinearTransformPlan(ctx, std::move(m), std::move(conj_m),
+                          StrideOptions{})
+{}
+
+LinearTransformPlan::LinearTransformPlan(const ckks::CkksContext &ctx,
+                                         SlotMatrix m, SlotMatrix conj_m,
+                                         const StrideOptions &opt)
     : ctx_(ctx), m_(std::move(m))
 {
     std::size_t slots = ctx.slots();
@@ -191,7 +158,7 @@ LinearTransformPlan::LinearTransformPlan(const ckks::CkksContext &ctx,
     std::sort(all_idx.begin(), all_idx.end());
     all_idx.erase(std::unique(all_idx.begin(), all_idx.end()),
                   all_idx.end());
-    g_ = chooseGiantStride(ctx, all_idx, slots);
+    g_ = chooseGiantStride(ctx, all_idx, slots, opt);
 
     // BSGS regrouping: diagonal d = k*g + b stored pre-rotated by
     // -k*g so the giant rotation can be applied after the plaintext
@@ -323,6 +290,19 @@ LinearTransformPlan::coeffToSlotImag(const ckks::CkksContext &ctx,
         scaled(specialFftInverseMatrix(ctx.encoder()), factor));
     auto conj_m = conjugated(a);
     return LinearTransformPlan(ctx, std::move(a), std::move(conj_m));
+}
+
+std::vector<std::size_t>
+LinearTransformPlan::diagonalIndices() const
+{
+    std::vector<std::size_t> idx;
+    idx.reserve(diags_.size());
+    for (const auto &d : diags_)
+        if (!d.conj)
+            idx.push_back(d.k * g_ + d.b);
+    std::sort(idx.begin(), idx.end());
+    idx.erase(std::unique(idx.begin(), idx.end()), idx.end());
+    return idx;
 }
 
 std::vector<s64>

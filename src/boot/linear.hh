@@ -61,6 +61,31 @@ std::vector<Complex> applyPlain(const SlotMatrix &m,
                                 const std::vector<Complex> &z);
 
 /**
+ * How LinearTransformPlan picks its BSGS giant stride (see
+ * perf::CostModel::chooseBsgsStride, the single decision procedure
+ * the plan, the cost model, and the execution planner share).
+ */
+struct StrideOptions
+{
+    /**
+     * Level count the stride argmin prices candidates at; 0 means
+     * the full tower (the historical behavior — correct for plans
+     * applied near the top, pessimistic for plans the planner will
+     * run deep in the ladder).
+     */
+    std::size_t costingLevel = 0;
+    /**
+     * Keep every rotation step inside the root-based key pattern
+     * (babies < root, giants multiples of root) so analytic
+     * pre-generated key bundles always cover the plan. Planner-built
+     * nets route keys through an on-demand ckks::KeyStore and clear
+     * this, freeing the argmin to pick e.g. the all-baby g = slots
+     * schedule.
+     */
+    bool restrictToRootPattern = true;
+};
+
+/**
  * A precompiled homomorphic linear transform y = M z.
  *
  * Construction extracts the nonzero diagonals of M, picks the BSGS
@@ -85,6 +110,10 @@ class LinearTransformPlan
   public:
     LinearTransformPlan(const ckks::CkksContext &ctx, SlotMatrix m);
 
+    /** Plan with an explicit stride policy (the planner's entry). */
+    LinearTransformPlan(const ckks::CkksContext &ctx, SlotMatrix m,
+                        const StrideOptions &opt);
+
     /**
      * Conjugate-symmetric plan: y = M z + conj(M) conj(z) = 2 Re(M z).
      * The conj(z) branch rides the SAME double-hoisted head as the
@@ -96,6 +125,9 @@ class LinearTransformPlan
      */
     LinearTransformPlan(const ckks::CkksContext &ctx, SlotMatrix m,
                         SlotMatrix conj_m);
+
+    LinearTransformPlan(const ckks::CkksContext &ctx, SlotMatrix m,
+                        SlotMatrix conj_m, const StrideOptions &opt);
 
     /** Plan for the special FFT matrix U (SlotToCoeff). */
     static LinearTransformPlan specialFft(const ckks::CkksContext &ctx);
@@ -165,6 +197,13 @@ class LinearTransformPlan
     std::size_t giantStride() const { return g_; }
     /** Nonzero diagonals the transform touches (both branches). */
     std::size_t diagonalCount() const { return diags_.size(); }
+    /**
+     * Sorted distinct diagonal indices d = k*g + b of the plain
+     * branch — the population the stride argmin ran on. The planner
+     * re-runs chooseBsgsStride on these to price the SAME transform
+     * at other levels without recompiling the plan.
+     */
+    std::vector<std::size_t> diagonalIndices() const;
     /** Distinct nonzero plain baby steps apply() rotates by. */
     std::size_t babyStepCount() const { return babySteps_.size(); }
     /** Distinct conjugate-composed baby steps (incl. step 0). */

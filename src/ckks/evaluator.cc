@@ -9,13 +9,24 @@ namespace tensorfhe::ckks
 {
 
 Evaluator::Evaluator(const CkksContext &ctx, const KeyBundle &keys)
-    : ctx_(ctx), keys_(keys),
-      disp_(std::make_shared<exec::Dispatcher>(ctx, keys))
+    : ctx_(ctx), disp_(std::make_shared<exec::Dispatcher>(ctx, keys))
 {}
 
-Evaluator::Evaluator(const CkksContext &ctx, const KeyBundle &keys,
+Evaluator::Evaluator(const CkksContext &ctx,
+                     std::shared_ptr<const KeyStore> store)
+    : ctx_(ctx),
+      disp_(std::make_shared<exec::Dispatcher>(ctx, std::move(store)))
+{}
+
+Evaluator::Evaluator(const CkksContext &ctx,
                      std::shared_ptr<exec::Dispatcher> disp)
-    : ctx_(ctx), keys_(keys), disp_(std::move(disp))
+    : ctx_(ctx), disp_(std::move(disp))
+{}
+
+Evaluator::Evaluator(const CkksContext &ctx,
+                     const KeyBundle & /*keys*/,
+                     std::shared_ptr<exec::Dispatcher> disp)
+    : Evaluator(ctx, std::move(disp))
 {}
 
 void

@@ -53,11 +53,21 @@ class Evaluator
      */
     Evaluator(const CkksContext &ctx, const KeyBundle &keys);
 
+    /** Evaluator over an explicit key store (e.g. an on-demand
+        ckks::KeyStore generating rotation keys lazily). */
+    Evaluator(const CkksContext &ctx,
+              std::shared_ptr<const KeyStore> store);
+
     /**
-     * Façade over an existing dispatcher (shares its pool and
-     * workspace arena): batch::BatchedEvaluator uses this so its
+     * Façade over an existing dispatcher (shares its pool, workspace
+     * arena and key store): batch::BatchedEvaluator uses this so its
      * scalar() view runs on the same engine instead of a duplicate.
      */
+    Evaluator(const CkksContext &ctx,
+              std::shared_ptr<exec::Dispatcher> disp);
+
+    /** Deprecated-compatible form of the dispatcher façade (the key
+        bundle rides inside the dispatcher already). */
     Evaluator(const CkksContext &ctx, const KeyBundle &keys,
               std::shared_ptr<exec::Dispatcher> disp);
 
@@ -165,7 +175,6 @@ class Evaluator
                            const Ciphertext &b) const;
 
     const CkksContext &ctx_;
-    const KeyBundle &keys_;
     std::shared_ptr<exec::Dispatcher> disp_; ///< copies share the arena
 };
 

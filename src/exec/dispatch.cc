@@ -29,7 +29,13 @@ HoistedView::of(const HoistedBatch &h)
 
 Dispatcher::Dispatcher(const ckks::CkksContext &ctx,
                        const ckks::KeyBundle &keys, ThreadPool *pool)
-    : ctx_(ctx), keys_(keys), kctx_(pool),
+    : Dispatcher(ctx, std::make_shared<ckks::KeyStore>(keys), pool)
+{}
+
+Dispatcher::Dispatcher(const ckks::CkksContext &ctx,
+                       std::shared_ptr<const ckks::KeyStore> store,
+                       ThreadPool *pool)
+    : ctx_(ctx), store_(std::move(store)), kctx_(pool),
       ws_(std::make_unique<Workspace>(ctx.tower()))
 {
     // The arena reports its traffic through the unified metrics
@@ -267,7 +273,8 @@ Dispatcher::multiplyInPlace(ckks::Ciphertext *as,
     // Relinearize d2 through the unified key-switch path.
     std::vector<Workspace::Pooled> d2_scratch = std::move(d2s);
     auto head = hoist(std::move(d2_scratch));
-    auto [ks0, ks1] = keySwitchTail(HoistedView::of(head), keys_.relin);
+    auto [ks0, ks1] =
+        keySwitchTail(HoistedView::of(head), store_->relin());
 
     std::vector<const rns::RnsPolynomial *> k0(batch), k1(batch);
     for (std::size_t s = 0; s < batch; ++s) {
@@ -540,13 +547,16 @@ Dispatcher::rotateMany(const ckks::Ciphertext *as, std::size_t batch,
         return out;
     std::size_t slots = ctx_.slots();
     std::vector<s64> norms(steps.size());
+    std::vector<std::shared_ptr<const ckks::SwitchKey>> pins(
+        steps.size());
     bool any_nonzero = false;
     for (std::size_t i = 0; i < steps.size(); ++i) {
         norms[i] = ((steps[i] % s64(slots)) + s64(slots)) % s64(slots);
         if (norms[i] == 0)
             continue;
-        requireArg(keys_.rot.count(norms[i]) != 0,
-                   "no rotation key for step ", norms[i]);
+        pins[i] = store_->rotation(norms[i]);
+        requireArg(pins[i] != nullptr, "no rotation key for step ",
+                   norms[i]);
         any_nonzero = true;
     }
     auto copyInput = [&](std::vector<ckks::Ciphertext> &dst) {
@@ -597,7 +607,7 @@ Dispatcher::rotateMany(const ckks::Ciphertext *as, std::size_t batch,
         // the c0 components.
         auto rotated = permuteHead(view, galois);
         auto [ks0, ks1] = keySwitchTail(HoistedView::of(rotated),
-                                        keys_.rot.at(norms[r]), &down);
+                                        *pins[r], &down);
         auto c0r = rns::applyAutomorphismBatch(c0_ptrs, galois,
                                                kctx_.pool);
 
@@ -638,7 +648,7 @@ Dispatcher::conjugate(const ckks::Ciphertext *as, std::size_t batch) const
     auto head = hoistCopy(c1s.data(), batch);
     auto rotated = permuteHead(HoistedView::of(head), galois);
     auto [ks0, ks1] =
-        keySwitchTail(HoistedView::of(rotated), keys_.conj);
+        keySwitchTail(HoistedView::of(rotated), store_->conj());
     auto c0r = rns::applyAutomorphismBatch(c0s, galois, kctx_.pool);
 
     std::vector<rns::RnsPolynomial *> kp(batch);
@@ -660,19 +670,24 @@ Dispatcher::conjugate(const ckks::Ciphertext *as, std::size_t batch) const
 // ------------------------------------------------------------------
 // Double-hoisted BSGS
 
-const ckks::SwitchKey &
+std::shared_ptr<const ckks::SwitchKey>
 Dispatcher::babyStepKey(const BsgsStep &step) const
 {
     if (!step.conj) {
-        requireArg(keys_.rot.count(step.step) != 0,
-                   "no rotation key for step ", step.step);
-        return keys_.rot.at(step.step);
+        auto key = store_->rotation(step.step);
+        requireArg(key != nullptr, "no rotation key for step ",
+                   step.step);
+        return key;
     }
     if (step.step == 0)
-        return keys_.conj;
-    requireArg(keys_.conjRot.count(step.step) != 0,
-               "no conjugate-rotation key for step ", step.step);
-    return keys_.conjRot.at(step.step);
+        // The always-present conjugation key lives in the bundle; an
+        // empty-deleter alias keeps the return type uniform.
+        return {std::shared_ptr<const ckks::SwitchKey>{},
+                &store_->conj()};
+    auto key = store_->conjRotation(step.step);
+    requireArg(key != nullptr, "no conjugate-rotation key for step ",
+               step.step);
+    return key;
 }
 
 void
@@ -734,7 +749,8 @@ Dispatcher::buildBabyTables(const std::vector<BsgsStep> &steps,
         auto view = HoistedView::of(head);
         for (std::size_t bi = 0; bi < n_baby; ++bi) {
             const BsgsStep &step = t.steps[bi];
-            const ckks::SwitchKey &key = babyStepKey(step);
+            auto key_pin = babyStepKey(step);
+            const ckks::SwitchKey &key = *key_pin;
             stats.record(step.conj ? EvalOpKind::Conjugate
                                    : EvalOpKind::HRotate,
                          batch);
@@ -861,8 +877,9 @@ Dispatcher::accumulateGroups(const BsgsProgram &program,
         // half is permuted directly on QP - its ModDown stays
         // deferred to the single final one.
         stats.record(EvalOpKind::HRotate, batch);
-        requireArg(keys_.rot.count(group.shift) != 0,
-                   "no rotation key for step ", group.shift);
+        auto giant_key = store_->rotation(group.shift);
+        requireArg(giant_key != nullptr, "no rotation key for step ",
+                   group.shift);
         u64 galois = ctx_.galoisForRotation(group.shift);
 
         rns::toCoeffBatch(acc1p, v, kctx_.pool);
@@ -888,8 +905,8 @@ Dispatcher::accumulateGroups(const BsgsProgram &program,
         std::vector<rns::RnsPolynomial *> g0p, g1p;
         pooledRow(g0, g0p);
         pooledRow(g1, g1p);
-        tailRawInto(HoistedView::of(rotated), keys_.rot.at(group.shift),
-                    g0p.data(), g1p.data());
+        tailRawInto(HoistedView::of(rotated), *giant_key, g0p.data(),
+                    g1p.data());
 
         // Permute the QP c0 half of the group sum.
         std::vector<const rns::RnsPolynomial *> acc0_in(batch);

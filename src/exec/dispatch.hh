@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "ckks/context.hh"
+#include "ckks/keystore.hh"
 #include "exec/kernels.hh"
 #include "exec/workspace.hh"
 
@@ -130,11 +131,22 @@ class Dispatcher
   public:
     /**
      * @param keys must outlive the dispatcher; rotation keys are
-     *             looked up per step on demand.
+     *             looked up per step on demand. Wrapped in a static
+     *             ckks::KeyStore view internally.
      * @param pool worker pool the flattened dispatches drain through;
      *             null = process-global pool.
      */
     Dispatcher(const ckks::CkksContext &ctx, const ckks::KeyBundle &keys,
+               ThreadPool *pool = nullptr);
+
+    /**
+     * Route keys through an explicit KeyStore — e.g. an on-demand
+     * store that generates rotation keys lazily with LRU eviction,
+     * which is how planner-built nets escape the root-stride
+     * key-pattern constraint.
+     */
+    Dispatcher(const ckks::CkksContext &ctx,
+               std::shared_ptr<const ckks::KeyStore> store,
                ThreadPool *pool = nullptr);
     /** Unregisters the workspace arena from the metrics registry. */
     ~Dispatcher();
@@ -299,8 +311,10 @@ class Dispatcher
         across every (digit, slot)), into pooled buffers. */
     HoistedBatch permuteHead(const HoistedView &h, u64 galois) const;
 
-    /** The switch key of one BSGS baby step (rot / conj / conjRot). */
-    const ckks::SwitchKey &babyStepKey(const BsgsStep &step) const;
+    /** The switch key of one BSGS baby step (rot / conj / conjRot),
+        pinned against KeyStore LRU eviction for the caller's use. */
+    std::shared_ptr<const ckks::SwitchKey>
+    babyStepKey(const BsgsStep &step) const;
 
     /** Shared baby-step tail tables of one input batch: per step the
         raw (ModDown-deferred) keyswitch pair on the union basis,
@@ -353,7 +367,7 @@ class Dispatcher
                  std::size_t level_count, double out_scale) const;
 
     const ckks::CkksContext &ctx_;
-    const ckks::KeyBundle &keys_;
+    std::shared_ptr<const ckks::KeyStore> store_;
     KernelCtx kctx_;
     std::unique_ptr<Workspace> ws_;
     mutable std::mutex pliftMu_;

@@ -406,6 +406,8 @@ lowerLayer(GraphBuilder &b, const nn::Layer &layer, ValueId in)
     if (const auto *l =
             dynamic_cast<const nn::PolyActivation *>(&layer))
         return lowerPolyActivation(b, *l, in);
+    if (const auto *l = dynamic_cast<const nn::LevelDrop *>(&layer))
+        return b.drop(in, l->targetLevelCount());
     // Bootstrap (and any future layer without a primitive lowering)
     // stays opaque: the node calls Layer::apply, which is the eager
     // path verbatim.

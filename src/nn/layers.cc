@@ -35,6 +35,29 @@ Layer::requireCompiled() const
     requireState(compiled_, "layer used before compile()");
 }
 
+std::vector<bool>
+Layer::liveInputChunks(const std::vector<bool> &out_live) const
+{
+    requireCompiled();
+    requireArg(out_live.size() == out_.chunkCount,
+               name(), ": liveness mask size mismatch");
+    if (in_.chunkCount == out_.chunkCount)
+        return out_live; // chunk-aligned (elementwise / pass-through)
+    // Shape-changing layers without a finer override: every input
+    // chunk feeds the output, so any live output keeps them all.
+    bool any = std::find(out_live.begin(), out_live.end(), true)
+        != out_live.end();
+    return std::vector<bool>(in_.chunkCount, any);
+}
+
+TensorMeta
+Layer::rebind(const ckks::CkksContext &ctx, const TensorMeta &in)
+{
+    compiled_ = false;
+    resetPlans();
+    return compile(ctx, in);
+}
+
 // ------------------------------------------------------------------
 // MatvecLayer
 
@@ -81,9 +104,14 @@ MatvecLayer::compile(const ckks::CkksContext &ctx, const TensorMeta &in)
                 }
             if (mag < 1e-12)
                 continue;
+            boot::StrideOptions opt;
+            if (plannedStrides_) {
+                opt.costingLevel = in.levelCount;
+                opt.restrictToRootPattern = false;
+            }
             blocks_[i][j] =
                 std::make_unique<boot::LinearTransformPlan>(
-                    ctx, std::move(block));
+                    ctx, std::move(block), opt);
             any = true;
         }
         requireArg(any, name(), " output chunk ", i,
@@ -209,6 +237,63 @@ MatvecLayer::modeledOps() const
         total += chunk;
     }
     return total;
+}
+
+perf::KernelCost
+MatvecLayer::costAt(const perf::CostModel &model,
+                    std::size_t input_lc) const
+{
+    requireCompiled();
+    perf::KernelCost total;
+    for (std::size_t i = 0; i < blocks_.size(); ++i) {
+        std::size_t nb = 0, diags = 0, baby = 0, giant = 0;
+        for (const auto &b : blocks_[i]) {
+            if (!b)
+                continue;
+            ++nb;
+            diags += b->diagonalCount();
+            if (plannedStrides_) {
+                // Replicate the stride a rebind at this level would
+                // pick — same argmin, same population.
+                auto choice = model.chooseBsgsStride(
+                    input_lc, b->diagonalIndices(), b->matrix().size(),
+                    /*restrict_to_root_pattern=*/false);
+                baby += choice.baby;
+                giant += choice.giant;
+            } else {
+                baby += b->babyStepCount() + b->conjStepCount();
+                giant += b->giantStepCount();
+            }
+        }
+        total += model.blockMatvec(input_lc, nb, diags, baby, giant);
+        if (biases_[i])
+            total += model.op(perf::OpKind::HAdd, input_lc - 1);
+    }
+    return total;
+}
+
+std::vector<bool>
+MatvecLayer::liveInputChunks(const std::vector<bool> &out_live) const
+{
+    requireCompiled();
+    requireArg(out_live.size() == out_.chunkCount,
+               name(), ": liveness mask size mismatch");
+    std::vector<bool> live(in_.chunkCount, false);
+    for (std::size_t i = 0; i < blocks_.size(); ++i) {
+        if (!out_live[i])
+            continue;
+        for (std::size_t j = 0; j < blocks_[i].size(); ++j)
+            if (blocks_[i][j])
+                live[j] = true;
+    }
+    return live;
+}
+
+void
+MatvecLayer::resetPlans()
+{
+    blocks_.clear();
+    biases_.clear();
 }
 
 // ------------------------------------------------------------------
@@ -514,6 +599,20 @@ AvgPool2d::modeledOps() const
     return c;
 }
 
+perf::KernelCost
+AvgPool2d::costAt(const perf::CostModel &model,
+                  std::size_t input_lc) const
+{
+    requireCompiled();
+    auto rounds = static_cast<double>(steps_.size());
+    perf::KernelCost c =
+        rounds * (model.op(perf::OpKind::HRotate, input_lc)
+                  + model.op(perf::OpKind::HAdd, input_lc));
+    c += model.op(perf::OpKind::CMult, input_lc);
+    c += model.op(perf::OpKind::Rescale, input_lc);
+    return c;
+}
+
 // ------------------------------------------------------------------
 // SumReduce
 
@@ -606,6 +705,17 @@ SumReduce::modeledOps() const
     c.ksHoist = hoisted_ ? 1 : r;
     c.hadd = r;
     return c;
+}
+
+perf::KernelCost
+SumReduce::costAt(const perf::CostModel &model,
+                  std::size_t input_lc) const
+{
+    requireCompiled();
+    // rotateFold() re-decides hoisted-vs-doubling at the queried
+    // level, exactly as a rebind there would (compile runs the same
+    // perf::hoistedFoldWins argmin).
+    return model.rotateFold(input_lc, in_.shape.numel());
 }
 
 // ------------------------------------------------------------------
@@ -765,6 +875,18 @@ PolyActivation::modeledOps() const
     return static_cast<double>(in_.chunkCount) * c;
 }
 
+perf::KernelCost
+PolyActivation::costAt(const perf::CostModel &model,
+                       std::size_t input_lc) const
+{
+    requireCompiled();
+    // Ladder + steering priced at the entry level (a conservative
+    // bound on the descending ladder), once per chunk.
+    return static_cast<double>(in_.chunkCount)
+        * model.polyActivation(input_lc, powers_.size(),
+                               terms_.size());
+}
+
 // ------------------------------------------------------------------
 // Bootstrap
 
@@ -776,7 +898,13 @@ Bootstrap::compile(const ckks::CkksContext &ctx, const TensorMeta &in)
                name(), " needs an input at level count >= 2 (the "
                        "SlotToCoeff stage consumes one level), got ",
                in.levelCount);
+    requireArg(liveChunks_.empty()
+                   || liveChunks_.size() == in.chunkCount,
+               name(), " live-chunk mask size mismatch: mask has ",
+               liveChunks_.size(), " entries, input has ",
+               in.chunkCount, " chunks");
     slots_ = ctx.slots();
+    raisedLc_ = ctx.tower().numQ();
     boot_ = std::make_shared<boot::Bootstrapper>(ctx, sine_);
 
     in_ = in;
@@ -787,6 +915,25 @@ Bootstrap::compile(const ckks::CkksContext &ctx, const TensorMeta &in)
     out_.scale = refresh.scale;
     compiled_ = true;
     return out_;
+}
+
+void
+Bootstrap::setLiveChunks(std::vector<bool> live)
+{
+    requireState(!compiled_,
+                 name(), " live-chunk mask must be set before "
+                         "compile()");
+    liveChunks_ = std::move(live);
+}
+
+std::size_t
+Bootstrap::liveChunkCount() const
+{
+    requireCompiled();
+    if (liveChunks_.empty())
+        return in_.chunkCount;
+    return static_cast<std::size_t>(
+        std::count(liveChunks_.begin(), liveChunks_.end(), true));
 }
 
 std::vector<s64>
@@ -809,14 +956,65 @@ Bootstrap::apply(const NnEngine &engine, const Cts &in) const
     requireCompiled();
     // Chunks are just more batch slots: the whole (sample x chunk)
     // stream refreshes through one shared pipeline.
-    return boot_->bootstrapBatch(engine.batched(), in);
+    if (liveChunks_.empty() || liveChunkCount() == in_.chunkCount)
+        return boot_->bootstrapBatch(engine.batched(), in);
+
+    // Lazy refresh: gather the live chunks of every sample, refresh
+    // them in one batch, and rebuild dead chunks as well-formed zero
+    // ciphertexts at the refreshed meta (their values are dead
+    // downstream — no layer reads them — but shapes and levels must
+    // stay uniform for the batched ops).
+    std::size_t chunks = in_.chunkCount;
+    requireArg(!in.empty() && in.size() % chunks == 0,
+               name(), " batch is not a multiple of the chunk count");
+    std::size_t batch = in.size() / chunks;
+    Cts live;
+    live.reserve(batch * liveChunkCount());
+    for (std::size_t s = 0; s < batch; ++s)
+        for (std::size_t c = 0; c < chunks; ++c)
+            if (liveChunks_[c])
+                live.push_back(in[s * chunks + c]);
+    Cts refreshed = boot_->bootstrapBatch(engine.batched(), live);
+
+    const auto &tower = engine.ctx().tower();
+    Cts out(in.size());
+    std::size_t next = 0;
+    for (std::size_t s = 0; s < batch; ++s) {
+        for (std::size_t c = 0; c < chunks; ++c) {
+            if (liveChunks_[c]) {
+                out[s * chunks + c] = std::move(refreshed[next++]);
+                continue;
+            }
+            ckks::Ciphertext z;
+            z.c0 = rns::RnsPolynomial::zeros(tower, out_.levelCount,
+                                             rns::Domain::Eval);
+            z.c1 = rns::RnsPolynomial::zeros(tower, out_.levelCount,
+                                             rns::Domain::Eval);
+            z.scale = out_.scale;
+            out[s * chunks + c] = std::move(z);
+        }
+    }
+    return out;
 }
 
 EvalOpCounts
 Bootstrap::modeledOps() const
 {
     requireCompiled();
-    return static_cast<double>(in_.chunkCount) * boot_->modeledOps();
+    return static_cast<double>(liveChunkCount())
+        * boot_->modeledOps();
+}
+
+perf::KernelCost
+Bootstrap::costAt(const perf::CostModel &model,
+                  std::size_t input_lc) const
+{
+    requireCompiled();
+    return static_cast<double>(liveChunkCount())
+        * model.bootstrap(
+            input_lc, raisedLc_, out_.levelCount, slots_,
+            static_cast<std::size_t>(sine_.taylorTerms),
+            static_cast<std::size_t>(sine_.doublings));
 }
 
 const boot::Bootstrapper &
@@ -824,6 +1022,39 @@ Bootstrap::bootstrapper() const
 {
     requireCompiled();
     return *boot_;
+}
+
+// ------------------------------------------------------------------
+// LevelDrop
+
+LevelDrop::LevelDrop(std::size_t target_level_count)
+    : target_(target_level_count)
+{
+    requireArg(target_ >= 1, "LevelDrop target must be >= 1 limb");
+}
+
+TensorMeta
+LevelDrop::compile(const ckks::CkksContext &ctx, const TensorMeta &in)
+{
+    (void)ctx;
+    requireArg(!compiled_, "layer compiled twice");
+    requireArg(in.levelCount >= target_,
+               name(), " cannot raise the level: input at ",
+               in.levelCount, ", target ", target_);
+    in_ = in;
+    out_ = in;
+    out_.levelCount = target_;
+    compiled_ = true;
+    return out_;
+}
+
+Cts
+LevelDrop::apply(const NnEngine &engine, const Cts &in) const
+{
+    requireCompiled();
+    if (target_ == in_.levelCount)
+        return in; // identity: nothing to truncate
+    return engine.batched().dropToLevelCount(in, target_);
 }
 
 } // namespace tensorfhe::nn

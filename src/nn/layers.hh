@@ -40,6 +40,7 @@
 #include "common/stats.hh"
 #include "nn/activation.hh"
 #include "nn/tensor.hh"
+#include "perf/cost_model.hh"
 
 namespace tensorfhe::nn
 {
@@ -54,6 +55,15 @@ class NnEngine
     NnEngine(const ckks::CkksContext &ctx, const ckks::KeyBundle &keys,
              ThreadPool *pool = nullptr)
         : ctx_(ctx), beval_(ctx, keys, pool)
+    {}
+
+    /** Engine over an explicit key store — planner-built nets route
+        rotation keys through an on-demand ckks::KeyStore so their
+        unrestricted BSGS strides need no pre-generated bundle. */
+    NnEngine(const ckks::CkksContext &ctx,
+             std::shared_ptr<const ckks::KeyStore> store,
+             ThreadPool *pool = nullptr)
+        : ctx_(ctx), beval_(ctx, std::move(store), pool)
     {}
 
     const ckks::CkksContext &ctx() const { return ctx_; }
@@ -112,11 +122,49 @@ class Layer
     /** Predicted executed ops of one apply() sample. */
     virtual EvalOpCounts modeledOps() const = 0;
 
+    /**
+     * Smallest input level count compile() accepts — the planner's
+     * feasibility floor, queryable BEFORE compile (it depends only
+     * on layer parameters, never on the incoming meta).
+     */
+    virtual std::size_t minInputLevelCount() const { return 1; }
+
+    /**
+     * Modeled kernel cost of one apply() sample if the input arrived
+     * at `input_lc` limbs (valid after compile). Every layer prices
+     * against the EXPLICIT level argument — never the compiled
+     * meta's level — so the planner can evaluate the same layer at
+     * every candidate rung of the ladder.
+     */
+    virtual perf::KernelCost costAt(const perf::CostModel &model,
+                                    std::size_t input_lc) const = 0;
+
+    /**
+     * Which input chunks the live output chunks depend on (valid
+     * after compile). The planner walks this backward from the
+     * network output to find chunks whose values are dead downstream
+     * — a bootstrap never refreshes those. Default: chunk-aligned
+     * pass-through when in/out chunk counts match, else every input
+     * chunk is live whenever any output chunk is.
+     */
+    virtual std::vector<bool>
+    liveInputChunks(const std::vector<bool> &out_live) const;
+
+    /**
+     * Recompile against a (possibly different) input meta: resets
+     * the compiled state, drops stale plans and re-runs compile().
+     * The planner rebinds surveyed layers at their planned levels.
+     */
+    TensorMeta rebind(const ckks::CkksContext &ctx,
+                      const TensorMeta &in);
+
     const TensorMeta &inputMeta() const { return in_; }
     const TensorMeta &outputMeta() const { return out_; }
 
   protected:
     void requireCompiled() const;
+    /** Drop per-compile state ahead of a rebind (plans, masks). */
+    virtual void resetPlans() {}
 
     TensorMeta in_;
     TensorMeta out_;
@@ -144,8 +192,23 @@ class MatvecLayer : public Layer
                        const TensorMeta &in) override;
     std::vector<s64> requiredRotations() const override;
     std::size_t levelCost() const override { return 1; }
+    std::size_t minInputLevelCount() const override { return 2; }
     Cts apply(const NnEngine &engine, const Cts &in) const override;
     EvalOpCounts modeledOps() const override;
+    perf::KernelCost costAt(const perf::CostModel &model,
+                            std::size_t input_lc) const override;
+    std::vector<bool>
+    liveInputChunks(const std::vector<bool> &out_live) const override;
+
+    /**
+     * Planner-stride mode: compile()/rebind() hand the stride argmin
+     * the ACTUAL input level and lift the root-pattern key
+     * restriction (keys come from an on-demand store), and costAt()
+     * re-chooses the stride per queried level the same way. Default
+     * off — the historical full-tower, root-restricted behavior.
+     */
+    void setPlannedStrides(bool on) { plannedStrides_ = on; }
+    bool plannedStrides() const { return plannedStrides_; }
 
     /** The compiled BSGS plan of a single-block layer (valid after
         compile; for tests). */
@@ -176,8 +239,10 @@ class MatvecLayer : public Layer
     virtual TensorShape outputShape(const TensorShape &in) const = 0;
     /** Bias over the output's logical elements; empty = none. */
     virtual std::vector<double> biasVector() const = 0;
+    void resetPlans() override;
 
   private:
+    bool plannedStrides_ = false;
     /// blocks_[i][j]: plan of out-chunk i from in-chunk j (null when
     /// the block is identically zero and skipped).
     std::vector<std::vector<std::unique_ptr<boot::LinearTransformPlan>>>
@@ -273,10 +338,13 @@ class AvgPool2d : public Layer
                        const TensorMeta &in) override;
     std::vector<s64> requiredRotations() const override;
     std::size_t levelCost() const override { return 1; }
+    std::size_t minInputLevelCount() const override { return 2; }
     Cts apply(const NnEngine &engine, const Cts &in) const override;
     std::vector<double>
     applyPlain(const std::vector<double> &in) const override;
     EvalOpCounts modeledOps() const override;
+    perf::KernelCost costAt(const perf::CostModel &model,
+                            std::size_t input_lc) const override;
 
     /** Doubling-fold rotation steps, in apply() order (valid after
         compile; the graph lowering replays them). */
@@ -310,6 +378,8 @@ class SumReduce : public Layer
     std::vector<double>
     applyPlain(const std::vector<double> &in) const override;
     EvalOpCounts modeledOps() const override;
+    perf::KernelCost costAt(const perf::CostModel &model,
+                            std::size_t input_lc) const override;
 
     /** Whether compile chose the hoisted schedule (for tests). */
     bool hoisted() const { return hoisted_; }
@@ -340,10 +410,16 @@ class PolyActivation : public Layer
     TensorMeta compile(const ckks::CkksContext &ctx,
                        const TensorMeta &in) override;
     std::size_t levelCost() const override;
+    std::size_t minInputLevelCount() const override
+    {
+        return maxDepth_ + 2;
+    }
     Cts apply(const NnEngine &engine, const Cts &in) const override;
     std::vector<double>
     applyPlain(const std::vector<double> &in) const override;
     EvalOpCounts modeledOps() const override;
+    perf::KernelCost costAt(const perf::CostModel &model,
+                            std::size_t input_lc) const override;
 
     const PolyApprox &approx() const { return approx_; }
 
@@ -400,6 +476,7 @@ class Bootstrap : public Layer
     std::vector<s64> requiredConjRotations() const override;
     /** Consumes no budget — it restores it (see outputMeta). */
     std::size_t levelCost() const override { return 0; }
+    std::size_t minInputLevelCount() const override { return 2; }
     Cts apply(const NnEngine &engine, const Cts &in) const override;
     std::vector<double>
     applyPlain(const std::vector<double> &in) const override
@@ -407,14 +484,65 @@ class Bootstrap : public Layer
         return in; // value-preserving (approximately)
     }
     EvalOpCounts modeledOps() const override;
+    perf::KernelCost costAt(const perf::CostModel &model,
+                            std::size_t input_lc) const override;
+
+    /**
+     * Lazy per-chunk refresh: only chunks marked live run the
+     * bootstrap pipeline; dead chunks (whose values no downstream
+     * layer reads) are replaced by well-formed zero ciphertexts at
+     * the refreshed meta so shapes and levels stay uniform. Set by
+     * the planner from its liveness walk (size = chunk count,
+     * checked at compile); empty = all live. Must be set before
+     * compile().
+     */
+    void setLiveChunks(std::vector<bool> live);
+    std::size_t liveChunkCount() const;
 
     const boot::Bootstrapper &bootstrapper() const;
 
   private:
     boot::SineConfig sine_;
     std::size_t slots_ = 0;
+    std::size_t raisedLc_ = 0; ///< tower top the ModRaise lands at
+    std::vector<bool> liveChunks_; ///< empty = every chunk live
     /// Shared so copies of the compiled net reuse the plan caches.
     std::shared_ptr<boot::Bootstrapper> boot_;
+};
+
+/**
+ * Planner-inserted level alignment: drop the input to an exact level
+ * count (ckks dropToLevelCount — limb truncation, no arithmetic, no
+ * stats). The planner emits these where running the downstream
+ * suffix on a shorter tower is cheaper than the limbs are worth;
+ * they can also be placed by hand. Values and scale pass through.
+ */
+class LevelDrop : public Layer
+{
+  public:
+    explicit LevelDrop(std::size_t target_level_count);
+
+    std::string name() const override { return "LevelDrop"; }
+    TensorMeta compile(const ckks::CkksContext &ctx,
+                       const TensorMeta &in) override;
+    std::size_t levelCost() const override { return 0; }
+    Cts apply(const NnEngine &engine, const Cts &in) const override;
+    std::vector<double>
+    applyPlain(const std::vector<double> &in) const override
+    {
+        return in; // limb truncation never touches values
+    }
+    EvalOpCounts modeledOps() const override { return {}; }
+    perf::KernelCost costAt(const perf::CostModel &,
+                            std::size_t) const override
+    {
+        return {}; // metadata-only: no kernels, no bytes
+    }
+
+    std::size_t targetLevelCount() const { return target_; }
+
+  private:
+    std::size_t target_;
 };
 
 } // namespace tensorfhe::nn

@@ -28,12 +28,31 @@ Sequential::enableAutoBootstrap(boot::SineConfig sine)
     sine_ = sine;
 }
 
+void
+Sequential::enablePlanner(plan::PlannerOptions opts)
+{
+    requireArg(!compiled_, "enablePlanner must precede compile()");
+    planner_ = true;
+    plannerOpts_ = std::move(opts);
+}
+
 TensorMeta
 Sequential::compile(const ckks::CkksContext &ctx,
                     const TensorMeta &input)
 {
     requireArg(!compiled_, "model compiled twice");
     requireArg(!layers_.empty(), "empty model");
+
+    if (planner_) {
+        auto res = plan::planSequential(ctx, std::move(layers_),
+                                        input, plannerOpts_);
+        layers_ = std::move(res.stack);
+        plan_ = std::move(res.plan);
+        input_ = input;
+        output_ = res.output;
+        compiled_ = true;
+        return output_;
+    }
 
     if (!autoBoot_) {
         // Whole-model budget validation up front: walk the level
@@ -60,16 +79,38 @@ Sequential::compile(const ckks::CkksContext &ctx,
     // the last layer) plus the >= 2 floor any LATER bootstrap's
     // SlotToCoeff needs, splice in a refresh and continue at the
     // predicted level. The spliced layers become part of the stack.
+    // The walk also records the greedy ExecutionPlan run() replays.
+    perf::CostModel model(ctx.params());
+    std::vector<plan::PlanStep> steps;
     std::vector<std::unique_ptr<Layer>> compiled;
     compiled.reserve(layers_.size());
     TensorMeta meta = input;
+    std::ostringstream walked; // post-splice ledger for error paths
+    auto record = [&](plan::PlanStep::Kind kind, const Layer &l,
+                      const TensorMeta &in) {
+        plan::PlanStep st;
+        st.kind = kind;
+        st.layerIndex = compiled.size();
+        st.name = l.name();
+        st.in = in;
+        st.out = l.outputMeta();
+        st.work = perf::CostModel::work(
+            l.costAt(model, in.levelCount));
+        steps.push_back(std::move(st));
+        walked << "\n  " << l.name() << ": level " << in.levelCount
+               << " -> " << l.outputMeta().levelCount;
+    };
     for (std::size_t i = 0; i < layers_.size(); ++i) {
         auto &l = layers_[i];
         bool last = i + 1 == layers_.size();
         std::size_t need = l->levelCost() + (last ? 1 : 2);
         if (autoBoot_ && meta.levelCount < need) {
             auto b = std::make_unique<Bootstrap>(sine_);
+            TensorMeta pre = meta;
             meta = b->compile(ctx, meta);
+            // The error must show the ledger INCLUDING the splices
+            // walked so far (the post-splice ledger) — the pre-splice
+            // ledger hid where refreshes actually landed.
             requireBudget(meta.levelCount >= need,
                           "nn/sequential-compile",
                           "layer ", l->name(), " needs ", need,
@@ -77,17 +118,39 @@ Sequential::compile(const ckks::CkksContext &ctx,
                           "only to ",
                           meta.levelCount,
                           " — the layer cannot fit this chain even "
-                          "after bootstrapping");
+                          "after bootstrapping; layers compiled so "
+                          "far:",
+                          walked.str(), "\n  Bootstrap: level ",
+                          pre.levelCount, " -> ", meta.levelCount);
+            record(plan::PlanStep::Kind::Bootstrap, *b, pre);
             compiled.push_back(std::move(b));
         }
+        TensorMeta in = meta;
         meta = l->compile(ctx, meta);
+        record(dynamic_cast<const Bootstrap *>(l.get())
+                   ? plan::PlanStep::Kind::Bootstrap
+                   : (dynamic_cast<const LevelDrop *>(l.get())
+                          ? plan::PlanStep::Kind::LevelDrop
+                          : plan::PlanStep::Kind::Layer),
+               *l, in);
         compiled.push_back(std::move(l));
     }
     layers_ = std::move(compiled);
+    double greedy = 0;
+    for (const auto &s : steps)
+        greedy += s.work;
+    plan_ = plan::ExecutionPlan(std::move(steps), greedy);
     input_ = input;
     output_ = meta;
     compiled_ = true;
     return output_;
+}
+
+const plan::ExecutionPlan &
+Sequential::executionPlan() const
+{
+    requireState(compiled_, "model used before compile()");
+    return plan_;
 }
 
 std::vector<s64>
@@ -173,34 +236,34 @@ Sequential::run(const NnEngine &engine,
     runSpan.arg("batch", static_cast<s64>(batch.size()))
         .arg("layers", static_cast<s64>(layers_.size()));
 
-    for (const auto &l : layers_) {
-        trace::TraceSpan layerSpan("nn", l->name());
-        layerSpan
-            .arg("chunks",
-                 static_cast<s64>(l->outputMeta().chunkCount))
-            .arg("level",
-                 static_cast<s64>(l->outputMeta().levelCount));
-        flat = l->apply(engine, flat);
-        const TensorMeta &m = l->outputMeta();
-        // Level/scale invariants after every layer: the executed
-        // batch must land exactly where compile() predicted. Drift
+    // Execution replays the immutable plan: one step per compiled
+    // layer, each checked against the step's recorded output meta.
+    for (const auto &st : plan_.steps()) {
+        const auto &l = *layers_[st.layerIndex];
+        trace::TraceSpan layerSpan("nn", st.name);
+        layerSpan.arg("chunks", static_cast<s64>(st.out.chunkCount))
+            .arg("level", static_cast<s64>(st.out.levelCount));
+        flat = l.apply(engine, flat);
+        const TensorMeta &m = st.out;
+        // Level/scale invariants after every step: the executed
+        // batch must land exactly where the plan predicted. Drift
         // here is corruption of the evaluation itself, typed so
         // callers can distinguish it from usage errors.
         if (flat.size() != batch.size() * m.chunkCount)
             throw IntegrityError(
                 "nn/sequential-run",
-                strCat(l->name(), ": chunk count drifted"));
+                strCat(st.name, ": chunk count drifted"));
         for (const auto &ct : flat) {
             if (ct.levelCount() != m.levelCount)
                 throw IntegrityError(
                     "nn/sequential-run",
-                    strCat(l->name(), ": level count ",
+                    strCat(st.name, ": level count ",
                            ct.levelCount(), " != compiled ",
                            m.levelCount));
             if (std::abs(ct.scale - m.scale) > 1e-6 * m.scale)
                 throw IntegrityError(
                     "nn/sequential-run",
-                    strCat(l->name(), ": scale ", ct.scale,
+                    strCat(st.name, ": scale ", ct.scale,
                            " != compiled ", m.scale));
         }
     }

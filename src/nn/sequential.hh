@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "nn/layers.hh"
+#include "plan/planner.hh"
 
 namespace tensorfhe::nn
 {
@@ -39,6 +40,19 @@ class Sequential
      * Must be called before compile().
      */
     void enableAutoBootstrap(boot::SineConfig sine = {});
+
+    /**
+     * Let compile() run the GLOBAL execution planner instead of the
+     * greedy splice: plan::planSequential searches bootstrap
+     * placement, level drops and per-layer levels against
+     * perf::CostModel, rebuilds the stack at the planned levels
+     * (matvec strides re-chosen per level, root-pattern key
+     * restriction lifted — run the net on an on-demand
+     * ckks::KeyStore, or generate exactly requiredRotations()), and
+     * run() consumes the resulting immutable ExecutionPlan. Subsumes
+     * enableAutoBootstrap. Must be called before compile().
+     */
+    void enablePlanner(plan::PlannerOptions opts = {});
 
     /** Construct-and-append convenience; returns the layer. */
     template <typename L, typename... Args>
@@ -106,13 +120,24 @@ class Sequential
     const TensorMeta &outputMeta() const;
     bool compiled() const { return compiled_; }
 
+    /**
+     * The immutable schedule run() replays (valid after compile).
+     * Both compile paths build one: the greedy path records its
+     * splice walk (greedyWork == plannedWork), the planner path its
+     * searched schedule (plannedWork <= greedyWork).
+     */
+    const plan::ExecutionPlan &executionPlan() const;
+
   private:
     std::vector<std::unique_ptr<Layer>> layers_;
     TensorMeta input_;
     TensorMeta output_;
     bool compiled_ = false;
     bool autoBoot_ = false;
+    bool planner_ = false;
     boot::SineConfig sine_;
+    plan::PlannerOptions plannerOpts_;
+    plan::ExecutionPlan plan_;
 };
 
 } // namespace tensorfhe::nn

@@ -301,47 +301,91 @@ bsgsLinearTransformCost(const ckks::CkksParams &p,
     return matvecBsgsCost(p, level_count, slots, g - 1, n2 - 1);
 }
 
-KernelCost
-bootstrapCost(const ckks::CkksParams &p, std::size_t level_count,
-              std::size_t slots, std::size_t taylor_terms,
-              std::size_t doublings)
+namespace
 {
-    auto g = static_cast<std::size_t>(
-        std::ceil(std::sqrt(static_cast<double>(slots))));
-    std::size_t n2 = (slots + g - 1) / g;
 
-    // SlotToCoeff: one fully-populated double-hoisted transform.
-    KernelCost c = bsgsLinearTransformCost(p, level_count, slots);
-
-    // Two fused CoeffToSlot split transforms: plain + conjugate
-    // branches double the diagonal population and add g conjugate-
-    // composed tails (incl. the b = 0 conjugation) off the SAME
-    // head — giant + 2 conversions each, no standalone conjugation
-    // keyswitch and no split-constant CMULT level.
-    c += 2.0
-        * matvecBsgsCost(p, level_count, 2 * slots, 2 * g - 1,
-                         n2 - 1);
-
-    // Two sine evaluations (mirrors boot::sineModeledOps): the
-    // Taylor ladder, coefficient steerings, odd product and the
-    // double-angle chain, each HMULT relinearizing once.
+/** One Taylor + double-angle sine evaluation priced at `lc` (mirrors
+    boot::sineModeledOps; see bootstrapCost for the ladder shape). */
+KernelCost
+sineEvalCost(const ckks::CkksParams &p, std::size_t lc,
+             std::size_t taylor_terms, std::size_t doublings)
+{
     double terms = static_cast<double>(taylor_terms);
     double d = static_cast<double>(doublings);
     double hmults = terms + 2 * d - 1;
     double cmults = 2 * terms - 1;
     double hadds = 2 * terms + d - 3;
     KernelCost sine;
-    sine += hmults * opCost(OpKind::HMult, p, level_count);
-    sine += cmults * opCost(OpKind::CMult, p, level_count);
-    sine += hadds * opCost(OpKind::HAdd, p, level_count);
-    sine += (hmults + cmults)
-        * opCost(OpKind::Rescale, p, level_count);
-    c += 2.0 * sine;
+    sine += hmults * opCost(OpKind::HMult, p, lc);
+    sine += cmults * opCost(OpKind::CMult, p, lc);
+    sine += hadds * opCost(OpKind::HAdd, p, lc);
+    sine += (hmults + cmults) * opCost(OpKind::Rescale, p, lc);
+    return sine;
+}
 
-    // Recombine: two CMULTs, one HADD, one RESCALE.
-    c += 2.0 * opCost(OpKind::CMult, p, level_count);
-    c += opCost(OpKind::HAdd, p, level_count);
-    c += opCost(OpKind::Rescale, p, level_count);
+/** Fused CoeffToSlot split pair at `lc`: plain + conjugate branches
+    double the diagonal population and add g conjugate-composed tails
+    (incl. the b = 0 conjugation) off the SAME head — giant + 2
+    conversions each, no standalone conjugation keyswitch. */
+KernelCost
+coeffToSlotPairCost(const ckks::CkksParams &p, std::size_t lc,
+                    std::size_t slots)
+{
+    auto g = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(slots))));
+    std::size_t n2 = (slots + g - 1) / g;
+    return 2.0 * matvecBsgsCost(p, lc, 2 * slots, 2 * g - 1, n2 - 1);
+}
+
+/** Recombine at `lc`: two CMULTs, one HADD, one RESCALE. */
+KernelCost
+recombineCost(const ckks::CkksParams &p, std::size_t lc)
+{
+    KernelCost c = 2.0 * opCost(OpKind::CMult, p, lc);
+    c += opCost(OpKind::HAdd, p, lc);
+    c += opCost(OpKind::Rescale, p, lc);
+    return c;
+}
+
+} // namespace
+
+KernelCost
+bootstrapCost(const ckks::CkksParams &p, std::size_t level_count,
+              std::size_t slots, std::size_t taylor_terms,
+              std::size_t doublings)
+{
+    // SlotToCoeff: one fully-populated double-hoisted transform.
+    KernelCost c = bsgsLinearTransformCost(p, level_count, slots);
+    c += coeffToSlotPairCost(p, level_count, slots);
+    // Two sine evaluations (mirrors boot::sineModeledOps): the
+    // Taylor ladder, coefficient steerings, odd product and the
+    // double-angle chain, each HMULT relinearizing once.
+    c += 2.0
+        * sineEvalCost(p, level_count, taylor_terms, doublings);
+    c += recombineCost(p, level_count);
+    return c;
+}
+
+KernelCost
+bootstrapStagedCost(const ckks::CkksParams &p, std::size_t input_lc,
+                    std::size_t raised_lc, std::size_t output_lc,
+                    std::size_t slots, std::size_t taylor_terms,
+                    std::size_t doublings)
+{
+    TFHE_ASSERT(input_lc >= 2);
+    TFHE_ASSERT(raised_lc > output_lc);
+    // SlotToCoeff runs before the ModRaise, on the input tower — the
+    // only stage whose price moves with bootstrap placement.
+    KernelCost c = bsgsLinearTransformCost(p, input_lc, slots);
+    // CoeffToSlot pair on the freshly raised tower.
+    c += coeffToSlotPairCost(p, raised_lc, slots);
+    // The sine ladders descend from raised_lc - 1 (C2S consumed one
+    // level) toward the refreshed output; bill them at their entry
+    // level (a conservative upper bound on the descending ladder).
+    c += 2.0
+        * sineEvalCost(p, raised_lc - 1, taylor_terms, doublings);
+    // Recombine closes just above the refreshed output level.
+    c += recombineCost(p, output_lc + 1);
     return c;
 }
 

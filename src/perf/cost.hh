@@ -148,6 +148,24 @@ KernelCost bootstrapCost(const ckks::CkksParams &p,
                          std::size_t doublings);
 
 /**
+ * Stage-honest bootstrap pricing: unlike bootstrapCost (which prices
+ * every stage at one level count), each stage is billed at the level
+ * it actually runs at — SlotToCoeff at `input_lc` (the only stage
+ * whose cost varies with bootstrap placement), the fused CoeffToSlot
+ * pair at `raised_lc` (the post-ModRaise tower), the sine ladder at
+ * its entry level `raised_lc - 1`, and the recombine just above the
+ * refreshed output `output_lc`. This is the entry the global planner
+ * queries when weighing bootstrap placement against level drops.
+ */
+KernelCost bootstrapStagedCost(const ckks::CkksParams &p,
+                               std::size_t input_lc,
+                               std::size_t raised_lc,
+                               std::size_t output_lc,
+                               std::size_t slots,
+                               std::size_t taylor_terms,
+                               std::size_t doublings);
+
+/**
  * Whether summing m-1 rotations off one hoist beats the log2(m)
  * doubling fold (the schedule decision of the LR gradient folds and
  * nn::SumReduce). At deep chains the shared head wins; at shallow

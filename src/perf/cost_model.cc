@@ -1,0 +1,67 @@
+#include "perf/cost_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tensorfhe::perf
+{
+
+StrideChoice
+CostModel::chooseBsgsStride(std::size_t level_count,
+                            const std::vector<std::size_t> &diag_idx,
+                            std::size_t slots,
+                            bool restrict_to_root_pattern) const
+{
+    auto root = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(slots))));
+    std::vector<std::size_t> candidates;
+    candidates.push_back(root);
+    for (std::size_t g = 1; g < slots; g <<= 1)
+        if (g > root)
+            candidates.push_back(g);
+    candidates.push_back(slots);
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+
+    StrideChoice best;
+    double best_w = -1;
+    for (std::size_t g : candidates) {
+        std::vector<std::size_t> babies, giants;
+        for (std::size_t d : diag_idx) {
+            if (d % g != 0)
+                babies.push_back(d % g);
+            if (d / g != 0)
+                giants.push_back(d / g * g);
+        }
+        auto uniq = [](std::vector<std::size_t> &v) {
+            std::sort(v.begin(), v.end());
+            v.erase(std::unique(v.begin(), v.end()), v.end());
+        };
+        uniq(babies);
+        uniq(giants);
+        if (restrict_to_root_pattern && g != root) {
+            // Key-pattern containment: every step this stride
+            // rotates by must already exist in the root-based key
+            // grant (analytic pre-generated bundles cover exactly
+            // that pattern).
+            bool covered = true;
+            for (std::size_t b : babies)
+                covered = covered && b < root;
+            for (std::size_t k : giants)
+                covered = covered && k % root == 0;
+            if (!covered)
+                continue;
+        }
+        KernelCost c = matvec(level_count, diag_idx.size(),
+                              babies.size(), giants.size());
+        double w = work(c);
+        if (best_w < 0 || w < best_w) {
+            best_w = w;
+            best = {g, babies.size(), giants.size(), c};
+        }
+    }
+    return best;
+}
+
+} // namespace tensorfhe::perf

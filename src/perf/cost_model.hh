@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Queryable, level-parameterized cost model — the planner-facing
+ * facade over the free functions in perf/cost.hh.
+ *
+ * Every entry prices an operation at an EXPLICIT level count, never
+ * at "the context's current level": the global execution planner
+ * (src/plan) asks "what would this layer cost if its input arrived
+ * at L limbs?" for every candidate L, so the same entry must be
+ * evaluable anywhere on the ladder. The model also owns the BSGS
+ * giant-stride decision (chooseBsgsStride) so that the planner's
+ * predicted stride and boot::LinearTransformPlan's compiled stride
+ * are one procedure — a plan is costed with exactly the schedule
+ * execution will run.
+ */
+
+#ifndef TENSORFHE_PERF_COST_MODEL_HH
+#define TENSORFHE_PERF_COST_MODEL_HH
+
+#include <vector>
+
+#include "perf/cost.hh"
+
+namespace tensorfhe::perf
+{
+
+/** A chosen BSGS stride and the population it induces. */
+struct StrideChoice
+{
+    std::size_t g = 0;     ///< giant stride
+    std::size_t baby = 0;  ///< distinct nonzero baby steps
+    std::size_t giant = 0; ///< distinct nonzero giant steps
+    KernelCost cost;       ///< matvec cost at the queried level
+};
+
+class CostModel
+{
+  public:
+    explicit CostModel(ckks::CkksParams p) : p_(std::move(p)) {}
+
+    const ckks::CkksParams &
+    params() const
+    {
+        return p_;
+    }
+
+    /**
+     * Scalarize a KernelCost for comparisons: CUDA-core ops, TCU
+     * MACs at 8 per core-op-equivalent, and DRAM bytes. The single
+     * work() definition every argmin in this repository uses
+     * (hoistedFoldWins, the stride chooser, the planner DP).
+     */
+    static double
+    work(const KernelCost &c)
+    {
+        return c.coreOps + c.tcuMacs / 8.0 + c.bytes;
+    }
+
+    KernelCost
+    op(OpKind op, std::size_t level_count) const
+    {
+        return opCost(op, p_, level_count);
+    }
+
+    KernelCost
+    keySwitch(std::size_t level_count) const
+    {
+        return keySwitchCost(p_, level_count);
+    }
+
+    KernelCost
+    matvec(std::size_t level_count, std::size_t diagonals,
+           std::size_t baby, std::size_t giant) const
+    {
+        return matvecBsgsCost(p_, level_count, diagonals, baby,
+                              giant);
+    }
+
+    KernelCost
+    blockMatvec(std::size_t level_count, std::size_t blocks,
+                std::size_t diagonals, std::size_t baby,
+                std::size_t giant) const
+    {
+        return blockMatvecBsgsCost(p_, level_count, blocks, diagonals,
+                                   baby, giant);
+    }
+
+    KernelCost
+    polyActivation(std::size_t level_count, std::size_t powers,
+                   std::size_t terms) const
+    {
+        return polyActivationCost(p_, level_count, powers, terms);
+    }
+
+    /** m-element rotate-fold under the schedule the executor would
+        pick at this level (perf::hoistedFoldWins). */
+    KernelCost
+    rotateFold(std::size_t level_count, std::size_t m) const
+    {
+        return rotateFoldCost(p_, level_count, m,
+                              hoistedFoldWins(p_, level_count, m));
+    }
+
+    /** Stage-honest bootstrap price (perf::bootstrapStagedCost). */
+    KernelCost
+    bootstrap(std::size_t input_lc, std::size_t raised_lc,
+              std::size_t output_lc, std::size_t slots,
+              std::size_t taylor_terms, std::size_t doublings) const
+    {
+        return bootstrapStagedCost(p_, input_lc, raised_lc, output_lc,
+                                   slots, taylor_terms, doublings);
+    }
+
+    /**
+     * Pick the BSGS giant stride for a diagonal population at an
+     * explicit level. Candidates are the classic root stride,
+     * powers of two above it, and `slots` itself (the all-baby
+     * schedule: every diagonal rides the single hoisted head, zero
+     * giant ModDowns). With `restrict_to_root_pattern` set, a
+     * non-root stride must keep every rotation step inside the
+     * root-based key grant (babies < root, giants multiples of
+     * root) — required when keys were pre-generated analytically;
+     * an on-demand ckks::KeyStore lifts the restriction and lets
+     * the truly cheapest stride win. Ties keep the smaller stride.
+     */
+    StrideChoice chooseBsgsStride(std::size_t level_count,
+                                  const std::vector<std::size_t> &diag_idx,
+                                  std::size_t slots,
+                                  bool restrict_to_root_pattern) const;
+
+  private:
+    ckks::CkksParams p_;
+};
+
+} // namespace tensorfhe::perf
+
+#endif // TENSORFHE_PERF_COST_MODEL_HH

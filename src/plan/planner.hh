@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The global execution planner (docs/PLANNER.md): given a layer
+ * stack and an input meta, choose bootstrap placement, level drops
+ * and per-layer input levels to minimize total modeled work, by
+ * exact dynamic programming over (gap index, level count) states
+ * against perf::CostModel.
+ *
+ * The search space per gap (the point just before each user layer):
+ *   - run the layer at the current level L;
+ *   - drop to any L' < L first (free — limb truncation), then run:
+ *     key-switch work scales ~quadratically in limbs, so running the
+ *     tail of a network far below the bootstrap refresh level is the
+ *     planner's main win;
+ *   - bootstrap (L >= 2), landing at the exact refresh level of
+ *     boot::Bootstrapper::predictRefresh — the SAME mirror the
+ *     greedy splice trusts — optionally followed by a drop. At most
+ *     one bootstrap per gap (two in a row is never cheaper).
+ * Bootstrap cost is priced per live chunk: a backward liveness walk
+ * (Layer::liveInputChunks) finds chunks no downstream layer reads,
+ * and the planner's Bootstrap layers skip refreshing them
+ * (nn::Bootstrap::setLiveChunks).
+ *
+ * The planner first replays the greedy splice walk (the
+ * enableAutoBootstrap baseline) to compile every layer once and
+ * price that schedule, then searches, then REBUILDS the stack at the
+ * planned levels: layers are rebound (Layer::rebind) at their
+ * planned input metas, with matvec layers switched to planner
+ * strides (level-priced argmin, no root-pattern key restriction —
+ * rotation keys come from an on-demand ckks::KeyStore).
+ */
+
+#ifndef TENSORFHE_PLAN_PLANNER_HH
+#define TENSORFHE_PLAN_PLANNER_HH
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.hh"
+#include "plan/plan.hh"
+
+namespace tensorfhe::plan
+{
+
+struct PlannerOptions
+{
+    /** Sine approximation of planner-placed bootstraps. */
+    boot::SineConfig sine;
+    /**
+     * Re-choose BSGS strides per planned level with the root-pattern
+     * key restriction lifted (requires routing keys through an
+     * on-demand ckks::KeyStore — pre-generated analytic bundles may
+     * not cover the chosen steps).
+     */
+    bool unrestrictedStrides = true;
+    /** Refresh only chunks live downstream at each bootstrap. */
+    bool lazyBootstrap = true;
+    /** Limbs that must remain after the last layer (>= 1). */
+    std::size_t terminalReserve = 1;
+};
+
+/** The planner's product: the rebuilt stack plus its schedule. */
+struct PlanResult
+{
+    std::vector<std::unique_ptr<nn::Layer>> stack;
+    ExecutionPlan plan;
+    nn::TensorMeta output;
+};
+
+/**
+ * Plan `layers` (the user stack, in order, not yet compiled) against
+ * `input`. Consumes the layers: they are surveyed (greedy-compiled),
+ * then rebound at their planned levels and returned inside the
+ * result stack interleaved with planner-inserted Bootstrap /
+ * LevelDrop layers. Throws common::BudgetError with the best plan
+ * found and the first infeasible layer when no placement fits the
+ * chain. Emits trace spans per phase ("plan" category) and plan.*
+ * metrics counters (candidates explored, plans pruned, chosen vs
+ * greedy cost).
+ */
+PlanResult planSequential(const ckks::CkksContext &ctx,
+                          std::vector<std::unique_ptr<nn::Layer>> layers,
+                          const nn::TensorMeta &input,
+                          const PlannerOptions &opts);
+
+} // namespace tensorfhe::plan
+
+#endif // TENSORFHE_PLAN_PLANNER_HH

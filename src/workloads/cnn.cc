@@ -70,8 +70,13 @@ EncryptedCnnClassifier::EncryptedCnnClassifier(
             nn::reluApprox(cfg.actDegree));
     };
 
-    if (cfg.autoBootstrap)
+    if (cfg.usePlanner) {
+        plan::PlannerOptions opts;
+        opts.sine = cfg.sine;
+        net_.enablePlanner(opts);
+    } else if (cfg.autoBootstrap) {
         net_.enableAutoBootstrap(cfg.sine);
+    }
 
     convBlock(cfg.inChannels, cfg.convChannels);
     std::size_t last_channels = cfg.convChannels;

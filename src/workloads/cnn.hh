@@ -44,6 +44,13 @@ struct CnnConfig
     /** Let Sequential splice boot::Bootstrapper refreshes wherever
         the level ledger would go negative. */
     bool autoBootstrap = false;
+    /**
+     * Compile through the global execution planner instead of the
+     * greedy splice (plan::planSequential): searched bootstrap
+     * placement, level drops, lazy per-chunk refresh, unrestricted
+     * BSGS strides. Takes precedence over autoBootstrap.
+     */
+    bool usePlanner = false;
     boot::SineConfig sine{};
     /** Encrypt inputs at this level count (0 = full chain). A low
         start is how the deep config forces the ledger negative
